@@ -1,0 +1,345 @@
+//! # cimon-area — gate-level area and cycle-time model
+//!
+//! The paper's Table 2 comes from Synopsys Design Compiler mapping the
+//! generated VHDL onto TSMC's 0.18 µm standard-cell library. Neither
+//! tool exists here, so this crate prices the checker **structurally**:
+//! every monitoring resource decomposes into standard cells (flip-flops,
+//! CAM bit cells, XOR trees, comparators) whose unit costs are
+//! calibrated so the model reproduces the paper's own data points
+//! (baseline 2,136,594 cell-area units; +2.7% / +16.5% / +28.8% for
+//! 1/8/16-entry tables). The *shape* is the claim being reproduced: a
+//! fixed cost for `STA`/`RHASH`/`HASHFU`/`COMP` plus a per-entry cost
+//! for the CAM, growing (almost) linearly — and a cycle time that does
+//! not move, because every monitor path is shorter than the EX-stage
+//! ALU carry chain that sets the clock. See `DESIGN.md` substitution 3.
+//!
+//! ```
+//! use cimon_area::{AreaModel, CellLibrary};
+//!
+//! let model = AreaModel::new(CellLibrary::tsmc18like());
+//! let row = model.area_row(8, cimon_area::HashAlgoKind::Xor);
+//! assert!(row.overhead_percent > 10.0 && row.overhead_percent < 25.0);
+//! ```
+
+pub use cimon_microop::HashAlgoKind;
+use cimon_microop::Resource;
+
+/// The paper's synthesised baseline processor cell area (Table 2).
+pub const PAPER_BASELINE_CELL_AREA: f64 = 2_136_594.0;
+/// The paper's baseline minimum clock period in nanoseconds (Table 2).
+pub const PAPER_BASELINE_PERIOD_NS: f64 = 37.90;
+
+/// Unit areas for standard cells, in the paper's cell-area units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellLibrary {
+    /// D flip-flop with enable.
+    pub dff: f64,
+    /// CAM bit cell (storage + match logic).
+    pub cam_bit: f64,
+    /// SRAM/register-file bit.
+    pub ram_bit: f64,
+    /// 2-input XOR gate.
+    pub xor2: f64,
+    /// 2-input XNOR gate.
+    pub xnor2: f64,
+    /// 2-input AND/OR gate.
+    pub and2: f64,
+    /// 2-to-1 multiplexer.
+    pub mux2: f64,
+    /// Full-adder bit.
+    pub adder_bit: f64,
+    /// Per-entry peripheral logic (precharge, output mux, priority
+    /// encode share).
+    pub entry_overhead: f64,
+    /// Monitor control logic (FSM, exception encode).
+    pub control: f64,
+    /// Gate delay in ns for the timing model (2-input gate).
+    pub gate_delay_ns: f64,
+}
+
+impl CellLibrary {
+    /// Unit costs calibrated to the paper's TSMC 0.18 µm results.
+    pub fn tsmc18like() -> CellLibrary {
+        CellLibrary {
+            dff: 220.0,
+            cam_bit: 400.0,
+            ram_bit: 160.0,
+            xor2: 55.0,
+            xnor2: 60.0,
+            and2: 40.0,
+            mux2: 50.0,
+            adder_bit: 180.0,
+            entry_overhead: 2_600.0,
+            control: 750.0,
+            gate_delay_ns: 0.55,
+        }
+    }
+}
+
+/// Area of one monitoring resource.
+fn resource_area(lib: &CellLibrary, r: &Resource) -> f64 {
+    match r {
+        Resource::StaReg | Resource::RhashReg => 32.0 * lib.dff,
+        Resource::HashFu(kind) => hashfu_area(lib, *kind),
+        Resource::Comparator => 32.0 * lib.xnor2 + 31.0 * lib.and2,
+        Resource::Iht { entries } => *entries as f64 * entry_area(lib),
+        // Baseline resources are inside PAPER_BASELINE_CELL_AREA.
+        _ => 0.0,
+    }
+}
+
+/// Per-entry IHT cost: 64 CAM key bits (Addst, Addend), 32 stored hash
+/// bits, valid bit, LRU stamp register, match-line AND tree, output mux
+/// share, peripheral overhead.
+fn entry_area(lib: &CellLibrary) -> f64 {
+    64.0 * lib.cam_bit
+        + 32.0 * lib.ram_bit
+        + 8.0 * lib.dff // LRU state
+        + lib.dff // valid
+        + 63.0 * lib.and2 // match-line reduction
+        + 32.0 * lib.mux2 // hash read-out mux share
+        + lib.entry_overhead
+}
+
+/// `HASHFU` area by algorithm — the paper's "more sophisticated
+/// cryptographic algorithms can be adopted" axis, priced.
+pub fn hashfu_area(lib: &CellLibrary, kind: HashAlgoKind) -> f64 {
+    match kind {
+        // 32 XOR2 folding the fetched word into RHASH.
+        HashAlgoKind::Xor => 32.0 * lib.xor2,
+        // Adds the seed register and rotate wiring (muxes).
+        HashAlgoKind::SeededXor => 32.0 * lib.xor2 + 32.0 * lib.dff + 32.0 * lib.mux2,
+        // Two 16-bit mod-65535 accumulators.
+        HashAlgoKind::Fletcher32 => {
+            2.0 * (16.0 * lib.adder_bit + 16.0 * lib.dff) + 16.0 * lib.mux2
+        }
+        // Parallel CRC-32 over 32 bits: ~15 XOR terms per state bit.
+        HashAlgoKind::Crc32 => 32.0 * lib.dff + 32.0 * 15.0 * lib.xor2,
+        // One SHA-1 round pipe: 160-bit state, W-schedule registers,
+        // four 32-bit adders and the round logic. An order of magnitude
+        // beyond anything an IF stage can hide.
+        HashAlgoKind::Sha1 => {
+            160.0 * lib.dff
+                + 512.0 * lib.dff // W window
+                + 4.0 * 32.0 * lib.adder_bit
+                + 32.0 * 20.0 * lib.xor2
+        }
+    }
+}
+
+/// One row of the Table-2 reproduction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaRow {
+    /// IHT entries (0 = baseline).
+    pub entries: usize,
+    /// Total cell area.
+    pub cell_area: f64,
+    /// Overhead versus baseline, percent.
+    pub overhead_percent: f64,
+}
+
+/// One timing row of the Table-2 reproduction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingRow {
+    /// IHT entries (0 = baseline).
+    pub entries: usize,
+    /// Minimum clock period (ns).
+    pub period_ns: f64,
+    /// Cycle-time overhead versus baseline, percent.
+    pub overhead_percent: f64,
+    /// Gate-delay depth of the critical path, and which stage owns it.
+    pub critical_stage: &'static str,
+}
+
+/// The calibrated model.
+#[derive(Clone, Copy, Debug)]
+pub struct AreaModel {
+    lib: CellLibrary,
+}
+
+impl AreaModel {
+    /// Build a model over a cell library.
+    pub fn new(lib: CellLibrary) -> AreaModel {
+        AreaModel { lib }
+    }
+
+    /// The default calibrated model.
+    pub fn calibrated() -> AreaModel {
+        AreaModel::new(CellLibrary::tsmc18like())
+    }
+
+    /// The library in use.
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// Total monitoring area for a resource set (baseline resources cost
+    /// zero — they are folded into the synthesised baseline constant).
+    pub fn monitor_area(&self, resources: &[Resource]) -> f64 {
+        resources.iter().map(|r| resource_area(&self.lib, r)).sum()
+    }
+
+    /// Fixed (table-size-independent) part of the checker.
+    pub fn fixed_area(&self, algo: HashAlgoKind) -> f64 {
+        self.monitor_area(&[
+            Resource::StaReg,
+            Resource::RhashReg,
+            Resource::HashFu(algo),
+            Resource::Comparator,
+        ]) + self.lib.control
+    }
+
+    /// Per-entry IHT cost.
+    pub fn per_entry_area(&self) -> f64 {
+        entry_area(&self.lib)
+    }
+
+    /// A Table-2 area row for an IHT size (`entries == 0` = baseline).
+    pub fn area_row(&self, entries: usize, algo: HashAlgoKind) -> AreaRow {
+        let monitor = if entries == 0 {
+            0.0
+        } else {
+            self.fixed_area(algo) + entries as f64 * self.per_entry_area()
+        };
+        let cell_area = PAPER_BASELINE_CELL_AREA + monitor;
+        AreaRow {
+            entries,
+            cell_area,
+            overhead_percent: 100.0 * monitor / PAPER_BASELINE_CELL_AREA,
+        }
+    }
+
+    /// A Table-2 timing row. The baseline period is set by the EX-stage
+    /// 32-bit ALU carry chain; the monitor's IF path (one XOR level into
+    /// RHASH) and ID path (CAM match + 32-bit compare) are both shorter,
+    /// so the clock does not stretch — the paper's own conclusion
+    /// ("the maximum frequency from synthesis does not change at all";
+    /// Table 2's ±0.5% wiggles are synthesis noise).
+    pub fn timing_row(&self, entries: usize, algo: HashAlgoKind) -> TimingRow {
+        let g = self.lib.gate_delay_ns;
+        // Gate-depth estimates per stage.
+        let ex_depth: f64 = 64.0; // ripple/bypass ALU carry + result mux
+        let if_monitor_depth: f64 = match algo {
+            HashAlgoKind::Xor | HashAlgoKind::SeededXor => 6.0, // fetch latch + xor + mux
+            HashAlgoKind::Fletcher32 => 20.0,
+            HashAlgoKind::Crc32 => 10.0,
+            HashAlgoKind::Sha1 => 90.0, // would *not* fit — surfaced by the model
+        };
+        // CAM match: key compare (2 levels) + log2(n) priority + hash compare tree.
+        let id_monitor_depth = 8.0 + (entries.max(1) as f64).log2().ceil() + 6.0;
+        let monitor_depth = if entries == 0 {
+            0.0
+        } else {
+            if_monitor_depth.max(id_monitor_depth)
+        };
+        let critical = ex_depth.max(monitor_depth);
+        let (period, stage) = if monitor_depth > ex_depth {
+            (critical * g * (PAPER_BASELINE_PERIOD_NS / (ex_depth * g)), "monitor")
+        } else {
+            (PAPER_BASELINE_PERIOD_NS, "EX (ALU carry chain)")
+        };
+        TimingRow {
+            entries,
+            period_ns: period,
+            overhead_percent: 100.0 * (period - PAPER_BASELINE_PERIOD_NS)
+                / PAPER_BASELINE_PERIOD_NS,
+            critical_stage: stage,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_POINTS: [(usize, f64); 3] = [(1, 2.7), (8, 16.5), (16, 28.8)];
+
+    #[test]
+    fn area_grows_linearly_in_entries() {
+        let m = AreaModel::calibrated();
+        let a1 = m.area_row(1, HashAlgoKind::Xor).cell_area;
+        let a2 = m.area_row(2, HashAlgoKind::Xor).cell_area;
+        let a3 = m.area_row(3, HashAlgoKind::Xor).cell_area;
+        assert!((2.0 * a2 - a1 - a3).abs() < 1e-6, "not linear");
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn calibration_tracks_paper_table2() {
+        // The paper's own points are only "almost linear"; require each
+        // reproduced overhead within 25% relative (and the right order
+        // of magnitude everywhere).
+        let m = AreaModel::calibrated();
+        for (entries, paper_pct) in PAPER_POINTS {
+            let got = m.area_row(entries, HashAlgoKind::Xor).overhead_percent;
+            let rel = (got - paper_pct).abs() / paper_pct;
+            assert!(
+                rel < 0.25,
+                "entries={entries}: model {got:.1}% vs paper {paper_pct}% (rel {rel:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_row_is_the_paper_constant() {
+        let m = AreaModel::calibrated();
+        let row = m.area_row(0, HashAlgoKind::Xor);
+        assert_eq!(row.cell_area, PAPER_BASELINE_CELL_AREA);
+        assert_eq!(row.overhead_percent, 0.0);
+    }
+
+    #[test]
+    fn cycle_time_unchanged_for_paper_configs() {
+        let m = AreaModel::calibrated();
+        for entries in [0usize, 1, 8, 16, 32] {
+            let row = m.timing_row(entries, HashAlgoKind::Xor);
+            assert_eq!(row.period_ns, PAPER_BASELINE_PERIOD_NS, "entries={entries}");
+            assert_eq!(row.overhead_percent, 0.0);
+        }
+    }
+
+    #[test]
+    fn sha1_hashfu_would_stretch_the_clock() {
+        let m = AreaModel::calibrated();
+        let row = m.timing_row(8, HashAlgoKind::Sha1);
+        assert!(row.period_ns > PAPER_BASELINE_PERIOD_NS);
+        assert_eq!(row.critical_stage, "monitor");
+    }
+
+    #[test]
+    fn hashfu_costs_order_sensibly() {
+        let lib = CellLibrary::tsmc18like();
+        let xor = hashfu_area(&lib, HashAlgoKind::Xor);
+        let seeded = hashfu_area(&lib, HashAlgoKind::SeededXor);
+        let fletcher = hashfu_area(&lib, HashAlgoKind::Fletcher32);
+        let crc = hashfu_area(&lib, HashAlgoKind::Crc32);
+        let sha = hashfu_area(&lib, HashAlgoKind::Sha1);
+        assert!(xor < seeded && seeded < crc && crc < sha);
+        assert!(xor < fletcher && fletcher < sha);
+    }
+
+    #[test]
+    fn monitor_area_matches_spec_resources() {
+        use cimon_microop::{baseline_spec, embed_monitor, MonitorParams};
+        let m = AreaModel::calibrated();
+        let spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
+        let from_spec = m.monitor_area(&spec.monitoring_resources());
+        let direct = m.fixed_area(HashAlgoKind::Xor) - m.library().control
+            + 8.0 * m.per_entry_area();
+        assert!((from_spec - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_entry_cost_is_near_paper_slope() {
+        // Paper end-point slope: (614382 − 56916) / 15 ≈ 37,164.
+        let m = AreaModel::calibrated();
+        let slope = m.per_entry_area();
+        assert!((slope - 37_164.0).abs() / 37_164.0 < 0.1, "slope {slope}");
+    }
+}

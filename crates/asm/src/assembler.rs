@@ -1,0 +1,552 @@
+//! The two-pass assembler.
+//!
+//! **Pass 1** parses statements, expands pseudo-instructions (each
+//! resulting [`MInstr`] is exactly one word), lays out the data segment,
+//! and binds every label. **Pass 2** resolves symbolic immediates and
+//! emits the binary [`ProgramImage`].
+
+use crate::ast::{MInstr, Operand, RelocImm, RelocTarget, Stmt};
+use crate::error::AsmError;
+use crate::lexer::lex;
+use crate::parser::parse;
+use crate::pseudo::expand;
+use crate::symtab::SymbolTable;
+use cimon_isa::{IType, Instr, JType, RType, INSTR_BYTES};
+use cimon_mem::image::{DATA_BASE, TEXT_BASE};
+use cimon_mem::{ProgramImage, Segment};
+
+/// The result of a successful assembly.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The loadable binary image.
+    pub image: ProgramImage,
+    /// Label bindings (text and data).
+    pub symbols: SymbolTable,
+    /// Per-instruction source mapping: `(address, instruction, source line)`.
+    pub listing: Vec<(u32, Instr, usize)>,
+}
+
+impl Program {
+    /// The decoded instruction at a text address, if it lies in the image.
+    pub fn instr_at(&self, addr: u32) -> Option<Instr> {
+        let (start, end) = self.image.text_range();
+        if addr < start || addr >= end || (addr - start) % 4 != 0 {
+            return None;
+        }
+        let idx = ((addr - start) / 4) as usize;
+        self.listing.get(idx).map(|&(_, i, _)| i)
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn instr_count(&self) -> usize {
+        self.listing.len()
+    }
+
+    /// A human-readable disassembly listing with symbol annotations.
+    pub fn disassembly(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &(addr, instr, _) in &self.listing {
+            if let Some(name) = self.symbols.name_at(addr) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {addr:#010x}:  {instr}");
+        }
+        out
+    }
+}
+
+/// A pending data-segment word that may reference a symbol.
+#[derive(Clone, Debug)]
+enum DataFixup {
+    /// Word at `offset` (from data base) takes the address of `sym + add`.
+    Word { offset: u32, sym: String, add: i64, line: usize },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assemble a complete source text.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`]: lexical, syntactic, unknown mnemonic,
+/// out-of-range immediate, duplicate/undefined label, or an out-of-range
+/// branch/jump displacement discovered during relocation.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let lines = lex(src)?;
+    let stmts = parse(&lines)?;
+
+    // ---------------- pass 1 ----------------
+    let mut symbols = SymbolTable::new();
+    let mut section = Section::Text;
+    let mut text: Vec<(MInstr, usize)> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut fixups: Vec<DataFixup> = Vec::new();
+    // Data labels bind lazily so that a label immediately before an
+    // auto-aligning directive (e.g. `x: .word 1` after a `.byte`) names
+    // the aligned location, not the padding.
+    let mut pending_data_labels: Vec<(String, usize)> = Vec::new();
+
+    macro_rules! bind_pending {
+        ($symbols:ident, $data:ident, $pending:ident) => {
+            for (name, l) in $pending.drain(..) {
+                $symbols.define(&name, DATA_BASE + $data.len() as u32, l)?;
+            }
+        };
+    }
+
+    for (line, stmt) in &stmts {
+        let line = *line;
+        match stmt {
+            Stmt::Label(name) => match section {
+                Section::Text => {
+                    let addr = TEXT_BASE + (text.len() as u32) * INSTR_BYTES;
+                    symbols.define(name, addr, line)?;
+                }
+                Section::Data => pending_data_labels.push((name.clone(), line)),
+            },
+            Stmt::Directive { name, args } => match name.as_str() {
+                "text" => {
+                    bind_pending!(symbols, data, pending_data_labels);
+                    section = Section::Text;
+                }
+                "data" => section = Section::Data,
+                "globl" | "global" | "ent" | "end" => {} // accepted, no effect
+                "align" => {
+                    if section != Section::Data {
+                        return Err(AsmError::at(line, ".align is only valid in .data"));
+                    }
+                    let n = one_imm(args, line)?;
+                    if !(0..=12).contains(&n) {
+                        return Err(AsmError::at(line, format!("bad alignment {n}")));
+                    }
+                    let align = 1usize << n;
+                    while data.len() % align != 0 {
+                        data.push(0);
+                    }
+                }
+                "space" => {
+                    if section != Section::Data {
+                        return Err(AsmError::at(line, ".space is only valid in .data"));
+                    }
+                    let n = one_imm(args, line)?;
+                    if !(0..=(1 << 24)).contains(&n) {
+                        return Err(AsmError::at(line, format!("bad .space size {n}")));
+                    }
+                    bind_pending!(symbols, data, pending_data_labels);
+                    data.extend(std::iter::repeat(0u8).take(n as usize));
+                }
+                "byte" => {
+                    require_data(section, line, ".byte")?;
+                    bind_pending!(symbols, data, pending_data_labels);
+                    for a in args {
+                        let v = imm_of(a, line)?;
+                        if !(-128..=255).contains(&v) {
+                            return Err(AsmError::at(line, format!("byte value {v} out of range")));
+                        }
+                        data.push(v as u8);
+                    }
+                }
+                "half" => {
+                    require_data(section, line, ".half")?;
+                    while data.len() % 2 != 0 {
+                        data.push(0);
+                    }
+                    bind_pending!(symbols, data, pending_data_labels);
+                    for a in args {
+                        let v = imm_of(a, line)?;
+                        if !(-(1 << 15)..(1 << 16)).contains(&v) {
+                            return Err(AsmError::at(line, format!("half value {v} out of range")));
+                        }
+                        data.extend((v as u16).to_le_bytes());
+                    }
+                }
+                "word" => {
+                    require_data(section, line, ".word")?;
+                    while data.len() % 4 != 0 {
+                        data.push(0);
+                    }
+                    bind_pending!(symbols, data, pending_data_labels);
+                    for a in args {
+                        match a {
+                            Operand::Imm(v) => {
+                                if !((i32::MIN as i64)..=(u32::MAX as i64)).contains(v) {
+                                    return Err(AsmError::at(
+                                        line,
+                                        format!("word value {v} out of range"),
+                                    ));
+                                }
+                                data.extend((*v as u32).to_le_bytes());
+                            }
+                            Operand::Sym { name, offset } => {
+                                fixups.push(DataFixup::Word {
+                                    offset: data.len() as u32,
+                                    sym: name.clone(),
+                                    add: *offset,
+                                    line,
+                                });
+                                data.extend(0u32.to_le_bytes());
+                            }
+                            other => {
+                                return Err(AsmError::at(
+                                    line,
+                                    format!("bad .word operand {other:?}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                "ascii" | "asciiz" => {
+                    require_data(section, line, ".ascii")?;
+                    bind_pending!(symbols, data, pending_data_labels);
+                    for a in args {
+                        match a {
+                            Operand::Str(s) => {
+                                data.extend(s.as_bytes());
+                                if name == "asciiz" {
+                                    data.push(0);
+                                }
+                            }
+                            other => {
+                                return Err(AsmError::at(
+                                    line,
+                                    format!("expected string, found {other:?}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                other => return Err(AsmError::at(line, format!("unknown directive `.{other}`"))),
+            },
+            Stmt::Instruction { mnemonic, args } => {
+                if section != Section::Text {
+                    return Err(AsmError::at(line, "instructions are only valid in .text"));
+                }
+                for mi in expand(mnemonic, args, line)? {
+                    text.push((mi, line));
+                }
+            }
+        }
+    }
+
+    bind_pending!(symbols, data, pending_data_labels);
+
+    // ---------------- pass 2 ----------------
+    let mut listing = Vec::with_capacity(text.len());
+    let mut text_bytes = Vec::with_capacity(text.len() * 4);
+    for (idx, (mi, line)) in text.iter().enumerate() {
+        let pc = TEXT_BASE + (idx as u32) * INSTR_BYTES;
+        let instr = relocate(mi, pc, &symbols, *line)?;
+        text_bytes.extend(instr.encode().to_le_bytes());
+        listing.push((pc, instr, *line));
+    }
+
+    for fx in &fixups {
+        let DataFixup::Word { offset, sym, add, line } = fx;
+        let base = symbols.resolve(sym, *line)?;
+        let value = (base as i64).wrapping_add(*add) as u32;
+        data[*offset as usize..*offset as usize + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    let entry = symbols.get("main").unwrap_or(TEXT_BASE);
+    Ok(Program {
+        image: ProgramImage {
+            text: Segment { base: TEXT_BASE, bytes: text_bytes },
+            data: Segment { base: DATA_BASE, bytes: data },
+            entry,
+        },
+        symbols,
+        listing,
+    })
+}
+
+fn require_data(section: Section, line: usize, what: &str) -> Result<(), AsmError> {
+    if section == Section::Data {
+        Ok(())
+    } else {
+        Err(AsmError::at(line, format!("{what} is only valid in .data")))
+    }
+}
+
+fn one_imm(args: &[Operand], line: usize) -> Result<i64, AsmError> {
+    match args {
+        [Operand::Imm(v)] => Ok(*v),
+        _ => Err(AsmError::at(line, "expected a single integer operand")),
+    }
+}
+
+fn imm_of(op: &Operand, line: usize) -> Result<i64, AsmError> {
+    match op {
+        Operand::Imm(v) => Ok(*v),
+        other => Err(AsmError::at(line, format!("expected integer, found {other:?}"))),
+    }
+}
+
+fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<Instr, AsmError> {
+    Ok(match mi {
+        MInstr::R { funct, rs, rt, rd, shamt } => Instr::R(RType {
+            funct: *funct,
+            rs: *rs,
+            rt: *rt,
+            rd: *rd,
+            shamt: *shamt,
+        }),
+        MInstr::I { opcode, rs, rt, imm } => {
+            let imm = match imm {
+                RelocImm::Value(v) => *v,
+                RelocImm::HiOf(sym, add) => {
+                    let a = (symbols.resolve(sym, line)? as i64).wrapping_add(*add) as u32;
+                    (a >> 16) as u16
+                }
+                RelocImm::LoOf(sym, add) => {
+                    let a = (symbols.resolve(sym, line)? as i64).wrapping_add(*add) as u32;
+                    (a & 0xffff) as u16
+                }
+                RelocImm::BranchTo(sym) => {
+                    let dest = symbols.resolve(sym, line)?;
+                    let delta = (dest as i64) - (pc as i64 + 4);
+                    if delta % 4 != 0 {
+                        return Err(AsmError::at(line, format!("misaligned branch target `{sym}`")));
+                    }
+                    let words = delta / 4;
+                    if !(-(1 << 15)..(1 << 15)).contains(&words) {
+                        return Err(AsmError::at(
+                            line,
+                            format!("branch to `{sym}` out of range ({words} words)"),
+                        ));
+                    }
+                    words as i16 as u16
+                }
+            };
+            Instr::I(IType { opcode: *opcode, rs: *rs, rt: *rt, imm })
+        }
+        MInstr::J { opcode, target } => {
+            let target = match target {
+                RelocTarget::Value(v) => *v,
+                RelocTarget::SymAddr(sym) => {
+                    let dest = symbols.resolve(sym, line)?;
+                    if dest % 4 != 0 {
+                        return Err(AsmError::at(line, format!("misaligned jump target `{sym}`")));
+                    }
+                    if (dest & 0xf000_0000) != ((pc + 4) & 0xf000_0000) {
+                        return Err(AsmError::at(
+                            line,
+                            format!("jump to `{sym}` crosses a 256 MiB region boundary"),
+                        ));
+                    }
+                    (dest >> 2) & 0x03ff_ffff
+                }
+            };
+            Instr::J(JType { opcode: *opcode, target })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_isa::{Funct, IOpcode, Reg};
+
+    #[test]
+    fn minimal_program() {
+        let p = assemble("  .text\nmain: nop\n  syscall\n").unwrap();
+        assert_eq!(p.instr_count(), 2);
+        assert_eq!(p.image.entry, TEXT_BASE);
+        assert_eq!(p.instr_at(TEXT_BASE).unwrap(), Instr::nop());
+        assert!(p.instr_at(TEXT_BASE + 4).unwrap().is_control_flow());
+        assert_eq!(p.instr_at(TEXT_BASE + 8), None);
+        assert_eq!(p.instr_at(TEXT_BASE + 2), None);
+    }
+
+    #[test]
+    fn entry_defaults_to_main_label() {
+        let p = assemble(".text\nstart: nop\nmain: nop\n").unwrap();
+        assert_eq!(p.image.entry, TEXT_BASE + 4);
+        let q = assemble(".text\nnop\n").unwrap();
+        assert_eq!(q.image.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let p = assemble(
+            r#"
+            .text
+        main:
+            beq $t0, $t1, fwd
+        back:
+            nop
+            bne $t0, $t1, back
+        fwd:
+            syscall
+        "#,
+        )
+        .unwrap();
+        // beq at +0, target fwd at +12: disp = (12 - 4)/4 = 2
+        match p.instr_at(TEXT_BASE).unwrap() {
+            Instr::I(i) => {
+                assert_eq!(i.opcode, IOpcode::Beq);
+                assert_eq!(i.simm(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // bne at +8, target back at +4: disp = (4 - 12)/4 = -2
+        match p.instr_at(TEXT_BASE + 8).unwrap() {
+            Instr::I(i) => {
+                assert_eq!(i.opcode, IOpcode::Bne);
+                assert_eq!(i.simm(), -2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn jumps_resolve_symbols() {
+        let p = assemble(".text\nmain: j end\nnop\nend: syscall\n").unwrap();
+        let j = p.instr_at(TEXT_BASE).unwrap();
+        assert_eq!(j.jump_dest(TEXT_BASE), Some(TEXT_BASE + 8));
+    }
+
+    #[test]
+    fn la_resolves_data_symbol() {
+        let p = assemble(
+            r#"
+            .data
+        buf: .space 16
+        val: .word 7
+            .text
+        main:
+            la $a0, val
+            lw $t0, 0($a0)
+        "#,
+        )
+        .unwrap();
+        let val_addr = p.symbols.get("val").unwrap();
+        assert_eq!(val_addr, DATA_BASE + 16);
+        // lui+ori pair
+        match (p.instr_at(TEXT_BASE).unwrap(), p.instr_at(TEXT_BASE + 4).unwrap()) {
+            (Instr::I(hi), Instr::I(lo)) => {
+                assert_eq!(hi.opcode, IOpcode::Lui);
+                assert_eq!(hi.imm as u32, val_addr >> 16);
+                assert_eq!(lo.opcode, IOpcode::Ori);
+                assert_eq!(lo.imm as u32, val_addr & 0xffff);
+            }
+            other => panic!("{other:?}"),
+        }
+        // data contents
+        let mem = p.image.to_memory();
+        assert_eq!(mem.read_u32(val_addr).unwrap(), 7);
+    }
+
+    #[test]
+    fn word_directive_with_symbols_and_alignment() {
+        let p = assemble(
+            r#"
+            .data
+        a:  .byte 1
+        tbl: .word 10, a, a+3
+            .text
+        main: nop
+        "#,
+        )
+        .unwrap();
+        let mem = p.image.to_memory();
+        let a = p.symbols.get("a").unwrap();
+        let tbl = p.symbols.get("tbl").unwrap();
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(tbl, DATA_BASE + 4); // aligned past the byte
+        assert_eq!(mem.read_u32(tbl).unwrap(), 10);
+        assert_eq!(mem.read_u32(tbl + 4).unwrap(), a);
+        assert_eq!(mem.read_u32(tbl + 8).unwrap(), a + 3);
+    }
+
+    #[test]
+    fn ascii_and_space() {
+        let p = assemble(
+            ".data\ns: .asciiz \"hi\"\nbuf: .space 3\nend_: .byte 9\n.text\nmain: nop\n",
+        )
+        .unwrap();
+        let mem = p.image.to_memory();
+        assert_eq!(mem.read_u8(DATA_BASE), b'h');
+        assert_eq!(mem.read_u8(DATA_BASE + 1), b'i');
+        assert_eq!(mem.read_u8(DATA_BASE + 2), 0);
+        assert_eq!(p.symbols.get("buf").unwrap(), DATA_BASE + 3);
+        assert_eq!(p.symbols.get("end_").unwrap(), DATA_BASE + 6);
+        assert_eq!(mem.read_u8(DATA_BASE + 6), 9);
+    }
+
+    #[test]
+    fn half_directive() {
+        let p = assemble(".data\nh: .half 0xbeef, -2\n.text\nmain: nop\n").unwrap();
+        let mem = p.image.to_memory();
+        assert_eq!(mem.read_u16(DATA_BASE).unwrap(), 0xbeef);
+        assert_eq!(mem.read_u16(DATA_BASE + 2).unwrap(), 0xfffe);
+    }
+
+    #[test]
+    fn align_directive() {
+        let p = assemble(".data\n.byte 1\n.align 3\nb: .byte 2\n.text\nmain: nop\n").unwrap();
+        assert_eq!(p.symbols.get("b").unwrap(), DATA_BASE + 8);
+    }
+
+    #[test]
+    fn pseudo_expansion_addresses_stay_consistent() {
+        // `blt` occupies two words; the label after it must account for that.
+        let p = assemble(
+            r#"
+            .text
+        main:
+            blt $t0, $t1, over
+            nop
+        over:
+            syscall
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbols.get("over").unwrap(), TEXT_BASE + 12);
+        // slt at +0, bne at +4 → disp to +12 = (12-8)/4 = 1
+        match p.instr_at(TEXT_BASE + 4).unwrap() {
+            Instr::I(i) => assert_eq!(i.simm(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surface_with_lines() {
+        assert!(assemble(".text\nmain: frob $t0\n").unwrap_err().line == 2);
+        assert!(assemble(".text\nmain: beq $t0, $t1, nowhere\n").is_err());
+        assert!(assemble(".text\nx: nop\nx: nop\n").is_err());
+        assert!(assemble(".data\n.word 1\n.text\n.word 2\nmain: nop\n").is_err());
+        assert!(assemble(".text\nlw $t0, 4($t1), 3\n").is_err());
+        assert!(assemble(".quux 1\n").is_err());
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        // Construct a branch whose target is ~40000 instructions away.
+        let mut src = String::from(".text\nmain: beq $zero, $zero, far\n");
+        for _ in 0..40000 {
+            src.push_str("nop\n");
+        }
+        src.push_str("far: nop\n");
+        assert!(assemble(&src).is_err());
+    }
+
+    #[test]
+    fn listing_and_disassembly() {
+        let p = assemble(".text\nmain: addu $t0, $t1, $t2\n").unwrap();
+        let d = p.disassembly();
+        assert!(d.contains("main:"));
+        assert!(d.contains("addu $t0, $t1, $t2"));
+        assert_eq!(p.listing[0].2, 2); // source line
+        match p.listing[0].1 {
+            Instr::R(r) => assert_eq!(r.funct, Funct::Addu),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.listing[0].0, TEXT_BASE);
+        let _ = Reg::T0; // silence unused import in some cfgs
+    }
+}

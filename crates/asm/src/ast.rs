@@ -1,0 +1,110 @@
+//! Parsed statements and the relocatable instruction form.
+
+use cimon_isa::{Funct, IOpcode, JOpcode, Reg};
+
+/// An operand as written in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An integer literal.
+    Imm(i64),
+    /// A symbol reference with optional byte offset (`label` or
+    /// `label+8`).
+    Sym {
+        /// Symbol name.
+        name: String,
+        /// Byte offset added to the symbol's address.
+        offset: i64,
+    },
+    /// A memory operand `offset(base)`.
+    Mem {
+        /// Byte offset (sign-extended 16-bit at encode time).
+        offset: i64,
+        /// Base register.
+        base: Reg,
+    },
+    /// A string literal (only valid as a directive argument).
+    Str(String),
+}
+
+/// A parsed source statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name:` — binds `name` to the current location counter.
+    Label(String),
+    /// A directive with its operands, e.g. `.word 1, 2`.
+    Directive {
+        /// Directive name without the dot.
+        name: String,
+        /// Raw operands.
+        args: Vec<Operand>,
+    },
+    /// An instruction (architected or pseudo) with its operands.
+    Instruction {
+        /// Lower-cased mnemonic.
+        mnemonic: String,
+        /// Raw operands.
+        args: Vec<Operand>,
+    },
+}
+
+/// A symbolic immediate awaiting relocation in pass 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelocImm {
+    /// A fully resolved 16-bit field value (raw bits).
+    Value(u16),
+    /// High 16 bits of a symbol's address plus offset.
+    HiOf(String, i64),
+    /// Low 16 bits of a symbol's address plus offset.
+    LoOf(String, i64),
+    /// PC-relative branch displacement in words to the symbol.
+    BranchTo(String),
+}
+
+/// A symbolic jump target awaiting relocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelocTarget {
+    /// Resolved 26-bit word target.
+    Value(u32),
+    /// Jump to a symbol's address.
+    SymAddr(String),
+}
+
+/// An instruction after pseudo-expansion: architected shape, but with
+/// possibly symbolic immediates. One `MInstr` always occupies exactly one
+/// word, which is what makes two-pass label resolution straightforward.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MInstr {
+    /// R-type.
+    R {
+        /// Function code.
+        funct: Funct,
+        /// `rs` field.
+        rs: Reg,
+        /// `rt` field.
+        rt: Reg,
+        /// `rd` field.
+        rd: Reg,
+        /// Shift amount.
+        shamt: u8,
+    },
+    /// I-type with relocatable immediate.
+    I {
+        /// Opcode.
+        opcode: IOpcode,
+        /// `rs` field.
+        rs: Reg,
+        /// `rt` field.
+        rt: Reg,
+        /// Immediate, possibly symbolic.
+        imm: RelocImm,
+    },
+    /// J-type with relocatable target.
+    J {
+        /// Opcode.
+        opcode: JOpcode,
+        /// Target, possibly symbolic.
+        target: RelocTarget,
+    },
+}

@@ -1,0 +1,52 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// An error produced while assembling, annotated with the 1-based source
+/// line it occurred on (0 for whole-program errors such as duplicate
+/// labels discovered at the end).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line, or 0 when not attributable to a single line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Construct an error attributed to `line`.
+    pub fn at(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// Construct a whole-program error.
+    pub fn global(message: impl Into<String>) -> AsmError {
+        AsmError { line: 0, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(AsmError::at(7, "bad register").to_string(), "line 7: bad register");
+        assert_eq!(
+            AsmError::global("duplicate label `x`").to_string(),
+            "assembly error: duplicate label `x`"
+        );
+    }
+}

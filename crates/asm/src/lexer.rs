@@ -1,0 +1,379 @@
+//! Line-oriented lexer.
+//!
+//! Assembly is a line language: the lexer produces one token stream per
+//! source line (comments stripped), and the parser consumes lines
+//! independently. This keeps error reporting precise and the grammar
+//! trivially LL(1).
+
+use crate::error::AsmError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: mnemonic, label name, or symbol reference.
+    Ident(String),
+    /// Directive, e.g. `.word` (the dot is consumed).
+    Directive(String),
+    /// Register, e.g. `$t0` or `$8` (kept textual; parsing to
+    /// [`cimon_isa::Reg`] happens in the parser where errors carry
+    /// context).
+    Register(String),
+    /// Integer literal (decimal, `0x…`, `0b…`, or `'c'`), with optional
+    /// leading minus.
+    Int(i64),
+    /// String literal (escapes `\n \t \0 \\ \"` processed).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+` between a symbol and an offset.
+    Plus,
+}
+
+/// One source line of tokens, tagged with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number in the source text.
+    pub number: usize,
+    /// Tokens on the line, comments removed. Never empty — blank lines
+    /// are dropped by [`lex`].
+    pub tokens: Vec<Token>,
+}
+
+/// Tokenise a whole source text into non-empty lines.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let number = idx + 1;
+        let tokens = lex_line(raw, number)?;
+        if !tokens.is_empty() {
+            lines.push(Line { number, tokens });
+        }
+    }
+    Ok(lines)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+fn lex_line(raw: &str, number: usize) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let mut chars = raw.char_indices().peekable();
+
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            '#' | ';' => break,
+            '/' => {
+                // `//` comment; a lone `/` is an error.
+                let rest = &raw[pos..];
+                if rest.starts_with("//") {
+                    break;
+                }
+                return Err(AsmError::at(number, "unexpected `/`"));
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token::Colon);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            '$' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(AsmError::at(number, "`$` must be followed by a register name"));
+                }
+                tokens.push(Token::Register(format!("${name}")));
+            }
+            '.' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(AsmError::at(number, "`.` must be followed by a directive name"));
+                }
+                tokens.push(Token::Directive(name));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .ok_or_else(|| {
+                                    AsmError::at(number, "unterminated escape in string")
+                                })?
+                                .1;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '0' => '\0',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(AsmError::at(
+                                        number,
+                                        format!("unknown escape `\\{other}`"),
+                                    ));
+                                }
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(AsmError::at(number, "unterminated string literal"));
+                }
+                tokens.push(Token::Str(s));
+            }
+            '\'' => {
+                chars.next();
+                let c1 = chars
+                    .next()
+                    .ok_or_else(|| AsmError::at(number, "unterminated char literal"))?
+                    .1;
+                let value = if c1 == '\\' {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| AsmError::at(number, "unterminated char literal"))?
+                        .1;
+                    match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        '0' => '\0',
+                        '\\' => '\\',
+                        '\'' => '\'',
+                        other => {
+                            return Err(AsmError::at(number, format!("unknown escape `\\{other}`")));
+                        }
+                    }
+                } else {
+                    c1
+                };
+                match chars.next() {
+                    Some((_, '\'')) => {}
+                    _ => return Err(AsmError::at(number, "unterminated char literal")),
+                }
+                tokens.push(Token::Int(value as i64));
+            }
+            '-' | '0'..='9' => {
+                tokens.push(lex_number(raw, &mut chars, number)?);
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            other => {
+                return Err(AsmError::at(number, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_number(
+    raw: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    number: usize,
+) -> Result<Token, AsmError> {
+    let mut negative = false;
+    if let Some(&(_, '-')) = chars.peek() {
+        negative = true;
+        chars.next();
+    }
+    let start = match chars.peek() {
+        Some(&(pos, c)) if c.is_ascii_digit() => pos,
+        _ => return Err(AsmError::at(number, "`-` must be followed by a number")),
+    };
+    let mut end = start;
+    while let Some(&(pos, c)) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            end = pos + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    let body = raw[start..end].replace('_', "");
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| AsmError::at(number, format!("invalid number `{body}`")))?;
+
+    if magnitude > u32::MAX as u64 {
+        return Err(AsmError::at(number, format!("number `{body}` exceeds 32 bits")));
+    }
+    let value = magnitude as i64;
+    Ok(Token::Int(if negative { -value } else { value }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1);
+        lines.into_iter().next().unwrap().tokens
+    }
+
+    #[test]
+    fn blank_and_comment_lines_dropped() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n# whole line\n  // another\n ; third\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn instruction_line() {
+        assert_eq!(
+            toks("addu $t1, $t1, $t0 # accumulate"),
+            vec![
+                Token::Ident("addu".into()),
+                Token::Register("$t1".into()),
+                Token::Comma,
+                Token::Register("$t1".into()),
+                Token::Comma,
+                Token::Register("$t0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn label_and_memory_operand() {
+        assert_eq!(
+            toks("loop: lw $t0, -8($sp)"),
+            vec![
+                Token::Ident("loop".into()),
+                Token::Colon,
+                Token::Ident("lw".into()),
+                Token::Register("$t0".into()),
+                Token::Comma,
+                Token::Int(-8),
+                Token::LParen,
+                Token::Register("$sp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_all_bases() {
+        assert_eq!(toks("li $t0, 0x1F"), toks("li $t0, 31"));
+        assert_eq!(toks("li $t0, 0b101"), toks("li $t0, 5"));
+        assert_eq!(toks(".word 1_000"), vec![Token::Directive("word".into()), Token::Int(1000)]);
+        assert_eq!(toks("li $t0, 'A'"), toks("li $t0, 65"));
+        assert_eq!(toks("li $t0, '\\n'"), toks("li $t0, 10"));
+    }
+
+    #[test]
+    fn directives_and_strings() {
+        assert_eq!(
+            toks(".asciiz \"hi\\n\""),
+            vec![Token::Directive("asciiz".into()), Token::Str("hi\n".into())]
+        );
+    }
+
+    #[test]
+    fn symbol_plus_offset() {
+        assert_eq!(
+            toks(".word table+8"),
+            vec![
+                Token::Directive("word".into()),
+                Token::Ident("table".into()),
+                Token::Plus,
+                Token::Int(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_blank_lines() {
+        let lines = lex("\n\nadd $t0, $t1, $t2\n\nnop\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].number, 3);
+        assert_eq!(lines[1].number, 5);
+    }
+
+    #[test]
+    fn errors_are_attributed() {
+        let err = lex("good:\n   @bad\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("li $t0, 0xZZ").is_err());
+        assert!(lex("li $t0, 99999999999").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$ ").is_err());
+        assert!(lex("li $t0, -").is_err());
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn register_by_number() {
+        assert_eq!(toks("jr $31"), vec![Token::Ident("jr".into()), Token::Register("$31".into())]);
+    }
+}

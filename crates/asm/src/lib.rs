@@ -1,0 +1,51 @@
+//! # cimon-asm — two-pass macro assembler
+//!
+//! Translates assembly text for the `cimon` ISA into loadable
+//! [`ProgramImage`]s. The workloads that stand in for the paper's MiBench
+//! suite are written in this language.
+//!
+//! ## Language
+//!
+//! * **Comments**: `#`, `//`, or `;` to end of line.
+//! * **Labels**: `name:` — addressable in `.text` and `.data`.
+//! * **Directives**: `.text`, `.data`, `.word`, `.half`, `.byte`,
+//!   `.ascii`, `.asciiz`, `.space`, `.align`, `.globl`.
+//! * **Instructions**: every architected mnemonic plus pseudo-instructions
+//!   (`li`, `la`, `move`, `nop`, `b`, `beqz`, `bnez`, `blt`, `bge`,
+//!   `bgt`, `ble`, `bltu`, `bgeu`, `bgtu`, `bleu`, `neg`, `not`, `mul`,
+//!   three-operand `div`/`rem`, `sgt`) that expand to architected
+//!   sequences using the conventional `$at` scratch register.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     .text
+//! main:
+//!     li   $t0, 10
+//!     li   $t1, 0
+//! loop:
+//!     addu $t1, $t1, $t0
+//!     addiu $t0, $t0, -1
+//!     bnez $t0, loop
+//!     li   $v0, 10        # exit
+//!     syscall
+//! "#;
+//! let prog = cimon_asm::assemble(src)?;
+//! assert_eq!(prog.image.entry, cimon_mem::image::TEXT_BASE);
+//! # Ok::<(), cimon_asm::AsmError>(())
+//! ```
+
+pub mod assembler;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pseudo;
+pub mod symtab;
+
+pub use assembler::{assemble, Program};
+pub use error::AsmError;
+pub use symtab::SymbolTable;
+
+pub use cimon_mem::ProgramImage;

@@ -1,0 +1,199 @@
+//! Statement parser: token lines → [`Stmt`]s.
+
+use crate::ast::{Operand, Stmt};
+use crate::error::AsmError;
+use crate::lexer::{Line, Token};
+use cimon_isa::Reg;
+
+/// Parse every line of a lexed program.
+///
+/// Returns `(line_number, stmt)` pairs; a single source line can carry
+/// several statements (labels followed by an instruction).
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+pub fn parse(lines: &[Line]) -> Result<Vec<(usize, Stmt)>, AsmError> {
+    let mut stmts = Vec::new();
+    for line in lines {
+        parse_line(line, &mut stmts)?;
+    }
+    Ok(stmts)
+}
+
+fn parse_line(line: &Line, out: &mut Vec<(usize, Stmt)>) -> Result<(), AsmError> {
+    let n = line.number;
+    let mut toks = line.tokens.as_slice();
+
+    // Leading labels: `name:` possibly repeated.
+    while let [Token::Ident(name), Token::Colon, rest @ ..] = toks {
+        out.push((n, Stmt::Label(name.clone())));
+        toks = rest;
+    }
+    if toks.is_empty() {
+        return Ok(());
+    }
+
+    match &toks[0] {
+        Token::Directive(name) => {
+            let args = parse_operands(&toks[1..], n)?;
+            out.push((n, Stmt::Directive { name: name.clone(), args }));
+            Ok(())
+        }
+        Token::Ident(mnemonic) => {
+            let args = parse_operands(&toks[1..], n)?;
+            out.push((n, Stmt::Instruction { mnemonic: mnemonic.to_lowercase(), args }));
+            Ok(())
+        }
+        other => Err(AsmError::at(n, format!("expected instruction or directive, found {other:?}"))),
+    }
+}
+
+fn parse_reg(text: &str, n: usize) -> Result<Reg, AsmError> {
+    text.parse::<Reg>().map_err(|e| AsmError::at(n, e.to_string()))
+}
+
+/// Parse a comma-separated operand list.
+fn parse_operands(mut toks: &[Token], n: usize) -> Result<Vec<Operand>, AsmError> {
+    let mut out = Vec::new();
+    if toks.is_empty() {
+        return Ok(out);
+    }
+    loop {
+        let (op, rest) = parse_operand(toks, n)?;
+        out.push(op);
+        toks = rest;
+        match toks {
+            [] => return Ok(out),
+            [Token::Comma, rest @ ..] => {
+                toks = rest;
+                if toks.is_empty() {
+                    return Err(AsmError::at(n, "trailing comma"));
+                }
+            }
+            [tok, ..] => {
+                return Err(AsmError::at(n, format!("expected `,` between operands, found {tok:?}")));
+            }
+        }
+    }
+}
+
+fn parse_operand<'t>(toks: &'t [Token], n: usize) -> Result<(Operand, &'t [Token]), AsmError> {
+    match toks {
+        // offset(base)
+        [Token::Int(off), Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => {
+            Ok((Operand::Mem { offset: *off, base: parse_reg(r, n)? }, rest))
+        }
+        // (base) with implicit zero offset
+        [Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => {
+            Ok((Operand::Mem { offset: 0, base: parse_reg(r, n)? }, rest))
+        }
+        [Token::Register(r), rest @ ..] => Ok((Operand::Reg(parse_reg(r, n)?), rest)),
+        [Token::Int(v), rest @ ..] => Ok((Operand::Imm(*v), rest)),
+        [Token::Ident(name), Token::Plus, Token::Int(off), rest @ ..] => {
+            Ok((Operand::Sym { name: name.clone(), offset: *off }, rest))
+        }
+        [Token::Ident(name), rest @ ..] => {
+            Ok((Operand::Sym { name: name.clone(), offset: 0 }, rest))
+        }
+        [Token::Str(s), rest @ ..] => Ok((Operand::Str(s.clone()), rest)),
+        [tok, ..] => Err(AsmError::at(n, format!("unexpected token {tok:?} in operand"))),
+        [] => Err(AsmError::at(n, "missing operand")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn stmts(src: &str) -> Vec<Stmt> {
+        parse(&lex(src).unwrap()).unwrap().into_iter().map(|(_, s)| s).collect()
+    }
+
+    #[test]
+    fn labels_then_instruction() {
+        assert_eq!(
+            stmts("a: b: nop"),
+            vec![
+                Stmt::Label("a".into()),
+                Stmt::Label("b".into()),
+                Stmt::Instruction { mnemonic: "nop".into(), args: vec![] },
+            ]
+        );
+    }
+
+    #[test]
+    fn three_reg_instruction() {
+        assert_eq!(
+            stmts("ADDU $t0, $t1, $t2"),
+            vec![Stmt::Instruction {
+                mnemonic: "addu".into(),
+                args: vec![
+                    Operand::Reg(Reg::T0),
+                    Operand::Reg(Reg::T1),
+                    Operand::Reg(Reg::T2)
+                ],
+            }]
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        assert_eq!(
+            stmts("lw $t0, -4($sp)"),
+            vec![Stmt::Instruction {
+                mnemonic: "lw".into(),
+                args: vec![Operand::Reg(Reg::T0), Operand::Mem { offset: -4, base: Reg::SP }],
+            }]
+        );
+        assert_eq!(
+            stmts("lw $t0, ($sp)"),
+            vec![Stmt::Instruction {
+                mnemonic: "lw".into(),
+                args: vec![Operand::Reg(Reg::T0), Operand::Mem { offset: 0, base: Reg::SP }],
+            }]
+        );
+    }
+
+    #[test]
+    fn symbols_with_offsets() {
+        assert_eq!(
+            stmts("la $a0, table+12"),
+            vec![Stmt::Instruction {
+                mnemonic: "la".into(),
+                args: vec![
+                    Operand::Reg(Reg::A0),
+                    Operand::Sym { name: "table".into(), offset: 12 }
+                ],
+            }]
+        );
+    }
+
+    #[test]
+    fn directives() {
+        assert_eq!(
+            stmts(".word 1, 2, sym"),
+            vec![Stmt::Directive {
+                name: "word".into(),
+                args: vec![
+                    Operand::Imm(1),
+                    Operand::Imm(2),
+                    Operand::Sym { name: "sym".into(), offset: 0 }
+                ],
+            }]
+        );
+        assert_eq!(
+            stmts(".asciiz \"ok\""),
+            vec![Stmt::Directive { name: "asciiz".into(), args: vec![Operand::Str("ok".into())] }]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&lex("add $t0 $t1").unwrap()).is_err()); // missing comma
+        assert!(parse(&lex("add $t0,").unwrap()).is_err()); // trailing comma
+        assert!(parse(&lex(": nop").unwrap()).is_err()); // stray colon
+        assert!(parse(&lex("lw $t0, 4($zz)").unwrap()).is_err()); // bad register
+    }
+}

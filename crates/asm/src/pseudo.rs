@@ -1,0 +1,642 @@
+//! Pseudo-instruction expansion.
+//!
+//! Converts parsed [`crate::ast::Stmt::Instruction`]s into one or more architected
+//! [`MInstr`]s. Expansion happens in pass 1 and every `MInstr` is exactly
+//! one word, so label addresses are fixed before relocation.
+//!
+//! Multi-instruction pseudos use `$at`, the conventional assembler
+//! scratch register; workloads must not use `$at` across a pseudo.
+
+use crate::ast::{MInstr, Operand, RelocImm, RelocTarget};
+use crate::error::AsmError;
+use cimon_isa::{Funct, IOpcode, JOpcode, Reg};
+
+/// Expand one instruction statement into architected instructions.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unknown mnemonics, wrong operand counts or
+/// kinds, and out-of-range immediates.
+pub fn expand(mnemonic: &str, args: &[Operand], line: usize) -> Result<Vec<MInstr>, AsmError> {
+    let x = Expander { line };
+    x.expand(mnemonic, args)
+}
+
+struct Expander {
+    line: usize,
+}
+
+impl Expander {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::at(self.line, msg.into())
+    }
+
+    fn reg(&self, op: &Operand) -> Result<Reg, AsmError> {
+        match op {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(self.err(format!("expected register, found {other:?}"))),
+        }
+    }
+
+    fn imm(&self, op: &Operand) -> Result<i64, AsmError> {
+        match op {
+            Operand::Imm(v) => Ok(*v),
+            other => Err(self.err(format!("expected immediate, found {other:?}"))),
+        }
+    }
+
+    /// Signed 16-bit immediate field.
+    fn simm16(&self, v: i64) -> Result<u16, AsmError> {
+        if (-(1 << 15)..(1 << 15)).contains(&v) {
+            Ok(v as i16 as u16)
+        } else {
+            Err(self.err(format!("immediate {v} does not fit in signed 16 bits")))
+        }
+    }
+
+    /// Zero-extended 16-bit immediate field (logical ops).
+    fn uimm16(&self, v: i64) -> Result<u16, AsmError> {
+        if (0..(1 << 16)).contains(&v) {
+            Ok(v as u16)
+        } else {
+            Err(self.err(format!("immediate {v} does not fit in unsigned 16 bits")))
+        }
+    }
+
+    /// A branch-target operand: a symbol, or a literal word displacement.
+    fn branch_imm(&self, op: &Operand) -> Result<RelocImm, AsmError> {
+        match op {
+            Operand::Sym { name, offset: 0 } => Ok(RelocImm::BranchTo(name.clone())),
+            Operand::Sym { .. } => Err(self.err("branch targets cannot carry `+offset`")),
+            Operand::Imm(v) => Ok(RelocImm::Value(self.simm16(*v)?)),
+            other => Err(self.err(format!("expected branch target, found {other:?}"))),
+        }
+    }
+
+    fn r3(&self, funct: Funct, rd: Reg, rs: Reg, rt: Reg) -> MInstr {
+        MInstr::R { funct, rs, rt, rd, shamt: 0 }
+    }
+
+    fn expand(&self, mnemonic: &str, args: &[Operand]) -> Result<Vec<MInstr>, AsmError> {
+        // Fixed-arity helpers.
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(self.err(format!(
+                    "`{mnemonic}` expects {n} operand(s), found {}",
+                    args.len()
+                )))
+            }
+        };
+
+        match mnemonic {
+            // ---- architected R-type, 3 registers ----
+            "add" | "addu" | "sub" | "subu" | "and" | "or" | "xor" | "nor" | "slt" | "sltu"
+            | "sllv" | "srlv" | "srav" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let funct = match mnemonic {
+                    "add" => Funct::Add,
+                    "addu" => Funct::Addu,
+                    "sub" => Funct::Sub,
+                    "subu" => Funct::Subu,
+                    "and" => Funct::And,
+                    "or" => Funct::Or,
+                    "xor" => Funct::Xor,
+                    "nor" => Funct::Nor,
+                    "slt" => Funct::Slt,
+                    "sltu" => Funct::Sltu,
+                    "sllv" => Funct::Sllv,
+                    "srlv" => Funct::Srlv,
+                    _ => Funct::Srav,
+                };
+                if matches!(funct, Funct::Sllv | Funct::Srlv | Funct::Srav) {
+                    // `sllv rd, rt, rs`: shift amount comes from rs (3rd operand).
+                    let rt = self.reg(&args[1])?;
+                    let rs = self.reg(&args[2])?;
+                    Ok(vec![self.r3(funct, rd, rs, rt)])
+                } else {
+                    let rs = self.reg(&args[1])?;
+                    let rt = self.reg(&args[2])?;
+                    Ok(vec![self.r3(funct, rd, rs, rt)])
+                }
+            }
+            // ---- shifts by immediate ----
+            "sll" | "srl" | "sra" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let rt = self.reg(&args[1])?;
+                let sh = self.imm(&args[2])?;
+                if !(0..32).contains(&sh) {
+                    return Err(self.err(format!("shift amount {sh} out of range 0..32")));
+                }
+                let funct = match mnemonic {
+                    "sll" => Funct::Sll,
+                    "srl" => Funct::Srl,
+                    _ => Funct::Sra,
+                };
+                Ok(vec![MInstr::R { funct, rs: Reg::ZERO, rt, rd, shamt: sh as u8 }])
+            }
+            // ---- multiply / divide (2-operand architected forms) ----
+            "mult" | "multu" => {
+                need(2)?;
+                let rs = self.reg(&args[0])?;
+                let rt = self.reg(&args[1])?;
+                let funct = if mnemonic == "mult" { Funct::Mult } else { Funct::Multu };
+                Ok(vec![self.r3(funct, Reg::ZERO, rs, rt)])
+            }
+            "div" | "divu" if args.len() == 2 => {
+                let rs = self.reg(&args[0])?;
+                let rt = self.reg(&args[1])?;
+                let funct = if mnemonic == "div" { Funct::Div } else { Funct::Divu };
+                Ok(vec![self.r3(funct, Reg::ZERO, rs, rt)])
+            }
+            // ---- 3-operand mul/div/rem pseudos ----
+            "mul" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let rt = self.reg(&args[2])?;
+                Ok(vec![
+                    self.r3(Funct::Mult, Reg::ZERO, rs, rt),
+                    MInstr::R { funct: Funct::Mflo, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                ])
+            }
+            "div" | "divu" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let rt = self.reg(&args[2])?;
+                let funct = if mnemonic == "div" { Funct::Div } else { Funct::Divu };
+                Ok(vec![
+                    self.r3(funct, Reg::ZERO, rs, rt),
+                    MInstr::R { funct: Funct::Mflo, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                ])
+            }
+            "rem" | "remu" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let rt = self.reg(&args[2])?;
+                let funct = if mnemonic == "rem" { Funct::Div } else { Funct::Divu };
+                Ok(vec![
+                    self.r3(funct, Reg::ZERO, rs, rt),
+                    MInstr::R { funct: Funct::Mfhi, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                ])
+            }
+            "mfhi" | "mflo" => {
+                need(1)?;
+                let rd = self.reg(&args[0])?;
+                let funct = if mnemonic == "mfhi" { Funct::Mfhi } else { Funct::Mflo };
+                Ok(vec![MInstr::R { funct, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 }])
+            }
+            "mthi" | "mtlo" => {
+                need(1)?;
+                let rs = self.reg(&args[0])?;
+                let funct = if mnemonic == "mthi" { Funct::Mthi } else { Funct::Mtlo };
+                Ok(vec![MInstr::R { funct, rs, rt: Reg::ZERO, rd: Reg::ZERO, shamt: 0 }])
+            }
+            // ---- jumps ----
+            "jr" => {
+                need(1)?;
+                let rs = self.reg(&args[0])?;
+                Ok(vec![MInstr::R {
+                    funct: Funct::Jr,
+                    rs,
+                    rt: Reg::ZERO,
+                    rd: Reg::ZERO,
+                    shamt: 0,
+                }])
+            }
+            "jalr" => {
+                // `jalr rs` (link in $ra) or `jalr rd, rs`.
+                let (rd, rs) = match args.len() {
+                    1 => (Reg::RA, self.reg(&args[0])?),
+                    2 => (self.reg(&args[0])?, self.reg(&args[1])?),
+                    n => return Err(self.err(format!("`jalr` expects 1 or 2 operands, found {n}"))),
+                };
+                Ok(vec![MInstr::R { funct: Funct::Jalr, rs, rt: Reg::ZERO, rd, shamt: 0 }])
+            }
+            "j" | "jal" => {
+                need(1)?;
+                let opcode = if mnemonic == "j" { JOpcode::J } else { JOpcode::Jal };
+                let target = match &args[0] {
+                    Operand::Sym { name, offset: 0 } => RelocTarget::SymAddr(name.clone()),
+                    Operand::Sym { .. } => {
+                        return Err(self.err("jump targets cannot carry `+offset`"));
+                    }
+                    Operand::Imm(v) => {
+                        let v = *v;
+                        if v < 0 || v % 4 != 0 || (v >> 2) >= (1 << 26) {
+                            return Err(self.err(format!("invalid jump target {v:#x}")));
+                        }
+                        RelocTarget::Value((v >> 2) as u32)
+                    }
+                    other => return Err(self.err(format!("expected jump target, found {other:?}"))),
+                };
+                Ok(vec![MInstr::J { opcode, target }])
+            }
+            "syscall" => {
+                need(0)?;
+                Ok(vec![MInstr::R {
+                    funct: Funct::Syscall,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    rd: Reg::ZERO,
+                    shamt: 0,
+                }])
+            }
+            "break" => {
+                need(0)?;
+                Ok(vec![MInstr::R {
+                    funct: Funct::Break,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    rd: Reg::ZERO,
+                    shamt: 0,
+                }])
+            }
+            // ---- architected I-type ALU ----
+            "addi" | "addiu" | "slti" | "sltiu" => {
+                need(3)?;
+                let rt = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let imm = RelocImm::Value(self.simm16(self.imm(&args[2])?)?);
+                let opcode = match mnemonic {
+                    "addi" => IOpcode::Addi,
+                    "addiu" => IOpcode::Addiu,
+                    "slti" => IOpcode::Slti,
+                    _ => IOpcode::Sltiu,
+                };
+                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+            }
+            "andi" | "ori" | "xori" => {
+                need(3)?;
+                let rt = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let imm = RelocImm::Value(self.uimm16(self.imm(&args[2])?)?);
+                let opcode = match mnemonic {
+                    "andi" => IOpcode::Andi,
+                    "ori" => IOpcode::Ori,
+                    _ => IOpcode::Xori,
+                };
+                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+            }
+            "lui" => {
+                need(2)?;
+                let rt = self.reg(&args[0])?;
+                let imm = RelocImm::Value(self.uimm16(self.imm(&args[1])?)?);
+                Ok(vec![MInstr::I { opcode: IOpcode::Lui, rs: Reg::ZERO, rt, imm }])
+            }
+            // ---- loads & stores ----
+            "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
+                need(2)?;
+                let rt = self.reg(&args[0])?;
+                let (offset, base) = match &args[1] {
+                    Operand::Mem { offset, base } => (*offset, *base),
+                    other => {
+                        return Err(self.err(format!(
+                            "expected memory operand `offset(base)`, found {other:?}"
+                        )));
+                    }
+                };
+                let opcode = match mnemonic {
+                    "lb" => IOpcode::Lb,
+                    "lh" => IOpcode::Lh,
+                    "lw" => IOpcode::Lw,
+                    "lbu" => IOpcode::Lbu,
+                    "lhu" => IOpcode::Lhu,
+                    "sb" => IOpcode::Sb,
+                    "sh" => IOpcode::Sh,
+                    _ => IOpcode::Sw,
+                };
+                let imm = RelocImm::Value(self.simm16(offset)?);
+                Ok(vec![MInstr::I { opcode, rs: base, rt, imm }])
+            }
+            // ---- architected branches ----
+            "beq" | "bne" => {
+                need(3)?;
+                let rs = self.reg(&args[0])?;
+                let rt = self.reg(&args[1])?;
+                let imm = self.branch_imm(&args[2])?;
+                let opcode = if mnemonic == "beq" { IOpcode::Beq } else { IOpcode::Bne };
+                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" => {
+                need(2)?;
+                let rs = self.reg(&args[0])?;
+                let imm = self.branch_imm(&args[1])?;
+                let opcode = match mnemonic {
+                    "blez" => IOpcode::Blez,
+                    "bgtz" => IOpcode::Bgtz,
+                    "bltz" => IOpcode::Bltz,
+                    _ => IOpcode::Bgez,
+                };
+                Ok(vec![MInstr::I { opcode, rs, rt: Reg::ZERO, imm }])
+            }
+            // ---- pseudos ----
+            "nop" => {
+                need(0)?;
+                Ok(vec![MInstr::R {
+                    funct: Funct::Sll,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    rd: Reg::ZERO,
+                    shamt: 0,
+                }])
+            }
+            "move" => {
+                need(2)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                Ok(vec![self.r3(Funct::Addu, rd, rs, Reg::ZERO)])
+            }
+            "neg" => {
+                need(2)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                Ok(vec![self.r3(Funct::Subu, rd, Reg::ZERO, rs)])
+            }
+            "not" => {
+                need(2)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                Ok(vec![self.r3(Funct::Nor, rd, rs, Reg::ZERO)])
+            }
+            "sgt" => {
+                need(3)?;
+                let rd = self.reg(&args[0])?;
+                let rs = self.reg(&args[1])?;
+                let rt = self.reg(&args[2])?;
+                Ok(vec![self.r3(Funct::Slt, rd, rt, rs)])
+            }
+            "li" => {
+                need(2)?;
+                let rt = self.reg(&args[0])?;
+                let v = self.imm(&args[1])?;
+                self.expand_li(rt, v)
+            }
+            "la" => {
+                need(2)?;
+                let rt = self.reg(&args[0])?;
+                match &args[1] {
+                    Operand::Sym { name, offset } => Ok(vec![
+                        MInstr::I {
+                            opcode: IOpcode::Lui,
+                            rs: Reg::ZERO,
+                            rt,
+                            imm: RelocImm::HiOf(name.clone(), *offset),
+                        },
+                        MInstr::I {
+                            opcode: IOpcode::Ori,
+                            rs: rt,
+                            rt,
+                            imm: RelocImm::LoOf(name.clone(), *offset),
+                        },
+                    ]),
+                    Operand::Imm(v) => self.expand_li(rt, *v),
+                    other => Err(self.err(format!("expected address, found {other:?}"))),
+                }
+            }
+            "b" => {
+                need(1)?;
+                let imm = self.branch_imm(&args[0])?;
+                Ok(vec![MInstr::I { opcode: IOpcode::Beq, rs: Reg::ZERO, rt: Reg::ZERO, imm }])
+            }
+            "beqz" | "bnez" => {
+                need(2)?;
+                let rs = self.reg(&args[0])?;
+                let imm = self.branch_imm(&args[1])?;
+                let opcode = if mnemonic == "beqz" { IOpcode::Beq } else { IOpcode::Bne };
+                Ok(vec![MInstr::I { opcode, rs, rt: Reg::ZERO, imm }])
+            }
+            "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" | "bgtu" | "bleu" => {
+                need(3)?;
+                let rs = self.reg(&args[0])?;
+                let rt = self.reg(&args[1])?;
+                let imm = self.branch_imm(&args[2])?;
+                let unsigned = mnemonic.ends_with('u');
+                let slt = if unsigned { Funct::Sltu } else { Funct::Slt };
+                let base = mnemonic.trim_end_matches('u');
+                // blt: slt $at, rs, rt ; bne $at  — bge: same slt ; beq $at
+                // bgt: slt $at, rt, rs ; bne $at  — ble: same slt ; beq $at
+                let (a, b_reg, branch_on_set) = match base {
+                    "blt" => (rs, rt, true),
+                    "bge" => (rs, rt, false),
+                    "bgt" => (rt, rs, true),
+                    _ => (rt, rs, false), // ble
+                };
+                let cmp = self.r3(slt, Reg::AT, a, b_reg);
+                let opcode = if branch_on_set { IOpcode::Bne } else { IOpcode::Beq };
+                Ok(vec![cmp, MInstr::I { opcode, rs: Reg::AT, rt: Reg::ZERO, imm }])
+            }
+            other => Err(self.err(format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    fn expand_li(&self, rt: Reg, v: i64) -> Result<Vec<MInstr>, AsmError> {
+        if !((i32::MIN as i64)..=(u32::MAX as i64)).contains(&v) {
+            return Err(self.err(format!("immediate {v} does not fit in 32 bits")));
+        }
+        let bits = v as u32;
+        if (-(1 << 15)..(1 << 15)).contains(&v) {
+            Ok(vec![MInstr::I {
+                opcode: IOpcode::Addiu,
+                rs: Reg::ZERO,
+                rt,
+                imm: RelocImm::Value(bits as u16),
+            }])
+        } else if (0..(1 << 16)).contains(&v) {
+            Ok(vec![MInstr::I {
+                opcode: IOpcode::Ori,
+                rs: Reg::ZERO,
+                rt,
+                imm: RelocImm::Value(bits as u16),
+            }])
+        } else {
+            let hi = (bits >> 16) as u16;
+            let lo = (bits & 0xffff) as u16;
+            let mut out = vec![MInstr::I {
+                opcode: IOpcode::Lui,
+                rs: Reg::ZERO,
+                rt,
+                imm: RelocImm::Value(hi),
+            }];
+            if lo != 0 {
+                out.push(MInstr::I {
+                    opcode: IOpcode::Ori,
+                    rs: rt,
+                    rt,
+                    imm: RelocImm::Value(lo),
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(m: &str, args: &[Operand]) -> Vec<MInstr> {
+        expand(m, args, 1).unwrap()
+    }
+
+    #[test]
+    fn li_small_positive() {
+        let out = exp("li", &[Operand::Reg(Reg::T0), Operand::Imm(42)]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            MInstr::I { opcode: IOpcode::Addiu, imm: RelocImm::Value(42), .. }
+        ));
+    }
+
+    #[test]
+    fn li_negative() {
+        let out = exp("li", &[Operand::Reg(Reg::T0), Operand::Imm(-1)]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            MInstr::I { opcode: IOpcode::Addiu, imm: RelocImm::Value(0xffff), .. }
+        ));
+    }
+
+    #[test]
+    fn li_unsigned_16bit_uses_ori() {
+        let out = exp("li", &[Operand::Reg(Reg::T0), Operand::Imm(0xabcd)]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            MInstr::I { opcode: IOpcode::Ori, imm: RelocImm::Value(0xabcd), .. }
+        ));
+    }
+
+    #[test]
+    fn li_large_uses_lui_ori() {
+        let out = exp("li", &[Operand::Reg(Reg::T0), Operand::Imm(0x1234_5678)]);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            &out[0],
+            MInstr::I { opcode: IOpcode::Lui, imm: RelocImm::Value(0x1234), .. }
+        ));
+        assert!(matches!(
+            &out[1],
+            MInstr::I { opcode: IOpcode::Ori, imm: RelocImm::Value(0x5678), .. }
+        ));
+    }
+
+    #[test]
+    fn li_round_value_skips_ori() {
+        let out = exp("li", &[Operand::Reg(Reg::T0), Operand::Imm(0x0012_0000)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn blt_expands_to_slt_bne() {
+        let out = exp(
+            "blt",
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Sym { name: "l".into(), offset: 0 },
+            ],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            &out[0],
+            MInstr::R { funct: Funct::Slt, rs: Reg::T0, rt: Reg::T1, rd: Reg::AT, .. }
+        ));
+        assert!(matches!(
+            &out[1],
+            MInstr::I { opcode: IOpcode::Bne, rs: Reg::AT, imm: RelocImm::BranchTo(_), .. }
+        ));
+    }
+
+    #[test]
+    fn bgtu_swaps_and_uses_sltu() {
+        let out = exp(
+            "bgtu",
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Sym { name: "l".into(), offset: 0 },
+            ],
+        );
+        assert!(matches!(
+            &out[0],
+            MInstr::R { funct: Funct::Sltu, rs: Reg::T1, rt: Reg::T0, rd: Reg::AT, .. }
+        ));
+    }
+
+    #[test]
+    fn mul_expands_to_mult_mflo() {
+        let out = exp(
+            "mul",
+            &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Reg(Reg::T2)],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], MInstr::R { funct: Funct::Mult, .. }));
+        assert!(matches!(&out[1], MInstr::R { funct: Funct::Mflo, rd: Reg::T0, .. }));
+    }
+
+    #[test]
+    fn div_two_vs_three_operands() {
+        let two = exp("div", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1)]);
+        assert_eq!(two.len(), 1);
+        let three = exp(
+            "div",
+            &[Operand::Reg(Reg::V0), Operand::Reg(Reg::T0), Operand::Reg(Reg::T1)],
+        );
+        assert_eq!(three.len(), 2);
+        assert!(matches!(&three[1], MInstr::R { funct: Funct::Mflo, rd: Reg::V0, .. }));
+    }
+
+    #[test]
+    fn sllv_operand_order() {
+        // sllv rd, rt, rs : value in rt shifted by rs
+        let out = exp(
+            "sllv",
+            &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Reg(Reg::T2)],
+        );
+        assert!(matches!(
+            &out[0],
+            MInstr::R { funct: Funct::Sllv, rd: Reg::T0, rt: Reg::T1, rs: Reg::T2, .. }
+        ));
+    }
+
+    #[test]
+    fn la_emits_hi_lo_relocs() {
+        let out = exp(
+            "la",
+            &[Operand::Reg(Reg::A0), Operand::Sym { name: "buf".into(), offset: 4 }],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], MInstr::I { imm: RelocImm::HiOf(n, 4), .. } if n == "buf"));
+        assert!(matches!(&out[1], MInstr::I { imm: RelocImm::LoOf(n, 4), .. } if n == "buf"));
+    }
+
+    #[test]
+    fn errors_for_bad_shapes() {
+        assert!(expand("add", &[Operand::Reg(Reg::T0)], 1).is_err());
+        assert!(expand("frobnicate", &[], 1).is_err());
+        assert!(expand("sll", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(40)], 1)
+            .is_err());
+        assert!(expand("addi", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(40000)], 1)
+            .is_err());
+        assert!(expand("andi", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(-1)], 1)
+            .is_err());
+        assert!(expand("j", &[Operand::Imm(3)], 1).is_err());
+        assert!(expand("li", &[Operand::Reg(Reg::T0), Operand::Imm(1i64 << 40)], 1).is_err());
+    }
+
+    #[test]
+    fn jalr_forms() {
+        let one = exp("jalr", &[Operand::Reg(Reg::T9)]);
+        assert!(matches!(&one[0], MInstr::R { funct: Funct::Jalr, rd: Reg::RA, rs: Reg::T9, .. }));
+        let two = exp("jalr", &[Operand::Reg(Reg::S0), Operand::Reg(Reg::T9)]);
+        assert!(matches!(&two[0], MInstr::R { funct: Funct::Jalr, rd: Reg::S0, rs: Reg::T9, .. }));
+    }
+}

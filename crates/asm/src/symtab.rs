@@ -1,0 +1,108 @@
+//! Symbol table: label → address bindings.
+
+use std::collections::BTreeMap;
+
+use crate::error::AsmError;
+
+/// Label-to-address bindings collected in pass 1.
+///
+/// Iteration order is address-independent (name-sorted) so listings are
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    map: BTreeMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Bind `name` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is already bound (duplicate label).
+    pub fn define(&mut self, name: &str, addr: u32, line: usize) -> Result<(), AsmError> {
+        if self.map.contains_key(name) {
+            return Err(AsmError::at(line, format!("duplicate label `{name}`")));
+        }
+        self.map.insert(name.to_string(), addr);
+        Ok(())
+    }
+
+    /// Look up a symbol's address.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Look up a symbol, producing a located error when undefined.
+    pub fn resolve(&self, name: &str, line: usize) -> Result<u32, AsmError> {
+        self.get(name)
+            .ok_or_else(|| AsmError::at(line, format!("undefined symbol `{name}`")))
+    }
+
+    /// All `(name, address)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Find the symbol bound exactly at `addr`, if any (first in name
+    /// order). Useful for trace annotation.
+    pub fn name_at(&self, addr: u32) -> Option<&str> {
+        self.map.iter().find(|(_, &a)| a == addr).map(|(k, _)| k.as_str())
+    }
+
+    /// Number of defined symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_resolve() {
+        let mut t = SymbolTable::new();
+        t.define("main", 0x40_0000, 1).unwrap();
+        assert_eq!(t.get("main"), Some(0x40_0000));
+        assert_eq!(t.resolve("main", 9).unwrap(), 0x40_0000);
+        assert_eq!(t.name_at(0x40_0000), Some("main"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut t = SymbolTable::new();
+        t.define("x", 0, 1).unwrap();
+        let err = t.define("x", 4, 5).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_reported_with_line() {
+        let t = SymbolTable::new();
+        let err = t.resolve("ghost", 12).unwrap_err();
+        assert_eq!(err.line, 12);
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn iteration_is_name_sorted() {
+        let mut t = SymbolTable::new();
+        t.define("zeta", 8, 1).unwrap();
+        t.define("alpha", 4, 2).unwrap();
+        let names: Vec<_> = t.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

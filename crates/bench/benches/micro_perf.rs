@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the monitor's hardware-model hot
+//! paths: HASHFU throughput per algorithm, IHT lookup latency across
+//! table sizes, and end-to-end simulator speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cimon_core::hash::hasher_for;
+use cimon_core::{BlockKey, BlockRecord, CicConfig, HashAlgoKind, Iht};
+use cimon_pipeline::{Processor, ProcessorConfig};
+use cimon_sim::SimConfig;
+
+fn bench_hash_units(c: &mut Criterion) {
+    let words: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let mut group = c.benchmark_group("hashfu");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    for kind in HashAlgoKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut unit = hasher_for(kind, 0x5eed);
+            b.iter(|| {
+                unit.reset();
+                for &w in &words {
+                    unit.update(w);
+                }
+                std::hint::black_box(unit.digest())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_iht_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iht_lookup");
+    for entries in [1usize, 8, 16, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut iht = Iht::new(entries);
+                for i in 0..entries as u32 {
+                    iht.insert_lru(BlockRecord {
+                        key: BlockKey::new(0x1000 + i * 0x40, 0x1010 + i * 0x40),
+                        hash: i,
+                    });
+                }
+                let keys: Vec<BlockKey> = (0..entries as u32)
+                    .map(|i| BlockKey::new(0x1000 + i * 0x40, 0x1010 + i * 0x40))
+                    .collect();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    std::hint::black_box(iht.lookup(k, (i % keys.len()) as u32))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = cimon_workloads::by_name("bitcount").expect("exists");
+    let prog = w.assemble();
+    let fht = cimon_sim::build_fht(&prog.image, &SimConfig::default()).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    group.bench_function("baseline_run", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+            std::hint::black_box(cpu.run())
+        });
+    });
+    group.bench_function("monitored_cic8_run", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(
+                &prog.image,
+                ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone()),
+            );
+            std::hint::black_box(cpu.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_units, bench_iht_lookup, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table 2**: minimum cycle time and cell area for the
+//! baseline and 1/8/16(/32)-entry checkers, from the calibrated
+//! gate-level model (see DESIGN.md substitution 3).
+
+fn main() {
+    let (areas, timings) = cimon_bench::table2();
+    println!("Table 2 — cycle time and area overheads");
+    println!(
+        "{:<26} {:>12} {:>10} {:>14} {:>10}",
+        "design", "period(ns)", "ovh(%)", "cell area", "ovh(%)"
+    );
+    cimon_bench::print_rule(78);
+    for (a, t) in areas.iter().zip(&timings) {
+        let name = if a.entries == 0 {
+            "Baseline".to_string()
+        } else {
+            format!("With a {}-entry table", a.entries)
+        };
+        println!(
+            "{:<26} {:>12.2} {:>10.1} {:>14.0} {:>10.1}",
+            name, t.period_ns, t.overhead_percent, a.cell_area, a.overhead_percent
+        );
+    }
+    println!("\nShape checks (paper: 2.7% / 16.5% / 28.8%; period unchanged): area grows");
+    println!("linearly in entries; every monitor path is shorter than the EX critical path.");
+    println!("(The paper's +-0.5% period wiggles are synthesis noise; the model is exact.)");
+}

@@ -1,0 +1,400 @@
+//! # cimon-bench — experiment drivers
+//!
+//! The functions here regenerate every table and figure of the paper's
+//! evaluation (Section 6) plus the ablations DESIGN.md commits to. Each
+//! `benches/*.rs` target is a thin printer over one driver, so the logic
+//! is unit-testable and the bench output is reproducible:
+//!
+//! | target | artifact |
+//! |--------|----------|
+//! | `fig6_miss_rate` | Figure 6 — IHT miss rate vs table size |
+//! | `table1_cycle_overhead` | Table 1 — cycle overhead CIC8/CIC16 |
+//! | `table2_area` | Table 2 — cycle time and cell area |
+//! | `fault_analysis` | Section 6.3 — detection coverage |
+//! | `block_census` | Section 6.1 — executed-block counts |
+//! | `ablation_replacement` | refill-policy ablation (paper future work) |
+//! | `ablation_hash` | hash-algorithm ablation (paper future work) |
+//! | `ablation_managed` | OS-managed vs application-managed scheme |
+//! | `micro_perf` | Criterion micro-benchmarks |
+
+use cimon_area::{AreaModel, AreaRow, TimingRow};
+use cimon_core::{CicConfig, HashAlgoKind};
+use cimon_faults::{Campaign, CampaignConfig, CampaignResult, FaultModel, FaultSite};
+use cimon_hashgen::{static_fht, trace_fht};
+use cimon_os::RefillPolicyKind;
+use cimon_sim::{
+    overhead_percent, run_baseline, run_monitored_with_fht, RunReport, SimConfig,
+};
+use cimon_workloads::Workload;
+
+/// Figure 6's table sizes.
+pub const FIG6_SIZES: [usize; 4] = [1, 8, 16, 32];
+
+/// One Figure-6 series: a workload's miss rate per table size.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Miss rate (%) for each entry of [`FIG6_SIZES`].
+    pub miss_rate: [f64; 4],
+}
+
+/// Reproduce Figure 6 over the full workload suite.
+pub fn fig6() -> Vec<Fig6Row> {
+    cimon_workloads::all()
+        .into_iter()
+        .map(|w| {
+            let prog = w.assemble();
+            let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
+                .expect("workload analyses")
+                .0;
+            let mut miss_rate = [0.0; 4];
+            for (i, &entries) in FIG6_SIZES.iter().enumerate() {
+                let rep = run_monitored_with_fht(
+                    &prog.image,
+                    fht.clone(),
+                    &SimConfig::with_entries(entries),
+                );
+                assert_clean(&w, &rep);
+                miss_rate[i] = rep.miss_rate_percent;
+            }
+            Fig6Row { workload: w.name, miss_rate }
+        })
+        .collect()
+}
+
+/// One Table-1 row: cycle counts and overheads.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Baseline cycles (no CIC).
+    pub base_cycles: u64,
+    /// Cycles with an 8-entry checker.
+    pub cic8_cycles: u64,
+    /// Cycles with a 16-entry checker.
+    pub cic16_cycles: u64,
+    /// Overhead (%) with 8 entries.
+    pub overhead8: f64,
+    /// Overhead (%) with 16 entries.
+    pub overhead16: f64,
+}
+
+/// Reproduce Table 1 (plus the average row the paper quotes in text).
+pub fn table1() -> (Vec<Table1Row>, f64, f64) {
+    let mut rows = Vec::new();
+    for w in cimon_workloads::all() {
+        let prog = w.assemble();
+        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
+            .expect("workload analyses")
+            .0;
+        let base = run_baseline(&prog.image);
+        let m8 =
+            run_monitored_with_fht(&prog.image, fht.clone(), &SimConfig::with_entries(8));
+        let m16 = run_monitored_with_fht(&prog.image, fht, &SimConfig::with_entries(16));
+        assert_clean(&w, &m8);
+        assert_clean(&w, &m16);
+        rows.push(Table1Row {
+            workload: w.name,
+            base_cycles: base.stats.cycles,
+            cic8_cycles: m8.stats.cycles,
+            cic16_cycles: m16.stats.cycles,
+            overhead8: overhead_percent(base.stats.cycles, m8.stats.cycles),
+            overhead16: overhead_percent(base.stats.cycles, m16.stats.cycles),
+        });
+    }
+    let avg8 = rows.iter().map(|r| r.overhead8).sum::<f64>() / rows.len() as f64;
+    let avg16 = rows.iter().map(|r| r.overhead16).sum::<f64>() / rows.len() as f64;
+    (rows, avg8, avg16)
+}
+
+/// Reproduce Table 2: (area rows, timing rows) for baseline + 1/8/16
+/// entries (and 32 as an extension point the paper mentions).
+pub fn table2() -> (Vec<AreaRow>, Vec<TimingRow>) {
+    let model = AreaModel::calibrated();
+    let sizes = [0usize, 1, 8, 16, 32];
+    let areas = sizes.iter().map(|&n| model.area_row(n, HashAlgoKind::Xor)).collect();
+    let timings = sizes.iter().map(|&n| model.timing_row(n, HashAlgoKind::Xor)).collect();
+    (areas, timings)
+}
+
+/// One fault-analysis row.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Hash algorithm under test.
+    pub algo: HashAlgoKind,
+    /// Fault model description.
+    pub model: &'static str,
+    /// Campaign counts.
+    pub result: CampaignResult,
+}
+
+/// Reproduce the Section 6.3 fault analysis on a workload.
+pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
+    let w = cimon_workloads::by_name(workload).expect("workload exists");
+    let prog = w.assemble();
+    let (lo, hi) = prog.image.text_range();
+    let targets: Vec<u32> = (lo..hi).step_by(4).collect();
+    let mut rows = Vec::new();
+    for algo in [
+        HashAlgoKind::Xor,
+        HashAlgoKind::SeededXor,
+        HashAlgoKind::Fletcher32,
+        HashAlgoKind::Crc32,
+    ] {
+        let fht = static_fht(&prog.image, &[], algo, 0x5eed).expect("analyses").0;
+        let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0x5eed };
+        let campaign = Campaign::new(prog.image.clone(), cic, fht);
+        for (name, model) in [
+            ("single-bit", FaultModel::SingleBit),
+            ("3-bit", FaultModel::MultiBit { n: 3 }),
+            ("column-pair", FaultModel::SameColumnPair),
+        ] {
+            let result = campaign.run(&CampaignConfig {
+                runs,
+                seed: 0xdecaf,
+                model,
+                site: FaultSite::StoredImage,
+                targets: targets.clone(),
+                max_cycles: 5_000_000,
+            });
+            rows.push(FaultRow { algo, model: name, result });
+        }
+    }
+    rows
+}
+
+/// One block-census row (Section 6.1's "stringsearch has 25 executed
+/// basic blocks, susan 93" observation).
+#[derive(Clone, Debug)]
+pub struct CensusRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Static text size in instructions.
+    pub text_instructions: usize,
+    /// Blocks enumerated by the static analyser.
+    pub static_blocks: usize,
+    /// Distinct dynamic blocks actually executed.
+    pub executed_blocks: usize,
+    /// Total block executions (checks performed).
+    pub block_executions: u64,
+    /// Dynamic instructions.
+    pub instructions: u64,
+}
+
+/// Reproduce the block census across the suite.
+pub fn block_census() -> Vec<CensusRow> {
+    cimon_workloads::all()
+        .into_iter()
+        .map(|w| {
+            let prog = w.assemble();
+            let (s, _) =
+                static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
+            let (t, _, executions) =
+                trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+            let base = run_baseline(&prog.image);
+            CensusRow {
+                workload: w.name,
+                text_instructions: prog.instr_count(),
+                static_blocks: s.len(),
+                executed_blocks: t.len(),
+                block_executions: executions,
+                instructions: base.stats.instructions,
+            }
+        })
+        .collect()
+}
+
+/// One replacement-ablation cell: misses for (policy, size).
+#[derive(Clone, Debug)]
+pub struct ReplacementRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Policy name.
+    pub policy: &'static str,
+    /// Misses per table size in [`FIG6_SIZES`].
+    pub misses: [u64; 4],
+}
+
+/// Ablation A1: refill policies × table sizes over three representative
+/// workloads.
+pub fn ablation_replacement() -> Vec<ReplacementRow> {
+    let mut rows = Vec::new();
+    for name in ["dijkstra", "rijndael", "stringsearch"] {
+        let w = cimon_workloads::by_name(name).expect("exists");
+        let prog = w.assemble();
+        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses").0;
+        for policy in RefillPolicyKind::all(17) {
+            let mut misses = [0u64; 4];
+            for (i, &entries) in FIG6_SIZES.iter().enumerate() {
+                let rep = run_monitored_with_fht(
+                    &prog.image,
+                    fht.clone(),
+                    &SimConfig { iht_entries: entries, policy, ..SimConfig::default() },
+                );
+                assert_clean(&w, &rep);
+                misses[i] = rep.stats.cic.expect("monitored").misses;
+            }
+            let policy_name = match policy {
+                RefillPolicyKind::ReplaceHalfLru => "replace-half-lru",
+                RefillPolicyKind::SingleLru => "single-lru",
+                RefillPolicyKind::Fifo => "fifo",
+                RefillPolicyKind::Random(_) => "random",
+            };
+            rows.push(ReplacementRow { workload: w.name, policy: policy_name, misses });
+        }
+    }
+    rows
+}
+
+/// One hash-ablation row: cost and coverage per algorithm.
+#[derive(Clone, Debug)]
+pub struct HashRow {
+    /// Algorithm.
+    pub algo: HashAlgoKind,
+    /// `HASHFU` area in cell units.
+    pub hashfu_area: f64,
+    /// Minimum period with this unit at 16 entries (ns).
+    pub period_ns: f64,
+    /// Silent corruptions under the adversarial column-pair model.
+    pub silent_column_pairs: usize,
+    /// Campaign size.
+    pub runs: usize,
+}
+
+/// Ablation A2: hash strength vs hardware cost.
+pub fn ablation_hash(runs: usize) -> Vec<HashRow> {
+    let w = cimon_workloads::by_name("sha").expect("exists");
+    let prog = w.assemble();
+    let (lo, hi) = prog.image.text_range();
+    let targets: Vec<u32> = (lo..hi).step_by(4).collect();
+    let model = AreaModel::calibrated();
+    HashAlgoKind::ALL
+        .into_iter()
+        .map(|algo| {
+            let fht = static_fht(&prog.image, &[], algo, 0x5eed).expect("analyses").0;
+            let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0x5eed };
+            let campaign = Campaign::new(prog.image.clone(), cic, fht);
+            let result = campaign.run(&CampaignConfig {
+                runs,
+                seed: 0xbeef,
+                model: FaultModel::SameColumnPair,
+                site: FaultSite::StoredImage,
+                targets: targets.clone(),
+                max_cycles: 5_000_000,
+            });
+            HashRow {
+                algo,
+                hashfu_area: cimon_area::hashfu_area(model.library(), algo),
+                period_ns: model.timing_row(16, algo).period_ns,
+                silent_column_pairs: result.silent,
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// One managed-scheme comparison row (ablation A3).
+#[derive(Clone, Debug)]
+pub struct ManagedRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Text size in bytes (original).
+    pub text_bytes: u64,
+    /// OS-managed: extra cycles (miss exceptions, CIC8).
+    pub os_managed_cycles: u64,
+    /// OS-managed: code growth (always zero — the point of the scheme).
+    pub os_code_growth_bytes: u64,
+    /// App-managed: extra cycles (hash loads on every block execution).
+    pub app_managed_cycles: u64,
+    /// App-managed: code growth in bytes.
+    pub app_code_growth_bytes: u64,
+    /// App-managed: code growth percent.
+    pub app_code_growth_percent: f64,
+}
+
+/// Ablation A3: the paper's Section 3.3 argument, quantified.
+pub fn ablation_managed() -> Vec<ManagedRow> {
+    cimon_workloads::all()
+        .into_iter()
+        .map(|w| {
+            let prog = w.assemble();
+            let (s, _) =
+                static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
+            let fht_len = s.len() as u64;
+            let base = run_baseline(&prog.image);
+            let m8 = run_monitored_with_fht(
+                &prog.image,
+                s,
+                &SimConfig::with_entries(8),
+            );
+            assert_clean(&w, &m8);
+            let (_, _, executions) =
+                trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+            let text_bytes = prog.image.text.bytes.len() as u64;
+            let app = cimon_os::appmanaged::price(fht_len, text_bytes, executions);
+            ManagedRow {
+                workload: w.name,
+                text_bytes,
+                os_managed_cycles: m8.stats.cycles - base.stats.cycles,
+                os_code_growth_bytes: 0,
+                app_managed_cycles: app.extra_cycles,
+                app_code_growth_bytes: app.code_growth_bytes,
+                app_code_growth_percent: app.code_growth_percent,
+            }
+        })
+        .collect()
+}
+
+fn assert_clean(w: &Workload, rep: &RunReport) {
+    assert!(
+        matches!(rep.outcome, cimon_pipeline::RunOutcome::Exited { code } if code == w.expected_exit),
+        "{} did not run clean: {:?}",
+        w.name,
+        rep.outcome
+    );
+    if let Some(cic) = rep.stats.cic {
+        assert_eq!(cic.mismatches, 0, "{} false positive", w.name);
+    }
+}
+
+/// Markdown-ish fixed-width table printer shared by the bench targets.
+pub fn print_rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The drivers run the full suite; keep test-scale smoke checks only.
+
+    #[test]
+    fn table2_shapes() {
+        let (areas, timings) = table2();
+        assert_eq!(areas.len(), 5);
+        assert_eq!(areas[0].overhead_percent, 0.0);
+        assert!(areas[2].overhead_percent > areas[1].overhead_percent);
+        assert!(timings.iter().all(|t| t.overhead_percent == 0.0));
+    }
+
+    #[test]
+    fn fault_analysis_smoke() {
+        let rows = fault_analysis("bitcount", 6);
+        assert_eq!(rows.len(), 4 * 3);
+        for r in &rows {
+            assert_eq!(r.result.total(), 6, "{:?}", r);
+            if r.model == "single-bit" {
+                assert_eq!(r.result.silent, 0, "{:?}", r);
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_hash_smoke() {
+        let rows = ablation_hash(4);
+        assert_eq!(rows.len(), HashAlgoKind::ALL.len());
+        // XOR is the cheapest unit; SHA-1 the largest.
+        assert!(rows[0].hashfu_area < rows.last().unwrap().hashfu_area);
+    }
+}

@@ -1,0 +1,121 @@
+//! Basic-block identity: the `(Addst, Addend, Hash)` tuples of the paper.
+//!
+//! A *dynamic* basic block is the run of instructions actually executed
+//! between two control-transfer points: it starts at a jump/branch target
+//! (or fall-through successor of a control-flow instruction) and ends at
+//! the next control-flow instruction, **inclusive**. Note that dynamic
+//! blocks need not coincide with compiler basic blocks: branching into
+//! the middle of a static block creates a shorter dynamic block with the
+//! same end address.
+
+use std::fmt;
+
+/// The pair of addresses delimiting a dynamic basic block: the key the
+/// IHT is associatively searched with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    /// Address of the first instruction (the paper's `Addst`, held in
+    /// `STA` at run time).
+    pub start: u32,
+    /// Address of the terminating control-flow instruction (the paper's
+    /// `Addend`, held in `PPC` at run time).
+    pub end: u32,
+}
+
+impl BlockKey {
+    /// Construct a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or either address is not word-aligned —
+    /// no well-formed block can have such a key.
+    pub fn new(start: u32, end: u32) -> BlockKey {
+        assert!(start % 4 == 0 && end % 4 == 0, "block addresses must be word-aligned");
+        assert!(end >= start, "block end {end:#x} precedes start {start:#x}");
+        BlockKey { start, end }
+    }
+
+    /// Number of instructions in the block (inclusive range).
+    pub fn len(&self) -> u32 {
+        (self.end - self.start) / 4 + 1
+    }
+
+    /// Blocks are never empty; provided for clippy-consistency.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over the instruction addresses in the block.
+    pub fn addresses(&self) -> impl Iterator<Item = u32> {
+        (self.start..=self.end).step_by(4)
+    }
+}
+
+impl fmt::Display for BlockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x}]", self.start, self.end)
+    }
+}
+
+/// A block key together with its expected hash — one IHT/FHT entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockRecord {
+    /// The block's address range.
+    pub key: BlockKey,
+    /// Expected hash of the instruction words in the range.
+    pub hash: u32,
+}
+
+impl fmt::Display for BlockRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} hash={:#010x}", self.key, self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let k = BlockKey::new(0x1000, 0x100c);
+        assert_eq!(k.len(), 4);
+        assert!(!k.is_empty());
+        assert_eq!(k.addresses().collect::<Vec<_>>(), vec![0x1000, 0x1004, 0x1008, 0x100c]);
+    }
+
+    #[test]
+    fn single_instruction_block() {
+        let k = BlockKey::new(0x2000, 0x2000);
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.addresses().collect::<Vec<_>>(), vec![0x2000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn inverted_range_panics() {
+        BlockKey::new(0x2000, 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_panics() {
+        BlockKey::new(0x1002, 0x1006);
+    }
+
+    #[test]
+    fn ordering_is_by_start_then_end() {
+        let a = BlockKey::new(0x1000, 0x1010);
+        let b = BlockKey::new(0x1000, 0x1020);
+        let c = BlockKey::new(0x2000, 0x2000);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = BlockRecord { key: BlockKey::new(0x400000, 0x400008), hash: 0xabcd };
+        let s = r.to_string();
+        assert!(s.contains("0x00400000"));
+        assert!(s.contains("hash=0x0000abcd"));
+    }
+}

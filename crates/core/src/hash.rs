@@ -1,0 +1,446 @@
+//! `HASHFU` — the hash functional unit.
+//!
+//! The paper employs a plain word-wise **XOR checksum** (Section 3.4):
+//! cheap enough to hide inside the IF stage, and — because XOR is a
+//! column-wise parity — guaranteed to detect any *odd* number of bit
+//! flips in a block. Section 6.3 proposes two hardening directions that
+//! are also implemented here: seeding the XOR with a process-dependent
+//! random value, and swapping in stronger hash hardware. The stronger
+//! functions (Fletcher-32, CRC-32, SHA-1) let the fault-analysis bench
+//! quantify what the cheap checksum gives up.
+//!
+//! A [`BlockHasher`] mirrors the hardware unit: internal state registers,
+//! a `reset` line (asserted at block boundaries by the Figure-4
+//! micro-ops), an `update` port fed one instruction word per fetch, and a
+//! 32-bit `digest` output wired to `RHASH`.
+
+use cimon_microop::HashAlgoKind;
+
+/// A running hash unit over the instruction words of one basic block.
+///
+/// Implementations must be deterministic and must allow `digest` to be
+/// read at any point (hardware exposes the register continuously).
+pub trait BlockHasher {
+    /// Restore the unit to its block-start state.
+    fn reset(&mut self);
+    /// Absorb one instruction word.
+    fn update(&mut self, word: u32);
+    /// The current 32-bit digest (the value mirrored in `RHASH`).
+    fn digest(&self) -> u32;
+    /// Which algorithm this unit implements.
+    fn kind(&self) -> HashAlgoKind;
+}
+
+/// Instantiate the hash unit for an algorithm.
+///
+/// `seed` is used only by [`HashAlgoKind::SeededXor`] (the paper's
+/// "process-dependent random value"); other algorithms ignore it.
+pub fn hasher_for(kind: HashAlgoKind, seed: u32) -> Box<dyn BlockHasher> {
+    match kind {
+        HashAlgoKind::Xor => Box::new(XorHasher::new()),
+        HashAlgoKind::SeededXor => Box::new(SeededXorHasher::new(seed)),
+        HashAlgoKind::Fletcher32 => Box::new(Fletcher32Hasher::new()),
+        HashAlgoKind::Crc32 => Box::new(Crc32Hasher::new()),
+        HashAlgoKind::Sha1 => Box::new(Sha1Hasher::new()),
+    }
+}
+
+/// Hash a complete word sequence in one call (used by the static hash
+/// generator and tests).
+pub fn hash_words(kind: HashAlgoKind, seed: u32, words: impl IntoIterator<Item = u32>) -> u32 {
+    let mut h = hasher_for(kind, seed);
+    for w in words {
+        h.update(w);
+    }
+    h.digest()
+}
+
+/// The paper's XOR checksum: `RHASH ^= word`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XorHasher {
+    acc: u32,
+}
+
+impl XorHasher {
+    /// A fresh unit with zero accumulator.
+    pub fn new() -> XorHasher {
+        XorHasher::default()
+    }
+}
+
+impl BlockHasher for XorHasher {
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+    fn update(&mut self, word: u32) {
+        self.acc ^= word;
+    }
+    fn digest(&self) -> u32 {
+        self.acc
+    }
+    fn kind(&self) -> HashAlgoKind {
+        HashAlgoKind::Xor
+    }
+}
+
+/// XOR checksum seeded with a process-dependent random value
+/// (paper, Section 6.3). An attacker who does not know the seed cannot
+/// pre-compute colliding instruction pairs across *processes*, though
+/// within one run the XOR algebra is unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeededXorHasher {
+    seed: u32,
+    acc: u32,
+}
+
+impl SeededXorHasher {
+    /// A fresh unit accumulating from `seed`.
+    pub fn new(seed: u32) -> SeededXorHasher {
+        SeededXorHasher { seed, acc: seed }
+    }
+}
+
+impl BlockHasher for SeededXorHasher {
+    fn reset(&mut self) {
+        self.acc = self.seed;
+    }
+    fn update(&mut self, word: u32) {
+        // Rotate before mixing so that the seed also breaks the
+        // column-independence that lets same-column double flips cancel.
+        self.acc = self.acc.rotate_left(1) ^ word;
+    }
+    fn digest(&self) -> u32 {
+        self.acc
+    }
+    fn kind(&self) -> HashAlgoKind {
+        HashAlgoKind::SeededXor
+    }
+}
+
+/// Fletcher-32 over the little-endian 16-bit halves of each word.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fletcher32Hasher {
+    s1: u32,
+    s2: u32,
+}
+
+impl Fletcher32Hasher {
+    /// A fresh unit.
+    pub fn new() -> Fletcher32Hasher {
+        Fletcher32Hasher::default()
+    }
+}
+
+impl BlockHasher for Fletcher32Hasher {
+    fn reset(&mut self) {
+        self.s1 = 0;
+        self.s2 = 0;
+    }
+    fn update(&mut self, word: u32) {
+        for half in [word & 0xffff, word >> 16] {
+            self.s1 = (self.s1 + half) % 65535;
+            self.s2 = (self.s2 + self.s1) % 65535;
+        }
+    }
+    fn digest(&self) -> u32 {
+        (self.s2 << 16) | self.s1
+    }
+    fn kind(&self) -> HashAlgoKind {
+        HashAlgoKind::Fletcher32
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), fed the four
+/// little-endian bytes of each word. Matches zlib's `crc32`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc32Hasher {
+    crc: u32,
+}
+
+impl Crc32Hasher {
+    /// A fresh unit.
+    pub fn new() -> Crc32Hasher {
+        Crc32Hasher { crc: 0xffff_ffff }
+    }
+}
+
+impl Default for Crc32Hasher {
+    fn default() -> Self {
+        Crc32Hasher::new()
+    }
+}
+
+impl BlockHasher for Crc32Hasher {
+    fn reset(&mut self) {
+        self.crc = 0xffff_ffff;
+    }
+    fn update(&mut self, word: u32) {
+        const POLY: u32 = 0xedb8_8320;
+        let mut crc = self.crc;
+        for byte in word.to_le_bytes() {
+            crc ^= byte as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (POLY & mask);
+            }
+        }
+        self.crc = crc;
+    }
+    fn digest(&self) -> u32 {
+        !self.crc
+    }
+    fn kind(&self) -> HashAlgoKind {
+        HashAlgoKind::Crc32
+    }
+}
+
+/// Streaming SHA-1 over the little-endian bytes of each word, truncated
+/// to the first 32 bits of the digest (the FHT stores 32-bit hashes).
+///
+/// Far too slow and large for a real IF stage — included to bound the
+/// detection-strength axis of the design space, as the paper's
+/// conclusion anticipates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sha1Hasher {
+    h: [u32; 5],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_bytes: u64,
+}
+
+impl Sha1Hasher {
+    const INIT: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+
+    /// A fresh unit.
+    pub fn new() -> Sha1Hasher {
+        Sha1Hasher { h: Self::INIT, buf: [0; 64], buf_len: 0, total_bytes: 0 }
+    }
+
+    fn compress(h: &mut [u32; 5], chunk: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                chunk[4 * i],
+                chunk[4 * i + 1],
+                chunk[4 * i + 2],
+                chunk[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    fn push_byte(&mut self, b: u8) {
+        self.buf[self.buf_len] = b;
+        self.buf_len += 1;
+        self.total_bytes += 1;
+        if self.buf_len == 64 {
+            let buf = self.buf;
+            Self::compress(&mut self.h, &buf);
+            self.buf_len = 0;
+        }
+    }
+}
+
+impl Default for Sha1Hasher {
+    fn default() -> Self {
+        Sha1Hasher::new()
+    }
+}
+
+impl BlockHasher for Sha1Hasher {
+    fn reset(&mut self) {
+        *self = Sha1Hasher::new();
+    }
+
+    fn update(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.push_byte(b);
+        }
+    }
+
+    fn digest(&self) -> u32 {
+        // Finalise a copy so the stream can continue.
+        let mut h = self.h;
+        let mut buf = self.buf;
+        let mut len = self.buf_len;
+        let bit_len = self.total_bytes * 8;
+        buf[len] = 0x80;
+        len += 1;
+        if len > 56 {
+            buf[len..].fill(0);
+            Self::compress(&mut h, &buf);
+            buf = [0; 64];
+            len = 0;
+        }
+        buf[len..56].fill(0);
+        buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        Self::compress(&mut h, &buf);
+        h[0]
+    }
+
+    fn kind(&self) -> HashAlgoKind {
+        HashAlgoKind::Sha1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V1: [u32; 1] = [0x6463_6261]; // bytes "abcd"
+    const V3: [u32; 3] = [0x1111_1111, 0x2222_2222, 0x3333_3333];
+    const V4: [u32; 4] = [0xdead_beef, 0x0000_0000, 0xffff_ffff, 0x1234_5678];
+
+    #[test]
+    fn xor_is_word_parity() {
+        assert_eq!(hash_words(HashAlgoKind::Xor, 0, V3), 0x0000_0000);
+        assert_eq!(hash_words(HashAlgoKind::Xor, 0, V4), 0xdead_beef ^ 0xffff_ffff ^ 0x1234_5678);
+    }
+
+    #[test]
+    fn xor_detects_single_bit_flip() {
+        for bit in 0..32 {
+            let mut v = V4;
+            v[2] ^= 1 << bit;
+            assert_ne!(
+                hash_words(HashAlgoKind::Xor, 0, v),
+                hash_words(HashAlgoKind::Xor, 0, V4),
+                "bit {bit} flip went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_misses_same_column_double_flip() {
+        // Two flips in the same bit column cancel: the known weakness.
+        let mut v = V4;
+        v[0] ^= 1 << 7;
+        v[2] ^= 1 << 7;
+        assert_eq!(hash_words(HashAlgoKind::Xor, 0, v), hash_words(HashAlgoKind::Xor, 0, V4));
+    }
+
+    #[test]
+    fn seeded_xor_catches_same_column_double_flip() {
+        let seed = 0x1234_5678;
+        let base = hash_words(HashAlgoKind::SeededXor, seed, V4);
+        let mut v = V4;
+        v[0] ^= 1 << 7;
+        v[2] ^= 1 << 7;
+        assert_ne!(hash_words(HashAlgoKind::SeededXor, seed, v), base);
+    }
+
+    #[test]
+    fn seeded_xor_depends_on_seed() {
+        assert_ne!(
+            hash_words(HashAlgoKind::SeededXor, 1, V3),
+            hash_words(HashAlgoKind::SeededXor, 2, V3)
+        );
+    }
+
+    #[test]
+    fn fletcher_reference_vectors() {
+        assert_eq!(hash_words(HashAlgoKind::Fletcher32, 0, V1), 0x2926_c6c4);
+        assert_eq!(hash_words(HashAlgoKind::Fletcher32, 0, V3), 0x4444_cccc);
+        assert_eq!(hash_words(HashAlgoKind::Fletcher32, 0, V4), 0xcd63_064a);
+    }
+
+    #[test]
+    fn crc32_reference_vectors() {
+        assert_eq!(hash_words(HashAlgoKind::Crc32, 0, V1), 0xed82_cd11);
+        assert_eq!(hash_words(HashAlgoKind::Crc32, 0, V3), 0x6ddb_5d74);
+        assert_eq!(hash_words(HashAlgoKind::Crc32, 0, V4), 0xd6a1_84ec);
+    }
+
+    #[test]
+    fn sha1_reference_vectors() {
+        assert_eq!(hash_words(HashAlgoKind::Sha1, 0, V1), 0x81fe_8bfe);
+        assert_eq!(hash_words(HashAlgoKind::Sha1, 0, V3), 0x0cbd_a062);
+        assert_eq!(hash_words(HashAlgoKind::Sha1, 0, V4), 0x0a85_4402);
+    }
+
+    #[test]
+    fn sha1_streams_across_block_boundary() {
+        // More than 64 bytes forces an internal compress mid-stream.
+        let words: Vec<u32> = (0..40u32).collect();
+        let mut h = Sha1Hasher::new();
+        for &w in &words {
+            h.update(w);
+        }
+        let d1 = h.digest();
+        // digest() must not disturb the stream:
+        h.update(123);
+        let _ = h.digest();
+        let mut h2 = Sha1Hasher::new();
+        for &w in words.iter().chain([123u32].iter()) {
+            h2.update(w);
+        }
+        assert_eq!(h.digest(), h2.digest());
+        assert_ne!(d1, h.digest());
+    }
+
+    #[test]
+    fn reset_restores_initial_state_for_all() {
+        for kind in HashAlgoKind::ALL {
+            let mut h = hasher_for(kind, 0x55aa_55aa);
+            let initial = h.digest();
+            h.update(0xdead_beef);
+            h.update(0x0bad_f00d);
+            h.reset();
+            assert_eq!(h.digest(), initial, "{kind} reset broken");
+            assert_eq!(h.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn digest_is_readable_mid_stream_for_all() {
+        for kind in HashAlgoKind::ALL {
+            let mut a = hasher_for(kind, 7);
+            let mut b = hasher_for(kind, 7);
+            a.update(1);
+            let _ = a.digest(); // observing must not perturb
+            a.update(2);
+            b.update(1);
+            b.update(2);
+            assert_eq!(a.digest(), b.digest(), "{kind} digest perturbs state");
+        }
+    }
+
+    #[test]
+    fn algorithms_disagree_with_each_other() {
+        // Sanity: different algorithms produce different digests on V4.
+        let digests: Vec<u32> =
+            HashAlgoKind::ALL.iter().map(|&k| hash_words(k, 0, V4)).collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "kinds {i} and {j} collide on V4");
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The Internal Hash Table (`IHTbb`).
+//!
+//! A small, fully associative table of `(Addst, Addend, Hash)` tuples —
+//! in hardware a CAM searched by the `(Addst, Addend)` pair with the hash
+//! compared by `COMP` (paper, Section 4.2). The table keeps
+//! hardware-maintained recency state: the paper's OS-managed scheme
+//! relies on "specific hardwares … to implement the replacement policy
+//! and select appropriate entries to overwrite when the IHT is full"
+//! (Section 3.3). The OS reads that state through [`Iht::lru_order`] and
+//! writes entries through [`Iht::replace_at`] / [`Iht::insert_lru`].
+
+use crate::block::{BlockKey, BlockRecord};
+
+/// Result of an associative lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Entry present and hash equal: the block is intact.
+    Hit,
+    /// Entry present but hash differs: the code was altered. Carries the
+    /// expected hash for diagnosis.
+    Mismatch {
+        /// The hash stored in the table.
+        expected: u32,
+    },
+    /// No entry with this `(start, end)` key.
+    Miss,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    record: BlockRecord,
+    /// Monotonic recency stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Cumulative lookup statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IhtStats {
+    /// Total lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit with a matching hash.
+    pub hits: u64,
+    /// Lookups that found the key but not the hash.
+    pub mismatches: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+}
+
+impl IhtStats {
+    /// Miss rate in percent (the paper's Figure 6 metric). Zero when no
+    /// lookups have been performed.
+    pub fn miss_rate_percent(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The internal hash table.
+#[derive(Clone, Debug)]
+pub struct Iht {
+    slots: Vec<Option<Slot>>,
+    clock: u64,
+    stats: IhtStats,
+}
+
+impl Iht {
+    /// A table with `entries` slots, all invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Iht {
+        assert!(entries > 0, "IHT must have at least one entry");
+        Iht { slots: vec![None; entries], clock: 0, stats: IhtStats::default() }
+    }
+
+    /// Table capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> IhtStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = IhtStats::default();
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// The associative lookup performed by the ID-stage micro-op
+    /// `<found,match> = IHTbb.lookup(<start,end,hashv>)`.
+    ///
+    /// A hit refreshes the entry's recency. A mismatch also counts as a
+    /// lookup but does not refresh (the program is about to be killed).
+    pub fn lookup(&mut self, key: BlockKey, hash: u32) -> LookupOutcome {
+        self.stats.lookups += 1;
+        let stamp = self.tick();
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.record.key == key {
+                if slot.record.hash == hash {
+                    slot.stamp = stamp;
+                    self.stats.hits += 1;
+                    return LookupOutcome::Hit;
+                }
+                self.stats.mismatches += 1;
+                return LookupOutcome::Mismatch { expected: slot.record.hash };
+            }
+        }
+        self.stats.misses += 1;
+        LookupOutcome::Miss
+    }
+
+    /// Probe without touching recency or statistics (used by tests and
+    /// the OS to inspect the table).
+    pub fn probe(&self, key: BlockKey) -> Option<BlockRecord> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.record.key == key)
+            .map(|s| s.record)
+    }
+
+    /// Slot indices ordered least-recently-used first. Invalid slots come
+    /// before all valid ones (they are the cheapest victims).
+    pub fn lru_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.slots.len()).collect();
+        idx.sort_by_key(|&i| match &self.slots[i] {
+            None => (0u8, 0u64, i),
+            Some(s) => (1, s.stamp, i),
+        });
+        idx
+    }
+
+    /// Overwrite slot `index` with `record`, marking it most recent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replace_at(&mut self, index: usize, record: BlockRecord) {
+        let stamp = self.tick();
+        self.slots[index] = Some(Slot { record, stamp });
+    }
+
+    /// Insert `record`, evicting the LRU slot if the table is full.
+    /// Returns the evicted record, if any. If the key is already present
+    /// the entry is updated in place.
+    pub fn insert_lru(&mut self, record: BlockRecord) -> Option<BlockRecord> {
+        let stamp = self.tick();
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .flatten()
+            .find(|s| s.record.key == record.key)
+        {
+            slot.record = record;
+            slot.stamp = stamp;
+            return None;
+        }
+        let victim_idx = self.lru_order()[0];
+        let evicted = self.slots[victim_idx].map(|s| s.record);
+        self.slots[victim_idx] = Some(Slot { record, stamp });
+        evicted
+    }
+
+    /// Invalidate every entry (e.g. on context switch).
+    pub fn flush(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// Iterate over the valid records, in slot order.
+    pub fn records(&self) -> impl Iterator<Item = BlockRecord> + '_ {
+        self.slots.iter().flatten().map(|s| s.record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: u32, hash: u32) -> BlockRecord {
+        BlockRecord { key: BlockKey::new(start, start + 8), hash }
+    }
+
+    #[test]
+    fn lookup_hit_mismatch_miss() {
+        let mut iht = Iht::new(4);
+        iht.replace_at(0, rec(0x1000, 0xaa));
+        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x1008), 0xaa), LookupOutcome::Hit);
+        assert_eq!(
+            iht.lookup(BlockKey::new(0x1000, 0x1008), 0xbb),
+            LookupOutcome::Mismatch { expected: 0xaa }
+        );
+        assert_eq!(iht.lookup(BlockKey::new(0x2000, 0x2008), 0xaa), LookupOutcome::Miss);
+        let s = iht.stats();
+        assert_eq!((s.lookups, s.hits, s.mismatches, s.misses), (3, 1, 1, 1));
+        assert!((s.miss_rate_percent() - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn key_includes_both_ends() {
+        // Same start, different end must miss: the CAM matches the pair.
+        let mut iht = Iht::new(2);
+        iht.replace_at(0, rec(0x1000, 0xaa));
+        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x100c), 0xaa), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_order_prefers_invalid_then_stalest() {
+        let mut iht = Iht::new(3);
+        iht.replace_at(0, rec(0x1000, 1));
+        iht.replace_at(1, rec(0x2000, 2));
+        // slot 2 invalid → first victim; then slot 0 (older), slot 1.
+        assert_eq!(iht.lru_order(), vec![2, 0, 1]);
+        // Touch slot 0 via hit → slot 1 becomes stalest valid.
+        iht.lookup(BlockKey::new(0x1000, 0x1008), 1);
+        assert_eq!(iht.lru_order(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn insert_lru_fills_then_evicts() {
+        let mut iht = Iht::new(2);
+        assert_eq!(iht.insert_lru(rec(0x1000, 1)), None);
+        assert_eq!(iht.insert_lru(rec(0x2000, 2)), None);
+        assert_eq!(iht.len(), 2);
+        // 0x1000 is LRU → evicted.
+        let evicted = iht.insert_lru(rec(0x3000, 3)).unwrap();
+        assert_eq!(evicted.key.start, 0x1000);
+        assert!(iht.probe(BlockKey::new(0x3000, 0x3008)).is_some());
+        assert!(iht.probe(BlockKey::new(0x1000, 0x1008)).is_none());
+    }
+
+    #[test]
+    fn insert_existing_key_updates_in_place() {
+        let mut iht = Iht::new(2);
+        iht.insert_lru(rec(0x1000, 1));
+        iht.insert_lru(rec(0x2000, 2));
+        assert_eq!(iht.insert_lru(rec(0x1000, 9)), None);
+        assert_eq!(iht.len(), 2);
+        assert_eq!(iht.probe(BlockKey::new(0x1000, 0x1008)).unwrap().hash, 9);
+    }
+
+    #[test]
+    fn mismatch_does_not_refresh_recency() {
+        let mut iht = Iht::new(2);
+        iht.replace_at(0, rec(0x1000, 1));
+        iht.replace_at(1, rec(0x2000, 2));
+        // Mismatching lookup on 0x1000 must not make it MRU.
+        iht.lookup(BlockKey::new(0x1000, 0x1008), 99);
+        assert_eq!(iht.lru_order()[0], 0);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut iht = Iht::new(2);
+        iht.insert_lru(rec(0x1000, 1));
+        iht.flush();
+        assert!(iht.is_empty());
+        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x1008), 1), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut iht = Iht::new(1);
+        iht.insert_lru(rec(0x1000, 1));
+        assert_eq!(iht.insert_lru(rec(0x2000, 2)).unwrap().key.start, 0x1000);
+        assert_eq!(iht.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        Iht::new(0);
+    }
+
+    #[test]
+    fn records_iterates_valid_only() {
+        let mut iht = Iht::new(4);
+        iht.replace_at(1, rec(0x1000, 1));
+        iht.replace_at(3, rec(0x2000, 2));
+        let recs: Vec<_> = iht.records().collect();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut iht = Iht::new(1);
+        iht.lookup(BlockKey::new(0, 0), 0);
+        iht.reset_stats();
+        assert_eq!(iht.stats(), IhtStats::default());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the checker hardware: the IHT behaves like an
+//! abstract LRU-tagged map, and the hash units obey their detection
+//! algebra.
+
+use cimon_core::{hash, BlockKey, BlockRecord, HashAlgoKind, Iht, LookupOutcome};
+use proptest::prelude::*;
+
+/// Abstract operations on the table.
+#[derive(Clone, Debug)]
+enum Op {
+    Lookup { start: u8, hash: u8 },
+    Insert { start: u8, hash: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, any::<u8>()).prop_map(|(start, hash)| Op::Lookup { start, hash }),
+        (0u8..12, any::<u8>()).prop_map(|(start, hash)| Op::Insert { start, hash }),
+    ]
+}
+
+fn key(start: u8) -> BlockKey {
+    let s = 0x1000 + (start as u32) * 0x40;
+    BlockKey::new(s, s + 12)
+}
+
+/// Reference model: vector of (key, hash) with LRU order maintained by
+/// moving touched entries to the back.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(BlockKey, u32)>,
+    cap: usize,
+}
+
+impl Model {
+    fn lookup(&mut self, k: BlockKey, h: u32) -> LookupOutcome {
+        if let Some(pos) = self.entries.iter().position(|(ek, _)| *ek == k) {
+            let (ek, eh) = self.entries[pos];
+            if eh == h {
+                // refresh recency
+                self.entries.remove(pos);
+                self.entries.push((ek, eh));
+                LookupOutcome::Hit
+            } else {
+                LookupOutcome::Mismatch { expected: eh }
+            }
+        } else {
+            LookupOutcome::Miss
+        }
+    }
+
+    fn insert(&mut self, k: BlockKey, h: u32) {
+        if let Some(pos) = self.entries.iter().position(|(ek, _)| *ek == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push((k, h));
+    }
+}
+
+proptest! {
+    /// The hardware IHT agrees with the abstract LRU map on every
+    /// lookup outcome, for any operation sequence and any capacity.
+    #[test]
+    fn iht_matches_reference_model(
+        cap in 1usize..9,
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut iht = Iht::new(cap);
+        let mut model = Model { entries: Vec::new(), cap };
+        for op in ops {
+            match op {
+                Op::Lookup { start, hash } => {
+                    let got = iht.lookup(key(start), hash as u32);
+                    let want = model.lookup(key(start), hash as u32);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Insert { start, hash } => {
+                    iht.insert_lru(BlockRecord { key: key(start), hash: hash as u32 });
+                    model.insert(key(start), hash as u32);
+                }
+            }
+            prop_assert!(iht.len() <= cap);
+            prop_assert_eq!(iht.len(), model.entries.len());
+        }
+    }
+
+    /// Any odd number of bit flips anywhere in a block is detected by
+    /// the XOR checksum (column parity argument, paper Section 6.3).
+    #[test]
+    fn xor_detects_odd_flip_counts(
+        words in prop::collection::vec(any::<u32>(), 1..24),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), 0u32..32), 1..8),
+    ) {
+        let clean = hash::hash_words(HashAlgoKind::Xor, 0, words.iter().copied());
+        let mut corrupted = words.clone();
+        // Apply an odd number of flips (truncate to odd length).
+        let n = if flips.len() % 2 == 0 { flips.len() - 1 } else { flips.len() };
+        let n = n.max(1);
+        for (idx, bit) in flips.into_iter().take(n) {
+            let i = idx.index(corrupted.len());
+            corrupted[i] ^= 1 << bit;
+        }
+        // Flips can coincide and cancel pairwise; count the *effective*
+        // flipped bits to decide the expectation.
+        let effective: u32 = words
+            .iter()
+            .zip(&corrupted)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        let dirty = hash::hash_words(HashAlgoKind::Xor, 0, corrupted.iter().copied());
+        if effective % 2 == 1 {
+            prop_assert_ne!(clean, dirty);
+        }
+    }
+
+    /// Single-bit flips are detected by every implemented algorithm.
+    #[test]
+    fn all_algorithms_detect_single_flips(
+        words in prop::collection::vec(any::<u32>(), 1..16),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u32..32,
+    ) {
+        for kind in HashAlgoKind::ALL {
+            let clean = hash::hash_words(kind, 0x5eed, words.iter().copied());
+            let mut corrupted = words.clone();
+            let i = idx.index(corrupted.len());
+            corrupted[i] ^= 1 << bit;
+            let dirty = hash::hash_words(kind, 0x5eed, corrupted.iter().copied());
+            prop_assert_ne!(clean, dirty, "{} missed a single-bit flip", kind);
+        }
+    }
+
+    /// Hash units are deterministic: same words, same digest.
+    #[test]
+    fn hashing_is_deterministic(words in prop::collection::vec(any::<u32>(), 0..32)) {
+        for kind in HashAlgoKind::ALL {
+            let a = hash::hash_words(kind, 42, words.iter().copied());
+            let b = hash::hash_words(kind, 42, words.iter().copied());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Reset after an arbitrary stream restores block-start behaviour:
+    /// hashing a block is independent of what preceded the reset.
+    #[test]
+    fn reset_isolates_blocks(
+        prefix in prop::collection::vec(any::<u32>(), 0..16),
+        block in prop::collection::vec(any::<u32>(), 1..16),
+    ) {
+        for kind in HashAlgoKind::ALL {
+            let mut unit = hash::hasher_for(kind, 7);
+            for w in &prefix {
+                unit.update(*w);
+            }
+            unit.reset();
+            for w in &block {
+                unit.update(*w);
+            }
+            let streamed = unit.digest();
+            let fresh = hash::hash_words(kind, 7, block.iter().copied());
+            prop_assert_eq!(streamed, fresh, "{} reset leaks state", kind);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Monte-Carlo fault campaigns with detection classification.
+
+use cimon_core::CicConfig;
+use cimon_mem::ProgramImage;
+use cimon_os::FullHashTable;
+use cimon_pipeline::{ConsoleEvent, Processor, ProcessorConfig, RunOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::inject::{BitFlip, FaultPlan, FaultSite, PlannedBusTap};
+
+/// Random fault model: how many bits flip, and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultModel {
+    /// One bit in one word — the paper's baseline assumption
+    /// ("a single bit flip in a basic block", Section 3.4).
+    SingleBit,
+    /// `n` independent uniform flips (may touch different words).
+    MultiBit {
+        /// Number of flips.
+        n: usize,
+    },
+    /// Two flips in the *same bit column* of two different words — the
+    /// adversarial worst case for the XOR checksum, which it provably
+    /// cannot see.
+    SameColumnPair,
+}
+
+impl FaultModel {
+    /// Generate a set of flips over the `targets` address pool.
+    fn generate(&self, rng: &mut StdRng, targets: &[u32]) -> Vec<BitFlip> {
+        let pick_addr = |rng: &mut StdRng| targets[rng.gen_range(0..targets.len())];
+        match self {
+            FaultModel::SingleBit => {
+                vec![BitFlip::new(pick_addr(rng), rng.gen_range(0..32))]
+            }
+            FaultModel::MultiBit { n } => {
+                let mut flips = Vec::with_capacity(*n);
+                while flips.len() < *n {
+                    let f = BitFlip::new(pick_addr(rng), rng.gen_range(0..32));
+                    if !flips.contains(&f) {
+                        flips.push(f);
+                    }
+                }
+                flips
+            }
+            FaultModel::SameColumnPair => {
+                let bit = rng.gen_range(0..32);
+                let a = pick_addr(rng);
+                let mut b = pick_addr(rng);
+                let mut guard = 0;
+                while b == a && guard < 1000 {
+                    b = pick_addr(rng);
+                    guard += 1;
+                }
+                vec![BitFlip::new(a, bit), BitFlip::new(b, bit)]
+            }
+        }
+    }
+}
+
+/// How one faulted run ended, relative to the clean reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The integrity monitor raised a fatal exception (hash mismatch or
+    /// unknown block).
+    DetectedByMonitor,
+    /// The baseline micro-architecture caught it first (illegal opcode,
+    /// alignment fault, bad syscall — Section 6.3's "some errors can be
+    /// detected by baseline microarchitecture itself").
+    DetectedByBaseline,
+    /// The program finished with a result identical to the clean run —
+    /// the fault was architecturally masked (e.g. flipped a don't-care
+    /// field, or the corrupted path never executed).
+    Masked,
+    /// The program finished but produced a different result: an
+    /// undetected integrity violation. For the plain XOR checksum this
+    /// is exactly the cancellation case.
+    SilentCorruption,
+    /// The program neither finished nor tripped a check within the cycle
+    /// budget.
+    Hung,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of faulted runs.
+    pub runs: usize,
+    /// RNG seed (campaigns are deterministic given the seed).
+    pub seed: u64,
+    /// Fault model.
+    pub model: FaultModel,
+    /// Injection site.
+    pub site: FaultSite,
+    /// Word addresses eligible for flips (e.g. the executed text
+    /// region; the paper notes only executed code is checkable).
+    pub targets: Vec<u32>,
+    /// Cycle budget per faulted run.
+    pub max_cycles: u64,
+}
+
+/// Aggregated campaign counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// Runs ending in monitor detection.
+    pub detected_monitor: usize,
+    /// Runs ending in baseline-fault detection.
+    pub detected_baseline: usize,
+    /// Architecturally masked runs.
+    pub masked: usize,
+    /// Undetected corruptions.
+    pub silent: usize,
+    /// Hung runs.
+    pub hung: usize,
+}
+
+impl CampaignResult {
+    /// Total runs.
+    pub fn total(&self) -> usize {
+        self.detected_monitor + self.detected_baseline + self.masked + self.silent + self.hung
+    }
+
+    /// Detection coverage over *effective* faults: detected / (total −
+    /// masked). Masked faults changed nothing observable, so no monitor
+    /// could or should flag them.
+    pub fn coverage_percent(&self) -> f64 {
+        let effective = self.total() - self.masked;
+        if effective == 0 {
+            100.0
+        } else {
+            100.0 * (self.detected_monitor + self.detected_baseline) as f64 / effective as f64
+        }
+    }
+
+    /// Silent-corruption rate over all runs.
+    pub fn silent_percent(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.silent as f64 / self.total() as f64
+        }
+    }
+
+    fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::DetectedByMonitor => self.detected_monitor += 1,
+            Outcome::DetectedByBaseline => self.detected_baseline += 1,
+            Outcome::Masked => self.masked += 1,
+            Outcome::SilentCorruption => self.silent += 1,
+            Outcome::Hung => self.hung += 1,
+        }
+    }
+}
+
+/// A configured fault campaign over one program.
+pub struct Campaign {
+    image: ProgramImage,
+    cic: CicConfig,
+    fht: FullHashTable,
+    reference: (RunOutcome, Vec<ConsoleEvent>),
+}
+
+impl Campaign {
+    /// Prepare a campaign: runs the program once cleanly (monitored) to
+    /// capture the reference result.
+    pub fn new(image: ProgramImage, cic: CicConfig, fht: FullHashTable) -> Campaign {
+        let mut cpu =
+            Processor::new(&image, ProcessorConfig::monitored(cic, fht.clone()));
+        let outcome = cpu.run();
+        let console = cpu.stats().console;
+        Campaign { image, cic, fht, reference: (outcome, console) }
+    }
+
+    /// The clean reference outcome.
+    pub fn reference_outcome(&self) -> RunOutcome {
+        self.reference.0
+    }
+
+    /// Run one faulted execution and classify it.
+    pub fn run_one(&self, plan: &FaultPlan, max_cycles: u64) -> Outcome {
+        let mut cpu = Processor::new(
+            &self.image,
+            ProcessorConfig {
+                max_cycles,
+                ..ProcessorConfig::monitored(self.cic, self.fht.clone())
+            },
+        );
+        match plan.site {
+            FaultSite::StoredImage => {
+                for f in &plan.flips {
+                    f.apply_to_memory(cpu.mem_mut());
+                }
+            }
+            FaultSite::FetchBus(mode) => {
+                cpu.set_bus_tap(Box::new(PlannedBusTap::new(plan.flips.clone(), mode)));
+            }
+        }
+        let outcome = cpu.run();
+        self.classify(outcome, &cpu.stats().console)
+    }
+
+    fn classify(&self, outcome: RunOutcome, console: &[ConsoleEvent]) -> Outcome {
+        match outcome {
+            RunOutcome::Detected { .. } => Outcome::DetectedByMonitor,
+            RunOutcome::Fault(_) => Outcome::DetectedByBaseline,
+            RunOutcome::MaxCycles => Outcome::Hung,
+            RunOutcome::Exited { .. } => {
+                if outcome == self.reference.0 && console == self.reference.1 {
+                    Outcome::Masked
+                } else {
+                    Outcome::SilentCorruption
+                }
+            }
+        }
+    }
+
+    /// Run a full campaign.
+    pub fn run(&self, config: &CampaignConfig) -> CampaignResult {
+        assert!(!config.targets.is_empty(), "campaign needs target addresses");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut result = CampaignResult::default();
+        for _ in 0..config.runs {
+            let flips = config.model.generate(&mut rng, &config.targets);
+            let plan = FaultPlan { site: config.site, flips };
+            result.record(self.run_one(&plan, config.max_cycles));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::BusFaultMode;
+    use cimon_asm::assemble;
+    use cimon_core::HashAlgoKind;
+    use cimon_hashgen::static_fht;
+
+    const PROGRAM: &str = "
+        .text
+    main:
+        li   $t0, 20
+        li   $t1, 0
+    loop:
+        addu $t1, $t1, $t0
+        addiu $t0, $t0, -1
+        bnez $t0, loop
+        move $a0, $t1
+        li   $v0, 10
+        syscall
+    ";
+
+    fn setup(algo: HashAlgoKind) -> (Campaign, Vec<u32>) {
+        let prog = assemble(PROGRAM).unwrap();
+        let (fht, _) = static_fht(&prog.image, &[], algo, 0).unwrap();
+        let cic = CicConfig { iht_entries: 8, hash_algo: algo, hash_seed: 0 };
+        let (lo, hi) = prog.image.text_range();
+        let targets: Vec<u32> = (lo..hi).step_by(4).collect();
+        (Campaign::new(prog.image, cic, fht), targets)
+    }
+
+    #[test]
+    fn reference_is_clean() {
+        let (c, _) = setup(HashAlgoKind::Xor);
+        assert_eq!(c.reference_outcome(), RunOutcome::Exited { code: 210 });
+    }
+
+    #[test]
+    fn single_bit_faults_are_always_caught_or_masked() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let result = c.run(&CampaignConfig {
+            runs: 120,
+            seed: 42,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 60_000,
+        });
+        assert_eq!(result.total(), 120);
+        // XOR detects every single-bit flip in executed code; flips can
+        // still hang the run (corrupted branch targets) but can never be
+        // silent.
+        assert_eq!(result.silent, 0, "{result:?}");
+        assert!(result.detected_monitor > 0);
+    }
+
+    #[test]
+    fn same_column_pairs_defeat_xor_but_not_crc() {
+        let (cx, tx) = setup(HashAlgoKind::Xor);
+        let xor = cx.run(&CampaignConfig {
+            runs: 80,
+            seed: 7,
+            model: FaultModel::SameColumnPair,
+            site: FaultSite::StoredImage,
+            targets: tx,
+            max_cycles: 60_000,
+        });
+        let (cc, tc) = setup(HashAlgoKind::Crc32);
+        let crc = cc.run(&CampaignConfig {
+            runs: 80,
+            seed: 7,
+            model: FaultModel::SameColumnPair,
+            site: FaultSite::StoredImage,
+            targets: tc,
+            max_cycles: 60_000,
+        });
+        // CRC-32 never lets a same-column pair through silently.
+        assert_eq!(crc.silent, 0, "{crc:?}");
+        // XOR coverage cannot exceed CRC coverage on this model.
+        assert!(xor.coverage_percent() <= crc.coverage_percent() + 1e-9);
+    }
+
+    #[test]
+    fn bus_transients_are_detected() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let result = c.run(&CampaignConfig {
+            runs: 100,
+            seed: 3,
+            model: FaultModel::SingleBit,
+            site: FaultSite::FetchBus(BusFaultMode::OneShot),
+            targets,
+            max_cycles: 60_000,
+        });
+        assert_eq!(result.silent, 0, "{result:?}");
+        assert!(result.detected_monitor + result.detected_baseline > 0);
+    }
+
+    #[test]
+    fn campaigns_are_seed_deterministic() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let cfg = CampaignConfig {
+            runs: 50,
+            seed: 99,
+            model: FaultModel::MultiBit { n: 3 },
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 60_000,
+        };
+        assert_eq!(c.run(&cfg), c.run(&cfg));
+    }
+
+    #[test]
+    fn faults_in_dead_code_are_masked() {
+        // Program with an unexecuted function; flips there change nothing.
+        let src = "
+            .text
+        main:
+            li $a0, 5
+            li $v0, 10
+            syscall
+        dead:
+            addu $t0, $t1, $t2
+            jr $ra
+        ";
+        let prog = assemble(src).unwrap();
+        let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let c = Campaign::new(prog.image.clone(), CicConfig::default(), fht);
+        let dead_addr = prog.symbols.get("dead").unwrap();
+        let out = c.run_one(&FaultPlan::stored(dead_addr, 3), 1_000_000);
+        assert_eq!(out, Outcome::Masked);
+    }
+
+    #[test]
+    #[should_panic(expected = "target addresses")]
+    fn empty_targets_panic() {
+        let (c, _) = setup(HashAlgoKind::Xor);
+        c.run(&CampaignConfig {
+            runs: 1,
+            seed: 0,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets: vec![],
+            max_cycles: 1000,
+        });
+    }
+}

@@ -1,0 +1,352 @@
+//! # cimon-hashgen — expected-hash generation
+//!
+//! The paper's OS-managed scheme needs a **Full Hash Table** computed
+//! before the program runs: "the hash values can even be computed after
+//! binary code is generated, e.g., by a special program or the OS
+//! application loader" (Section 3.3). This crate is that special
+//! program. Two generators are provided:
+//!
+//! * [`static_fht`] — analyses the binary: recovers control-flow
+//!   structure, enumerates every *dynamic basic block* a run can
+//!   produce, and hashes each one. Sound for programs whose indirect
+//!   jumps target labelled addresses or return sites (guaranteed for the
+//!   `cimon-workloads` suite; the generator takes extra entry points for
+//!   anything else).
+//! * [`trace_fht`] — executes the program once on an unmonitored
+//!   processor and hashes exactly the blocks observed. Used to
+//!   cross-validate the static generator (see the workspace integration
+//!   tests) and to build minimal FHTs for experiments.
+//!
+//! A **dynamic basic block** `(start, end)` is a run of instructions
+//! whose `end` is the first control-flow instruction at or after
+//! `start`. Note `start` need not be a compiler block leader: branching
+//! into the middle of a static block creates a shorter dynamic block
+//! with the same `end`. The enumeration below therefore emits one block
+//! per *entry point* (program entry, branch/jump target, control-flow
+//! fall-through, or labelled text address), paired with the first
+//! control-flow instruction that follows it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cimon_core::hash::hash_words;
+use cimon_core::{BlockKey, BlockRecord, HashAlgoKind};
+use cimon_isa::{Instr, INSTR_BYTES};
+use cimon_mem::ProgramImage;
+use cimon_os::FullHashTable;
+use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+pub mod section;
+
+pub use section::{from_section_bytes, to_section_bytes, SectionError};
+
+/// Error from the static generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashGenError {
+    /// A text word does not decode; the text segment contains data or is
+    /// corrupted, and block boundaries cannot be trusted.
+    UndecodableWord {
+        /// Address of the word.
+        addr: u32,
+        /// The word.
+        word: u32,
+    },
+    /// The text segment is empty.
+    EmptyText,
+}
+
+impl fmt::Display for HashGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HashGenError::UndecodableWord { addr, word } => {
+                write!(f, "text word at {addr:#010x} ({word:#010x}) does not decode")
+            }
+            HashGenError::EmptyText => f.write_str("text segment is empty"),
+        }
+    }
+}
+
+impl std::error::Error for HashGenError {}
+
+/// Report accompanying a statically generated FHT.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticReport {
+    /// Distinct entry points considered.
+    pub entry_points: usize,
+    /// Control-flow instructions found (block ends).
+    pub flow_instructions: usize,
+    /// Entry points with no terminating control-flow instruction after
+    /// them (falling off the end of text) — excluded from the table.
+    pub unterminated: Vec<u32>,
+}
+
+/// Statically enumerate all dynamic basic blocks of `image` and hash
+/// them with `algo`/`seed`.
+///
+/// `extra_entries` supplies entry points the analysis cannot see —
+/// indirect-jump targets that are neither labelled nor return sites.
+///
+/// # Errors
+///
+/// Returns [`HashGenError`] if the text segment is empty or contains
+/// undecodable words.
+pub fn static_fht(
+    image: &ProgramImage,
+    extra_entries: &[u32],
+    algo: HashAlgoKind,
+    seed: u32,
+) -> Result<(FullHashTable, StaticReport), HashGenError> {
+    let words = image.text_words();
+    if words.is_empty() {
+        return Err(HashGenError::EmptyText);
+    }
+    let base = image.text.base;
+    let addr_of = |idx: usize| base + (idx as u32) * INSTR_BYTES;
+
+    // Decode everything up front.
+    let mut instrs = Vec::with_capacity(words.len());
+    for (idx, &w) in words.iter().enumerate() {
+        let i = Instr::decode(w).map_err(|_| HashGenError::UndecodableWord {
+            addr: addr_of(idx),
+            word: w,
+        })?;
+        instrs.push(i);
+    }
+
+    // Entry points: program entry, CF targets, CF fall-throughs, callers'
+    // return sites (covered by fall-through), plus caller-provided ones.
+    let mut entries: BTreeSet<u32> = BTreeSet::new();
+    entries.insert(image.entry);
+    for a in extra_entries {
+        entries.insert(*a);
+    }
+    let mut flow_instructions = 0;
+    for (idx, instr) in instrs.iter().enumerate() {
+        let pc = addr_of(idx);
+        if instr.is_control_flow() {
+            flow_instructions += 1;
+            entries.insert(pc.wrapping_add(INSTR_BYTES));
+            if let Some(t) = instr.branch_dest(pc) {
+                entries.insert(t);
+            }
+            if let Some(t) = instr.jump_dest(pc) {
+                entries.insert(t);
+            }
+        }
+    }
+    // Keep only entries inside the text segment.
+    let (lo, hi) = image.text_range();
+    entries.retain(|&a| a >= lo && a < hi && a % 4 == 0);
+
+    // Pre-compute, for each index, the index of the first CF instruction
+    // at or after it.
+    let mut next_cf = vec![usize::MAX; instrs.len()];
+    let mut last = usize::MAX;
+    for idx in (0..instrs.len()).rev() {
+        if instrs[idx].is_control_flow() {
+            last = idx;
+        }
+        next_cf[idx] = last;
+    }
+
+    let mut fht = FullHashTable::new();
+    let mut report = StaticReport {
+        entry_points: entries.len(),
+        flow_instructions,
+        ..StaticReport::default()
+    };
+    for &start in &entries {
+        let sidx = ((start - base) / 4) as usize;
+        let eidx = next_cf[sidx];
+        if eidx == usize::MAX {
+            report.unterminated.push(start);
+            continue;
+        }
+        let key = BlockKey::new(start, addr_of(eidx));
+        let hash = hash_words(algo, seed, words[sidx..=eidx].iter().copied());
+        fht.insert(BlockRecord { key, hash });
+    }
+    Ok((fht, report))
+}
+
+/// Execute `image` once on an unmonitored processor and hash exactly the
+/// dynamic blocks observed.
+///
+/// Returns the table, the run outcome (callers should verify it is the
+/// expected [`RunOutcome::Exited`]), and the number of block *executions*
+/// observed (as opposed to distinct blocks).
+pub fn trace_fht(
+    image: &ProgramImage,
+    algo: HashAlgoKind,
+    seed: u32,
+    max_cycles: u64,
+) -> (FullHashTable, RunOutcome, u64) {
+    let mut cpu = Processor::new(
+        image,
+        ProcessorConfig { record_blocks: true, max_cycles, ..ProcessorConfig::baseline() },
+    );
+    let outcome = cpu.run();
+    let mem = image.to_memory();
+    let mut fht = FullHashTable::new();
+    let executions = cpu.blocks().len() as u64;
+    for ev in cpu.blocks() {
+        if fht.contains(ev.key) {
+            continue;
+        }
+        let words = ev.key.addresses().map(|a| mem.read_u32(a).expect("aligned"));
+        fht.insert(BlockRecord { key: ev.key, hash: hash_words(algo, seed, words) });
+    }
+    (fht, outcome, executions)
+}
+
+/// Convenience: the statically enumerated block keys without hashes.
+pub fn static_blocks(image: &ProgramImage, extra_entries: &[u32]) -> Vec<BlockKey> {
+    match static_fht(image, extra_entries, HashAlgoKind::Xor, 0) {
+        Ok((fht, _)) => fht.iter().map(|r| r.key).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_asm::assemble;
+
+    const PROGRAM: &str = "
+        .text
+    main:
+        li   $t0, 3
+        li   $t1, 0
+    loop:
+        addu $t1, $t1, $t0
+        addiu $t0, $t0, -1
+        bnez $t0, loop
+        move $a0, $t1
+        li   $v0, 10
+        syscall
+    ";
+
+    #[test]
+    fn static_covers_trace() {
+        let prog = assemble(PROGRAM).unwrap();
+        let (s, report) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (t, outcome, execs) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 1_000_000);
+        assert_eq!(outcome, RunOutcome::Exited { code: 6 });
+        assert!(execs >= t.len() as u64);
+        for rec in t.iter() {
+            assert_eq!(
+                s.lookup(rec.key),
+                Some(rec.hash),
+                "trace block {} missing or mishashed in static FHT",
+                rec.key
+            );
+        }
+        assert!(report.unterminated.is_empty());
+        assert_eq!(report.flow_instructions, 2); // bnez, syscall
+    }
+
+    #[test]
+    fn static_enumerates_mid_block_entries() {
+        // `loop` target lands mid-way through the entry block: the static
+        // table must contain both the long and the short dynamic block
+        // ending at the same bnez.
+        let prog = assemble(PROGRAM).unwrap();
+        let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let entry = prog.image.entry;
+        let bnez = entry + 16;
+        assert!(s.contains(BlockKey::new(entry, bnez)));
+        assert!(s.contains(BlockKey::new(entry + 8, bnez)));
+    }
+
+    #[test]
+    fn hashes_depend_on_algorithm() {
+        let prog = assemble(PROGRAM).unwrap();
+        let (x, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (c, _) = static_fht(&prog.image, &[], HashAlgoKind::Crc32, 0).unwrap();
+        let key = x.iter().next().unwrap().key;
+        assert_ne!(x.lookup(key), c.lookup(key));
+    }
+
+    #[test]
+    fn function_calls_produce_return_site_blocks() {
+        let src = "
+            .text
+        main:
+            jal f
+            li $v0, 10
+            syscall
+        f:
+            jr $ra
+        ";
+        let prog = assemble(src).unwrap();
+        let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (t, outcome, _) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 1_000_000);
+        assert!(matches!(outcome, RunOutcome::Exited { .. }));
+        for rec in t.iter() {
+            assert_eq!(s.lookup(rec.key), Some(rec.hash));
+        }
+        // The return site (after jal) is a block start, ending at the
+        // syscall that follows it.
+        let entry = prog.image.entry;
+        assert!(s.contains(BlockKey::new(entry + 4, entry + 8)));
+    }
+
+    #[test]
+    fn extra_entries_add_blocks() {
+        let prog = assemble(PROGRAM).unwrap();
+        let entry = prog.image.entry;
+        let (without, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (with, _) = static_fht(&prog.image, &[entry + 4], HashAlgoKind::Xor, 0).unwrap();
+        assert_eq!(with.len(), without.len() + 1);
+        assert!(with.contains(BlockKey::new(entry + 4, entry + 16)));
+    }
+
+    #[test]
+    fn out_of_range_extra_entries_ignored() {
+        let prog = assemble(PROGRAM).unwrap();
+        let (a, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (b, _) = static_fht(&prog.image, &[0x10, 0xffff_fff0], HashAlgoKind::Xor, 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unterminated_entries_reported() {
+        // Program text ending without control flow after a label.
+        let src = ".text\nmain: beq $zero, $zero, tail\nnop\ntail: addu $t0, $t1, $t2\n";
+        let prog = assemble(src).unwrap();
+        let (fht, report) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        assert!(!report.unterminated.is_empty());
+        // The unterminated tail produced no entry.
+        for rec in fht.iter() {
+            assert!(rec.key.end <= prog.image.text_range().1);
+        }
+    }
+
+    #[test]
+    fn undecodable_text_is_an_error() {
+        let prog = assemble(".text\nmain: nop\nsyscall\n").unwrap();
+        let mut image = prog.image.clone();
+        image.text.bytes[0..4].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+        match static_fht(&image, &[], HashAlgoKind::Xor, 0) {
+            Err(HashGenError::UndecodableWord { addr, .. }) => assert_eq!(addr, image.text.base),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_text_is_an_error() {
+        let image = ProgramImage::default();
+        assert_eq!(
+            static_fht(&image, &[], HashAlgoKind::Xor, 0).unwrap_err(),
+            HashGenError::EmptyText
+        );
+    }
+
+    #[test]
+    fn static_blocks_helper() {
+        let prog = assemble(PROGRAM).unwrap();
+        let blocks = static_blocks(&prog.image, &[]);
+        assert!(blocks.len() >= 3);
+        assert!(blocks.windows(2).all(|w| w[0] < w[1])); // sorted keys
+    }
+}

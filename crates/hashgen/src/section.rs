@@ -1,0 +1,184 @@
+//! FHT serialisation: the hash section "attached to the application
+//! code and data" (paper, Section 3.3).
+//!
+//! Layout: a 12-byte header (`magic "FHT1"`, entry count, algorithm tag)
+//! followed by one 12-byte record per entry (`Addst`, `Addend`, `Hash`),
+//! all little-endian. The OS loader parses this section into the
+//! memory-resident [`FullHashTable`].
+
+use std::fmt;
+
+use cimon_core::{BlockKey, BlockRecord, HashAlgoKind};
+use cimon_os::FullHashTable;
+
+const MAGIC: [u8; 4] = *b"FHT1";
+
+/// Error from parsing a serialised hash section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectionError {
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The byte length disagrees with the entry count.
+    Truncated {
+        /// Entries promised by the header.
+        expected_entries: u32,
+        /// Bytes actually available for records.
+        available_bytes: usize,
+    },
+    /// Unknown hash-algorithm tag.
+    BadAlgoTag(u32),
+    /// A record carries an invalid block range.
+    BadRecord {
+        /// Index of the record.
+        index: u32,
+    },
+}
+
+impl fmt::Display for SectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionError::BadMagic => f.write_str("bad FHT section magic"),
+            SectionError::Truncated { expected_entries, available_bytes } => write!(
+                f,
+                "truncated FHT section: {expected_entries} entries promised, {available_bytes} bytes present"
+            ),
+            SectionError::BadAlgoTag(t) => write!(f, "unknown hash algorithm tag {t}"),
+            SectionError::BadRecord { index } => write!(f, "invalid block range in record {index}"),
+        }
+    }
+}
+
+impl std::error::Error for SectionError {}
+
+fn algo_tag(kind: HashAlgoKind) -> u32 {
+    match kind {
+        HashAlgoKind::Xor => 0,
+        HashAlgoKind::SeededXor => 1,
+        HashAlgoKind::Fletcher32 => 2,
+        HashAlgoKind::Crc32 => 3,
+        HashAlgoKind::Sha1 => 4,
+    }
+}
+
+fn tag_algo(tag: u32) -> Option<HashAlgoKind> {
+    HashAlgoKind::ALL.into_iter().find(|&k| algo_tag(k) == tag)
+}
+
+/// Serialise a table into the attachable section format.
+pub fn to_section_bytes(fht: &FullHashTable, algo: HashAlgoKind) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + fht.len() * 12);
+    out.extend(MAGIC);
+    out.extend((fht.len() as u32).to_le_bytes());
+    out.extend(algo_tag(algo).to_le_bytes());
+    for rec in fht.iter() {
+        out.extend(rec.key.start.to_le_bytes());
+        out.extend(rec.key.end.to_le_bytes());
+        out.extend(rec.hash.to_le_bytes());
+    }
+    out
+}
+
+/// Parse a section produced by [`to_section_bytes`].
+///
+/// # Errors
+///
+/// Returns [`SectionError`] on any malformation; a loader must reject a
+/// damaged hash section rather than monitor against garbage.
+pub fn from_section_bytes(bytes: &[u8]) -> Result<(FullHashTable, HashAlgoKind), SectionError> {
+    if bytes.len() < 12 || bytes[0..4] != MAGIC {
+        return Err(SectionError::BadMagic);
+    }
+    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let tag = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let algo = tag_algo(tag).ok_or(SectionError::BadAlgoTag(tag))?;
+    let body = &bytes[12..];
+    if body.len() < count as usize * 12 {
+        return Err(SectionError::Truncated {
+            expected_entries: count,
+            available_bytes: body.len(),
+        });
+    }
+    let mut fht = FullHashTable::new();
+    for i in 0..count {
+        let off = i as usize * 12;
+        let word = |o: usize| {
+            u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]])
+        };
+        let (start, end, hash) = (word(off), word(off + 4), word(off + 8));
+        if start % 4 != 0 || end % 4 != 0 || end < start {
+            return Err(SectionError::BadRecord { index: i });
+        }
+        fht.insert(BlockRecord { key: BlockKey::new(start, end), hash });
+    }
+    Ok((fht, algo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FullHashTable {
+        (0..5u32)
+            .map(|i| BlockRecord {
+                key: BlockKey::new(0x40_0000 + i * 0x20, 0x40_0010 + i * 0x20),
+                hash: 0x1000 + i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_algorithms() {
+        for algo in HashAlgoKind::ALL {
+            let bytes = to_section_bytes(&table(), algo);
+            let (parsed, parsed_algo) = from_section_bytes(&bytes).unwrap();
+            assert_eq!(parsed, table());
+            assert_eq!(parsed_algo, algo);
+        }
+    }
+
+    #[test]
+    fn size_matches_contract() {
+        let bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
+        assert_eq!(bytes.len(), 12 + 5 * 12);
+        assert_eq!(table().attached_bytes(), 60);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
+        bytes[0] = b'X';
+        assert_eq!(from_section_bytes(&bytes), Err(SectionError::BadMagic));
+        assert_eq!(from_section_bytes(&[]), Err(SectionError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
+        let cut = &bytes[..bytes.len() - 4];
+        assert!(matches!(from_section_bytes(cut), Err(SectionError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_algo_tag_rejected() {
+        let mut bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
+        bytes[8] = 0xee;
+        assert!(matches!(from_section_bytes(&bytes), Err(SectionError::BadAlgoTag(_))));
+    }
+
+    #[test]
+    fn bad_record_rejected() {
+        let mut bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
+        // Corrupt first record's start to be unaligned.
+        bytes[12] = 0x03;
+        assert_eq!(from_section_bytes(&bytes), Err(SectionError::BadRecord { index: 0 }));
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let empty = FullHashTable::new();
+        let bytes = to_section_bytes(&empty, HashAlgoKind::Crc32);
+        let (parsed, algo) = from_section_bytes(&bytes).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(algo, HashAlgoKind::Crc32);
+    }
+}

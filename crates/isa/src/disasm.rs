@@ -1,0 +1,183 @@
+//! Disassembly: `Display` implementations producing assembler-compatible
+//! text.
+//!
+//! The printed form round-trips through the `cimon-asm` parser (verified
+//! by property test there). Branch and jump targets are printed as raw
+//! numbers relative to/absolute from address 0; the assembler accepts
+//! numeric targets as well as labels.
+
+use std::fmt;
+
+use crate::instr::{Funct, IOpcode, Instr, JOpcode};
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::R(r) => match r.funct {
+                Funct::Sll | Funct::Srl | Funct::Sra => {
+                    write!(f, "{} {}, {}, {}", r.funct.mnemonic(), r.rd, r.rt, r.shamt)
+                }
+                Funct::Sllv | Funct::Srlv | Funct::Srav => {
+                    write!(f, "{} {}, {}, {}", r.funct.mnemonic(), r.rd, r.rt, r.rs)
+                }
+                Funct::Jr => write!(f, "jr {}", r.rs),
+                Funct::Jalr => write!(f, "jalr {}, {}", r.rd, r.rs),
+                Funct::Syscall => write!(f, "syscall"),
+                Funct::Break => write!(f, "break"),
+                Funct::Mfhi | Funct::Mflo => {
+                    write!(f, "{} {}", r.funct.mnemonic(), r.rd)
+                }
+                Funct::Mthi | Funct::Mtlo => {
+                    write!(f, "{} {}", r.funct.mnemonic(), r.rs)
+                }
+                Funct::Mult | Funct::Multu | Funct::Div | Funct::Divu => {
+                    write!(f, "{} {}, {}", r.funct.mnemonic(), r.rs, r.rt)
+                }
+                _ => write!(f, "{} {}, {}, {}", r.funct.mnemonic(), r.rd, r.rs, r.rt),
+            },
+            Instr::I(i) => match i.opcode {
+                IOpcode::Lui => write!(f, "lui {}, {:#x}", i.rt, i.imm),
+                IOpcode::Beq | IOpcode::Bne => {
+                    write!(f, "{} {}, {}, {}", i.opcode.mnemonic(), i.rs, i.rt, i.simm())
+                }
+                IOpcode::Bltz | IOpcode::Bgez | IOpcode::Blez | IOpcode::Bgtz => {
+                    write!(f, "{} {}, {}", i.opcode.mnemonic(), i.rs, i.simm())
+                }
+                op if op.is_load() || op.is_store() => {
+                    write!(f, "{} {}, {}({})", op.mnemonic(), i.rt, i.simm(), i.rs)
+                }
+                IOpcode::Andi | IOpcode::Ori | IOpcode::Xori => {
+                    write!(f, "{} {}, {}, {:#x}", i.opcode.mnemonic(), i.rt, i.rs, i.imm)
+                }
+                _ => write!(f, "{} {}, {}, {}", i.opcode.mnemonic(), i.rt, i.rs, i.simm()),
+            },
+            Instr::J(j) => match j.opcode {
+                JOpcode::J => write!(f, "j {:#x}", j.target << 2),
+                JOpcode::Jal => write!(f, "jal {:#x}", j.target << 2),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instr::{IType, JType, RType};
+    use crate::reg::Reg;
+
+    use super::*;
+
+    #[test]
+    fn disasm_r_type() {
+        let add = Instr::R(RType {
+            funct: Funct::Add,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            rd: Reg::T2,
+            shamt: 0,
+        });
+        assert_eq!(add.to_string(), "add $t2, $t0, $t1");
+    }
+
+    #[test]
+    fn disasm_shifts() {
+        let sll = Instr::R(RType {
+            funct: Funct::Sll,
+            rs: Reg::ZERO,
+            rt: Reg::T0,
+            rd: Reg::T1,
+            shamt: 4,
+        });
+        assert_eq!(sll.to_string(), "sll $t1, $t0, 4");
+        let sllv = Instr::R(RType {
+            funct: Funct::Sllv,
+            rs: Reg::T2,
+            rt: Reg::T0,
+            rd: Reg::T1,
+            shamt: 0,
+        });
+        assert_eq!(sllv.to_string(), "sllv $t1, $t0, $t2");
+    }
+
+    #[test]
+    fn disasm_memory() {
+        let lw = Instr::I(IType {
+            opcode: IOpcode::Lw,
+            rs: Reg::SP,
+            rt: Reg::T0,
+            imm: 8,
+        });
+        assert_eq!(lw.to_string(), "lw $t0, 8($sp)");
+        let sw = Instr::I(IType {
+            opcode: IOpcode::Sw,
+            rs: Reg::GP,
+            rt: Reg::S1,
+            imm: (-12i16) as u16,
+        });
+        assert_eq!(sw.to_string(), "sw $s1, -12($gp)");
+    }
+
+    #[test]
+    fn disasm_branches() {
+        let beq = Instr::I(IType {
+            opcode: IOpcode::Beq,
+            rs: Reg::A0,
+            rt: Reg::A1,
+            imm: (-2i16) as u16,
+        });
+        assert_eq!(beq.to_string(), "beq $a0, $a1, -2");
+        let bltz = Instr::I(IType {
+            opcode: IOpcode::Bltz,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            imm: 5,
+        });
+        assert_eq!(bltz.to_string(), "bltz $v0, 5");
+    }
+
+    #[test]
+    fn disasm_jumps_and_traps() {
+        let j = Instr::J(JType { opcode: JOpcode::J, target: 0x100 });
+        assert_eq!(j.to_string(), "j 0x400");
+        let jr = Instr::R(RType {
+            funct: Funct::Jr,
+            rs: Reg::RA,
+            rt: Reg::ZERO,
+            rd: Reg::ZERO,
+            shamt: 0,
+        });
+        assert_eq!(jr.to_string(), "jr $ra");
+        let sc = Instr::R(RType {
+            funct: Funct::Syscall,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            rd: Reg::ZERO,
+            shamt: 0,
+        });
+        assert_eq!(sc.to_string(), "syscall");
+    }
+
+    #[test]
+    fn disasm_immediates() {
+        let andi = Instr::I(IType {
+            opcode: IOpcode::Andi,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            imm: 0xff,
+        });
+        assert_eq!(andi.to_string(), "andi $t1, $t0, 0xff");
+        let addi = Instr::I(IType {
+            opcode: IOpcode::Addi,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            imm: (-5i16) as u16,
+        });
+        assert_eq!(addi.to_string(), "addi $t1, $t0, -5");
+        let lui = Instr::I(IType {
+            opcode: IOpcode::Lui,
+            rs: Reg::ZERO,
+            rt: Reg::T1,
+            imm: 0x1234,
+        });
+        assert_eq!(lui.to_string(), "lui $t1, 0x1234");
+    }
+}

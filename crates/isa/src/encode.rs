@@ -1,0 +1,164 @@
+//! Binary encoding of instructions.
+//!
+//! Encoding is total: every [`Instr`] value has exactly one 32-bit
+//! encoding, and [`crate::decode`] inverts it (see the round-trip property
+//! tests in `tests/prop_roundtrip.rs`).
+
+use crate::instr::{IOpcode, Instr, JOpcode};
+
+/// Binary opcode values for I-type operations.
+///
+/// `Bltz`/`Bgez` share the `REGIMM` opcode `0x01` and are separated by the
+/// `rt` field (0 and 1 respectively).
+pub(crate) fn i_opcode_bits(op: IOpcode) -> u32 {
+    match op {
+        IOpcode::Bltz | IOpcode::Bgez => 0x01,
+        IOpcode::Beq => 0x04,
+        IOpcode::Bne => 0x05,
+        IOpcode::Blez => 0x06,
+        IOpcode::Bgtz => 0x07,
+        IOpcode::Addi => 0x08,
+        IOpcode::Addiu => 0x09,
+        IOpcode::Slti => 0x0a,
+        IOpcode::Sltiu => 0x0b,
+        IOpcode::Andi => 0x0c,
+        IOpcode::Ori => 0x0d,
+        IOpcode::Xori => 0x0e,
+        IOpcode::Lui => 0x0f,
+        IOpcode::Lb => 0x20,
+        IOpcode::Lh => 0x21,
+        IOpcode::Lw => 0x23,
+        IOpcode::Lbu => 0x24,
+        IOpcode::Lhu => 0x25,
+        IOpcode::Sb => 0x28,
+        IOpcode::Sh => 0x29,
+        IOpcode::Sw => 0x2b,
+    }
+}
+
+impl Instr {
+    /// Encode this instruction into its 32-bit binary form.
+    ///
+    /// ```
+    /// use cimon_isa::{Instr, IType, IOpcode, Reg};
+    /// let lw = Instr::I(IType {
+    ///     opcode: IOpcode::Lw,
+    ///     rs: Reg::SP,
+    ///     rt: Reg::T0,
+    ///     imm: 8,
+    /// });
+    /// assert_eq!(lw.encode(), 0x8fa8_0008);
+    /// ```
+    pub fn encode(&self) -> u32 {
+        match self {
+            Instr::R(r) => {
+                let rs = r.rs.index() as u32;
+                let rt = r.rt.index() as u32;
+                let rd = r.rd.index() as u32;
+                let shamt = (r.shamt & 0x1f) as u32;
+                (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | (r.funct as u32)
+            }
+            Instr::I(i) => {
+                let op = i_opcode_bits(i.opcode);
+                // REGIMM branches carry their selector in rt.
+                let rt = match i.opcode {
+                    IOpcode::Bltz => 0,
+                    IOpcode::Bgez => 1,
+                    _ => i.rt.index() as u32,
+                };
+                (op << 26) | ((i.rs.index() as u32) << 21) | (rt << 16) | (i.imm as u32)
+            }
+            Instr::J(j) => {
+                let op = match j.opcode {
+                    JOpcode::J => 0x02u32,
+                    JOpcode::Jal => 0x03,
+                };
+                (op << 26) | (j.target & 0x03ff_ffff)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instr::{Funct, IOpcode, IType, Instr, JOpcode, JType, RType};
+    use crate::reg::Reg;
+
+    #[test]
+    fn encode_r_type_fields() {
+        // add $t2, $t0, $t1 => 000000 01000 01001 01010 00000 100000
+        let add = Instr::R(RType {
+            funct: Funct::Add,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            rd: Reg::T2,
+            shamt: 0,
+        });
+        assert_eq!(add.encode(), 0x0109_5020);
+    }
+
+    #[test]
+    fn encode_shift_uses_shamt() {
+        let sll = Instr::R(RType {
+            funct: Funct::Sll,
+            rs: Reg::ZERO,
+            rt: Reg::T0,
+            rd: Reg::T1,
+            shamt: 4,
+        });
+        // 000000 00000 01000 01001 00100 000000
+        assert_eq!(sll.encode(), 0x0008_4900);
+    }
+
+    #[test]
+    fn encode_i_type_fields() {
+        let addiu = Instr::I(IType {
+            opcode: IOpcode::Addiu,
+            rs: Reg::SP,
+            rt: Reg::SP,
+            imm: 0xfff8,
+        });
+        // 001001 11101 11101 1111111111111000
+        assert_eq!(addiu.encode(), 0x27bd_fff8);
+    }
+
+    #[test]
+    fn encode_regimm_selector() {
+        let bltz = Instr::I(IType {
+            opcode: IOpcode::Bltz,
+            rs: Reg::A0,
+            rt: Reg::ZERO,
+            imm: 2,
+        });
+        assert_eq!(bltz.encode() >> 26, 0x01);
+        assert_eq!((bltz.encode() >> 16) & 0x1f, 0);
+        let bgez = Instr::I(IType {
+            opcode: IOpcode::Bgez,
+            rs: Reg::A0,
+            rt: Reg::ZERO,
+            imm: 2,
+        });
+        assert_eq!((bgez.encode() >> 16) & 0x1f, 1);
+    }
+
+    #[test]
+    fn encode_j_type() {
+        let j = Instr::J(JType { opcode: JOpcode::J, target: 0x0123_4567 & 0x03ff_ffff });
+        assert_eq!(j.encode() >> 26, 0x02);
+        assert_eq!(j.encode() & 0x03ff_ffff, 0x0123_4567 & 0x03ff_ffff);
+        let jal = Instr::J(JType { opcode: JOpcode::Jal, target: 1 });
+        assert_eq!(jal.encode(), (0x03 << 26) | 1);
+    }
+
+    #[test]
+    fn encode_syscall() {
+        let sc = Instr::R(RType {
+            funct: Funct::Syscall,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            rd: Reg::ZERO,
+            shamt: 0,
+        });
+        assert_eq!(sc.encode(), 0x0000_000c);
+    }
+}

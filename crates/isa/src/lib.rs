@@ -1,0 +1,55 @@
+//! # cimon-isa — the PISA-like instruction set architecture
+//!
+//! This crate defines the 32-bit RISC instruction set used throughout the
+//! `cimon` workspace. It is modelled on the SimpleScalar *Portable ISA*
+//! (PISA), itself a close relative of MIPS-I, which is the ISA the paper
+//! ("Microarchitectural Support for Program Code Integrity Monitoring in
+//! Application-specific Instruction Set Processors", Fei & Shi, DATE 2007)
+//! evaluates on.
+//!
+//! The crate is purely *architectural*: instruction formats, binary
+//! encodings, disassembly, and side-effect-free functional semantics
+//! ([`semantics`]). The micro-architecture (pipelines, hazards, the code
+//! integrity checker) lives in downstream crates.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cimon_isa::{Instr, Reg, RType, Funct};
+//!
+//! let add = Instr::R(RType {
+//!     funct: Funct::Add,
+//!     rs: Reg::T0,
+//!     rt: Reg::T1,
+//!     rd: Reg::T2,
+//!     shamt: 0,
+//! });
+//! let word = add.encode();
+//! assert_eq!(Instr::decode(word).unwrap(), add);
+//! assert_eq!(add.to_string(), "add $t2, $t0, $t1");
+//! ```
+
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod reg;
+pub mod semantics;
+pub mod syscall;
+
+pub use decode::DecodeError;
+pub use instr::{Funct, IOpcode, IType, Instr, InstrClass, JOpcode, JType, RType};
+pub use reg::{ParseRegError, Reg};
+pub use syscall::Syscall;
+
+/// Size of one instruction word in bytes. The ISA is fixed-width.
+pub const INSTR_BYTES: u32 = 4;
+
+/// Align an address down to an instruction-word boundary.
+///
+/// ```
+/// assert_eq!(cimon_isa::word_align(0x1003), 0x1000);
+/// ```
+pub fn word_align(addr: u32) -> u32 {
+    addr & !(INSTR_BYTES - 1)
+}

@@ -1,0 +1,254 @@
+//! Architectural general-purpose registers.
+//!
+//! The ISA has 32 general-purpose registers. Register 0 (`$zero`) is
+//! hard-wired to zero: writes to it are ignored by every conforming
+//! micro-architecture. Naming follows the MIPS o32 convention, which the
+//! assembler ([`cimon-asm`](https://example.org/cimon)) also accepts.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 general-purpose registers.
+///
+/// `Reg` is a validated index: it can only hold values `0..=31`, so
+/// downstream code may index register files without bounds checks.
+///
+/// ```
+/// use cimon_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 29);
+/// assert_eq!("$sp".parse::<Reg>().unwrap(), Reg::SP);
+/// assert_eq!("$29".parse::<Reg>().unwrap(), Reg::SP);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// Conventional names for all 32 registers, indexed by register number.
+pub const REG_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl Reg {
+    /// The hard-wired zero register `$zero`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `$at` (reserved for pseudo-instruction expansion).
+    pub const AT: Reg = Reg(1);
+    /// Result register `$v0`.
+    pub const V0: Reg = Reg(2);
+    /// Result register `$v1`.
+    pub const V1: Reg = Reg(3);
+    /// Argument register `$a0`.
+    pub const A0: Reg = Reg(4);
+    /// Argument register `$a1`.
+    pub const A1: Reg = Reg(5);
+    /// Argument register `$a2`.
+    pub const A2: Reg = Reg(6);
+    /// Argument register `$a3`.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary `$t0`.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary `$t1`.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary `$t2`.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary `$t3`.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary `$t4`.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary `$t5`.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary `$t6`.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary `$t7`.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved register `$s0`.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register `$s1`.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register `$s2`.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register `$s3`.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register `$s4`.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register `$s5`.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register `$s6`.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register `$s7`.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary `$t8`.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary `$t9`.
+    pub const T9: Reg = Reg(25);
+    /// Kernel register `$k0`.
+    pub const K0: Reg = Reg(26);
+    /// Kernel register `$k1`.
+    pub const K1: Reg = Reg(27);
+    /// Global pointer `$gp`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer `$sp`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `$fp`.
+    pub const FP: Reg = Reg(30);
+    /// Return address `$ra`.
+    pub const RA: Reg = Reg(31);
+
+    /// Construct a register from its number.
+    ///
+    /// Returns `None` if `index > 31`.
+    ///
+    /// ```
+    /// use cimon_isa::Reg;
+    /// assert_eq!(Reg::new(31), Some(Reg::RA));
+    /// assert_eq!(Reg::new(32), None);
+    /// ```
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Construct a register from the low 5 bits of an encoded field.
+    ///
+    /// This is total: it masks the input, as hardware decoders do.
+    pub fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register number, in `0..=31`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The conventional name, without the `$` sigil (e.g. `"sp"`).
+    pub fn name(self) -> &'static str {
+        REG_NAMES[self.index()]
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parse `$name`, `name`, `$N`, or `N` forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        if let Some(i) = REG_NAMES.iter().position(|&n| n == body) {
+            return Ok(Reg(i as u8));
+        }
+        if let Ok(n) = body.parse::<u8>() {
+            if let Some(r) = Reg::new(n) {
+                return Ok(r);
+            }
+        }
+        Err(ParseRegError { text: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::AT.index(), 1);
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::T0.index(), 8);
+        assert_eq!(Reg::S0.index(), 16);
+        assert_eq!(Reg::T8.index(), 24);
+        assert_eq!(Reg::GP.index(), 28);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::FP.index(), 30);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn new_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::ZERO));
+        assert_eq!(Reg::new(31), Some(Reg::RA));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn from_field_masks() {
+        assert_eq!(Reg::from_field(0xffff_ffe9), Reg(9));
+        assert_eq!(Reg::from_field(31), Reg::RA);
+    }
+
+    #[test]
+    fn display_uses_sigil() {
+        assert_eq!(Reg::T3.to_string(), "$t3");
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+    }
+
+    #[test]
+    fn parse_all_name_forms() {
+        for r in Reg::all() {
+            assert_eq!(format!("${}", r.name()).parse::<Reg>().unwrap(), r);
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+            assert_eq!(format!("${}", r.index()).parse::<Reg>().unwrap(), r);
+            assert_eq!(r.index().to_string().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("$x9".parse::<Reg>().is_err());
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("$".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<_> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_flag() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

@@ -1,0 +1,91 @@
+//! System-call ABI.
+//!
+//! `syscall` traps to the OS model with the service number in `$v0` and
+//! arguments in `$a0`/`$a1`. The set is deliberately tiny: workloads
+//! compute in memory and terminate; the harness inspects memory rather
+//! than parsing console output.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Architected system-call services.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// Terminate the program. Exit code in `$a0`.
+    Exit,
+    /// Print the signed integer in `$a0` to the simulated console.
+    PrintInt,
+    /// Print the low byte of `$a0` as a character.
+    PrintChar,
+    /// Read the current cycle counter into `$v0` (a simulator service,
+    /// used by self-timing workloads).
+    ReadCycles,
+}
+
+impl Syscall {
+    /// Register that carries the service number.
+    pub const NUMBER_REG: Reg = Reg::V0;
+    /// First argument register.
+    pub const ARG0_REG: Reg = Reg::A0;
+
+    /// Map a service number (the value of `$v0` at the trap) to a service.
+    ///
+    /// Returns `None` for unassigned numbers; the OS model treats those as
+    /// a fatal program error.
+    pub fn from_number(n: u32) -> Option<Syscall> {
+        match n {
+            10 => Some(Syscall::Exit),
+            1 => Some(Syscall::PrintInt),
+            11 => Some(Syscall::PrintChar),
+            30 => Some(Syscall::ReadCycles),
+            _ => None,
+        }
+    }
+
+    /// The service number callers must place in `$v0`.
+    pub fn number(self) -> u32 {
+        match self {
+            Syscall::Exit => 10,
+            Syscall::PrintInt => 1,
+            Syscall::PrintChar => 11,
+            Syscall::ReadCycles => 30,
+        }
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Syscall::Exit => "exit",
+            Syscall::PrintInt => "print_int",
+            Syscall::PrintChar => "print_char",
+            Syscall::ReadCycles => "read_cycles",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for sc in [Syscall::Exit, Syscall::PrintInt, Syscall::PrintChar, Syscall::ReadCycles] {
+            assert_eq!(Syscall::from_number(sc.number()), Some(sc));
+        }
+    }
+
+    #[test]
+    fn unknown_numbers_rejected() {
+        assert_eq!(Syscall::from_number(0), None);
+        assert_eq!(Syscall::from_number(99), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Syscall::Exit.to_string(), "exit");
+        assert_eq!(Syscall::ReadCycles.to_string(), "read_cycles");
+    }
+}

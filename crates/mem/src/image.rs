@@ -1,0 +1,141 @@
+//! Loadable program images.
+//!
+//! A [`ProgramImage`] is what the assembler emits and the OS loader
+//! consumes: a text segment of instruction words, a data segment of raw
+//! bytes, the entry point, and the initial stack pointer. The layout
+//! convention used throughout the workspace:
+//!
+//! * text base `0x0040_0000`
+//! * data base `0x1000_0000`
+//! * stack top `0x7fff_fffc`, growing down
+
+use crate::memory::Memory;
+
+/// Default base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Default initial stack pointer (word-aligned, grows down).
+pub const STACK_TOP: u32 = 0x7fff_fffc;
+
+/// A contiguous byte range to be loaded at a base address.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address of the first byte.
+    pub base: u32,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// The address one past the last byte.
+    pub fn end(&self) -> u32 {
+        self.base.wrapping_add(self.bytes.len() as u32)
+    }
+
+    /// Whether `addr` falls inside this segment.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// A complete loadable program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramImage {
+    /// Executable code.
+    pub text: Segment,
+    /// Initialised data.
+    pub data: Segment,
+    /// Address of the first instruction to execute.
+    pub entry: u32,
+}
+
+impl ProgramImage {
+    /// Instruction words of the text segment, in address order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text segment length is not a multiple of 4 — the
+    /// assembler can never produce such an image.
+    pub fn text_words(&self) -> Vec<u32> {
+        assert!(
+            self.text.bytes.len() % 4 == 0,
+            "text segment not word-sized: {} bytes",
+            self.text.bytes.len()
+        );
+        self.text
+            .bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// The address range `[text.base, text.end())` as `(start, end)`.
+    pub fn text_range(&self) -> (u32, u32) {
+        (self.text.base, self.text.end())
+    }
+
+    /// Load both segments into a memory.
+    pub fn load_into(&self, mem: &mut Memory) {
+        mem.write_bytes(self.text.base, &self.text.bytes);
+        mem.write_bytes(self.data.base, &self.data.bytes);
+    }
+
+    /// Build a fresh memory holding this image.
+    pub fn to_memory(&self) -> Memory {
+        let mut mem = Memory::new();
+        self.load_into(&mut mem);
+        mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> ProgramImage {
+        ProgramImage {
+            text: Segment {
+                base: TEXT_BASE,
+                bytes: vec![0x20, 0x50, 0x09, 0x01, 0x0c, 0x00, 0x00, 0x00],
+            },
+            data: Segment { base: DATA_BASE, bytes: vec![1, 2, 3] },
+            entry: TEXT_BASE,
+        }
+    }
+
+    #[test]
+    fn segment_geometry() {
+        let img = image();
+        assert_eq!(img.text.end(), TEXT_BASE + 8);
+        assert!(img.text.contains(TEXT_BASE));
+        assert!(img.text.contains(TEXT_BASE + 7));
+        assert!(!img.text.contains(TEXT_BASE + 8));
+        assert_eq!(img.text_range(), (TEXT_BASE, TEXT_BASE + 8));
+    }
+
+    #[test]
+    fn text_words_little_endian() {
+        let img = image();
+        assert_eq!(img.text_words(), vec![0x0109_5020, 0x0000_000c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-sized")]
+    fn ragged_text_panics() {
+        let img = ProgramImage {
+            text: Segment { base: 0, bytes: vec![1, 2, 3] },
+            ..ProgramImage::default()
+        };
+        img.text_words();
+    }
+
+    #[test]
+    fn load_places_both_segments() {
+        let img = image();
+        let mem = img.to_memory();
+        assert_eq!(mem.read_u32(TEXT_BASE).unwrap(), 0x0109_5020);
+        assert_eq!(mem.read_u8(DATA_BASE), 1);
+        assert_eq!(mem.read_u8(DATA_BASE + 2), 3);
+    }
+}

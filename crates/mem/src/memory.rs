@@ -1,0 +1,265 @@
+//! Sparse byte-addressable memory.
+//!
+//! Backed by 4 KiB pages allocated on demand, so a 4 GiB address space
+//! costs only what is touched. All multi-byte accesses are little-endian
+//! and must be naturally aligned, mirroring the alignment faults a real
+//! bus would raise.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bytes per page.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Error raised by memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// A halfword or word access was not naturally aligned.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+        /// Required alignment in bytes (2 or 4).
+        required: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Misaligned { addr, required } => {
+                write!(f, "misaligned {required}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Sparse little-endian memory. Unwritten locations read as zero.
+///
+/// ```
+/// use cimon_mem::Memory;
+/// let mut m = Memory::new();
+/// m.write_u32(0x2000, 0x1122_3344)?;
+/// assert_eq!(m.read_u8(0x2000), 0x44);
+/// assert_eq!(m.read_u16(0x2002)?, 0x1122);
+/// # Ok::<(), cimon_mem::MemError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("resident_pages", &self.pages.len())
+            .field("resident_bytes", &(self.pages.len() * PAGE_SIZE as usize))
+            .finish()
+    }
+}
+
+impl Memory {
+    /// An empty memory; every byte reads as zero.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_of(addr: u32) -> u32 {
+        addr / PAGE_SIZE
+    }
+
+    /// Read one byte. Never fails; untouched memory is zero.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&Self::page_of(addr)) {
+            Some(page) => page[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(Self::page_of(addr))
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        page[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Read a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] if `addr` is not 2-byte aligned.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
+        if addr % 2 != 0 {
+            return Err(MemError::Misaligned { addr, required: 2 });
+        }
+        Ok(u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))]))
+    }
+
+    /// Write a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] if `addr` is not 2-byte aligned.
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
+        if addr % 2 != 0 {
+            return Err(MemError::Misaligned { addr, required: 2 });
+        }
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+        Ok(())
+    }
+
+    /// Read a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] if `addr` is not 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        if addr % 4 != 0 {
+            return Err(MemError::Misaligned { addr, required: 4 });
+        }
+        Ok(u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ]))
+    }
+
+    /// Write a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] if `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        if addr % 4 != 0 {
+            return Err(MemError::Misaligned { addr, required: 4 });
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+        Ok(())
+    }
+
+    /// Copy a byte slice into memory starting at `base`.
+    pub fn write_bytes(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(base.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Read `len` bytes starting at `base`.
+    pub fn read_bytes(&self, base: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(base.wrapping_add(i as u32))).collect()
+    }
+
+    /// Flip a single bit: `addr` selects the byte, `bit` (0..8) the bit
+    /// within it. Used by the fault injector for stored-image faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) {
+        assert!(bit < 8, "bit index out of range: {bit}");
+        let old = self.read_u8(addr);
+        self.write_u8(addr, old ^ (1 << bit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_bee0).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(5, 0xab);
+        assert_eq!(m.read_u8(5), 0xab);
+        m.write_u16(6, 0x1234).unwrap();
+        assert_eq!(m.read_u16(6).unwrap(), 0x1234);
+        m.write_u32(8, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x10, 0x0102_0304).unwrap();
+        assert_eq!(m.read_u8(0x10), 0x04);
+        assert_eq!(m.read_u8(0x11), 0x03);
+        assert_eq!(m.read_u8(0x12), 0x02);
+        assert_eq!(m.read_u8(0x13), 0x01);
+    }
+
+    #[test]
+    fn misalignment_faults() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u16(1).unwrap_err(), MemError::Misaligned { addr: 1, required: 2 });
+        assert_eq!(m.read_u32(2).unwrap_err(), MemError::Misaligned { addr: 2, required: 4 });
+        assert!(m.write_u16(3, 0).is_err());
+        assert!(m.write_u32(6, 0).is_err());
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 2; // halfword straddles... actually aligned
+        m.write_u16(addr, 0xbeef).unwrap();
+        assert_eq!(m.read_u16(addr).unwrap(), 0xbeef);
+        // word that spans a page boundary via byte writes
+        let base = PAGE_SIZE - 4;
+        m.write_u32(base, 0x1357_9bdf).unwrap();
+        assert_eq!(m.read_u32(base).unwrap(), 0x1357_9bdf);
+        assert!(m.resident_pages() >= 1);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x8000, &data);
+        assert_eq!(m.read_bytes(0x8000, 256), data);
+    }
+
+    #[test]
+    fn flip_bit_flips_and_restores() {
+        let mut m = Memory::new();
+        m.write_u8(0x40, 0b0101_0101);
+        m.flip_bit(0x40, 1);
+        assert_eq!(m.read_u8(0x40), 0b0101_0111);
+        m.flip_bit(0x40, 1);
+        assert_eq!(m.read_u8(0x40), 0b0101_0101);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index out of range")]
+    fn flip_bit_bounds() {
+        let mut m = Memory::new();
+        m.flip_bit(0, 8);
+    }
+
+    #[test]
+    fn sparse_residency() {
+        let mut m = Memory::new();
+        m.write_u8(0, 1);
+        m.write_u8(0xffff_f000, 1);
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

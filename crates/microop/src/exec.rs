@@ -1,0 +1,339 @@
+//! Micro-program execution.
+//!
+//! The executor interprets a [`MicroProgram`] against a [`Datapath`] and
+//! an environment ([`MicroEnv`]) supplying the functional units that live
+//! outside the special-register file: the instruction memory/bus, the
+//! hash unit, the internal hash table and the exception lines. The
+//! pipeline implements `MicroEnv` by wiring these to real components;
+//! tests implement it with stubs.
+
+use std::fmt;
+
+use crate::datapath::Datapath;
+use crate::ops::{Cond, Guard, MicroOp, MicroProgram, Wire};
+
+/// Monitoring exception lines (paper, Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExceptionKind {
+    /// `exception0`: the block's `(start, end)` pair was not found in the
+    /// IHT — trap to the OS to search the full hash table.
+    HashMiss,
+    /// `exception1`: the entry was found but the hash differs — the code
+    /// has been altered; the OS terminates the program.
+    HashMismatch,
+}
+
+impl ExceptionKind {
+    /// The signal name used in the paper's listings.
+    pub fn signal_name(self) -> &'static str {
+        match self {
+            ExceptionKind::HashMiss => "exception0",
+            ExceptionKind::HashMismatch => "exception1",
+        }
+    }
+}
+
+impl fmt::Display for ExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExceptionKind::HashMiss => f.write_str("hash miss"),
+            ExceptionKind::HashMismatch => f.write_str("hash mismatch"),
+        }
+    }
+}
+
+/// The functional units a micro-program may invoke.
+pub trait MicroEnv {
+    /// Instruction fetch (`IMAU.read`): returns the word the processor
+    /// sees, which may already be corrupted in flight.
+    fn fetch(&mut self, addr: u32) -> u32;
+
+    /// One combinational step of the hash unit (`HASHFU.ope`).
+    fn hash_step(&mut self, old: u32, instr: u32) -> u32;
+
+    /// The hash unit's reset line, asserted together with
+    /// `RHASH.reset()`. Algorithms whose internal state is wider than
+    /// the 32-bit `RHASH` mirror (Fletcher, CRC, SHA-1) clear that state
+    /// here. The default is a no-op, which is correct for plain XOR.
+    fn hash_reset(&mut self) {}
+
+    /// IHT lookup: `(found, matched)` for the key `(start, end, hash)`.
+    fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool);
+
+    /// An exception line was asserted.
+    fn raise(&mut self, kind: ExceptionKind);
+}
+
+/// Wire values produced by one program execution.
+///
+/// Stage programs drive at most a dozen wires, so the store is a flat
+/// vector with pointer-first comparison — far cheaper than hashing on
+/// the per-instruction fast path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireEnv {
+    values: Vec<(&'static str, u32)>,
+}
+
+impl WireEnv {
+    /// An empty wire environment.
+    pub fn new() -> WireEnv {
+        WireEnv::default()
+    }
+
+    fn find(&self, name: &'static str) -> Option<usize> {
+        self.values
+            .iter()
+            .position(|(n, _)| std::ptr::eq(*n as *const str, name as *const str) || *n == name)
+    }
+
+    /// Pre-seed an input wire (one of the program's
+    /// [`MicroProgram::free_wires`]).
+    pub fn set(&mut self, wire: Wire, value: u32) {
+        match self.find(wire.0) {
+            Some(i) => self.values[i].1 = value,
+            None => self.values.push((wire.0, value)),
+        }
+    }
+
+    /// Read a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire was never driven — that is a bug in the
+    /// micro-program, equivalent to reading a floating signal.
+    pub fn get(&self, wire: Wire) -> u32 {
+        match self.find(wire.0) {
+            Some(i) => self.values[i].1,
+            None => panic!("wire `{wire}` read before being driven"),
+        }
+    }
+
+    /// Read a wire if it was driven.
+    pub fn try_get(&self, wire: Wire) -> Option<u32> {
+        self.find(wire.0).map(|i| self.values[i].1)
+    }
+
+    fn guard_true(&self, g: &Guard) -> bool {
+        let v = self.get(g.wire);
+        match g.cond {
+            Cond::EqZero => v == 0,
+            Cond::NeZero => v != 0,
+        }
+    }
+}
+
+/// Execute `program` over `dp`, with functional units supplied by `env`
+/// and inputs pre-seeded in `wires`. Returns the final wire environment
+/// so callers can observe outputs.
+///
+/// # Panics
+///
+/// Panics if the program reads an undriven wire (a malformed program;
+/// [`crate::spec::ProcessorSpec::validate`] rejects these statically).
+pub fn execute(
+    program: &MicroProgram,
+    dp: &mut Datapath,
+    env: &mut dyn MicroEnv,
+    mut wires: WireEnv,
+) -> WireEnv {
+    use crate::datapath::DReg;
+    for op in &program.ops {
+        match op {
+            MicroOp::Read { reg, out } => {
+                let v = dp.read(*reg);
+                wires.set(*out, v);
+            }
+            MicroOp::Write { reg, input, guard } => {
+                let fire = guard.as_ref().map_or(true, |g| wires.guard_true(g));
+                if fire {
+                    let v = wires.get(*input);
+                    dp.write(*reg, v);
+                }
+            }
+            MicroOp::Reset { reg } => {
+                dp.reset(*reg);
+                if *reg == DReg::Rhash {
+                    env.hash_reset();
+                }
+            }
+            MicroOp::IncPc => {
+                let pc = dp.read(DReg::Cpc);
+                dp.write(DReg::Cpc, pc.wrapping_add(cimon_isa::INSTR_BYTES));
+            }
+            MicroOp::FetchIMem { addr, out } => {
+                let a = wires.get(*addr);
+                let w = env.fetch(a);
+                wires.set(*out, w);
+            }
+            MicroOp::HashOp { old, instr, out } => {
+                let v = env.hash_step(wires.get(*old), wires.get(*instr));
+                wires.set(*out, v);
+            }
+            MicroOp::IhtLookup { start, end, hash, found, matched } => {
+                let (f, m) = env.iht_lookup(wires.get(*start), wires.get(*end), wires.get(*hash));
+                wires.set(*found, f as u32);
+                wires.set(*matched, m as u32);
+            }
+            MicroOp::AndNot { a, b, out } => {
+                let v = (wires.get(*a) != 0) && (wires.get(*b) == 0);
+                wires.set(*out, v as u32);
+            }
+            MicroOp::RaiseException { kind, guard } => {
+                if wires.guard_true(guard) {
+                    env.raise(*kind);
+                }
+            }
+        }
+    }
+    wires
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::DReg;
+
+    /// Stub environment: fixed memory word, XOR hash, scripted IHT answer.
+    struct Stub {
+        mem_word: u32,
+        iht_answer: (bool, bool),
+        raised: Vec<ExceptionKind>,
+    }
+
+    impl MicroEnv for Stub {
+        fn fetch(&mut self, _addr: u32) -> u32 {
+            self.mem_word
+        }
+        fn hash_step(&mut self, old: u32, instr: u32) -> u32 {
+            old ^ instr
+        }
+        fn iht_lookup(&mut self, _s: u32, _e: u32, _h: u32) -> (bool, bool) {
+            self.iht_answer
+        }
+        fn raise(&mut self, kind: ExceptionKind) {
+            self.raised.push(kind);
+        }
+    }
+
+    fn stub() -> Stub {
+        Stub { mem_word: 0x1234_5678, iht_answer: (true, true), raised: vec![] }
+    }
+
+    #[test]
+    fn baseline_if_sequence() {
+        // Figure 1: read CPC, fetch, latch into IReg, increment CPC.
+        let mut p = MicroProgram::new("IF");
+        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("current_pc") });
+        p.push(MicroOp::FetchIMem { addr: Wire("current_pc"), out: Wire("instr") });
+        p.push(MicroOp::Write { reg: DReg::IReg, input: Wire("instr"), guard: None });
+        p.push(MicroOp::IncPc);
+
+        let mut dp = Datapath::new();
+        dp.write(DReg::Cpc, 0x400);
+        let mut env = stub();
+        let wires = execute(&p, &mut dp, &mut env, WireEnv::new());
+        assert_eq!(dp.read(DReg::IReg), 0x1234_5678);
+        assert_eq!(dp.read(DReg::Cpc), 0x404);
+        assert_eq!(wires.get(Wire("instr")), 0x1234_5678);
+    }
+
+    #[test]
+    fn guarded_write_fires_only_on_zero() {
+        let mut p = MicroProgram::new("g");
+        p.push(MicroOp::Read { reg: DReg::Sta, out: Wire("start") });
+        p.push(MicroOp::Write {
+            reg: DReg::Sta,
+            input: Wire("pc"),
+            guard: Some(Guard::eq_zero(Wire("start"))),
+        });
+
+        // STA == 0: the write fires.
+        let mut dp = Datapath::new();
+        let mut env = stub();
+        let mut wires = WireEnv::new();
+        wires.set(Wire("pc"), 0x1000);
+        execute(&p, &mut dp, &mut env, wires);
+        assert_eq!(dp.read(DReg::Sta), 0x1000);
+
+        // STA != 0: suppressed.
+        let mut wires = WireEnv::new();
+        wires.set(Wire("pc"), 0x2000);
+        execute(&p, &mut dp, &mut env, wires);
+        assert_eq!(dp.read(DReg::Sta), 0x1000);
+    }
+
+    #[test]
+    fn exceptions_follow_lookup_result() {
+        let mut p = MicroProgram::new("id-check");
+        p.push(MicroOp::IhtLookup {
+            start: Wire("s"),
+            end: Wire("e"),
+            hash: Wire("h"),
+            found: Wire("found"),
+            matched: Wire("match"),
+        });
+        p.push(MicroOp::RaiseException {
+            kind: ExceptionKind::HashMiss,
+            guard: Guard::eq_zero(Wire("found")),
+        });
+        p.push(MicroOp::AndNot { a: Wire("found"), b: Wire("match"), out: Wire("mm") });
+        p.push(MicroOp::RaiseException {
+            kind: ExceptionKind::HashMismatch,
+            guard: Guard::ne_zero(Wire("mm")),
+        });
+
+        let seed = |env: &mut Stub, ans| {
+            env.iht_answer = ans;
+            env.raised.clear();
+        };
+        let mut dp = Datapath::new();
+        let mut env = stub();
+        let inputs = || {
+            let mut w = WireEnv::new();
+            w.set(Wire("s"), 1);
+            w.set(Wire("e"), 2);
+            w.set(Wire("h"), 3);
+            w
+        };
+
+        // hit
+        seed(&mut env, (true, true));
+        execute(&p, &mut dp, &mut env, inputs());
+        assert!(env.raised.is_empty());
+        // miss
+        seed(&mut env, (false, false));
+        execute(&p, &mut dp, &mut env, inputs());
+        assert_eq!(env.raised, vec![ExceptionKind::HashMiss]);
+        // mismatch
+        seed(&mut env, (true, false));
+        execute(&p, &mut dp, &mut env, inputs());
+        assert_eq!(env.raised, vec![ExceptionKind::HashMismatch]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before being driven")]
+    fn undriven_wire_panics() {
+        let mut p = MicroProgram::new("bad");
+        p.push(MicroOp::Write { reg: DReg::Sta, input: Wire("ghost"), guard: None });
+        let mut dp = Datapath::new();
+        let mut env = stub();
+        execute(&p, &mut dp, &mut env, WireEnv::new());
+    }
+
+    #[test]
+    fn hash_accumulation_chain() {
+        let mut p = MicroProgram::new("hash");
+        p.push(MicroOp::Read { reg: DReg::Rhash, out: Wire("ohashv") });
+        p.push(MicroOp::HashOp { old: Wire("ohashv"), instr: Wire("instr"), out: Wire("nhashv") });
+        p.push(MicroOp::Write { reg: DReg::Rhash, input: Wire("nhashv"), guard: None });
+
+        let mut dp = Datapath::new();
+        let mut env = stub();
+        for word in [0xaaaa_0000u32, 0x0000_bbbb, 0x1111_1111] {
+            let mut w = WireEnv::new();
+            w.set(Wire("instr"), word);
+            execute(&p, &mut dp, &mut env, w);
+        }
+        assert_eq!(dp.read(DReg::Rhash), 0xaaaa_0000 ^ 0x0000_bbbb ^ 0x1111_1111);
+    }
+}

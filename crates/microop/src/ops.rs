@@ -1,0 +1,320 @@
+//! The microoperation language.
+//!
+//! A [`MicroProgram`] is a straight-line sequence of [`MicroOp`]s
+//! communicating through named [`Wire`]s (the paper's lowercase
+//! temporaries: `current_pc`, `instr`, `ohashv`, …). Conditional
+//! micro-ops carry a [`Guard`], printed in the paper's bracket syntax:
+//! `null = [start==0]STA.write(current_pc)`.
+
+use std::fmt;
+
+use crate::datapath::DReg;
+use crate::exec::ExceptionKind;
+
+/// A named intermediate value within one stage's micro-program.
+///
+/// Wires are stage-local: they are written once and read within the same
+/// cycle, modelling combinational signals between datapath components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Wire(pub &'static str);
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Condition applied to a guard wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// True when the wire equals zero.
+    EqZero,
+    /// True when the wire is non-zero.
+    NeZero,
+}
+
+/// A guard on a conditional micro-op: `[wire==0]` or `[wire!=0]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The wire inspected.
+    pub wire: Wire,
+    /// The condition.
+    pub cond: Cond,
+}
+
+impl Guard {
+    /// Guard that fires when `wire == 0`.
+    pub fn eq_zero(wire: Wire) -> Guard {
+        Guard { wire, cond: Cond::EqZero }
+    }
+
+    /// Guard that fires when `wire != 0`.
+    pub fn ne_zero(wire: Wire) -> Guard {
+        Guard { wire, cond: Cond::NeZero }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cond {
+            Cond::EqZero => write!(f, "[{}==0]", self.wire),
+            Cond::NeZero => write!(f, "[{}!=0]", self.wire),
+        }
+    }
+}
+
+/// One elementary register-transfer operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `out = REG.read()`
+    Read {
+        /// Source register.
+        reg: DReg,
+        /// Destination wire.
+        out: Wire,
+    },
+    /// `null = REG.write(input)`, optionally guarded.
+    Write {
+        /// Destination register.
+        reg: DReg,
+        /// Source wire.
+        input: Wire,
+        /// Optional guard; the write is suppressed when it is false.
+        guard: Option<Guard>,
+    },
+    /// `null = REG.reset()`
+    Reset {
+        /// Register restored to its reset value.
+        reg: DReg,
+    },
+    /// `null = CPC.inc()` — advance the PC by one instruction.
+    IncPc,
+    /// `out = IMAU.read(addr)` — fetch an instruction word over the bus.
+    FetchIMem {
+        /// Address wire.
+        addr: Wire,
+        /// Fetched-word wire.
+        out: Wire,
+    },
+    /// `out = HASHFU.ope(old, instr)` — one step of the hash unit.
+    HashOp {
+        /// Accumulated hash input.
+        old: Wire,
+        /// Instruction word input.
+        instr: Wire,
+        /// Updated hash output.
+        out: Wire,
+    },
+    /// `<found,match> = IHTbb.lookup(<start,end,hash>)`
+    IhtLookup {
+        /// Block start address wire.
+        start: Wire,
+        /// Block end address wire.
+        end: Wire,
+        /// Block hash wire.
+        hash: Wire,
+        /// Output: 1 when an entry with this `(start, end)` exists.
+        found: Wire,
+        /// Output: 1 when that entry's hash also matches.
+        matched: Wire,
+    },
+    /// `out = a & !b` — used to express the paper's compound mismatch
+    /// condition `found==1 & match==0`.
+    AndNot {
+        /// Left operand wire.
+        a: Wire,
+        /// Right (negated) operand wire.
+        b: Wire,
+        /// Result wire.
+        out: Wire,
+    },
+    /// `exceptionN = [guard]'1'` — raise a monitoring exception.
+    RaiseException {
+        /// Which exception line is asserted.
+        kind: ExceptionKind,
+        /// Condition under which it fires.
+        guard: Guard,
+    },
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroOp::Read { reg, out } => write!(f, "{out} = {reg}.read();"),
+            MicroOp::Write { reg, input, guard: None } => {
+                write!(f, "null = {reg}.write({input});")
+            }
+            MicroOp::Write { reg, input, guard: Some(g) } => {
+                write!(f, "null = {g}{reg}.write({input});")
+            }
+            MicroOp::Reset { reg } => write!(f, "null = {reg}.reset();"),
+            MicroOp::IncPc => write!(f, "null = CPC.inc();"),
+            MicroOp::FetchIMem { addr, out } => write!(f, "{out} = IMAU.read({addr});"),
+            MicroOp::HashOp { old, instr, out } => {
+                write!(f, "{out} = HASHFU.ope({old}, {instr});")
+            }
+            MicroOp::IhtLookup { start, end, hash, found, matched } => write!(
+                f,
+                "<{found},{matched}> = IHTbb.lookup(<{start},{end},{hash}>);"
+            ),
+            MicroOp::AndNot { a, b, out } => write!(f, "{out} = {a} & !{b};"),
+            MicroOp::RaiseException { kind, guard } => {
+                write!(f, "{} = {guard}'1';", kind.signal_name())
+            }
+        }
+    }
+}
+
+/// A named straight-line sequence of micro-ops attached to a pipeline
+/// stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MicroProgram {
+    /// Descriptive name, e.g. `"IF (all instructions)"`.
+    pub name: String,
+    /// The operations, executed in order within one cycle.
+    pub ops: Vec<MicroOp>,
+}
+
+impl MicroProgram {
+    /// An empty program with a name.
+    pub fn new(name: impl Into<String>) -> MicroProgram {
+        MicroProgram { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Append an op, builder-style.
+    pub fn push(&mut self, op: MicroOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Wires read before they are written within this program — i.e. the
+    /// program's inputs, which the executor must seed.
+    pub fn free_wires(&self) -> Vec<Wire> {
+        let mut defined: Vec<Wire> = Vec::new();
+        let mut free: Vec<Wire> = Vec::new();
+        let use_wire = |w: Wire, defined: &[Wire], free: &mut Vec<Wire>| {
+            if !defined.contains(&w) && !free.contains(&w) {
+                free.push(w);
+            }
+        };
+        for op in &self.ops {
+            match op {
+                MicroOp::Read { out, .. } => defined.push(*out),
+                MicroOp::Write { input, guard, .. } => {
+                    use_wire(*input, &defined, &mut free);
+                    if let Some(g) = guard {
+                        use_wire(g.wire, &defined, &mut free);
+                    }
+                }
+                MicroOp::Reset { .. } | MicroOp::IncPc => {}
+                MicroOp::FetchIMem { addr, out } => {
+                    use_wire(*addr, &defined, &mut free);
+                    defined.push(*out);
+                }
+                MicroOp::HashOp { old, instr, out } => {
+                    use_wire(*old, &defined, &mut free);
+                    use_wire(*instr, &defined, &mut free);
+                    defined.push(*out);
+                }
+                MicroOp::IhtLookup { start, end, hash, found, matched } => {
+                    use_wire(*start, &defined, &mut free);
+                    use_wire(*end, &defined, &mut free);
+                    use_wire(*hash, &defined, &mut free);
+                    defined.push(*found);
+                    defined.push(*matched);
+                }
+                MicroOp::AndNot { a, b, out } => {
+                    use_wire(*a, &defined, &mut free);
+                    use_wire(*b, &defined, &mut free);
+                    defined.push(*out);
+                }
+                MicroOp::RaiseException { guard, .. } => {
+                    use_wire(guard.wire, &defined, &mut free);
+                }
+            }
+        }
+        free
+    }
+}
+
+impl fmt::Display for MicroProgram {
+    /// Prints in the paper's textual syntax (compare Figures 1, 3(b), 4).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {}", self.name)?;
+        for op in &self.ops {
+            writeln!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let op = MicroOp::Write {
+            reg: DReg::Sta,
+            input: Wire("current_pc"),
+            guard: Some(Guard::eq_zero(Wire("start"))),
+        };
+        assert_eq!(op.to_string(), "null = [start==0]STA.write(current_pc);");
+
+        let lookup = MicroOp::IhtLookup {
+            start: Wire("start"),
+            end: Wire("end"),
+            hash: Wire("hashv"),
+            found: Wire("found"),
+            matched: Wire("match"),
+        };
+        assert_eq!(
+            lookup.to_string(),
+            "<found,match> = IHTbb.lookup(<start,end,hashv>);"
+        );
+
+        let exc = MicroOp::RaiseException {
+            kind: ExceptionKind::HashMiss,
+            guard: Guard::eq_zero(Wire("found")),
+        };
+        assert_eq!(exc.to_string(), "exception0 = [found==0]'1';");
+    }
+
+    #[test]
+    fn free_wires_are_program_inputs() {
+        let mut p = MicroProgram::new("t");
+        p.push(MicroOp::HashOp { old: Wire("a"), instr: Wire("b"), out: Wire("c") });
+        p.push(MicroOp::Write { reg: DReg::Rhash, input: Wire("c"), guard: None });
+        assert_eq!(p.free_wires(), vec![Wire("a"), Wire("b")]);
+    }
+
+    #[test]
+    fn defined_wires_are_not_free() {
+        let mut p = MicroProgram::new("t");
+        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("pc") });
+        p.push(MicroOp::FetchIMem { addr: Wire("pc"), out: Wire("instr") });
+        p.push(MicroOp::Write { reg: DReg::IReg, input: Wire("instr"), guard: None });
+        assert!(p.free_wires().is_empty());
+    }
+
+    #[test]
+    fn program_display_has_header_and_lines() {
+        let mut p = MicroProgram::new("IF (all instructions)");
+        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("current_pc") });
+        p.push(MicroOp::IncPc);
+        let text = p.to_string();
+        assert!(text.starts_with("// IF (all instructions)\n"));
+        assert!(text.contains("current_pc = CPC.read();"));
+        assert!(text.contains("null = CPC.inc();"));
+    }
+}

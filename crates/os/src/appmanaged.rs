@@ -1,0 +1,94 @@
+//! The application-managed scheme (IMPRES-style), modelled for
+//! comparison.
+//!
+//! Section 3.3 contrasts two ways of getting expected hashes to the
+//! checker. The **application-managed** scheme (Ragel & Parameswaran's
+//! IMPRES) has the compiler embed hash-loading instructions at the top
+//! of every basic block, which (a) grows the binary, (b) costs pipeline
+//! slots on every block execution — even perfectly cached ones — and
+//! (c) requires recompilation of legacy code. The paper's OS-managed
+//! scheme avoids all three at the price of hash-miss exceptions.
+//!
+//! This module prices the application-managed variant analytically from
+//! the same static block set and execution trace the OS-managed run
+//! produces, so the A3 ablation bench can print a side-by-side
+//! comparison. The detection capability of the two schemes is identical
+//! (same hash function over the same blocks), which is why a cost model
+//! suffices; we do not re-execute the instrumented binary.
+
+/// Instructions inserted at the top of each basic block to load the
+/// expected hash into the checksum register (a `lui`/`ori` pair carrying
+/// 32 bits of hash).
+pub const LOAD_INSTRS_PER_BLOCK: u32 = 2;
+
+/// Cost comparison of the application-managed scheme against a measured
+/// OS-managed run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppManagedCost {
+    /// Static basic blocks instrumented.
+    pub static_blocks: u64,
+    /// Extra instructions added to the binary.
+    pub extra_instructions: u64,
+    /// Code-size increase in bytes.
+    pub code_growth_bytes: u64,
+    /// Code-size increase in percent of the original text segment.
+    pub code_growth_percent: f64,
+    /// Extra cycles: the hash-load instructions execute once per
+    /// dynamic block (they flow through the single-issue pipeline).
+    pub extra_cycles: u64,
+}
+
+/// Price the application-managed scheme.
+///
+/// * `static_blocks` — number of static basic blocks in the binary
+///   (every one gets a hash-load preamble).
+/// * `text_bytes` — original text segment size.
+/// * `dynamic_blocks` — blocks executed at run time (from the trace).
+pub fn price(static_blocks: u64, text_bytes: u64, dynamic_blocks: u64) -> AppManagedCost {
+    let extra_instructions = static_blocks * LOAD_INSTRS_PER_BLOCK as u64;
+    let code_growth_bytes = extra_instructions * 4;
+    let code_growth_percent = if text_bytes == 0 {
+        0.0
+    } else {
+        100.0 * code_growth_bytes as f64 / text_bytes as f64
+    };
+    AppManagedCost {
+        static_blocks,
+        extra_instructions,
+        code_growth_bytes,
+        code_growth_percent,
+        extra_cycles: dynamic_blocks * LOAD_INSTRS_PER_BLOCK as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_arithmetic() {
+        let c = price(25, 4000, 1_000);
+        assert_eq!(c.static_blocks, 25);
+        assert_eq!(c.extra_instructions, 50);
+        assert_eq!(c.code_growth_bytes, 200);
+        assert!((c.code_growth_percent - 5.0).abs() < 1e-9);
+        assert_eq!(c.extra_cycles, 2_000);
+    }
+
+    #[test]
+    fn empty_text_does_not_divide_by_zero() {
+        let c = price(0, 0, 0);
+        assert_eq!(c.code_growth_percent, 0.0);
+        assert_eq!(c.extra_cycles, 0);
+    }
+
+    #[test]
+    fn cycles_scale_with_dynamic_blocks_not_static() {
+        // A tight loop: few static blocks, many dynamic executions —
+        // exactly where the app-managed scheme keeps paying and the
+        // OS-managed one stops missing.
+        let c = price(4, 400, 1_000_000);
+        assert_eq!(c.extra_cycles, 2_000_000);
+        assert_eq!(c.code_growth_bytes, 32);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Full Hash Table: every expected block hash, resident in memory.
+//!
+//! The FHT is to the IHT what memory is to a cache (paper, Section 3.3).
+//! It is generated statically — by the compiler, a post-link tool, or
+//! the OS loader (`cimon-hashgen` implements the post-link tool) — and
+//! attached to the application image.
+
+use std::collections::BTreeMap;
+
+use cimon_core::{BlockKey, BlockRecord};
+
+/// Memory-resident table of every expected `(start, end) → hash` entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FullHashTable {
+    map: BTreeMap<BlockKey, u32>,
+}
+
+impl FullHashTable {
+    /// An empty table.
+    pub fn new() -> FullHashTable {
+        FullHashTable::default()
+    }
+
+    /// Build from records; later duplicates overwrite earlier ones.
+    pub fn from_records(records: impl IntoIterator<Item = BlockRecord>) -> FullHashTable {
+        let mut t = FullHashTable::new();
+        for r in records {
+            t.insert(r);
+        }
+        t
+    }
+
+    /// Insert or update one record.
+    pub fn insert(&mut self, record: BlockRecord) {
+        self.map.insert(record.key, record.hash);
+    }
+
+    /// The expected hash for a block, if known.
+    pub fn lookup(&self, key: BlockKey) -> Option<u32> {
+        self.map.get(&key).copied()
+    }
+
+    /// Whether the block is known.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Up to `n` records that follow `key` in address order — the
+    /// sequential-prefetch candidates a refill brings in alongside the
+    /// missing block.
+    pub fn successors(&self, key: BlockKey, n: usize) -> Vec<BlockRecord> {
+        self.map
+            .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+            .take(n)
+            .map(|(&key, &hash)| BlockRecord { key, hash })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All records in address order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockRecord> + '_ {
+        self.map.iter().map(|(&key, &hash)| BlockRecord { key, hash })
+    }
+
+    /// Size of the table as attached to the image, in bytes: three words
+    /// per entry (`Addst`, `Addend`, `Hash`).
+    pub fn attached_bytes(&self) -> usize {
+        self.len() * 12
+    }
+}
+
+impl FromIterator<BlockRecord> for FullHashTable {
+    fn from_iter<T: IntoIterator<Item = BlockRecord>>(iter: T) -> Self {
+        FullHashTable::from_records(iter)
+    }
+}
+
+impl Extend<BlockRecord> for FullHashTable {
+    fn extend<T: IntoIterator<Item = BlockRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: u32, hash: u32) -> BlockRecord {
+        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let fht: FullHashTable = [rec(0x1000, 1), rec(0x2000, 2)].into_iter().collect();
+        assert_eq!(fht.len(), 2);
+        assert!(!fht.is_empty());
+        assert_eq!(fht.lookup(BlockKey::new(0x1000, 0x1004)), Some(1));
+        assert!(!fht.contains(BlockKey::new(0x3000, 0x3004)));
+        assert_eq!(fht.attached_bytes(), 24);
+    }
+
+    #[test]
+    fn duplicate_keys_take_latest() {
+        let fht = FullHashTable::from_records([rec(0x1000, 1), rec(0x1000, 9)]);
+        assert_eq!(fht.len(), 1);
+        assert_eq!(fht.lookup(BlockKey::new(0x1000, 0x1004)), Some(9));
+    }
+
+    #[test]
+    fn successors_follow_address_order() {
+        let fht = FullHashTable::from_records([
+            rec(0x1000, 1),
+            rec(0x2000, 2),
+            rec(0x3000, 3),
+            rec(0x4000, 4),
+        ]);
+        let next = fht.successors(BlockKey::new(0x2000, 0x2004), 2);
+        assert_eq!(next.len(), 2);
+        assert_eq!(next[0].key.start, 0x3000);
+        assert_eq!(next[1].key.start, 0x4000);
+        // Tail: fewer than n available.
+        assert_eq!(fht.successors(BlockKey::new(0x4000, 0x4004), 5).len(), 0);
+    }
+
+    #[test]
+    fn successors_of_unknown_key_still_work() {
+        let fht = FullHashTable::from_records([rec(0x1000, 1), rec(0x3000, 3)]);
+        let next = fht.successors(BlockKey::new(0x2000, 0x2004), 4);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].key.start, 0x3000);
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let fht = FullHashTable::from_records([rec(0x3000, 3), rec(0x1000, 1)]);
+        let starts: Vec<u32> = fht.iter().map(|r| r.key.start).collect();
+        assert_eq!(starts, vec![0x1000, 0x3000]);
+    }
+
+    #[test]
+    fn extend_adds() {
+        let mut fht = FullHashTable::new();
+        fht.extend([rec(0x1000, 1)]);
+        assert_eq!(fht.len(), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! The monitoring exception handler.
+//!
+//! [`OsKernel`] owns the FHT and a refill policy and implements the
+//! paper's exception protocol: on `exception0` (hash miss) it searches
+//! the FHT, refills the IHT, and lets the program continue — or
+//! terminates it if the block is unknown or its dynamic hash is wrong;
+//! on `exception1` (hash mismatch) it terminates immediately. Every
+//! exception costs a fixed number of cycles (100 in the paper's
+//! Table 1).
+
+use cimon_core::{BlockKey, BlockRecord, Cic};
+
+use crate::fht::FullHashTable;
+use crate::policy::{RefillPolicy, ReplaceHalfLru};
+
+/// Cost model for OS exception handling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExceptionCost {
+    /// Cycles charged per monitoring exception (FHT search + refill).
+    pub cycles: u64,
+}
+
+impl Default for ExceptionCost {
+    /// The paper's assumption: 100 cycles per exception.
+    fn default() -> Self {
+        ExceptionCost { cycles: 100 }
+    }
+}
+
+/// Why the kernel killed the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationCause {
+    /// Dynamic hash disagreed with the expected hash (in the IHT or,
+    /// after a miss, in the FHT): the code was altered.
+    HashMismatch {
+        /// The block whose check failed.
+        block: BlockKey,
+        /// Expected hash from the table.
+        expected: u32,
+        /// Hash computed from the executed instructions.
+        actual: u32,
+    },
+    /// The executed block exists in neither the IHT nor the FHT: the
+    /// control flow or code layout deviates from the expected program.
+    UnknownBlock {
+        /// The offending block key.
+        block: BlockKey,
+    },
+}
+
+/// Outcome of handling a hash-miss exception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissResolution {
+    /// The FHT confirmed the block; the IHT has been refilled and the
+    /// program continues.
+    Refilled {
+        /// Entries the policy wrote into the IHT.
+        entries_written: usize,
+    },
+    /// The program must be terminated.
+    Terminate(TerminationCause),
+}
+
+/// Kernel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Hash-miss exceptions handled.
+    pub miss_exceptions: u64,
+    /// Mismatch exceptions handled (always fatal).
+    pub mismatch_exceptions: u64,
+    /// Total IHT entries written by refills.
+    pub entries_refilled: u64,
+    /// Total cycles spent in exception handling.
+    pub exception_cycles: u64,
+}
+
+/// The OS model: FHT + refill policy + cost accounting.
+pub struct OsKernel {
+    fht: FullHashTable,
+    policy: Box<dyn RefillPolicy>,
+    cost: ExceptionCost,
+    stats: OsStats,
+}
+
+impl std::fmt::Debug for OsKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsKernel")
+            .field("fht_entries", &self.fht.len())
+            .field("policy", &self.policy.name())
+            .field("cost", &self.cost)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl OsKernel {
+    /// A kernel with the paper's defaults: replace-half-LRU refill,
+    /// 100-cycle exceptions.
+    pub fn new(fht: FullHashTable) -> OsKernel {
+        OsKernel::with_policy(fht, Box::new(ReplaceHalfLru))
+    }
+
+    /// A kernel with a custom refill policy.
+    pub fn with_policy(fht: FullHashTable, policy: Box<dyn RefillPolicy>) -> OsKernel {
+        OsKernel { fht, policy, cost: ExceptionCost::default(), stats: OsStats::default() }
+    }
+
+    /// Override the exception cost model.
+    pub fn set_exception_cost(&mut self, cost: ExceptionCost) {
+        self.cost = cost;
+    }
+
+    /// The loaded FHT.
+    pub fn fht(&self) -> &FullHashTable {
+        &self.fht
+    }
+
+    /// Name of the active refill policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Kernel counters so far.
+    pub fn stats(&self) -> OsStats {
+        self.stats
+    }
+
+    /// Handle `exception0` (hash miss) for the block `key` whose dynamic
+    /// hash is `actual`.
+    pub fn handle_miss(&mut self, cic: &mut Cic, key: BlockKey, actual: u32) -> MissResolution {
+        self.stats.miss_exceptions += 1;
+        self.stats.exception_cycles += self.cost.cycles;
+        match self.fht.lookup(key) {
+            None => MissResolution::Terminate(TerminationCause::UnknownBlock { block: key }),
+            Some(expected) if expected != actual => {
+                MissResolution::Terminate(TerminationCause::HashMismatch {
+                    block: key,
+                    expected,
+                    actual,
+                })
+            }
+            Some(expected) => {
+                let written = self.policy.refill(
+                    cic.iht_mut(),
+                    &self.fht,
+                    BlockRecord { key, hash: expected },
+                );
+                self.stats.entries_refilled += written as u64;
+                MissResolution::Refilled { entries_written: written }
+            }
+        }
+    }
+
+    /// Handle `exception1` (hash mismatch): always fatal.
+    pub fn handle_mismatch(
+        &mut self,
+        key: BlockKey,
+        expected: u32,
+        actual: u32,
+    ) -> TerminationCause {
+        self.stats.mismatch_exceptions += 1;
+        self.stats.exception_cycles += self.cost.cycles;
+        TerminationCause::HashMismatch { block: key, expected, actual }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_core::CicConfig;
+
+    fn rec(start: u32, hash: u32) -> BlockRecord {
+        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+    }
+
+    fn kernel() -> OsKernel {
+        OsKernel::new((0..8u32).map(|i| rec(0x1000 + 0x10 * i, 100 + i)).collect())
+    }
+
+    #[test]
+    fn miss_on_known_block_refills_and_continues() {
+        let mut os = kernel();
+        let mut cic = Cic::new(CicConfig::with_entries(8));
+        let key = BlockKey::new(0x1000, 0x1004);
+        match os.handle_miss(&mut cic, key, 100) {
+            MissResolution::Refilled { entries_written } => assert_eq!(entries_written, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The missing block is now resident; a re-check hits.
+        assert_eq!(cic.check_block(key, 100), (true, true));
+        assert_eq!(os.stats().miss_exceptions, 1);
+        assert_eq!(os.stats().entries_refilled, 4);
+        assert_eq!(os.stats().exception_cycles, 100);
+    }
+
+    #[test]
+    fn miss_on_unknown_block_terminates() {
+        let mut os = kernel();
+        let mut cic = Cic::new(CicConfig::with_entries(8));
+        let key = BlockKey::new(0x9000, 0x9004);
+        assert_eq!(
+            os.handle_miss(&mut cic, key, 0),
+            MissResolution::Terminate(TerminationCause::UnknownBlock { block: key })
+        );
+    }
+
+    #[test]
+    fn miss_with_wrong_hash_terminates() {
+        let mut os = kernel();
+        let mut cic = Cic::new(CicConfig::with_entries(8));
+        let key = BlockKey::new(0x1000, 0x1004);
+        assert_eq!(
+            os.handle_miss(&mut cic, key, 0xbad),
+            MissResolution::Terminate(TerminationCause::HashMismatch {
+                block: key,
+                expected: 100,
+                actual: 0xbad
+            })
+        );
+    }
+
+    #[test]
+    fn mismatch_is_always_fatal_and_costed() {
+        let mut os = kernel();
+        let key = BlockKey::new(0x1000, 0x1004);
+        let cause = os.handle_mismatch(key, 100, 0xbad);
+        assert!(matches!(cause, TerminationCause::HashMismatch { .. }));
+        assert_eq!(os.stats().mismatch_exceptions, 1);
+        assert_eq!(os.stats().exception_cycles, 100);
+    }
+
+    #[test]
+    fn custom_cost_model() {
+        let mut os = kernel();
+        os.set_exception_cost(ExceptionCost { cycles: 250 });
+        let mut cic = Cic::new(CicConfig::with_entries(2));
+        os.handle_miss(&mut cic, BlockKey::new(0x1000, 0x1004), 100);
+        assert_eq!(os.stats().exception_cycles, 250);
+    }
+
+    #[test]
+    fn policy_name_is_reported() {
+        assert_eq!(kernel().policy_name(), "replace-half-lru");
+    }
+}

@@ -1,0 +1,29 @@
+//! # cimon-os — the operating-system side of the monitoring scheme
+//!
+//! The paper's **OS-managed** scheme (Section 3.3): expected hashes for
+//! every basic block are attached to the application image and loaded by
+//! the OS into a memory-resident **Full Hash Table (FHT)**. The on-chip
+//! IHT acts as a cache of the FHT. At run time:
+//!
+//! * on a **hash miss** (`exception0`) the OS searches the FHT and
+//!   refills the IHT — by default replacing the least-recently-used
+//!   *half* of the entries, as the paper assumes — at a fixed exception
+//!   cost (100 cycles in the paper's Table 1);
+//! * if the block is not in the FHT either, or its hash differs, the OS
+//!   **terminates** the program;
+//! * on a **hash mismatch** (`exception1`) it terminates immediately.
+//!
+//! [`policy`] also provides the alternative refill policies
+//! (single-entry LRU, FIFO, random) for the replacement-policy ablation
+//! the paper leaves as future work, and [`appmanaged`] models the
+//! *application-managed* scheme (IMPRES-style instrumentation) the paper
+//! argues against, for the A3 comparison bench.
+
+pub mod appmanaged;
+pub mod fht;
+pub mod kernel;
+pub mod policy;
+
+pub use fht::FullHashTable;
+pub use kernel::{ExceptionCost, MissResolution, OsKernel, OsStats, TerminationCause};
+pub use policy::{Fifo, RandomReplace, RefillPolicy, RefillPolicyKind, ReplaceHalfLru, SingleLru};

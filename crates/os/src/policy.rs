@@ -1,0 +1,269 @@
+//! IHT refill policies.
+//!
+//! The paper assumes the OS "replaces half of the entries with hash
+//! records from the FHT" under LRU ([`ReplaceHalfLru`]); its conclusion
+//! names refining this policy as future work. The alternatives here
+//! ([`SingleLru`], [`Fifo`], [`RandomReplace`]) feed the A1 ablation
+//! bench.
+
+use cimon_core::{BlockRecord, Iht};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fht::FullHashTable;
+
+/// Config-friendly selector for a refill policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefillPolicyKind {
+    /// The paper's replace-half-LRU with sequential prefetch.
+    ReplaceHalfLru,
+    /// Single-entry LRU insertion.
+    SingleLru,
+    /// Round-robin replacement.
+    Fifo,
+    /// Uniformly random victim, with this RNG seed.
+    Random(u64),
+}
+
+impl RefillPolicyKind {
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn RefillPolicy> {
+        match self {
+            RefillPolicyKind::ReplaceHalfLru => Box::new(ReplaceHalfLru),
+            RefillPolicyKind::SingleLru => Box::new(SingleLru),
+            RefillPolicyKind::Fifo => Box::new(Fifo::default()),
+            RefillPolicyKind::Random(seed) => Box::new(RandomReplace::new(seed)),
+        }
+    }
+
+    /// All kinds, for the replacement-policy ablation sweep.
+    pub fn all(seed: u64) -> [RefillPolicyKind; 4] {
+        [
+            RefillPolicyKind::ReplaceHalfLru,
+            RefillPolicyKind::SingleLru,
+            RefillPolicyKind::Fifo,
+            RefillPolicyKind::Random(seed),
+        ]
+    }
+}
+
+/// Strategy the OS uses to refill the IHT after a hash miss.
+///
+/// `missing` is the record of the block whose lookup missed (already
+/// verified present in the FHT by the kernel). Implementations must
+/// install `missing` and may prefetch more records.
+pub trait RefillPolicy {
+    /// Refill `iht`; returns the number of entries written.
+    fn refill(&mut self, iht: &mut Iht, fht: &FullHashTable, missing: BlockRecord) -> usize;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's policy: evict the least-recently-used half of the table
+/// and install the missing block plus the FHT records that follow it in
+/// address order (sequential prefetch).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplaceHalfLru;
+
+impl RefillPolicy for ReplaceHalfLru {
+    fn refill(&mut self, iht: &mut Iht, fht: &FullHashTable, missing: BlockRecord) -> usize {
+        let half = iht.capacity().div_ceil(2);
+        let victims: Vec<usize> = iht.lru_order().into_iter().take(half).collect();
+        // Prefetch the blocks following the missing one, skipping any
+        // already resident so the refill does not duplicate entries.
+        let mut incoming = vec![missing];
+        for r in fht.successors(missing.key, half.saturating_sub(1) * 2) {
+            if incoming.len() == half {
+                break;
+            }
+            if iht.probe(r.key).is_none() && !incoming.iter().any(|i| i.key == r.key) {
+                incoming.push(r);
+            }
+        }
+        let mut written = 0;
+        for (slot, record) in victims.into_iter().zip(incoming) {
+            // The victim slot may hold one of the prefetched keys'
+            // duplicates — replace_at overwrites unconditionally.
+            iht.replace_at(slot, record);
+            written += 1;
+        }
+        written
+    }
+
+    fn name(&self) -> &'static str {
+        "replace-half-lru"
+    }
+}
+
+/// Minimal policy: install only the missing block over the single LRU
+/// victim.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleLru;
+
+impl RefillPolicy for SingleLru {
+    fn refill(&mut self, iht: &mut Iht, _fht: &FullHashTable, missing: BlockRecord) -> usize {
+        iht.insert_lru(missing);
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "single-lru"
+    }
+}
+
+/// Round-robin replacement, ignoring recency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fifo {
+    next: usize,
+}
+
+impl RefillPolicy for Fifo {
+    fn refill(&mut self, iht: &mut Iht, _fht: &FullHashTable, missing: BlockRecord) -> usize {
+        let slot = self.next % iht.capacity();
+        self.next = (self.next + 1) % iht.capacity();
+        iht.replace_at(slot, missing);
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Replace a uniformly random slot (seeded, deterministic).
+#[derive(Clone, Debug)]
+pub struct RandomReplace {
+    rng: StdRng,
+}
+
+impl RandomReplace {
+    /// A policy with a fixed seed so runs are reproducible.
+    pub fn new(seed: u64) -> RandomReplace {
+        RandomReplace { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RefillPolicy for RandomReplace {
+    fn refill(&mut self, iht: &mut Iht, _fht: &FullHashTable, missing: BlockRecord) -> usize {
+        let slot = self.rng.gen_range(0..iht.capacity());
+        iht.replace_at(slot, missing);
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_core::BlockKey;
+
+    fn rec(start: u32, hash: u32) -> BlockRecord {
+        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+    }
+
+    fn fht() -> FullHashTable {
+        (0..16u32).map(|i| rec(0x1000 + i * 0x20, i)).collect()
+    }
+
+    #[test]
+    fn replace_half_installs_missing_plus_prefetch() {
+        let mut iht = Iht::new(8);
+        let mut pol = ReplaceHalfLru;
+        let missing = rec(0x1000 + 4 * 0x20, 4);
+        let written = pol.refill(&mut iht, &fht(), missing);
+        assert_eq!(written, 4); // half of 8
+        assert!(iht.probe(missing.key).is_some());
+        // Prefetched successors 5, 6, 7:
+        for i in 5..8u32 {
+            assert!(iht.probe(BlockKey::new(0x1000 + i * 0x20, 0x1004 + i * 0x20)).is_some());
+        }
+    }
+
+    #[test]
+    fn replace_half_evicts_lru_half_only() {
+        let mut iht = Iht::new(4);
+        for i in 0..4u32 {
+            iht.insert_lru(rec(0x9000 + i * 0x10, i));
+        }
+        // Touch two entries so they are MRU.
+        iht.lookup(BlockKey::new(0x9020, 0x9024), 2);
+        iht.lookup(BlockKey::new(0x9030, 0x9034), 3);
+        let mut pol = ReplaceHalfLru;
+        pol.refill(&mut iht, &fht(), rec(0x1000, 0));
+        // MRU half survives.
+        assert!(iht.probe(BlockKey::new(0x9020, 0x9024)).is_some());
+        assert!(iht.probe(BlockKey::new(0x9030, 0x9034)).is_some());
+        // LRU half is gone.
+        assert!(iht.probe(BlockKey::new(0x9000, 0x9004)).is_none());
+        assert!(iht.probe(BlockKey::new(0x9010, 0x9014)).is_none());
+    }
+
+    #[test]
+    fn replace_half_on_one_entry_table() {
+        let mut iht = Iht::new(1);
+        let mut pol = ReplaceHalfLru;
+        let written = pol.refill(&mut iht, &fht(), rec(0x1000, 0));
+        assert_eq!(written, 1);
+        assert_eq!(iht.len(), 1);
+    }
+
+    #[test]
+    fn replace_half_does_not_duplicate_resident_blocks() {
+        let mut iht = Iht::new(8);
+        // Successor of the missing block is already resident.
+        let resident = rec(0x1000 + 5 * 0x20, 5);
+        iht.insert_lru(resident);
+        let mut pol = ReplaceHalfLru;
+        pol.refill(&mut iht, &fht(), rec(0x1000 + 4 * 0x20, 4));
+        let count = iht.records().filter(|r| r.key == resident.key).count();
+        assert_eq!(count, 1, "resident block duplicated");
+    }
+
+    #[test]
+    fn single_lru_touches_one_slot() {
+        let mut iht = Iht::new(4);
+        let mut pol = SingleLru;
+        assert_eq!(pol.refill(&mut iht, &fht(), rec(0x1000, 0)), 1);
+        assert_eq!(iht.len(), 1);
+    }
+
+    #[test]
+    fn fifo_cycles_slots() {
+        let mut iht = Iht::new(2);
+        let mut pol = Fifo::default();
+        pol.refill(&mut iht, &fht(), rec(0x1000, 0));
+        pol.refill(&mut iht, &fht(), rec(0x2000, 1));
+        pol.refill(&mut iht, &fht(), rec(0x3000, 2));
+        // Third refill wrapped to slot 0: 0x1000 evicted.
+        assert!(iht.probe(BlockKey::new(0x1000, 0x1004)).is_none());
+        assert!(iht.probe(BlockKey::new(0x2000, 0x2004)).is_some());
+        assert!(iht.probe(BlockKey::new(0x3000, 0x3004)).is_some());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let run = |seed| {
+            let mut iht = Iht::new(8);
+            let mut pol = RandomReplace::new(seed);
+            for i in 0..6u32 {
+                pol.refill(&mut iht, &fht(), rec(0x5000 + i * 0x10, i));
+            }
+            let mut v: Vec<u32> = iht.records().map(|r| r.key.start).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReplaceHalfLru.name(), "replace-half-lru");
+        assert_eq!(SingleLru.name(), "single-lru");
+        assert_eq!(Fifo::default().name(), "fifo");
+        assert_eq!(RandomReplace::new(0).name(), "random");
+    }
+}

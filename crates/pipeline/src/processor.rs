@@ -1,0 +1,1014 @@
+//! The processor: functional execution, monitoring integration, and
+//! cycle accounting.
+
+use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
+use cimon_isa::{semantics, Funct, IOpcode, Instr, InstrClass, Reg, Syscall, INSTR_BYTES};
+use cimon_mem::{FetchBus, Memory, ProgramImage};
+use cimon_microop::{
+    baseline_spec, embed_monitor, execute, Datapath, DReg, ExceptionKind, MicroEnv,
+    MonitorParams, ProcessorSpec, WireEnv,
+};
+use cimon_os::{
+    ExceptionCost, FullHashTable, MissResolution, OsKernel, OsStats, RefillPolicyKind,
+    TerminationCause,
+};
+
+use crate::regfile::RegFile;
+use crate::timing::{IssueClass, Timing, TimingConfig};
+
+/// Monitoring configuration: checker hardware plus the OS side.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Checker hardware (IHT size, hash algorithm, seed).
+    pub cic: CicConfig,
+    /// The full hash table the OS loaded for this program.
+    pub fht: FullHashTable,
+    /// IHT refill policy.
+    pub policy: RefillPolicyKind,
+    /// Exception handling cost (the paper charges 100 cycles).
+    pub exception_cost: ExceptionCost,
+}
+
+impl MonitorConfig {
+    /// The paper's default configuration around a given FHT.
+    pub fn new(cic: CicConfig, fht: FullHashTable) -> MonitorConfig {
+        MonitorConfig {
+            cic,
+            fht,
+            policy: RefillPolicyKind::ReplaceHalfLru,
+            exception_cost: ExceptionCost::default(),
+        }
+    }
+}
+
+/// Processor construction parameters.
+#[derive(Clone, Debug)]
+pub struct ProcessorConfig {
+    /// Monitoring, or `None` for the baseline processor.
+    pub monitor: Option<MonitorConfig>,
+    /// Execution-unit latencies.
+    pub timing: TimingConfig,
+    /// Safety limit: the run aborts with [`RunOutcome::MaxCycles`]
+    /// beyond this many cycles (runaway protection for fault campaigns).
+    pub max_cycles: u64,
+    /// Record executed basic-block boundaries (used by the trace-based
+    /// hash generator; costs memory on long runs).
+    pub record_blocks: bool,
+}
+
+impl ProcessorConfig {
+    /// Baseline processor: no monitoring.
+    pub fn baseline() -> ProcessorConfig {
+        ProcessorConfig {
+            monitor: None,
+            timing: TimingConfig::default(),
+            max_cycles: 200_000_000,
+            record_blocks: false,
+        }
+    }
+
+    /// Monitored processor around a checker config and FHT.
+    pub fn monitored(cic: CicConfig, fht: FullHashTable) -> ProcessorConfig {
+        ProcessorConfig { monitor: Some(MonitorConfig::new(cic, fht)), ..Self::baseline() }
+    }
+}
+
+/// A console side effect produced by a syscall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsoleEvent {
+    /// `print_int`.
+    Int(i32),
+    /// `print_char`.
+    Char(char),
+}
+
+/// A dynamic basic block observed during execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEvent {
+    /// The block's address range.
+    pub key: BlockKey,
+}
+
+/// Baseline-detectable faults (paper, Section 6.3: invalid opcodes and
+/// similar malformations are caught by the micro-architecture itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The fetched word decodes to no architected instruction.
+    IllegalInstruction {
+        /// PC of the bad word.
+        pc: u32,
+        /// The word itself.
+        word: u32,
+    },
+    /// A data access was misaligned.
+    MemFault {
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// An indirect jump targeted a non-word-aligned address.
+    AddressError {
+        /// PC of the jump.
+        pc: u32,
+        /// The bad target.
+        target: u32,
+    },
+    /// `break` executed.
+    BreakTrap {
+        /// PC of the `break`.
+        pc: u32,
+    },
+    /// `syscall` with an unassigned service number.
+    BadSyscall {
+        /// PC of the `syscall`.
+        pc: u32,
+        /// The unknown number.
+        number: u32,
+    },
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program called `exit`.
+    Exited {
+        /// Exit code from `$a0`.
+        code: u32,
+    },
+    /// The integrity monitor (or the OS on its behalf) killed the
+    /// program.
+    Detected {
+        /// Why.
+        cause: TerminationCause,
+        /// PC of the control-flow instruction whose check failed.
+        pc: u32,
+    },
+    /// A baseline-detectable fault occurred.
+    Fault(FaultKind),
+    /// The safety cycle limit was reached.
+    MaxCycles,
+}
+
+/// Aggregate statistics of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Total cycles (timing model).
+    pub cycles: u64,
+    /// Cycles spent stalled in monitoring exceptions.
+    pub monitor_stall_cycles: u64,
+    /// Checker statistics, when monitored.
+    pub cic: Option<CicStats>,
+    /// OS statistics, when monitored.
+    pub os: Option<OsStats>,
+    /// Console output.
+    pub console: Vec<ConsoleEvent>,
+}
+
+/// Micro-op environment wiring the spec's programs to the hardware.
+struct Env<'a> {
+    mem: &'a Memory,
+    bus: &'a mut FetchBus,
+    cic: Option<&'a mut Cic>,
+    exceptions: Vec<ExceptionKind>,
+    last_check: Option<(BlockKey, u32, bool, bool)>,
+}
+
+impl MicroEnv for Env<'_> {
+    fn fetch(&mut self, addr: u32) -> u32 {
+        // Instruction memory is backed by the unified memory; unmapped
+        // reads yield zero, and alignment is enforced by the bus.
+        self.bus.fetch(self.mem, addr).unwrap_or(0)
+    }
+
+    fn hash_step(&mut self, _old: u32, instr: u32) -> u32 {
+        match &mut self.cic {
+            Some(cic) => cic.hash_step(instr),
+            None => 0,
+        }
+    }
+
+    fn hash_reset(&mut self) {
+        if let Some(cic) = &mut self.cic {
+            cic.hash_reset();
+        }
+    }
+
+    fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
+        let key = BlockKey::new(start, end);
+        let (found, matched) = match &mut self.cic {
+            Some(cic) => cic.check_block(key, hash),
+            None => (false, false),
+        };
+        self.last_check = Some((key, hash, found, matched));
+        (found, matched)
+    }
+
+    fn raise(&mut self, kind: ExceptionKind) {
+        self.exceptions.push(kind);
+    }
+}
+
+/// The single-issue 6-stage processor.
+pub struct Processor {
+    spec: ProcessorSpec,
+    dp: Datapath,
+    regs: RegFile,
+    hi: u32,
+    lo: u32,
+    mem: Memory,
+    bus: FetchBus,
+    cic: Option<Cic>,
+    os: Option<OsKernel>,
+    exception_cycles: u64,
+    timing: Timing,
+    pc: u32,
+    done: Option<RunOutcome>,
+    instret: u64,
+    console: Vec<ConsoleEvent>,
+    record_blocks: bool,
+    blocks: Vec<BlockEvent>,
+    shadow_block_start: Option<u32>,
+    max_cycles: u64,
+}
+
+impl std::fmt::Debug for Processor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("spec", &self.spec.name)
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("instret", &self.instret)
+            .field("cycles", &self.timing.cycles())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl Processor {
+    /// Build a processor, load the image, and point the PC at its entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitored spec fails validation — impossible for
+    /// specs produced by [`embed_monitor`], and a programming error
+    /// otherwise.
+    pub fn new(image: &ProgramImage, config: ProcessorConfig) -> Processor {
+        let (spec, cic, os, exception_cycles) = match config.monitor {
+            None => (baseline_spec(), None, None, 0),
+            Some(mon) => {
+                let params = MonitorParams {
+                    iht_entries: mon.cic.iht_entries,
+                    hash_algo: mon.cic.hash_algo,
+                };
+                let spec = embed_monitor(&baseline_spec(), &params);
+                spec.validate().expect("embedded monitor spec must validate");
+                let cic = Cic::new(mon.cic);
+                let mut os = OsKernel::with_policy(mon.fht, mon.policy.build());
+                os.set_exception_cost(mon.exception_cost);
+                (spec, Some(cic), Some(os), mon.exception_cost.cycles)
+            }
+        };
+        let mut dp = Datapath::new();
+        if let Some(c) = &cic {
+            dp.rhash_seed = c.hash_reset_value();
+            dp.reset(DReg::Rhash);
+        }
+        let mut regs = RegFile::new();
+        regs.write(Reg::SP, cimon_mem::image::STACK_TOP);
+        regs.write(Reg::GP, image.data.base);
+        Processor {
+            spec,
+            dp,
+            regs,
+            hi: 0,
+            lo: 0,
+            mem: image.to_memory(),
+            bus: FetchBus::new(),
+            cic,
+            os,
+            exception_cycles,
+            timing: Timing::new(config.timing),
+            pc: image.entry,
+            done: None,
+            instret: 0,
+            console: Vec::new(),
+            record_blocks: config.record_blocks,
+            blocks: Vec::new(),
+            shadow_block_start: None,
+            max_cycles: config.max_cycles,
+        }
+    }
+
+    /// Install a fault tap on the fetch bus (transient in-flight faults).
+    pub fn set_bus_tap(&mut self, tap: Box<dyn cimon_mem::BusTap>) {
+        self.bus.set_tap(tap);
+    }
+
+    /// Mutable access to memory — used by fault injectors to corrupt the
+    /// stored image, and by tests to pre-place inputs.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Read-only memory access for result checking.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Current architectural register values.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// The checker, when monitoring is enabled.
+    pub fn cic(&self) -> Option<&Cic> {
+        self.cic.as_ref()
+    }
+
+    /// The OS kernel, when monitoring is enabled.
+    pub fn os(&self) -> Option<&OsKernel> {
+        self.os.as_ref()
+    }
+
+    /// The generated processor specification in use.
+    pub fn spec(&self) -> &ProcessorSpec {
+        &self.spec
+    }
+
+    /// Cycles elapsed so far.
+    pub fn cycles(&self) -> u64 {
+        self.timing.cycles()
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Executed block events (only populated with
+    /// [`ProcessorConfig::record_blocks`]).
+    pub fn blocks(&self) -> &[BlockEvent] {
+        &self.blocks
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            instructions: self.instret,
+            cycles: self.timing.cycles(),
+            monitor_stall_cycles: self.timing.stall_cycles(),
+            cic: self.cic.as_ref().map(|c| c.stats()),
+            os: self.os.as_ref().map(|o| o.stats()),
+            console: self.console.clone(),
+        }
+    }
+
+    /// Run until the program ends (one way or another).
+    pub fn run(&mut self) -> RunOutcome {
+        loop {
+            if let Some(outcome) = self.step() {
+                return outcome;
+            }
+        }
+    }
+
+    /// Execute one instruction. Returns `Some` when the run has ended.
+    pub fn step(&mut self) -> Option<RunOutcome> {
+        if let Some(done) = self.done {
+            return Some(done);
+        }
+        if self.timing.cycles() > self.max_cycles {
+            return self.finish(RunOutcome::MaxCycles);
+        }
+
+        let pc = self.pc;
+        self.dp.write(DReg::Cpc, pc);
+
+        // ---- IF: run the spec's micro-program (fetch, latch, hash). ----
+        let mut env = Env {
+            mem: &self.mem,
+            bus: &mut self.bus,
+            cic: self.cic.as_mut(),
+            exceptions: Vec::new(),
+            last_check: None,
+        };
+        execute(&self.spec.if_program, &mut self.dp, &mut env, WireEnv::new());
+        let word = self.dp.read(DReg::IReg);
+
+        // ---- ID: decode. ----
+        let instr = match Instr::decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                return self.finish(RunOutcome::Fault(FaultKind::IllegalInstruction {
+                    pc,
+                    word,
+                }));
+            }
+        };
+
+        // Shadow block tracking (monitor-independent trace).
+        if self.record_blocks && self.shadow_block_start.is_none() {
+            self.shadow_block_start = Some(pc);
+        }
+
+        // ---- ID: block-end check for control-flow instructions. ----
+        // The exception (if any) is raised at the end of this ID cycle;
+        // OS handling is charged *after* the instruction issues, so the
+        // 100-cycle freeze cannot absorb the instruction's own operand
+        // interlocks (see resolve_exceptions below).
+        let mut pending: Option<(Vec<ExceptionKind>, Option<(BlockKey, u32, bool, bool)>)> = None;
+        if instr.is_control_flow() {
+            if let Some(check_program) = &self.spec.id_check_program {
+                let mut env = Env {
+                    mem: &self.mem,
+                    bus: &mut self.bus,
+                    cic: self.cic.as_mut(),
+                    exceptions: Vec::new(),
+                    last_check: None,
+                };
+                execute(check_program, &mut self.dp, &mut env, WireEnv::new());
+                if !env.exceptions.is_empty() {
+                    pending = Some((env.exceptions, env.last_check));
+                }
+            }
+            if self.record_blocks {
+                if let Some(start) = self.shadow_block_start.take() {
+                    self.blocks.push(BlockEvent { key: BlockKey::new(start, pc) });
+                }
+            }
+        }
+
+        // ---- Execute functionally. ----
+        let exec = match self.execute_instr(pc, instr) {
+            Ok(e) => e,
+            Err(fault) => return self.finish(RunOutcome::Fault(fault)),
+        };
+
+        // ---- Timing. ----
+        let (class, writes_hilo, reads_hi, reads_lo) = issue_class(&instr);
+        let sources = instr.sources();
+        self.timing.issue(
+            class,
+            &sources,
+            reads_hi,
+            reads_lo,
+            instr.dest(),
+            writes_hilo,
+            exec.taken,
+        );
+        self.instret += 1;
+
+        // ---- Monitoring exception resolution (after issue). ----
+        if let Some((exceptions, last_check)) = pending {
+            if let Some(outcome) = self.resolve_exceptions(pc, &exceptions, last_check) {
+                return self.finish(outcome);
+            }
+        }
+
+        if let Some(code) = exec.exit {
+            return self.finish(RunOutcome::Exited { code });
+        }
+        self.pc = exec.next_pc;
+        None
+    }
+
+    fn finish(&mut self, outcome: RunOutcome) -> Option<RunOutcome> {
+        self.done = Some(outcome);
+        Some(outcome)
+    }
+
+    /// Sort out monitoring exceptions raised by the ID check program.
+    fn resolve_exceptions(
+        &mut self,
+        pc: u32,
+        exceptions: &[ExceptionKind],
+        last_check: Option<(BlockKey, u32, bool, bool)>,
+    ) -> Option<RunOutcome> {
+        if exceptions.is_empty() {
+            return None;
+        }
+        let (key, hash, _found, _matched) =
+            last_check.expect("exception implies a lookup happened");
+        for kind in exceptions {
+            match kind {
+                ExceptionKind::HashMiss => {
+                    let os = self.os.as_mut().expect("monitored implies OS");
+                    let cic = self.cic.as_mut().expect("monitored implies CIC");
+                    match os.handle_miss(cic, key, hash) {
+                        MissResolution::Refilled { .. } => {
+                            self.timing.stall(self.exception_cycles);
+                        }
+                        MissResolution::Terminate(cause) => {
+                            return Some(RunOutcome::Detected { cause, pc });
+                        }
+                    }
+                }
+                ExceptionKind::HashMismatch => {
+                    let expected = self
+                        .cic
+                        .as_ref()
+                        .and_then(|c| c.iht().probe(key))
+                        .map(|r| r.hash)
+                        .unwrap_or(0);
+                    let os = self.os.as_mut().expect("monitored implies OS");
+                    let cause = os.handle_mismatch(key, expected, hash);
+                    return Some(RunOutcome::Detected { cause, pc });
+                }
+            }
+        }
+        None
+    }
+
+    /// The architectural effect of one instruction.
+    fn execute_instr(&mut self, pc: u32, instr: Instr) -> Result<Exec, FaultKind> {
+        let next = pc.wrapping_add(INSTR_BYTES);
+        let mut exec = Exec { next_pc: next, taken: false, exit: None };
+        match instr {
+            Instr::R(r) => match r.funct {
+                Funct::Jr => {
+                    let target = self.regs.read(r.rs);
+                    if target % 4 != 0 {
+                        return Err(FaultKind::AddressError { pc, target });
+                    }
+                    exec.next_pc = target;
+                    exec.taken = true;
+                }
+                Funct::Jalr => {
+                    let target = self.regs.read(r.rs);
+                    if target % 4 != 0 {
+                        return Err(FaultKind::AddressError { pc, target });
+                    }
+                    self.regs.write(r.rd, next);
+                    exec.next_pc = target;
+                    exec.taken = true;
+                }
+                Funct::Syscall => {
+                    exec.taken = true; // trap redirects fetch
+                    let number = self.regs.read(Syscall::NUMBER_REG);
+                    let a0 = self.regs.read(Syscall::ARG0_REG);
+                    match Syscall::from_number(number) {
+                        Some(Syscall::Exit) => exec.exit = Some(a0),
+                        Some(Syscall::PrintInt) => {
+                            self.console.push(ConsoleEvent::Int(a0 as i32));
+                        }
+                        Some(Syscall::PrintChar) => {
+                            self.console
+                                .push(ConsoleEvent::Char((a0 & 0xff) as u8 as char));
+                        }
+                        Some(Syscall::ReadCycles) => {
+                            let c = self.timing.cycles() as u32;
+                            self.regs.write(Reg::V0, c);
+                        }
+                        None => return Err(FaultKind::BadSyscall { pc, number }),
+                    }
+                }
+                Funct::Break => return Err(FaultKind::BreakTrap { pc }),
+                Funct::Mfhi => self.regs.write(r.rd, self.hi),
+                Funct::Mflo => self.regs.write(r.rd, self.lo),
+                Funct::Mthi => self.hi = self.regs.read(r.rs),
+                Funct::Mtlo => self.lo = self.regs.read(r.rs),
+                funct => {
+                    let a = self.regs.read(r.rs);
+                    let b = self.regs.read(r.rt);
+                    match semantics::alu_r(funct, a, b, r.shamt) {
+                        semantics::AluOut::Gpr(v) => self.regs.write(r.rd, v),
+                        semantics::AluOut::HiLo { hi, lo } => {
+                            self.hi = hi;
+                            self.lo = lo;
+                        }
+                    }
+                }
+            },
+            Instr::I(i) => {
+                if i.opcode.is_branch() {
+                    let a = self.regs.read(i.rs);
+                    let b = self.regs.read(i.rt);
+                    if semantics::branch_taken(i.opcode, a, b) {
+                        exec.next_pc = instr.branch_dest(pc).expect("branch has dest");
+                        exec.taken = true;
+                    }
+                } else if i.opcode.is_load() || i.opcode.is_store() {
+                    let addr = semantics::effective_address(self.regs.read(i.rs), i.imm);
+                    self.access_memory(pc, i.opcode, i.rt, addr)?;
+                } else {
+                    let v = semantics::alu_i(i.opcode, self.regs.read(i.rs), i.imm);
+                    self.regs.write(i.rt, v);
+                }
+            }
+            Instr::J(j) => {
+                exec.next_pc = j.dest_addr(pc);
+                exec.taken = true;
+                if j.opcode == cimon_isa::JOpcode::Jal {
+                    self.regs.write(Reg::RA, next);
+                }
+            }
+        }
+        Ok(exec)
+    }
+
+    fn access_memory(
+        &mut self,
+        pc: u32,
+        op: IOpcode,
+        rt: Reg,
+        addr: u32,
+    ) -> Result<(), FaultKind> {
+        let fault = |_| FaultKind::MemFault { pc };
+        match op {
+            IOpcode::Lb => {
+                let v = self.mem.read_u8(addr) as i8 as i32 as u32;
+                self.regs.write(rt, v);
+            }
+            IOpcode::Lbu => {
+                let v = self.mem.read_u8(addr) as u32;
+                self.regs.write(rt, v);
+            }
+            IOpcode::Lh => {
+                let v = self.mem.read_u16(addr).map_err(fault)? as i16 as i32 as u32;
+                self.regs.write(rt, v);
+            }
+            IOpcode::Lhu => {
+                let v = self.mem.read_u16(addr).map_err(fault)? as u32;
+                self.regs.write(rt, v);
+            }
+            IOpcode::Lw => {
+                let v = self.mem.read_u32(addr).map_err(fault)?;
+                self.regs.write(rt, v);
+            }
+            IOpcode::Sb => self.mem.write_u8(addr, self.regs.read(rt) as u8),
+            IOpcode::Sh => {
+                self.mem.write_u16(addr, self.regs.read(rt) as u16).map_err(fault)?;
+            }
+            IOpcode::Sw => {
+                self.mem.write_u32(addr, self.regs.read(rt)).map_err(fault)?;
+            }
+            _ => unreachable!("not a memory opcode"),
+        }
+        Ok(())
+    }
+}
+
+struct Exec {
+    next_pc: u32,
+    taken: bool,
+    exit: Option<u32>,
+}
+
+/// Map an instruction to its timing attributes:
+/// `(class, writes_hilo, reads_hi, reads_lo)`.
+fn issue_class(instr: &Instr) -> (IssueClass, bool, bool, bool) {
+    match instr.class() {
+        InstrClass::Load => (IssueClass::Load, false, false, false),
+        InstrClass::Store => (IssueClass::Other, false, false, false),
+        InstrClass::Branch | InstrClass::JumpReg | InstrClass::Trap => {
+            (IssueClass::IdReader, false, false, false)
+        }
+        InstrClass::Jump => (IssueClass::Alu, false, false, false),
+        InstrClass::MulDiv => match instr {
+            Instr::R(r) => match r.funct {
+                Funct::Mult | Funct::Multu => {
+                    (IssueClass::MulDiv { is_div: false }, true, false, false)
+                }
+                Funct::Div | Funct::Divu => {
+                    (IssueClass::MulDiv { is_div: true }, true, false, false)
+                }
+                Funct::Mfhi => (IssueClass::Alu, false, true, false),
+                Funct::Mflo => (IssueClass::Alu, false, false, true),
+                Funct::Mthi | Funct::Mtlo => (IssueClass::Alu, true, false, false),
+                _ => (IssueClass::Alu, false, false, false),
+            },
+            _ => (IssueClass::Alu, false, false, false),
+        },
+        InstrClass::Alu => (IssueClass::Alu, false, false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_asm::assemble;
+    use cimon_core::hash::hash_words;
+    use cimon_core::BlockRecord;
+    use cimon_microop::HashAlgoKind;
+
+    fn run_baseline(src: &str) -> (RunOutcome, Processor) {
+        let prog = assemble(src).expect("assembles");
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        let out = cpu.run();
+        (out, cpu)
+    }
+
+    const SUM_LOOP: &str = "
+        .text
+    main:
+        li   $t0, 10
+        li   $t1, 0
+    loop:
+        addu $t1, $t1, $t0
+        addiu $t0, $t0, -1
+        bnez $t0, loop
+        move $a0, $t1
+        li   $v0, 10
+        syscall
+    ";
+
+    #[test]
+    fn sum_loop_exits_with_result() {
+        let (out, cpu) = run_baseline(SUM_LOOP);
+        assert_eq!(out, RunOutcome::Exited { code: 55 });
+        assert_eq!(cpu.stats().instructions, 2 + 10 * 3 + 3);
+        assert!(cpu.cycles() > cpu.stats().instructions); // bubbles exist
+    }
+
+    #[test]
+    fn memory_and_calls_work() {
+        let (out, cpu) = run_baseline(
+            "
+            .data
+        arr: .word 3, 1, 4, 1, 5
+        out_: .space 4
+            .text
+        main:
+            la   $a0, arr
+            li   $a1, 5
+            jal  sum
+            la   $t0, out_
+            sw   $v0, 0($t0)
+            move $a0, $v0
+            li   $v0, 10
+            syscall
+        sum:
+            li   $v0, 0
+            li   $t1, 0
+        sloop:
+            sll  $t2, $t1, 2
+            addu $t2, $a0, $t2
+            lw   $t3, 0($t2)
+            addu $v0, $v0, $t3
+            addiu $t1, $t1, 1
+            blt  $t1, $a1, sloop
+            jr   $ra
+        ",
+        );
+        assert_eq!(out, RunOutcome::Exited { code: 14 });
+        let out_addr = cimon_mem::image::DATA_BASE + 20;
+        assert_eq!(cpu.mem().read_u32(out_addr).unwrap(), 14);
+    }
+
+    #[test]
+    fn console_syscalls_record_events() {
+        let (out, cpu) = run_baseline(
+            "
+            .text
+        main:
+            li $a0, -7
+            li $v0, 1
+            syscall
+            li $a0, 'X'
+            li $v0, 11
+            syscall
+            li $v0, 10
+            li $a0, 0
+            syscall
+        ",
+        );
+        assert_eq!(out, RunOutcome::Exited { code: 0 });
+        assert_eq!(
+            cpu.stats().console,
+            vec![ConsoleEvent::Int(-7), ConsoleEvent::Char('X')]
+        );
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let prog = assemble(".text\nmain: nop\nsyscall\n").unwrap();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        // Overwrite the nop with an unassigned opcode pattern.
+        cpu.mem_mut().write_u32(prog.image.entry, 0xffff_ffff).unwrap();
+        match cpu.run() {
+            RunOutcome::Fault(FaultKind::IllegalInstruction { pc, word }) => {
+                assert_eq!(pc, prog.image.entry);
+                assert_eq!(word, 0xffff_ffff);
+            }
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_syscall_number_faults() {
+        let (out, _) = run_baseline(".text\nmain: li $v0, 99\nsyscall\n");
+        assert!(matches!(out, RunOutcome::Fault(FaultKind::BadSyscall { number: 99, .. })));
+    }
+
+    #[test]
+    fn misaligned_jr_faults() {
+        let (out, _) = run_baseline(".text\nmain: li $t0, 3\njr $t0\n");
+        assert!(matches!(out, RunOutcome::Fault(FaultKind::AddressError { target: 3, .. })));
+    }
+
+    #[test]
+    fn misaligned_load_faults() {
+        let (out, _) = run_baseline(".text\nmain: li $t0, 2\nlw $t1, 0($t0)\n");
+        assert!(matches!(out, RunOutcome::Fault(FaultKind::MemFault { .. })));
+    }
+
+    #[test]
+    fn break_faults() {
+        let (out, _) = run_baseline(".text\nmain: break\n");
+        assert!(matches!(out, RunOutcome::Fault(FaultKind::BreakTrap { .. })));
+    }
+
+    #[test]
+    fn max_cycles_stops_runaway() {
+        let prog = assemble(".text\nmain: j main\n").unwrap();
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig { max_cycles: 10_000, ..ProcessorConfig::baseline() },
+        );
+        assert_eq!(cpu.run(), RunOutcome::MaxCycles);
+    }
+
+    #[test]
+    fn block_recording_captures_dynamic_blocks() {
+        let prog = assemble(SUM_LOOP).unwrap();
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig { record_blocks: true, ..ProcessorConfig::baseline() },
+        );
+        cpu.run();
+        let blocks = cpu.blocks();
+        // Block 1: main..bnez (first iteration: li,li,addu,addiu,bnez).
+        // 9 more loop blocks, then the exit block.
+        assert_eq!(blocks.len(), 11);
+        let entry = prog.image.entry;
+        assert_eq!(blocks[0].key, BlockKey::new(entry, entry + 16));
+        assert_eq!(blocks[1].key, BlockKey::new(entry + 8, entry + 16));
+        let last = blocks.last().unwrap();
+        assert_eq!(last.key.end, entry + 28); // the syscall
+    }
+
+    /// Build the exact FHT for a program from its recorded trace.
+    fn trace_fht(src: &str) -> (cimon_asm::Program, FullHashTable) {
+        let prog = assemble(src).unwrap();
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig { record_blocks: true, ..ProcessorConfig::baseline() },
+        );
+        cpu.run();
+        let mem = prog.image.to_memory();
+        let fht = cpu
+            .blocks()
+            .iter()
+            .map(|b| {
+                let words = b.key.addresses().map(|a| mem.read_u32(a).unwrap());
+                BlockRecord { key: b.key, hash: hash_words(HashAlgoKind::Xor, 0, words) }
+            })
+            .collect();
+        (prog, fht)
+    }
+
+    #[test]
+    fn monitored_clean_run_has_no_mismatches() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
+        );
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: 55 });
+        let stats = cpu.stats();
+        let cic = stats.cic.unwrap();
+        assert_eq!(cic.mismatches, 0);
+        assert_eq!(cic.checks, 11);
+        // Cold IHT: at least the first block misses.
+        assert!(cic.misses >= 1);
+        assert_eq!(stats.os.unwrap().miss_exceptions, cic.misses);
+        assert_eq!(stats.monitor_stall_cycles, cic.misses * 100);
+    }
+
+    #[test]
+    fn monitored_run_matches_baseline_functionally() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let mut base = Processor::new(&prog.image, ProcessorConfig::baseline());
+        let base_out = base.run();
+        let mut mon = Processor::new(
+            &prog.image,
+            ProcessorConfig::monitored(CicConfig::with_entries(16), fht),
+        );
+        let mon_out = mon.run();
+        assert_eq!(base_out, mon_out);
+        assert_eq!(base.regs().snapshot(), mon.regs().snapshot());
+        // Monitoring costs cycles (cold misses) but executes the same
+        // instruction count.
+        assert_eq!(base.stats().instructions, mon.stats().instructions);
+        assert!(mon.cycles() >= base.cycles());
+    }
+
+    #[test]
+    fn stored_image_tampering_is_detected() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
+        );
+        // Flip one bit in the addu inside the loop: turn some bit of the
+        // instruction word — the block hash must change.
+        let victim = prog.image.entry + 8;
+        let old = cpu.mem().read_u32(victim).unwrap();
+        cpu.mem_mut().write_u32(victim, old ^ (1 << 20)).unwrap();
+        match cpu.run() {
+            RunOutcome::Detected { cause, pc } => {
+                assert_eq!(pc, prog.image.entry + 16); // the bnez ends the block
+                assert!(matches!(cause, TerminationCause::HashMismatch { .. }));
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bus_fault_is_detected_without_touching_memory() {
+        struct OneShot {
+            target: u32,
+            done: bool,
+        }
+        impl cimon_mem::BusTap for OneShot {
+            fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+                if addr == self.target && !self.done {
+                    self.done = true;
+                    // Flip a register-field bit: still a valid instruction,
+                    // so only the hash can catch it.
+                    word ^ (1 << 18)
+                } else {
+                    word
+                }
+            }
+        }
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
+        );
+        cpu.set_bus_tap(Box::new(OneShot { target: prog.image.entry + 8, done: false }));
+        match cpu.run() {
+            RunOutcome::Detected { cause, .. } => {
+                assert!(matches!(cause, TerminationCause::HashMismatch { .. }));
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_block_terminates_via_fht() {
+        // FHT deliberately missing the loop block: the OS must kill the
+        // program on the first miss for it.
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let partial: FullHashTable =
+            fht.iter().filter(|r| r.key.start == prog.image.entry).collect();
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig::monitored(CicConfig::with_entries(8), partial),
+        );
+        match cpu.run() {
+            RunOutcome::Detected { cause, .. } => {
+                assert!(matches!(cause, TerminationCause::UnknownBlock { .. }));
+            }
+            other => panic!("expected unknown-block detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bigger_iht_never_misses_more() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let misses = |entries: usize| {
+            let mut cpu = Processor::new(
+                &prog.image,
+                ProcessorConfig::monitored(CicConfig::with_entries(entries), fht.clone()),
+            );
+            cpu.run();
+            cpu.stats().cic.unwrap().misses
+        };
+        assert!(misses(1) >= misses(8));
+        assert!(misses(8) >= misses(32));
+    }
+
+    #[test]
+    fn read_cycles_syscall_reports_progress() {
+        let (out, cpu) = run_baseline(
+            "
+            .text
+        main:
+            li $v0, 30
+            syscall
+            move $a0, $v0
+            li $v0, 10
+            syscall
+        ",
+        );
+        match out {
+            RunOutcome::Exited { code } => {
+                assert!(code > 0);
+                assert!((code as u64) < cpu.cycles());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The general-purpose register file.
+
+use cimon_isa::Reg;
+
+/// 32 general-purpose registers with `$zero` hard-wired to zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegFile {
+    regs: [u32; 32],
+}
+
+impl RegFile {
+    /// All registers zero.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Read a register. `$zero` always reads 0.
+    pub fn read(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register. Writes to `$zero` are discarded.
+    pub fn write(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Snapshot of all 32 values (index = register number).
+    pub fn snapshot(&self) -> [u32; 32] {
+        self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_hardwired() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::ZERO, 42);
+        assert_eq!(rf.read(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn other_registers_hold_values() {
+        let mut rf = RegFile::new();
+        for r in Reg::all().skip(1) {
+            rf.write(r, r.index() as u32 * 3);
+        }
+        for r in Reg::all().skip(1) {
+            assert_eq!(rf.read(r), r.index() as u32 * 3);
+        }
+        assert_eq!(rf.snapshot()[29], 87);
+    }
+}

@@ -1,0 +1,331 @@
+//! Cycle-accurate scheduling model of the 6-stage pipeline.
+//!
+//! Stage map for instruction `i` whose ID occupies cycle `t`:
+//!
+//! ```text
+//! IF = t-1   ID = t   RR = t+1   EX = t+2   MEM = t+3   WB = t+4
+//! ```
+//!
+//! The model schedules each instruction's **ID cycle** subject to:
+//!
+//! * **in-order issue** — `id(i) ≥ id(i-1) + 1`;
+//! * **redirect bubble** — after a *taken* control transfer resolved in
+//!   ID, the next fetch starts a cycle late: `id(i) ≥ id(branch) + 2`;
+//! * **ID-operand interlock** — branches, indirect jumps and traps read
+//!   their operands in ID. A producer's value becomes forwardable to ID
+//!   three cycles after the producer's own ID (from the EX/MEM latch),
+//!   four for loads: `id(consumer) ≥ id(producer) + 3 (ALU) / + 4 (load)`;
+//! * **load-use interlock** — EX-stage consumers of a loaded value need
+//!   `id(consumer) ≥ id(load) + 2` (one bubble when adjacent);
+//! * **multi-cycle multiply/divide** — `mfhi`/`mflo` wait for
+//!   `id ≥ id(muldiv) + 2 + (latency − 1)`;
+//! * **monitoring stalls** — hash-miss exceptions freeze the front end
+//!   for the configured OS handling cost (100 cycles in the paper).
+//!
+//! Total cycle count is the last ID cycle plus the four cycles needed to
+//! drain RR/EX/MEM/WB.
+
+use cimon_isa::Reg;
+
+/// Latency configuration of the execution units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Extra EX occupancy of `mult`/`multu` beyond one cycle.
+    pub mult_latency: u32,
+    /// Extra EX occupancy of `div`/`divu` beyond one cycle.
+    pub div_latency: u32,
+}
+
+impl Default for TimingConfig {
+    /// Single-cycle ALU; iterative multiplier (4) and divider (16),
+    /// typical of small embedded cores.
+    fn default() -> Self {
+        TimingConfig { mult_latency: 4, div_latency: 16 }
+    }
+}
+
+/// Register-transfer timing class of one instruction, as the scheduler
+/// sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueClass {
+    /// Result forwardable like an ALU op (includes `jal`'s link write).
+    Alu,
+    /// Memory load: value only available after MEM.
+    Load,
+    /// Multiply/divide writing HI/LO, with configured latency.
+    MulDiv {
+        /// True for divide (uses `div_latency`), false for multiply.
+        is_div: bool,
+    },
+    /// Reads operands in ID: branch, `jr`/`jalr`, `syscall`/`break`.
+    IdReader,
+    /// Anything else with no special timing (e.g. stores).
+    Other,
+}
+
+/// Pseudo-register indices for HI and LO in the readiness tables.
+const HI: usize = 32;
+const LO: usize = 33;
+const NREGS: usize = 34;
+
+/// The pipeline scheduling model.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    config: TimingConfig,
+    /// Cycle at which each register's value can be forwarded to an
+    /// ID-stage reader.
+    ready_id: [u64; NREGS],
+    /// Earliest ID cycle for an EX-stage consumer of each register.
+    ready_ex: [u64; NREGS],
+    last_id: u64,
+    /// True when the previous instruction redirected fetch.
+    redirect: bool,
+    stall_cycles: u64,
+    instructions: u64,
+}
+
+impl Timing {
+    /// A fresh schedule; the first instruction's ID lands on cycle 1.
+    pub fn new(config: TimingConfig) -> Timing {
+        Timing {
+            config,
+            ready_id: [0; NREGS],
+            ready_ex: [0; NREGS],
+            last_id: 0,
+            redirect: false,
+            stall_cycles: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Schedule one instruction.
+    ///
+    /// * `class` — its timing class;
+    /// * `sources` — registers read (register operands only);
+    /// * `reads_hi`/`reads_lo` — `mfhi`/`mflo` operands;
+    /// * `dest` — register written, if any;
+    /// * `taken` — whether it redirected fetch (taken branch, jump,
+    ///   trap return… anything breaking sequential fetch).
+    ///
+    /// Returns the ID cycle assigned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        &mut self,
+        class: IssueClass,
+        sources: &[Reg],
+        reads_hi: bool,
+        reads_lo: bool,
+        dest: Option<Reg>,
+        writes_hilo: bool,
+        taken: bool,
+    ) -> u64 {
+        let mut id = self.last_id + if self.redirect { 2 } else { 1 };
+
+        let consider = |id: &mut u64, idx: usize, at_id: bool| {
+            let bound = if at_id { self.ready_id[idx] } else { self.ready_ex[idx] };
+            if bound > *id {
+                *id = bound;
+            }
+        };
+
+        let reads_at_id = matches!(class, IssueClass::IdReader);
+        for &r in sources {
+            if !r.is_zero() {
+                consider(&mut id, r.index(), reads_at_id);
+            }
+        }
+        if reads_hi {
+            consider(&mut id, HI, reads_at_id);
+        }
+        if reads_lo {
+            consider(&mut id, LO, reads_at_id);
+        }
+
+        self.last_id = id;
+        self.redirect = taken;
+        self.instructions += 1;
+
+        // Publish readiness of results.
+        if let Some(d) = dest {
+            if !d.is_zero() {
+                match class {
+                    IssueClass::Load => {
+                        self.ready_id[d.index()] = id + 4;
+                        self.ready_ex[d.index()] = id + 2;
+                    }
+                    _ => {
+                        self.ready_id[d.index()] = id + 3;
+                        self.ready_ex[d.index()] = 0;
+                    }
+                }
+            }
+        }
+        if writes_hilo {
+            let extra = match class {
+                IssueClass::MulDiv { is_div: true } => self.config.div_latency.saturating_sub(1),
+                IssueClass::MulDiv { is_div: false } => self.config.mult_latency.saturating_sub(1),
+                _ => 0,
+            } as u64;
+            self.ready_id[HI] = id + 3 + extra;
+            self.ready_id[LO] = id + 3 + extra;
+            self.ready_ex[HI] = id + extra;
+            self.ready_ex[LO] = id + extra;
+        }
+        id
+    }
+
+    /// Freeze the front end for `n` cycles (monitoring exception
+    /// handling by the OS).
+    pub fn stall(&mut self, n: u64) {
+        self.last_id += n;
+        self.stall_cycles += n;
+    }
+
+    /// Total cycles elapsed: last ID plus the drain of RR/EX/MEM/WB.
+    pub fn cycles(&self) -> u64 {
+        if self.instructions == 0 {
+            0
+        } else {
+            self.last_id + 4
+        }
+    }
+
+    /// Instructions scheduled.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles spent frozen in exception handling.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::new(TimingConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(t: &mut Timing, srcs: &[Reg], dest: Option<Reg>) -> u64 {
+        t.issue(IssueClass::Alu, srcs, false, false, dest, false, false)
+    }
+
+    #[test]
+    fn straight_line_is_one_per_cycle() {
+        let mut t = Timing::default();
+        assert_eq!(alu(&mut t, &[], Some(Reg::T0)), 1);
+        assert_eq!(alu(&mut t, &[Reg::T0], Some(Reg::T1)), 2); // full forwarding
+        assert_eq!(alu(&mut t, &[Reg::T1], Some(Reg::T2)), 3);
+        assert_eq!(t.cycles(), 3 + 4);
+        assert_eq!(t.instructions(), 3);
+    }
+
+    #[test]
+    fn load_use_costs_one_bubble() {
+        let mut t = Timing::default();
+        let lid = t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
+        assert_eq!(lid, 1);
+        // Adjacent consumer: id ≥ 1 + 2 = 3 (one bubble).
+        assert_eq!(alu(&mut t, &[Reg::T0], Some(Reg::T1)), 3);
+    }
+
+    #[test]
+    fn load_then_unrelated_then_use_has_no_bubble() {
+        let mut t = Timing::default();
+        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
+        alu(&mut t, &[], Some(Reg::T5));
+        assert_eq!(alu(&mut t, &[Reg::T0], Some(Reg::T1)), 3);
+    }
+
+    #[test]
+    fn branch_waits_for_alu_producer() {
+        let mut t = Timing::default();
+        alu(&mut t, &[], Some(Reg::T0)); // id 1, forwardable to ID at 4
+        let bid =
+            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, true);
+        assert_eq!(bid, 4); // two stall cycles over the nominal 2
+    }
+
+    #[test]
+    fn branch_waits_longer_for_load_producer() {
+        let mut t = Timing::default();
+        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
+        let bid =
+            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, false);
+        assert_eq!(bid, 5); // 1 + 4
+    }
+
+    #[test]
+    fn distant_branch_has_no_stall() {
+        let mut t = Timing::default();
+        alu(&mut t, &[], Some(Reg::T0)); // 1
+        alu(&mut t, &[], Some(Reg::T5)); // 2
+        alu(&mut t, &[], Some(Reg::T6)); // 3
+        let bid =
+            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, false);
+        assert_eq!(bid, 4);
+    }
+
+    #[test]
+    fn taken_redirect_costs_one_bubble() {
+        let mut t = Timing::default();
+        t.issue(IssueClass::IdReader, &[], false, false, None, false, true); // id 1
+        assert_eq!(alu(&mut t, &[], None), 3); // 1 + 2
+        // Not-taken: no bubble.
+        t.issue(IssueClass::IdReader, &[], false, false, None, false, false); // id 4
+        assert_eq!(alu(&mut t, &[], None), 5);
+    }
+
+    #[test]
+    fn muldiv_latency_delays_mflo() {
+        let mut t = Timing::new(TimingConfig { mult_latency: 4, div_latency: 16 });
+        t.issue(IssueClass::MulDiv { is_div: false }, &[Reg::T0, Reg::T1], false, false, None, true, false); // id 1
+        // mflo reads LO at EX: ready_ex = 1 + 3 = 4.
+        let m = t.issue(IssueClass::Alu, &[], false, true, Some(Reg::T2), false, false);
+        assert_eq!(m, 4);
+
+        let mut t = Timing::new(TimingConfig { mult_latency: 1, div_latency: 1 });
+        t.issue(IssueClass::MulDiv { is_div: false }, &[Reg::T0, Reg::T1], false, false, None, true, false);
+        let m = t.issue(IssueClass::Alu, &[], false, true, Some(Reg::T2), false, false);
+        assert_eq!(m, 2); // single-cycle unit: no wait
+    }
+
+    #[test]
+    fn div_uses_div_latency() {
+        let mut t = Timing::new(TimingConfig { mult_latency: 4, div_latency: 16 });
+        t.issue(IssueClass::MulDiv { is_div: true }, &[Reg::T0, Reg::T1], false, false, None, true, false);
+        let m = t.issue(IssueClass::Alu, &[], true, false, Some(Reg::T2), false, false);
+        assert_eq!(m, 16); // 1 + 15
+    }
+
+    #[test]
+    fn monitor_stall_freezes_front_end() {
+        let mut t = Timing::default();
+        alu(&mut t, &[], None); // id 1
+        t.stall(100);
+        assert_eq!(alu(&mut t, &[], None), 102);
+        assert_eq!(t.stall_cycles(), 100);
+    }
+
+    #[test]
+    fn zero_register_never_interlocks() {
+        let mut t = Timing::default();
+        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::ZERO), false, false);
+        // Consumer of $zero: no hazard even though the load "wrote" it.
+        assert_eq!(
+            t.issue(IssueClass::IdReader, &[Reg::ZERO], false, false, None, false, false),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_program_has_zero_cycles() {
+        let t = Timing::default();
+        assert_eq!(t.cycles(), 0);
+    }
+}

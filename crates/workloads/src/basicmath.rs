@@ -1,0 +1,204 @@
+//! `basicmath` — integer square/cube roots, GCD, angle conversion
+//! (MiBench automotive).
+//!
+//! MiBench's basicmath exercises scalar math routines (cubic roots,
+//! square roots, angle conversion) over arrays of inputs. The kernel
+//! here runs three integer phases per element — Newton integer square
+//! root, binary-search cube root, and fixed-point degree→radian
+//! conversion — mirroring the original's phase-structured control flow:
+//! several distinct hot regions touched in rotation.
+
+use crate::{lcg_sequence, word_table, Workload};
+
+/// Number of input elements.
+pub const N: u32 = 220;
+/// LCG seed.
+pub const SEED: u32 = 0x0bad_f00d;
+/// Fixed-point scale for the degree→radian phase (2^16 · π/180 ≈ 1144).
+pub const DEG2RAD_Q16: u32 = 1144;
+
+/// Input vector.
+pub fn inputs() -> Vec<u32> {
+    // Bound inputs below 2^30 so signed comparisons in the assembly are
+    // safe and Newton's method converges quickly.
+    lcg_sequence(SEED, N as usize).into_iter().map(|x| x & 0x3fff_ffff).collect()
+}
+
+/// Integer square root (largest r with r² ≤ x) via Newton iteration.
+pub fn isqrt(x: u32) -> u32 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = x / 2;
+    loop {
+        let next = (r + x / r) / 2;
+        if next >= r {
+            return r;
+        }
+        r = next;
+    }
+}
+
+/// Integer cube root via binary search over 0..=1290.
+pub fn icbrt(x: u32) -> u32 {
+    let (mut lo, mut hi) = (0u32, 1291u32);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if mid.saturating_mul(mid).saturating_mul(mid) <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Euclid GCD.
+pub fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Rust reference: accumulate all four phases over the inputs.
+pub fn reference() -> u32 {
+    let v = inputs();
+    let mut acc: u32 = 0;
+    for &x in v.iter() {
+        acc = acc.wrapping_add(isqrt(x));
+        acc = acc.wrapping_add(icbrt(x));
+        // deg2rad in Q16 over the low 9 bits as "degrees".
+        let deg = x & 0x1ff;
+        acc = acc.wrapping_add(deg.wrapping_mul(DEG2RAD_Q16) >> 8);
+    }
+    acc
+}
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let data = word_table("inputs", &inputs());
+    let source = format!(
+        r#"
+# basicmath: isqrt + icbrt + deg2rad over {N} inputs.
+    .data
+{data}
+
+    .text
+main:
+    li   $s7, 0                # acc
+    li   $s6, 0                # index i
+phase_loop:
+    la   $t0, inputs
+    sll  $t1, $s6, 2
+    addu $t0, $t0, $t1
+    lw   $s0, 0($t0)           # x
+
+    # ---- phase 1: isqrt (Newton) ----
+    move $a0, $s0
+    jal  isqrt
+    addu $s7, $s7, $v0
+
+    # ---- phase 2: icbrt (binary search) ----
+    move $a0, $s0
+    jal  icbrt
+    addu $s7, $s7, $v0
+
+    # ---- phase 3: deg2rad Q16 ----
+    andi $t0, $s0, 0x1ff
+    li   $t1, {DEG2RAD_Q16}
+    mul  $t0, $t0, $t1
+    srl  $t0, $t0, 8
+    addu $s7, $s7, $t0
+
+    addiu $s6, $s6, 1
+    li   $t4, {N}
+    blt  $s6, $t4, phase_loop
+
+    move $a0, $s7
+    li   $v0, 10
+    syscall
+
+# ---- v0 = isqrt(a0): Newton iteration ----
+isqrt:
+    li   $t0, 2
+    bltu $a0, $t0, isqrt_small
+    srl  $v0, $a0, 1           # r = x/2
+isqrt_loop:
+    divu $t0, $a0, $v0         # x / r
+    addu $t0, $t0, $v0
+    srl  $t0, $t0, 1           # next
+    bgeu $t0, $v0, isqrt_done
+    move $v0, $t0
+    b    isqrt_loop
+isqrt_small:
+    move $v0, $a0
+isqrt_done:
+    jr   $ra
+
+# ---- v0 = icbrt(a0): binary search over [0, 1291) ----
+icbrt:
+    li   $t0, 0                # lo
+    li   $t1, 1291             # hi
+icbrt_loop:
+    addiu $t2, $t0, 1
+    bgeu $t2, $t1, icbrt_done
+    addu $t2, $t0, $t1
+    srl  $t2, $t2, 1           # mid
+    mul  $t3, $t2, $t2
+    mul  $t3, $t3, $t2         # mid^3 (fits: 1290^3 < 2^31)
+    bgtu $t3, $a0, icbrt_high
+    move $t0, $t2
+    b    icbrt_loop
+icbrt_high:
+    move $t1, $t2
+    b    icbrt_loop
+icbrt_done:
+    move $v0, $t0
+    jr   $ra
+"#
+    );
+    Workload {
+        name: "basicmath",
+        source,
+        expected_exit: reference(),
+        description: "integer sqrt/cbrt/deg2rad phases over an input vector",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+    #[test]
+    fn helper_functions_are_correct() {
+        for x in [0u32, 1, 2, 3, 4, 15, 16, 17, 99, 1 << 20, (1 << 30) - 1] {
+            let r = isqrt(x);
+            assert!(r * r <= x, "isqrt({x}) = {r}");
+            assert!((r + 1).saturating_mul(r + 1) > x);
+            let c = icbrt(x);
+            assert!(c * c * c <= x);
+            assert!((c + 1).saturating_mul(c + 1).saturating_mul(c + 1) > x);
+        }
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 5), 5);
+    }
+
+    #[test]
+    fn icbrt_mid_cube_fits_i32() {
+        // The assembly computes mid^3 with signed mult; verify bound.
+        assert!(1290u64.pow(3) < (1u64 << 31));
+    }
+
+    #[test]
+    fn runs_to_expected_exit() {
+        let w = build();
+        let prog = w.assemble();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+    }
+}

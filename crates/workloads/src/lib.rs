@@ -1,0 +1,176 @@
+//! # cimon-workloads — the MiBench-like benchmark suite
+//!
+//! The paper evaluates on nine MiBench applications. MiBench is C code
+//! compiled for SimpleScalar's PISA with external input files — neither
+//! of which exists in this environment — so this crate provides
+//! same-named kernels written directly in `cimon` assembly, each
+//! implementing the *same algorithm* as its namesake (see `DESIGN.md`,
+//! substitution 1). What the paper's experiments consume is the
+//! workloads' basic-block structure and the temporal locality of block
+//! execution; the kernels are shaped to reproduce those characters:
+//!
+//! | workload     | algorithm                           | block-locality character |
+//! |--------------|-------------------------------------|---------------------------|
+//! | bitcount     | 3 bit-counting methods              | tiny loops, hot            |
+//! | basicmath    | isqrt/cbrt/gcd/deg-rad              | several phases             |
+//! | dijkstra     | adjacency-matrix shortest paths     | two nested loops           |
+//! | patricia     | bit-trie insert/lookup              | pointer chasing            |
+//! | blowfish     | 16-round Feistel enc/dec            | alternating code paths     |
+//! | rijndael     | AES-like SPN rounds                 | phase working set ≈ 8–16   |
+//! | sha          | real SHA-1 compression              | phase working set ≈ 8–16   |
+//! | stringsearch | BMH over many patterns              | poor locality, many blocks |
+//! | susan        | 3×3 image smoothing + corner count  | long inner loops           |
+//!
+//! Every workload carries its expected exit code, computed by a Rust
+//! reference implementation of the same algorithm; the harness asserts
+//! the simulated run reproduces it bit-exactly.
+
+pub mod basicmath;
+pub mod bitcount;
+pub mod blowfish;
+pub mod dijkstra;
+pub mod patricia;
+pub mod rijndael;
+pub mod sha;
+pub mod stringsearch;
+pub mod susan;
+
+/// A ready-to-assemble benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// MiBench-style name.
+    pub name: &'static str,
+    /// Complete assembly source.
+    pub source: String,
+    /// Exit code the program must produce (computed by the Rust
+    /// reference implementation).
+    pub expected_exit: u32,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+impl Workload {
+    /// Assemble this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source fails to assemble — workload sources are
+    /// fixed at build time, so that is a bug in this crate.
+    pub fn assemble(&self) -> cimon_asm::Program {
+        match cimon_asm::assemble(&self.source) {
+            Ok(p) => p,
+            Err(e) => panic!("workload `{}` failed to assemble: {e}", self.name),
+        }
+    }
+}
+
+/// All nine workloads, in the paper's Figure-6 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        basicmath::build(),
+        susan::build(),
+        dijkstra::build(),
+        patricia::build(),
+        blowfish::build(),
+        rijndael::build(),
+        sha::build(),
+        stringsearch::build(),
+        bitcount::build(),
+    ]
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The deterministic 32-bit LCG (Numerical Recipes constants) used both
+/// by the assembly kernels and the Rust references to generate inputs.
+pub fn lcg_next(x: u32) -> u32 {
+    x.wrapping_mul(1664525).wrapping_add(1013904223)
+}
+
+/// A sequence of `n` LCG values starting after `seed`.
+pub fn lcg_sequence(seed: u32, n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = seed;
+    for _ in 0..n {
+        x = lcg_next(x);
+        v.push(x);
+    }
+    v
+}
+
+/// Render a `.word` table for generated input data, 8 values per line.
+pub(crate) fn word_table(label: &str, values: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{label}:\n");
+    for chunk in values.chunks(8) {
+        let items: Vec<String> = chunk.iter().map(|v| format!("0x{v:08x}")).collect();
+        let _ = writeln!(out, "    .word {}", items.join(", "));
+    }
+    out
+}
+
+/// Render a `.byte` table, 16 values per line.
+pub(crate) fn byte_table(label: &str, values: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{label}:\n");
+    for chunk in values.chunks(16) {
+        let items: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "    .byte {}", items.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_matches_constants() {
+        assert_eq!(lcg_next(0), 1013904223);
+        assert_eq!(lcg_next(1), 1015568748);
+        let seq = lcg_sequence(12345, 3);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], lcg_next(12345));
+        assert_eq!(seq[1], lcg_next(seq[0]));
+    }
+
+    #[test]
+    fn all_nine_present_and_distinct() {
+        let ws = all();
+        assert_eq!(ws.len(), 9);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        for paper_name in [
+            "basicmath",
+            "susan",
+            "dijkstra",
+            "patricia",
+            "blowfish",
+            "rijndael",
+            "sha",
+            "stringsearch",
+            "bitcount",
+        ] {
+            assert!(by_name(paper_name).is_some(), "missing {paper_name}");
+        }
+        assert!(by_name("quake").is_none());
+    }
+
+    #[test]
+    fn word_table_renders() {
+        let t = word_table("tbl", &[1, 2, 3]);
+        assert!(t.starts_with("tbl:\n"));
+        assert!(t.contains(".word 0x00000001, 0x00000002, 0x00000003"));
+    }
+
+    #[test]
+    fn byte_table_renders() {
+        let t = byte_table("b", &[9, 10]);
+        assert!(t.contains(".byte 9, 10"));
+    }
+}

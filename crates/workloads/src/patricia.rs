@@ -1,0 +1,300 @@
+//! `patricia` — digital search trie insert/lookup (MiBench network).
+//!
+//! MiBench's patricia builds a Patricia trie of network addresses and
+//! streams lookups through it. This kernel implements a digital search
+//! trie over 32-bit keys — the same bit-steered descent and
+//! pointer-chasing access pattern, without the path-compression
+//! bookkeeping (the dynamic behaviour the monitoring experiments
+//! consume — block mix and data-dependent branch outcomes per level —
+//! is the same; see DESIGN.md substitution 1).
+
+use crate::{lcg_sequence, word_table, Workload};
+
+/// Keys inserted into the trie.
+pub const INSERTS: u32 = 64;
+/// Lookups streamed through it.
+pub const LOOKUPS: u32 = 800;
+/// Seed for inserted keys.
+pub const SEED_INS: u32 = 0x7ead_1234;
+/// Seed for the unknown-key stream.
+pub const SEED_MISS: u32 = 0x5eed_0002;
+/// Maximum node pool (root at index 1).
+pub const MAX_NODES: u32 = INSERTS + 2;
+
+/// The inserted key set.
+pub fn insert_keys() -> Vec<u32> {
+    lcg_sequence(SEED_INS, INSERTS as usize)
+}
+
+/// The lookup stream: alternating known and (probably) unknown keys.
+pub fn lookup_keys() -> Vec<u32> {
+    let ins = insert_keys();
+    let miss = lcg_sequence(SEED_MISS, LOOKUPS as usize);
+    (0..LOOKUPS as usize)
+        .map(|i| if i % 2 == 0 { ins[(i / 2) % ins.len()] } else { miss[i] })
+        .collect()
+}
+
+/// Reference digital-search-trie implementation.
+struct Dst {
+    key: Vec<u32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    root: u32,
+    next: u32,
+}
+
+impl Dst {
+    fn new() -> Dst {
+        let n = MAX_NODES as usize;
+        Dst { key: vec![0; n], left: vec![0; n], right: vec![0; n], root: 0, next: 1 }
+    }
+
+    fn alloc(&mut self, k: u32) -> u32 {
+        let idx = self.next;
+        self.next += 1;
+        self.key[idx as usize] = k;
+        idx
+    }
+
+    fn insert(&mut self, k: u32) {
+        if self.root == 0 {
+            self.root = self.alloc(k);
+            return;
+        }
+        let mut cur = self.root;
+        let mut depth = 0u32;
+        loop {
+            if self.key[cur as usize] == k {
+                return;
+            }
+            let bit = (k >> (depth & 31)) & 1;
+            depth += 1;
+            let child = if bit == 0 {
+                self.left[cur as usize]
+            } else {
+                self.right[cur as usize]
+            };
+            if child == 0 {
+                let idx = self.alloc(k);
+                if bit == 0 {
+                    self.left[cur as usize] = idx;
+                } else {
+                    self.right[cur as usize] = idx;
+                }
+                return;
+            }
+            cur = child;
+        }
+    }
+
+    /// Returns depth+1 when found, 0 when absent.
+    fn search(&self, k: u32) -> u32 {
+        let mut cur = self.root;
+        let mut depth = 0u32;
+        while cur != 0 {
+            if self.key[cur as usize] == k {
+                return depth + 1;
+            }
+            let bit = (k >> (depth & 31)) & 1;
+            depth += 1;
+            cur = if bit == 0 { self.left[cur as usize] } else { self.right[cur as usize] };
+        }
+        0
+    }
+}
+
+/// Rust reference result.
+pub fn reference() -> u32 {
+    let mut t = Dst::new();
+    for k in insert_keys() {
+        t.insert(k);
+    }
+    let mut acc: u32 = 0;
+    for k in lookup_keys() {
+        acc = acc.wrapping_add(t.search(k));
+    }
+    acc
+}
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let ins = word_table("ins_keys", &insert_keys());
+    let luk = word_table("luk_keys", &lookup_keys());
+    let pool_bytes = MAX_NODES * 4;
+    let child_bytes = MAX_NODES * 8;
+    let source = format!(
+        r#"
+# patricia: digital search trie, {INSERTS} inserts then {LOOKUPS} lookups.
+    .data
+{ins}
+{luk}
+keyarr:
+    .space {pool_bytes}
+childs:
+    .space {child_bytes}       # childs[2*i] = left(i), childs[2*i+1] = right(i)
+
+    .text
+main:
+    li   $s4, 0                # root index (0 = null)
+    li   $s5, 1                # next free node index
+
+    # ---- build phase ----
+    li   $s6, 0
+build_loop:
+    la   $t0, ins_keys
+    sll  $t1, $s6, 2
+    addu $t0, $t0, $t1
+    lw   $a0, 0($t0)
+    jal  trie_insert
+    addiu $s6, $s6, 1
+    li   $t4, {INSERTS}
+    blt  $s6, $t4, build_loop
+
+    # ---- lookup phase ----
+    li   $s7, 0                # acc
+    li   $s6, 0
+lookup_loop:
+    la   $t0, luk_keys
+    sll  $t1, $s6, 2
+    addu $t0, $t0, $t1
+    lw   $a0, 0($t0)
+    jal  trie_search
+    addu $s7, $s7, $v0
+    addiu $s6, $s6, 1
+    li   $t4, {LOOKUPS}
+    blt  $s6, $t4, lookup_loop
+
+    move $a0, $s7
+    li   $v0, 10
+    syscall
+
+# ---- insert a0 into the trie ----
+trie_insert:
+    bnez $s4, ins_descend
+    # empty tree: root = alloc(a0)
+    move $t0, $s5
+    addiu $s5, $s5, 1
+    sll  $t1, $t0, 2
+    la   $t2, keyarr
+    addu $t2, $t2, $t1
+    sw   $a0, 0($t2)
+    move $s4, $t0
+    jr   $ra
+ins_descend:
+    move $t0, $s4              # cur
+    li   $t1, 0                # depth
+ins_loop:
+    sll  $t2, $t0, 2
+    la   $t3, keyarr
+    addu $t3, $t3, $t2
+    lw   $t4, 0($t3)
+    beq  $t4, $a0, ins_done    # already present
+    andi $t5, $t1, 31
+    srlv $t5, $a0, $t5
+    andi $t5, $t5, 1           # bit
+    addiu $t1, $t1, 1
+    # &childs[2*cur + bit], branch-free (MiBench's t->branch[bit])
+    sll  $t6, $t0, 1
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, childs
+    addu $t6, $t7, $t6
+    lw   $t7, 0($t6)
+    beqz $t7, ins_alloc
+    move $t0, $t7
+    b    ins_loop
+ins_alloc:
+    move $t8, $s5              # new index
+    addiu $s5, $s5, 1
+    sw   $t8, 0($t6)           # link
+    sll  $t2, $t8, 2
+    la   $t3, keyarr
+    addu $t3, $t3, $t2
+    sw   $a0, 0($t3)
+ins_done:
+    jr   $ra
+
+# ---- v0 = depth+1 if a0 found, else 0 ----
+trie_search:
+    move $t0, $s4              # cur
+    li   $t1, 0                # depth
+    li   $v0, 0
+srch_loop:
+    beqz $t0, srch_done
+    sll  $t2, $t0, 2
+    la   $t3, keyarr
+    addu $t3, $t3, $t2
+    lw   $t4, 0($t3)
+    beq  $t4, $a0, srch_found
+    andi $t5, $t1, 31
+    srlv $t5, $a0, $t5
+    andi $t5, $t5, 1
+    addiu $t1, $t1, 1
+    # cur = childs[2*cur + bit], branch-free
+    sll  $t6, $t0, 1
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, childs
+    addu $t6, $t7, $t6
+    lw   $t0, 0($t6)
+    b    srch_loop
+srch_found:
+    addiu $v0, $t1, 1
+srch_done:
+    jr   $ra
+"#
+    );
+    Workload {
+        name: "patricia",
+        source,
+        expected_exit: reference(),
+        description: "bit-steered trie build plus a stream of hit/miss lookups",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+    #[test]
+    fn trie_reference_behaviour() {
+        let mut t = Dst::new();
+        t.insert(5);
+        t.insert(5); // duplicate: no growth
+        assert_eq!(t.next, 2);
+        assert_eq!(t.search(5), 1);
+        assert_eq!(t.search(6), 0);
+        t.insert(4); // bit0 = 0 → left of root
+        assert_eq!(t.search(4), 2);
+    }
+
+    #[test]
+    fn node_pool_is_large_enough() {
+        let mut t = Dst::new();
+        for k in insert_keys() {
+            t.insert(k);
+        }
+        assert!(t.next <= MAX_NODES);
+    }
+
+    #[test]
+    fn lookups_mix_hits_and_misses() {
+        let mut t = Dst::new();
+        for k in insert_keys() {
+            t.insert(k);
+        }
+        let hits = lookup_keys().iter().filter(|&&k| t.search(k) > 0).count();
+        assert!(hits >= (LOOKUPS / 2) as usize);
+        assert!(hits < LOOKUPS as usize);
+    }
+
+    #[test]
+    fn runs_to_expected_exit() {
+        let w = build();
+        let prog = w.assemble();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+    }
+}

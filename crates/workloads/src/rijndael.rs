@@ -1,0 +1,353 @@
+//! `rijndael` — AES-like substitution-permutation rounds (MiBench
+//! security).
+//!
+//! The real Rijndael round structure over a 16-byte column-major state:
+//! SubBytes through a 256-entry S-box, ShiftRows, MixColumns with
+//! `xtime` GF(2⁸) doubling, and AddRoundKey — ten rounds, the last one
+//! skipping MixColumns, exactly as AES-128 does. The S-box is an
+//! LCG-shuffled permutation and the round keys are LCG words instead of
+//! the Rijndael key schedule: neither changes a single executed branch
+//! in the round path (see DESIGN.md substitution 1).
+//!
+//! The per-round phase chain (4 sub-kernels × 10 rounds) gives the
+//! 8-to-16-entry working-set signature the paper reports: 20.7%
+//! overhead at CIC8 collapsing to 0% at CIC16.
+
+use crate::{byte_table, lcg_sequence, word_table, Workload};
+
+/// 16-byte blocks encrypted.
+pub const BLOCKS: u32 = 36;
+/// Rounds per block (AES-128).
+pub const ROUNDS: u32 = 10;
+/// Seed for the S-box shuffle.
+pub const SEED_SBOX: u32 = 0xae5_b0c5;
+/// Seed for round keys.
+pub const SEED_KEYS: u32 = 0xae5_4e75;
+/// Seed for plaintext.
+pub const SEED_DATA: u32 = 0xae5_da7a;
+
+/// The S-box: a Fisher–Yates permutation of 0..=255 driven by the LCG.
+pub fn sbox() -> Vec<u8> {
+    let mut b: Vec<u8> = (0..=255).collect();
+    let rnd = lcg_sequence(SEED_SBOX, 255);
+    for i in (1..256usize).rev() {
+        let j = (rnd[255 - i] as usize) % (i + 1);
+        b.swap(i, j);
+    }
+    b
+}
+
+/// Round keys: (ROUNDS + 1) × 16 bytes.
+pub fn round_keys() -> Vec<u8> {
+    lcg_sequence(SEED_KEYS, (ROUNDS as usize + 1) * 4)
+        .into_iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect()
+}
+
+/// Plaintext blocks, 16 bytes each.
+pub fn plaintext() -> Vec<u8> {
+    lcg_sequence(SEED_DATA, 4 * BLOCKS as usize)
+        .into_iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect()
+}
+
+fn xtime(x: u8) -> u8 {
+    let doubled = (x as u16) << 1;
+    (if doubled & 0x100 != 0 { doubled ^ 0x1b } else { doubled }) as u8
+}
+
+/// ShiftRows source index table: `state'[i] = state[SHIFT[i]]` with the
+/// state laid out column-major (byte `i` = row `i % 4`, column `i / 4`).
+pub const SHIFT: [usize; 16] =
+    [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
+
+/// Encrypt one 16-byte block (reference).
+pub fn encrypt_block(state: &mut [u8; 16], sbox: &[u8], keys: &[u8]) {
+    // Initial AddRoundKey.
+    for (i, b) in state.iter_mut().enumerate() {
+        *b ^= keys[i];
+    }
+    for round in 1..=ROUNDS as usize {
+        // SubBytes.
+        for b in state.iter_mut() {
+            *b = sbox[*b as usize];
+        }
+        // ShiftRows.
+        let old = *state;
+        for i in 0..16 {
+            state[i] = old[SHIFT[i]];
+        }
+        // MixColumns (skipped in the last round).
+        if round != ROUNDS as usize {
+            for c in 0..4 {
+                let col = &mut state[4 * c..4 * c + 4];
+                let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+                let u = col[0];
+                let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+                col[0] = a0 ^ t ^ xtime(a0 ^ a1);
+                col[1] = a1 ^ t ^ xtime(a1 ^ a2);
+                col[2] = a2 ^ t ^ xtime(a2 ^ a3);
+                col[3] = a3 ^ t ^ xtime(a3 ^ u);
+            }
+        }
+        // AddRoundKey.
+        for (i, b) in state.iter_mut().enumerate() {
+            *b ^= keys[16 * round + i];
+        }
+    }
+}
+
+/// Rust reference: fold all ciphertext bytes.
+pub fn reference() -> u32 {
+    let sb = sbox();
+    let keys = round_keys();
+    let pt = plaintext();
+    let mut acc: u32 = 0;
+    for block in pt.chunks_exact(16) {
+        let mut state = [0u8; 16];
+        state.copy_from_slice(block);
+        encrypt_block(&mut state, &sb, &keys);
+        for (i, &b) in state.iter().enumerate() {
+            acc = acc.wrapping_add((b as u32) << ((i % 4) * 8));
+        }
+    }
+    acc
+}
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let sb = byte_table("sbox", &sbox());
+    let keys = byte_table("rkeys", &round_keys());
+    let pt = byte_table("ptext", &plaintext());
+    let shift_words: Vec<u32> = SHIFT.iter().map(|&v| v as u32).collect();
+    let shift = word_table("shift_tab", &shift_words);
+    let source = format!(
+        r#"
+# rijndael: 10 AES-like SPN rounds over {BLOCKS} 16-byte blocks.
+    .data
+{sb}
+{keys}
+{pt}
+{shift}
+state:
+    .space 16
+tmp16:
+    .space 16
+
+    .text
+main:
+    li   $s7, 0                # acc
+    li   $s6, 0                # block index
+blk_loop:
+    # ---- load plaintext block into state, XOR key 0 ----
+    la   $t0, ptext
+    sll  $t1, $s6, 4
+    addu $t0, $t0, $t1
+    la   $t1, state
+    la   $t2, rkeys
+    li   $t3, 16
+load_blk:
+    lbu  $t4, 0($t0)
+    lbu  $t5, 0($t2)
+    xor  $t4, $t4, $t5
+    sb   $t4, 0($t1)
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 1
+    addiu $t2, $t2, 1
+    addiu $t3, $t3, -1
+    bnez $t3, load_blk
+
+    li   $s5, 1                # round
+round_loop:
+    # ---- SubBytes ----
+    la   $t0, state
+    la   $t1, sbox
+    li   $t3, 16
+sub_loop:
+    lbu  $t4, 0($t0)
+    addu $t5, $t1, $t4
+    lbu  $t4, 0($t5)
+    sb   $t4, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $t3, $t3, -1
+    bnez $t3, sub_loop
+
+    # ---- ShiftRows: tmp[i] = state[shift_tab[i]], copy back ----
+    la   $t0, tmp16
+    la   $t1, shift_tab
+    la   $t2, state
+    li   $t3, 0
+shift_loop:
+    sll  $t4, $t3, 2
+    addu $t4, $t1, $t4
+    lw   $t5, 0($t4)           # src index
+    addu $t5, $t2, $t5
+    lbu  $t5, 0($t5)
+    addu $t6, $t0, $t3
+    sb   $t5, 0($t6)
+    addiu $t3, $t3, 1
+    li   $t7, 16
+    blt  $t3, $t7, shift_loop
+    # copy tmp -> state
+    la   $t0, state
+    la   $t1, tmp16
+    li   $t3, 16
+copy_loop:
+    lbu  $t4, 0($t1)
+    sb   $t4, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 1
+    addiu $t3, $t3, -1
+    bnez $t3, copy_loop
+
+    # ---- MixColumns (skip on last round) ----
+    li   $t7, {ROUNDS}
+    beq  $s5, $t7, add_key
+    la   $s0, state
+    li   $s1, 0                # column
+mix_loop:
+    lbu  $t0, 0($s0)           # a0
+    lbu  $t1, 1($s0)           # a1
+    lbu  $t2, 2($s0)           # a2
+    lbu  $t3, 3($s0)           # a3
+    xor  $t4, $t0, $t1
+    xor  $t4, $t4, $t2
+    xor  $t4, $t4, $t3         # t
+    # xtime inlined branch-free: x2 = ((x<<1) ^ (0x11b & (0-(x>>7)))) & 0xff
+    # col0 = a0 ^ t ^ xtime(a0^a1)
+    xor  $t5, $t0, $t1
+    sll  $t6, $t5, 1
+    srl  $t5, $t5, 7
+    subu $t5, $zero, $t5
+    andi $t5, $t5, 0x11b
+    xor  $t6, $t6, $t5
+    andi $t6, $t6, 0xff
+    xor  $t5, $t0, $t4
+    xor  $t5, $t5, $t6
+    # col1 = a1 ^ t ^ xtime(a1^a2)
+    xor  $t6, $t1, $t2
+    sll  $t7, $t6, 1
+    srl  $t6, $t6, 7
+    subu $t6, $zero, $t6
+    andi $t6, $t6, 0x11b
+    xor  $t7, $t7, $t6
+    andi $t7, $t7, 0xff
+    xor  $t6, $t1, $t4
+    xor  $t6, $t6, $t7
+    # col2 = a2 ^ t ^ xtime(a2^a3)
+    xor  $t7, $t2, $t3
+    sll  $t8, $t7, 1
+    srl  $t7, $t7, 7
+    subu $t7, $zero, $t7
+    andi $t7, $t7, 0x11b
+    xor  $t8, $t8, $t7
+    andi $t8, $t8, 0xff
+    xor  $t7, $t2, $t4
+    xor  $t8, $t7, $t8
+    # col3 = a3 ^ t ^ xtime(a3^a0_orig)
+    xor  $t7, $t3, $t0
+    sll  $t9, $t7, 1
+    srl  $t7, $t7, 7
+    subu $t7, $zero, $t7
+    andi $t7, $t7, 0x11b
+    xor  $t9, $t9, $t7
+    andi $t9, $t9, 0xff
+    xor  $t7, $t3, $t4
+    xor  $t9, $t7, $t9
+    sb   $t5, 0($s0)
+    sb   $t6, 1($s0)
+    sb   $t8, 2($s0)
+    sb   $t9, 3($s0)
+    addiu $s0, $s0, 4
+    addiu $s1, $s1, 1
+    li   $t7, 4
+    blt  $s1, $t7, mix_loop
+
+add_key:
+    # ---- AddRoundKey: state ^= rkeys[16*round ..] ----
+    la   $t0, state
+    la   $t1, rkeys
+    sll  $t2, $s5, 4
+    addu $t1, $t1, $t2
+    li   $t3, 16
+key_loop:
+    lbu  $t4, 0($t0)
+    lbu  $t5, 0($t1)
+    xor  $t4, $t4, $t5
+    sb   $t4, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 1
+    addiu $t3, $t3, -1
+    bnez $t3, key_loop
+
+    addiu $s5, $s5, 1
+    li   $t7, {ROUNDS}
+    ble  $s5, $t7, round_loop
+
+    # ---- fold ciphertext into acc ----
+    la   $t0, state
+    li   $t3, 0
+fold_loop:
+    addu $t1, $t0, $t3
+    lbu  $t4, 0($t1)
+    andi $t5, $t3, 3
+    sll  $t5, $t5, 3
+    sllv $t4, $t4, $t5
+    addu $s7, $s7, $t4
+    addiu $t3, $t3, 1
+    li   $t7, 16
+    blt  $t3, $t7, fold_loop
+
+    addiu $s6, $s6, 1
+    li   $t7, {BLOCKS}
+    blt  $s6, $t7, blk_loop
+
+    move $a0, $s7
+    li   $v0, 10
+    syscall
+"#
+    );
+    Workload {
+        name: "rijndael",
+        source,
+        expected_exit: reference(),
+        description: "AES-like SubBytes/ShiftRows/MixColumns/AddRoundKey rounds",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut sb = sbox();
+        sb.sort_unstable();
+        let identity: Vec<u8> = (0..=255).collect();
+        assert_eq!(sb, identity);
+    }
+
+    #[test]
+    fn xtime_matches_gf256() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47); // wraps through the polynomial
+    }
+
+    #[test]
+    fn shift_rows_table_is_a_permutation() {
+        let mut s = SHIFT;
+        s.sort_unstable();
+        assert_eq!(s, core::array::from_fn::<usize, 16, _>(|i| i));
+    }
+
+    #[test]
+    fn runs_to_expected_exit() {
+        let w = build();
+        let prog = w.assemble();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+    }
+}

@@ -1,0 +1,230 @@
+//! `stringsearch` — Boyer–Moore–Horspool over many patterns (MiBench
+//! office).
+//!
+//! MiBench's stringsearch scans a set of strings for many patterns in
+//! rotation, touching a different driver path per pattern each round —
+//! the worst temporal locality in the suite. This kernel reproduces
+//! that shape: eight patterns, each owning a fully specialised copy of
+//! the BMH search code (as the original's generated per-string search
+//! functions do), over a short text, cycled for many rounds in
+//! *descending address order* — so the block working set exceeds a
+//! 16-entry IHT and the OS's sequential prefetch cannot ride the
+//! execution order. That is why the paper's stringsearch overhead
+//! barely improves from CIC8 (50.1%) to CIC16 (49.4%).
+
+use crate::{byte_table, lcg_sequence, Workload};
+use std::fmt::Write as _;
+
+/// Text length in bytes.
+pub const TEXT_LEN: usize = 20;
+/// Number of patterns.
+pub const PATTERNS: usize = 8;
+/// Pattern length.
+pub const PAT_LEN: usize = 4;
+/// Search rounds (each round searches all patterns).
+pub const ROUNDS: u32 = 200;
+/// Seed for text generation.
+pub const SEED_TEXT: u32 = 0x7e57_0001;
+
+/// The text: lowercase letters from the LCG.
+pub fn text() -> Vec<u8> {
+    lcg_sequence(SEED_TEXT, TEXT_LEN)
+        .into_iter()
+        .map(|x| b'a' + ((x >> 13) % 26) as u8)
+        .collect()
+}
+
+/// The eight patterns: four present (slices of the text), four absent
+/// (drawn from a disjoint alphabet region, so they can never match).
+pub fn patterns() -> Vec<Vec<u8>> {
+    let t = text();
+    let mut out = Vec::with_capacity(PATTERNS);
+    for i in 0..PATTERNS {
+        if i % 2 == 0 {
+            let off = (i / 2) * 4 + 2;
+            out.push(t[off..off + PAT_LEN].to_vec());
+        } else {
+            // Uppercase letters never occur in the text.
+            let pat: Vec<u8> =
+                lcg_sequence(SEED_TEXT.wrapping_add(i as u32), PAT_LEN)
+                    .into_iter()
+                    .map(|x| b'A' + ((x >> 9) % 26) as u8)
+                    .collect();
+            out.push(pat);
+        }
+    }
+    out
+}
+
+/// BMH skip table for a pattern.
+pub fn skip_table(pat: &[u8]) -> Vec<u8> {
+    let m = pat.len();
+    let mut skip = vec![m as u8; 256];
+    for (j, &b) in pat.iter().enumerate().take(m - 1) {
+        skip[b as usize] = (m - 1 - j) as u8;
+    }
+    skip
+}
+
+/// BMH search: returns 1-based match position, or 0.
+pub fn bmh(text: &[u8], pat: &[u8], skip: &[u8]) -> u32 {
+    let (n, m) = (text.len(), pat.len());
+    let mut i = m - 1;
+    while i < n {
+        let mut j = (m - 1) as isize;
+        let mut k = i as isize;
+        while j >= 0 && text[k as usize] == pat[j as usize] {
+            k -= 1;
+            j -= 1;
+        }
+        if j < 0 {
+            return (k + 2) as u32; // 1-based start of the match
+        }
+        i += skip[text[i] as usize] as usize;
+    }
+    0
+}
+
+/// Rust reference.
+pub fn reference() -> u32 {
+    let t = text();
+    let pats = patterns();
+    let skips: Vec<Vec<u8>> = pats.iter().map(|p| skip_table(p)).collect();
+    let mut acc: u32 = 0;
+    for _ in 0..ROUNDS {
+        for (i, p) in pats.iter().enumerate() {
+            let pos = bmh(&t, p, &skips[i]);
+            acc = acc.wrapping_add(pos).wrapping_add(i as u32 + 1);
+        }
+    }
+    acc
+}
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let t = byte_table("text", &text());
+    let pats = patterns();
+    let mut data = String::new();
+    for (i, p) in pats.iter().enumerate() {
+        data.push_str(&byte_table(&format!("pat{i}"), p));
+        data.push_str(&byte_table(&format!("skip{i}"), &skip_table(p)));
+    }
+
+    // One fully specialised search per pattern — MiBench's generated
+    // per-string search functions, inlined: every pattern owns its
+    // entire code path (skip loop, compare loop, tails), so the round
+    // robin cycles ~5 blocks x 8 patterns with no cross-pattern reuse.
+    let mut drivers = String::new();
+    for i in (0..PATTERNS).rev() {
+        let _ = write!(
+            drivers,
+            r#"
+search{i}:
+    la   $t0, text
+    la   $a0, pat{i}
+    la   $a1, skip{i}
+    li   $t1, {{TEXT_LEN}}
+    li   $t2, {{PAT_LEN}}
+    addiu $t3, $t2, -1         # i = m-1
+s{i}_outer:
+    bgeu $t3, $t1, s{i}_fail
+    addiu $t4, $t2, -1         # j
+    move $t5, $t3              # k
+s{i}_inner:
+    bltz $t4, s{i}_found
+    addu $t6, $t0, $t5
+    lbu  $t6, 0($t6)
+    addu $t7, $a0, $t4
+    lbu  $t7, 0($t7)
+    bne  $t6, $t7, s{i}_shift
+    addiu $t5, $t5, -1
+    addiu $t4, $t4, -1
+    b    s{i}_inner
+s{i}_shift:
+    addu $t6, $t0, $t3
+    lbu  $t6, 0($t6)
+    addu $t7, $a1, $t6
+    lbu  $t7, 0($t7)
+    addu $t3, $t3, $t7
+    b    s{i}_outer
+s{i}_found:
+    addiu $t5, $t5, 2
+    addu $s7, $s7, $t5
+s{i}_fail:
+    addiu $s7, $s7, {bonus}
+"#,
+            bonus = i + 1
+        );
+    }
+    let drivers = drivers.replace("{TEXT_LEN}", &TEXT_LEN.to_string())
+        .replace("{PAT_LEN}", &PAT_LEN.to_string());
+
+    let source = format!(
+        r#"
+# stringsearch: BMH over {PATTERNS} patterns x {ROUNDS} rounds,
+# one fully specialised search per pattern (poor temporal locality:
+# the round robin touches ~40 distinct blocks with no shared code).
+    .data
+{t}
+{data}
+
+    .text
+main:
+    li   $s7, 0                # acc
+    li   $s6, {ROUNDS}
+round_loop:
+{drivers}
+    addiu $s6, $s6, -1
+    bnez $s6, round_loop
+
+    move $a0, $s7
+    li   $v0, 10
+    syscall
+"#
+    );
+    Workload {
+        name: "stringsearch",
+        source,
+        expected_exit: reference(),
+        description: "BMH searches over eight patterns with per-pattern driver code",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+    #[test]
+    fn bmh_agrees_with_naive_search() {
+        let t = text();
+        for p in patterns() {
+            let skip = skip_table(&p);
+            let got = bmh(&t, &p, &skip);
+            let naive = t
+                .windows(p.len())
+                .position(|w| w == &p[..])
+                .map(|i| i as u32 + 1)
+                .unwrap_or(0);
+            assert_eq!(got, naive, "pattern {:?}", String::from_utf8_lossy(&p));
+        }
+    }
+
+    #[test]
+    fn half_the_patterns_match() {
+        let t = text();
+        let found = patterns()
+            .iter()
+            .filter(|p| bmh(&t, p, &skip_table(p)) != 0)
+            .count();
+        assert_eq!(found, PATTERNS / 2);
+    }
+
+    #[test]
+    fn runs_to_expected_exit() {
+        let w = build();
+        let prog = w.assemble();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+    }
+}

@@ -1,0 +1,312 @@
+//! `susan` — image smoothing and corner response (MiBench automotive).
+//!
+//! SUSAN processes greyscale images with windowed kernels. This kernel
+//! runs the same two passes over a 32×32 synthetic image: a 3×3
+//! weighted smoothing (kernel 1-2-1 / 2-4-2 / 1-2-1, ÷16) with
+//! dedicated edge-handling paths, then a USAN-style corner count
+//! (neighbours within an intensity threshold of the centre). Long
+//! straight-line inner loops over many pixels give susan the paper's
+//! signature: one of the largest executed-block counts in the suite
+//! (93 in the paper) yet near-zero monitoring overhead, because the
+//! inner loops stay resident in even a small IHT.
+
+use crate::{byte_table, lcg_sequence, Workload};
+
+/// Image width.
+pub const W: usize = 32;
+/// Image height.
+pub const H: usize = 32;
+/// USAN intensity threshold.
+pub const THRESH: u32 = 27;
+/// Seed for the image.
+pub const SEED: u32 = 0x5005_a111;
+
+/// The input image, row-major bytes.
+pub fn image() -> Vec<u8> {
+    lcg_sequence(SEED, W * H).into_iter().map(|x| (x >> 11) as u8).collect()
+}
+
+/// Reference smoothing pass: 3×3 weighted average on the interior,
+/// edges copied through.
+pub fn smooth(img: &[u8]) -> Vec<u8> {
+    let mut out = img.to_vec();
+    for y in 1..H - 1 {
+        for x in 1..W - 1 {
+            let at = |dy: isize, dx: isize| {
+                img[((y as isize + dy) as usize) * W + (x as isize + dx) as usize] as u32
+            };
+            let sum = at(-1, -1)
+                + 2 * at(-1, 0)
+                + at(-1, 1)
+                + 2 * at(0, -1)
+                + 4 * at(0, 0)
+                + 2 * at(0, 1)
+                + at(1, -1)
+                + 2 * at(1, 0)
+                + at(1, 1);
+            out[y * W + x] = (sum / 16) as u8;
+        }
+    }
+    out
+}
+
+/// Reference corner pass: count interior pixels whose 8-neighbour USAN
+/// (neighbours within `THRESH` of the centre) is 3 or fewer.
+pub fn corners(img: &[u8]) -> u32 {
+    let mut count = 0;
+    for y in 1..H - 1 {
+        for x in 1..W - 1 {
+            let c = img[y * W + x] as i32;
+            let mut usan = 0;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dy == 0 && dx == 0 {
+                        continue;
+                    }
+                    let p =
+                        img[((y as isize + dy) as usize) * W + (x as isize + dx) as usize] as i32;
+                    if (p - c).unsigned_abs() <= THRESH {
+                        usan += 1;
+                    }
+                }
+            }
+            if usan <= 3 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Rust reference: sum of smoothed pixels plus corner count.
+pub fn reference() -> u32 {
+    let img = image();
+    let sm = smooth(&img);
+    let mut acc: u32 = 0;
+    for &b in &sm {
+        acc = acc.wrapping_add(b as u32);
+    }
+    acc.wrapping_add(corners(&sm))
+}
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let img = byte_table("image", &image());
+    let w = W;
+    let wm1 = W - 1;
+    let hm1 = H - 1;
+    let npix = W * H;
+    let threshp1 = THRESH + 1;
+    let source = format!(
+        r#"
+# susan: 3x3 smoothing + USAN corner count on a {w}x{w} image.
+    .data
+{img}
+smoothed:
+    .space {npix}
+
+    .text
+main:
+    # ================= pass 1: smoothing =================
+    # Edge rows/columns are copied through by dedicated paths.
+    li   $s0, 0                # y
+sm_row:
+    li   $s1, 0                # x
+sm_col:
+    # index = y*W + x
+    sll  $t0, $s0, 5           # y * 32
+    addu $t0, $t0, $s1
+    # edge tests choose the code path
+    beqz $s0, sm_copy          # top row
+    li   $t1, {hm1}
+    beq  $s0, $t1, sm_copy     # bottom row
+    beqz $s1, sm_copy          # left column
+    li   $t1, {wm1}
+    beq  $s1, $t1, sm_copy     # right column
+
+    # interior: 3x3 weighted sum, weights 1 2 1 / 2 4 2 / 1 2 1
+    la   $t2, image
+    addu $t2, $t2, $t0         # &img[y][x]
+    lbu  $t3, -33($t2)         # (-1,-1)
+    lbu  $t4, -32($t2)         # (-1, 0)
+    sll  $t4, $t4, 1
+    addu $t3, $t3, $t4
+    lbu  $t4, -31($t2)         # (-1, 1)
+    addu $t3, $t3, $t4
+    lbu  $t4, -1($t2)          # (0, -1)
+    sll  $t4, $t4, 1
+    addu $t3, $t3, $t4
+    lbu  $t4, 0($t2)           # centre
+    sll  $t4, $t4, 2
+    addu $t3, $t3, $t4
+    lbu  $t4, 1($t2)           # (0, 1)
+    sll  $t4, $t4, 1
+    addu $t3, $t3, $t4
+    lbu  $t4, 31($t2)          # (1, -1)
+    addu $t3, $t3, $t4
+    lbu  $t4, 32($t2)          # (1, 0)
+    sll  $t4, $t4, 1
+    addu $t3, $t3, $t4
+    lbu  $t4, 33($t2)          # (1, 1)
+    addu $t3, $t3, $t4
+    srl  $t3, $t3, 4           # /16
+    la   $t2, smoothed
+    addu $t2, $t2, $t0
+    sb   $t3, 0($t2)
+    b    sm_next
+sm_copy:
+    la   $t2, image
+    addu $t2, $t2, $t0
+    lbu  $t3, 0($t2)
+    la   $t2, smoothed
+    addu $t2, $t2, $t0
+    sb   $t3, 0($t2)
+sm_next:
+    addiu $s1, $s1, 1
+    li   $t1, {w}
+    blt  $s1, $t1, sm_col
+    addiu $s0, $s0, 1
+    li   $t1, {w}
+    blt  $s0, $t1, sm_row
+
+    # ================= sum of smoothed pixels =================
+    li   $s7, 0
+    la   $t0, smoothed
+    li   $t1, {npix}
+sum_loop:
+    lbu  $t2, 0($t0)
+    addu $s7, $s7, $t2
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, -1
+    bnez $t1, sum_loop
+
+    # ================= pass 2: USAN corner count =================
+    # Branch-free neighbour compares (abs via sign-mask, compare via
+    # sltiu) keep the whole pixel body one long straight-line block —
+    # susan's signature: many instructions per check, tiny working set.
+    li   $s5, 0                # corner count
+    li   $s6, {threshp1}       # threshold + 1 for sltu
+    li   $s0, 1                # y
+cn_row:
+    li   $s1, 1                # x
+cn_col:
+    sll  $t0, $s0, 5
+    addu $t0, $t0, $s1
+    la   $t2, smoothed
+    addu $t2, $t2, $t0         # &sm[y][x]
+    lbu  $s2, 0($t2)           # centre
+    li   $s3, 0                # usan
+    lbu  $t3, -33($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, -32($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, -31($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, -1($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, 1($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, 31($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, 32($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    lbu  $t3, 33($t2)
+    subu $t3, $t3, $s2
+    sra  $t4, $t3, 31
+    xor  $t3, $t3, $t4
+    subu $t3, $t3, $t4
+    sltu $t3, $t3, $s6
+    addu $s3, $s3, $t3
+    li   $t1, 3
+    bgt  $s3, $t1, cn_next
+    addiu $s5, $s5, 1
+cn_next:
+    addiu $s1, $s1, 1
+    li   $t1, {wm1}
+    blt  $s1, $t1, cn_col
+    addiu $s0, $s0, 1
+    li   $t1, {hm1}
+    blt  $s0, $t1, cn_row
+
+    addu $a0, $s7, $s5
+    li   $v0, 10
+    syscall
+"#
+    );
+    Workload {
+        name: "susan",
+        source,
+        expected_exit: reference(),
+        description: "3x3 weighted smoothing plus USAN corner counting with edge paths",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+
+    #[test]
+    fn smoothing_preserves_edges_and_bounds() {
+        let img = image();
+        let sm = smooth(&img);
+        // Edges copied.
+        for x in 0..W {
+            assert_eq!(sm[x], img[x]);
+            assert_eq!(sm[(H - 1) * W + x], img[(H - 1) * W + x]);
+        }
+        // A flat region smooths to itself: all-128 image.
+        let flat = vec![128u8; W * H];
+        assert_eq!(smooth(&flat), flat);
+    }
+
+    #[test]
+    fn corners_exist_in_noise() {
+        let c = corners(&smooth(&image()));
+        assert!(c > 0, "synthetic noise should contain some corners");
+        assert!(c < ((W - 2) * (H - 2)) as u32);
+    }
+
+    #[test]
+    fn runs_to_expected_exit() {
+        let w = build();
+        let prog = w.assemble();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+    }
+}

@@ -1,0 +1,92 @@
+//! Attack scenario: a "malicious patch" rewrites instructions of a
+//! loaded program — a code-injection attack after the OS's load-time
+//! check, exactly the window the paper's run-time monitor exists for.
+//!
+//! We patch the dijkstra workload three ways — skipping a relaxation
+//! guard, redirecting a branch, and splicing in foreign instructions —
+//! and show each is killed at the end of its first tampered block.
+//!
+//! ```sh
+//! cargo run --release --example attack_detection
+//! ```
+
+use cimon::core::CicConfig;
+use cimon::prelude::*;
+
+fn run_attack(
+    name: &str,
+    program: &cimon::asm::Program,
+    fht: cimon::os::FullHashTable,
+    patch: impl FnOnce(&mut Processor),
+) {
+    let mut cpu = Processor::new(
+        &program.image,
+        ProcessorConfig::monitored(CicConfig::with_entries(16), fht),
+    );
+    patch(&mut cpu);
+    match cpu.run() {
+        RunOutcome::Detected { cause, pc } => {
+            println!("{name:<28} DETECTED at {pc:#010x}: {cause:?}");
+        }
+        RunOutcome::Fault(f) => {
+            println!("{name:<28} caught by baseline fault logic: {f:?}");
+        }
+        other => println!("{name:<28} NOT caught: {other:?}"),
+    }
+}
+
+fn main() {
+    let workload = cimon::workloads::by_name("dijkstra").expect("dijkstra exists");
+    let program = workload.assemble();
+    let fht = build_fht(&program.image, &SimConfig::default()).expect("fht");
+
+    // Sanity: untampered run is clean and correct.
+    let clean = run_monitored(&program.image, &SimConfig::default()).unwrap();
+    println!(
+        "clean run: {:?}, {} checks, 0 mismatches expected, got {}\n",
+        clean.outcome,
+        clean.stats.cic.unwrap().checks,
+        clean.stats.cic.unwrap().mismatches
+    );
+
+    // Attack 1: neutralise the relaxation guard — turn the `bgeu` that
+    // protects `dist[v]` updates into a nop, so every candidate wins.
+    let relax_guard = program
+        .listing
+        .iter()
+        .find(|(_, i, _)| {
+            // The expanded bgeu pseudo ends in a beq on $at.
+            i.to_string().starts_with("beq $at")
+        })
+        .map(|&(addr, _, _)| addr)
+        .expect("guard branch exists");
+    run_attack("nop out a guard branch", &program, fht.clone(), |cpu| {
+        cpu.mem_mut().write_u32(relax_guard, 0).unwrap(); // sll $0,$0,0
+    });
+
+    // Attack 2: redirect a branch displacement (jump somewhere else).
+    run_attack("bend a branch offset", &program, fht.clone(), |cpu| {
+        let word = cpu.mem().read_u32(relax_guard).unwrap();
+        cpu.mem_mut().write_u32(relax_guard, word ^ 0x1).unwrap();
+    });
+
+    // Attack 3: splice a foreign instruction over the result summation —
+    // `lw $t2, 0($t1)` becomes `li $t2, 7`, silently forging the result.
+    // Perfectly valid code, no fault, no crash: only the hash knows.
+    let inject_at = program.symbols.get("sum_loop").expect("label exists");
+    run_attack("splice injected code", &program, fht, |cpu| {
+        let li = cimon::isa::Instr::I(cimon::isa::IType {
+            opcode: cimon::isa::IOpcode::Addiu,
+            rs: cimon::isa::Reg::ZERO,
+            rt: cimon::isa::Reg::T2,
+            imm: 7,
+        });
+        cpu.mem_mut().write_u32(inject_at, li.encode()).unwrap();
+    });
+
+    println!(
+        "\nAll three modifications execute *valid* instructions — no illegal \
+         opcodes for the baseline machine to trip on — yet none survives its \
+         first basic-block check."
+    );
+}

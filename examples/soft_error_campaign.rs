@@ -1,0 +1,73 @@
+//! Soft-error campaign: inject random transient bit flips into a real
+//! workload — in stored code and on the fetch bus — and tabulate what
+//! the monitor catches, per hash algorithm.
+//!
+//! This is the paper's Section 6.3 fault analysis, live:
+//! the XOR checksum catches every odd-weight error, misses only
+//! column-cancelling pairs, and stronger hash hardware closes that gap.
+//!
+//! ```sh
+//! cargo run --release --example soft_error_campaign
+//! ```
+
+use cimon::core::CicConfig;
+use cimon::faults::{Campaign, CampaignConfig, FaultModel, FaultSite};
+use cimon::hashgen::static_fht;
+use cimon::prelude::*;
+
+fn main() {
+    let workload = cimon::workloads::by_name("sha").expect("sha exists");
+    let program = workload.assemble();
+    println!("workload: {} — {}", workload.name, workload.description);
+
+    // Fault targets: the text segment.
+    let (lo, hi) = program.image.text_range();
+    let targets: Vec<u32> = (lo..hi).step_by(4).collect();
+
+    println!(
+        "\n{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  coverage",
+        "hash", "model", "monitor", "baseline", "masked", "silent", "hung"
+    );
+    for algo in [HashAlgoKind::Xor, HashAlgoKind::SeededXor, HashAlgoKind::Crc32] {
+        let (fht, _) = static_fht(&program.image, &[], algo, 0xfeed).expect("static fht");
+        let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0xfeed };
+        let campaign = Campaign::new(program.image.clone(), cic, fht);
+
+        for (name, model, site) in [
+            ("single-bit/mem", FaultModel::SingleBit, FaultSite::StoredImage),
+            (
+                "single-bit/bus",
+                FaultModel::SingleBit,
+                FaultSite::FetchBus(cimon::faults::BusFaultMode::OneShot),
+            ),
+            ("3-bit/mem", FaultModel::MultiBit { n: 3 }, FaultSite::StoredImage),
+            ("column-pair/mem", FaultModel::SameColumnPair, FaultSite::StoredImage),
+        ] {
+            let result = campaign.run(&CampaignConfig {
+                runs: 150,
+                seed: 0xdecaf,
+                model,
+                site,
+                targets: targets.clone(),
+                max_cycles: 3_000_000,
+            });
+            println!(
+                "{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  {:>6.1}%",
+                algo.name(),
+                name,
+                result.detected_monitor,
+                result.detected_baseline,
+                result.masked,
+                result.silent,
+                result.hung,
+                result.coverage_percent()
+            );
+        }
+    }
+    println!(
+        "\nReading the table: `silent` is the undetected-corruption count — zero \
+         for every single-bit model (the paper's XOR guarantee), non-zero for \
+         XOR only under adversarial same-column pairs, and zero again once the \
+         HASHFU is upgraded."
+    );
+}

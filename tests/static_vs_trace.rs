@@ -1,0 +1,82 @@
+//! Soundness of the static hash generator: every dynamic basic block a
+//! workload actually executes must be present — with the same hash — in
+//! the statically generated Full Hash Table. This is the property that
+//! lets the OS-managed scheme run legacy binaries without false kills.
+
+use cimon::core::HashAlgoKind;
+use cimon::hashgen::{static_fht, trace_fht};
+use cimon::pipeline::RunOutcome;
+
+#[test]
+fn static_fht_covers_every_traced_block_for_all_workloads() {
+    for w in cimon::workloads::all() {
+        let prog = w.assemble();
+        let (s, report) =
+            static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("static analysis");
+        let (t, outcome, executions) =
+            trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited { code: w.expected_exit },
+            "trace run of {}",
+            w.name
+        );
+        assert!(executions > 0);
+        for rec in t.iter() {
+            match s.lookup(rec.key) {
+                None => panic!("{}: traced block {} missing from static FHT", w.name, rec.key),
+                Some(h) => assert_eq!(
+                    h, rec.hash,
+                    "{}: hash disagreement on block {}",
+                    w.name, rec.key
+                ),
+            }
+        }
+        // The static table over-approximates (it may contain blocks a
+        // particular input never reaches) but must never be smaller.
+        assert!(
+            s.len() >= t.len(),
+            "{}: static {} < traced {}",
+            w.name,
+            s.len(),
+            t.len()
+        );
+        assert!(report.unterminated.is_empty(), "{}: unterminated entries", w.name);
+    }
+}
+
+#[test]
+fn static_and_trace_agree_for_every_hash_algorithm() {
+    // One representative workload across all algorithms (hash identity
+    // must hold regardless of the function).
+    let w = cimon::workloads::by_name("patricia").unwrap();
+    let prog = w.assemble();
+    for algo in HashAlgoKind::ALL {
+        let (s, _) = static_fht(&prog.image, &[], algo, 0x5eed).expect("static");
+        let (t, _, _) = trace_fht(&prog.image, algo, 0x5eed, 400_000_000);
+        for rec in t.iter() {
+            assert_eq!(s.lookup(rec.key), Some(rec.hash), "{algo}: block {}", rec.key);
+        }
+    }
+}
+
+#[test]
+fn fht_section_roundtrip_preserves_monitoring() {
+    use cimon::hashgen::{from_section_bytes, to_section_bytes};
+    use cimon::prelude::*;
+
+    let w = cimon::workloads::by_name("bitcount").unwrap();
+    let prog = w.assemble();
+    let fht = build_fht(&prog.image, &SimConfig::default()).unwrap();
+
+    // Serialise the table as the loader-attachable section and parse it
+    // back — the parsed table must drive a clean monitored run.
+    let bytes = to_section_bytes(&fht, HashAlgoKind::Xor);
+    let (parsed, algo) = from_section_bytes(&bytes).expect("well-formed section");
+    assert_eq!(algo, HashAlgoKind::Xor);
+    assert_eq!(parsed, fht);
+
+    let report = run_monitored_with_fht(&prog.image, parsed, &SimConfig::default());
+    assert_eq!(report.outcome, RunOutcome::Exited { code: w.expected_exit });
+    assert_eq!(report.stats.cic.unwrap().mismatches, 0);
+}
