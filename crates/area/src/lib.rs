@@ -110,9 +110,7 @@ pub fn hashfu_area(lib: &CellLibrary, kind: HashAlgoKind) -> f64 {
         // Adds the seed register and rotate wiring (muxes).
         HashAlgoKind::SeededXor => 32.0 * lib.xor2 + 32.0 * lib.dff + 32.0 * lib.mux2,
         // Two 16-bit mod-65535 accumulators.
-        HashAlgoKind::Fletcher32 => {
-            2.0 * (16.0 * lib.adder_bit + 16.0 * lib.dff) + 16.0 * lib.mux2
-        }
+        HashAlgoKind::Fletcher32 => 2.0 * (16.0 * lib.adder_bit + 16.0 * lib.dff) + 16.0 * lib.mux2,
         // Parallel CRC-32 over 32 bits: ~15 XOR terms per state bit.
         HashAlgoKind::Crc32 => 32.0 * lib.dff + 32.0 * 15.0 * lib.xor2,
         // One SHA-1 round pipe: 160-bit state, W-schedule registers,
@@ -234,7 +232,10 @@ impl AreaModel {
         };
         let critical = ex_depth.max(monitor_depth);
         let (period, stage) = if monitor_depth > ex_depth {
-            (critical * g * (PAPER_BASELINE_PERIOD_NS / (ex_depth * g)), "monitor")
+            (
+                critical * g * (PAPER_BASELINE_PERIOD_NS / (ex_depth * g)),
+                "monitor",
+            )
         } else {
             (PAPER_BASELINE_PERIOD_NS, "EX (ALU carry chain)")
         };
@@ -330,8 +331,8 @@ mod tests {
         let m = AreaModel::calibrated();
         let spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
         let from_spec = m.monitor_area(&spec.monitoring_resources());
-        let direct = m.fixed_area(HashAlgoKind::Xor) - m.library().control
-            + 8.0 * m.per_entry_area();
+        let direct =
+            m.fixed_area(HashAlgoKind::Xor) - m.library().control + 8.0 * m.per_entry_area();
         assert!((from_spec - direct).abs() < 1e-6);
     }
 

@@ -60,7 +60,12 @@ impl Program {
 #[derive(Clone, Debug)]
 enum DataFixup {
     /// Word at `offset` (from data base) takes the address of `sym + add`.
-    Word { offset: u32, sym: String, add: i64, line: usize },
+    Word {
+        offset: u32,
+        sym: String,
+        add: i64,
+        line: usize,
+    },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -246,7 +251,12 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     }
 
     for fx in &fixups {
-        let DataFixup::Word { offset, sym, add, line } = fx;
+        let DataFixup::Word {
+            offset,
+            sym,
+            add,
+            line,
+        } = fx;
         let base = symbols.resolve(sym, *line)?;
         let value = (base as i64).wrapping_add(*add) as u32;
         data[*offset as usize..*offset as usize + 4].copy_from_slice(&value.to_le_bytes());
@@ -255,8 +265,14 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let entry = symbols.get("main").unwrap_or(TEXT_BASE);
     Ok(Program {
         image: ProgramImage {
-            text: Segment { base: TEXT_BASE, bytes: text_bytes },
-            data: Segment { base: DATA_BASE, bytes: data },
+            text: Segment {
+                base: TEXT_BASE,
+                bytes: text_bytes,
+            },
+            data: Segment {
+                base: DATA_BASE,
+                bytes: data,
+            },
             entry,
         },
         symbols,
@@ -282,20 +298,34 @@ fn one_imm(args: &[Operand], line: usize) -> Result<i64, AsmError> {
 fn imm_of(op: &Operand, line: usize) -> Result<i64, AsmError> {
     match op {
         Operand::Imm(v) => Ok(*v),
-        other => Err(AsmError::at(line, format!("expected integer, found {other:?}"))),
+        other => Err(AsmError::at(
+            line,
+            format!("expected integer, found {other:?}"),
+        )),
     }
 }
 
 fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<Instr, AsmError> {
     Ok(match mi {
-        MInstr::R { funct, rs, rt, rd, shamt } => Instr::R(RType {
+        MInstr::R {
+            funct,
+            rs,
+            rt,
+            rd,
+            shamt,
+        } => Instr::R(RType {
             funct: *funct,
             rs: *rs,
             rt: *rt,
             rd: *rd,
             shamt: *shamt,
         }),
-        MInstr::I { opcode, rs, rt, imm } => {
+        MInstr::I {
+            opcode,
+            rs,
+            rt,
+            imm,
+        } => {
             let imm = match imm {
                 RelocImm::Value(v) => *v,
                 RelocImm::HiOf(sym, add) => {
@@ -310,7 +340,10 @@ fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<
                     let dest = symbols.resolve(sym, line)?;
                     let delta = (dest as i64) - (pc as i64 + 4);
                     if delta % 4 != 0 {
-                        return Err(AsmError::at(line, format!("misaligned branch target `{sym}`")));
+                        return Err(AsmError::at(
+                            line,
+                            format!("misaligned branch target `{sym}`"),
+                        ));
                     }
                     let words = delta / 4;
                     if !(-(1 << 15)..(1 << 15)).contains(&words) {
@@ -322,7 +355,12 @@ fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<
                     words as i16 as u16
                 }
             };
-            Instr::I(IType { opcode: *opcode, rs: *rs, rt: *rt, imm })
+            Instr::I(IType {
+                opcode: *opcode,
+                rs: *rs,
+                rt: *rt,
+                imm,
+            })
         }
         MInstr::J { opcode, target } => {
             let target = match target {
@@ -330,7 +368,10 @@ fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<
                 RelocTarget::SymAddr(sym) => {
                     let dest = symbols.resolve(sym, line)?;
                     if dest % 4 != 0 {
-                        return Err(AsmError::at(line, format!("misaligned jump target `{sym}`")));
+                        return Err(AsmError::at(
+                            line,
+                            format!("misaligned jump target `{sym}`"),
+                        ));
                     }
                     if (dest & 0xf000_0000) != ((pc + 4) & 0xf000_0000) {
                         return Err(AsmError::at(
@@ -341,7 +382,10 @@ fn relocate(mi: &MInstr, pc: u32, symbols: &SymbolTable, line: usize) -> Result<
                     (dest >> 2) & 0x03ff_ffff
                 }
             };
-            Instr::J(JType { opcode: *opcode, target })
+            Instr::J(JType {
+                opcode: *opcode,
+                target,
+            })
         }
     })
 }
@@ -427,7 +471,10 @@ mod tests {
         let val_addr = p.symbols.get("val").unwrap();
         assert_eq!(val_addr, DATA_BASE + 16);
         // lui+ori pair
-        match (p.instr_at(TEXT_BASE).unwrap(), p.instr_at(TEXT_BASE + 4).unwrap()) {
+        match (
+            p.instr_at(TEXT_BASE).unwrap(),
+            p.instr_at(TEXT_BASE + 4).unwrap(),
+        ) {
             (Instr::I(hi), Instr::I(lo)) => {
                 assert_eq!(hi.opcode, IOpcode::Lui);
                 assert_eq!(hi.imm as u32, val_addr >> 16);
@@ -465,10 +512,9 @@ mod tests {
 
     #[test]
     fn ascii_and_space() {
-        let p = assemble(
-            ".data\ns: .asciiz \"hi\"\nbuf: .space 3\nend_: .byte 9\n.text\nmain: nop\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".data\ns: .asciiz \"hi\"\nbuf: .space 3\nend_: .byte 9\n.text\nmain: nop\n")
+                .unwrap();
         let mem = p.image.to_memory();
         assert_eq!(mem.read_u8(DATA_BASE), b'h');
         assert_eq!(mem.read_u8(DATA_BASE + 1), b'i');

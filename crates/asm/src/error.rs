@@ -16,12 +16,18 @@ pub struct AsmError {
 impl AsmError {
     /// Construct an error attributed to `line`.
     pub fn at(line: usize, message: impl Into<String>) -> AsmError {
-        AsmError { line, message: message.into() }
+        AsmError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// Construct a whole-program error.
     pub fn global(message: impl Into<String>) -> AsmError {
-        AsmError { line: 0, message: message.into() }
+        AsmError {
+            line: 0,
+            message: message.into(),
+        }
     }
 }
 
@@ -43,7 +49,10 @@ mod tests {
 
     #[test]
     fn display_with_and_without_line() {
-        assert_eq!(AsmError::at(7, "bad register").to_string(), "line 7: bad register");
+        assert_eq!(
+            AsmError::at(7, "bad register").to_string(),
+            "line 7: bad register"
+        );
         assert_eq!(
             AsmError::global("duplicate label `x`").to_string(),
             "assembly error: duplicate label `x`"

@@ -120,7 +120,10 @@ fn lex_line(raw: &str, number: usize) -> Result<Vec<Token>, AsmError> {
                     }
                 }
                 if name.is_empty() {
-                    return Err(AsmError::at(number, "`$` must be followed by a register name"));
+                    return Err(AsmError::at(
+                        number,
+                        "`$` must be followed by a register name",
+                    ));
                 }
                 tokens.push(Token::Register(format!("${name}")));
             }
@@ -136,7 +139,10 @@ fn lex_line(raw: &str, number: usize) -> Result<Vec<Token>, AsmError> {
                     }
                 }
                 if name.is_empty() {
-                    return Err(AsmError::at(number, "`.` must be followed by a directive name"));
+                    return Err(AsmError::at(
+                        number,
+                        "`.` must be followed by a directive name",
+                    ));
                 }
                 tokens.push(Token::Directive(name));
             }
@@ -197,7 +203,10 @@ fn lex_line(raw: &str, number: usize) -> Result<Vec<Token>, AsmError> {
                         '\\' => '\\',
                         '\'' => '\'',
                         other => {
-                            return Err(AsmError::at(number, format!("unknown escape `\\{other}`")));
+                            return Err(AsmError::at(
+                                number,
+                                format!("unknown escape `\\{other}`"),
+                            ));
                         }
                     }
                 } else {
@@ -225,7 +234,10 @@ fn lex_line(raw: &str, number: usize) -> Result<Vec<Token>, AsmError> {
                 tokens.push(Token::Ident(name));
             }
             other => {
-                return Err(AsmError::at(number, format!("unexpected character `{other}`")));
+                return Err(AsmError::at(
+                    number,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -256,18 +268,21 @@ fn lex_number(
         }
     }
     let body = raw[start..end].replace('_', "");
-    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-    {
-        u64::from_str_radix(hex, 16)
-    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
-        u64::from_str_radix(bin, 2)
-    } else {
-        body.parse::<u64>()
-    }
-    .map_err(|_| AsmError::at(number, format!("invalid number `{body}`")))?;
+    let magnitude =
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16)
+        } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+            u64::from_str_radix(bin, 2)
+        } else {
+            body.parse::<u64>()
+        }
+        .map_err(|_| AsmError::at(number, format!("invalid number `{body}`")))?;
 
     if magnitude > u32::MAX as u64 {
-        return Err(AsmError::at(number, format!("number `{body}` exceeds 32 bits")));
+        return Err(AsmError::at(
+            number,
+            format!("number `{body}` exceeds 32 bits"),
+        ));
     }
     let value = magnitude as i64;
     Ok(Token::Int(if negative { -value } else { value }))
@@ -286,7 +301,9 @@ mod tests {
     #[test]
     fn blank_and_comment_lines_dropped() {
         assert!(lex("").unwrap().is_empty());
-        assert!(lex("   \n# whole line\n  // another\n ; third\n").unwrap().is_empty());
+        assert!(lex("   \n# whole line\n  // another\n ; third\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -326,7 +343,10 @@ mod tests {
     fn numbers_in_all_bases() {
         assert_eq!(toks("li $t0, 0x1F"), toks("li $t0, 31"));
         assert_eq!(toks("li $t0, 0b101"), toks("li $t0, 5"));
-        assert_eq!(toks(".word 1_000"), vec![Token::Directive("word".into()), Token::Int(1000)]);
+        assert_eq!(
+            toks(".word 1_000"),
+            vec![Token::Directive("word".into()), Token::Int(1000)]
+        );
         assert_eq!(toks("li $t0, 'A'"), toks("li $t0, 65"));
         assert_eq!(toks("li $t0, '\\n'"), toks("li $t0, 10"));
     }
@@ -374,6 +394,9 @@ mod tests {
 
     #[test]
     fn register_by_number() {
-        assert_eq!(toks("jr $31"), vec![Token::Ident("jr".into()), Token::Register("$31".into())]);
+        assert_eq!(
+            toks("jr $31"),
+            vec![Token::Ident("jr".into()), Token::Register("$31".into())]
+        );
     }
 }

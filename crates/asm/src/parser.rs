@@ -37,20 +37,36 @@ fn parse_line(line: &Line, out: &mut Vec<(usize, Stmt)>) -> Result<(), AsmError>
     match &toks[0] {
         Token::Directive(name) => {
             let args = parse_operands(&toks[1..], n)?;
-            out.push((n, Stmt::Directive { name: name.clone(), args }));
+            out.push((
+                n,
+                Stmt::Directive {
+                    name: name.clone(),
+                    args,
+                },
+            ));
             Ok(())
         }
         Token::Ident(mnemonic) => {
             let args = parse_operands(&toks[1..], n)?;
-            out.push((n, Stmt::Instruction { mnemonic: mnemonic.to_lowercase(), args }));
+            out.push((
+                n,
+                Stmt::Instruction {
+                    mnemonic: mnemonic.to_lowercase(),
+                    args,
+                },
+            ));
             Ok(())
         }
-        other => Err(AsmError::at(n, format!("expected instruction or directive, found {other:?}"))),
+        other => Err(AsmError::at(
+            n,
+            format!("expected instruction or directive, found {other:?}"),
+        )),
     }
 }
 
 fn parse_reg(text: &str, n: usize) -> Result<Reg, AsmError> {
-    text.parse::<Reg>().map_err(|e| AsmError::at(n, e.to_string()))
+    text.parse::<Reg>()
+        .map_err(|e| AsmError::at(n, e.to_string()))
 }
 
 /// Parse a comma-separated operand list.
@@ -72,32 +88,54 @@ fn parse_operands(mut toks: &[Token], n: usize) -> Result<Vec<Operand>, AsmError
                 }
             }
             [tok, ..] => {
-                return Err(AsmError::at(n, format!("expected `,` between operands, found {tok:?}")));
+                return Err(AsmError::at(
+                    n,
+                    format!("expected `,` between operands, found {tok:?}"),
+                ));
             }
         }
     }
 }
 
-fn parse_operand<'t>(toks: &'t [Token], n: usize) -> Result<(Operand, &'t [Token]), AsmError> {
+fn parse_operand(toks: &[Token], n: usize) -> Result<(Operand, &[Token]), AsmError> {
     match toks {
         // offset(base)
-        [Token::Int(off), Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => {
-            Ok((Operand::Mem { offset: *off, base: parse_reg(r, n)? }, rest))
-        }
+        [Token::Int(off), Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => Ok((
+            Operand::Mem {
+                offset: *off,
+                base: parse_reg(r, n)?,
+            },
+            rest,
+        )),
         // (base) with implicit zero offset
-        [Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => {
-            Ok((Operand::Mem { offset: 0, base: parse_reg(r, n)? }, rest))
-        }
+        [Token::LParen, Token::Register(r), Token::RParen, rest @ ..] => Ok((
+            Operand::Mem {
+                offset: 0,
+                base: parse_reg(r, n)?,
+            },
+            rest,
+        )),
         [Token::Register(r), rest @ ..] => Ok((Operand::Reg(parse_reg(r, n)?), rest)),
         [Token::Int(v), rest @ ..] => Ok((Operand::Imm(*v), rest)),
-        [Token::Ident(name), Token::Plus, Token::Int(off), rest @ ..] => {
-            Ok((Operand::Sym { name: name.clone(), offset: *off }, rest))
-        }
-        [Token::Ident(name), rest @ ..] => {
-            Ok((Operand::Sym { name: name.clone(), offset: 0 }, rest))
-        }
+        [Token::Ident(name), Token::Plus, Token::Int(off), rest @ ..] => Ok((
+            Operand::Sym {
+                name: name.clone(),
+                offset: *off,
+            },
+            rest,
+        )),
+        [Token::Ident(name), rest @ ..] => Ok((
+            Operand::Sym {
+                name: name.clone(),
+                offset: 0,
+            },
+            rest,
+        )),
         [Token::Str(s), rest @ ..] => Ok((Operand::Str(s.clone()), rest)),
-        [tok, ..] => Err(AsmError::at(n, format!("unexpected token {tok:?} in operand"))),
+        [tok, ..] => Err(AsmError::at(
+            n,
+            format!("unexpected token {tok:?} in operand"),
+        )),
         [] => Err(AsmError::at(n, "missing operand")),
     }
 }
@@ -108,7 +146,11 @@ mod tests {
     use crate::lexer::lex;
 
     fn stmts(src: &str) -> Vec<Stmt> {
-        parse(&lex(src).unwrap()).unwrap().into_iter().map(|(_, s)| s).collect()
+        parse(&lex(src).unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect()
     }
 
     #[test]
@@ -118,7 +160,10 @@ mod tests {
             vec![
                 Stmt::Label("a".into()),
                 Stmt::Label("b".into()),
-                Stmt::Instruction { mnemonic: "nop".into(), args: vec![] },
+                Stmt::Instruction {
+                    mnemonic: "nop".into(),
+                    args: vec![]
+                },
             ]
         );
     }
@@ -144,14 +189,26 @@ mod tests {
             stmts("lw $t0, -4($sp)"),
             vec![Stmt::Instruction {
                 mnemonic: "lw".into(),
-                args: vec![Operand::Reg(Reg::T0), Operand::Mem { offset: -4, base: Reg::SP }],
+                args: vec![
+                    Operand::Reg(Reg::T0),
+                    Operand::Mem {
+                        offset: -4,
+                        base: Reg::SP
+                    }
+                ],
             }]
         );
         assert_eq!(
             stmts("lw $t0, ($sp)"),
             vec![Stmt::Instruction {
                 mnemonic: "lw".into(),
-                args: vec![Operand::Reg(Reg::T0), Operand::Mem { offset: 0, base: Reg::SP }],
+                args: vec![
+                    Operand::Reg(Reg::T0),
+                    Operand::Mem {
+                        offset: 0,
+                        base: Reg::SP
+                    }
+                ],
             }]
         );
     }
@@ -164,7 +221,10 @@ mod tests {
                 mnemonic: "la".into(),
                 args: vec![
                     Operand::Reg(Reg::A0),
-                    Operand::Sym { name: "table".into(), offset: 12 }
+                    Operand::Sym {
+                        name: "table".into(),
+                        offset: 12
+                    }
                 ],
             }]
         );
@@ -179,13 +239,19 @@ mod tests {
                 args: vec![
                     Operand::Imm(1),
                     Operand::Imm(2),
-                    Operand::Sym { name: "sym".into(), offset: 0 }
+                    Operand::Sym {
+                        name: "sym".into(),
+                        offset: 0
+                    }
                 ],
             }]
         );
         assert_eq!(
             stmts(".asciiz \"ok\""),
-            vec![Stmt::Directive { name: "asciiz".into(), args: vec![Operand::Str("ok".into())] }]
+            vec![Stmt::Directive {
+                name: "asciiz".into(),
+                args: vec![Operand::Str("ok".into())]
+            }]
         );
     }
 

@@ -74,7 +74,13 @@ impl Expander {
     }
 
     fn r3(&self, funct: Funct, rd: Reg, rs: Reg, rt: Reg) -> MInstr {
-        MInstr::R { funct, rs, rt, rd, shamt: 0 }
+        MInstr::R {
+            funct,
+            rs,
+            rt,
+            rd,
+            shamt: 0,
+        }
     }
 
     fn expand(&self, mnemonic: &str, args: &[Operand]) -> Result<Vec<MInstr>, AsmError> {
@@ -136,20 +142,34 @@ impl Expander {
                     "srl" => Funct::Srl,
                     _ => Funct::Sra,
                 };
-                Ok(vec![MInstr::R { funct, rs: Reg::ZERO, rt, rd, shamt: sh as u8 }])
+                Ok(vec![MInstr::R {
+                    funct,
+                    rs: Reg::ZERO,
+                    rt,
+                    rd,
+                    shamt: sh as u8,
+                }])
             }
             // ---- multiply / divide (2-operand architected forms) ----
             "mult" | "multu" => {
                 need(2)?;
                 let rs = self.reg(&args[0])?;
                 let rt = self.reg(&args[1])?;
-                let funct = if mnemonic == "mult" { Funct::Mult } else { Funct::Multu };
+                let funct = if mnemonic == "mult" {
+                    Funct::Mult
+                } else {
+                    Funct::Multu
+                };
                 Ok(vec![self.r3(funct, Reg::ZERO, rs, rt)])
             }
             "div" | "divu" if args.len() == 2 => {
                 let rs = self.reg(&args[0])?;
                 let rt = self.reg(&args[1])?;
-                let funct = if mnemonic == "div" { Funct::Div } else { Funct::Divu };
+                let funct = if mnemonic == "div" {
+                    Funct::Div
+                } else {
+                    Funct::Divu
+                };
                 Ok(vec![self.r3(funct, Reg::ZERO, rs, rt)])
             }
             // ---- 3-operand mul/div/rem pseudos ----
@@ -160,7 +180,13 @@ impl Expander {
                 let rt = self.reg(&args[2])?;
                 Ok(vec![
                     self.r3(Funct::Mult, Reg::ZERO, rs, rt),
-                    MInstr::R { funct: Funct::Mflo, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                    MInstr::R {
+                        funct: Funct::Mflo,
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                        rd,
+                        shamt: 0,
+                    },
                 ])
             }
             "div" | "divu" => {
@@ -168,10 +194,20 @@ impl Expander {
                 let rd = self.reg(&args[0])?;
                 let rs = self.reg(&args[1])?;
                 let rt = self.reg(&args[2])?;
-                let funct = if mnemonic == "div" { Funct::Div } else { Funct::Divu };
+                let funct = if mnemonic == "div" {
+                    Funct::Div
+                } else {
+                    Funct::Divu
+                };
                 Ok(vec![
                     self.r3(funct, Reg::ZERO, rs, rt),
-                    MInstr::R { funct: Funct::Mflo, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                    MInstr::R {
+                        funct: Funct::Mflo,
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                        rd,
+                        shamt: 0,
+                    },
                 ])
             }
             "rem" | "remu" => {
@@ -179,23 +215,53 @@ impl Expander {
                 let rd = self.reg(&args[0])?;
                 let rs = self.reg(&args[1])?;
                 let rt = self.reg(&args[2])?;
-                let funct = if mnemonic == "rem" { Funct::Div } else { Funct::Divu };
+                let funct = if mnemonic == "rem" {
+                    Funct::Div
+                } else {
+                    Funct::Divu
+                };
                 Ok(vec![
                     self.r3(funct, Reg::ZERO, rs, rt),
-                    MInstr::R { funct: Funct::Mfhi, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 },
+                    MInstr::R {
+                        funct: Funct::Mfhi,
+                        rs: Reg::ZERO,
+                        rt: Reg::ZERO,
+                        rd,
+                        shamt: 0,
+                    },
                 ])
             }
             "mfhi" | "mflo" => {
                 need(1)?;
                 let rd = self.reg(&args[0])?;
-                let funct = if mnemonic == "mfhi" { Funct::Mfhi } else { Funct::Mflo };
-                Ok(vec![MInstr::R { funct, rs: Reg::ZERO, rt: Reg::ZERO, rd, shamt: 0 }])
+                let funct = if mnemonic == "mfhi" {
+                    Funct::Mfhi
+                } else {
+                    Funct::Mflo
+                };
+                Ok(vec![MInstr::R {
+                    funct,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    rd,
+                    shamt: 0,
+                }])
             }
             "mthi" | "mtlo" => {
                 need(1)?;
                 let rs = self.reg(&args[0])?;
-                let funct = if mnemonic == "mthi" { Funct::Mthi } else { Funct::Mtlo };
-                Ok(vec![MInstr::R { funct, rs, rt: Reg::ZERO, rd: Reg::ZERO, shamt: 0 }])
+                let funct = if mnemonic == "mthi" {
+                    Funct::Mthi
+                } else {
+                    Funct::Mtlo
+                };
+                Ok(vec![MInstr::R {
+                    funct,
+                    rs,
+                    rt: Reg::ZERO,
+                    rd: Reg::ZERO,
+                    shamt: 0,
+                }])
             }
             // ---- jumps ----
             "jr" => {
@@ -216,11 +282,21 @@ impl Expander {
                     2 => (self.reg(&args[0])?, self.reg(&args[1])?),
                     n => return Err(self.err(format!("`jalr` expects 1 or 2 operands, found {n}"))),
                 };
-                Ok(vec![MInstr::R { funct: Funct::Jalr, rs, rt: Reg::ZERO, rd, shamt: 0 }])
+                Ok(vec![MInstr::R {
+                    funct: Funct::Jalr,
+                    rs,
+                    rt: Reg::ZERO,
+                    rd,
+                    shamt: 0,
+                }])
             }
             "j" | "jal" => {
                 need(1)?;
-                let opcode = if mnemonic == "j" { JOpcode::J } else { JOpcode::Jal };
+                let opcode = if mnemonic == "j" {
+                    JOpcode::J
+                } else {
+                    JOpcode::Jal
+                };
                 let target = match &args[0] {
                     Operand::Sym { name, offset: 0 } => RelocTarget::SymAddr(name.clone()),
                     Operand::Sym { .. } => {
@@ -269,7 +345,12 @@ impl Expander {
                     "slti" => IOpcode::Slti,
                     _ => IOpcode::Sltiu,
                 };
-                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs,
+                    rt,
+                    imm,
+                }])
             }
             "andi" | "ori" | "xori" => {
                 need(3)?;
@@ -281,13 +362,23 @@ impl Expander {
                     "ori" => IOpcode::Ori,
                     _ => IOpcode::Xori,
                 };
-                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs,
+                    rt,
+                    imm,
+                }])
             }
             "lui" => {
                 need(2)?;
                 let rt = self.reg(&args[0])?;
                 let imm = RelocImm::Value(self.uimm16(self.imm(&args[1])?)?);
-                Ok(vec![MInstr::I { opcode: IOpcode::Lui, rs: Reg::ZERO, rt, imm }])
+                Ok(vec![MInstr::I {
+                    opcode: IOpcode::Lui,
+                    rs: Reg::ZERO,
+                    rt,
+                    imm,
+                }])
             }
             // ---- loads & stores ----
             "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
@@ -312,7 +403,12 @@ impl Expander {
                     _ => IOpcode::Sw,
                 };
                 let imm = RelocImm::Value(self.simm16(offset)?);
-                Ok(vec![MInstr::I { opcode, rs: base, rt, imm }])
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs: base,
+                    rt,
+                    imm,
+                }])
             }
             // ---- architected branches ----
             "beq" | "bne" => {
@@ -320,8 +416,17 @@ impl Expander {
                 let rs = self.reg(&args[0])?;
                 let rt = self.reg(&args[1])?;
                 let imm = self.branch_imm(&args[2])?;
-                let opcode = if mnemonic == "beq" { IOpcode::Beq } else { IOpcode::Bne };
-                Ok(vec![MInstr::I { opcode, rs, rt, imm }])
+                let opcode = if mnemonic == "beq" {
+                    IOpcode::Beq
+                } else {
+                    IOpcode::Bne
+                };
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs,
+                    rt,
+                    imm,
+                }])
             }
             "blez" | "bgtz" | "bltz" | "bgez" => {
                 need(2)?;
@@ -333,7 +438,12 @@ impl Expander {
                     "bltz" => IOpcode::Bltz,
                     _ => IOpcode::Bgez,
                 };
-                Ok(vec![MInstr::I { opcode, rs, rt: Reg::ZERO, imm }])
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm,
+                }])
             }
             // ---- pseudos ----
             "nop" => {
@@ -402,14 +512,28 @@ impl Expander {
             "b" => {
                 need(1)?;
                 let imm = self.branch_imm(&args[0])?;
-                Ok(vec![MInstr::I { opcode: IOpcode::Beq, rs: Reg::ZERO, rt: Reg::ZERO, imm }])
+                Ok(vec![MInstr::I {
+                    opcode: IOpcode::Beq,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm,
+                }])
             }
             "beqz" | "bnez" => {
                 need(2)?;
                 let rs = self.reg(&args[0])?;
                 let imm = self.branch_imm(&args[1])?;
-                let opcode = if mnemonic == "beqz" { IOpcode::Beq } else { IOpcode::Bne };
-                Ok(vec![MInstr::I { opcode, rs, rt: Reg::ZERO, imm }])
+                let opcode = if mnemonic == "beqz" {
+                    IOpcode::Beq
+                } else {
+                    IOpcode::Bne
+                };
+                Ok(vec![MInstr::I {
+                    opcode,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm,
+                }])
             }
             "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" | "bgtu" | "bleu" => {
                 need(3)?;
@@ -428,8 +552,20 @@ impl Expander {
                     _ => (rt, rs, false), // ble
                 };
                 let cmp = self.r3(slt, Reg::AT, a, b_reg);
-                let opcode = if branch_on_set { IOpcode::Bne } else { IOpcode::Beq };
-                Ok(vec![cmp, MInstr::I { opcode, rs: Reg::AT, rt: Reg::ZERO, imm }])
+                let opcode = if branch_on_set {
+                    IOpcode::Bne
+                } else {
+                    IOpcode::Beq
+                };
+                Ok(vec![
+                    cmp,
+                    MInstr::I {
+                        opcode,
+                        rs: Reg::AT,
+                        rt: Reg::ZERO,
+                        imm,
+                    },
+                ])
             }
             other => Err(self.err(format!("unknown mnemonic `{other}`"))),
         }
@@ -490,7 +626,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            MInstr::I { opcode: IOpcode::Addiu, imm: RelocImm::Value(42), .. }
+            MInstr::I {
+                opcode: IOpcode::Addiu,
+                imm: RelocImm::Value(42),
+                ..
+            }
         ));
     }
 
@@ -500,7 +640,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            MInstr::I { opcode: IOpcode::Addiu, imm: RelocImm::Value(0xffff), .. }
+            MInstr::I {
+                opcode: IOpcode::Addiu,
+                imm: RelocImm::Value(0xffff),
+                ..
+            }
         ));
     }
 
@@ -510,7 +654,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            MInstr::I { opcode: IOpcode::Ori, imm: RelocImm::Value(0xabcd), .. }
+            MInstr::I {
+                opcode: IOpcode::Ori,
+                imm: RelocImm::Value(0xabcd),
+                ..
+            }
         ));
     }
 
@@ -520,11 +668,19 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(matches!(
             &out[0],
-            MInstr::I { opcode: IOpcode::Lui, imm: RelocImm::Value(0x1234), .. }
+            MInstr::I {
+                opcode: IOpcode::Lui,
+                imm: RelocImm::Value(0x1234),
+                ..
+            }
         ));
         assert!(matches!(
             &out[1],
-            MInstr::I { opcode: IOpcode::Ori, imm: RelocImm::Value(0x5678), .. }
+            MInstr::I {
+                opcode: IOpcode::Ori,
+                imm: RelocImm::Value(0x5678),
+                ..
+            }
         ));
     }
 
@@ -541,17 +697,31 @@ mod tests {
             &[
                 Operand::Reg(Reg::T0),
                 Operand::Reg(Reg::T1),
-                Operand::Sym { name: "l".into(), offset: 0 },
+                Operand::Sym {
+                    name: "l".into(),
+                    offset: 0,
+                },
             ],
         );
         assert_eq!(out.len(), 2);
         assert!(matches!(
             &out[0],
-            MInstr::R { funct: Funct::Slt, rs: Reg::T0, rt: Reg::T1, rd: Reg::AT, .. }
+            MInstr::R {
+                funct: Funct::Slt,
+                rs: Reg::T0,
+                rt: Reg::T1,
+                rd: Reg::AT,
+                ..
+            }
         ));
         assert!(matches!(
             &out[1],
-            MInstr::I { opcode: IOpcode::Bne, rs: Reg::AT, imm: RelocImm::BranchTo(_), .. }
+            MInstr::I {
+                opcode: IOpcode::Bne,
+                rs: Reg::AT,
+                imm: RelocImm::BranchTo(_),
+                ..
+            }
         ));
     }
 
@@ -562,12 +732,21 @@ mod tests {
             &[
                 Operand::Reg(Reg::T0),
                 Operand::Reg(Reg::T1),
-                Operand::Sym { name: "l".into(), offset: 0 },
+                Operand::Sym {
+                    name: "l".into(),
+                    offset: 0,
+                },
             ],
         );
         assert!(matches!(
             &out[0],
-            MInstr::R { funct: Funct::Sltu, rs: Reg::T1, rt: Reg::T0, rd: Reg::AT, .. }
+            MInstr::R {
+                funct: Funct::Sltu,
+                rs: Reg::T1,
+                rt: Reg::T0,
+                rd: Reg::AT,
+                ..
+            }
         ));
     }
 
@@ -575,11 +754,28 @@ mod tests {
     fn mul_expands_to_mult_mflo() {
         let out = exp(
             "mul",
-            &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Reg(Reg::T2)],
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Reg(Reg::T2),
+            ],
         );
         assert_eq!(out.len(), 2);
-        assert!(matches!(&out[0], MInstr::R { funct: Funct::Mult, .. }));
-        assert!(matches!(&out[1], MInstr::R { funct: Funct::Mflo, rd: Reg::T0, .. }));
+        assert!(matches!(
+            &out[0],
+            MInstr::R {
+                funct: Funct::Mult,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &out[1],
+            MInstr::R {
+                funct: Funct::Mflo,
+                rd: Reg::T0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -588,10 +784,21 @@ mod tests {
         assert_eq!(two.len(), 1);
         let three = exp(
             "div",
-            &[Operand::Reg(Reg::V0), Operand::Reg(Reg::T0), Operand::Reg(Reg::T1)],
+            &[
+                Operand::Reg(Reg::V0),
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+            ],
         );
         assert_eq!(three.len(), 2);
-        assert!(matches!(&three[1], MInstr::R { funct: Funct::Mflo, rd: Reg::V0, .. }));
+        assert!(matches!(
+            &three[1],
+            MInstr::R {
+                funct: Funct::Mflo,
+                rd: Reg::V0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -599,11 +806,21 @@ mod tests {
         // sllv rd, rt, rs : value in rt shifted by rs
         let out = exp(
             "sllv",
-            &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Reg(Reg::T2)],
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Reg(Reg::T2),
+            ],
         );
         assert!(matches!(
             &out[0],
-            MInstr::R { funct: Funct::Sllv, rd: Reg::T0, rt: Reg::T1, rs: Reg::T2, .. }
+            MInstr::R {
+                funct: Funct::Sllv,
+                rd: Reg::T0,
+                rt: Reg::T1,
+                rs: Reg::T2,
+                ..
+            }
         ));
     }
 
@@ -611,7 +828,13 @@ mod tests {
     fn la_emits_hi_lo_relocs() {
         let out = exp(
             "la",
-            &[Operand::Reg(Reg::A0), Operand::Sym { name: "buf".into(), offset: 4 }],
+            &[
+                Operand::Reg(Reg::A0),
+                Operand::Sym {
+                    name: "buf".into(),
+                    offset: 4,
+                },
+            ],
         );
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], MInstr::I { imm: RelocImm::HiOf(n, 4), .. } if n == "buf"));
@@ -622,12 +845,36 @@ mod tests {
     fn errors_for_bad_shapes() {
         assert!(expand("add", &[Operand::Reg(Reg::T0)], 1).is_err());
         assert!(expand("frobnicate", &[], 1).is_err());
-        assert!(expand("sll", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(40)], 1)
-            .is_err());
-        assert!(expand("addi", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(40000)], 1)
-            .is_err());
-        assert!(expand("andi", &[Operand::Reg(Reg::T0), Operand::Reg(Reg::T1), Operand::Imm(-1)], 1)
-            .is_err());
+        assert!(expand(
+            "sll",
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Imm(40)
+            ],
+            1
+        )
+        .is_err());
+        assert!(expand(
+            "addi",
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Imm(40000)
+            ],
+            1
+        )
+        .is_err());
+        assert!(expand(
+            "andi",
+            &[
+                Operand::Reg(Reg::T0),
+                Operand::Reg(Reg::T1),
+                Operand::Imm(-1)
+            ],
+            1
+        )
+        .is_err());
         assert!(expand("j", &[Operand::Imm(3)], 1).is_err());
         assert!(expand("li", &[Operand::Reg(Reg::T0), Operand::Imm(1i64 << 40)], 1).is_err());
     }
@@ -635,8 +882,24 @@ mod tests {
     #[test]
     fn jalr_forms() {
         let one = exp("jalr", &[Operand::Reg(Reg::T9)]);
-        assert!(matches!(&one[0], MInstr::R { funct: Funct::Jalr, rd: Reg::RA, rs: Reg::T9, .. }));
+        assert!(matches!(
+            &one[0],
+            MInstr::R {
+                funct: Funct::Jalr,
+                rd: Reg::RA,
+                rs: Reg::T9,
+                ..
+            }
+        ));
         let two = exp("jalr", &[Operand::Reg(Reg::S0), Operand::Reg(Reg::T9)]);
-        assert!(matches!(&two[0], MInstr::R { funct: Funct::Jalr, rd: Reg::S0, rs: Reg::T9, .. }));
+        assert!(matches!(
+            &two[0],
+            MInstr::R {
+                funct: Funct::Jalr,
+                rd: Reg::S0,
+                rs: Reg::T9,
+                ..
+            }
+        ));
     }
 }

@@ -51,7 +51,10 @@ impl SymbolTable {
     /// Find the symbol bound exactly at `addr`, if any (first in name
     /// order). Useful for trace annotation.
     pub fn name_at(&self, addr: u32) -> Option<&str> {
-        self.map.iter().find(|(_, &a)| a == addr).map(|(k, _)| k.as_str())
+        self.map
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(k, _)| k.as_str())
     }
 
     /// Number of defined symbols.

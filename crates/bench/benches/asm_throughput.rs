@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the software toolchain feeding the
+//! monitor: assembler throughput over the workload suite and static
+//! FHT generation speed. These bound how fast new program images can
+//! be provisioned with hash tables — the deployment-time cost the
+//! paper's OS-managed scheme pays on every program load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cimon_core::HashAlgoKind;
+use cimon_hashgen::static_fht;
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble");
+    for w in cimon_workloads::all() {
+        group.throughput(Throughput::Bytes(w.source.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| std::hint::black_box(w.assemble()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_fht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_fht");
+    for w in cimon_workloads::all() {
+        let prog = w.assemble();
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &prog, |b, prog| {
+            b.iter(|| {
+                std::hint::black_box(
+                    static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("workload analyses"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assemble, bench_static_fht);
+criterion_main!(benches);

@@ -14,16 +14,20 @@ fn bench_hash_units(c: &mut Criterion) {
     let mut group = c.benchmark_group("hashfu");
     group.throughput(Throughput::Elements(words.len() as u64));
     for kind in HashAlgoKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let mut unit = hasher_for(kind, 0x5eed);
-            b.iter(|| {
-                unit.reset();
-                for &w in &words {
-                    unit.update(w);
-                }
-                std::hint::black_box(unit.digest())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut unit = hasher_for(kind, 0x5eed);
+                b.iter(|| {
+                    unit.reset();
+                    for &w in &words {
+                        unit.update(w);
+                    }
+                    std::hint::black_box(unit.digest())
+                });
+            },
+        );
     }
     group.finish();
 }

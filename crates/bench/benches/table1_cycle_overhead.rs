@@ -16,7 +16,10 @@ fn main() {
         );
     }
     cimon_bench::print_rule(73);
-    println!("{:<14} {:>12} {:>12} {:>12} {:>9.1} {:>9.1}", "average", "", "", "", avg8, avg16);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>9.1} {:>9.1}",
+        "average", "", "", "", avg8, avg16
+    );
     println!("\nShape checks (paper: avg 14.7% / 7.7%): ovh16 <= ovh8 per row; bitcount ~0;");
     println!("stringsearch worst and similar at both sizes; rijndael/sha collapse at 16.");
 }

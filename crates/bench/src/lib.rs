@@ -22,9 +22,7 @@ use cimon_core::{CicConfig, HashAlgoKind};
 use cimon_faults::{Campaign, CampaignConfig, CampaignResult, FaultModel, FaultSite};
 use cimon_hashgen::{static_fht, trace_fht};
 use cimon_os::RefillPolicyKind;
-use cimon_sim::{
-    overhead_percent, run_baseline, run_monitored_with_fht, RunReport, SimConfig,
-};
+use cimon_sim::{overhead_percent, run_baseline, run_monitored_with_fht, RunReport, SimConfig};
 use cimon_workloads::Workload;
 
 /// Figure 6's table sizes.
@@ -58,7 +56,10 @@ pub fn fig6() -> Vec<Fig6Row> {
                 assert_clean(&w, &rep);
                 miss_rate[i] = rep.miss_rate_percent;
             }
-            Fig6Row { workload: w.name, miss_rate }
+            Fig6Row {
+                workload: w.name,
+                miss_rate,
+            }
         })
         .collect()
 }
@@ -89,8 +90,7 @@ pub fn table1() -> (Vec<Table1Row>, f64, f64) {
             .expect("workload analyses")
             .0;
         let base = run_baseline(&prog.image);
-        let m8 =
-            run_monitored_with_fht(&prog.image, fht.clone(), &SimConfig::with_entries(8));
+        let m8 = run_monitored_with_fht(&prog.image, fht.clone(), &SimConfig::with_entries(8));
         let m16 = run_monitored_with_fht(&prog.image, fht, &SimConfig::with_entries(16));
         assert_clean(&w, &m8);
         assert_clean(&w, &m16);
@@ -113,8 +113,14 @@ pub fn table1() -> (Vec<Table1Row>, f64, f64) {
 pub fn table2() -> (Vec<AreaRow>, Vec<TimingRow>) {
     let model = AreaModel::calibrated();
     let sizes = [0usize, 1, 8, 16, 32];
-    let areas = sizes.iter().map(|&n| model.area_row(n, HashAlgoKind::Xor)).collect();
-    let timings = sizes.iter().map(|&n| model.timing_row(n, HashAlgoKind::Xor)).collect();
+    let areas = sizes
+        .iter()
+        .map(|&n| model.area_row(n, HashAlgoKind::Xor))
+        .collect();
+    let timings = sizes
+        .iter()
+        .map(|&n| model.timing_row(n, HashAlgoKind::Xor))
+        .collect();
     (areas, timings)
 }
 
@@ -142,8 +148,14 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
         HashAlgoKind::Fletcher32,
         HashAlgoKind::Crc32,
     ] {
-        let fht = static_fht(&prog.image, &[], algo, 0x5eed).expect("analyses").0;
-        let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0x5eed };
+        let fht = static_fht(&prog.image, &[], algo, 0x5eed)
+            .expect("analyses")
+            .0;
+        let cic = CicConfig {
+            iht_entries: 16,
+            hash_algo: algo,
+            hash_seed: 0x5eed,
+        };
         let campaign = Campaign::new(prog.image.clone(), cic, fht);
         for (name, model) in [
             ("single-bit", FaultModel::SingleBit),
@@ -158,7 +170,11 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
                 targets: targets.clone(),
                 max_cycles: 5_000_000,
             });
-            rows.push(FaultRow { algo, model: name, result });
+            rows.push(FaultRow {
+                algo,
+                model: name,
+                result,
+            });
         }
     }
     rows
@@ -188,10 +204,8 @@ pub fn block_census() -> Vec<CensusRow> {
         .into_iter()
         .map(|w| {
             let prog = w.assemble();
-            let (s, _) =
-                static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
-            let (t, _, executions) =
-                trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+            let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
+            let (t, _, executions) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
             let base = run_baseline(&prog.image);
             CensusRow {
                 workload: w.name,
@@ -223,14 +237,20 @@ pub fn ablation_replacement() -> Vec<ReplacementRow> {
     for name in ["dijkstra", "rijndael", "stringsearch"] {
         let w = cimon_workloads::by_name(name).expect("exists");
         let prog = w.assemble();
-        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses").0;
+        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
+            .expect("analyses")
+            .0;
         for policy in RefillPolicyKind::all(17) {
             let mut misses = [0u64; 4];
             for (i, &entries) in FIG6_SIZES.iter().enumerate() {
                 let rep = run_monitored_with_fht(
                     &prog.image,
                     fht.clone(),
-                    &SimConfig { iht_entries: entries, policy, ..SimConfig::default() },
+                    &SimConfig {
+                        iht_entries: entries,
+                        policy,
+                        ..SimConfig::default()
+                    },
                 );
                 assert_clean(&w, &rep);
                 misses[i] = rep.stats.cic.expect("monitored").misses;
@@ -241,7 +261,11 @@ pub fn ablation_replacement() -> Vec<ReplacementRow> {
                 RefillPolicyKind::Fifo => "fifo",
                 RefillPolicyKind::Random(_) => "random",
             };
-            rows.push(ReplacementRow { workload: w.name, policy: policy_name, misses });
+            rows.push(ReplacementRow {
+                workload: w.name,
+                policy: policy_name,
+                misses,
+            });
         }
     }
     rows
@@ -272,8 +296,14 @@ pub fn ablation_hash(runs: usize) -> Vec<HashRow> {
     HashAlgoKind::ALL
         .into_iter()
         .map(|algo| {
-            let fht = static_fht(&prog.image, &[], algo, 0x5eed).expect("analyses").0;
-            let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0x5eed };
+            let fht = static_fht(&prog.image, &[], algo, 0x5eed)
+                .expect("analyses")
+                .0;
+            let cic = CicConfig {
+                iht_entries: 16,
+                hash_algo: algo,
+                hash_seed: 0x5eed,
+            };
             let campaign = Campaign::new(prog.image.clone(), cic, fht);
             let result = campaign.run(&CampaignConfig {
                 runs,
@@ -319,18 +349,12 @@ pub fn ablation_managed() -> Vec<ManagedRow> {
         .into_iter()
         .map(|w| {
             let prog = w.assemble();
-            let (s, _) =
-                static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
+            let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
             let fht_len = s.len() as u64;
             let base = run_baseline(&prog.image);
-            let m8 = run_monitored_with_fht(
-                &prog.image,
-                s,
-                &SimConfig::with_entries(8),
-            );
+            let m8 = run_monitored_with_fht(&prog.image, s, &SimConfig::with_entries(8));
             assert_clean(&w, &m8);
-            let (_, _, executions) =
-                trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+            let (_, _, executions) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
             let text_bytes = prog.image.text.bytes.len() as u64;
             let app = cimon_os::appmanaged::price(fht_len, text_bytes, executions);
             ManagedRow {

@@ -30,7 +30,10 @@ impl BlockKey {
     /// Panics if `end < start` or either address is not word-aligned —
     /// no well-formed block can have such a key.
     pub fn new(start: u32, end: u32) -> BlockKey {
-        assert!(start % 4 == 0 && end % 4 == 0, "block addresses must be word-aligned");
+        assert!(
+            start % 4 == 0 && end % 4 == 0,
+            "block addresses must be word-aligned"
+        );
         assert!(end >= start, "block end {end:#x} precedes start {start:#x}");
         BlockKey { start, end }
     }
@@ -81,7 +84,10 @@ mod tests {
         let k = BlockKey::new(0x1000, 0x100c);
         assert_eq!(k.len(), 4);
         assert!(!k.is_empty());
-        assert_eq!(k.addresses().collect::<Vec<_>>(), vec![0x1000, 0x1004, 0x1008, 0x100c]);
+        assert_eq!(
+            k.addresses().collect::<Vec<_>>(),
+            vec![0x1000, 0x1004, 0x1008, 0x100c]
+        );
     }
 
     #[test]
@@ -113,7 +119,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let r = BlockRecord { key: BlockKey::new(0x400000, 0x400008), hash: 0xabcd };
+        let r = BlockRecord {
+            key: BlockKey::new(0x400000, 0x400008),
+            hash: 0xabcd,
+        };
         let s = r.to_string();
         assert!(s.contains("0x00400000"));
         assert!(s.contains("hash=0x0000abcd"));

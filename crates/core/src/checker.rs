@@ -26,14 +26,21 @@ pub struct CicConfig {
 impl Default for CicConfig {
     /// The paper's headline configuration: 8-entry IHT, XOR checksum.
     fn default() -> Self {
-        CicConfig { iht_entries: 8, hash_algo: HashAlgoKind::Xor, hash_seed: 0 }
+        CicConfig {
+            iht_entries: 8,
+            hash_algo: HashAlgoKind::Xor,
+            hash_seed: 0,
+        }
     }
 }
 
 impl CicConfig {
     /// Convenience constructor with the given table size.
     pub fn with_entries(iht_entries: usize) -> CicConfig {
-        CicConfig { iht_entries, ..CicConfig::default() }
+        CicConfig {
+            iht_entries,
+            ..CicConfig::default()
+        }
     }
 }
 
@@ -186,7 +193,10 @@ mod tests {
         let words = [0x0109_5020u32, 0x2508_0001, 0x1500_fffe];
         let k = key(0x40_0000, 3);
         let expect = hash_words(HashAlgoKind::Xor, 0, words);
-        cic.iht_mut().insert_lru(BlockRecord { key: k, hash: expect });
+        cic.iht_mut().insert_lru(BlockRecord {
+            key: k,
+            hash: expect,
+        });
 
         let mut rhash = 0;
         for w in words {
@@ -242,7 +252,10 @@ mod tests {
     #[test]
     fn stats_reset_keeps_table() {
         let mut cic = Cic::new(CicConfig::default());
-        cic.iht_mut().insert_lru(BlockRecord { key: key(0x1000, 1), hash: 0 });
+        cic.iht_mut().insert_lru(BlockRecord {
+            key: key(0x1000, 1),
+            hash: 0,
+        });
         cic.hash_step(7);
         cic.check_block(key(0x2000, 1), 7);
         cic.reset_stats();

@@ -209,11 +209,22 @@ pub struct Sha1Hasher {
 }
 
 impl Sha1Hasher {
-    const INIT: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    const INIT: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
 
     /// A fresh unit.
     pub fn new() -> Sha1Hasher {
-        Sha1Hasher { h: Self::INIT, buf: [0; 64], buf_len: 0, total_bytes: 0 }
+        Sha1Hasher {
+            h: Self::INIT,
+            buf: [0; 64],
+            buf_len: 0,
+            total_bytes: 0,
+        }
     }
 
     fn compress(h: &mut [u32; 5], chunk: &[u8; 64]) {
@@ -321,7 +332,10 @@ mod tests {
     #[test]
     fn xor_is_word_parity() {
         assert_eq!(hash_words(HashAlgoKind::Xor, 0, V3), 0x0000_0000);
-        assert_eq!(hash_words(HashAlgoKind::Xor, 0, V4), 0xdead_beef ^ 0xffff_ffff ^ 0x1234_5678);
+        assert_eq!(
+            hash_words(HashAlgoKind::Xor, 0, V4),
+            0xdead_beef ^ 0xffff_ffff ^ 0x1234_5678
+        );
     }
 
     #[test]
@@ -343,7 +357,10 @@ mod tests {
         let mut v = V4;
         v[0] ^= 1 << 7;
         v[2] ^= 1 << 7;
-        assert_eq!(hash_words(HashAlgoKind::Xor, 0, v), hash_words(HashAlgoKind::Xor, 0, V4));
+        assert_eq!(
+            hash_words(HashAlgoKind::Xor, 0, v),
+            hash_words(HashAlgoKind::Xor, 0, V4)
+        );
     }
 
     #[test]
@@ -435,8 +452,10 @@ mod tests {
     #[test]
     fn algorithms_disagree_with_each_other() {
         // Sanity: different algorithms produce different digests on V4.
-        let digests: Vec<u32> =
-            HashAlgoKind::ALL.iter().map(|&k| hash_words(k, 0, V4)).collect();
+        let digests: Vec<u32> = HashAlgoKind::ALL
+            .iter()
+            .map(|&k| hash_words(k, 0, V4))
+            .collect();
         for i in 0..digests.len() {
             for j in (i + 1)..digests.len() {
                 assert_ne!(digests[i], digests[j], "kinds {i} and {j} collide on V4");

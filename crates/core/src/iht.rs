@@ -74,7 +74,11 @@ impl Iht {
     /// Panics if `entries == 0`.
     pub fn new(entries: usize) -> Iht {
         assert!(entries > 0, "IHT must have at least one entry");
-        Iht { slots: vec![None; entries], clock: 0, stats: IhtStats::default() }
+        Iht {
+            slots: vec![None; entries],
+            clock: 0,
+            stats: IhtStats::default(),
+        }
     }
 
     /// Table capacity in entries.
@@ -123,7 +127,9 @@ impl Iht {
                     return LookupOutcome::Hit;
                 }
                 self.stats.mismatches += 1;
-                return LookupOutcome::Mismatch { expected: slot.record.hash };
+                return LookupOutcome::Mismatch {
+                    expected: slot.record.hash,
+                };
             }
         }
         self.stats.misses += 1;
@@ -198,19 +204,28 @@ mod tests {
     use super::*;
 
     fn rec(start: u32, hash: u32) -> BlockRecord {
-        BlockRecord { key: BlockKey::new(start, start + 8), hash }
+        BlockRecord {
+            key: BlockKey::new(start, start + 8),
+            hash,
+        }
     }
 
     #[test]
     fn lookup_hit_mismatch_miss() {
         let mut iht = Iht::new(4);
         iht.replace_at(0, rec(0x1000, 0xaa));
-        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x1008), 0xaa), LookupOutcome::Hit);
+        assert_eq!(
+            iht.lookup(BlockKey::new(0x1000, 0x1008), 0xaa),
+            LookupOutcome::Hit
+        );
         assert_eq!(
             iht.lookup(BlockKey::new(0x1000, 0x1008), 0xbb),
             LookupOutcome::Mismatch { expected: 0xaa }
         );
-        assert_eq!(iht.lookup(BlockKey::new(0x2000, 0x2008), 0xaa), LookupOutcome::Miss);
+        assert_eq!(
+            iht.lookup(BlockKey::new(0x2000, 0x2008), 0xaa),
+            LookupOutcome::Miss
+        );
         let s = iht.stats();
         assert_eq!((s.lookups, s.hits, s.mismatches, s.misses), (3, 1, 1, 1));
         assert!((s.miss_rate_percent() - 33.333).abs() < 0.01);
@@ -221,7 +236,10 @@ mod tests {
         // Same start, different end must miss: the CAM matches the pair.
         let mut iht = Iht::new(2);
         iht.replace_at(0, rec(0x1000, 0xaa));
-        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x100c), 0xaa), LookupOutcome::Miss);
+        assert_eq!(
+            iht.lookup(BlockKey::new(0x1000, 0x100c), 0xaa),
+            LookupOutcome::Miss
+        );
     }
 
     #[test]
@@ -275,7 +293,10 @@ mod tests {
         iht.insert_lru(rec(0x1000, 1));
         iht.flush();
         assert!(iht.is_empty());
-        assert_eq!(iht.lookup(BlockKey::new(0x1000, 0x1008), 1), LookupOutcome::Miss);
+        assert_eq!(
+            iht.lookup(BlockKey::new(0x1000, 0x1008), 1),
+            LookupOutcome::Miss
+        );
     }
 
     #[test]

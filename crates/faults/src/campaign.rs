@@ -165,11 +165,15 @@ impl Campaign {
     /// Prepare a campaign: runs the program once cleanly (monitored) to
     /// capture the reference result.
     pub fn new(image: ProgramImage, cic: CicConfig, fht: FullHashTable) -> Campaign {
-        let mut cpu =
-            Processor::new(&image, ProcessorConfig::monitored(cic, fht.clone()));
+        let mut cpu = Processor::new(&image, ProcessorConfig::monitored(cic, fht.clone()));
         let outcome = cpu.run();
         let console = cpu.stats().console;
-        Campaign { image, cic, fht, reference: (outcome, console) }
+        Campaign {
+            image,
+            cic,
+            fht,
+            reference: (outcome, console),
+        }
     }
 
     /// The clean reference outcome.
@@ -217,12 +221,18 @@ impl Campaign {
 
     /// Run a full campaign.
     pub fn run(&self, config: &CampaignConfig) -> CampaignResult {
-        assert!(!config.targets.is_empty(), "campaign needs target addresses");
+        assert!(
+            !config.targets.is_empty(),
+            "campaign needs target addresses"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut result = CampaignResult::default();
         for _ in 0..config.runs {
             let flips = config.model.generate(&mut rng, &config.targets);
-            let plan = FaultPlan { site: config.site, flips };
+            let plan = FaultPlan {
+                site: config.site,
+                flips,
+            };
             result.record(self.run_one(&plan, config.max_cycles));
         }
         result
@@ -254,7 +264,11 @@ mod tests {
     fn setup(algo: HashAlgoKind) -> (Campaign, Vec<u32>) {
         let prog = assemble(PROGRAM).unwrap();
         let (fht, _) = static_fht(&prog.image, &[], algo, 0).unwrap();
-        let cic = CicConfig { iht_entries: 8, hash_algo: algo, hash_seed: 0 };
+        let cic = CicConfig {
+            iht_entries: 8,
+            hash_algo: algo,
+            hash_seed: 0,
+        };
         let (lo, hi) = prog.image.text_range();
         let targets: Vec<u32> = (lo..hi).step_by(4).collect();
         (Campaign::new(prog.image, cic, fht), targets)

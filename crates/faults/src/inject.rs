@@ -31,7 +31,8 @@ impl BitFlip {
     /// Apply the flip to a stored image in memory.
     pub fn apply_to_memory(&self, mem: &mut Memory) {
         let word = mem.read_u32(self.addr).expect("aligned by construction");
-        mem.write_u32(self.addr, word ^ self.mask()).expect("aligned by construction");
+        mem.write_u32(self.addr, word ^ self.mask())
+            .expect("aligned by construction");
     }
 }
 
@@ -65,7 +66,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A single-bit stored-image fault.
     pub fn stored(addr: u32, bit: u8) -> FaultPlan {
-        FaultPlan { site: FaultSite::StoredImage, flips: vec![BitFlip::new(addr, bit)] }
+        FaultPlan {
+            site: FaultSite::StoredImage,
+            flips: vec![BitFlip::new(addr, bit)],
+        }
     }
 
     /// A single-bit one-shot bus fault.
@@ -92,7 +96,10 @@ pub struct PlannedBusTap {
 impl PlannedBusTap {
     /// Build a tap for the given flips.
     pub fn new(flips: Vec<BitFlip>, mode: BusFaultMode) -> PlannedBusTap {
-        PlannedBusTap { flips: flips.into_iter().map(|f| (f, false)).collect(), mode }
+        PlannedBusTap {
+            flips: flips.into_iter().map(|f| (f, false)).collect(),
+            mode,
+        }
     }
 
     /// Whether every one-shot flip has fired.

@@ -59,7 +59,10 @@ impl fmt::Display for HashGenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HashGenError::UndecodableWord { addr, word } => {
-                write!(f, "text word at {addr:#010x} ({word:#010x}) does not decode")
+                write!(
+                    f,
+                    "text word at {addr:#010x} ({word:#010x}) does not decode"
+                )
             }
             HashGenError::EmptyText => f.write_str("text segment is empty"),
         }
@@ -183,7 +186,11 @@ pub fn trace_fht(
 ) -> (FullHashTable, RunOutcome, u64) {
     let mut cpu = Processor::new(
         image,
-        ProcessorConfig { record_blocks: true, max_cycles, ..ProcessorConfig::baseline() },
+        ProcessorConfig {
+            record_blocks: true,
+            max_cycles,
+            ..ProcessorConfig::baseline()
+        },
     );
     let outcome = cpu.run();
     let mem = image.to_memory();
@@ -193,8 +200,14 @@ pub fn trace_fht(
         if fht.contains(ev.key) {
             continue;
         }
-        let words = ev.key.addresses().map(|a| mem.read_u32(a).expect("aligned"));
-        fht.insert(BlockRecord { key: ev.key, hash: hash_words(algo, seed, words) });
+        let words = ev
+            .key
+            .addresses()
+            .map(|a| mem.read_u32(a).expect("aligned"));
+        fht.insert(BlockRecord {
+            key: ev.key,
+            hash: hash_words(algo, seed, words),
+        });
     }
     (fht, outcome, executions)
 }

@@ -101,14 +101,15 @@ pub fn from_section_bytes(bytes: &[u8]) -> Result<(FullHashTable, HashAlgoKind),
     let mut fht = FullHashTable::new();
     for i in 0..count {
         let off = i as usize * 12;
-        let word = |o: usize| {
-            u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]])
-        };
+        let word = |o: usize| u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]]);
         let (start, end, hash) = (word(off), word(off + 4), word(off + 8));
         if start % 4 != 0 || end % 4 != 0 || end < start {
             return Err(SectionError::BadRecord { index: i });
         }
-        fht.insert(BlockRecord { key: BlockKey::new(start, end), hash });
+        fht.insert(BlockRecord {
+            key: BlockKey::new(start, end),
+            hash,
+        });
     }
     Ok((fht, algo))
 }
@@ -155,14 +156,20 @@ mod tests {
     fn truncation_rejected() {
         let bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
         let cut = &bytes[..bytes.len() - 4];
-        assert!(matches!(from_section_bytes(cut), Err(SectionError::Truncated { .. })));
+        assert!(matches!(
+            from_section_bytes(cut),
+            Err(SectionError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn bad_algo_tag_rejected() {
         let mut bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
         bytes[8] = 0xee;
-        assert!(matches!(from_section_bytes(&bytes), Err(SectionError::BadAlgoTag(_))));
+        assert!(matches!(
+            from_section_bytes(&bytes),
+            Err(SectionError::BadAlgoTag(_))
+        ));
     }
 
     #[test]
@@ -170,7 +177,10 @@ mod tests {
         let mut bytes = to_section_bytes(&table(), HashAlgoKind::Xor);
         // Corrupt first record's start to be unaligned.
         bytes[12] = 0x03;
-        assert_eq!(from_section_bytes(&bytes), Err(SectionError::BadRecord { index: 0 }));
+        assert_eq!(
+            from_section_bytes(&bytes),
+            Err(SectionError::BadRecord { index: 0 })
+        );
     }
 
     #[test]

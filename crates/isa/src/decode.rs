@@ -86,43 +86,166 @@ impl Instr {
         match opcode {
             0x00 => {
                 let fbits = (word & 0x3f) as u8;
-                let funct = decode_funct(fbits)
-                    .ok_or(DecodeError::UnknownFunct { word, funct: fbits })?;
-                Ok(Instr::R(RType { funct, rs, rt, rd, shamt }))
+                let funct =
+                    decode_funct(fbits).ok_or(DecodeError::UnknownFunct { word, funct: fbits })?;
+                Ok(Instr::R(RType {
+                    funct,
+                    rs,
+                    rt,
+                    rd,
+                    shamt,
+                }))
             }
             0x01 => {
                 let op = match rt.index() {
                     0 => IOpcode::Bltz,
                     1 => IOpcode::Bgez,
                     sel => {
-                        return Err(DecodeError::UnknownRegimm { word, rt: sel as u8 });
+                        return Err(DecodeError::UnknownRegimm {
+                            word,
+                            rt: sel as u8,
+                        });
                     }
                 };
-                Ok(Instr::I(IType { opcode: op, rs, rt: Reg::ZERO, imm }))
+                Ok(Instr::I(IType {
+                    opcode: op,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm,
+                }))
             }
-            0x02 => Ok(Instr::J(JType { opcode: JOpcode::J, target: word & 0x03ff_ffff })),
-            0x03 => Ok(Instr::J(JType { opcode: JOpcode::Jal, target: word & 0x03ff_ffff })),
-            0x04 => Ok(Instr::I(IType { opcode: IOpcode::Beq, rs, rt, imm })),
-            0x05 => Ok(Instr::I(IType { opcode: IOpcode::Bne, rs, rt, imm })),
-            0x06 => Ok(Instr::I(IType { opcode: IOpcode::Blez, rs, rt, imm })),
-            0x07 => Ok(Instr::I(IType { opcode: IOpcode::Bgtz, rs, rt, imm })),
-            0x08 => Ok(Instr::I(IType { opcode: IOpcode::Addi, rs, rt, imm })),
-            0x09 => Ok(Instr::I(IType { opcode: IOpcode::Addiu, rs, rt, imm })),
-            0x0a => Ok(Instr::I(IType { opcode: IOpcode::Slti, rs, rt, imm })),
-            0x0b => Ok(Instr::I(IType { opcode: IOpcode::Sltiu, rs, rt, imm })),
-            0x0c => Ok(Instr::I(IType { opcode: IOpcode::Andi, rs, rt, imm })),
-            0x0d => Ok(Instr::I(IType { opcode: IOpcode::Ori, rs, rt, imm })),
-            0x0e => Ok(Instr::I(IType { opcode: IOpcode::Xori, rs, rt, imm })),
-            0x0f => Ok(Instr::I(IType { opcode: IOpcode::Lui, rs, rt, imm })),
-            0x20 => Ok(Instr::I(IType { opcode: IOpcode::Lb, rs, rt, imm })),
-            0x21 => Ok(Instr::I(IType { opcode: IOpcode::Lh, rs, rt, imm })),
-            0x23 => Ok(Instr::I(IType { opcode: IOpcode::Lw, rs, rt, imm })),
-            0x24 => Ok(Instr::I(IType { opcode: IOpcode::Lbu, rs, rt, imm })),
-            0x25 => Ok(Instr::I(IType { opcode: IOpcode::Lhu, rs, rt, imm })),
-            0x28 => Ok(Instr::I(IType { opcode: IOpcode::Sb, rs, rt, imm })),
-            0x29 => Ok(Instr::I(IType { opcode: IOpcode::Sh, rs, rt, imm })),
-            0x2b => Ok(Instr::I(IType { opcode: IOpcode::Sw, rs, rt, imm })),
-            other => Err(DecodeError::UnknownOpcode { word, opcode: other }),
+            0x02 => Ok(Instr::J(JType {
+                opcode: JOpcode::J,
+                target: word & 0x03ff_ffff,
+            })),
+            0x03 => Ok(Instr::J(JType {
+                opcode: JOpcode::Jal,
+                target: word & 0x03ff_ffff,
+            })),
+            0x04 => Ok(Instr::I(IType {
+                opcode: IOpcode::Beq,
+                rs,
+                rt,
+                imm,
+            })),
+            0x05 => Ok(Instr::I(IType {
+                opcode: IOpcode::Bne,
+                rs,
+                rt,
+                imm,
+            })),
+            0x06 => Ok(Instr::I(IType {
+                opcode: IOpcode::Blez,
+                rs,
+                rt,
+                imm,
+            })),
+            0x07 => Ok(Instr::I(IType {
+                opcode: IOpcode::Bgtz,
+                rs,
+                rt,
+                imm,
+            })),
+            0x08 => Ok(Instr::I(IType {
+                opcode: IOpcode::Addi,
+                rs,
+                rt,
+                imm,
+            })),
+            0x09 => Ok(Instr::I(IType {
+                opcode: IOpcode::Addiu,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0a => Ok(Instr::I(IType {
+                opcode: IOpcode::Slti,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0b => Ok(Instr::I(IType {
+                opcode: IOpcode::Sltiu,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0c => Ok(Instr::I(IType {
+                opcode: IOpcode::Andi,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0d => Ok(Instr::I(IType {
+                opcode: IOpcode::Ori,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0e => Ok(Instr::I(IType {
+                opcode: IOpcode::Xori,
+                rs,
+                rt,
+                imm,
+            })),
+            0x0f => Ok(Instr::I(IType {
+                opcode: IOpcode::Lui,
+                rs,
+                rt,
+                imm,
+            })),
+            0x20 => Ok(Instr::I(IType {
+                opcode: IOpcode::Lb,
+                rs,
+                rt,
+                imm,
+            })),
+            0x21 => Ok(Instr::I(IType {
+                opcode: IOpcode::Lh,
+                rs,
+                rt,
+                imm,
+            })),
+            0x23 => Ok(Instr::I(IType {
+                opcode: IOpcode::Lw,
+                rs,
+                rt,
+                imm,
+            })),
+            0x24 => Ok(Instr::I(IType {
+                opcode: IOpcode::Lbu,
+                rs,
+                rt,
+                imm,
+            })),
+            0x25 => Ok(Instr::I(IType {
+                opcode: IOpcode::Lhu,
+                rs,
+                rt,
+                imm,
+            })),
+            0x28 => Ok(Instr::I(IType {
+                opcode: IOpcode::Sb,
+                rs,
+                rt,
+                imm,
+            })),
+            0x29 => Ok(Instr::I(IType {
+                opcode: IOpcode::Sh,
+                rs,
+                rt,
+                imm,
+            })),
+            0x2b => Ok(Instr::I(IType {
+                opcode: IOpcode::Sw,
+                rs,
+                rt,
+                imm,
+            })),
+            other => Err(DecodeError::UnknownOpcode {
+                word,
+                opcode: other,
+            }),
         }
     }
 }
@@ -162,7 +285,13 @@ mod tests {
     #[test]
     fn unknown_opcode_reported() {
         let err = Instr::decode(0xffff_ffff).unwrap_err();
-        assert_eq!(err, DecodeError::UnknownOpcode { word: 0xffff_ffff, opcode: 0x3f });
+        assert_eq!(
+            err,
+            DecodeError::UnknownOpcode {
+                word: 0xffff_ffff,
+                opcode: 0x3f
+            }
+        );
         assert!(err.to_string().contains("0x3f"));
     }
 
@@ -170,7 +299,13 @@ mod tests {
     fn unknown_funct_reported() {
         // opcode 0, funct 0x3f unassigned
         let err = Instr::decode(0x0000_003f).unwrap_err();
-        assert_eq!(err, DecodeError::UnknownFunct { word: 0x3f, funct: 0x3f });
+        assert_eq!(
+            err,
+            DecodeError::UnknownFunct {
+                word: 0x3f,
+                funct: 0x3f
+            }
+        );
     }
 
     #[test]

@@ -38,7 +38,14 @@ impl fmt::Display for Instr {
             Instr::I(i) => match i.opcode {
                 IOpcode::Lui => write!(f, "lui {}, {:#x}", i.rt, i.imm),
                 IOpcode::Beq | IOpcode::Bne => {
-                    write!(f, "{} {}, {}, {}", i.opcode.mnemonic(), i.rs, i.rt, i.simm())
+                    write!(
+                        f,
+                        "{} {}, {}, {}",
+                        i.opcode.mnemonic(),
+                        i.rs,
+                        i.rt,
+                        i.simm()
+                    )
                 }
                 IOpcode::Bltz | IOpcode::Bgez | IOpcode::Blez | IOpcode::Bgtz => {
                     write!(f, "{} {}, {}", i.opcode.mnemonic(), i.rs, i.simm())
@@ -47,9 +54,23 @@ impl fmt::Display for Instr {
                     write!(f, "{} {}, {}({})", op.mnemonic(), i.rt, i.simm(), i.rs)
                 }
                 IOpcode::Andi | IOpcode::Ori | IOpcode::Xori => {
-                    write!(f, "{} {}, {}, {:#x}", i.opcode.mnemonic(), i.rt, i.rs, i.imm)
+                    write!(
+                        f,
+                        "{} {}, {}, {:#x}",
+                        i.opcode.mnemonic(),
+                        i.rt,
+                        i.rs,
+                        i.imm
+                    )
                 }
-                _ => write!(f, "{} {}, {}, {}", i.opcode.mnemonic(), i.rt, i.rs, i.simm()),
+                _ => write!(
+                    f,
+                    "{} {}, {}, {}",
+                    i.opcode.mnemonic(),
+                    i.rt,
+                    i.rs,
+                    i.simm()
+                ),
             },
             Instr::J(j) => match j.opcode {
                 JOpcode::J => write!(f, "j {:#x}", j.target << 2),
@@ -136,7 +157,10 @@ mod tests {
 
     #[test]
     fn disasm_jumps_and_traps() {
-        let j = Instr::J(JType { opcode: JOpcode::J, target: 0x100 });
+        let j = Instr::J(JType {
+            opcode: JOpcode::J,
+            target: 0x100,
+        });
         assert_eq!(j.to_string(), "j 0x400");
         let jr = Instr::R(RType {
             funct: Funct::Jr,

@@ -143,10 +143,16 @@ mod tests {
 
     #[test]
     fn encode_j_type() {
-        let j = Instr::J(JType { opcode: JOpcode::J, target: 0x0123_4567 & 0x03ff_ffff });
+        let j = Instr::J(JType {
+            opcode: JOpcode::J,
+            target: 0x0123_4567 & 0x03ff_ffff,
+        });
         assert_eq!(j.encode() >> 26, 0x02);
         assert_eq!(j.encode() & 0x03ff_ffff, 0x0123_4567 & 0x03ff_ffff);
-        let jal = Instr::J(JType { opcode: JOpcode::Jal, target: 1 });
+        let jal = Instr::J(JType {
+            opcode: JOpcode::Jal,
+            target: 1,
+        });
         assert_eq!(jal.encode(), (0x03 << 26) | 1);
     }
 

@@ -590,7 +590,10 @@ mod tests {
         assert_eq!(i(IOpcode::Sw).class(), InstrClass::Store);
         assert_eq!(i(IOpcode::Beq).class(), InstrClass::Branch);
         assert_eq!(i(IOpcode::Addiu).class(), InstrClass::Alu);
-        let j = Instr::J(JType { opcode: JOpcode::J, target: 4 });
+        let j = Instr::J(JType {
+            opcode: JOpcode::J,
+            target: 4,
+        });
         assert_eq!(j.class(), InstrClass::Jump);
     }
 
@@ -599,7 +602,11 @@ mod tests {
         assert!(r(Funct::Jr).is_control_flow());
         assert!(r(Funct::Syscall).is_control_flow());
         assert!(i(IOpcode::Bne).is_control_flow());
-        assert!(Instr::J(JType { opcode: JOpcode::Jal, target: 0 }).is_control_flow());
+        assert!(Instr::J(JType {
+            opcode: JOpcode::Jal,
+            target: 0
+        })
+        .is_control_flow());
         assert!(!r(Funct::Add).is_control_flow());
         assert!(!i(IOpcode::Lw).is_control_flow());
     }
@@ -613,10 +620,21 @@ mod tests {
         assert_eq!(i(IOpcode::Sw).dest(), None);
         assert_eq!(i(IOpcode::Beq).dest(), None);
         assert_eq!(
-            Instr::J(JType { opcode: JOpcode::Jal, target: 0 }).dest(),
+            Instr::J(JType {
+                opcode: JOpcode::Jal,
+                target: 0
+            })
+            .dest(),
             Some(Reg::RA)
         );
-        assert_eq!(Instr::J(JType { opcode: JOpcode::J, target: 0 }).dest(), None);
+        assert_eq!(
+            Instr::J(JType {
+                opcode: JOpcode::J,
+                target: 0
+            })
+            .dest(),
+            None
+        );
     }
 
     #[test]
@@ -683,7 +701,10 @@ mod tests {
 
     #[test]
     fn jump_dest_keeps_region() {
-        let j = Instr::J(JType { opcode: JOpcode::J, target: 0x40 });
+        let j = Instr::J(JType {
+            opcode: JOpcode::J,
+            target: 0x40,
+        });
         assert_eq!(j.jump_dest(0x1000_0000), Some(0x1000_0100));
         assert_eq!(j.jump_dest(0x0000_2000), Some(0x0000_0100));
     }

@@ -53,20 +53,32 @@ pub fn alu_r(funct: Funct, a: u32, b: u32, shamt: u8) -> AluOut {
         Funct::Sltu => s((a < b) as u32),
         Funct::Mult => {
             let p = (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64;
-            AluOut::HiLo { hi: (p >> 32) as u32, lo: p as u32 }
+            AluOut::HiLo {
+                hi: (p >> 32) as u32,
+                lo: p as u32,
+            }
         }
         Funct::Multu => {
             let p = (a as u64).wrapping_mul(b as u64);
-            AluOut::HiLo { hi: (p >> 32) as u32, lo: p as u32 }
+            AluOut::HiLo {
+                hi: (p >> 32) as u32,
+                lo: p as u32,
+            }
         }
         Funct::Div => {
             // Division by zero leaves an architecturally unspecified
             // HI/LO; we define it as (hi = a, lo = all-ones) so the
             // machine is deterministic.
             if b == 0 {
-                AluOut::HiLo { hi: a, lo: u32::MAX }
+                AluOut::HiLo {
+                    hi: a,
+                    lo: u32::MAX,
+                }
             } else if (a as i32) == i32::MIN && (b as i32) == -1 {
-                AluOut::HiLo { hi: 0, lo: i32::MIN as u32 }
+                AluOut::HiLo {
+                    hi: 0,
+                    lo: i32::MIN as u32,
+                }
             } else {
                 AluOut::HiLo {
                     hi: ((a as i32) % (b as i32)) as u32,
@@ -76,9 +88,15 @@ pub fn alu_r(funct: Funct, a: u32, b: u32, shamt: u8) -> AluOut {
         }
         Funct::Divu => {
             if b == 0 {
-                AluOut::HiLo { hi: a, lo: u32::MAX }
+                AluOut::HiLo {
+                    hi: a,
+                    lo: u32::MAX,
+                }
             } else {
-                AluOut::HiLo { hi: a % b, lo: a / b }
+                AluOut::HiLo {
+                    hi: a % b,
+                    lo: a / b,
+                }
             }
         }
         other => panic!("alu_r called with non-computational funct {other:?}"),
@@ -148,7 +166,10 @@ mod tests {
         assert_eq!(alu_r(Funct::Srl, 0, 0x8000_0000, 31), AluOut::Gpr(1));
         assert_eq!(alu_r(Funct::Sra, 0, 0x8000_0000, 31), AluOut::Gpr(u32::MAX));
         assert_eq!(alu_r(Funct::Sllv, 4, 1, 0), AluOut::Gpr(16));
-        assert_eq!(alu_r(Funct::Srav, 34, 0x8000_0000, 0), AluOut::Gpr(0xe000_0000));
+        assert_eq!(
+            alu_r(Funct::Srav, 34, 0x8000_0000, 0),
+            AluOut::Gpr(0xe000_0000)
+        );
     }
 
     #[test]
@@ -169,30 +190,54 @@ mod tests {
     fn mult_div() {
         assert_eq!(
             alu_r(Funct::Mult, (-3i32) as u32, 4, 0),
-            AluOut::HiLo { hi: u32::MAX, lo: (-12i32) as u32 }
+            AluOut::HiLo {
+                hi: u32::MAX,
+                lo: (-12i32) as u32
+            }
         );
         assert_eq!(
             alu_r(Funct::Multu, 0xffff_ffff, 2, 0),
-            AluOut::HiLo { hi: 1, lo: 0xffff_fffe }
+            AluOut::HiLo {
+                hi: 1,
+                lo: 0xffff_fffe
+            }
         );
-        assert_eq!(alu_r(Funct::Div, (-7i32) as u32, 2, 0), AluOut::HiLo {
-            hi: (-1i32) as u32,
-            lo: (-3i32) as u32
-        });
+        assert_eq!(
+            alu_r(Funct::Div, (-7i32) as u32, 2, 0),
+            AluOut::HiLo {
+                hi: (-1i32) as u32,
+                lo: (-3i32) as u32
+            }
+        );
         assert_eq!(alu_r(Funct::Divu, 7, 2, 0), AluOut::HiLo { hi: 1, lo: 3 });
     }
 
     #[test]
     fn div_by_zero_is_deterministic() {
-        assert_eq!(alu_r(Funct::Div, 42, 0, 0), AluOut::HiLo { hi: 42, lo: u32::MAX });
-        assert_eq!(alu_r(Funct::Divu, 42, 0, 0), AluOut::HiLo { hi: 42, lo: u32::MAX });
+        assert_eq!(
+            alu_r(Funct::Div, 42, 0, 0),
+            AluOut::HiLo {
+                hi: 42,
+                lo: u32::MAX
+            }
+        );
+        assert_eq!(
+            alu_r(Funct::Divu, 42, 0, 0),
+            AluOut::HiLo {
+                hi: 42,
+                lo: u32::MAX
+            }
+        );
     }
 
     #[test]
     fn div_overflow_case() {
         assert_eq!(
             alu_r(Funct::Div, i32::MIN as u32, (-1i32) as u32, 0),
-            AluOut::HiLo { hi: 0, lo: i32::MIN as u32 }
+            AluOut::HiLo {
+                hi: 0,
+                lo: i32::MIN as u32
+            }
         );
     }
 

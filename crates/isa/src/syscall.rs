@@ -72,7 +72,12 @@ mod tests {
 
     #[test]
     fn numbers_roundtrip() {
-        for sc in [Syscall::Exit, Syscall::PrintInt, Syscall::PrintChar, Syscall::ReadCycles] {
+        for sc in [
+            Syscall::Exit,
+            Syscall::PrintInt,
+            Syscall::PrintChar,
+            Syscall::ReadCycles,
+        ] {
             assert_eq!(Syscall::from_number(sc.number()), Some(sc));
         }
     }

@@ -99,7 +99,10 @@ mod tests {
                 base: TEXT_BASE,
                 bytes: vec![0x20, 0x50, 0x09, 0x01, 0x0c, 0x00, 0x00, 0x00],
             },
-            data: Segment { base: DATA_BASE, bytes: vec![1, 2, 3] },
+            data: Segment {
+                base: DATA_BASE,
+                bytes: vec![1, 2, 3],
+            },
             entry: TEXT_BASE,
         }
     }
@@ -124,7 +127,10 @@ mod tests {
     #[should_panic(expected = "not word-sized")]
     fn ragged_text_panics() {
         let img = ProgramImage {
-            text: Segment { base: 0, bytes: vec![1, 2, 3] },
+            text: Segment {
+                base: 0,
+                bytes: vec![1, 2, 3],
+            },
             ..ProgramImage::default()
         };
         img.text_words();

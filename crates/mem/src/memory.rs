@@ -100,7 +100,10 @@ impl Memory {
         if addr % 2 != 0 {
             return Err(MemError::Misaligned { addr, required: 2 });
         }
-        Ok(u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))]))
+        Ok(u16::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+        ]))
     }
 
     /// Write a little-endian halfword.
@@ -159,7 +162,9 @@ impl Memory {
 
     /// Read `len` bytes starting at `base`.
     pub fn read_bytes(&self, base: u32, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(base.wrapping_add(i as u32))).collect()
+        (0..len)
+            .map(|i| self.read_u8(base.wrapping_add(i as u32)))
+            .collect()
     }
 
     /// Flip a single bit: `addr` selects the byte, `bit` (0..8) the bit
@@ -211,8 +216,20 @@ mod tests {
     #[test]
     fn misalignment_faults() {
         let mut m = Memory::new();
-        assert_eq!(m.read_u16(1).unwrap_err(), MemError::Misaligned { addr: 1, required: 2 });
-        assert_eq!(m.read_u32(2).unwrap_err(), MemError::Misaligned { addr: 2, required: 4 });
+        assert_eq!(
+            m.read_u16(1).unwrap_err(),
+            MemError::Misaligned {
+                addr: 1,
+                required: 2
+            }
+        );
+        assert_eq!(
+            m.read_u32(2).unwrap_err(),
+            MemError::Misaligned {
+                addr: 2,
+                required: 4
+            }
+        );
         assert!(m.write_u16(3, 0).is_err());
         assert!(m.write_u32(6, 0).is_err());
     }

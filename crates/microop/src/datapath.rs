@@ -51,17 +51,11 @@ impl fmt::Display for DReg {
 /// `RHASH` resets to the configurable `rhash_seed` rather than zero: the
 /// paper (Section 6.3) suggests seeding the checksum with a
 /// process-dependent random value to harden the plain XOR function.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Datapath {
     values: [u32; 5],
     /// Value `RHASH` takes on reset.
     pub rhash_seed: u32,
-}
-
-impl Default for Datapath {
-    fn default() -> Self {
-        Datapath { values: [0; 5], rhash_seed: 0 }
-    }
 }
 
 impl Datapath {
@@ -72,7 +66,10 @@ impl Datapath {
 
     /// A datapath whose `RHASH` resets to `seed` (and starts there).
     pub fn with_seed(seed: u32) -> Datapath {
-        let mut dp = Datapath { values: [0; 5], rhash_seed: seed };
+        let mut dp = Datapath {
+            values: [0; 5],
+            rhash_seed: seed,
+        };
         dp.reset(DReg::Rhash);
         dp
     }

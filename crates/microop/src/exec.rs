@@ -169,7 +169,13 @@ pub fn execute(
                 let v = env.hash_step(wires.get(*old), wires.get(*instr));
                 wires.set(*out, v);
             }
-            MicroOp::IhtLookup { start, end, hash, found, matched } => {
+            MicroOp::IhtLookup {
+                start,
+                end,
+                hash,
+                found,
+                matched,
+            } => {
                 let (f, m) = env.iht_lookup(wires.get(*start), wires.get(*end), wires.get(*hash));
                 wires.set(*found, f as u32);
                 wires.set(*matched, m as u32);
@@ -216,16 +222,30 @@ mod tests {
     }
 
     fn stub() -> Stub {
-        Stub { mem_word: 0x1234_5678, iht_answer: (true, true), raised: vec![] }
+        Stub {
+            mem_word: 0x1234_5678,
+            iht_answer: (true, true),
+            raised: vec![],
+        }
     }
 
     #[test]
     fn baseline_if_sequence() {
         // Figure 1: read CPC, fetch, latch into IReg, increment CPC.
         let mut p = MicroProgram::new("IF");
-        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("current_pc") });
-        p.push(MicroOp::FetchIMem { addr: Wire("current_pc"), out: Wire("instr") });
-        p.push(MicroOp::Write { reg: DReg::IReg, input: Wire("instr"), guard: None });
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("current_pc"),
+        });
+        p.push(MicroOp::FetchIMem {
+            addr: Wire("current_pc"),
+            out: Wire("instr"),
+        });
+        p.push(MicroOp::Write {
+            reg: DReg::IReg,
+            input: Wire("instr"),
+            guard: None,
+        });
         p.push(MicroOp::IncPc);
 
         let mut dp = Datapath::new();
@@ -240,7 +260,10 @@ mod tests {
     #[test]
     fn guarded_write_fires_only_on_zero() {
         let mut p = MicroProgram::new("g");
-        p.push(MicroOp::Read { reg: DReg::Sta, out: Wire("start") });
+        p.push(MicroOp::Read {
+            reg: DReg::Sta,
+            out: Wire("start"),
+        });
         p.push(MicroOp::Write {
             reg: DReg::Sta,
             input: Wire("pc"),
@@ -276,7 +299,11 @@ mod tests {
             kind: ExceptionKind::HashMiss,
             guard: Guard::eq_zero(Wire("found")),
         });
-        p.push(MicroOp::AndNot { a: Wire("found"), b: Wire("match"), out: Wire("mm") });
+        p.push(MicroOp::AndNot {
+            a: Wire("found"),
+            b: Wire("match"),
+            out: Wire("mm"),
+        });
         p.push(MicroOp::RaiseException {
             kind: ExceptionKind::HashMismatch,
             guard: Guard::ne_zero(Wire("mm")),
@@ -314,7 +341,11 @@ mod tests {
     #[should_panic(expected = "read before being driven")]
     fn undriven_wire_panics() {
         let mut p = MicroProgram::new("bad");
-        p.push(MicroOp::Write { reg: DReg::Sta, input: Wire("ghost"), guard: None });
+        p.push(MicroOp::Write {
+            reg: DReg::Sta,
+            input: Wire("ghost"),
+            guard: None,
+        });
         let mut dp = Datapath::new();
         let mut env = stub();
         execute(&p, &mut dp, &mut env, WireEnv::new());
@@ -323,9 +354,20 @@ mod tests {
     #[test]
     fn hash_accumulation_chain() {
         let mut p = MicroProgram::new("hash");
-        p.push(MicroOp::Read { reg: DReg::Rhash, out: Wire("ohashv") });
-        p.push(MicroOp::HashOp { old: Wire("ohashv"), instr: Wire("instr"), out: Wire("nhashv") });
-        p.push(MicroOp::Write { reg: DReg::Rhash, input: Wire("nhashv"), guard: None });
+        p.push(MicroOp::Read {
+            reg: DReg::Rhash,
+            out: Wire("ohashv"),
+        });
+        p.push(MicroOp::HashOp {
+            old: Wire("ohashv"),
+            instr: Wire("instr"),
+            out: Wire("nhashv"),
+        });
+        p.push(MicroOp::Write {
+            reg: DReg::Rhash,
+            input: Wire("nhashv"),
+            guard: None,
+        });
 
         let mut dp = Datapath::new();
         let mut env = stub();
@@ -334,6 +376,9 @@ mod tests {
             w.set(Wire("instr"), word);
             execute(&p, &mut dp, &mut env, w);
         }
-        assert_eq!(dp.read(DReg::Rhash), 0xaaaa_0000 ^ 0x0000_bbbb ^ 0x1111_1111);
+        assert_eq!(
+            dp.read(DReg::Rhash),
+            0xaaaa_0000 ^ 0x0000_bbbb ^ 0x1111_1111
+        );
     }
 }

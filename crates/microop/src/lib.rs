@@ -40,7 +40,7 @@ pub mod exec;
 pub mod ops;
 pub mod spec;
 
-pub use datapath::{Datapath, DReg};
+pub use datapath::{DReg, Datapath};
 pub use exec::{execute, ExceptionKind, MicroEnv, WireEnv};
 pub use ops::{Cond, Guard, MicroOp, MicroProgram, Wire};
 pub use spec::{

@@ -45,12 +45,18 @@ pub struct Guard {
 impl Guard {
     /// Guard that fires when `wire == 0`.
     pub fn eq_zero(wire: Wire) -> Guard {
-        Guard { wire, cond: Cond::EqZero }
+        Guard {
+            wire,
+            cond: Cond::EqZero,
+        }
     }
 
     /// Guard that fires when `wire != 0`.
     pub fn ne_zero(wire: Wire) -> Guard {
-        Guard { wire, cond: Cond::NeZero }
+        Guard {
+            wire,
+            cond: Cond::NeZero,
+        }
     }
 }
 
@@ -141,10 +147,18 @@ impl fmt::Display for MicroOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MicroOp::Read { reg, out } => write!(f, "{out} = {reg}.read();"),
-            MicroOp::Write { reg, input, guard: None } => {
+            MicroOp::Write {
+                reg,
+                input,
+                guard: None,
+            } => {
                 write!(f, "null = {reg}.write({input});")
             }
-            MicroOp::Write { reg, input, guard: Some(g) } => {
+            MicroOp::Write {
+                reg,
+                input,
+                guard: Some(g),
+            } => {
                 write!(f, "null = {g}{reg}.write({input});")
             }
             MicroOp::Reset { reg } => write!(f, "null = {reg}.reset();"),
@@ -153,7 +167,13 @@ impl fmt::Display for MicroOp {
             MicroOp::HashOp { old, instr, out } => {
                 write!(f, "{out} = HASHFU.ope({old}, {instr});")
             }
-            MicroOp::IhtLookup { start, end, hash, found, matched } => write!(
+            MicroOp::IhtLookup {
+                start,
+                end,
+                hash,
+                found,
+                matched,
+            } => write!(
                 f,
                 "<{found},{matched}> = IHTbb.lookup(<{start},{end},{hash}>);"
             ),
@@ -178,7 +198,10 @@ pub struct MicroProgram {
 impl MicroProgram {
     /// An empty program with a name.
     pub fn new(name: impl Into<String>) -> MicroProgram {
-        MicroProgram { name: name.into(), ops: Vec::new() }
+        MicroProgram {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Append an op, builder-style.
@@ -226,7 +249,13 @@ impl MicroProgram {
                     use_wire(*instr, &defined, &mut free);
                     defined.push(*out);
                 }
-                MicroOp::IhtLookup { start, end, hash, found, matched } => {
+                MicroOp::IhtLookup {
+                    start,
+                    end,
+                    hash,
+                    found,
+                    matched,
+                } => {
                     use_wire(*start, &defined, &mut free);
                     use_wire(*end, &defined, &mut free);
                     use_wire(*hash, &defined, &mut free);
@@ -293,24 +322,45 @@ mod tests {
     #[test]
     fn free_wires_are_program_inputs() {
         let mut p = MicroProgram::new("t");
-        p.push(MicroOp::HashOp { old: Wire("a"), instr: Wire("b"), out: Wire("c") });
-        p.push(MicroOp::Write { reg: DReg::Rhash, input: Wire("c"), guard: None });
+        p.push(MicroOp::HashOp {
+            old: Wire("a"),
+            instr: Wire("b"),
+            out: Wire("c"),
+        });
+        p.push(MicroOp::Write {
+            reg: DReg::Rhash,
+            input: Wire("c"),
+            guard: None,
+        });
         assert_eq!(p.free_wires(), vec![Wire("a"), Wire("b")]);
     }
 
     #[test]
     fn defined_wires_are_not_free() {
         let mut p = MicroProgram::new("t");
-        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("pc") });
-        p.push(MicroOp::FetchIMem { addr: Wire("pc"), out: Wire("instr") });
-        p.push(MicroOp::Write { reg: DReg::IReg, input: Wire("instr"), guard: None });
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("pc"),
+        });
+        p.push(MicroOp::FetchIMem {
+            addr: Wire("pc"),
+            out: Wire("instr"),
+        });
+        p.push(MicroOp::Write {
+            reg: DReg::IReg,
+            input: Wire("instr"),
+            guard: None,
+        });
         assert!(p.free_wires().is_empty());
     }
 
     #[test]
     fn program_display_has_header_and_lines() {
         let mut p = MicroProgram::new("IF (all instructions)");
-        p.push(MicroOp::Read { reg: DReg::Cpc, out: Wire("current_pc") });
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("current_pc"),
+        });
         p.push(MicroOp::IncPc);
         let text = p.to_string();
         assert!(text.starts_with("// IF (all instructions)\n"));

@@ -125,7 +125,10 @@ pub struct MonitorParams {
 impl Default for MonitorParams {
     /// The paper's headline configuration: 8 entries, XOR checksum.
     fn default() -> Self {
-        MonitorParams { iht_entries: 8, hash_algo: HashAlgoKind::Xor }
+        MonitorParams {
+            iht_entries: 8,
+            hash_algo: HashAlgoKind::Xor,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ impl fmt::Display for SpecError {
                 write!(f, "program `{program}` reads undriven wire `{wire}`")
             }
             SpecError::MissingResource { program, resource } => {
-                write!(f, "program `{program}` requires missing resource {resource}")
+                write!(
+                    f,
+                    "program `{program}` requires missing resource {resource}"
+                )
             }
             SpecError::BadIhtSize(n) => write!(f, "invalid IHT size {n}"),
         }
@@ -219,16 +225,19 @@ impl ProcessorSpec {
                         let res = reg_resource(*reg);
                         Some((self.resources.contains(&res), format!("{res:?}")))
                     }
-                    MicroOp::FetchIMem { .. } => Some((
-                        self.resources.contains(&Resource::IMau),
-                        "IMau".to_string(),
-                    )),
+                    MicroOp::FetchIMem { .. } => {
+                        Some((self.resources.contains(&Resource::IMau), "IMau".to_string()))
+                    }
                     MicroOp::HashOp { .. } => Some((
-                        self.resources.iter().any(|r| matches!(r, Resource::HashFu(_))),
+                        self.resources
+                            .iter()
+                            .any(|r| matches!(r, Resource::HashFu(_))),
                         "HashFu".to_string(),
                     )),
                     MicroOp::IhtLookup { .. } => Some((
-                        self.resources.iter().any(|r| matches!(r, Resource::Iht { .. }))
+                        self.resources
+                            .iter()
+                            .any(|r| matches!(r, Resource::Iht { .. }))
                             && self.resources.contains(&Resource::Comparator),
                         "Iht + Comparator".to_string(),
                     )),
@@ -258,7 +267,11 @@ impl ProcessorSpec {
 
     /// The monitoring-only resources (empty on a baseline spec).
     pub fn monitoring_resources(&self) -> Vec<Resource> {
-        self.resources.iter().copied().filter(Resource::is_monitoring).collect()
+        self.resources
+            .iter()
+            .copied()
+            .filter(Resource::is_monitoring)
+            .collect()
     }
 }
 
@@ -277,10 +290,24 @@ fn reg_resource(reg: DReg) -> Resource {
 pub fn baseline_spec() -> ProcessorSpec {
     let mut if_program = MicroProgram::new("IF (all instructions)");
     if_program
-        .push(MicroOp::Read { reg: DReg::Cpc, out: Wire("current_pc") })
-        .push(MicroOp::FetchIMem { addr: Wire("current_pc"), out: Wire("instr") })
-        .push(MicroOp::Write { reg: DReg::IReg, input: Wire("instr"), guard: None })
-        .push(MicroOp::Write { reg: DReg::Ppc, input: Wire("current_pc"), guard: None })
+        .push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("current_pc"),
+        })
+        .push(MicroOp::FetchIMem {
+            addr: Wire("current_pc"),
+            out: Wire("instr"),
+        })
+        .push(MicroOp::Write {
+            reg: DReg::IReg,
+            input: Wire("instr"),
+            guard: None,
+        })
+        .push(MicroOp::Write {
+            reg: DReg::Ppc,
+            input: Wire("current_pc"),
+            guard: None,
+        })
         .push(MicroOp::IncPc);
 
     ProcessorSpec {
@@ -316,22 +343,45 @@ pub fn embed_monitor(base: &ProcessorSpec, params: &MonitorParams) -> ProcessorS
     // Figure 3(b): extra IF micro-ops, italicised lines.
     spec.if_program.name = "IF (all instructions, monitored)".to_string();
     spec.if_program
-        .push(MicroOp::Read { reg: DReg::Sta, out: Wire("start") })
+        .push(MicroOp::Read {
+            reg: DReg::Sta,
+            out: Wire("start"),
+        })
         .push(MicroOp::Write {
             reg: DReg::Sta,
             input: Wire("current_pc"),
             guard: Some(Guard::eq_zero(Wire("start"))),
         })
-        .push(MicroOp::Read { reg: DReg::Rhash, out: Wire("ohashv") })
-        .push(MicroOp::HashOp { old: Wire("ohashv"), instr: Wire("instr"), out: Wire("nhashv") })
-        .push(MicroOp::Write { reg: DReg::Rhash, input: Wire("nhashv"), guard: None });
+        .push(MicroOp::Read {
+            reg: DReg::Rhash,
+            out: Wire("ohashv"),
+        })
+        .push(MicroOp::HashOp {
+            old: Wire("ohashv"),
+            instr: Wire("instr"),
+            out: Wire("nhashv"),
+        })
+        .push(MicroOp::Write {
+            reg: DReg::Rhash,
+            input: Wire("nhashv"),
+            guard: None,
+        });
 
     // Figure 4: block-end check in ID of control-flow instructions.
     let mut check = MicroProgram::new("ID (flow-control instructions, monitored)");
     check
-        .push(MicroOp::Read { reg: DReg::Sta, out: Wire("start") })
-        .push(MicroOp::Read { reg: DReg::Ppc, out: Wire("end") })
-        .push(MicroOp::Read { reg: DReg::Rhash, out: Wire("hashv") })
+        .push(MicroOp::Read {
+            reg: DReg::Sta,
+            out: Wire("start"),
+        })
+        .push(MicroOp::Read {
+            reg: DReg::Ppc,
+            out: Wire("end"),
+        })
+        .push(MicroOp::Read {
+            reg: DReg::Rhash,
+            out: Wire("hashv"),
+        })
         .push(MicroOp::IhtLookup {
             start: Wire("start"),
             end: Wire("end"),
@@ -343,7 +393,11 @@ pub fn embed_monitor(base: &ProcessorSpec, params: &MonitorParams) -> ProcessorS
             kind: ExceptionKind::HashMiss,
             guard: Guard::eq_zero(Wire("found")),
         })
-        .push(MicroOp::AndNot { a: Wire("found"), b: Wire("match"), out: Wire("mismatch") })
+        .push(MicroOp::AndNot {
+            a: Wire("found"),
+            b: Wire("match"),
+            out: Wire("mismatch"),
+        })
         .push(MicroOp::RaiseException {
             kind: ExceptionKind::HashMismatch,
             guard: Guard::ne_zero(Wire("mismatch")),
@@ -356,7 +410,9 @@ pub fn embed_monitor(base: &ProcessorSpec, params: &MonitorParams) -> ProcessorS
         Resource::StaReg,
         Resource::RhashReg,
         Resource::HashFu(params.hash_algo),
-        Resource::Iht { entries: params.iht_entries },
+        Resource::Iht {
+            entries: params.iht_entries,
+        },
         Resource::Comparator,
     ]);
     spec
@@ -426,7 +482,10 @@ mod tests {
     #[test]
     fn validate_catches_bad_iht_size() {
         let mut spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
-        spec.monitor = Some(MonitorParams { iht_entries: 0, ..MonitorParams::default() });
+        spec.monitor = Some(MonitorParams {
+            iht_entries: 0,
+            ..MonitorParams::default()
+        });
         assert_eq!(spec.validate().unwrap_err(), SpecError::BadIhtSize(0));
     }
 

@@ -68,7 +68,9 @@ impl FullHashTable {
 
     /// All records in address order.
     pub fn iter(&self) -> impl Iterator<Item = BlockRecord> + '_ {
-        self.map.iter().map(|(&key, &hash)| BlockRecord { key, hash })
+        self.map
+            .iter()
+            .map(|(&key, &hash)| BlockRecord { key, hash })
     }
 
     /// Size of the table as attached to the image, in bytes: three words
@@ -97,7 +99,10 @@ mod tests {
     use super::*;
 
     fn rec(start: u32, hash: u32) -> BlockRecord {
-        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+        BlockRecord {
+            key: BlockKey::new(start, start + 4),
+            hash,
+        }
     }
 
     #[test]

@@ -102,7 +102,12 @@ impl OsKernel {
 
     /// A kernel with a custom refill policy.
     pub fn with_policy(fht: FullHashTable, policy: Box<dyn RefillPolicy>) -> OsKernel {
-        OsKernel { fht, policy, cost: ExceptionCost::default(), stats: OsStats::default() }
+        OsKernel {
+            fht,
+            policy,
+            cost: ExceptionCost::default(),
+            stats: OsStats::default(),
+        }
     }
 
     /// Override the exception cost model.
@@ -143,10 +148,15 @@ impl OsKernel {
                 let written = self.policy.refill(
                     cic.iht_mut(),
                     &self.fht,
-                    BlockRecord { key, hash: expected },
+                    BlockRecord {
+                        key,
+                        hash: expected,
+                    },
                 );
                 self.stats.entries_refilled += written as u64;
-                MissResolution::Refilled { entries_written: written }
+                MissResolution::Refilled {
+                    entries_written: written,
+                }
             }
         }
     }
@@ -160,7 +170,11 @@ impl OsKernel {
     ) -> TerminationCause {
         self.stats.mismatch_exceptions += 1;
         self.stats.exception_cycles += self.cost.cycles;
-        TerminationCause::HashMismatch { block: key, expected, actual }
+        TerminationCause::HashMismatch {
+            block: key,
+            expected,
+            actual,
+        }
     }
 }
 
@@ -170,7 +184,10 @@ mod tests {
     use cimon_core::CicConfig;
 
     fn rec(start: u32, hash: u32) -> BlockRecord {
-        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+        BlockRecord {
+            key: BlockKey::new(start, start + 4),
+            hash,
+        }
     }
 
     fn kernel() -> OsKernel {

@@ -140,7 +140,9 @@ pub struct RandomReplace {
 impl RandomReplace {
     /// A policy with a fixed seed so runs are reproducible.
     pub fn new(seed: u64) -> RandomReplace {
-        RandomReplace { rng: StdRng::seed_from_u64(seed) }
+        RandomReplace {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -162,7 +164,10 @@ mod tests {
     use cimon_core::BlockKey;
 
     fn rec(start: u32, hash: u32) -> BlockRecord {
-        BlockRecord { key: BlockKey::new(start, start + 4), hash }
+        BlockRecord {
+            key: BlockKey::new(start, start + 4),
+            hash,
+        }
     }
 
     fn fht() -> FullHashTable {
@@ -179,7 +184,9 @@ mod tests {
         assert!(iht.probe(missing.key).is_some());
         // Prefetched successors 5, 6, 7:
         for i in 5..8u32 {
-            assert!(iht.probe(BlockKey::new(0x1000 + i * 0x20, 0x1004 + i * 0x20)).is_some());
+            assert!(iht
+                .probe(BlockKey::new(0x1000 + i * 0x20, 0x1004 + i * 0x20))
+                .is_some());
         }
     }
 

@@ -5,8 +5,8 @@ use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
 use cimon_isa::{semantics, Funct, IOpcode, Instr, InstrClass, Reg, Syscall, INSTR_BYTES};
 use cimon_mem::{FetchBus, Memory, ProgramImage};
 use cimon_microop::{
-    baseline_spec, embed_monitor, execute, Datapath, DReg, ExceptionKind, MicroEnv,
-    MonitorParams, ProcessorSpec, WireEnv,
+    baseline_spec, embed_monitor, execute, DReg, Datapath, ExceptionKind, MicroEnv, MonitorParams,
+    ProcessorSpec, WireEnv,
 };
 use cimon_os::{
     ExceptionCost, FullHashTable, MissResolution, OsKernel, OsStats, RefillPolicyKind,
@@ -69,7 +69,10 @@ impl ProcessorConfig {
 
     /// Monitored processor around a checker config and FHT.
     pub fn monitored(cic: CicConfig, fht: FullHashTable) -> ProcessorConfig {
-        ProcessorConfig { monitor: Some(MonitorConfig::new(cic, fht)), ..Self::baseline() }
+        ProcessorConfig {
+            monitor: Some(MonitorConfig::new(cic, fht)),
+            ..Self::baseline()
+        }
     }
 }
 
@@ -165,13 +168,17 @@ pub struct RunStats {
     pub console: Vec<ConsoleEvent>,
 }
 
+/// One ID-stage block check: (block key, computed hash, IHT hit, hash
+/// matched). Carried from the check program to exception resolution.
+type BlockCheck = (BlockKey, u32, bool, bool);
+
 /// Micro-op environment wiring the spec's programs to the hardware.
 struct Env<'a> {
     mem: &'a Memory,
     bus: &'a mut FetchBus,
     cic: Option<&'a mut Cic>,
     exceptions: Vec<ExceptionKind>,
-    last_check: Option<(BlockKey, u32, bool, bool)>,
+    last_check: Option<BlockCheck>,
 }
 
 impl MicroEnv for Env<'_> {
@@ -261,7 +268,8 @@ impl Processor {
                     hash_algo: mon.cic.hash_algo,
                 };
                 let spec = embed_monitor(&baseline_spec(), &params);
-                spec.validate().expect("embedded monitor spec must validate");
+                spec.validate()
+                    .expect("embedded monitor spec must validate");
                 let cic = Cic::new(mon.cic);
                 let mut os = OsKernel::with_policy(mon.fht, mon.policy.build());
                 os.set_exception_cost(mon.exception_cost);
@@ -392,7 +400,12 @@ impl Processor {
             exceptions: Vec::new(),
             last_check: None,
         };
-        execute(&self.spec.if_program, &mut self.dp, &mut env, WireEnv::new());
+        execute(
+            &self.spec.if_program,
+            &mut self.dp,
+            &mut env,
+            WireEnv::new(),
+        );
         let word = self.dp.read(DReg::IReg);
 
         // ---- ID: decode. ----
@@ -416,7 +429,7 @@ impl Processor {
         // OS handling is charged *after* the instruction issues, so the
         // 100-cycle freeze cannot absorb the instruction's own operand
         // interlocks (see resolve_exceptions below).
-        let mut pending: Option<(Vec<ExceptionKind>, Option<(BlockKey, u32, bool, bool)>)> = None;
+        let mut pending: Option<(Vec<ExceptionKind>, Option<BlockCheck>)> = None;
         if instr.is_control_flow() {
             if let Some(check_program) = &self.spec.id_check_program {
                 let mut env = Env {
@@ -433,7 +446,9 @@ impl Processor {
             }
             if self.record_blocks {
                 if let Some(start) = self.shadow_block_start.take() {
-                    self.blocks.push(BlockEvent { key: BlockKey::new(start, pc) });
+                    self.blocks.push(BlockEvent {
+                        key: BlockKey::new(start, pc),
+                    });
                 }
             }
         }
@@ -482,7 +497,7 @@ impl Processor {
         &mut self,
         pc: u32,
         exceptions: &[ExceptionKind],
-        last_check: Option<(BlockKey, u32, bool, bool)>,
+        last_check: Option<BlockCheck>,
     ) -> Option<RunOutcome> {
         if exceptions.is_empty() {
             return None;
@@ -522,7 +537,11 @@ impl Processor {
     /// The architectural effect of one instruction.
     fn execute_instr(&mut self, pc: u32, instr: Instr) -> Result<Exec, FaultKind> {
         let next = pc.wrapping_add(INSTR_BYTES);
-        let mut exec = Exec { next_pc: next, taken: false, exit: None };
+        let mut exec = Exec {
+            next_pc: next,
+            taken: false,
+            exit: None,
+        };
         match instr {
             Instr::R(r) => match r.funct {
                 Funct::Jr => {
@@ -606,13 +625,7 @@ impl Processor {
         Ok(exec)
     }
 
-    fn access_memory(
-        &mut self,
-        pc: u32,
-        op: IOpcode,
-        rt: Reg,
-        addr: u32,
-    ) -> Result<(), FaultKind> {
+    fn access_memory(&mut self, pc: u32, op: IOpcode, rt: Reg, addr: u32) -> Result<(), FaultKind> {
         let fault = |_| FaultKind::MemFault { pc };
         match op {
             IOpcode::Lb => {
@@ -637,10 +650,14 @@ impl Processor {
             }
             IOpcode::Sb => self.mem.write_u8(addr, self.regs.read(rt) as u8),
             IOpcode::Sh => {
-                self.mem.write_u16(addr, self.regs.read(rt) as u16).map_err(fault)?;
+                self.mem
+                    .write_u16(addr, self.regs.read(rt) as u16)
+                    .map_err(fault)?;
             }
             IOpcode::Sw => {
-                self.mem.write_u32(addr, self.regs.read(rt)).map_err(fault)?;
+                self.mem
+                    .write_u32(addr, self.regs.read(rt))
+                    .map_err(fault)?;
             }
             _ => unreachable!("not a memory opcode"),
         }
@@ -784,7 +801,9 @@ mod tests {
         let prog = assemble(".text\nmain: nop\nsyscall\n").unwrap();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
         // Overwrite the nop with an unassigned opcode pattern.
-        cpu.mem_mut().write_u32(prog.image.entry, 0xffff_ffff).unwrap();
+        cpu.mem_mut()
+            .write_u32(prog.image.entry, 0xffff_ffff)
+            .unwrap();
         match cpu.run() {
             RunOutcome::Fault(FaultKind::IllegalInstruction { pc, word }) => {
                 assert_eq!(pc, prog.image.entry);
@@ -797,13 +816,19 @@ mod tests {
     #[test]
     fn bad_syscall_number_faults() {
         let (out, _) = run_baseline(".text\nmain: li $v0, 99\nsyscall\n");
-        assert!(matches!(out, RunOutcome::Fault(FaultKind::BadSyscall { number: 99, .. })));
+        assert!(matches!(
+            out,
+            RunOutcome::Fault(FaultKind::BadSyscall { number: 99, .. })
+        ));
     }
 
     #[test]
     fn misaligned_jr_faults() {
         let (out, _) = run_baseline(".text\nmain: li $t0, 3\njr $t0\n");
-        assert!(matches!(out, RunOutcome::Fault(FaultKind::AddressError { target: 3, .. })));
+        assert!(matches!(
+            out,
+            RunOutcome::Fault(FaultKind::AddressError { target: 3, .. })
+        ));
     }
 
     #[test]
@@ -815,7 +840,10 @@ mod tests {
     #[test]
     fn break_faults() {
         let (out, _) = run_baseline(".text\nmain: break\n");
-        assert!(matches!(out, RunOutcome::Fault(FaultKind::BreakTrap { .. })));
+        assert!(matches!(
+            out,
+            RunOutcome::Fault(FaultKind::BreakTrap { .. })
+        ));
     }
 
     #[test]
@@ -823,7 +851,10 @@ mod tests {
         let prog = assemble(".text\nmain: j main\n").unwrap();
         let mut cpu = Processor::new(
             &prog.image,
-            ProcessorConfig { max_cycles: 10_000, ..ProcessorConfig::baseline() },
+            ProcessorConfig {
+                max_cycles: 10_000,
+                ..ProcessorConfig::baseline()
+            },
         );
         assert_eq!(cpu.run(), RunOutcome::MaxCycles);
     }
@@ -833,7 +864,10 @@ mod tests {
         let prog = assemble(SUM_LOOP).unwrap();
         let mut cpu = Processor::new(
             &prog.image,
-            ProcessorConfig { record_blocks: true, ..ProcessorConfig::baseline() },
+            ProcessorConfig {
+                record_blocks: true,
+                ..ProcessorConfig::baseline()
+            },
         );
         cpu.run();
         let blocks = cpu.blocks();
@@ -852,7 +886,10 @@ mod tests {
         let prog = assemble(src).unwrap();
         let mut cpu = Processor::new(
             &prog.image,
-            ProcessorConfig { record_blocks: true, ..ProcessorConfig::baseline() },
+            ProcessorConfig {
+                record_blocks: true,
+                ..ProcessorConfig::baseline()
+            },
         );
         cpu.run();
         let mem = prog.image.to_memory();
@@ -861,7 +898,10 @@ mod tests {
             .iter()
             .map(|b| {
                 let words = b.key.addresses().map(|a| mem.read_u32(a).unwrap());
-                BlockRecord { key: b.key, hash: hash_words(HashAlgoKind::Xor, 0, words) }
+                BlockRecord {
+                    key: b.key,
+                    hash: hash_words(HashAlgoKind::Xor, 0, words),
+                }
             })
             .collect();
         (prog, fht)
@@ -947,7 +987,10 @@ mod tests {
             &prog.image,
             ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
         );
-        cpu.set_bus_tap(Box::new(OneShot { target: prog.image.entry + 8, done: false }));
+        cpu.set_bus_tap(Box::new(OneShot {
+            target: prog.image.entry + 8,
+            done: false,
+        }));
         match cpu.run() {
             RunOutcome::Detected { cause, .. } => {
                 assert!(matches!(cause, TerminationCause::HashMismatch { .. }));
@@ -961,8 +1004,10 @@ mod tests {
         // FHT deliberately missing the loop block: the OS must kill the
         // program on the first miss for it.
         let (prog, fht) = trace_fht(SUM_LOOP);
-        let partial: FullHashTable =
-            fht.iter().filter(|r| r.key.start == prog.image.entry).collect();
+        let partial: FullHashTable = fht
+            .iter()
+            .filter(|r| r.key.start == prog.image.entry)
+            .collect();
         let mut cpu = Processor::new(
             &prog.image,
             ProcessorConfig::monitored(CicConfig::with_entries(8), partial),

@@ -40,7 +40,10 @@ impl Default for TimingConfig {
     /// Single-cycle ALU; iterative multiplier (4) and divider (16),
     /// typical of small embedded cores.
     fn default() -> Self {
-        TimingConfig { mult_latency: 4, div_latency: 16 }
+        TimingConfig {
+            mult_latency: 4,
+            div_latency: 16,
+        }
     }
 }
 
@@ -122,7 +125,11 @@ impl Timing {
         let mut id = self.last_id + if self.redirect { 2 } else { 1 };
 
         let consider = |id: &mut u64, idx: usize, at_id: bool| {
-            let bound = if at_id { self.ready_id[idx] } else { self.ready_ex[idx] };
+            let bound = if at_id {
+                self.ready_id[idx]
+            } else {
+                self.ready_ex[idx]
+            };
             if bound > *id {
                 *id = bound;
             }
@@ -228,7 +235,15 @@ mod tests {
     #[test]
     fn load_use_costs_one_bubble() {
         let mut t = Timing::default();
-        let lid = t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
+        let lid = t.issue(
+            IssueClass::Load,
+            &[Reg::SP],
+            false,
+            false,
+            Some(Reg::T0),
+            false,
+            false,
+        );
         assert_eq!(lid, 1);
         // Adjacent consumer: id ≥ 1 + 2 = 3 (one bubble).
         assert_eq!(alu(&mut t, &[Reg::T0], Some(Reg::T1)), 3);
@@ -237,7 +252,15 @@ mod tests {
     #[test]
     fn load_then_unrelated_then_use_has_no_bubble() {
         let mut t = Timing::default();
-        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
+        t.issue(
+            IssueClass::Load,
+            &[Reg::SP],
+            false,
+            false,
+            Some(Reg::T0),
+            false,
+            false,
+        );
         alu(&mut t, &[], Some(Reg::T5));
         assert_eq!(alu(&mut t, &[Reg::T0], Some(Reg::T1)), 3);
     }
@@ -246,17 +269,39 @@ mod tests {
     fn branch_waits_for_alu_producer() {
         let mut t = Timing::default();
         alu(&mut t, &[], Some(Reg::T0)); // id 1, forwardable to ID at 4
-        let bid =
-            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, true);
+        let bid = t.issue(
+            IssueClass::IdReader,
+            &[Reg::T0],
+            false,
+            false,
+            None,
+            false,
+            true,
+        );
         assert_eq!(bid, 4); // two stall cycles over the nominal 2
     }
 
     #[test]
     fn branch_waits_longer_for_load_producer() {
         let mut t = Timing::default();
-        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::T0), false, false);
-        let bid =
-            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, false);
+        t.issue(
+            IssueClass::Load,
+            &[Reg::SP],
+            false,
+            false,
+            Some(Reg::T0),
+            false,
+            false,
+        );
+        let bid = t.issue(
+            IssueClass::IdReader,
+            &[Reg::T0],
+            false,
+            false,
+            None,
+            false,
+            false,
+        );
         assert_eq!(bid, 5); // 1 + 4
     }
 
@@ -266,8 +311,15 @@ mod tests {
         alu(&mut t, &[], Some(Reg::T0)); // 1
         alu(&mut t, &[], Some(Reg::T5)); // 2
         alu(&mut t, &[], Some(Reg::T6)); // 3
-        let bid =
-            t.issue(IssueClass::IdReader, &[Reg::T0], false, false, None, false, false);
+        let bid = t.issue(
+            IssueClass::IdReader,
+            &[Reg::T0],
+            false,
+            false,
+            None,
+            false,
+            false,
+        );
         assert_eq!(bid, 4);
     }
 
@@ -276,30 +328,87 @@ mod tests {
         let mut t = Timing::default();
         t.issue(IssueClass::IdReader, &[], false, false, None, false, true); // id 1
         assert_eq!(alu(&mut t, &[], None), 3); // 1 + 2
-        // Not-taken: no bubble.
+                                               // Not-taken: no bubble.
         t.issue(IssueClass::IdReader, &[], false, false, None, false, false); // id 4
         assert_eq!(alu(&mut t, &[], None), 5);
     }
 
     #[test]
     fn muldiv_latency_delays_mflo() {
-        let mut t = Timing::new(TimingConfig { mult_latency: 4, div_latency: 16 });
-        t.issue(IssueClass::MulDiv { is_div: false }, &[Reg::T0, Reg::T1], false, false, None, true, false); // id 1
-        // mflo reads LO at EX: ready_ex = 1 + 3 = 4.
-        let m = t.issue(IssueClass::Alu, &[], false, true, Some(Reg::T2), false, false);
+        let mut t = Timing::new(TimingConfig {
+            mult_latency: 4,
+            div_latency: 16,
+        });
+        t.issue(
+            IssueClass::MulDiv { is_div: false },
+            &[Reg::T0, Reg::T1],
+            false,
+            false,
+            None,
+            true,
+            false,
+        ); // id 1
+           // mflo reads LO at EX: ready_ex = 1 + 3 = 4.
+        let m = t.issue(
+            IssueClass::Alu,
+            &[],
+            false,
+            true,
+            Some(Reg::T2),
+            false,
+            false,
+        );
         assert_eq!(m, 4);
 
-        let mut t = Timing::new(TimingConfig { mult_latency: 1, div_latency: 1 });
-        t.issue(IssueClass::MulDiv { is_div: false }, &[Reg::T0, Reg::T1], false, false, None, true, false);
-        let m = t.issue(IssueClass::Alu, &[], false, true, Some(Reg::T2), false, false);
+        let mut t = Timing::new(TimingConfig {
+            mult_latency: 1,
+            div_latency: 1,
+        });
+        t.issue(
+            IssueClass::MulDiv { is_div: false },
+            &[Reg::T0, Reg::T1],
+            false,
+            false,
+            None,
+            true,
+            false,
+        );
+        let m = t.issue(
+            IssueClass::Alu,
+            &[],
+            false,
+            true,
+            Some(Reg::T2),
+            false,
+            false,
+        );
         assert_eq!(m, 2); // single-cycle unit: no wait
     }
 
     #[test]
     fn div_uses_div_latency() {
-        let mut t = Timing::new(TimingConfig { mult_latency: 4, div_latency: 16 });
-        t.issue(IssueClass::MulDiv { is_div: true }, &[Reg::T0, Reg::T1], false, false, None, true, false);
-        let m = t.issue(IssueClass::Alu, &[], true, false, Some(Reg::T2), false, false);
+        let mut t = Timing::new(TimingConfig {
+            mult_latency: 4,
+            div_latency: 16,
+        });
+        t.issue(
+            IssueClass::MulDiv { is_div: true },
+            &[Reg::T0, Reg::T1],
+            false,
+            false,
+            None,
+            true,
+            false,
+        );
+        let m = t.issue(
+            IssueClass::Alu,
+            &[],
+            true,
+            false,
+            Some(Reg::T2),
+            false,
+            false,
+        );
         assert_eq!(m, 16); // 1 + 15
     }
 
@@ -315,10 +424,26 @@ mod tests {
     #[test]
     fn zero_register_never_interlocks() {
         let mut t = Timing::default();
-        t.issue(IssueClass::Load, &[Reg::SP], false, false, Some(Reg::ZERO), false, false);
+        t.issue(
+            IssueClass::Load,
+            &[Reg::SP],
+            false,
+            false,
+            Some(Reg::ZERO),
+            false,
+            false,
+        );
         // Consumer of $zero: no hazard even though the load "wrote" it.
         assert_eq!(
-            t.issue(IssueClass::IdReader, &[Reg::ZERO], false, false, None, false, false),
+            t.issue(
+                IssueClass::IdReader,
+                &[Reg::ZERO],
+                false,
+                false,
+                None,
+                false,
+                false
+            ),
             2
         );
     }

@@ -70,7 +70,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// The paper's configuration at a given table size.
     pub fn with_entries(iht_entries: usize) -> SimConfig {
-        SimConfig { iht_entries, ..SimConfig::default() }
+        SimConfig {
+            iht_entries,
+            ..SimConfig::default()
+        }
     }
 }
 
@@ -93,7 +96,12 @@ pub fn run_baseline(image: &ProgramImage) -> RunReport {
     let mut cpu = Processor::new(image, ProcessorConfig::baseline());
     let outcome = cpu.run();
     let stats = cpu.stats();
-    RunReport { outcome, stats, fht_entries: 0, miss_rate_percent: 0.0 }
+    RunReport {
+        outcome,
+        stats,
+        fht_entries: 0,
+        miss_rate_percent: 0.0,
+    }
 }
 
 /// Build the FHT for an image under a config (static analysis).
@@ -111,10 +119,7 @@ pub fn build_fht(image: &ProgramImage, config: &SimConfig) -> Result<FullHashTab
 /// # Errors
 ///
 /// Propagates [`HashGenError`] from FHT generation.
-pub fn run_monitored(
-    image: &ProgramImage,
-    config: &SimConfig,
-) -> Result<RunReport, HashGenError> {
+pub fn run_monitored(image: &ProgramImage, config: &SimConfig) -> Result<RunReport, HashGenError> {
     let fht = build_fht(image, config)?;
     Ok(run_monitored_with_fht(image, fht, config))
 }
@@ -135,7 +140,9 @@ pub fn run_monitored_with_fht(
         cic,
         fht,
         policy: config.policy,
-        exception_cost: ExceptionCost { cycles: config.exception_cycles },
+        exception_cost: ExceptionCost {
+            cycles: config.exception_cycles,
+        },
     };
     let mut cpu = Processor::new(
         image,
@@ -148,7 +155,12 @@ pub fn run_monitored_with_fht(
     let outcome = cpu.run();
     let stats = cpu.stats();
     let miss_rate_percent = stats.cic.map(|c| c.miss_rate_percent()).unwrap_or(0.0);
-    RunReport { outcome, stats, fht_entries, miss_rate_percent }
+    RunReport {
+        outcome,
+        stats,
+        fht_entries,
+        miss_rate_percent,
+    }
 }
 
 /// Cycle overhead of a monitored run versus baseline, in percent —
@@ -216,7 +228,10 @@ mod tests {
     fn policies_are_selectable() {
         let prog = program();
         for policy in RefillPolicyKind::all(7) {
-            let cfg = SimConfig { policy, ..SimConfig::default() };
+            let cfg = SimConfig {
+                policy,
+                ..SimConfig::default()
+            };
             let rep = run_monitored(&prog.image, &cfg).unwrap();
             assert_eq!(rep.outcome, RunOutcome::Exited { code: 325 });
         }
@@ -225,8 +240,16 @@ mod tests {
     #[test]
     fn stronger_hash_algorithms_also_run_clean() {
         let prog = program();
-        for algo in [HashAlgoKind::SeededXor, HashAlgoKind::Crc32, HashAlgoKind::Sha1] {
-            let cfg = SimConfig { hash_algo: algo, hash_seed: 0xfeed, ..SimConfig::default() };
+        for algo in [
+            HashAlgoKind::SeededXor,
+            HashAlgoKind::Crc32,
+            HashAlgoKind::Sha1,
+        ] {
+            let cfg = SimConfig {
+                hash_algo: algo,
+                hash_seed: 0xfeed,
+                ..SimConfig::default()
+            };
             let rep = run_monitored(&prog.image, &cfg).unwrap();
             assert_eq!(rep.outcome, RunOutcome::Exited { code: 325 }, "{algo}");
             let cic = rep.stats.cic.unwrap();

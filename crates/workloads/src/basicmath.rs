@@ -21,7 +21,10 @@ pub const DEG2RAD_Q16: u32 = 1144;
 pub fn inputs() -> Vec<u32> {
     // Bound inputs below 2^30 so signed comparisons in the assembly are
     // safe and Newton's method converges quickly.
-    lcg_sequence(SEED, N as usize).into_iter().map(|x| x & 0x3fff_ffff).collect()
+    lcg_sequence(SEED, N as usize)
+        .into_iter()
+        .map(|x| x & 0x3fff_ffff)
+        .collect()
 }
 
 /// Integer square root (largest r with r² ≤ x) via Newton iteration.
@@ -199,6 +202,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

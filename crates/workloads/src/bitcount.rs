@@ -140,6 +140,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -45,8 +45,8 @@ fn f(s: &[u32], x: u32) -> u32 {
 
 /// Encrypt one block.
 pub fn encrypt(p: &[u32], s: &[u32], mut l: u32, mut r: u32) -> (u32, u32) {
-    for i in 0..16 {
-        l ^= p[i];
+    for round_key in p.iter().take(16) {
+        l ^= round_key;
         r ^= f(s, l);
         std::mem::swap(&mut l, &mut r);
     }
@@ -261,6 +261,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -68,8 +68,8 @@ pub fn reference() -> u32 {
                 }
             }
         }
-        for v in 0..n {
-            total = total.wrapping_add(dist[v]);
+        for d in dist.iter().take(n) {
+            total = total.wrapping_add(*d);
         }
     }
     total
@@ -227,6 +227,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -31,7 +31,13 @@ pub fn lookup_keys() -> Vec<u32> {
     let ins = insert_keys();
     let miss = lcg_sequence(SEED_MISS, LOOKUPS as usize);
     (0..LOOKUPS as usize)
-        .map(|i| if i % 2 == 0 { ins[(i / 2) % ins.len()] } else { miss[i] })
+        .map(|i| {
+            if i % 2 == 0 {
+                ins[(i / 2) % ins.len()]
+            } else {
+                miss[i]
+            }
+        })
         .collect()
 }
 
@@ -47,7 +53,13 @@ struct Dst {
 impl Dst {
     fn new() -> Dst {
         let n = MAX_NODES as usize;
-        Dst { key: vec![0; n], left: vec![0; n], right: vec![0; n], root: 0, next: 1 }
+        Dst {
+            key: vec![0; n],
+            left: vec![0; n],
+            right: vec![0; n],
+            root: 0,
+            next: 1,
+        }
     }
 
     fn alloc(&mut self, k: u32) -> u32 {
@@ -98,7 +110,11 @@ impl Dst {
             }
             let bit = (k >> (depth & 31)) & 1;
             depth += 1;
-            cur = if bit == 0 { self.left[cur as usize] } else { self.right[cur as usize] };
+            cur = if bit == 0 {
+                self.left[cur as usize]
+            } else {
+                self.right[cur as usize]
+            };
         }
         0
     }
@@ -295,6 +311,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -55,13 +55,16 @@ pub fn plaintext() -> Vec<u8> {
 
 fn xtime(x: u8) -> u8 {
     let doubled = (x as u16) << 1;
-    (if doubled & 0x100 != 0 { doubled ^ 0x1b } else { doubled }) as u8
+    (if doubled & 0x100 != 0 {
+        doubled ^ 0x1b
+    } else {
+        doubled
+    }) as u8
 }
 
 /// ShiftRows source index table: `state'[i] = state[SHIFT[i]]` with the
 /// state laid out column-major (byte `i` = row `i % 4`, column `i / 4`).
-pub const SHIFT: [usize; 16] =
-    [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
+pub const SHIFT: [usize; 16] = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
 
 /// Encrypt one 16-byte block (reference).
 pub fn encrypt_block(state: &mut [u8; 16], sbox: &[u8], keys: &[u8]) {
@@ -348,6 +351,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -45,11 +45,10 @@ pub fn patterns() -> Vec<Vec<u8>> {
             out.push(t[off..off + PAT_LEN].to_vec());
         } else {
             // Uppercase letters never occur in the text.
-            let pat: Vec<u8> =
-                lcg_sequence(SEED_TEXT.wrapping_add(i as u32), PAT_LEN)
-                    .into_iter()
-                    .map(|x| b'A' + ((x >> 9) % 26) as u8)
-                    .collect();
+            let pat: Vec<u8> = lcg_sequence(SEED_TEXT.wrapping_add(i as u32), PAT_LEN)
+                .into_iter()
+                .map(|x| b'A' + ((x >> 9) % 26) as u8)
+                .collect();
             out.push(pat);
         }
     }
@@ -156,7 +155,8 @@ s{i}_fail:
             bonus = i + 1
         );
     }
-    let drivers = drivers.replace("{TEXT_LEN}", &TEXT_LEN.to_string())
+    let drivers = drivers
+        .replace("{TEXT_LEN}", &TEXT_LEN.to_string())
         .replace("{PAT_LEN}", &PAT_LEN.to_string());
 
     let source = format!(
@@ -225,6 +225,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

@@ -23,7 +23,10 @@ pub const SEED: u32 = 0x5005_a111;
 
 /// The input image, row-major bytes.
 pub fn image() -> Vec<u8> {
-    lcg_sequence(SEED, W * H).into_iter().map(|x| (x >> 11) as u8).collect()
+    lcg_sequence(SEED, W * H)
+        .into_iter()
+        .map(|x| (x >> 11) as u8)
+        .collect()
 }
 
 /// Reference smoothing pass: 3×3 weighted average on the interior,
@@ -307,6 +310,11 @@ mod tests {
         let w = build();
         let prog = w.assemble();
         let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
-        assert_eq!(cpu.run(), RunOutcome::Exited { code: w.expected_exit });
+        assert_eq!(
+            cpu.run(),
+            RunOutcome::Exited {
+                code: w.expected_exit
+            }
+        );
     }
 }

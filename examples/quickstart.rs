@@ -50,13 +50,12 @@ fn main() {
     let cic = report.stats.cic.expect("monitored run has checker stats");
     println!(
         "checker  : {} block checks, {} hits, {} misses ({:.1}% miss rate), {} mismatches",
-        cic.checks,
-        cic.hits,
-        cic.misses,
-        report.miss_rate_percent,
-        cic.mismatches
+        cic.checks, cic.hits, cic.misses, report.miss_rate_percent, cic.mismatches
     );
-    println!("fht      : {} expected-hash entries attached to the image", report.fht_entries);
+    println!(
+        "fht      : {} expected-hash entries attached to the image",
+        report.fht_entries
+    );
 
     // And the punchline: flip one bit of the loop body in memory and the
     // monitor kills the program at the end of the affected block.

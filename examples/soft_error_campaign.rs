@@ -28,20 +28,40 @@ fn main() {
         "\n{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  coverage",
         "hash", "model", "monitor", "baseline", "masked", "silent", "hung"
     );
-    for algo in [HashAlgoKind::Xor, HashAlgoKind::SeededXor, HashAlgoKind::Crc32] {
+    for algo in [
+        HashAlgoKind::Xor,
+        HashAlgoKind::SeededXor,
+        HashAlgoKind::Crc32,
+    ] {
         let (fht, _) = static_fht(&program.image, &[], algo, 0xfeed).expect("static fht");
-        let cic = CicConfig { iht_entries: 16, hash_algo: algo, hash_seed: 0xfeed };
+        let cic = CicConfig {
+            iht_entries: 16,
+            hash_algo: algo,
+            hash_seed: 0xfeed,
+        };
         let campaign = Campaign::new(program.image.clone(), cic, fht);
 
         for (name, model, site) in [
-            ("single-bit/mem", FaultModel::SingleBit, FaultSite::StoredImage),
+            (
+                "single-bit/mem",
+                FaultModel::SingleBit,
+                FaultSite::StoredImage,
+            ),
             (
                 "single-bit/bus",
                 FaultModel::SingleBit,
                 FaultSite::FetchBus(cimon::faults::BusFaultMode::OneShot),
             ),
-            ("3-bit/mem", FaultModel::MultiBit { n: 3 }, FaultSite::StoredImage),
-            ("column-pair/mem", FaultModel::SameColumnPair, FaultSite::StoredImage),
+            (
+                "3-bit/mem",
+                FaultModel::MultiBit { n: 3 },
+                FaultSite::StoredImage,
+            ),
+            (
+                "column-pair/mem",
+                FaultModel::SameColumnPair,
+                FaultSite::StoredImage,
+            ),
         ] {
             let result = campaign.run(&CampaignConfig {
                 runs: 150,

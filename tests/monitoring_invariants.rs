@@ -12,11 +12,8 @@ fn miss_rate_is_monotone_in_table_size() {
         let fht = build_fht(&prog.image, &SimConfig::default()).unwrap();
         let mut prev = f64::INFINITY;
         for entries in [1usize, 8, 32] {
-            let rep = run_monitored_with_fht(
-                &prog.image,
-                fht.clone(),
-                &SimConfig::with_entries(entries),
-            );
+            let rep =
+                run_monitored_with_fht(&prog.image, fht.clone(), &SimConfig::with_entries(entries));
             assert!(
                 rep.miss_rate_percent <= prev + 1e-9,
                 "{}: miss rate rose from {prev:.2}% to {:.2}% at {entries} entries",
@@ -41,7 +38,12 @@ fn overhead_is_misses_times_exception_cost_up_to_overlap() {
         let mon = run_monitored(&prog.image, &SimConfig::default()).unwrap();
         let misses = mon.stats.cic.unwrap().misses;
         let delta = mon.stats.cycles - base.stats.cycles;
-        assert!(delta <= misses * 100, "{}: delta {delta} > {}", w.name, misses * 100);
+        assert!(
+            delta <= misses * 100,
+            "{}: delta {delta} > {}",
+            w.name,
+            misses * 100
+        );
         assert!(
             delta as f64 >= misses as f64 * 100.0 * 0.98,
             "{}: delta {delta} far below {}",
@@ -65,11 +67,16 @@ fn replacement_policies_preserve_correctness_and_order() {
         let rep = run_monitored_with_fht(
             &prog.image,
             fht.clone(),
-            &SimConfig { policy, ..SimConfig::default() },
+            &SimConfig {
+                policy,
+                ..SimConfig::default()
+            },
         );
         assert_eq!(
             rep.outcome,
-            RunOutcome::Exited { code: w.expected_exit },
+            RunOutcome::Exited {
+                code: w.expected_exit
+            },
             "{policy:?}"
         );
         misses.insert(format!("{policy:?}"), rep.stats.cic.unwrap().misses);
@@ -92,7 +99,10 @@ fn thirty_two_entries_quiesce_most_workloads() {
             low += 1;
         }
     }
-    assert!(low >= total - 2, "only {low}/{total} workloads quiesced at 32 entries");
+    assert!(
+        low >= total - 2,
+        "only {low}/{total} workloads quiesced at 32 entries"
+    );
 }
 
 #[test]
@@ -103,7 +113,10 @@ fn hash_algorithm_choice_does_not_affect_miss_behaviour() {
     let prog = w.assemble();
     let mut baseline_misses = None;
     for algo in [HashAlgoKind::Xor, HashAlgoKind::Crc32, HashAlgoKind::Sha1] {
-        let cfg = SimConfig { hash_algo: algo, ..SimConfig::default() };
+        let cfg = SimConfig {
+            hash_algo: algo,
+            ..SimConfig::default()
+        };
         let rep = run_monitored(&prog.image, &cfg).unwrap();
         let m = rep.stats.cic.unwrap().misses;
         match baseline_misses {

@@ -13,18 +13,22 @@ fn static_fht_covers_every_traced_block_for_all_workloads() {
         let prog = w.assemble();
         let (s, report) =
             static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("static analysis");
-        let (t, outcome, executions) =
-            trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
+        let (t, outcome, executions) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
         assert_eq!(
             outcome,
-            RunOutcome::Exited { code: w.expected_exit },
+            RunOutcome::Exited {
+                code: w.expected_exit
+            },
             "trace run of {}",
             w.name
         );
         assert!(executions > 0);
         for rec in t.iter() {
             match s.lookup(rec.key) {
-                None => panic!("{}: traced block {} missing from static FHT", w.name, rec.key),
+                None => panic!(
+                    "{}: traced block {} missing from static FHT",
+                    w.name, rec.key
+                ),
                 Some(h) => assert_eq!(
                     h, rec.hash,
                     "{}: hash disagreement on block {}",
@@ -41,7 +45,11 @@ fn static_fht_covers_every_traced_block_for_all_workloads() {
             s.len(),
             t.len()
         );
-        assert!(report.unterminated.is_empty(), "{}: unterminated entries", w.name);
+        assert!(
+            report.unterminated.is_empty(),
+            "{}: unterminated entries",
+            w.name
+        );
     }
 }
 
@@ -55,7 +63,12 @@ fn static_and_trace_agree_for_every_hash_algorithm() {
         let (s, _) = static_fht(&prog.image, &[], algo, 0x5eed).expect("static");
         let (t, _, _) = trace_fht(&prog.image, algo, 0x5eed, 400_000_000);
         for rec in t.iter() {
-            assert_eq!(s.lookup(rec.key), Some(rec.hash), "{algo}: block {}", rec.key);
+            assert_eq!(
+                s.lookup(rec.key),
+                Some(rec.hash),
+                "{algo}: block {}",
+                rec.key
+            );
         }
     }
 }
@@ -77,6 +90,11 @@ fn fht_section_roundtrip_preserves_monitoring() {
     assert_eq!(parsed, fht);
 
     let report = run_monitored_with_fht(&prog.image, parsed, &SimConfig::default());
-    assert_eq!(report.outcome, RunOutcome::Exited { code: w.expected_exit });
+    assert_eq!(
+        report.outcome,
+        RunOutcome::Exited {
+            code: w.expected_exit
+        }
+    );
     assert_eq!(report.stats.cic.unwrap().mismatches, 0);
 }

@@ -98,7 +98,9 @@ fn seeded_xor_differs_per_process_but_stays_correct() {
         let report = run_monitored(&prog.image, &cfg).unwrap();
         assert_eq!(
             report.outcome,
-            RunOutcome::Exited { code: w.expected_exit },
+            RunOutcome::Exited {
+                code: w.expected_exit
+            },
             "seed {seed:#x}"
         );
         assert_eq!(report.stats.cic.unwrap().mismatches, 0);
@@ -114,12 +116,14 @@ fn truncated_fht_kills_program_on_unknown_block() {
     let full = build_fht(&prog.image, &SimConfig::default()).unwrap();
     let (traced, _, _) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
     let victim = traced.iter().next().unwrap().key;
-    let partial: cimon::os::FullHashTable =
-        full.iter().filter(|r| r.key != victim).collect();
+    let partial: cimon::os::FullHashTable = full.iter().filter(|r| r.key != victim).collect();
     let report = run_monitored_with_fht(&prog.image, partial, &SimConfig::default());
     match report.outcome {
         RunOutcome::Detected { cause, .. } => {
-            assert!(matches!(cause, cimon::os::TerminationCause::UnknownBlock { .. }));
+            assert!(matches!(
+                cause,
+                cimon::os::TerminationCause::UnknownBlock { .. }
+            ));
         }
         other => panic!("expected unknown-block kill, got {other:?}"),
     }

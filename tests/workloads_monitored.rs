@@ -11,11 +11,17 @@ fn all_workloads_run_correct_on_baseline() {
         let report = run_baseline(&prog.image);
         assert_eq!(
             report.outcome,
-            RunOutcome::Exited { code: w.expected_exit },
+            RunOutcome::Exited {
+                code: w.expected_exit
+            },
             "workload {}",
             w.name
         );
-        assert!(report.stats.instructions > 10_000, "workload {} too small", w.name);
+        assert!(
+            report.stats.instructions > 10_000,
+            "workload {} too small",
+            w.name
+        );
     }
 }
 
@@ -27,7 +33,9 @@ fn all_workloads_run_correct_monitored_cic8() {
             .unwrap_or_else(|e| panic!("fht for {}: {e}", w.name));
         assert_eq!(
             report.outcome,
-            RunOutcome::Exited { code: w.expected_exit },
+            RunOutcome::Exited {
+                code: w.expected_exit
+            },
             "workload {}",
             w.name
         );
@@ -46,7 +54,11 @@ fn monitoring_never_changes_architectural_results() {
         let base = run_baseline(&prog.image);
         let mon = run_monitored(&prog.image, &SimConfig::with_entries(16)).unwrap();
         assert_eq!(base.outcome, mon.outcome, "{}", w.name);
-        assert_eq!(base.stats.instructions, mon.stats.instructions, "{}", w.name);
+        assert_eq!(
+            base.stats.instructions, mon.stats.instructions,
+            "{}",
+            w.name
+        );
         assert_eq!(base.stats.console, mon.stats.console, "{}", w.name);
         // Monitoring can only add cycles (miss exceptions), never remove.
         assert!(mon.stats.cycles >= base.stats.cycles, "{}", w.name);
@@ -69,16 +81,26 @@ fn exception_cost_scales_overhead() {
     let prog = w.assemble();
     let cheap = run_monitored(
         &prog.image,
-        &SimConfig { exception_cycles: 10, ..SimConfig::default() },
+        &SimConfig {
+            exception_cycles: 10,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let costly = run_monitored(
         &prog.image,
-        &SimConfig { exception_cycles: 1000, ..SimConfig::default() },
+        &SimConfig {
+            exception_cycles: 1000,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let misses = cheap.stats.cic.unwrap().misses;
-    assert_eq!(misses, costly.stats.cic.unwrap().misses, "miss behaviour must not depend on cost");
+    assert_eq!(
+        misses,
+        costly.stats.cic.unwrap().misses,
+        "miss behaviour must not depend on cost"
+    );
     assert_eq!(cheap.stats.monitor_stall_cycles, misses * 10);
     assert_eq!(costly.stats.monitor_stall_cycles, misses * 1000);
 }

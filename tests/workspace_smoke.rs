@@ -1,0 +1,63 @@
+//! Workspace smoke test: the `cimon::prelude` surface is wired end to
+//! end. Assembling a program and running it on the baseline and the
+//! monitored processor must agree on the architectural outcome, with
+//! monitoring costing cycles, never correctness.
+
+use cimon::prelude::*;
+
+const PROGRAM: &str = "
+    .text
+main:
+    li   $t0, 12
+    li   $t1, 1
+loop:
+    addu $t1, $t1, $t1
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    move $a0, $t1
+    li   $v0, 10
+    syscall
+";
+
+#[test]
+fn prelude_surface_assembles_and_runs() {
+    let prog = cimon::asm::assemble(PROGRAM).expect("program assembles");
+
+    let base = run_baseline(&prog.image);
+    let mon = run_monitored(&prog.image, &SimConfig::default()).expect("FHT generation succeeds");
+
+    // 2^12 doublings of 1.
+    assert_eq!(base.outcome, RunOutcome::Exited { code: 4096 });
+    assert_eq!(mon.outcome, base.outcome);
+    assert_eq!(mon.stats.instructions, base.stats.instructions);
+    assert!(
+        mon.stats.cycles >= base.stats.cycles,
+        "monitoring never speeds a program up"
+    );
+    assert!(mon.fht_entries > 0, "static analysis found basic blocks");
+    assert!(overhead_percent(base.stats.cycles, mon.stats.cycles) >= 0.0);
+}
+
+#[test]
+fn prelude_exposes_checker_configuration() {
+    let prog = cimon::asm::assemble(PROGRAM).expect("program assembles");
+
+    // The prelude's types compose: a custom config built from prelude
+    // names drives a monitored run with a pre-built FHT.
+    let cfg = SimConfig {
+        iht_entries: 16,
+        hash_algo: HashAlgoKind::Crc32,
+        ..SimConfig::default()
+    };
+    let fht = build_fht(&prog.image, &cfg).expect("CRC FHT builds");
+    let rep = run_monitored_with_fht(&prog.image, fht, &cfg);
+    assert_eq!(rep.outcome, RunOutcome::Exited { code: 4096 });
+
+    // Processor and CicConfig are reachable through the prelude too.
+    let _ = ProcessorConfig::baseline();
+    let _ = CicConfig {
+        iht_entries: 16,
+        hash_algo: HashAlgoKind::Crc32,
+        hash_seed: 0,
+    };
+}

@@ -1,0 +1,220 @@
+//! Minimal, API-compatible subset of `criterion` 0.5.
+//!
+//! Vendored because this build environment has no crates.io access.
+//! It implements the surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `Throughput`
+//! and `BenchmarkId` — with a simple measurement loop: each benchmark
+//! is warmed up once, then timed over a fixed batch of iterations and
+//! reported as mean ns/iter on stdout. No statistics, plots, or
+//! baseline storage; swap the workspace manifest back to
+//! `criterion = "0.5"` for the real harness without touching call
+//! sites.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark in the shim.
+const DEFAULT_ITERS: u64 = 50;
+
+/// Measurement context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, recording mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up pass keeps lazy initialisation out of the timing.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<O, F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> O,
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: DEFAULT_ITERS,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, O, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I) -> O,
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: DEFAULT_ITERS,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// End the group (report layout only; nothing is persisted).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_ns_per_iter > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / b.last_ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if b.last_ns_per_iter > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 * 1e3 / b.last_ns_per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<28} {:>14.1} ns/iter{}",
+            self.name, id, b.last_ns_per_iter, rate
+        );
+    }
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<O, F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> O,
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("const", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

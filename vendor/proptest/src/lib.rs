@@ -1,0 +1,459 @@
+//! Minimal, deterministic, API-compatible subset of `proptest` 1.x.
+//!
+//! Vendored because this build environment has no crates.io access.
+//! It covers the surface the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, and function-built strategies;
+//! * [`any`] for the primitive types the tests draw;
+//! * [`sample::select`] and [`sample::Index`];
+//! * [`collection::vec`];
+//! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`] and
+//!   `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases
+//! are generated from a fixed per-test seed (fully reproducible, no
+//! persistence files), and failing cases are reported without
+//! shrinking. Each `#[test]` inside [`proptest!`] runs
+//! [`NUM_CASES`] generated cases.
+
+pub mod test_runner {
+    //! The deterministic case generator.
+
+    /// Splittable deterministic RNG (SplitMix64) used to drive value
+    /// generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from a test's name, so every test has an
+        /// independent but reproducible stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `0..bound` (`bound` > 0).
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample an empty range");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Number of generated cases per property test.
+pub const NUM_CASES: u32 = 64;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as u128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+    /// A strategy built from a generation closure (backs
+    /// `prop_compose!`).
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+        f: F,
+    }
+
+    /// Wrap a closure as a strategy.
+    pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<T, F> {
+        FnStrategy { f }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `choices` (must be non-empty).
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !choices.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len());
+            self.choices[i].generate(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> i32 {
+            rng.next_u64() as i32
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers: `select` and `Index`.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly-chosen clones of `options`.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from a non-empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    /// An index into a collection whose length is only known at use
+    /// time — `idx.index(len)` is uniform in `0..len`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Project onto `0..len` (`len` > 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index {
+                raw: rng.next_u64(),
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + rng.below(span.max(1));
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Run each property as `NUM_CASES` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Compose named sub-strategies into a strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$attr:meta])* $vis:vis fn $name:ident()( $($arg:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$attr])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// `assert!` under a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in any::<u16>()) {
+            prop_assert!((3..9).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn composed_pairs_in_bounds(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+
+        #[test]
+        fn oneof_covers_all_alternatives(v in prop::collection::vec(
+            prop_oneof![(0u8..1).prop_map(|_| 0u8), (0u8..1).prop_map(|_| 1u8)],
+            200..201,
+        )) {
+            prop_assert!(v.contains(&0));
+            prop_assert!(v.contains(&1));
+        }
+
+        #[test]
+        fn select_only_yields_options(v in prop::sample::select(vec![2u8, 4, 6])) {
+            prop_assert!(v == 2 || v == 4 || v == 6);
+        }
+
+        #[test]
+        fn index_projects_in_range(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}
