@@ -8,13 +8,13 @@ fn main() {
         "workload", "policy", "n=1", "n=8", "n=16", "n=32"
     );
     cimon_bench::print_rule(74);
-    let mut last = "";
+    let mut last = String::new();
     for r in cimon_bench::ablation_replacement() {
         if r.workload != last {
             if !last.is_empty() {
                 cimon_bench::print_rule(74);
             }
-            last = r.workload;
+            last.clone_from(&r.workload);
         }
         println!(
             "{:<14} {:<18} {:>9} {:>9} {:>9} {:>9}",

@@ -1,15 +1,22 @@
 //! Regenerates **Figure 6**: IHT miss rate (%) per application for
 //! 1/8/16/32-entry tables (XOR hash, replace-half-LRU, paper defaults).
+//! Also writes the raw grid as `BENCH_fig6.csv` for tooling.
 
 fn main() {
     println!("Figure 6 — IHT miss rate (%) by table size");
     println!("{:<14} {:>8} {:>8} {:>8} {:>8}", "workload", 1, 8, 16, 32);
     cimon_bench::print_rule(50);
-    for row in cimon_bench::fig6() {
+    let fig = cimon_bench::fig6();
+    for row in &fig.rows {
         println!(
             "{:<14} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
             row.workload, row.miss_rate[0], row.miss_rate[1], row.miss_rate[2], row.miss_rate[3]
         );
+    }
+    let csv = cimon_bench::report::to_csv(&fig.raw);
+    match std::fs::write("BENCH_fig6.csv", &csv) {
+        Ok(()) => println!("\nwrote BENCH_fig6.csv ({} rows)", fig.raw.len()),
+        Err(e) => println!("\ncould not write BENCH_fig6.csv: {e}"),
     }
     println!("\nShape checks (paper): monotone non-increasing per row; bitcount ~0 at 8;");
     println!("stringsearch stays high through 16; all but the designed outliers ~0 at 32.");

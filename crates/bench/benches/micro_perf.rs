@@ -62,22 +62,23 @@ fn bench_iht_lookup(c: &mut Criterion) {
 }
 
 fn bench_simulator(c: &mut Criterion) {
-    let w = cimon_workloads::by_name("bitcount").expect("exists");
-    let prog = w.assemble();
-    let fht = cimon_sim::build_fht(&prog.image, &SimConfig::default()).unwrap();
+    // The assembled-once registry image and an Arc-shared FHT: each
+    // iteration measures the run, not workload preparation.
+    let w = cimon_workloads::get("bitcount").expect("exists");
+    let fht = std::sync::Arc::new(cimon_sim::build_fht(&w.image, &SimConfig::default()).unwrap());
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
 
     group.bench_function("baseline_run", |b| {
         b.iter(|| {
-            let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+            let mut cpu = Processor::new(&w.image, ProcessorConfig::baseline());
             std::hint::black_box(cpu.run())
         });
     });
     group.bench_function("monitored_cic8_run", |b| {
         b.iter(|| {
             let mut cpu = Processor::new(
-                &prog.image,
+                &w.image,
                 ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone()),
             );
             std::hint::black_box(cpu.run())

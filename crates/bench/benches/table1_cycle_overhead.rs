@@ -1,5 +1,7 @@
 //! Regenerates **Table 1**: clock-cycle overhead of code integrity
 //! checking with 8- and 16-entry tables (100-cycle OS exceptions).
+//! Also writes the raw engine rows as `BENCH_table1.json` — the
+//! machine-readable perf artifact CI uploads on every run.
 
 fn main() {
     println!("Table 1 — cycle overhead of program code integrity checking");
@@ -8,8 +10,8 @@ fn main() {
         "benchmark", "no-CIC", "CIC8", "CIC16", "ovh8(%)", "ovh16(%)"
     );
     cimon_bench::print_rule(73);
-    let (rows, avg8, avg16) = cimon_bench::table1();
-    for r in &rows {
+    let t = cimon_bench::table1();
+    for r in &t.rows {
         println!(
             "{:<14} {:>12} {:>12} {:>12} {:>9.1} {:>9.1}",
             r.workload, r.base_cycles, r.cic8_cycles, r.cic16_cycles, r.overhead8, r.overhead16
@@ -18,8 +20,13 @@ fn main() {
     cimon_bench::print_rule(73);
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>9.1} {:>9.1}",
-        "average", "", "", "", avg8, avg16
+        "average", "", "", "", t.avg8, t.avg16
     );
+    let json = cimon_bench::report::to_json(&t.raw);
+    match std::fs::write("BENCH_table1.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_table1.json ({} rows)", t.raw.len()),
+        Err(e) => println!("\ncould not write BENCH_table1.json: {e}"),
+    }
     println!("\nShape checks (paper: avg 14.7% / 7.7%): ovh16 <= ovh8 per row; bitcount ~0;");
     println!("stringsearch worst and similar at both sizes; rijndael/sha collapse at 16.");
 }

@@ -16,59 +16,131 @@
 //! | `ablation_hash` | hash-algorithm ablation (paper future work) |
 //! | `ablation_managed` | OS-managed vs application-managed scheme |
 //! | `micro_perf` | Criterion micro-benchmarks |
+//!
+//! Every driver runs through the parallel experiment engine
+//! ([`cimon_sim::engine`]): the workload suite is assembled once (the
+//! [`suite`] artifacts wrap the `cimon_workloads::registry()`), each FHT
+//! is generated once per hash algorithm, and grids execute on a worker
+//! pool with deterministic result ordering. [`report`] serialises the
+//! engine's [`ResultRow`]s as CSV/JSON for the bench artifacts.
+
+use std::sync::{Arc, OnceLock};
 
 use cimon_area::{AreaModel, AreaRow, TimingRow};
 use cimon_core::{CicConfig, HashAlgoKind};
 use cimon_faults::{Campaign, CampaignConfig, CampaignResult, FaultModel, FaultSite};
-use cimon_hashgen::{static_fht, trace_fht};
+use cimon_hashgen::trace_fht;
 use cimon_os::RefillPolicyKind;
-use cimon_sim::{overhead_percent, run_baseline, run_monitored_with_fht, RunReport, SimConfig};
-use cimon_workloads::Workload;
+use cimon_sim::engine::{default_workers, parallel_map, Artifact, ResultRow, Sweep};
+use cimon_sim::{overhead_percent, SimConfig};
+
+pub mod report;
 
 /// Figure 6's table sizes.
 pub const FIG6_SIZES: [usize; 4] = [1, 8, 16, 32];
+
+/// The two hash algorithms the full paper grid sweeps.
+pub const GRID_ALGOS: [HashAlgoKind; 2] = [HashAlgoKind::Xor, HashAlgoKind::Crc32];
+
+static SUITE: OnceLock<Vec<Arc<Artifact>>> = OnceLock::new();
+
+/// Engine artifacts over the whole workload registry, in the paper's
+/// Figure-6 order. Cached process-wide: every driver shares one
+/// assembly per workload and one FHT cache per (workload, hash algo).
+pub fn suite() -> &'static [Arc<Artifact>] {
+    SUITE.get_or_init(|| {
+        cimon_workloads::registry()
+            .iter()
+            .map(|w| Artifact::new(w.name, w.image.clone(), Some(w.expected_exit)))
+            .collect()
+    })
+}
+
+/// One suite artifact by name.
+///
+/// # Panics
+///
+/// Panics if the workload does not exist — driver inputs are fixed at
+/// build time, so that is a bug in the caller.
+pub fn artifact(name: &str) -> Arc<Artifact> {
+    suite()
+        .iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| panic!("workload `{name}` exists"))
+        .clone()
+}
+
+/// The paper's full evaluation grid as one sweep: 9 workloads ×
+/// IHT {1, 8, 16, 32} × [`GRID_ALGOS`], workload-major.
+pub fn paper_grid() -> Sweep {
+    let mut sweep = Sweep::new();
+    sweep.grid(suite(), &FIG6_SIZES, &GRID_ALGOS, SimConfig::default());
+    sweep
+}
+
+/// Run a sweep and assert every row ran clean (expected exit code, no
+/// mismatches) — the drivers' shared sanity gate.
+fn run_clean(sweep: &Sweep) -> Vec<ResultRow> {
+    let rows = sweep.run().expect("workload analyses");
+    for r in &rows {
+        assert!(
+            r.is_clean(),
+            "{} did not run clean: {:?}",
+            r.workload,
+            r.outcome
+        );
+    }
+    rows
+}
 
 /// One Figure-6 series: a workload's miss rate per table size.
 #[derive(Clone, Debug)]
 pub struct Fig6Row {
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Miss rate (%) for each entry of [`FIG6_SIZES`].
     pub miss_rate: [f64; 4],
 }
 
-/// Reproduce Figure 6 over the full workload suite.
-pub fn fig6() -> Vec<Fig6Row> {
-    cimon_workloads::all()
-        .into_iter()
-        .map(|w| {
-            let prog = w.assemble();
-            let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
-                .expect("workload analyses")
-                .0;
-            let mut miss_rate = [0.0; 4];
-            for (i, &entries) in FIG6_SIZES.iter().enumerate() {
-                let rep = run_monitored_with_fht(
-                    &prog.image,
-                    fht.clone(),
-                    &SimConfig::with_entries(entries),
-                );
-                assert_clean(&w, &rep);
-                miss_rate[i] = rep.miss_rate_percent;
-            }
-            Fig6Row {
-                workload: w.name,
-                miss_rate,
-            }
+/// Figure 6 plus the raw engine rows behind it.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// One series per workload.
+    pub rows: Vec<Fig6Row>,
+    /// The underlying grid results (for the CSV artifact).
+    pub raw: Vec<ResultRow>,
+}
+
+/// Reproduce Figure 6 over the full workload suite (one sweep).
+pub fn fig6() -> Fig6 {
+    let mut sweep = Sweep::new();
+    sweep.grid(
+        suite(),
+        &FIG6_SIZES,
+        &[HashAlgoKind::Xor],
+        SimConfig::default(),
+    );
+    let raw = run_clean(&sweep);
+    let rows = raw
+        .chunks(FIG6_SIZES.len())
+        .map(|chunk| Fig6Row {
+            workload: chunk[0].workload.clone(),
+            miss_rate: [
+                chunk[0].miss_rate_percent,
+                chunk[1].miss_rate_percent,
+                chunk[2].miss_rate_percent,
+                chunk[3].miss_rate_percent,
+            ],
         })
-        .collect()
+        .collect();
+    Fig6 { rows, raw }
 }
 
 /// One Table-1 row: cycle counts and overheads.
 #[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Baseline cycles (no CIC).
     pub base_cycles: u64,
     /// Cycles with an 8-entry checker.
@@ -81,31 +153,47 @@ pub struct Table1Row {
     pub overhead16: f64,
 }
 
-/// Reproduce Table 1 (plus the average row the paper quotes in text).
-pub fn table1() -> (Vec<Table1Row>, f64, f64) {
-    let mut rows = Vec::new();
-    for w in cimon_workloads::all() {
-        let prog = w.assemble();
-        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
-            .expect("workload analyses")
-            .0;
-        let base = run_baseline(&prog.image);
-        let m8 = run_monitored_with_fht(&prog.image, fht.clone(), &SimConfig::with_entries(8));
-        let m16 = run_monitored_with_fht(&prog.image, fht, &SimConfig::with_entries(16));
-        assert_clean(&w, &m8);
-        assert_clean(&w, &m16);
-        rows.push(Table1Row {
-            workload: w.name,
-            base_cycles: base.stats.cycles,
-            cic8_cycles: m8.stats.cycles,
-            cic16_cycles: m16.stats.cycles,
-            overhead8: overhead_percent(base.stats.cycles, m8.stats.cycles),
-            overhead16: overhead_percent(base.stats.cycles, m16.stats.cycles),
-        });
+/// Table 1 plus the averages the paper quotes and the raw engine rows.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// One row per workload.
+    pub rows: Vec<Table1Row>,
+    /// Average overhead (%) at 8 entries.
+    pub avg8: f64,
+    /// Average overhead (%) at 16 entries.
+    pub avg16: f64,
+    /// The underlying results (for the JSON artifact).
+    pub raw: Vec<ResultRow>,
+}
+
+/// Reproduce Table 1 (baseline + CIC8 + CIC16 per workload, one sweep).
+pub fn table1() -> Table1 {
+    let mut sweep = Sweep::new();
+    for a in suite() {
+        sweep.baseline(a.clone());
+        sweep.monitored(a.clone(), SimConfig::with_entries(8));
+        sweep.monitored(a.clone(), SimConfig::with_entries(16));
     }
+    let raw = run_clean(&sweep);
+    let rows: Vec<Table1Row> = raw
+        .chunks(3)
+        .map(|c| Table1Row {
+            workload: c[0].workload.clone(),
+            base_cycles: c[0].cycles,
+            cic8_cycles: c[1].cycles,
+            cic16_cycles: c[2].cycles,
+            overhead8: overhead_percent(c[0].cycles, c[1].cycles),
+            overhead16: overhead_percent(c[0].cycles, c[2].cycles),
+        })
+        .collect();
     let avg8 = rows.iter().map(|r| r.overhead8).sum::<f64>() / rows.len() as f64;
     let avg16 = rows.iter().map(|r| r.overhead16).sum::<f64>() / rows.len() as f64;
-    (rows, avg8, avg16)
+    Table1 {
+        rows,
+        avg8,
+        avg16,
+        raw,
+    }
 }
 
 /// Reproduce Table 2: (area rows, timing rows) for baseline + 1/8/16
@@ -135,11 +223,11 @@ pub struct FaultRow {
     pub result: CampaignResult,
 }
 
-/// Reproduce the Section 6.3 fault analysis on a workload.
+/// Reproduce the Section 6.3 fault analysis on a workload. Campaigns
+/// execute on the engine's worker pool.
 pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
-    let w = cimon_workloads::by_name(workload).expect("workload exists");
-    let prog = w.assemble();
-    let (lo, hi) = prog.image.text_range();
+    let a = artifact(workload);
+    let (lo, hi) = a.image().text_range();
     let targets: Vec<u32> = (lo..hi).step_by(4).collect();
     let mut rows = Vec::new();
     for algo in [
@@ -148,15 +236,13 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
         HashAlgoKind::Fletcher32,
         HashAlgoKind::Crc32,
     ] {
-        let fht = static_fht(&prog.image, &[], algo, 0x5eed)
-            .expect("analyses")
-            .0;
+        let fht = a.fht(algo, 0x5eed).expect("analyses");
         let cic = CicConfig {
             iht_entries: 16,
             hash_algo: algo,
             hash_seed: 0x5eed,
         };
-        let campaign = Campaign::new(prog.image.clone(), cic, fht);
+        let campaign = Campaign::new(a.image().clone(), cic, fht);
         for (name, model) in [
             ("single-bit", FaultModel::SingleBit),
             ("3-bit", FaultModel::MultiBit { n: 3 }),
@@ -185,7 +271,7 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
 #[derive(Clone, Debug)]
 pub struct CensusRow {
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Static text size in instructions.
     pub text_instructions: usize,
     /// Blocks enumerated by the static analyser.
@@ -198,22 +284,31 @@ pub struct CensusRow {
     pub instructions: u64,
 }
 
-/// Reproduce the block census across the suite.
+/// Reproduce the block census across the suite. Baselines run through
+/// one sweep; the block traces run on the same worker pool.
 pub fn block_census() -> Vec<CensusRow> {
-    cimon_workloads::all()
-        .into_iter()
-        .map(|w| {
-            let prog = w.assemble();
-            let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
-            let (t, _, executions) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
-            let base = run_baseline(&prog.image);
+    let mut sweep = Sweep::new();
+    for a in suite() {
+        sweep.baseline(a.clone());
+    }
+    let base = run_clean(&sweep);
+    let traces = parallel_map(suite(), default_workers(), |_, a| {
+        let (t, _, executions) = trace_fht(a.image(), HashAlgoKind::Xor, 0, 400_000_000);
+        (t.len(), executions)
+    });
+    suite()
+        .iter()
+        .zip(base)
+        .zip(traces)
+        .map(|((a, b), (executed_blocks, block_executions))| {
+            let reg = cimon_workloads::get(a.name()).expect("registered");
             CensusRow {
-                workload: w.name,
-                text_instructions: prog.instr_count(),
-                static_blocks: s.len(),
-                executed_blocks: t.len(),
-                block_executions: executions,
-                instructions: base.stats.instructions,
+                workload: b.workload,
+                text_instructions: reg.program.instr_count(),
+                static_blocks: a.fht(HashAlgoKind::Xor, 0).expect("analyses").len(),
+                executed_blocks,
+                block_executions,
+                instructions: b.instructions,
             }
         })
         .collect()
@@ -223,7 +318,7 @@ pub fn block_census() -> Vec<CensusRow> {
 #[derive(Clone, Debug)]
 pub struct ReplacementRow {
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Policy name.
     pub policy: &'static str,
     /// Misses per table size in [`FIG6_SIZES`].
@@ -231,44 +326,32 @@ pub struct ReplacementRow {
 }
 
 /// Ablation A1: refill policies × table sizes over three representative
-/// workloads.
+/// workloads, one sweep.
 pub fn ablation_replacement() -> Vec<ReplacementRow> {
-    let mut rows = Vec::new();
+    let mut sweep = Sweep::new();
     for name in ["dijkstra", "rijndael", "stringsearch"] {
-        let w = cimon_workloads::by_name(name).expect("exists");
-        let prog = w.assemble();
-        let fht = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0)
-            .expect("analyses")
-            .0;
+        let a = artifact(name);
         for policy in RefillPolicyKind::all(17) {
-            let mut misses = [0u64; 4];
-            for (i, &entries) in FIG6_SIZES.iter().enumerate() {
-                let rep = run_monitored_with_fht(
-                    &prog.image,
-                    fht.clone(),
-                    &SimConfig {
-                        iht_entries: entries,
+            for &iht_entries in &FIG6_SIZES {
+                sweep.monitored(
+                    a.clone(),
+                    SimConfig {
+                        iht_entries,
                         policy,
                         ..SimConfig::default()
                     },
                 );
-                assert_clean(&w, &rep);
-                misses[i] = rep.stats.cic.expect("monitored").misses;
             }
-            let policy_name = match policy {
-                RefillPolicyKind::ReplaceHalfLru => "replace-half-lru",
-                RefillPolicyKind::SingleLru => "single-lru",
-                RefillPolicyKind::Fifo => "fifo",
-                RefillPolicyKind::Random(_) => "random",
-            };
-            rows.push(ReplacementRow {
-                workload: w.name,
-                policy: policy_name,
-                misses,
-            });
         }
     }
-    rows
+    run_clean(&sweep)
+        .chunks(FIG6_SIZES.len())
+        .map(|c| ReplacementRow {
+            workload: c[0].workload.clone(),
+            policy: c[0].policy,
+            misses: [c[0].misses, c[1].misses, c[2].misses, c[3].misses],
+        })
+        .collect()
 }
 
 /// One hash-ablation row: cost and coverage per algorithm.
@@ -288,23 +371,20 @@ pub struct HashRow {
 
 /// Ablation A2: hash strength vs hardware cost.
 pub fn ablation_hash(runs: usize) -> Vec<HashRow> {
-    let w = cimon_workloads::by_name("sha").expect("exists");
-    let prog = w.assemble();
-    let (lo, hi) = prog.image.text_range();
+    let a = artifact("sha");
+    let (lo, hi) = a.image().text_range();
     let targets: Vec<u32> = (lo..hi).step_by(4).collect();
     let model = AreaModel::calibrated();
     HashAlgoKind::ALL
         .into_iter()
         .map(|algo| {
-            let fht = static_fht(&prog.image, &[], algo, 0x5eed)
-                .expect("analyses")
-                .0;
+            let fht = a.fht(algo, 0x5eed).expect("analyses");
             let cic = CicConfig {
                 iht_entries: 16,
                 hash_algo: algo,
                 hash_seed: 0x5eed,
             };
-            let campaign = Campaign::new(prog.image.clone(), cic, fht);
+            let campaign = Campaign::new(a.image().clone(), cic, fht);
             let result = campaign.run(&CampaignConfig {
                 runs,
                 seed: 0xbeef,
@@ -328,7 +408,7 @@ pub fn ablation_hash(runs: usize) -> Vec<HashRow> {
 #[derive(Clone, Debug)]
 pub struct ManagedRow {
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Text size in bytes (original).
     pub text_bytes: u64,
     /// OS-managed: extra cycles (miss exceptions, CIC8).
@@ -345,22 +425,27 @@ pub struct ManagedRow {
 
 /// Ablation A3: the paper's Section 3.3 argument, quantified.
 pub fn ablation_managed() -> Vec<ManagedRow> {
-    cimon_workloads::all()
-        .into_iter()
-        .map(|w| {
-            let prog = w.assemble();
-            let (s, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("analyses");
-            let fht_len = s.len() as u64;
-            let base = run_baseline(&prog.image);
-            let m8 = run_monitored_with_fht(&prog.image, s, &SimConfig::with_entries(8));
-            assert_clean(&w, &m8);
-            let (_, _, executions) = trace_fht(&prog.image, HashAlgoKind::Xor, 0, 400_000_000);
-            let text_bytes = prog.image.text.bytes.len() as u64;
-            let app = cimon_os::appmanaged::price(fht_len, text_bytes, executions);
+    let mut sweep = Sweep::new();
+    for a in suite() {
+        sweep.baseline(a.clone());
+        sweep.monitored(a.clone(), SimConfig::with_entries(8));
+    }
+    let raw = run_clean(&sweep);
+    let executions = parallel_map(suite(), default_workers(), |_, a| {
+        trace_fht(a.image(), HashAlgoKind::Xor, 0, 400_000_000).2
+    });
+    suite()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let base = &raw[2 * i];
+            let m8 = &raw[2 * i + 1];
+            let text_bytes = a.image().text.bytes.len() as u64;
+            let app = cimon_os::appmanaged::price(m8.fht_entries as u64, text_bytes, executions[i]);
             ManagedRow {
-                workload: w.name,
+                workload: base.workload.clone(),
                 text_bytes,
-                os_managed_cycles: m8.stats.cycles - base.stats.cycles,
+                os_managed_cycles: m8.cycles - base.cycles,
                 os_code_growth_bytes: 0,
                 app_managed_cycles: app.extra_cycles,
                 app_code_growth_bytes: app.code_growth_bytes,
@@ -368,18 +453,6 @@ pub fn ablation_managed() -> Vec<ManagedRow> {
             }
         })
         .collect()
-}
-
-fn assert_clean(w: &Workload, rep: &RunReport) {
-    assert!(
-        matches!(rep.outcome, cimon_pipeline::RunOutcome::Exited { code } if code == w.expected_exit),
-        "{} did not run clean: {:?}",
-        w.name,
-        rep.outcome
-    );
-    if let Some(cic) = rep.stats.cic {
-        assert_eq!(cic.mismatches, 0, "{} false positive", w.name);
-    }
 }
 
 /// Markdown-ish fixed-width table printer shared by the bench targets.
@@ -420,5 +493,18 @@ mod tests {
         assert_eq!(rows.len(), HashAlgoKind::ALL.len());
         // XOR is the cheapest unit; SHA-1 the largest.
         assert!(rows[0].hashfu_area < rows.last().unwrap().hashfu_area);
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let grid = paper_grid();
+        assert_eq!(grid.len(), 9 * FIG6_SIZES.len() * GRID_ALGOS.len());
+        // Workload-major, then algo, then size — the figure order.
+        let exps = grid.experiments();
+        assert!(exps.iter().all(|e| e.monitored));
+        assert_eq!(exps[0].config.iht_entries, FIG6_SIZES[0]);
+        assert_eq!(exps[1].config.iht_entries, FIG6_SIZES[1]);
+        assert_eq!(exps[0].artifact.name(), exps[7].artifact.name());
+        assert_ne!(exps[0].artifact.name(), exps[8].artifact.name());
     }
 }

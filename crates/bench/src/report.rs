@@ -1,0 +1,191 @@
+//! Machine-readable result writers: [`ResultRow`] → CSV / JSON.
+//!
+//! The bench targets print human tables *and* write these serialised
+//! forms (`BENCH_table1.json`, `BENCH_fig6.csv`, …) so the perf
+//! trajectory of the reproduction can be tracked by tooling instead of
+//! by eyeballing stdout. No external serialisation crates exist in this
+//! environment, so both writers are hand-rolled over the fixed
+//! [`ResultRow`] schema.
+
+use cimon_pipeline::{FaultKind, RunOutcome};
+use cimon_sim::engine::ResultRow;
+
+/// Column order shared by the CSV writer and the JSON field order.
+pub const CSV_HEADER: &str = "workload,monitored,iht_entries,hash_algo,hash_seed,policy,\
+                              outcome,exit_code,instructions,cycles,monitor_stall_cycles,\
+                              checks,hits,misses,mismatches,miss_rate_percent,fht_entries";
+
+/// Flatten an outcome to a `(kind, exit_code)` pair for serialisation.
+fn outcome_fields(outcome: &RunOutcome) -> (&'static str, Option<u32>) {
+    match outcome {
+        RunOutcome::Exited { code } => ("exited", Some(*code)),
+        RunOutcome::Detected { .. } => ("detected", None),
+        RunOutcome::Fault(kind) => (
+            match kind {
+                FaultKind::IllegalInstruction { .. } => "fault-illegal-instruction",
+                FaultKind::MemFault { .. } => "fault-mem",
+                FaultKind::AddressError { .. } => "fault-address",
+                FaultKind::BreakTrap { .. } => "fault-break",
+                FaultKind::BadSyscall { .. } => "fault-bad-syscall",
+            },
+            None,
+        ),
+        RunOutcome::MaxCycles => ("max-cycles", None),
+    }
+}
+
+/// Serialise result rows as CSV (header + one line per row).
+pub fn to_csv(rows: &[ResultRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + rows.len() * 96);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        let (kind, code) = outcome_fields(&r.outcome);
+        let code = code.map(|c| c.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.workload,
+            r.monitored,
+            r.iht_entries,
+            r.hash_algo.name(),
+            r.hash_seed,
+            r.policy,
+            kind,
+            code,
+            r.instructions,
+            r.cycles,
+            r.monitor_stall_cycles,
+            r.checks,
+            r.hits,
+            r.misses,
+            r.mismatches,
+            r.miss_rate_percent,
+            r.fht_entries,
+        );
+    }
+    out
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise result rows as a JSON array of flat objects.
+pub fn to_json(rows: &[ResultRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let (kind, code) = outcome_fields(&r.outcome);
+        let code = code
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            out,
+            "  {{\"workload\":\"{}\",\"monitored\":{},\"iht_entries\":{},\
+             \"hash_algo\":\"{}\",\"hash_seed\":{},\"policy\":\"{}\",\
+             \"outcome\":\"{}\",\"exit_code\":{},\"instructions\":{},\
+             \"cycles\":{},\"monitor_stall_cycles\":{},\"checks\":{},\
+             \"hits\":{},\"misses\":{},\"mismatches\":{},\
+             \"miss_rate_percent\":{},\"fht_entries\":{}}}",
+            json_escape(&r.workload),
+            r.monitored,
+            r.iht_entries,
+            r.hash_algo.name(),
+            r.hash_seed,
+            r.policy,
+            kind,
+            code,
+            r.instructions,
+            r.cycles,
+            r.monitor_stall_cycles,
+            r.checks,
+            r.hits,
+            r.misses,
+            r.mismatches,
+            r.miss_rate_percent,
+            r.fht_entries,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimon_core::HashAlgoKind;
+
+    fn row() -> ResultRow {
+        ResultRow {
+            workload: "sha".to_string(),
+            expected_exit: Some(7),
+            monitored: true,
+            iht_entries: 8,
+            hash_algo: HashAlgoKind::Xor,
+            hash_seed: 0,
+            policy: "replace-half-lru",
+            outcome: RunOutcome::Exited { code: 7 },
+            instructions: 1000,
+            cycles: 1500,
+            monitor_stall_cycles: 200,
+            checks: 40,
+            hits: 38,
+            misses: 2,
+            mismatches: 0,
+            miss_rate_percent: 5.0,
+            fht_entries: 12,
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(&[row()]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), CSV_HEADER);
+        let line = lines.next().unwrap();
+        assert!(line.starts_with("sha,true,8,xor,0,replace-half-lru,exited,7,1000,1500,"));
+        assert!(line.ends_with(",5,12"));
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = to_json(&[row(), row()]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches("\"workload\":\"sha\"").count(), 2);
+        assert!(json.contains("\"outcome\":\"exited\",\"exit_code\":7"));
+        assert_eq!(json.matches('{').count(), 2);
+    }
+
+    #[test]
+    fn non_exit_outcomes_have_null_exit_code() {
+        let mut r = row();
+        r.outcome = RunOutcome::MaxCycles;
+        let json = to_json(&[r.clone()]);
+        assert!(json.contains("\"outcome\":\"max-cycles\",\"exit_code\":null"));
+        let csv = to_csv(&[r]);
+        assert!(csv.lines().nth(1).unwrap().contains("max-cycles,,"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -86,6 +86,39 @@ proptest! {
         }
     }
 
+    /// LRU replacement never evicts the most-recently-hit entry: after
+    /// any operation history, a successful hit refreshes an entry's
+    /// recency, so a subsequent capacity eviction must pick a victim
+    /// other than the hit entry (for any table with at least 2 slots).
+    #[test]
+    fn lru_never_evicts_most_recently_hit(
+        cap in 2usize..9,
+        ops in prop::collection::vec(arb_op(), 0..120),
+        probe in 0u8..12,
+    ) {
+        let mut iht = Iht::new(cap);
+        for op in ops {
+            match op {
+                Op::Lookup { start, hash } => {
+                    iht.lookup(key(start), hash as u32);
+                }
+                Op::Insert { start, hash } => {
+                    iht.insert_lru(BlockRecord { key: key(start), hash: hash as u32 });
+                }
+            }
+        }
+        // Make `probe` resident, then *hit* it (the recency refresh).
+        iht.insert_lru(BlockRecord { key: key(probe), hash: 0x77 });
+        prop_assert_eq!(iht.lookup(key(probe), 0x77), LookupOutcome::Hit);
+        // A fresh key outside the op universe forces a replacement
+        // decision; the most-recently-hit entry must survive it.
+        let fresh = BlockKey::new(0x9000_0000, 0x9000_000c);
+        if let Some(evicted) = iht.insert_lru(BlockRecord { key: fresh, hash: 1 }) {
+            prop_assert_ne!(evicted.key, key(probe));
+        }
+        prop_assert!(iht.probe(key(probe)).is_some());
+    }
+
     /// Any odd number of bit flips anywhere in a block is detected by
     /// the XOR checksum (column parity argument, paper Section 6.3).
     #[test]

@@ -1,9 +1,19 @@
 //! Monte-Carlo fault campaigns with detection classification.
+//!
+//! Campaigns execute on the experiment engine's worker pool
+//! ([`cimon_sim::engine::parallel_map`]): fault plans are drawn
+//! serially from one seeded RNG stream — so a campaign's plan sequence
+//! is identical to the historical serial loop — and the (independent)
+//! faulted runs then execute in parallel with deterministic result
+//! ordering.
+
+use std::sync::Arc;
 
 use cimon_core::CicConfig;
 use cimon_mem::ProgramImage;
 use cimon_os::FullHashTable;
 use cimon_pipeline::{ConsoleEvent, Processor, ProcessorConfig, RunOutcome};
+use cimon_sim::engine::{default_workers, parallel_map};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -155,16 +165,22 @@ impl CampaignResult {
 
 /// A configured fault campaign over one program.
 pub struct Campaign {
-    image: ProgramImage,
+    image: Arc<ProgramImage>,
     cic: CicConfig,
-    fht: FullHashTable,
+    fht: Arc<FullHashTable>,
     reference: (RunOutcome, Vec<ConsoleEvent>),
 }
 
 impl Campaign {
     /// Prepare a campaign: runs the program once cleanly (monitored) to
     /// capture the reference result.
-    pub fn new(image: ProgramImage, cic: CicConfig, fht: FullHashTable) -> Campaign {
+    pub fn new(
+        image: impl Into<Arc<ProgramImage>>,
+        cic: CicConfig,
+        fht: impl Into<Arc<FullHashTable>>,
+    ) -> Campaign {
+        let image = image.into();
+        let fht = fht.into();
         let mut cpu = Processor::new(&image, ProcessorConfig::monitored(cic, fht.clone()));
         let outcome = cpu.run();
         let console = cpu.stats().console;
@@ -219,21 +235,38 @@ impl Campaign {
         }
     }
 
-    /// Run a full campaign.
+    /// The fault plans a campaign config expands to, drawn serially
+    /// from the seeded RNG stream (deterministic given the seed).
+    pub fn plans(&self, config: &CampaignConfig) -> Vec<FaultPlan> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        (0..config.runs)
+            .map(|_| FaultPlan {
+                site: config.site,
+                flips: config.model.generate(&mut rng, &config.targets),
+            })
+            .collect()
+    }
+
+    /// Run a full campaign on the engine's worker pool.
     pub fn run(&self, config: &CampaignConfig) -> CampaignResult {
+        self.run_with_workers(config, default_workers())
+    }
+
+    /// Run a full campaign with an explicit worker count (1 = serial).
+    /// The result is identical for any worker count: plans are
+    /// pre-generated serially and each faulted run is independent.
+    pub fn run_with_workers(&self, config: &CampaignConfig, workers: usize) -> CampaignResult {
         assert!(
             !config.targets.is_empty(),
             "campaign needs target addresses"
         );
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let plans = self.plans(config);
+        let outcomes = parallel_map(&plans, workers, |_, plan| {
+            self.run_one(plan, config.max_cycles)
+        });
         let mut result = CampaignResult::default();
-        for _ in 0..config.runs {
-            let flips = config.model.generate(&mut rng, &config.targets);
-            let plan = FaultPlan {
-                site: config.site,
-                flips,
-            };
-            result.record(self.run_one(&plan, config.max_cycles));
+        for outcome in outcomes {
+            result.record(outcome);
         }
         result
     }
@@ -352,6 +385,23 @@ mod tests {
             max_cycles: 60_000,
         };
         assert_eq!(c.run(&cfg), c.run(&cfg));
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let cfg = CampaignConfig {
+            runs: 40,
+            seed: 5,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 60_000,
+        };
+        let serial = c.run_with_workers(&cfg, 1);
+        let parallel = c.run_with_workers(&cfg, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.total(), 40);
     }
 
     #[test]

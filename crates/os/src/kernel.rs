@@ -8,6 +8,8 @@
 //! exception costs a fixed number of cycles (100 in the paper's
 //! Table 1).
 
+use std::sync::Arc;
+
 use cimon_core::{BlockKey, BlockRecord, Cic};
 
 use crate::fht::FullHashTable;
@@ -75,8 +77,12 @@ pub struct OsStats {
 }
 
 /// The OS model: FHT + refill policy + cost accounting.
+///
+/// The FHT is held behind an [`Arc`]: it is immutable once generated, so
+/// sweeps that run one program across many checker configurations share
+/// a single table instead of cloning the whole map per run.
 pub struct OsKernel {
-    fht: FullHashTable,
+    fht: Arc<FullHashTable>,
     policy: Box<dyn RefillPolicy>,
     cost: ExceptionCost,
     stats: OsStats,
@@ -96,14 +102,17 @@ impl std::fmt::Debug for OsKernel {
 impl OsKernel {
     /// A kernel with the paper's defaults: replace-half-LRU refill,
     /// 100-cycle exceptions.
-    pub fn new(fht: FullHashTable) -> OsKernel {
+    pub fn new(fht: impl Into<Arc<FullHashTable>>) -> OsKernel {
         OsKernel::with_policy(fht, Box::new(ReplaceHalfLru))
     }
 
     /// A kernel with a custom refill policy.
-    pub fn with_policy(fht: FullHashTable, policy: Box<dyn RefillPolicy>) -> OsKernel {
+    pub fn with_policy(
+        fht: impl Into<Arc<FullHashTable>>,
+        policy: Box<dyn RefillPolicy>,
+    ) -> OsKernel {
         OsKernel {
-            fht,
+            fht: fht.into(),
             policy,
             cost: ExceptionCost::default(),
             stats: OsStats::default(),
@@ -118,6 +127,11 @@ impl OsKernel {
     /// The loaded FHT.
     pub fn fht(&self) -> &FullHashTable {
         &self.fht
+    }
+
+    /// The shared handle to the loaded FHT (for further sharing).
+    pub fn fht_arc(&self) -> Arc<FullHashTable> {
+        self.fht.clone()
     }
 
     /// Name of the active refill policy.
@@ -191,7 +205,11 @@ mod tests {
     }
 
     fn kernel() -> OsKernel {
-        OsKernel::new((0..8u32).map(|i| rec(0x1000 + 0x10 * i, 100 + i)).collect())
+        OsKernel::new(
+            (0..8u32)
+                .map(|i| rec(0x1000 + 0x10 * i, 100 + i))
+                .collect::<FullHashTable>(),
+        )
     }
 
     #[test]

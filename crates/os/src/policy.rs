@@ -36,6 +36,17 @@ impl RefillPolicyKind {
         }
     }
 
+    /// Short name for reports (matches the built policy's
+    /// [`RefillPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefillPolicyKind::ReplaceHalfLru => "replace-half-lru",
+            RefillPolicyKind::SingleLru => "single-lru",
+            RefillPolicyKind::Fifo => "fifo",
+            RefillPolicyKind::Random(_) => "random",
+        }
+    }
+
     /// All kinds, for the replacement-policy ablation sweep.
     pub fn all(seed: u64) -> [RefillPolicyKind; 4] {
         [

@@ -44,10 +44,12 @@
 //! assert_eq!(outcome, RunOutcome::Exited { code: 15 }); // 5+4+3+2+1
 //! ```
 
+pub mod monitor;
 pub mod processor;
 pub mod regfile;
 pub mod timing;
 
+pub use monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
 pub use processor::{
     BlockEvent, ConsoleEvent, FaultKind, MonitorConfig, Processor, ProcessorConfig, RunOutcome,
     RunStats,

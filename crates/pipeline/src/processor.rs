@@ -1,18 +1,20 @@
 //! The processor: functional execution, monitoring integration, and
 //! cycle accounting.
 
+use std::sync::Arc;
+
 use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
 use cimon_isa::{semantics, Funct, IOpcode, Instr, InstrClass, Reg, Syscall, INSTR_BYTES};
 use cimon_mem::{FetchBus, Memory, ProgramImage};
 use cimon_microop::{
-    baseline_spec, embed_monitor, execute, DReg, Datapath, ExceptionKind, MicroEnv, MonitorParams,
-    ProcessorSpec, WireEnv,
+    baseline_spec, embed_monitor, execute, DReg, Datapath, ExceptionKind, MicroEnv, ProcessorSpec,
+    WireEnv,
 };
 use cimon_os::{
-    ExceptionCost, FullHashTable, MissResolution, OsKernel, OsStats, RefillPolicyKind,
-    TerminationCause,
+    ExceptionCost, FullHashTable, OsKernel, OsStats, RefillPolicyKind, TerminationCause,
 };
 
+use crate::monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
 use crate::regfile::RegFile;
 use crate::timing::{IssueClass, Timing, TimingConfig};
 
@@ -21,8 +23,9 @@ use crate::timing::{IssueClass, Timing, TimingConfig};
 pub struct MonitorConfig {
     /// Checker hardware (IHT size, hash algorithm, seed).
     pub cic: CicConfig,
-    /// The full hash table the OS loaded for this program.
-    pub fht: FullHashTable,
+    /// The full hash table the OS loaded for this program. Shared, so a
+    /// sweep can run many configurations off one generated table.
+    pub fht: Arc<FullHashTable>,
     /// IHT refill policy.
     pub policy: RefillPolicyKind,
     /// Exception handling cost (the paper charges 100 cycles).
@@ -31,10 +34,10 @@ pub struct MonitorConfig {
 
 impl MonitorConfig {
     /// The paper's default configuration around a given FHT.
-    pub fn new(cic: CicConfig, fht: FullHashTable) -> MonitorConfig {
+    pub fn new(cic: CicConfig, fht: impl Into<Arc<FullHashTable>>) -> MonitorConfig {
         MonitorConfig {
             cic,
-            fht,
+            fht: fht.into(),
             policy: RefillPolicyKind::ReplaceHalfLru,
             exception_cost: ExceptionCost::default(),
         }
@@ -68,7 +71,7 @@ impl ProcessorConfig {
     }
 
     /// Monitored processor around a checker config and FHT.
-    pub fn monitored(cic: CicConfig, fht: FullHashTable) -> ProcessorConfig {
+    pub fn monitored(cic: CicConfig, fht: impl Into<Arc<FullHashTable>>) -> ProcessorConfig {
         ProcessorConfig {
             monitor: Some(MonitorConfig::new(cic, fht)),
             ..Self::baseline()
@@ -176,7 +179,7 @@ type BlockCheck = (BlockKey, u32, bool, bool);
 struct Env<'a> {
     mem: &'a Memory,
     bus: &'a mut FetchBus,
-    cic: Option<&'a mut Cic>,
+    monitor: &'a mut dyn Monitor,
     exceptions: Vec<ExceptionKind>,
     last_check: Option<BlockCheck>,
 }
@@ -189,24 +192,16 @@ impl MicroEnv for Env<'_> {
     }
 
     fn hash_step(&mut self, _old: u32, instr: u32) -> u32 {
-        match &mut self.cic {
-            Some(cic) => cic.hash_step(instr),
-            None => 0,
-        }
+        self.monitor.observe_fetch(instr)
     }
 
     fn hash_reset(&mut self) {
-        if let Some(cic) = &mut self.cic {
-            cic.hash_reset();
-        }
+        self.monitor.hash_reset();
     }
 
     fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
         let key = BlockKey::new(start, end);
-        let (found, matched) = match &mut self.cic {
-            Some(cic) => cic.check_block(key, hash),
-            None => (false, false),
-        };
+        let (found, matched) = self.monitor.check_block(key, hash);
         self.last_check = Some((key, hash, found, matched));
         (found, matched)
     }
@@ -225,9 +220,7 @@ pub struct Processor {
     lo: u32,
     mem: Memory,
     bus: FetchBus,
-    cic: Option<Cic>,
-    os: Option<OsKernel>,
-    exception_cycles: u64,
+    monitor: Box<dyn Monitor>,
     timing: Timing,
     pc: u32,
     done: Option<RunOutcome>,
@@ -260,27 +253,41 @@ impl Processor {
     /// specs produced by [`embed_monitor`], and a programming error
     /// otherwise.
     pub fn new(image: &ProgramImage, config: ProcessorConfig) -> Processor {
-        let (spec, cic, os, exception_cycles) = match config.monitor {
-            None => (baseline_spec(), None, None, 0),
-            Some(mon) => {
-                let params = MonitorParams {
-                    iht_entries: mon.cic.iht_entries,
-                    hash_algo: mon.cic.hash_algo,
-                };
+        let monitor: Box<dyn Monitor> = match config.monitor.clone() {
+            None => Box::new(NullMonitor),
+            Some(mon) => Box::new(CicMonitor::new(mon)),
+        };
+        Processor::with_monitor(image, config, monitor)
+    }
+
+    /// Build a processor around an explicit monitor plane.
+    ///
+    /// `config.monitor` is ignored — the given `monitor` is installed
+    /// instead, so any [`Monitor`] implementation (the CIC, a null
+    /// monitor, or a custom one) can drive the same pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec embedded for [`Monitor::params`] fails
+    /// validation — impossible for specs produced by [`embed_monitor`],
+    /// and a programming error otherwise.
+    pub fn with_monitor(
+        image: &ProgramImage,
+        config: ProcessorConfig,
+        monitor: Box<dyn Monitor>,
+    ) -> Processor {
+        let spec = match monitor.params() {
+            None => baseline_spec(),
+            Some(params) => {
                 let spec = embed_monitor(&baseline_spec(), &params);
                 spec.validate()
                     .expect("embedded monitor spec must validate");
-                let cic = Cic::new(mon.cic);
-                let mut os = OsKernel::with_policy(mon.fht, mon.policy.build());
-                os.set_exception_cost(mon.exception_cost);
-                (spec, Some(cic), Some(os), mon.exception_cost.cycles)
+                spec
             }
         };
         let mut dp = Datapath::new();
-        if let Some(c) = &cic {
-            dp.rhash_seed = c.hash_reset_value();
-            dp.reset(DReg::Rhash);
-        }
+        dp.rhash_seed = monitor.hash_reset_value();
+        dp.reset(DReg::Rhash);
         let mut regs = RegFile::new();
         regs.write(Reg::SP, cimon_mem::image::STACK_TOP);
         regs.write(Reg::GP, image.data.base);
@@ -292,9 +299,7 @@ impl Processor {
             lo: 0,
             mem: image.to_memory(),
             bus: FetchBus::new(),
-            cic,
-            os,
-            exception_cycles,
+            monitor,
             timing: Timing::new(config.timing),
             pc: image.entry,
             done: None,
@@ -328,14 +333,19 @@ impl Processor {
         &self.regs
     }
 
-    /// The checker, when monitoring is enabled.
+    /// The checker, when the installed monitor has one.
     pub fn cic(&self) -> Option<&Cic> {
-        self.cic.as_ref()
+        self.monitor.cic()
     }
 
-    /// The OS kernel, when monitoring is enabled.
+    /// The OS kernel, when the installed monitor has one.
     pub fn os(&self) -> Option<&OsKernel> {
-        self.os.as_ref()
+        self.monitor.os()
+    }
+
+    /// The installed monitor plane.
+    pub fn monitor(&self) -> &dyn Monitor {
+        &*self.monitor
     }
 
     /// The generated processor specification in use.
@@ -365,8 +375,8 @@ impl Processor {
             instructions: self.instret,
             cycles: self.timing.cycles(),
             monitor_stall_cycles: self.timing.stall_cycles(),
-            cic: self.cic.as_ref().map(|c| c.stats()),
-            os: self.os.as_ref().map(|o| o.stats()),
+            cic: self.monitor.cic_stats(),
+            os: self.monitor.os_stats(),
             console: self.console.clone(),
         }
     }
@@ -396,7 +406,7 @@ impl Processor {
         let mut env = Env {
             mem: &self.mem,
             bus: &mut self.bus,
-            cic: self.cic.as_mut(),
+            monitor: self.monitor.as_mut(),
             exceptions: Vec::new(),
             last_check: None,
         };
@@ -435,7 +445,7 @@ impl Processor {
                 let mut env = Env {
                     mem: &self.mem,
                     bus: &mut self.bus,
-                    cic: self.cic.as_mut(),
+                    monitor: self.monitor.as_mut(),
                     exceptions: Vec::new(),
                     last_check: None,
                 };
@@ -492,7 +502,8 @@ impl Processor {
         Some(outcome)
     }
 
-    /// Sort out monitoring exceptions raised by the ID check program.
+    /// Sort out monitoring exceptions raised by the ID check program by
+    /// asking the monitor plane for a verdict on each.
     fn resolve_exceptions(
         &mut self,
         pc: u32,
@@ -504,31 +515,10 @@ impl Processor {
         }
         let (key, hash, _found, _matched) =
             last_check.expect("exception implies a lookup happened");
-        for kind in exceptions {
-            match kind {
-                ExceptionKind::HashMiss => {
-                    let os = self.os.as_mut().expect("monitored implies OS");
-                    let cic = self.cic.as_mut().expect("monitored implies CIC");
-                    match os.handle_miss(cic, key, hash) {
-                        MissResolution::Refilled { .. } => {
-                            self.timing.stall(self.exception_cycles);
-                        }
-                        MissResolution::Terminate(cause) => {
-                            return Some(RunOutcome::Detected { cause, pc });
-                        }
-                    }
-                }
-                ExceptionKind::HashMismatch => {
-                    let expected = self
-                        .cic
-                        .as_ref()
-                        .and_then(|c| c.iht().probe(key))
-                        .map(|r| r.hash)
-                        .unwrap_or(0);
-                    let os = self.os.as_mut().expect("monitored implies OS");
-                    let cause = os.handle_mismatch(key, expected, hash);
-                    return Some(RunOutcome::Detected { cause, pc });
-                }
+        for &kind in exceptions {
+            match self.monitor.resolve(kind, key, hash) {
+                Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                Verdict::Kill(cause) => return Some(RunOutcome::Detected { cause, pc }),
             }
         }
         None

@@ -22,10 +22,16 @@
 //! ").unwrap();
 //!
 //! let base = run_baseline(&prog.image);
-//! let mon = run_monitored(&prog.image, &SimConfig::default()).unwrap();
+//! let mon = run_monitored(&prog.image, &SimConfig::default(), None).unwrap();
 //! assert_eq!(base.outcome, mon.outcome);
 //! assert!(mon.stats.cycles >= base.stats.cycles);
 //! ```
+//!
+//! For grids of runs (the paper's whole evaluation), use the parallel
+//! experiment engine in [`engine`] instead of looping over these
+//! one-call helpers.
+
+use std::sync::Arc;
 
 use cimon_core::CicConfig;
 use cimon_hashgen::{static_fht, HashGenError};
@@ -33,8 +39,11 @@ use cimon_mem::ProgramImage;
 use cimon_os::{ExceptionCost, FullHashTable, RefillPolicyKind};
 use cimon_pipeline::{MonitorConfig, Processor, ProcessorConfig, RunOutcome, RunStats};
 
+pub mod engine;
+
 pub use cimon_core::HashAlgoKind;
 pub use cimon_pipeline::RunOutcome as Outcome;
+pub use engine::{Artifact, Experiment, ResultRow, Sweep};
 
 /// Experiment-level configuration (the knobs the paper sweeps).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,9 +100,23 @@ pub struct RunReport {
     pub miss_rate_percent: f64,
 }
 
-/// Run a program on the baseline (unmonitored) processor.
+/// Run a program on the baseline (unmonitored) processor with the
+/// default safety cycle budget.
 pub fn run_baseline(image: &ProgramImage) -> RunReport {
-    let mut cpu = Processor::new(image, ProcessorConfig::baseline());
+    run_baseline_with_max(image, ProcessorConfig::baseline().max_cycles)
+}
+
+/// Run a program on the baseline processor with an explicit safety
+/// cycle budget (so sweeps give baseline and monitored rows the same
+/// cap).
+pub fn run_baseline_with_max(image: &ProgramImage, max_cycles: u64) -> RunReport {
+    let mut cpu = Processor::new(
+        image,
+        ProcessorConfig {
+            max_cycles,
+            ..ProcessorConfig::baseline()
+        },
+    );
     let outcome = cpu.run();
     let stats = cpu.stats();
     RunReport {
@@ -114,22 +137,35 @@ pub fn build_fht(image: &ProgramImage, config: &SimConfig) -> Result<FullHashTab
     Ok(fht)
 }
 
-/// Run a program on the monitored processor, generating its FHT first.
+/// Run a program on the monitored processor.
+///
+/// `fht` supplies a precomputed Full Hash Table; pass `None` to have
+/// one generated here with the static analyser. Sweeps and repeated
+/// runs should pass the shared table so the analysis happens once.
 ///
 /// # Errors
 ///
-/// Propagates [`HashGenError`] from FHT generation.
-pub fn run_monitored(image: &ProgramImage, config: &SimConfig) -> Result<RunReport, HashGenError> {
-    let fht = build_fht(image, config)?;
+/// Propagates [`HashGenError`] from FHT generation (only possible when
+/// `fht` is `None`).
+pub fn run_monitored(
+    image: &ProgramImage,
+    config: &SimConfig,
+    fht: Option<Arc<FullHashTable>>,
+) -> Result<RunReport, HashGenError> {
+    let fht = match fht {
+        Some(fht) => fht,
+        None => Arc::new(build_fht(image, config)?),
+    };
     Ok(run_monitored_with_fht(image, fht, config))
 }
 
 /// Run with a pre-built FHT (lets sweeps reuse the static analysis).
 pub fn run_monitored_with_fht(
     image: &ProgramImage,
-    fht: FullHashTable,
+    fht: impl Into<Arc<FullHashTable>>,
     config: &SimConfig,
 ) -> RunReport {
+    let fht = fht.into();
     let fht_entries = fht.len();
     let cic = CicConfig {
         iht_entries: config.iht_entries,
@@ -201,7 +237,7 @@ mod tests {
     fn baseline_and_monitored_agree() {
         let prog = program();
         let base = run_baseline(&prog.image);
-        let mon = run_monitored(&prog.image, &SimConfig::default()).unwrap();
+        let mon = run_monitored(&prog.image, &SimConfig::default(), None).unwrap();
         assert_eq!(base.outcome, RunOutcome::Exited { code: 325 });
         assert_eq!(mon.outcome, base.outcome);
         assert_eq!(mon.stats.instructions, base.stats.instructions);
@@ -219,8 +255,8 @@ mod tests {
     #[test]
     fn bigger_tables_do_not_miss_more() {
         let prog = program();
-        let m1 = run_monitored(&prog.image, &SimConfig::with_entries(1)).unwrap();
-        let m8 = run_monitored(&prog.image, &SimConfig::with_entries(8)).unwrap();
+        let m1 = run_monitored(&prog.image, &SimConfig::with_entries(1), None).unwrap();
+        let m8 = run_monitored(&prog.image, &SimConfig::with_entries(8), None).unwrap();
         assert!(m8.miss_rate_percent <= m1.miss_rate_percent);
     }
 
@@ -232,7 +268,7 @@ mod tests {
                 policy,
                 ..SimConfig::default()
             };
-            let rep = run_monitored(&prog.image, &cfg).unwrap();
+            let rep = run_monitored(&prog.image, &cfg, None).unwrap();
             assert_eq!(rep.outcome, RunOutcome::Exited { code: 325 });
         }
     }
@@ -250,7 +286,7 @@ mod tests {
                 hash_seed: 0xfeed,
                 ..SimConfig::default()
             };
-            let rep = run_monitored(&prog.image, &cfg).unwrap();
+            let rep = run_monitored(&prog.image, &cfg, None).unwrap();
             assert_eq!(rep.outcome, RunOutcome::Exited { code: 325 }, "{algo}");
             let cic = rep.stats.cic.unwrap();
             assert_eq!(cic.mismatches, 0, "{algo}");

@@ -25,6 +25,9 @@
 //! reference implementation of the same algorithm; the harness asserts
 //! the simulated run reproduces it bit-exactly.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
 pub mod basicmath;
 pub mod bitcount;
 pub mod blowfish;
@@ -34,6 +37,15 @@ pub mod rijndael;
 pub mod sha;
 pub mod stringsearch;
 pub mod susan;
+
+/// Process-wide count of [`Workload::assemble`] calls, so experiment
+/// harnesses can assert they assemble each workload exactly once.
+static ASSEMBLIES: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times any workload has been assembled in this process.
+pub fn assembly_count() -> usize {
+    ASSEMBLIES.load(Ordering::Relaxed)
+}
 
 /// A ready-to-assemble benchmark program.
 #[derive(Clone, Debug)]
@@ -57,11 +69,57 @@ impl Workload {
     /// Panics if the source fails to assemble — workload sources are
     /// fixed at build time, so that is a bug in this crate.
     pub fn assemble(&self) -> cimon_asm::Program {
+        ASSEMBLIES.fetch_add(1, Ordering::Relaxed);
         match cimon_asm::assemble(&self.source) {
             Ok(p) => p,
             Err(e) => panic!("workload `{}` failed to assemble: {e}", self.name),
         }
     }
+}
+
+/// A workload assembled once and shared: the registry entry.
+#[derive(Clone, Debug)]
+pub struct AssembledWorkload {
+    /// MiBench-style name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Exit code the program must produce.
+    pub expected_exit: u32,
+    /// The full assembler output (image + symbols + listing).
+    pub program: Arc<cimon_asm::Program>,
+    /// The loadable image, shareable across experiment runs.
+    pub image: Arc<cimon_mem::ProgramImage>,
+}
+
+static REGISTRY: OnceLock<Vec<AssembledWorkload>> = OnceLock::new();
+
+/// The name → assembled-program registry, in the paper's Figure-6
+/// order. Each workload is assembled exactly once per process; every
+/// caller shares the same [`Arc`]ed images, so experiment grids never
+/// re-run the assembler and never pattern-match names by hand.
+pub fn registry() -> &'static [AssembledWorkload] {
+    REGISTRY.get_or_init(|| {
+        all()
+            .into_iter()
+            .map(|w| {
+                let program = w.assemble();
+                let image = Arc::new(program.image.clone());
+                AssembledWorkload {
+                    name: w.name,
+                    description: w.description,
+                    expected_exit: w.expected_exit,
+                    program: Arc::new(program),
+                    image,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Look an assembled workload up by name in the shared registry.
+pub fn get(name: &str) -> Option<&'static AssembledWorkload> {
+    registry().iter().find(|w| w.name == name)
 }
 
 /// All nine workloads, in the paper's Figure-6 order.
@@ -159,6 +217,21 @@ mod tests {
             assert!(by_name(paper_name).is_some(), "missing {paper_name}");
         }
         assert!(by_name("quake").is_none());
+    }
+
+    #[test]
+    fn registry_assembles_each_workload_exactly_once() {
+        let before = assembly_count();
+        let reg = registry();
+        let again = registry();
+        assert_eq!(reg.len(), 9);
+        assert!(std::ptr::eq(reg, again), "registry must be cached");
+        // However many assemblies other tests performed, the two
+        // registry() calls above added at most one suite's worth.
+        assert!(assembly_count() <= before + 9);
+        let d = get("dijkstra").expect("dijkstra registered");
+        assert_eq!(d.image.entry, d.program.image.entry);
+        assert!(get("quake").is_none());
     }
 
     #[test]

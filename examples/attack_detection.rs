@@ -10,13 +10,15 @@
 //! cargo run --release --example attack_detection
 //! ```
 
+use std::sync::Arc;
+
 use cimon::core::CicConfig;
 use cimon::prelude::*;
 
 fn run_attack(
     name: &str,
     program: &cimon::asm::Program,
-    fht: cimon::os::FullHashTable,
+    fht: Arc<cimon::os::FullHashTable>,
     patch: impl FnOnce(&mut Processor),
 ) {
     let mut cpu = Processor::new(
@@ -36,12 +38,17 @@ fn run_attack(
 }
 
 fn main() {
-    let workload = cimon::workloads::by_name("dijkstra").expect("dijkstra exists");
-    let program = workload.assemble();
-    let fht = build_fht(&program.image, &SimConfig::default()).expect("fht");
+    // The registry assembles each workload once; the engine artifact
+    // caches the FHT so the clean run and all three attacks share it.
+    let workload = cimon::workloads::get("dijkstra").expect("dijkstra exists");
+    let program = &*workload.program;
+    let artifact = cimon::artifact_for(workload);
+    let fht = artifact
+        .fht(HashAlgoKind::Xor, 0)
+        .expect("static analysis succeeds");
 
     // Sanity: untampered run is clean and correct.
-    let clean = run_monitored(&program.image, &SimConfig::default()).unwrap();
+    let clean = run_monitored(&program.image, &SimConfig::default(), Some(fht.clone())).unwrap();
     println!(
         "clean run: {:?}, {} checks, 0 mismatches expected, got {}\n",
         clean.outcome,
@@ -60,12 +67,12 @@ fn main() {
         })
         .map(|&(addr, _, _)| addr)
         .expect("guard branch exists");
-    run_attack("nop out a guard branch", &program, fht.clone(), |cpu| {
+    run_attack("nop out a guard branch", program, fht.clone(), |cpu| {
         cpu.mem_mut().write_u32(relax_guard, 0).unwrap(); // sll $0,$0,0
     });
 
     // Attack 2: redirect a branch displacement (jump somewhere else).
-    run_attack("bend a branch offset", &program, fht.clone(), |cpu| {
+    run_attack("bend a branch offset", program, fht.clone(), |cpu| {
         let word = cpu.mem().read_u32(relax_guard).unwrap();
         cpu.mem_mut().write_u32(relax_guard, word ^ 0x1).unwrap();
     });
@@ -74,7 +81,7 @@ fn main() {
     // `lw $t2, 0($t1)` becomes `li $t2, 7`, silently forging the result.
     // Perfectly valid code, no fault, no crash: only the hash knows.
     let inject_at = program.symbols.get("sum_loop").expect("label exists");
-    run_attack("splice injected code", &program, fht, |cpu| {
+    run_attack("splice injected code", program, fht, |cpu| {
         let li = cimon::isa::Instr::I(cimon::isa::IType {
             opcode: cimon::isa::IOpcode::Addiu,
             rs: cimon::isa::Reg::ZERO,

@@ -40,7 +40,7 @@ fn main() {
     // statically generates the Full Hash Table first, exactly like the
     // paper's post-link "special program".
     let config = SimConfig::default();
-    let report = run_monitored(&program.image, &config).expect("hash generation");
+    let report = run_monitored(&program.image, &config, None).expect("hash generation");
     println!(
         "monitored: {:?} in {} cycles (+{:.1}% overhead)",
         report.outcome,

@@ -12,16 +12,18 @@
 
 use cimon::core::CicConfig;
 use cimon::faults::{Campaign, CampaignConfig, FaultModel, FaultSite};
-use cimon::hashgen::static_fht;
 use cimon::prelude::*;
 
 fn main() {
-    let workload = cimon::workloads::by_name("sha").expect("sha exists");
-    let program = workload.assemble();
+    // Assembled once by the registry; FHTs cached per algorithm by the
+    // engine artifact. The campaigns themselves fan out over the
+    // engine's worker pool.
+    let workload = cimon::workloads::get("sha").expect("sha exists");
+    let artifact = cimon::artifact_for(workload);
     println!("workload: {} — {}", workload.name, workload.description);
 
     // Fault targets: the text segment.
-    let (lo, hi) = program.image.text_range();
+    let (lo, hi) = workload.image.text_range();
     let targets: Vec<u32> = (lo..hi).step_by(4).collect();
 
     println!(
@@ -33,13 +35,13 @@ fn main() {
         HashAlgoKind::SeededXor,
         HashAlgoKind::Crc32,
     ] {
-        let (fht, _) = static_fht(&program.image, &[], algo, 0xfeed).expect("static fht");
+        let fht = artifact.fht(algo, 0xfeed).expect("static fht");
         let cic = CicConfig {
             iht_entries: 16,
             hash_algo: algo,
             hash_seed: 0xfeed,
         };
-        let campaign = Campaign::new(program.image.clone(), cic, fht);
+        let campaign = Campaign::new(workload.image.clone(), cic, fht);
 
         for (name, model, site) in [
             (

@@ -16,14 +16,17 @@
 //! * [`asm`] — the two-pass assembler
 //! * [`mem`] — sparse memory, program images, the tappable fetch bus
 //! * [`microop`] — micro-operations and the ASIP design methodology
-//! * [`pipeline`] — the 6-stage processor with embedded monitoring
+//! * [`pipeline`] — the 6-stage processor with the pluggable
+//!   [`Monitor`](pipeline::Monitor) plane
 //! * [`core`] — the Code Integrity Checker (hash units, IHT, comparator)
 //! * [`os`] — FHT, refill policies, exception handling
 //! * [`hashgen`] — static/trace expected-hash generation
 //! * [`faults`] — bit-flip injection and coverage campaigns
 //! * [`area`] — calibrated area/cycle-time model (Table 2)
-//! * [`workloads`] — the nine MiBench-like benchmarks
-//! * [`sim`] — the one-call simulation facade
+//! * [`workloads`] — the nine MiBench-like benchmarks, assembled once
+//!   through [`workloads::registry`]
+//! * [`sim`] — the one-call simulation facade and the parallel
+//!   experiment engine ([`sim::engine`])
 //!
 //! ## Quickstart
 //!
@@ -42,7 +45,7 @@
 //!     syscall
 //! ").unwrap();
 //!
-//! let report = run_monitored(&program.image, &SimConfig::default()).unwrap();
+//! let report = run_monitored(&program.image, &SimConfig::default(), None).unwrap();
 //! assert!(matches!(report.outcome, RunOutcome::Exited { code: 0 }));
 //! ```
 
@@ -59,10 +62,24 @@ pub use cimon_pipeline as pipeline;
 pub use cimon_sim as sim;
 pub use cimon_workloads as workloads;
 
+/// An experiment-engine [`Artifact`](sim::engine::Artifact) for a
+/// registry workload — the single-sourced conversion used by examples
+/// and tests (`cimon-bench` keeps its own cached `suite()` of these).
+pub fn artifact_for(
+    workload: &workloads::AssembledWorkload,
+) -> std::sync::Arc<sim::engine::Artifact> {
+    sim::engine::Artifact::new(
+        workload.name,
+        workload.image.clone(),
+        Some(workload.expected_exit),
+    )
+}
+
 /// The names most programs need.
 pub mod prelude {
     pub use cimon_core::{CicConfig, HashAlgoKind};
-    pub use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+    pub use cimon_pipeline::{Monitor, Processor, ProcessorConfig, RunOutcome};
+    pub use cimon_sim::engine::{Artifact, Experiment, ResultRow, Sweep};
     pub use cimon_sim::{
         build_fht, overhead_percent, run_baseline, run_monitored, run_monitored_with_fht,
         RunReport, SimConfig,

@@ -35,7 +35,7 @@ fn overhead_is_misses_times_exception_cost_up_to_overlap() {
     for w in cimon::workloads::all() {
         let prog = w.assemble();
         let base = run_baseline(&prog.image);
-        let mon = run_monitored(&prog.image, &SimConfig::default()).unwrap();
+        let mon = run_monitored(&prog.image, &SimConfig::default(), None).unwrap();
         let misses = mon.stats.cic.unwrap().misses;
         let delta = mon.stats.cycles - base.stats.cycles;
         assert!(
@@ -93,7 +93,7 @@ fn thirty_two_entries_quiesce_most_workloads() {
     let mut total = 0;
     for w in cimon::workloads::all() {
         let prog = w.assemble();
-        let rep = run_monitored(&prog.image, &SimConfig::with_entries(32)).unwrap();
+        let rep = run_monitored(&prog.image, &SimConfig::with_entries(32), None).unwrap();
         total += 1;
         if rep.miss_rate_percent < 5.0 {
             low += 1;
@@ -117,7 +117,7 @@ fn hash_algorithm_choice_does_not_affect_miss_behaviour() {
             hash_algo: algo,
             ..SimConfig::default()
         };
-        let rep = run_monitored(&prog.image, &cfg).unwrap();
+        let rep = run_monitored(&prog.image, &cfg, None).unwrap();
         let m = rep.stats.cic.unwrap().misses;
         match baseline_misses {
             None => baseline_misses = Some(m),

@@ -95,7 +95,7 @@ fn seeded_xor_differs_per_process_but_stays_correct() {
             hash_seed: seed,
             ..SimConfig::default()
         };
-        let report = run_monitored(&prog.image, &cfg).unwrap();
+        let report = run_monitored(&prog.image, &cfg, None).unwrap();
         assert_eq!(
             report.outcome,
             RunOutcome::Exited {

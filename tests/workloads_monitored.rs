@@ -29,7 +29,7 @@ fn all_workloads_run_correct_on_baseline() {
 fn all_workloads_run_correct_monitored_cic8() {
     for w in cimon::workloads::all() {
         let prog = w.assemble();
-        let report = run_monitored(&prog.image, &SimConfig::default())
+        let report = run_monitored(&prog.image, &SimConfig::default(), None)
             .unwrap_or_else(|e| panic!("fht for {}: {e}", w.name));
         assert_eq!(
             report.outcome,
@@ -52,7 +52,7 @@ fn monitoring_never_changes_architectural_results() {
     for w in cimon::workloads::all() {
         let prog = w.assemble();
         let base = run_baseline(&prog.image);
-        let mon = run_monitored(&prog.image, &SimConfig::with_entries(16)).unwrap();
+        let mon = run_monitored(&prog.image, &SimConfig::with_entries(16), None).unwrap();
         assert_eq!(base.outcome, mon.outcome, "{}", w.name);
         assert_eq!(
             base.stats.instructions, mon.stats.instructions,
@@ -85,6 +85,7 @@ fn exception_cost_scales_overhead() {
             exception_cycles: 10,
             ..SimConfig::default()
         },
+        None,
     )
     .unwrap();
     let costly = run_monitored(
@@ -93,6 +94,7 @@ fn exception_cost_scales_overhead() {
             exception_cycles: 1000,
             ..SimConfig::default()
         },
+        None,
     )
     .unwrap();
     let misses = cheap.stats.cic.unwrap().misses;

@@ -24,7 +24,8 @@ fn prelude_surface_assembles_and_runs() {
     let prog = cimon::asm::assemble(PROGRAM).expect("program assembles");
 
     let base = run_baseline(&prog.image);
-    let mon = run_monitored(&prog.image, &SimConfig::default()).expect("FHT generation succeeds");
+    let mon =
+        run_monitored(&prog.image, &SimConfig::default(), None).expect("FHT generation succeeds");
 
     // 2^12 doublings of 1.
     assert_eq!(base.outcome, RunOutcome::Exited { code: 4096 });

@@ -5,7 +5,7 @@
 //!
 //! * [`strategy::Strategy`] with `prop_map`, implemented for integer
 //!   ranges, tuples, and function-built strategies;
-//! * [`any`] for the primitive types the tests draw;
+//! * [`arbitrary::any`] for the primitive types the tests draw;
 //! * [`sample::select`] and [`sample::Index`];
 //! * [`collection::vec`];
 //! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`] and
