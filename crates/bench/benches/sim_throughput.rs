@@ -1,0 +1,35 @@
+//! Simulator-throughput benchmark: wall-clock speed of the cycle loop
+//! across the workload registry, baseline and monitored (CIC8).
+//!
+//! This is the repo's own performance trajectory — the metric is
+//! **simulated instructions per second**, which bounds how fast every
+//! sweep, fault campaign, and example can run. The raw rows are written
+//! to `BENCH_throughput.json` via [`cimon_bench::report`] so CI can
+//! track the trend.
+
+fn main() {
+    let reps = 3;
+    println!("Simulator throughput — instructions/second of the cycle loop ({reps} reps, best)");
+    println!(
+        "{:<14} {:>9} {:>13} {:>13} {:>11} {:>9}",
+        "workload", "mode", "instructions", "cycles", "seconds", "MIPS"
+    );
+    cimon_bench::print_rule(74);
+    let t = cimon_bench::sim_throughput(reps);
+    for r in &t.rows {
+        println!(
+            "{:<14} {:>9} {:>13} {:>13} {:>11.6} {:>9.2}",
+            r.workload, r.mode, r.instructions, r.cycles, r.best_seconds, r.mips
+        );
+    }
+    cimon_bench::print_rule(74);
+    println!(
+        "{:<14} {:>9} {:>51.2}\n{:<14} {:>9} {:>51.2}",
+        "aggregate", "baseline", t.baseline_mips, "aggregate", "cic8", t.monitored_mips
+    );
+    let json = cimon_bench::report::throughput_to_json(&t.rows);
+    match std::fs::write("BENCH_throughput.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_throughput.json ({} rows)", t.rows.len()),
+        Err(e) => println!("\ncould not write BENCH_throughput.json: {e}"),
+    }
+}

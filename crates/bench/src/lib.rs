@@ -455,6 +455,108 @@ pub fn ablation_managed() -> Vec<ManagedRow> {
         .collect()
 }
 
+/// One simulator-throughput measurement: how fast the simulator itself
+/// retires instructions for a workload, in one execution mode.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Workload name.
+    pub workload: String,
+    /// `"baseline"` or `"cic8"`.
+    pub mode: &'static str,
+    /// Instructions committed per run.
+    pub instructions: u64,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Best wall-clock seconds over the measured repetitions.
+    pub best_seconds: f64,
+    /// Millions of simulated instructions per wall-clock second.
+    pub mips: f64,
+}
+
+/// The simulator-throughput sweep: wall-clock speed of the cycle loop
+/// itself, which bounds every experiment grid in this repo.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Two rows (baseline, cic8) per workload, registry order.
+    pub rows: Vec<ThroughputRow>,
+    /// Aggregate baseline MIPS (total instructions / total best time).
+    pub baseline_mips: f64,
+    /// Aggregate monitored MIPS.
+    pub monitored_mips: f64,
+}
+
+/// Measure simulator throughput across the workload registry: each
+/// workload runs `reps` times on the baseline processor and `reps`
+/// times under the paper's CIC8 monitor; the best wall time of each
+/// counts (FHT generation and assembly are outside the timed region —
+/// this measures the cycle loop, nothing else).
+pub fn sim_throughput(reps: usize) -> Throughput {
+    use cimon_pipeline::{Processor, ProcessorConfig};
+    use std::time::Instant;
+
+    let reps = reps.max(1);
+    let mut rows = Vec::with_capacity(suite().len() * 2);
+    for a in suite() {
+        let fht = a.fht(HashAlgoKind::Xor, 0).expect("analyses");
+        let predecoded = a.predecoded();
+        for mode in ["baseline", "cic8"] {
+            let config = || {
+                let mut c = match mode {
+                    "baseline" => ProcessorConfig::baseline(),
+                    _ => ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone()),
+                };
+                c.predecode = cimon_pipeline::Predecode::Shared(predecoded.clone());
+                c
+            };
+            let mut best = f64::INFINITY;
+            let mut instructions = 0;
+            let mut cycles = 0;
+            for _ in 0..reps {
+                let mut cpu = Processor::new(a.image(), config());
+                let t0 = Instant::now();
+                let outcome = cpu.run();
+                let dt = t0.elapsed().as_secs_f64();
+                assert_eq!(
+                    outcome,
+                    cimon_pipeline::RunOutcome::Exited {
+                        code: a.expected_exit().expect("registry workload")
+                    },
+                    "{} {mode}",
+                    a.name()
+                );
+                let stats = cpu.stats();
+                instructions = stats.instructions;
+                cycles = stats.cycles;
+                if dt < best {
+                    best = dt;
+                }
+            }
+            rows.push(ThroughputRow {
+                workload: a.name().to_string(),
+                mode,
+                instructions,
+                cycles,
+                best_seconds: best,
+                mips: instructions as f64 / best / 1e6,
+            });
+        }
+    }
+    let agg = |mode: &str| {
+        let (i, t) = rows
+            .iter()
+            .filter(|r| r.mode == mode)
+            .fold((0u64, 0.0), |(i, t), r| {
+                (i + r.instructions, t + r.best_seconds)
+            });
+        i as f64 / t / 1e6
+    };
+    Throughput {
+        baseline_mips: agg("baseline"),
+        monitored_mips: agg("cic8"),
+        rows,
+    }
+}
+
 /// Markdown-ish fixed-width table printer shared by the bench targets.
 pub fn print_rule(width: usize) {
     println!("{}", "-".repeat(width));

@@ -126,6 +126,28 @@ pub fn to_json(rows: &[ResultRow]) -> String {
     out
 }
 
+/// Serialise throughput rows as a JSON array (`BENCH_throughput.json`).
+pub fn throughput_to_json(rows: &[crate::ThroughputRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"workload\":\"{}\",\"mode\":\"{}\",\"instructions\":{},\
+             \"cycles\":{},\"best_seconds\":{},\"mips\":{:.3}}}",
+            json_escape(&r.workload),
+            r.mode,
+            r.instructions,
+            r.cycles,
+            r.best_seconds,
+            r.mips,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 //! table through [`Cic::iht_mut`].
 
 use crate::block::BlockKey;
-use crate::hash::{hasher_for, BlockHasher};
+use crate::hash::{BlockHasher, HashAlgo};
 use crate::iht::{Iht, LookupOutcome};
 use cimon_microop::HashAlgoKind;
 
@@ -71,9 +71,14 @@ impl CicStats {
 }
 
 /// The Code Integrity Checker unit.
+///
+/// The hash unit is the enum-dispatch [`HashAlgo`]: `hash_step` runs
+/// once per fetched instruction, so the checker avoids a virtual call
+/// there. User-supplied [`crate::hash::BlockHasher`] implementations
+/// plug in at the [`cimon_microop::MicroEnv`] level instead.
 pub struct Cic {
     config: CicConfig,
-    hasher: Box<dyn BlockHasher>,
+    hasher: HashAlgo,
     iht: Iht,
     stats: CicStats,
 }
@@ -97,7 +102,7 @@ impl Cic {
     pub fn new(config: CicConfig) -> Cic {
         Cic {
             config,
-            hasher: hasher_for(config.hash_algo, config.hash_seed),
+            hasher: HashAlgo::new(config.hash_algo, config.hash_seed),
             iht: Iht::new(config.iht_entries),
             stats: CicStats::default(),
         }
@@ -129,7 +134,7 @@ impl Cic {
     /// The reset-state digest (what `RHASH` holds after reset) — zero for
     /// plain XOR, the seed-derived value for seeded algorithms.
     pub fn hash_reset_value(&self) -> u32 {
-        let mut probe = hasher_for(self.config.hash_algo, self.config.hash_seed);
+        let mut probe = HashAlgo::new(self.config.hash_algo, self.config.hash_seed);
         probe.reset();
         probe.digest()
     }

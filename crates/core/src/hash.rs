@@ -31,28 +31,107 @@ pub trait BlockHasher {
     fn kind(&self) -> HashAlgoKind;
 }
 
-/// Instantiate the hash unit for an algorithm.
+/// Instantiate the hash unit for an algorithm as a trait object.
 ///
 /// `seed` is used only by [`HashAlgoKind::SeededXor`] (the paper's
 /// "process-dependent random value"); other algorithms ignore it.
+///
+/// The checker's per-fetch hot path uses the enum-dispatch [`HashAlgo`]
+/// instead; this boxed form remains for call sites that mix built-in
+/// units with user-supplied [`BlockHasher`] implementations.
 pub fn hasher_for(kind: HashAlgoKind, seed: u32) -> Box<dyn BlockHasher> {
-    match kind {
-        HashAlgoKind::Xor => Box::new(XorHasher::new()),
-        HashAlgoKind::SeededXor => Box::new(SeededXorHasher::new(seed)),
-        HashAlgoKind::Fletcher32 => Box::new(Fletcher32Hasher::new()),
-        HashAlgoKind::Crc32 => Box::new(Crc32Hasher::new()),
-        HashAlgoKind::Sha1 => Box::new(Sha1Hasher::new()),
-    }
+    Box::new(HashAlgo::new(kind, seed))
 }
 
 /// Hash a complete word sequence in one call (used by the static hash
 /// generator and tests).
 pub fn hash_words(kind: HashAlgoKind, seed: u32, words: impl IntoIterator<Item = u32>) -> u32 {
-    let mut h = hasher_for(kind, seed);
+    let mut h = HashAlgo::new(kind, seed);
     for w in words {
         h.update(w);
     }
     h.digest()
+}
+
+/// The five built-in hash units behind enum dispatch.
+///
+/// `HASHFU.ope` runs once per fetched instruction — the single hottest
+/// monitor operation in the simulator — so the checker dispatches on
+/// this enum rather than through a `Box<dyn BlockHasher>` virtual call.
+/// The [`BlockHasher`] trait remains the extension point for
+/// user-supplied units (`HashAlgo` implements it too, so the two forms
+/// compose).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HashAlgo {
+    /// The paper's XOR checksum.
+    Xor(XorHasher),
+    /// Seeded, rotating XOR (Section 6.3 hardening).
+    SeededXor(SeededXorHasher),
+    /// Fletcher-32 running checksum.
+    Fletcher32(Fletcher32Hasher),
+    /// Bit-serial CRC-32.
+    Crc32(Crc32Hasher),
+    /// Truncated SHA-1 (detection-strength bound).
+    Sha1(Sha1Hasher),
+}
+
+impl HashAlgo {
+    /// Instantiate the unit for an algorithm. `seed` is used only by
+    /// [`HashAlgoKind::SeededXor`].
+    pub fn new(kind: HashAlgoKind, seed: u32) -> HashAlgo {
+        match kind {
+            HashAlgoKind::Xor => HashAlgo::Xor(XorHasher::new()),
+            HashAlgoKind::SeededXor => HashAlgo::SeededXor(SeededXorHasher::new(seed)),
+            HashAlgoKind::Fletcher32 => HashAlgo::Fletcher32(Fletcher32Hasher::new()),
+            HashAlgoKind::Crc32 => HashAlgo::Crc32(Crc32Hasher::new()),
+            HashAlgoKind::Sha1 => HashAlgo::Sha1(Sha1Hasher::new()),
+        }
+    }
+}
+
+impl BlockHasher for HashAlgo {
+    #[inline]
+    fn reset(&mut self) {
+        match self {
+            HashAlgo::Xor(h) => h.reset(),
+            HashAlgo::SeededXor(h) => h.reset(),
+            HashAlgo::Fletcher32(h) => h.reset(),
+            HashAlgo::Crc32(h) => h.reset(),
+            HashAlgo::Sha1(h) => h.reset(),
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, word: u32) {
+        match self {
+            HashAlgo::Xor(h) => h.update(word),
+            HashAlgo::SeededXor(h) => h.update(word),
+            HashAlgo::Fletcher32(h) => h.update(word),
+            HashAlgo::Crc32(h) => h.update(word),
+            HashAlgo::Sha1(h) => h.update(word),
+        }
+    }
+
+    #[inline]
+    fn digest(&self) -> u32 {
+        match self {
+            HashAlgo::Xor(h) => h.digest(),
+            HashAlgo::SeededXor(h) => h.digest(),
+            HashAlgo::Fletcher32(h) => h.digest(),
+            HashAlgo::Crc32(h) => h.digest(),
+            HashAlgo::Sha1(h) => h.digest(),
+        }
+    }
+
+    fn kind(&self) -> HashAlgoKind {
+        match self {
+            HashAlgo::Xor(h) => h.kind(),
+            HashAlgo::SeededXor(h) => h.kind(),
+            HashAlgo::Fletcher32(h) => h.kind(),
+            HashAlgo::Crc32(h) => h.kind(),
+            HashAlgo::Sha1(h) => h.kind(),
+        }
+    }
 }
 
 /// The paper's XOR checksum: `RHASH ^= word`.
@@ -446,6 +525,31 @@ mod tests {
             b.update(1);
             b.update(2);
             assert_eq!(a.digest(), b.digest(), "{kind} digest perturbs state");
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_units() {
+        // The devirtualised unit must be bit-identical to the trait
+        // objects it replaced on the hot path.
+        for kind in HashAlgoKind::ALL {
+            let mut e = HashAlgo::new(kind, 0x5eed);
+            let mut b: Box<dyn BlockHasher> = match kind {
+                HashAlgoKind::Xor => Box::new(XorHasher::new()),
+                HashAlgoKind::SeededXor => Box::new(SeededXorHasher::new(0x5eed)),
+                HashAlgoKind::Fletcher32 => Box::new(Fletcher32Hasher::new()),
+                HashAlgoKind::Crc32 => Box::new(Crc32Hasher::new()),
+                HashAlgoKind::Sha1 => Box::new(Sha1Hasher::new()),
+            };
+            assert_eq!(e.kind(), kind);
+            for w in V4 {
+                e.update(w);
+                b.update(w);
+                assert_eq!(e.digest(), b.digest(), "{kind}");
+            }
+            e.reset();
+            b.reset();
+            assert_eq!(e.digest(), b.digest(), "{kind} reset");
         }
     }
 

@@ -37,7 +37,7 @@ pub mod iht;
 
 pub use block::{BlockKey, BlockRecord};
 pub use checker::{Cic, CicConfig, CicStats};
-pub use hash::{hasher_for, BlockHasher};
+pub use hash::{hasher_for, BlockHasher, HashAlgo};
 pub use iht::{Iht, LookupOutcome};
 
 pub use cimon_microop::HashAlgoKind;

@@ -360,6 +360,66 @@ impl JType {
     }
 }
 
+/// The register operands an instruction reads, stored inline.
+///
+/// An instruction reads at most two general-purpose registers, so the
+/// set fits in three bytes. The per-cycle loop consults it every
+/// instruction; the heap-allocating [`Instr::sources`] exists only for
+/// callers that want a `Vec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sources {
+    regs: [Reg; 2],
+    len: u8,
+}
+
+impl Sources {
+    /// The empty set.
+    pub const EMPTY: Sources = Sources {
+        regs: [Reg::ZERO, Reg::ZERO],
+        len: 0,
+    };
+
+    #[inline]
+    fn push(&mut self, r: Reg) {
+        if !r.is_zero() {
+            self.regs[self.len as usize] = r;
+            self.len += 1;
+        }
+    }
+
+    /// The sources as a slice, in field order, `$zero` filtered out.
+    #[inline]
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Number of (non-`$zero`) sources.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the instruction reads no registers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for Sources {
+    fn default() -> Self {
+        Sources::EMPTY
+    }
+}
+
+impl std::ops::Deref for Sources {
+    type Target = [Reg];
+
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
 /// A decoded instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Instr {
@@ -472,8 +532,17 @@ impl Instr {
     }
 
     /// The registers read by this instruction, in field order.
+    ///
+    /// Allocates; the per-cycle loop uses the inline
+    /// [`source_set`](Instr::source_set) instead.
     pub fn sources(&self) -> Vec<Reg> {
-        let mut v = Vec::with_capacity(2);
+        self.source_set().as_slice().to_vec()
+    }
+
+    /// The registers read by this instruction as an inline,
+    /// allocation-free [`Sources`] set (field order, `$zero` filtered).
+    pub fn source_set(&self) -> Sources {
+        let mut v = Sources::EMPTY;
         match self {
             Instr::R(r) => match r.funct {
                 Funct::Sll | Funct::Srl | Funct::Sra => v.push(r.rt),
@@ -503,7 +572,6 @@ impl Instr {
             },
             Instr::J(_) => {}
         }
-        v.retain(|r| !r.is_zero());
         v
     }
 

@@ -38,7 +38,7 @@ pub mod semantics;
 pub mod syscall;
 
 pub use decode::DecodeError;
-pub use instr::{Funct, IOpcode, IType, Instr, InstrClass, JOpcode, JType, RType};
+pub use instr::{Funct, IOpcode, IType, Instr, InstrClass, JOpcode, JType, RType, Sources};
 pub use reg::{ParseRegError, Reg};
 pub use syscall::Syscall;
 

@@ -81,9 +81,11 @@ impl ProgramImage {
         mem.write_bytes(self.data.base, &self.data.bytes);
     }
 
-    /// Build a fresh memory holding this image.
+    /// Build a fresh memory holding this image. The text segment is
+    /// placed in the memory's dense region, so instruction fetches (and
+    /// tampering writes aimed at code) take the contiguous fast path.
     pub fn to_memory(&self) -> Memory {
-        let mut mem = Memory::new();
+        let mut mem = Memory::with_dense_region(self.text.base, self.text.bytes.len());
         self.load_into(&mut mem);
         mem
     }

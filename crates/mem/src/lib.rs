@@ -87,6 +87,7 @@ impl FetchBus {
     /// # Errors
     ///
     /// Propagates [`MemError`] from the underlying memory read.
+    #[inline]
     pub fn fetch(&mut self, mem: &Memory, addr: u32) -> Result<u32, MemError> {
         let word = mem.read_u32(word_align(addr))?;
         self.fetches += 1;

@@ -1,15 +1,55 @@
 //! Sparse byte-addressable memory.
 //!
-//! Backed by 4 KiB pages allocated on demand, so a 4 GiB address space
-//! costs only what is touched. All multi-byte accesses are little-endian
-//! and must be naturally aligned, mirroring the alignment faults a real
-//! bus would raise.
+//! Two-tier storage tuned for the simulator's fetch-dominated access
+//! pattern:
+//!
+//! * an optional **dense region** — one contiguous buffer serving the
+//!   program's text segment with a single bounds check per access (the
+//!   instruction-fetch fast path);
+//! * **4 KiB pages** allocated on demand for everything else (data,
+//!   stack), held in a hash map keyed by page number with a one-multiply
+//!   hasher, so a 4 GiB address space costs only what is touched and an
+//!   aligned access costs exactly one probe.
+//!
+//! All multi-byte accesses are little-endian and must be naturally
+//! aligned, mirroring the alignment faults a real bus would raise.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Bytes per page.
 pub const PAGE_SIZE: u32 = 4096;
+
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+
+/// One-multiply hasher for page numbers. Page indices are small dense
+/// integers; Fibonacci hashing spreads them across the table without
+/// SipHash's per-lookup cost on the load/store path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type PageMap = HashMap<u32, Page, BuildHasherDefault<PageHasher>>;
 
 /// Error raised by memory accesses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -47,14 +87,24 @@ impl std::error::Error for MemError {}
 /// ```
 #[derive(Clone, Default)]
 pub struct Memory {
-    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Base address of the dense region (word-aligned).
+    dense_base: u32,
+    /// Contiguous backing for `[dense_base, dense_base + dense.len())`.
+    /// Empty when no dense region was reserved.
+    dense: Vec<u8>,
+    pages: PageMap,
 }
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Memory")
+            .field("dense_base", &format_args!("{:#010x}", self.dense_base))
+            .field("dense_bytes", &self.dense.len())
             .field("resident_pages", &self.pages.len())
-            .field("resident_bytes", &(self.pages.len() * PAGE_SIZE as usize))
+            .field(
+                "resident_bytes",
+                &(self.dense.len() + self.pages.len() * PAGE_SIZE as usize),
+            )
             .finish()
     }
 }
@@ -65,17 +115,70 @@ impl Memory {
         Memory::default()
     }
 
-    /// Number of resident (touched) pages.
+    /// An empty memory with a zero-filled dense region reserved at
+    /// `[base, base + len)`. Accesses inside the region hit a contiguous
+    /// buffer directly — program loaders reserve the text segment here
+    /// so instruction fetches skip the page table entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned or the region would wrap
+    /// past the top of the address space.
+    pub fn with_dense_region(base: u32, len: usize) -> Memory {
+        assert!(base % 4 == 0, "dense region base must be word-aligned");
+        // Round up to a word multiple so no aligned access can straddle
+        // the region's end (it would otherwise split across tiers).
+        let len = len.next_multiple_of(4);
+        assert!(
+            (base as u64) + (len as u64) <= u32::MAX as u64 + 1,
+            "dense region wraps the address space"
+        );
+        Memory {
+            dense_base: base,
+            dense: vec![0; len],
+            pages: PageMap::default(),
+        }
+    }
+
+    /// Number of resident (touched) sparse pages. The dense region is
+    /// always resident and is not counted here.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
 
+    /// The dense region as `(base, bytes)`, when one was reserved.
+    pub fn dense_region(&self) -> Option<(u32, &[u8])> {
+        if self.dense.is_empty() {
+            None
+        } else {
+            Some((self.dense_base, &self.dense))
+        }
+    }
+
+    /// Offset of `addr` into the dense region, if it falls inside.
+    #[inline]
+    fn dense_off(&self, addr: u32) -> Option<usize> {
+        let off = addr.wrapping_sub(self.dense_base) as usize;
+        (off < self.dense.len()).then_some(off)
+    }
+
+    #[inline]
     fn page_of(addr: u32) -> u32 {
         addr / PAGE_SIZE
     }
 
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(Self::page_of(addr))
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
     /// Read one byte. Never fails; untouched memory is zero.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
+        if let Some(off) = self.dense_off(addr) {
+            return self.dense[off];
+        }
         match self.pages.get(&Self::page_of(addr)) {
             Some(page) => page[(addr % PAGE_SIZE) as usize],
             None => 0,
@@ -83,12 +186,13 @@ impl Memory {
     }
 
     /// Write one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(Self::page_of(addr))
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        page[(addr % PAGE_SIZE) as usize] = value;
+        if let Some(off) = self.dense_off(addr) {
+            self.dense[off] = value;
+            return;
+        }
+        self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = value;
     }
 
     /// Read a little-endian halfword.
@@ -96,14 +200,24 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Misaligned`] if `addr` is not 2-byte aligned.
+    #[inline]
     pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
         if addr % 2 != 0 {
             return Err(MemError::Misaligned { addr, required: 2 });
         }
-        Ok(u16::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr.wrapping_add(1)),
-        ]))
+        if let Some(off) = self.dense_off(addr) {
+            if off + 2 <= self.dense.len() {
+                return Ok(u16::from_le_bytes([self.dense[off], self.dense[off + 1]]));
+            }
+        }
+        // Aligned halfwords never straddle a page: one probe.
+        Ok(match self.pages.get(&Self::page_of(addr)) {
+            Some(page) => {
+                let i = (addr % PAGE_SIZE) as usize;
+                u16::from_le_bytes([page[i], page[i + 1]])
+            }
+            None => 0,
+        })
     }
 
     /// Write a little-endian halfword.
@@ -111,13 +225,21 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Misaligned`] if `addr` is not 2-byte aligned.
+    #[inline]
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
         if addr % 2 != 0 {
             return Err(MemError::Misaligned { addr, required: 2 });
         }
         let b = value.to_le_bytes();
-        self.write_u8(addr, b[0]);
-        self.write_u8(addr.wrapping_add(1), b[1]);
+        if let Some(off) = self.dense_off(addr) {
+            if off + 2 <= self.dense.len() {
+                self.dense[off..off + 2].copy_from_slice(&b);
+                return Ok(());
+            }
+        }
+        let page = self.page_mut(addr);
+        let i = (addr % PAGE_SIZE) as usize;
+        page[i..i + 2].copy_from_slice(&b);
         Ok(())
     }
 
@@ -126,16 +248,25 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Misaligned`] if `addr` is not 4-byte aligned.
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
         if addr % 4 != 0 {
             return Err(MemError::Misaligned { addr, required: 4 });
         }
-        Ok(u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr.wrapping_add(1)),
-            self.read_u8(addr.wrapping_add(2)),
-            self.read_u8(addr.wrapping_add(3)),
-        ]))
+        if let Some(off) = self.dense_off(addr) {
+            // One range check for all four bytes: the fetch fast path.
+            if let Some(b) = self.dense.get(off..off + 4) {
+                return Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")));
+            }
+        }
+        // Aligned words never straddle a page: one probe.
+        Ok(match self.pages.get(&Self::page_of(addr)) {
+            Some(page) => {
+                let i = (addr % PAGE_SIZE) as usize;
+                u32::from_le_bytes([page[i], page[i + 1], page[i + 2], page[i + 3]])
+            }
+            None => 0,
+        })
     }
 
     /// Write a little-endian word.
@@ -143,13 +274,21 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Misaligned`] if `addr` is not 4-byte aligned.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         if addr % 4 != 0 {
             return Err(MemError::Misaligned { addr, required: 4 });
         }
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let b = value.to_le_bytes();
+        if let Some(off) = self.dense_off(addr) {
+            if off + 4 <= self.dense.len() {
+                self.dense[off..off + 4].copy_from_slice(&b);
+                return Ok(());
+            }
         }
+        let page = self.page_mut(addr);
+        let i = (addr % PAGE_SIZE) as usize;
+        page[i..i + 4].copy_from_slice(&b);
         Ok(())
     }
 
@@ -160,11 +299,19 @@ impl Memory {
         }
     }
 
+    /// Fill `out` with the bytes starting at `base` — the
+    /// allocation-free form of [`read_bytes`](Memory::read_bytes).
+    pub fn read_into(&self, base: u32, out: &mut [u8]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_u8(base.wrapping_add(i as u32));
+        }
+    }
+
     /// Read `len` bytes starting at `base`.
     pub fn read_bytes(&self, base: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(base.wrapping_add(i as u32)))
-            .collect()
+        let mut out = vec![0u8; len];
+        self.read_into(base, &mut out);
+        out
     }
 
     /// Flip a single bit: `addr` selects the byte, `bit` (0..8) the bit
@@ -253,6 +400,9 @@ mod tests {
         let data: Vec<u8> = (0..=255).collect();
         m.write_bytes(0x8000, &data);
         assert_eq!(m.read_bytes(0x8000, 256), data);
+        let mut buf = [0u8; 16];
+        m.read_into(0x8010, &mut buf);
+        assert_eq!(&buf, &data[0x10..0x20]);
     }
 
     #[test]
@@ -278,5 +428,46 @@ mod tests {
         m.write_u8(0, 1);
         m.write_u8(0xffff_f000, 1);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn dense_region_serves_all_widths() {
+        let mut m = Memory::with_dense_region(0x0040_0000, 64);
+        assert_eq!(m.dense_region().unwrap().0, 0x0040_0000);
+        assert_eq!(m.read_u32(0x0040_0000).unwrap(), 0);
+        m.write_u32(0x0040_0004, 0xdead_beef).unwrap();
+        m.write_u16(0x0040_0008, 0x1234).unwrap();
+        m.write_u8(0x0040_000b, 0x56);
+        assert_eq!(m.read_u32(0x0040_0004).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_u16(0x0040_0008).unwrap(), 0x1234);
+        assert_eq!(m.read_u8(0x0040_000b), 0x56);
+        // No sparse page was touched for in-region traffic.
+        assert_eq!(m.resident_pages(), 0);
+        // Out-of-region traffic still works and is page-backed.
+        m.write_u32(0x1000_0000, 7).unwrap();
+        assert_eq!(m.read_u32(0x1000_0000).unwrap(), 7);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn dense_region_edges_fall_back_to_pages() {
+        let mut m = Memory::with_dense_region(0x1000, 8);
+        // Just below and just past the region.
+        m.write_u32(0x0ffc, 0x1111_1111).unwrap();
+        m.write_u32(0x1008, 0x2222_2222).unwrap();
+        assert_eq!(m.read_u32(0x0ffc).unwrap(), 0x1111_1111);
+        assert_eq!(m.read_u32(0x1008).unwrap(), 0x2222_2222);
+        // Inside stays dense and independent.
+        m.write_u32(0x1000, 0x3333_3333).unwrap();
+        assert_eq!(m.read_u32(0x1000).unwrap(), 0x3333_3333);
+        assert_eq!(m.read_u32(0x1004).unwrap(), 0);
+    }
+
+    #[test]
+    fn dense_tampering_is_visible_to_byte_reads() {
+        let mut m = Memory::with_dense_region(0x2000, 16);
+        m.write_u32(0x2004, 0x0109_5020).unwrap();
+        m.flip_bit(0x2006, 3);
+        assert_eq!(m.read_u32(0x2004).unwrap(), 0x0109_5020 ^ (1 << (3 + 16)));
     }
 }

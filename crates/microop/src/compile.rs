@@ -1,0 +1,427 @@
+//! Micro-program compilation: name-keyed wires lowered to slot indices.
+//!
+//! The interpreter in [`crate::exec`] resolves every wire through a
+//! linear scan of a [`WireEnv`](crate::exec::WireEnv) — fine for tests
+//! and printing, but it costs a `&'static str` comparison per operand
+//! per cycle on the simulator's hot path, plus a fresh `Vec` per
+//! executed program. [`CompiledProgram`] performs that resolution once,
+//! at processor construction: each wire becomes an index into a flat
+//! `u32` slot array the caller provides (and reuses across cycles), so
+//! the per-cycle executor does nothing but indexed loads and stores.
+//!
+//! Compilation is semantics-preserving by construction — each op maps
+//! 1:1 — and `cimon-pipeline`'s `interp-check` feature cross-executes
+//! both forms every cycle to prove it. One deliberate difference: the
+//! interpreter panics at run time when a program reads a floating wire,
+//! while the compiled form relies on
+//! [`ProcessorSpec::validate`](crate::spec::ProcessorSpec::validate)
+//! having rejected such programs statically (a floating read would
+//! otherwise observe a stale or zero slot).
+
+use crate::datapath::{DReg, Datapath};
+use crate::exec::{ExceptionKind, MicroEnv};
+use crate::ops::{Cond, Guard, MicroOp, MicroProgram, Wire};
+
+/// A guard with its wire resolved to a slot index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledGuard {
+    slot: u16,
+    cond: Cond,
+}
+
+impl CompiledGuard {
+    #[inline]
+    fn fire(&self, slots: &[u32]) -> bool {
+        let v = slots[self.slot as usize];
+        match self.cond {
+            Cond::EqZero => v == 0,
+            Cond::NeZero => v != 0,
+        }
+    }
+}
+
+/// One [`MicroOp`] with every wire resolved to a slot index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CompiledOp {
+    Read {
+        reg: DReg,
+        out: u16,
+    },
+    Write {
+        reg: DReg,
+        input: u16,
+    },
+    WriteGuarded {
+        reg: DReg,
+        input: u16,
+        guard: CompiledGuard,
+    },
+    Reset {
+        reg: DReg,
+    },
+    IncPc,
+    FetchIMem {
+        addr: u16,
+        out: u16,
+    },
+    HashOp {
+        old: u16,
+        instr: u16,
+        out: u16,
+    },
+    IhtLookup {
+        start: u16,
+        end: u16,
+        hash: u16,
+        found: u16,
+        matched: u16,
+    },
+    AndNot {
+        a: u16,
+        b: u16,
+        out: u16,
+    },
+    RaiseException {
+        kind: ExceptionKind,
+        guard: CompiledGuard,
+    },
+}
+
+/// A [`MicroProgram`] lowered for indexed execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledProgram {
+    name: String,
+    ops: Vec<CompiledOp>,
+    /// Slot index → the wire it carries (compile-order of first use).
+    wires: Vec<Wire>,
+}
+
+impl CompiledProgram {
+    /// Lower a micro-program: assign every distinct wire a slot and
+    /// rewrite each op over slot indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program uses more than `u16::MAX` distinct wires —
+    /// stage programs have around a dozen.
+    pub fn compile(program: &MicroProgram) -> CompiledProgram {
+        let mut wires: Vec<Wire> = Vec::new();
+        let slot = |w: Wire, wires: &mut Vec<Wire>| -> u16 {
+            let i = match wires.iter().position(|x| *x == w) {
+                Some(i) => i,
+                None => {
+                    wires.push(w);
+                    wires.len() - 1
+                }
+            };
+            u16::try_from(i).expect("micro-program wire count fits in u16")
+        };
+        let guard = |g: &Guard, wires: &mut Vec<Wire>| CompiledGuard {
+            slot: slot(g.wire, wires),
+            cond: g.cond,
+        };
+        let ops = program
+            .ops
+            .iter()
+            .map(|op| match op {
+                MicroOp::Read { reg, out } => CompiledOp::Read {
+                    reg: *reg,
+                    out: slot(*out, &mut wires),
+                },
+                MicroOp::Write {
+                    reg,
+                    input,
+                    guard: None,
+                } => CompiledOp::Write {
+                    reg: *reg,
+                    input: slot(*input, &mut wires),
+                },
+                MicroOp::Write {
+                    reg,
+                    input,
+                    guard: Some(g),
+                } => CompiledOp::WriteGuarded {
+                    reg: *reg,
+                    input: slot(*input, &mut wires),
+                    guard: guard(g, &mut wires),
+                },
+                MicroOp::Reset { reg } => CompiledOp::Reset { reg: *reg },
+                MicroOp::IncPc => CompiledOp::IncPc,
+                MicroOp::FetchIMem { addr, out } => CompiledOp::FetchIMem {
+                    addr: slot(*addr, &mut wires),
+                    out: slot(*out, &mut wires),
+                },
+                MicroOp::HashOp { old, instr, out } => CompiledOp::HashOp {
+                    old: slot(*old, &mut wires),
+                    instr: slot(*instr, &mut wires),
+                    out: slot(*out, &mut wires),
+                },
+                MicroOp::IhtLookup {
+                    start,
+                    end,
+                    hash,
+                    found,
+                    matched,
+                } => CompiledOp::IhtLookup {
+                    start: slot(*start, &mut wires),
+                    end: slot(*end, &mut wires),
+                    hash: slot(*hash, &mut wires),
+                    found: slot(*found, &mut wires),
+                    matched: slot(*matched, &mut wires),
+                },
+                MicroOp::AndNot { a, b, out } => CompiledOp::AndNot {
+                    a: slot(*a, &mut wires),
+                    b: slot(*b, &mut wires),
+                    out: slot(*out, &mut wires),
+                },
+                MicroOp::RaiseException { kind, guard: g } => CompiledOp::RaiseException {
+                    kind: *kind,
+                    guard: guard(g, &mut wires),
+                },
+            })
+            .collect();
+        CompiledProgram {
+            name: program.name.clone(),
+            ops,
+            wires,
+        }
+    }
+
+    /// The source program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of wire slots the executor's scratch array must provide.
+    pub fn slot_count(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// The slot a wire was assigned, if the program mentions it. Used
+    /// to pre-seed input wires and to read outputs after execution.
+    pub fn slot_of(&self, wire: Wire) -> Option<usize> {
+        self.wires.iter().position(|w| *w == wire)
+    }
+}
+
+/// Execute a compiled program over `dp`, with functional units supplied
+/// by `env` and wire storage in `slots` (callers keep one scratch array
+/// alive across cycles — nothing here allocates).
+///
+/// Input wires must be pre-seeded into their [`CompiledProgram::slot_of`]
+/// positions; all other slots are written before being read by any
+/// program that passes [`ProcessorSpec::validate`].
+///
+/// [`ProcessorSpec::validate`]: crate::spec::ProcessorSpec::validate
+///
+/// # Panics
+///
+/// Panics if `slots` is shorter than [`CompiledProgram::slot_count`].
+///
+/// Generic over the environment (rather than `&mut dyn MicroEnv`) so
+/// the pipeline's concrete environment — and with it the memory fast
+/// path behind `fetch` — inlines into the dispatch loop; trait objects
+/// still work through the `?Sized` bound.
+pub fn execute_compiled<E: MicroEnv + ?Sized>(
+    program: &CompiledProgram,
+    dp: &mut Datapath,
+    env: &mut E,
+    slots: &mut [u32],
+) {
+    assert!(
+        slots.len() >= program.wires.len(),
+        "slot scratch too small for `{}`: {} < {}",
+        program.name,
+        slots.len(),
+        program.wires.len(),
+    );
+    for op in &program.ops {
+        match *op {
+            CompiledOp::Read { reg, out } => slots[out as usize] = dp.read(reg),
+            CompiledOp::Write { reg, input } => dp.write(reg, slots[input as usize]),
+            CompiledOp::WriteGuarded { reg, input, guard } => {
+                if guard.fire(slots) {
+                    dp.write(reg, slots[input as usize]);
+                }
+            }
+            CompiledOp::Reset { reg } => {
+                dp.reset(reg);
+                if reg == DReg::Rhash {
+                    env.hash_reset();
+                }
+            }
+            CompiledOp::IncPc => {
+                let pc = dp.read(DReg::Cpc);
+                dp.write(DReg::Cpc, pc.wrapping_add(cimon_isa::INSTR_BYTES));
+            }
+            CompiledOp::FetchIMem { addr, out } => {
+                slots[out as usize] = env.fetch(slots[addr as usize]);
+            }
+            CompiledOp::HashOp { old, instr, out } => {
+                slots[out as usize] = env.hash_step(slots[old as usize], slots[instr as usize]);
+            }
+            CompiledOp::IhtLookup {
+                start,
+                end,
+                hash,
+                found,
+                matched,
+            } => {
+                let (f, m) = env.iht_lookup(
+                    slots[start as usize],
+                    slots[end as usize],
+                    slots[hash as usize],
+                );
+                slots[found as usize] = f as u32;
+                slots[matched as usize] = m as u32;
+            }
+            CompiledOp::AndNot { a, b, out } => {
+                slots[out as usize] = ((slots[a as usize] != 0) && (slots[b as usize] == 0)) as u32;
+            }
+            CompiledOp::RaiseException { kind, guard } => {
+                if guard.fire(slots) {
+                    env.raise(kind);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, WireEnv};
+    use crate::spec::{baseline_spec, embed_monitor, MonitorParams};
+
+    /// Scripted environment whose answers depend only on call order, so
+    /// the interpreted and compiled executions see identical units.
+    struct Script {
+        words: Vec<u32>,
+        fetches: usize,
+        iht: (bool, bool),
+        raised: Vec<ExceptionKind>,
+    }
+
+    impl Script {
+        fn new(words: Vec<u32>, iht: (bool, bool)) -> Script {
+            Script {
+                words,
+                fetches: 0,
+                iht,
+                raised: Vec::new(),
+            }
+        }
+    }
+
+    impl MicroEnv for Script {
+        fn fetch(&mut self, _addr: u32) -> u32 {
+            let w = self.words[self.fetches % self.words.len()];
+            self.fetches += 1;
+            w
+        }
+        fn hash_step(&mut self, old: u32, instr: u32) -> u32 {
+            old.rotate_left(1) ^ instr
+        }
+        fn iht_lookup(&mut self, _s: u32, _e: u32, _h: u32) -> (bool, bool) {
+            self.iht
+        }
+        fn raise(&mut self, kind: ExceptionKind) {
+            self.raised.push(kind);
+        }
+    }
+
+    /// Run `program` both interpreted and compiled from the same start
+    /// state and assert identical datapaths and raised exceptions.
+    fn differential(program: &MicroProgram, iht: (bool, bool)) {
+        let words = vec![0x0109_5020, 0xdead_beef, 0x2508_0001];
+        let mut dp_i = Datapath::with_seed(0x5eed);
+        dp_i.write(DReg::Cpc, 0x40_0000);
+        let mut dp_c = dp_i.clone();
+
+        let mut env_i = Script::new(words.clone(), iht);
+        let mut env_c = Script::new(words, iht);
+
+        execute(program, &mut dp_i, &mut env_i, WireEnv::new());
+
+        let compiled = CompiledProgram::compile(program);
+        let mut slots = vec![0u32; compiled.slot_count()];
+        execute_compiled(&compiled, &mut dp_c, &mut env_c, &mut slots);
+
+        assert_eq!(dp_i, dp_c, "datapath diverged on `{}`", program.name);
+        assert_eq!(env_i.raised, env_c.raised, "raises diverged");
+        assert_eq!(env_i.fetches, env_c.fetches, "fetch counts diverged");
+    }
+
+    #[test]
+    fn baseline_if_program_compiles_identically() {
+        differential(&baseline_spec().if_program, (true, true));
+    }
+
+    #[test]
+    fn monitored_programs_compile_identically() {
+        let spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
+        differential(&spec.if_program, (true, true));
+        let check = spec.id_check_program.as_ref().unwrap();
+        for iht in [(true, true), (false, false), (true, false)] {
+            differential(check, iht);
+        }
+    }
+
+    #[test]
+    fn compiled_ops_repeat_without_allocation_or_staleness() {
+        // Re-running with the same scratch must behave like fresh runs:
+        // every slot is written before read on validated programs.
+        let spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
+        let compiled = CompiledProgram::compile(&spec.if_program);
+        let mut slots = vec![0u32; compiled.slot_count()];
+        let mut dp = Datapath::new();
+        dp.write(DReg::Cpc, 0x1000);
+        let mut env = Script::new(vec![0x42], (true, true));
+        execute_compiled(&compiled, &mut dp, &mut env, &mut slots);
+        let first = dp.clone();
+        dp.write(DReg::Cpc, 0x1000);
+        dp.write(DReg::Sta, 0);
+        dp.write(DReg::Rhash, 0);
+        execute_compiled(&compiled, &mut dp, &mut env, &mut slots);
+        assert_eq!(dp.read(DReg::IReg), first.read(DReg::IReg));
+        assert_eq!(dp.read(DReg::Cpc), first.read(DReg::Cpc));
+    }
+
+    #[test]
+    fn slot_of_exposes_inputs_and_outputs() {
+        let mut p = MicroProgram::new("io");
+        p.push(MicroOp::HashOp {
+            old: Wire("a"),
+            instr: Wire("b"),
+            out: Wire("c"),
+        });
+        let c = CompiledProgram::compile(&p);
+        assert_eq!(c.slot_count(), 3);
+        let mut slots = vec![0u32; 3];
+        slots[c.slot_of(Wire("a")).unwrap()] = 0x0f0f_0f0f;
+        slots[c.slot_of(Wire("b")).unwrap()] = 0x1111_1111;
+        let mut dp = Datapath::new();
+        let mut env = Script::new(vec![0], (true, true));
+        execute_compiled(&c, &mut dp, &mut env, &mut slots);
+        assert_eq!(
+            slots[c.slot_of(Wire("c")).unwrap()],
+            0x0f0f_0f0f_u32.rotate_left(1) ^ 0x1111_1111
+        );
+        assert_eq!(c.slot_of(Wire("ghost")), None);
+        assert_eq!(c.name(), "io");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot scratch too small")]
+    fn short_scratch_panics() {
+        let mut p = MicroProgram::new("t");
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("pc"),
+        });
+        let c = CompiledProgram::compile(&p);
+        let mut dp = Datapath::new();
+        let mut env = Script::new(vec![0], (true, true));
+        execute_compiled(&c, &mut dp, &mut env, &mut []);
+    }
+}

@@ -35,11 +35,13 @@
 //! monitored.validate().expect("well-formed spec");
 //! ```
 
+pub mod compile;
 pub mod datapath;
 pub mod exec;
 pub mod ops;
 pub mod spec;
 
+pub use compile::{execute_compiled, CompiledProgram};
 pub use datapath::{DReg, Datapath};
 pub use exec::{execute, ExceptionKind, MicroEnv, WireEnv};
 pub use ops::{Cond, Guard, MicroOp, MicroProgram, Wire};

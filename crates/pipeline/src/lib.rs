@@ -45,14 +45,16 @@
 //! ```
 
 pub mod monitor;
+pub mod predecode;
 pub mod processor;
 pub mod regfile;
 pub mod timing;
 
 pub use monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
+pub use predecode::{PredecodedEntry, PredecodedImage};
 pub use processor::{
-    BlockEvent, ConsoleEvent, FaultKind, MonitorConfig, Processor, ProcessorConfig, RunOutcome,
-    RunStats,
+    BlockEvent, ConsoleEvent, FaultKind, MonitorConfig, Predecode, Processor, ProcessorConfig,
+    RunOutcome, RunStats,
 };
 pub use regfile::RegFile;
 pub use timing::{Timing, TimingConfig};

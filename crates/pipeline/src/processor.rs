@@ -4,19 +4,37 @@
 use std::sync::Arc;
 
 use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
-use cimon_isa::{semantics, Funct, IOpcode, Instr, InstrClass, Reg, Syscall, INSTR_BYTES};
+use cimon_isa::{semantics, Funct, IOpcode, Instr, Reg, Syscall, INSTR_BYTES};
 use cimon_mem::{FetchBus, Memory, ProgramImage};
 use cimon_microop::{
-    baseline_spec, embed_monitor, execute, DReg, Datapath, ExceptionKind, MicroEnv, ProcessorSpec,
-    WireEnv,
+    baseline_spec, embed_monitor, execute_compiled, CompiledProgram, DReg, Datapath, ExceptionKind,
+    MicroEnv, ProcessorSpec,
 };
+#[cfg(feature = "interp-check")]
+use cimon_microop::{execute, MicroProgram, WireEnv};
 use cimon_os::{
     ExceptionCost, FullHashTable, OsKernel, OsStats, RefillPolicyKind, TerminationCause,
 };
 
 use crate::monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
+use crate::predecode::{PredecodedEntry, PredecodedImage};
 use crate::regfile::RegFile;
-use crate::timing::{IssueClass, Timing, TimingConfig};
+use crate::timing::{Timing, TimingConfig};
+
+/// How the processor obtains its predecoded view of the program image.
+#[derive(Clone, Debug, Default)]
+pub enum Predecode {
+    /// Decode the image once at processor construction (the default).
+    #[default]
+    Auto,
+    /// Reuse a shared [`PredecodedImage`] — sweeps cache one per
+    /// workload on the `cimon_sim::Artifact` so grid points skip even
+    /// the one-time decode pass.
+    Shared(Arc<PredecodedImage>),
+    /// Disable the fast path and live-decode every fetched word — the
+    /// reference the differential tests compare against.
+    Off,
+}
 
 /// Monitoring configuration: checker hardware plus the OS side.
 #[derive(Clone, Debug)]
@@ -57,6 +75,8 @@ pub struct ProcessorConfig {
     /// Record executed basic-block boundaries (used by the trace-based
     /// hash generator; costs memory on long runs).
     pub record_blocks: bool,
+    /// Where the predecoded instruction table comes from.
+    pub predecode: Predecode,
 }
 
 impl ProcessorConfig {
@@ -67,6 +87,7 @@ impl ProcessorConfig {
             timing: TimingConfig::default(),
             max_cycles: 200_000_000,
             record_blocks: false,
+            predecode: Predecode::Auto,
         }
     }
 
@@ -155,7 +176,7 @@ pub enum RunOutcome {
 }
 
 /// Aggregate statistics of a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     /// Instructions committed.
     pub instructions: u64,
@@ -176,12 +197,15 @@ pub struct RunStats {
 type BlockCheck = (BlockKey, u32, bool, bool);
 
 /// Micro-op environment wiring the spec's programs to the hardware.
+///
+/// The exception and last-check buffers live on the [`Processor`] and
+/// are reborrowed each cycle, so stepping allocates nothing.
 struct Env<'a> {
     mem: &'a Memory,
     bus: &'a mut FetchBus,
     monitor: &'a mut dyn Monitor,
-    exceptions: Vec<ExceptionKind>,
-    last_check: Option<BlockCheck>,
+    exceptions: &'a mut Vec<ExceptionKind>,
+    last_check: &'a mut Option<BlockCheck>,
 }
 
 impl MicroEnv for Env<'_> {
@@ -202,7 +226,7 @@ impl MicroEnv for Env<'_> {
     fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
         let key = BlockKey::new(start, end);
         let (found, matched) = self.monitor.check_block(key, hash);
-        self.last_check = Some((key, hash, found, matched));
+        *self.last_check = Some((key, hash, found, matched));
         (found, matched)
     }
 
@@ -211,9 +235,199 @@ impl MicroEnv for Env<'_> {
     }
 }
 
+/// Execute one stage micro-program against the real functional units.
+///
+/// Normally this is a single [`execute_compiled`] pass. Under the
+/// `interp-check` feature the same stage is also executed through the
+/// interpreter: the compiled pass runs first against the real units
+/// while a recorder captures every unit interaction, then the
+/// interpreted pass replays those recorded answers against a copy of
+/// the entry datapath, and the two final datapaths plus the raised
+/// exception sequences are asserted identical. Real side effects
+/// (fetch counts, hash state, IHT traffic) happen exactly once.
+fn run_stage(
+    compiled: &CompiledProgram,
+    interpreted: &ProcessorSpec,
+    pick_if: bool,
+    dp: &mut Datapath,
+    env: &mut Env<'_>,
+    slots: &mut [u32],
+) {
+    #[cfg(not(feature = "interp-check"))]
+    {
+        let _ = (interpreted, pick_if);
+        execute_compiled(compiled, dp, env, slots);
+    }
+    #[cfg(feature = "interp-check")]
+    {
+        let program: &MicroProgram = if pick_if {
+            &interpreted.if_program
+        } else {
+            interpreted
+                .id_check_program
+                .as_ref()
+                .expect("check stage implies a check program")
+        };
+        let mut recorder = crosscheck::Recorder::new(env);
+        let mut compiled_dp = dp.clone();
+        execute_compiled(compiled, &mut compiled_dp, &mut recorder, slots);
+        let mut replayer = recorder.into_replayer();
+        execute(program, dp, &mut replayer, WireEnv::new());
+        assert_eq!(
+            *dp,
+            compiled_dp,
+            "compiled/interpreted datapath divergence in `{}`",
+            compiled.name()
+        );
+        replayer.verify(compiled.name());
+    }
+}
+
+/// Record/replay environments backing the `interp-check` feature.
+#[cfg(feature = "interp-check")]
+mod crosscheck {
+    use super::{Env, ExceptionKind, MicroEnv};
+
+    /// Forwards every unit interaction to the real environment and
+    /// records the answers.
+    pub struct Recorder<'a, 'e> {
+        inner: &'a mut Env<'e>,
+        fetches: Vec<u32>,
+        hashes: Vec<u32>,
+        lookups: Vec<(bool, bool)>,
+        resets: u32,
+        raised: Vec<ExceptionKind>,
+    }
+
+    impl<'a, 'e> Recorder<'a, 'e> {
+        pub fn new(inner: &'a mut Env<'e>) -> Recorder<'a, 'e> {
+            Recorder {
+                inner,
+                fetches: Vec::new(),
+                hashes: Vec::new(),
+                lookups: Vec::new(),
+                resets: 0,
+                raised: Vec::new(),
+            }
+        }
+
+        pub fn into_replayer(self) -> Replayer {
+            Replayer {
+                fetches: self.fetches.into_iter(),
+                hashes: self.hashes.into_iter(),
+                lookups: self.lookups.into_iter(),
+                resets_expected: self.resets,
+                resets_seen: 0,
+                raised_expected: self.raised,
+                raised_seen: Vec::new(),
+            }
+        }
+    }
+
+    impl MicroEnv for Recorder<'_, '_> {
+        fn fetch(&mut self, addr: u32) -> u32 {
+            let w = self.inner.fetch(addr);
+            self.fetches.push(w);
+            w
+        }
+
+        fn hash_step(&mut self, old: u32, instr: u32) -> u32 {
+            let h = self.inner.hash_step(old, instr);
+            self.hashes.push(h);
+            h
+        }
+
+        fn hash_reset(&mut self) {
+            self.resets += 1;
+            self.inner.hash_reset();
+        }
+
+        fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
+            let r = self.inner.iht_lookup(start, end, hash);
+            self.lookups.push(r);
+            r
+        }
+
+        fn raise(&mut self, kind: ExceptionKind) {
+            self.raised.push(kind);
+            self.inner.raise(kind);
+        }
+    }
+
+    /// Serves the recorded answers to the interpreted pass and checks
+    /// it asked the same questions.
+    pub struct Replayer {
+        fetches: std::vec::IntoIter<u32>,
+        hashes: std::vec::IntoIter<u32>,
+        lookups: std::vec::IntoIter<(bool, bool)>,
+        resets_expected: u32,
+        resets_seen: u32,
+        raised_expected: Vec<ExceptionKind>,
+        raised_seen: Vec<ExceptionKind>,
+    }
+
+    impl Replayer {
+        /// Assert the interpreted pass consumed exactly what the
+        /// compiled pass produced.
+        pub fn verify(self, stage: &str) {
+            assert_eq!(
+                self.raised_expected, self.raised_seen,
+                "exception divergence in `{stage}`"
+            );
+            assert_eq!(
+                self.resets_expected, self.resets_seen,
+                "hash-reset divergence in `{stage}`"
+            );
+            assert_eq!(self.fetches.len(), 0, "fetch-count divergence in `{stage}`");
+            assert_eq!(self.hashes.len(), 0, "hash-count divergence in `{stage}`");
+            assert_eq!(
+                self.lookups.len(),
+                0,
+                "lookup-count divergence in `{stage}`"
+            );
+        }
+    }
+
+    impl MicroEnv for Replayer {
+        fn fetch(&mut self, _addr: u32) -> u32 {
+            self.fetches.next().expect("interpreter fetched more words")
+        }
+
+        fn hash_step(&mut self, _old: u32, _instr: u32) -> u32 {
+            self.hashes.next().expect("interpreter hashed more words")
+        }
+
+        fn hash_reset(&mut self) {
+            self.resets_seen += 1;
+        }
+
+        fn iht_lookup(&mut self, _start: u32, _end: u32, _hash: u32) -> (bool, bool) {
+            self.lookups
+                .next()
+                .expect("interpreter looked up more keys")
+        }
+
+        fn raise(&mut self, kind: ExceptionKind) {
+            self.raised_seen.push(kind);
+        }
+    }
+}
+
 /// The single-issue 6-stage processor.
 pub struct Processor {
     spec: ProcessorSpec,
+    /// The stage programs lowered to indexed form at construction.
+    if_compiled: CompiledProgram,
+    id_check_compiled: Option<CompiledProgram>,
+    /// Wire-slot scratch shared by both compiled programs, reused
+    /// every cycle.
+    slots: Vec<u32>,
+    /// Exception scratch, reused every cycle.
+    exc_buf: Vec<ExceptionKind>,
+    /// Last block-check scratch, reused every cycle.
+    check_buf: Option<BlockCheck>,
+    /// The image decoded once; `None` disables the fast path.
+    predecoded: Option<Arc<PredecodedImage>>,
     dp: Datapath,
     regs: RegFile,
     hi: u32,
@@ -291,8 +505,24 @@ impl Processor {
         let mut regs = RegFile::new();
         regs.write(Reg::SP, cimon_mem::image::STACK_TOP);
         regs.write(Reg::GP, image.data.base);
+        let if_compiled = CompiledProgram::compile(&spec.if_program);
+        let id_check_compiled = spec.id_check_program.as_ref().map(CompiledProgram::compile);
+        let slot_count = if_compiled
+            .slot_count()
+            .max(id_check_compiled.as_ref().map_or(0, |c| c.slot_count()));
+        let predecoded = match &config.predecode {
+            Predecode::Auto => Some(Arc::new(PredecodedImage::new(image))),
+            Predecode::Shared(p) => Some(p.clone()),
+            Predecode::Off => None,
+        };
         Processor {
             spec,
+            if_compiled,
+            id_check_compiled,
+            slots: vec![0; slot_count],
+            exc_buf: Vec::with_capacity(2),
+            check_buf: None,
+            predecoded,
             dp,
             regs,
             hi: 0,
@@ -391,6 +621,13 @@ impl Processor {
     }
 
     /// Execute one instruction. Returns `Some` when the run has ended.
+    ///
+    /// The per-cycle loop is allocation-free: the compiled stage
+    /// programs run over a reusable slot array, exceptions land in a
+    /// reusable buffer, and decode is served from the predecoded image
+    /// whenever the fetch bus delivered exactly the word that was
+    /// predecoded (any divergence — tampering, bus faults, jumps
+    /// outside the image — falls back to live decode).
     pub fn step(&mut self) -> Option<RunOutcome> {
         if let Some(done) = self.done {
             return Some(done);
@@ -401,32 +638,38 @@ impl Processor {
 
         let pc = self.pc;
         self.dp.write(DReg::Cpc, pc);
+        self.exc_buf.clear();
+        self.check_buf = None;
 
         // ---- IF: run the spec's micro-program (fetch, latch, hash). ----
-        let mut env = Env {
-            mem: &self.mem,
-            bus: &mut self.bus,
-            monitor: self.monitor.as_mut(),
-            exceptions: Vec::new(),
-            last_check: None,
-        };
-        execute(
-            &self.spec.if_program,
+        run_stage(
+            &self.if_compiled,
+            &self.spec,
+            true,
             &mut self.dp,
-            &mut env,
-            WireEnv::new(),
+            &mut Env {
+                mem: &self.mem,
+                bus: &mut self.bus,
+                monitor: self.monitor.as_mut(),
+                exceptions: &mut self.exc_buf,
+                last_check: &mut self.check_buf,
+            },
+            &mut self.slots,
         );
         let word = self.dp.read(DReg::IReg);
 
-        // ---- ID: decode. ----
-        let instr = match Instr::decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                return self.finish(RunOutcome::Fault(FaultKind::IllegalInstruction {
-                    pc,
-                    word,
-                }));
-            }
+        // ---- ID: decode (predecode fast path, live fallback). ----
+        let entry = match self.predecoded.as_ref().and_then(|p| p.lookup(pc, word)) {
+            Some(e) => *e,
+            None => match Instr::decode(word) {
+                Ok(i) => PredecodedEntry::new(word, i),
+                Err(_) => {
+                    return self.finish(RunOutcome::Fault(FaultKind::IllegalInstruction {
+                        pc,
+                        word,
+                    }));
+                }
+            },
         };
 
         // Shadow block tracking (monitor-independent trace).
@@ -438,21 +681,25 @@ impl Processor {
         // The exception (if any) is raised at the end of this ID cycle;
         // OS handling is charged *after* the instruction issues, so the
         // 100-cycle freeze cannot absorb the instruction's own operand
-        // interlocks (see resolve_exceptions below).
-        let mut pending: Option<(Vec<ExceptionKind>, Option<BlockCheck>)> = None;
-        if instr.is_control_flow() {
-            if let Some(check_program) = &self.spec.id_check_program {
-                let mut env = Env {
-                    mem: &self.mem,
-                    bus: &mut self.bus,
-                    monitor: self.monitor.as_mut(),
-                    exceptions: Vec::new(),
-                    last_check: None,
-                };
-                execute(check_program, &mut self.dp, &mut env, WireEnv::new());
-                if !env.exceptions.is_empty() {
-                    pending = Some((env.exceptions, env.last_check));
-                }
+        // interlocks (see resolve_pending below).
+        let mut pending = false;
+        if entry.is_control_flow {
+            if let Some(check_program) = &self.id_check_compiled {
+                run_stage(
+                    check_program,
+                    &self.spec,
+                    false,
+                    &mut self.dp,
+                    &mut Env {
+                        mem: &self.mem,
+                        bus: &mut self.bus,
+                        monitor: self.monitor.as_mut(),
+                        exceptions: &mut self.exc_buf,
+                        last_check: &mut self.check_buf,
+                    },
+                    &mut self.slots,
+                );
+                pending = !self.exc_buf.is_empty();
             }
             if self.record_blocks {
                 if let Some(start) = self.shadow_block_start.take() {
@@ -464,28 +711,26 @@ impl Processor {
         }
 
         // ---- Execute functionally. ----
-        let exec = match self.execute_instr(pc, instr) {
+        let exec = match self.execute_instr(pc, entry.instr) {
             Ok(e) => e,
             Err(fault) => return self.finish(RunOutcome::Fault(fault)),
         };
 
         // ---- Timing. ----
-        let (class, writes_hilo, reads_hi, reads_lo) = issue_class(&instr);
-        let sources = instr.sources();
         self.timing.issue(
-            class,
-            &sources,
-            reads_hi,
-            reads_lo,
-            instr.dest(),
-            writes_hilo,
+            entry.klass,
+            entry.sources.as_slice(),
+            entry.reads_hi,
+            entry.reads_lo,
+            entry.dest,
+            entry.writes_hilo,
             exec.taken,
         );
         self.instret += 1;
 
         // ---- Monitoring exception resolution (after issue). ----
-        if let Some((exceptions, last_check)) = pending {
-            if let Some(outcome) = self.resolve_exceptions(pc, &exceptions, last_check) {
+        if pending {
+            if let Some(outcome) = self.resolve_pending(pc) {
                 return self.finish(outcome);
             }
         }
@@ -502,20 +747,14 @@ impl Processor {
         Some(outcome)
     }
 
-    /// Sort out monitoring exceptions raised by the ID check program by
-    /// asking the monitor plane for a verdict on each.
-    fn resolve_exceptions(
-        &mut self,
-        pc: u32,
-        exceptions: &[ExceptionKind],
-        last_check: Option<BlockCheck>,
-    ) -> Option<RunOutcome> {
-        if exceptions.is_empty() {
-            return None;
-        }
+    /// Sort out monitoring exceptions raised by the ID check program
+    /// (waiting in `exc_buf`) by asking the monitor plane for a verdict
+    /// on each.
+    fn resolve_pending(&mut self, pc: u32) -> Option<RunOutcome> {
         let (key, hash, _found, _matched) =
-            last_check.expect("exception implies a lookup happened");
-        for &kind in exceptions {
+            self.check_buf.expect("exception implies a lookup happened");
+        for i in 0..self.exc_buf.len() {
+            let kind = self.exc_buf[i];
             match self.monitor.resolve(kind, key, hash) {
                 Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
                 Verdict::Kill(cause) => return Some(RunOutcome::Detected { cause, pc }),
@@ -659,35 +898,6 @@ struct Exec {
     next_pc: u32,
     taken: bool,
     exit: Option<u32>,
-}
-
-/// Map an instruction to its timing attributes:
-/// `(class, writes_hilo, reads_hi, reads_lo)`.
-fn issue_class(instr: &Instr) -> (IssueClass, bool, bool, bool) {
-    match instr.class() {
-        InstrClass::Load => (IssueClass::Load, false, false, false),
-        InstrClass::Store => (IssueClass::Other, false, false, false),
-        InstrClass::Branch | InstrClass::JumpReg | InstrClass::Trap => {
-            (IssueClass::IdReader, false, false, false)
-        }
-        InstrClass::Jump => (IssueClass::Alu, false, false, false),
-        InstrClass::MulDiv => match instr {
-            Instr::R(r) => match r.funct {
-                Funct::Mult | Funct::Multu => {
-                    (IssueClass::MulDiv { is_div: false }, true, false, false)
-                }
-                Funct::Div | Funct::Divu => {
-                    (IssueClass::MulDiv { is_div: true }, true, false, false)
-                }
-                Funct::Mfhi => (IssueClass::Alu, false, true, false),
-                Funct::Mflo => (IssueClass::Alu, false, false, true),
-                Funct::Mthi | Funct::Mtlo => (IssueClass::Alu, true, false, false),
-                _ => (IssueClass::Alu, false, false, false),
-            },
-            _ => (IssueClass::Alu, false, false, false),
-        },
-        InstrClass::Alu => (IssueClass::Alu, false, false, false),
-    }
 }
 
 #[cfg(test)]

@@ -47,23 +47,25 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cimon_core::HashAlgoKind;
 use cimon_hashgen::{static_fht, HashGenError};
 use cimon_mem::ProgramImage;
 use cimon_os::FullHashTable;
-use cimon_pipeline::RunOutcome;
+use cimon_pipeline::{PredecodedImage, RunOutcome};
 
-use crate::{run_baseline_with_max, run_monitored_with_fht, RunReport, SimConfig};
+use crate::{run_baseline_prepared, run_monitored_prepared, RunReport, SimConfig};
 
 /// A workload prepared for the grid: image shared behind an [`Arc`],
-/// FHTs generated once per `(hash algo, seed)` and cached.
+/// FHTs generated once per `(hash algo, seed)` and cached, and the
+/// image predecoded once for every grid point's fetch fast path.
 pub struct Artifact {
     name: String,
     image: Arc<ProgramImage>,
     expected_exit: Option<u32>,
     fhts: Mutex<HashMap<(HashAlgoKind, u32), Arc<FullHashTable>>>,
+    predecoded: OnceLock<Arc<PredecodedImage>>,
 }
 
 impl std::fmt::Debug for Artifact {
@@ -89,6 +91,7 @@ impl Artifact {
             image,
             expected_exit,
             fhts: Mutex::new(HashMap::new()),
+            predecoded: OnceLock::new(),
         })
     }
 
@@ -134,6 +137,14 @@ impl Artifact {
     pub fn cached_fhts(&self) -> usize {
         self.fhts.lock().unwrap().len()
     }
+
+    /// The image predecoded once, shared by every grid point over this
+    /// workload (the processor's decode fast path).
+    pub fn predecoded(&self) -> Arc<PredecodedImage> {
+        self.predecoded
+            .get_or_init(|| Arc::new(PredecodedImage::new(&self.image)))
+            .clone()
+    }
 }
 
 /// One grid point: a prepared artifact run under one configuration.
@@ -174,18 +185,19 @@ impl Experiment {
     /// Propagates [`HashGenError`] from FHT generation on monitored
     /// runs whose table is not already cached.
     pub fn run(&self) -> Result<ResultRow, HashGenError> {
+        let predecoded = self.artifact.predecoded();
         let (report, fht_entries) = if self.monitored {
             let fht = self
                 .artifact
                 .fht(self.config.hash_algo, self.config.hash_seed)?;
             let entries = fht.len();
             (
-                run_monitored_with_fht(&self.artifact.image, fht, &self.config),
+                run_monitored_prepared(&self.artifact.image, fht, &self.config, predecoded),
                 entries,
             )
         } else {
             (
-                run_baseline_with_max(&self.artifact.image, self.config.max_cycles),
+                run_baseline_prepared(&self.artifact.image, self.config.max_cycles, predecoded),
                 0,
             )
         };
@@ -488,6 +500,16 @@ mod tests {
         let f3 = a.fht(HashAlgoKind::Crc32, 0).unwrap();
         assert!(!Arc::ptr_eq(&f1, &f3));
         assert_eq!(a.cached_fhts(), 2);
+    }
+
+    #[test]
+    fn artifact_predecodes_once_and_shares() {
+        let a = artifact();
+        let p1 = a.predecoded();
+        let p2 = a.predecoded();
+        assert!(Arc::ptr_eq(&p1, &p2), "predecode must be cached");
+        assert_eq!(p1.base(), a.image().text.base);
+        assert_eq!(p1.len(), a.image().text.bytes.len() / 4);
     }
 
     #[test]

@@ -37,7 +37,9 @@ use cimon_core::CicConfig;
 use cimon_hashgen::{static_fht, HashGenError};
 use cimon_mem::ProgramImage;
 use cimon_os::{ExceptionCost, FullHashTable, RefillPolicyKind};
-use cimon_pipeline::{MonitorConfig, Processor, ProcessorConfig, RunOutcome, RunStats};
+use cimon_pipeline::{
+    MonitorConfig, Predecode, PredecodedImage, Processor, ProcessorConfig, RunOutcome, RunStats,
+};
 
 pub mod engine;
 
@@ -110,10 +112,29 @@ pub fn run_baseline(image: &ProgramImage) -> RunReport {
 /// cycle budget (so sweeps give baseline and monitored rows the same
 /// cap).
 pub fn run_baseline_with_max(image: &ProgramImage, max_cycles: u64) -> RunReport {
+    run_baseline_configured(image, max_cycles, Predecode::Auto)
+}
+
+/// [`run_baseline_with_max`] with a shared predecoded image, so
+/// repeated runs (sweeps) skip the per-run decode pass.
+pub fn run_baseline_prepared(
+    image: &ProgramImage,
+    max_cycles: u64,
+    predecoded: Arc<PredecodedImage>,
+) -> RunReport {
+    run_baseline_configured(image, max_cycles, Predecode::Shared(predecoded))
+}
+
+fn run_baseline_configured(
+    image: &ProgramImage,
+    max_cycles: u64,
+    predecode: Predecode,
+) -> RunReport {
     let mut cpu = Processor::new(
         image,
         ProcessorConfig {
             max_cycles,
+            predecode,
             ..ProcessorConfig::baseline()
         },
     );
@@ -165,7 +186,26 @@ pub fn run_monitored_with_fht(
     fht: impl Into<Arc<FullHashTable>>,
     config: &SimConfig,
 ) -> RunReport {
-    let fht = fht.into();
+    run_monitored_configured(image, fht.into(), config, Predecode::Auto)
+}
+
+/// [`run_monitored_with_fht`] with a shared predecoded image, so
+/// repeated runs (sweeps) skip the per-run decode pass.
+pub fn run_monitored_prepared(
+    image: &ProgramImage,
+    fht: impl Into<Arc<FullHashTable>>,
+    config: &SimConfig,
+    predecoded: Arc<PredecodedImage>,
+) -> RunReport {
+    run_monitored_configured(image, fht.into(), config, Predecode::Shared(predecoded))
+}
+
+fn run_monitored_configured(
+    image: &ProgramImage,
+    fht: Arc<FullHashTable>,
+    config: &SimConfig,
+    predecode: Predecode,
+) -> RunReport {
     let fht_entries = fht.len();
     let cic = CicConfig {
         iht_entries: config.iht_entries,
@@ -185,6 +225,7 @@ pub fn run_monitored_with_fht(
         ProcessorConfig {
             monitor: Some(monitor),
             max_cycles: config.max_cycles,
+            predecode,
             ..ProcessorConfig::baseline()
         },
     );

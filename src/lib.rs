@@ -78,10 +78,10 @@ pub fn artifact_for(
 /// The names most programs need.
 pub mod prelude {
     pub use cimon_core::{CicConfig, HashAlgoKind};
-    pub use cimon_pipeline::{Monitor, Processor, ProcessorConfig, RunOutcome};
+    pub use cimon_pipeline::{Monitor, Predecode, Processor, ProcessorConfig, RunOutcome};
     pub use cimon_sim::engine::{Artifact, Experiment, ResultRow, Sweep};
     pub use cimon_sim::{
-        build_fht, overhead_percent, run_baseline, run_monitored, run_monitored_with_fht,
-        RunReport, SimConfig,
+        build_fht, overhead_percent, run_baseline, run_baseline_prepared, run_monitored,
+        run_monitored_prepared, run_monitored_with_fht, RunReport, SimConfig,
     };
 }
