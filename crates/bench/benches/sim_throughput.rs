@@ -1,31 +1,42 @@
 //! Simulator-throughput benchmark: wall-clock speed of the cycle loop
-//! across the workload registry, baseline and monitored (CIC8).
+//! across the workload registry, baseline and monitored (CIC8), each
+//! with block dispatch on (the default) and off — so the superblock
+//! speedup is visible row by row.
 //!
 //! This is the repo's own performance trajectory — the metric is
 //! **simulated instructions per second**, which bounds how fast every
 //! sweep, fault campaign, and example can run. The raw rows are written
 //! to `BENCH_throughput.json` via [`cimon_bench::report`] so CI can
-//! track the trend.
+//! track the trend (and gate on it via the `throughput_gate` target).
 
 fn main() {
     let reps = 3;
     println!("Simulator throughput — instructions/second of the cycle loop ({reps} reps, best)");
     println!(
-        "{:<14} {:>9} {:>13} {:>13} {:>11} {:>9}",
-        "workload", "mode", "instructions", "cycles", "seconds", "MIPS"
+        "{:<14} {:>15} {:>12} {:>11} {:>8} {:>7} {:>7}",
+        "workload", "mode", "instructions", "seconds", "MIPS", "blk-avg", "blk-max"
     );
-    cimon_bench::print_rule(74);
+    cimon_bench::print_rule(80);
     let t = cimon_bench::sim_throughput(reps);
     for r in &t.rows {
         println!(
-            "{:<14} {:>9} {:>13} {:>13} {:>11.6} {:>9.2}",
-            r.workload, r.mode, r.instructions, r.cycles, r.best_seconds, r.mips
+            "{:<14} {:>15} {:>12} {:>11.6} {:>8.2} {:>7.2} {:>7}",
+            r.workload, r.mode, r.instructions, r.best_seconds, r.mips, r.block_mean, r.block_max
         );
     }
-    cimon_bench::print_rule(74);
+    cimon_bench::print_rule(80);
+    for (mode, mips) in [
+        ("baseline", t.baseline_mips),
+        ("baseline-instr", t.baseline_instr_mips),
+        ("cic8", t.monitored_mips),
+        ("cic8-instr", t.monitored_instr_mips),
+    ] {
+        println!("{:<14} {:>15} {:>41.2}", "aggregate", mode, mips);
+    }
     println!(
-        "{:<14} {:>9} {:>51.2}\n{:<14} {:>9} {:>51.2}",
-        "aggregate", "baseline", t.baseline_mips, "aggregate", "cic8", t.monitored_mips
+        "\nblock-dispatch speedup: baseline {:.2}x, cic8 {:.2}x",
+        t.baseline_mips / t.baseline_instr_mips.max(1e-9),
+        t.monitored_mips / t.monitored_instr_mips.max(1e-9),
     );
     let json = cimon_bench::report::throughput_to_json(&t.rows);
     match std::fs::write("BENCH_throughput.json", &json) {

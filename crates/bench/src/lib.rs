@@ -267,7 +267,8 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
 }
 
 /// One block-census row (Section 6.1's "stringsearch has 25 executed
-/// basic blocks, susan 93" observation).
+/// basic blocks, susan 93" observation), extended with the simulator's
+/// block-dispatch histogram.
 #[derive(Clone, Debug)]
 pub struct CensusRow {
     /// Workload name.
@@ -282,11 +283,18 @@ pub struct CensusRow {
     pub block_executions: u64,
     /// Dynamic instructions.
     pub instructions: u64,
+    /// Mean instructions per dispatched superblock (block-exec run).
+    pub block_mean: f64,
+    /// Largest dispatched superblock in instructions.
+    pub block_max: u64,
 }
 
 /// Reproduce the block census across the suite. Baselines run through
-/// one sweep; the block traces run on the same worker pool.
+/// one sweep; the block traces and the block-dispatch histograms run on
+/// the same worker pool.
 pub fn block_census() -> Vec<CensusRow> {
+    use cimon_pipeline::{BlockExec, Predecode, Processor, ProcessorConfig};
+
     let mut sweep = Sweep::new();
     for a in suite() {
         sweep.baseline(a.clone());
@@ -296,11 +304,23 @@ pub fn block_census() -> Vec<CensusRow> {
         let (t, _, executions) = trace_fht(a.image(), HashAlgoKind::Xor, 0, 400_000_000);
         (t.len(), executions)
     });
+    let dispatch = parallel_map(suite(), default_workers(), |_, a| {
+        let mut cpu = Processor::new(
+            a.image(),
+            ProcessorConfig {
+                predecode: Predecode::Shared(a.predecoded()),
+                block_exec: BlockExec::Shared(a.block_cache()),
+                ..ProcessorConfig::baseline()
+            },
+        );
+        cpu.run();
+        cpu.block_stats()
+    });
     suite()
         .iter()
         .zip(base)
-        .zip(traces)
-        .map(|((a, b), (executed_blocks, block_executions))| {
+        .zip(traces.into_iter().zip(dispatch))
+        .map(|((a, b), ((executed_blocks, block_executions), block))| {
             let reg = cimon_workloads::get(a.name()).expect("registered");
             CensusRow {
                 workload: b.workload,
@@ -309,6 +329,8 @@ pub fn block_census() -> Vec<CensusRow> {
                 executed_blocks,
                 block_executions,
                 instructions: b.instructions,
+                block_mean: block.mean_block(),
+                block_max: block.max_block,
             }
         })
         .collect()
@@ -457,11 +479,13 @@ pub fn ablation_managed() -> Vec<ManagedRow> {
 
 /// One simulator-throughput measurement: how fast the simulator itself
 /// retires instructions for a workload, in one execution mode.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ThroughputRow {
     /// Workload name.
     pub workload: String,
-    /// `"baseline"` or `"cic8"`.
+    /// `"baseline"` / `"cic8"` (block dispatch, the default
+    /// configuration) or `"baseline-instr"` / `"cic8-instr"`
+    /// (per-instruction stepping, the PR-3-era dispatch).
     pub mode: &'static str,
     /// Instructions committed per run.
     pub instructions: u64,
@@ -471,46 +495,67 @@ pub struct ThroughputRow {
     pub best_seconds: f64,
     /// Millions of simulated instructions per wall-clock second.
     pub mips: f64,
+    /// Mean instructions per dispatched block (0 for `-instr` modes).
+    pub block_mean: f64,
+    /// Largest dispatched block in instructions (0 for `-instr` modes).
+    pub block_max: u64,
 }
 
 /// The simulator-throughput sweep: wall-clock speed of the cycle loop
 /// itself, which bounds every experiment grid in this repo.
 #[derive(Clone, Debug)]
 pub struct Throughput {
-    /// Two rows (baseline, cic8) per workload, registry order.
+    /// Four rows per workload (baseline, baseline-instr, cic8,
+    /// cic8-instr), registry order.
     pub rows: Vec<ThroughputRow>,
-    /// Aggregate baseline MIPS (total instructions / total best time).
+    /// Aggregate baseline MIPS with block dispatch (total instructions
+    /// / total best time).
     pub baseline_mips: f64,
-    /// Aggregate monitored MIPS.
+    /// Aggregate monitored MIPS with block dispatch.
     pub monitored_mips: f64,
+    /// Aggregate baseline MIPS with per-instruction stepping.
+    pub baseline_instr_mips: f64,
+    /// Aggregate monitored MIPS with per-instruction stepping.
+    pub monitored_instr_mips: f64,
 }
 
 /// Measure simulator throughput across the workload registry: each
-/// workload runs `reps` times on the baseline processor and `reps`
-/// times under the paper's CIC8 monitor; the best wall time of each
-/// counts (FHT generation and assembly are outside the timed region —
-/// this measures the cycle loop, nothing else).
+/// workload runs `reps` times per mode — baseline and CIC8, each with
+/// block dispatch on (the default) and off — and the best wall time of
+/// each counts (assembly, FHT generation, predecoding, and block
+/// grouping are outside the timed region — this measures the cycle
+/// loop, nothing else). The on/off pairs sit side by side in the rows
+/// so the block-dispatch speedup is visible in the artifact.
 pub fn sim_throughput(reps: usize) -> Throughput {
-    use cimon_pipeline::{Processor, ProcessorConfig};
+    use cimon_pipeline::{BlockExec, Predecode, Processor, ProcessorConfig};
     use std::time::Instant;
 
     let reps = reps.max(1);
-    let mut rows = Vec::with_capacity(suite().len() * 2);
+    let mut rows = Vec::with_capacity(suite().len() * 4);
     for a in suite() {
         let fht = a.fht(HashAlgoKind::Xor, 0).expect("analyses");
         let predecoded = a.predecoded();
-        for mode in ["baseline", "cic8"] {
+        let blocks = a.block_cache();
+        for mode in ["baseline", "baseline-instr", "cic8", "cic8-instr"] {
             let config = || {
-                let mut c = match mode {
-                    "baseline" => ProcessorConfig::baseline(),
-                    _ => ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone()),
+                let mut c = if mode.starts_with("baseline") {
+                    ProcessorConfig::baseline()
+                } else {
+                    ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone())
                 };
-                c.predecode = cimon_pipeline::Predecode::Shared(predecoded.clone());
+                c.predecode = Predecode::Shared(predecoded.clone());
+                c.block_exec = if mode.ends_with("-instr") {
+                    BlockExec::Off
+                } else {
+                    BlockExec::Shared(blocks.clone())
+                };
                 c
             };
             let mut best = f64::INFINITY;
             let mut instructions = 0;
             let mut cycles = 0;
+            let mut block_mean = 0.0;
+            let mut block_max = 0;
             for _ in 0..reps {
                 let mut cpu = Processor::new(a.image(), config());
                 let t0 = Instant::now();
@@ -527,6 +572,9 @@ pub fn sim_throughput(reps: usize) -> Throughput {
                 let stats = cpu.stats();
                 instructions = stats.instructions;
                 cycles = stats.cycles;
+                let block = cpu.block_stats();
+                block_mean = block.mean_block();
+                block_max = block.max_block;
                 if dt < best {
                     best = dt;
                 }
@@ -538,6 +586,8 @@ pub fn sim_throughput(reps: usize) -> Throughput {
                 cycles,
                 best_seconds: best,
                 mips: instructions as f64 / best / 1e6,
+                block_mean,
+                block_max,
             });
         }
     }
@@ -553,7 +603,109 @@ pub fn sim_throughput(reps: usize) -> Throughput {
     Throughput {
         baseline_mips: agg("baseline"),
         monitored_mips: agg("cic8"),
+        baseline_instr_mips: agg("baseline-instr"),
+        monitored_instr_mips: agg("cic8-instr"),
         rows,
+    }
+}
+
+/// One row of the throughput regression gate's before/after table.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Workload name.
+    pub workload: String,
+    /// Execution mode.
+    pub mode: String,
+    /// MIPS in the committed reference.
+    pub reference_mips: f64,
+    /// MIPS in the current measurement (`None` when the row vanished).
+    pub current_mips: Option<f64>,
+    /// `current / reference` (0 when the row vanished).
+    pub ratio: f64,
+    /// Whether this row violates the tolerance.
+    pub violation: bool,
+}
+
+/// The throughput regression gate's verdict.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// One row per reference row, reference order.
+    pub rows: Vec<GateRow>,
+    /// The tolerance applied (fractional slowdown, e.g. 0.25).
+    pub tolerance: f64,
+    /// The machine-speed scale the rows were normalised by: the median
+    /// `current / reference` ratio, capped at 1. On hardware comparable
+    /// to where the reference was measured this is ~1 (pure absolute
+    /// comparison); on a uniformly slower machine it rescales every
+    /// row, so only rows that regressed *relative to the rest* fail.
+    pub machine_scale: f64,
+    /// Rows that slowed down beyond the tolerance or vanished.
+    pub violations: usize,
+}
+
+impl GateReport {
+    /// Whether the gate passes. An empty reference is a failure: a
+    /// gate with nothing to compare against guards nothing.
+    pub fn passed(&self) -> bool {
+        self.violations == 0 && !self.rows.is_empty()
+    }
+}
+
+/// Compare a current throughput measurement against the committed
+/// reference: every reference row must still exist and must not be
+/// slower than `(1 - tolerance) ×` its reference MIPS after dividing
+/// out the machine-speed scale (the median ratio, capped at 1 — so a
+/// uniformly slower CI machine does not trip every row, while a mode
+/// or workload that regressed relative to the others still fails, and
+/// on comparable hardware the comparison is absolute). Speedups and
+/// newly added rows never fail the gate; an empty reference fails it.
+pub fn throughput_gate(
+    reference: &[ThroughputRow],
+    current: &[ThroughputRow],
+    tolerance: f64,
+) -> GateReport {
+    let find = |r: &ThroughputRow| {
+        current
+            .iter()
+            .find(|c| c.workload == r.workload && c.mode == r.mode)
+    };
+    let mut ratios: Vec<f64> = reference
+        .iter()
+        .filter_map(|r| find(r).map(|c| if r.mips > 0.0 { c.mips / r.mips } else { 1.0 }))
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    // A non-positive median means at least half the measurement is
+    // broken (0 MIPS rows): fall back to the absolute comparison so
+    // those rows fail instead of dividing the gate by zero.
+    let machine_scale = match ratios.get(ratios.len() / 2) {
+        Some(&m) if m > 0.0 => m.min(1.0),
+        _ => 1.0,
+    };
+
+    let mut rows = Vec::with_capacity(reference.len());
+    let mut violations = 0;
+    for r in reference {
+        let cur = find(r);
+        let current_mips = cur.map(|c| c.mips);
+        let ratio = current_mips.map_or(0.0, |m| if r.mips > 0.0 { m / r.mips } else { 1.0 });
+        let violation = cur.is_none() || ratio / machine_scale < 1.0 - tolerance;
+        if violation {
+            violations += 1;
+        }
+        rows.push(GateRow {
+            workload: r.workload.clone(),
+            mode: r.mode.to_string(),
+            reference_mips: r.mips,
+            current_mips,
+            ratio,
+            violation,
+        });
+    }
+    GateReport {
+        rows,
+        tolerance,
+        machine_scale,
+        violations,
     }
 }
 
@@ -595,6 +747,114 @@ mod tests {
         assert_eq!(rows.len(), HashAlgoKind::ALL.len());
         // XOR is the cheapest unit; SHA-1 the largest.
         assert!(rows[0].hashfu_area < rows.last().unwrap().hashfu_area);
+    }
+
+    fn gate_row(workload: &str, mode: &'static str, mips: f64) -> ThroughputRow {
+        ThroughputRow {
+            workload: workload.to_string(),
+            mode,
+            instructions: 1,
+            cycles: 1,
+            best_seconds: 1.0,
+            mips,
+            block_mean: 0.0,
+            block_max: 0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_speedups() {
+        let reference = vec![
+            gate_row("sha", "baseline", 60.0),
+            gate_row("sha", "cic8", 40.0),
+        ];
+        let current = vec![
+            gate_row("sha", "baseline", 50.0), // −17%: inside ±25%
+            gate_row("sha", "cic8", 80.0),     // speedup: always fine
+            gate_row("new", "baseline", 1.0),  // extra rows never fail
+        ];
+        let report = throughput_gate(&reference, &current, 0.25);
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.rows[0].ratio - 50.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_fails_on_slowdown_beyond_tolerance_and_missing_rows() {
+        let reference = vec![
+            gate_row("sha", "baseline", 60.0),
+            gate_row("sha", "cic8", 40.0),
+            gate_row("susan", "baseline", 30.0),
+        ];
+        let current = vec![
+            gate_row("sha", "baseline", 40.0), // −33%: violation
+            gate_row("sha", "cic8", 39.0),     // −2.5%: fine
+        ];
+        let report = throughput_gate(&reference, &current, 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.violations, 2); // the slowdown + the vanished row
+        assert!(report.rows[0].violation);
+        assert!(!report.rows[1].violation);
+        assert!(report.rows[2].violation);
+        assert_eq!(report.rows[2].current_mips, None);
+    }
+
+    #[test]
+    fn gate_normalises_out_a_uniformly_slower_machine() {
+        // Everything at 50% of reference (a slower CI runner): median
+        // rescales, no violations. One row additionally 3x worse than
+        // the rest: still caught.
+        let reference = vec![
+            gate_row("sha", "baseline", 60.0),
+            gate_row("sha", "cic8", 40.0),
+            gate_row("susan", "baseline", 30.0),
+        ];
+        let uniform = vec![
+            gate_row("sha", "baseline", 30.0),
+            gate_row("sha", "cic8", 20.0),
+            gate_row("susan", "baseline", 15.0),
+        ];
+        let report = throughput_gate(&reference, &uniform, 0.25);
+        assert!(report.passed(), "{report:?}");
+        assert!((report.machine_scale - 0.5).abs() < 1e-9);
+
+        let skewed = vec![
+            gate_row("sha", "baseline", 30.0),
+            gate_row("sha", "cic8", 20.0),
+            gate_row("susan", "baseline", 5.0), // 3x below the fleet
+        ];
+        let report = throughput_gate(&reference, &skewed, 0.25);
+        assert!(!report.passed());
+        assert!(report.rows[2].violation);
+        assert!(!report.rows[0].violation);
+    }
+
+    #[test]
+    fn gate_fails_on_an_empty_reference() {
+        let current = vec![gate_row("sha", "baseline", 60.0)];
+        let report = throughput_gate(&[], &current, 0.25);
+        assert!(!report.passed(), "an empty reference guards nothing");
+        assert_eq!(report.violations, 0);
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn gate_fails_when_the_measurement_collapses_to_zero() {
+        // A broken sim_throughput recording 0 MIPS must never be
+        // normalised into a pass (a zero median would otherwise make
+        // every normalised ratio NaN/inf).
+        let reference = vec![
+            gate_row("sha", "baseline", 60.0),
+            gate_row("sha", "cic8", 40.0),
+        ];
+        let broken = vec![
+            gate_row("sha", "baseline", 0.0),
+            gate_row("sha", "cic8", 0.0),
+        ];
+        let report = throughput_gate(&reference, &broken, 0.25);
+        assert!(!report.passed(), "{report:?}");
+        assert_eq!(report.violations, 2);
+        assert_eq!(report.machine_scale, 1.0);
     }
 
     #[test]

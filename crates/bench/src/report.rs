@@ -134,18 +134,79 @@ pub fn throughput_to_json(rows: &[crate::ThroughputRow]) -> String {
         let _ = write!(
             out,
             "  {{\"workload\":\"{}\",\"mode\":\"{}\",\"instructions\":{},\
-             \"cycles\":{},\"best_seconds\":{},\"mips\":{:.3}}}",
+             \"cycles\":{},\"best_seconds\":{},\"mips\":{:.3},\
+             \"block_mean\":{:.3},\"block_max\":{}}}",
             json_escape(&r.workload),
             r.mode,
             r.instructions,
             r.cycles,
             r.best_seconds,
             r.mips,
+            r.block_mean,
+            r.block_max,
         );
         out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
     out
+}
+
+/// Parse a `BENCH_throughput.json` document back into rows — the input
+/// side of the CI throughput regression gate. Accepts exactly the
+/// fixed-schema output of [`throughput_to_json`] (no external JSON
+/// crates exist in this environment); rows missing a field or using an
+/// unknown mode are reported as errors.
+pub fn throughput_from_json(json: &str) -> Result<Vec<crate::ThroughputRow>, String> {
+    const MODES: [&str; 4] = ["baseline", "baseline-instr", "cic8", "cic8-instr"];
+
+    fn field<'a>(obj: &'a str, name: &str) -> Result<&'a str, String> {
+        let tag = format!("\"{name}\":");
+        let at = obj
+            .find(&tag)
+            .ok_or_else(|| format!("missing field `{name}` in `{obj}`"))?;
+        let rest = &obj[at + tag.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim())
+    }
+
+    fn string_field(obj: &str, name: &str) -> Result<String, String> {
+        let raw = field(obj, name)?;
+        raw.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("field `{name}` is not a string: `{raw}`"))
+    }
+
+    fn num_field<T: std::str::FromStr>(obj: &str, name: &str) -> Result<T, String> {
+        field(obj, name)?
+            .parse()
+            .map_err(|_| format!("field `{name}` is not a number"))
+    }
+
+    let mut rows = Vec::new();
+    for obj in json.split('{').skip(1) {
+        let obj = obj
+            .split('}')
+            .next()
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let mode_owned = string_field(obj, "mode")?;
+        let mode = MODES
+            .into_iter()
+            .find(|m| *m == mode_owned)
+            .ok_or_else(|| format!("unknown mode `{mode_owned}`"))?;
+        rows.push(crate::ThroughputRow {
+            workload: string_field(obj, "workload")?,
+            mode,
+            instructions: num_field(obj, "instructions")?,
+            cycles: num_field(obj, "cycles")?,
+            best_seconds: num_field(obj, "best_seconds")?,
+            mips: num_field(obj, "mips")?,
+            // Rows written before the block-dispatch era lack these.
+            block_mean: num_field(obj, "block_mean").unwrap_or(0.0),
+            block_max: num_field(obj, "block_max").unwrap_or(0),
+        });
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -209,5 +270,49 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn trow(workload: &str, mode: &'static str, mips: f64) -> crate::ThroughputRow {
+        crate::ThroughputRow {
+            workload: workload.to_string(),
+            mode,
+            instructions: 1000,
+            cycles: 1500,
+            best_seconds: 0.0025,
+            mips,
+            block_mean: 4.25,
+            block_max: 18,
+        }
+    }
+
+    #[test]
+    fn throughput_json_roundtrips() {
+        let rows = vec![trow("sha", "baseline", 64.125), trow("sha", "cic8", 39.5)];
+        let json = throughput_to_json(&rows);
+        assert!(json.contains("\"block_mean\":4.250"));
+        assert!(json.contains("\"block_max\":18"));
+        let parsed = throughput_from_json(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].workload, "sha");
+        assert_eq!(parsed[0].mode, "baseline");
+        assert_eq!(parsed[0].instructions, 1000);
+        assert_eq!(parsed[1].mode, "cic8");
+        assert!((parsed[1].mips - 39.5).abs() < 1e-9);
+        assert!((parsed[0].block_mean - 4.25).abs() < 1e-9);
+        assert_eq!(parsed[0].block_max, 18);
+    }
+
+    #[test]
+    fn throughput_parser_tolerates_pre_block_rows_and_rejects_garbage() {
+        // Rows written before the block-dispatch era have no block
+        // fields: they parse with zeros.
+        let legacy = "[\n  {\"workload\":\"sha\",\"mode\":\"cic8\",\"instructions\":5,\
+                      \"cycles\":9,\"best_seconds\":0.1,\"mips\":1.5}\n]\n";
+        let parsed = throughput_from_json(legacy).unwrap();
+        assert_eq!(parsed[0].block_max, 0);
+        assert_eq!(parsed[0].block_mean, 0.0);
+        // Unknown modes and missing fields are hard errors.
+        assert!(throughput_from_json("[{\"workload\":\"x\",\"mode\":\"warp\"}]").is_err());
+        assert!(throughput_from_json("[{\"mode\":\"cic8\"}]").is_err());
     }
 }

@@ -10,14 +10,18 @@
 use std::sync::Arc;
 
 use cimon_core::CicConfig;
-use cimon_mem::ProgramImage;
+use cimon_mem::{Memory, ProgramImage};
 use cimon_os::FullHashTable;
-use cimon_pipeline::{ConsoleEvent, Processor, ProcessorConfig, RunOutcome};
+use cimon_pipeline::{
+    BlockCache, BlockExec, ConsoleEvent, Predecode, PredecodedImage, Processor, ProcessorConfig,
+    RunOutcome,
+};
 use cimon_sim::engine::{default_workers, parallel_map};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::inject::{BitFlip, FaultPlan, FaultSite, PlannedBusTap};
+use crate::rehash::rehash_after;
 
 /// Random fault model: how many bits flip, and where.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,10 +168,22 @@ impl CampaignResult {
 }
 
 /// A configured fault campaign over one program.
+///
+/// The image is predecoded and block-grouped once at construction;
+/// every faulted run shares those caches, so a campaign's thousands of
+/// short runs skip the per-run decode and grouping passes (tampered
+/// words are word-validated at dispatch time, so sharing can never mask
+/// an injected fault).
 pub struct Campaign {
     image: Arc<ProgramImage>,
     cic: CicConfig,
     fht: Arc<FullHashTable>,
+    predecoded: Arc<PredecodedImage>,
+    blocks: Arc<BlockCache>,
+    /// The clean loaded image, shared by every authorised-patch run
+    /// (`rehash_after` applies flip masks on the fly, so no per-run
+    /// patched copy is ever materialised).
+    clean_mem: Memory,
     reference: (RunOutcome, Vec<ConsoleEvent>),
 }
 
@@ -181,15 +197,35 @@ impl Campaign {
     ) -> Campaign {
         let image = image.into();
         let fht = fht.into();
-        let mut cpu = Processor::new(&image, ProcessorConfig::monitored(cic, fht.clone()));
-        let outcome = cpu.run();
-        let console = cpu.stats().console;
-        Campaign {
+        let predecoded = Arc::new(PredecodedImage::new(&image));
+        let blocks = Arc::new(BlockCache::new(predecoded.clone()));
+        let clean_mem = image.to_memory();
+        let mut campaign = Campaign {
             image,
             cic,
             fht,
-            reference: (outcome, console),
-        }
+            predecoded,
+            blocks,
+            clean_mem,
+            reference: (RunOutcome::MaxCycles, Vec::new()),
+        };
+        let mut cpu = campaign.processor(&campaign.fht, ProcessorConfig::baseline().max_cycles);
+        let outcome = cpu.run();
+        campaign.reference = (outcome, cpu.stats().console);
+        campaign
+    }
+
+    /// A monitored processor over the campaign's shared caches.
+    fn processor(&self, fht: &Arc<FullHashTable>, max_cycles: u64) -> Processor {
+        Processor::new(
+            &self.image,
+            ProcessorConfig {
+                max_cycles,
+                predecode: Predecode::Shared(self.predecoded.clone()),
+                block_exec: BlockExec::Shared(self.blocks.clone()),
+                ..ProcessorConfig::monitored(self.cic, fht.clone())
+            },
+        )
     }
 
     /// The clean reference outcome.
@@ -199,13 +235,7 @@ impl Campaign {
 
     /// Run one faulted execution and classify it.
     pub fn run_one(&self, plan: &FaultPlan, max_cycles: u64) -> Outcome {
-        let mut cpu = Processor::new(
-            &self.image,
-            ProcessorConfig {
-                max_cycles,
-                ..ProcessorConfig::monitored(self.cic, self.fht.clone())
-            },
-        );
+        let mut cpu = self.processor(&self.fht, max_cycles);
         match plan.site {
             FaultSite::StoredImage => {
                 for f in &plan.flips {
@@ -215,6 +245,38 @@ impl Campaign {
             FaultSite::FetchBus(mode) => {
                 cpu.set_bus_tap(Box::new(PlannedBusTap::new(plan.flips.clone(), mode)));
             }
+        }
+        let outcome = cpu.run();
+        self.classify(outcome, &cpu.stats().console)
+    }
+
+    /// Run one *authorised-patch* execution: apply a stored-image plan,
+    /// incrementally re-hash only the touched FHT blocks (the paper's
+    /// OS recomputing hashes after a legitimate binary update), and run
+    /// against the patched table. The monitor must accept the modified
+    /// code — the interesting classifications are what the patch *did*
+    /// (masked, different output, hung, baseline fault), not an
+    /// integrity kill for blocks whose table entry was updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets the fetch bus — in-flight transients
+    /// are not code updates and have no table to re-hash.
+    pub fn run_one_rehashed(&self, plan: &FaultPlan, max_cycles: u64) -> Outcome {
+        assert!(
+            plan.site == FaultSite::StoredImage,
+            "re-hash campaigns model stored-image patches"
+        );
+        let (patched_fht, _) = rehash_after(
+            &self.fht,
+            &self.clean_mem,
+            &plan.flips,
+            self.cic.hash_algo,
+            self.cic.hash_seed,
+        );
+        let mut cpu = self.processor(&Arc::new(patched_fht), max_cycles);
+        for f in &plan.flips {
+            f.apply_to_memory(cpu.mem_mut());
         }
         let outcome = cpu.run();
         self.classify(outcome, &cpu.stats().console)
@@ -263,6 +325,26 @@ impl Campaign {
         let plans = self.plans(config);
         let outcomes = parallel_map(&plans, workers, |_, plan| {
             self.run_one(plan, config.max_cycles)
+        });
+        let mut result = CampaignResult::default();
+        for outcome in outcomes {
+            result.record(outcome);
+        }
+        result
+    }
+
+    /// Run a full *authorised-patch* campaign on the worker pool: the
+    /// same seeded plans as [`Campaign::run`], but each run's FHT is
+    /// incrementally re-hashed for its flips first (see
+    /// [`Campaign::run_one_rehashed`]). Stored-image sites only.
+    pub fn run_rehashed(&self, config: &CampaignConfig) -> CampaignResult {
+        assert!(
+            !config.targets.is_empty(),
+            "campaign needs target addresses"
+        );
+        let plans = self.plans(config);
+        let outcomes = parallel_map(&plans, default_workers(), |_, plan| {
+            self.run_one_rehashed(plan, config.max_cycles)
         });
         let mut result = CampaignResult::default();
         for outcome in outcomes {
@@ -423,6 +505,65 @@ mod tests {
         let dead_addr = prog.symbols.get("dead").unwrap();
         let out = c.run_one(&FaultPlan::stored(dead_addr, 3), 1_000_000);
         assert_eq!(out, Outcome::Masked);
+    }
+
+    #[test]
+    fn rehashed_single_bit_patches_are_never_killed_by_the_monitor() {
+        // The paper's legitimate-update story: after the OS re-hashes
+        // the touched block, a single-bit "patch" must not trip an
+        // integrity kill. (It may still change behaviour — silent
+        // output changes, hangs, baseline faults — or turn control flow
+        // into shapes the static table never enumerated; only flips
+        // that keep the instruction a non-control-flow one are
+        // guaranteed monitor-clean, so this test targets an ALU
+        // immediate field.)
+        let (c, _) = setup(HashAlgoKind::Crc32);
+        // addu at entry+8: flip a register-field bit (bit 20, inside
+        // rt) — still a valid non-control-flow ALU instruction, so
+        // only the hash can tell it changed.
+        let addr = {
+            let prog = assemble(PROGRAM).unwrap();
+            prog.image.entry + 8
+        };
+        let plan = FaultPlan::stored(addr, 20);
+        // Unpatched: the monitor detects the tamper.
+        assert_eq!(c.run_one(&plan, 60_000), Outcome::DetectedByMonitor);
+        // Patched (table re-hashed): no monitor detection.
+        let out = c.run_one_rehashed(&plan, 60_000);
+        assert_ne!(out, Outcome::DetectedByMonitor, "{out:?}");
+    }
+
+    #[test]
+    fn rehashed_campaign_accepts_more_runs_than_it_kills() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let cfg = CampaignConfig {
+            runs: 60,
+            seed: 11,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 60_000,
+        };
+        let tampered = c.run(&cfg);
+        let patched = c.run_rehashed(&cfg);
+        assert_eq!(patched.total(), 60);
+        // Re-hashing can only reduce monitor kills: every flip whose
+        // dynamic blocks exist in the static table now matches it.
+        assert!(
+            patched.detected_monitor < tampered.detected_monitor,
+            "patched {patched:?} vs tampered {tampered:?}"
+        );
+        // And runs that merely change data flow surface as masked or
+        // silent instead.
+        assert!(patched.masked + patched.silent > tampered.masked + tampered.silent);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored-image patches")]
+    fn rehashed_bus_plans_panic() {
+        let (c, _) = setup(HashAlgoKind::Xor);
+        let plan = FaultPlan::bus_transient(0x0040_0000, 1);
+        c.run_one_rehashed(&plan, 1000);
     }
 
     #[test]

@@ -80,6 +80,21 @@ impl FetchBus {
         self.tap = None;
     }
 
+    /// Whether a fault tap is installed. Block-granular dispatch checks
+    /// this to decide between bulk word validation (clean bus) and
+    /// per-word fetches that keep stateful taps firing in fetch order.
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// Account `n` instruction fetches served in bulk. The block
+    /// dispatcher validates a whole basic block against memory with one
+    /// comparison instead of `n` [`FetchBus::fetch`] calls; this keeps
+    /// [`FetchBus::fetch_count`] consistent with per-word fetching.
+    pub fn note_fetches(&mut self, n: u64) {
+        self.fetches += n;
+    }
+
     /// Fetch the instruction word at `addr` (which is word-aligned first,
     /// as hardware fetch paths do), passing it through the tap if one is
     /// installed.
@@ -142,5 +157,28 @@ mod tests {
         mem.write_u32(0x100, 0x1234_5678).unwrap();
         let mut bus = FetchBus::new();
         assert_eq!(bus.fetch(&mem, 0x102).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn tap_presence_is_observable() {
+        let mut bus = FetchBus::new();
+        assert!(!bus.has_tap());
+        bus.set_tap(Box::new(FlipBit31));
+        assert!(bus.has_tap());
+        bus.clear_tap();
+        assert!(!bus.has_tap());
+    }
+
+    #[test]
+    fn bulk_fetch_accounting_matches_per_word() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 1).unwrap();
+        let mut per_word = FetchBus::new();
+        for i in 0..5u32 {
+            per_word.fetch(&mem, 0x100 + 4 * i).unwrap();
+        }
+        let mut bulk = FetchBus::new();
+        bulk.note_fetches(5);
+        assert_eq!(bulk.fetch_count(), per_word.fetch_count());
     }
 }

@@ -470,4 +470,70 @@ mod tests {
         m.flip_bit(0x2006, 3);
         assert_eq!(m.read_u32(0x2004).unwrap(), 0x0109_5020 ^ (1 << (3 + 16)));
     }
+
+    #[test]
+    fn read_into_spans_the_dense_page_boundary() {
+        // The text/heap boundary: bytes inside the dense region and the
+        // bytes immediately past it must read back as one coherent run.
+        let mut m = Memory::with_dense_region(0x2000, 8);
+        m.write_u32(0x2004, 0xaabb_ccdd).unwrap(); // last dense word
+        m.write_u32(0x2008, 0x1122_3344).unwrap(); // first page word
+        let mut buf = [0u8; 8];
+        m.read_into(0x2004, &mut buf);
+        assert_eq!(buf, [0xdd, 0xcc, 0xbb, 0xaa, 0x44, 0x33, 0x22, 0x11]);
+        // And approaching from below the region start.
+        m.write_u32(0x1ffc, 0x5566_7788).unwrap();
+        let mut buf = [0u8; 8];
+        m.read_into(0x1ffc, &mut buf);
+        assert_eq!(buf, [0x88, 0x77, 0x66, 0x55, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn read_into_zero_length_and_wraparound() {
+        let mut m = Memory::new();
+        m.read_into(0x1234, &mut []); // no-op, must not panic
+        m.write_u8(0xffff_ffff, 0xaa);
+        m.write_u8(0, 0xbb);
+        let mut buf = [0u8; 2];
+        m.read_into(0xffff_ffff, &mut buf);
+        assert_eq!(buf, [0xaa, 0xbb], "read_into wraps the address space");
+    }
+
+    #[test]
+    fn unaligned_dense_length_rounds_to_a_word_tail() {
+        // A 6-byte request reserves 8 dense bytes, so no aligned access
+        // can straddle the dense/page boundary mid-word.
+        let mut m = Memory::with_dense_region(0x3000, 6);
+        assert_eq!(m.dense_region().unwrap().1.len(), 8);
+        m.write_u32(0x3004, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(0x3004).unwrap(), 0xdead_beef);
+        assert_eq!(m.resident_pages(), 0, "tail word stays dense");
+        // The first word past the rounded tail is page-backed.
+        m.write_u32(0x3008, 7).unwrap();
+        assert_eq!(m.read_u32(0x3008).unwrap(), 7);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn halfword_at_the_dense_tail_stays_dense() {
+        let mut m = Memory::with_dense_region(0x1000, 8);
+        m.write_u16(0x1006, 0xbeef).unwrap(); // last aligned halfword
+        assert_eq!(m.read_u16(0x1006).unwrap(), 0xbeef);
+        m.write_u8(0x1007, 0x7f); // very last dense byte
+        assert_eq!(m.read_u8(0x1007), 0x7f);
+        assert_eq!(m.resident_pages(), 0);
+        // One byte further is the heap side of the boundary.
+        m.write_u8(0x1008, 0x11);
+        assert_eq!(m.read_u8(0x1008), 0x11);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn word_reads_at_the_exact_dense_end_fall_back_to_pages() {
+        let m = Memory::with_dense_region(0x1000, 8);
+        // 0x1008 is one past the region: zero-filled page territory.
+        assert_eq!(m.read_u32(0x1008).unwrap(), 0);
+        assert_eq!(m.read_u16(0x1008).unwrap(), 0);
+        assert_eq!(m.read_u8(0x1008), 0);
+    }
 }

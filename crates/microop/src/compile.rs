@@ -1,19 +1,28 @@
-//! Micro-program compilation: name-keyed wires lowered to slot indices.
+//! Micro-program compilation: name-keyed wires lowered to slot indices,
+//! then to threaded code.
 //!
 //! The interpreter in [`crate::exec`] resolves every wire through a
 //! linear scan of a [`WireEnv`](crate::exec::WireEnv) — fine for tests
 //! and printing, but it costs a `&'static str` comparison per operand
 //! per cycle on the simulator's hot path, plus a fresh `Vec` per
-//! executed program. [`CompiledProgram`] performs that resolution once,
-//! at processor construction: each wire becomes an index into a flat
-//! `u32` slot array the caller provides (and reuses across cycles), so
-//! the per-cycle executor does nothing but indexed loads and stores.
+//! executed program. Two lowered tiers remove that cost:
+//!
+//! 1. [`CompiledProgram`] performs the wire resolution once, at
+//!    processor construction: each wire becomes an index into a flat
+//!    `u32` slot array the caller provides (and reuses across cycles),
+//!    so the per-cycle executor does nothing but indexed loads and
+//!    stores — plus one opcode `match` per op.
+//! 2. [`ThreadedProgram`] removes that last `match`: each compiled op is
+//!    pre-bound to a monomorphic op function (guard conditions and the
+//!    `RHASH`-reset side effect are specialised into distinct functions
+//!    at bind time), so [`execute_threaded`] is nothing but a walk over
+//!    `(fn pointer, operand block)` pairs — classic threaded code.
 //!
 //! Compilation is semantics-preserving by construction — each op maps
-//! 1:1 — and `cimon-pipeline`'s `interp-check` feature cross-executes
-//! both forms every cycle to prove it. One deliberate difference: the
-//! interpreter panics at run time when a program reads a floating wire,
-//! while the compiled form relies on
+//! 1:1 through both lowerings — and `cimon-pipeline`'s `interp-check`
+//! feature cross-executes all three tiers every cycle to prove it. One
+//! deliberate difference: the interpreter panics at run time when a
+//! program reads a floating wire, while the lowered forms rely on
 //! [`ProcessorSpec::validate`](crate::spec::ProcessorSpec::validate)
 //! having rejected such programs statically (a floating read would
 //! otherwise observe a stale or zero slot).
@@ -287,6 +296,279 @@ pub fn execute_compiled<E: MicroEnv + ?Sized>(
     }
 }
 
+/// Operand block of one threaded op: every slot index (and, where the
+/// op needs them, the datapath register and exception line) resolved at
+/// bind time. The meaning of `a`–`e` depends on the op function the
+/// block is paired with; unused fields hold zero.
+#[derive(Clone, Copy, Debug)]
+pub struct OpData {
+    a: u16,
+    b: u16,
+    c: u16,
+    d: u16,
+    e: u16,
+    reg: DReg,
+    exc: ExceptionKind,
+}
+
+impl OpData {
+    fn new() -> OpData {
+        OpData {
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            e: 0,
+            reg: DReg::Cpc,
+            exc: ExceptionKind::HashMiss,
+        }
+    }
+}
+
+/// A threaded op function: monomorphic over the environment type, so
+/// the environment's `fetch`/`hash_step` fast paths inline into each op
+/// body (trait objects still work through the `?Sized` bound).
+pub type OpFn<E> = fn(&OpData, &mut Datapath, &mut E, &mut [u32]);
+
+// The op-function library. Guard conditions are specialised into
+// distinct functions at bind time, so no function contains a `match`.
+fn op_read<E: MicroEnv + ?Sized>(d: &OpData, dp: &mut Datapath, _env: &mut E, slots: &mut [u32]) {
+    slots[d.a as usize] = dp.read(d.reg);
+}
+fn op_write<E: MicroEnv + ?Sized>(d: &OpData, dp: &mut Datapath, _env: &mut E, slots: &mut [u32]) {
+    dp.write(d.reg, slots[d.a as usize]);
+}
+fn op_write_if_eqz<E: MicroEnv + ?Sized>(
+    d: &OpData,
+    dp: &mut Datapath,
+    _env: &mut E,
+    slots: &mut [u32],
+) {
+    if slots[d.b as usize] == 0 {
+        dp.write(d.reg, slots[d.a as usize]);
+    }
+}
+fn op_write_if_nez<E: MicroEnv + ?Sized>(
+    d: &OpData,
+    dp: &mut Datapath,
+    _env: &mut E,
+    slots: &mut [u32],
+) {
+    if slots[d.b as usize] != 0 {
+        dp.write(d.reg, slots[d.a as usize]);
+    }
+}
+fn op_reset<E: MicroEnv + ?Sized>(d: &OpData, dp: &mut Datapath, _env: &mut E, _slots: &mut [u32]) {
+    dp.reset(d.reg);
+}
+fn op_reset_rhash<E: MicroEnv + ?Sized>(
+    _d: &OpData,
+    dp: &mut Datapath,
+    env: &mut E,
+    _slots: &mut [u32],
+) {
+    dp.reset(DReg::Rhash);
+    env.hash_reset();
+}
+fn op_inc_pc<E: MicroEnv + ?Sized>(
+    _d: &OpData,
+    dp: &mut Datapath,
+    _env: &mut E,
+    _slots: &mut [u32],
+) {
+    let pc = dp.read(DReg::Cpc);
+    dp.write(DReg::Cpc, pc.wrapping_add(cimon_isa::INSTR_BYTES));
+}
+fn op_fetch<E: MicroEnv + ?Sized>(d: &OpData, _dp: &mut Datapath, env: &mut E, slots: &mut [u32]) {
+    slots[d.b as usize] = env.fetch(slots[d.a as usize]);
+}
+fn op_hash<E: MicroEnv + ?Sized>(d: &OpData, _dp: &mut Datapath, env: &mut E, slots: &mut [u32]) {
+    slots[d.c as usize] = env.hash_step(slots[d.a as usize], slots[d.b as usize]);
+}
+fn op_iht<E: MicroEnv + ?Sized>(d: &OpData, _dp: &mut Datapath, env: &mut E, slots: &mut [u32]) {
+    let (f, m) = env.iht_lookup(
+        slots[d.a as usize],
+        slots[d.b as usize],
+        slots[d.c as usize],
+    );
+    slots[d.d as usize] = f as u32;
+    slots[d.e as usize] = m as u32;
+}
+fn op_andnot<E: MicroEnv + ?Sized>(
+    d: &OpData,
+    _dp: &mut Datapath,
+    _env: &mut E,
+    slots: &mut [u32],
+) {
+    slots[d.c as usize] = ((slots[d.a as usize] != 0) && (slots[d.b as usize] == 0)) as u32;
+}
+fn op_raise_if_eqz<E: MicroEnv + ?Sized>(
+    d: &OpData,
+    _dp: &mut Datapath,
+    env: &mut E,
+    slots: &mut [u32],
+) {
+    if slots[d.a as usize] == 0 {
+        env.raise(d.exc);
+    }
+}
+fn op_raise_if_nez<E: MicroEnv + ?Sized>(
+    d: &OpData,
+    _dp: &mut Datapath,
+    env: &mut E,
+    slots: &mut [u32],
+) {
+    if slots[d.a as usize] != 0 {
+        env.raise(d.exc);
+    }
+}
+
+/// A [`CompiledProgram`] lowered once more, to threaded code: a list of
+/// pre-bound `(op function, operand block)` pairs over one environment
+/// type. Build with [`ThreadedProgram::bind`], run with
+/// [`execute_threaded`].
+pub struct ThreadedProgram<E: MicroEnv + ?Sized> {
+    name: String,
+    ops: Vec<(OpFn<E>, OpData)>,
+    slot_count: usize,
+}
+
+impl<E: MicroEnv + ?Sized> std::fmt::Debug for ThreadedProgram<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedProgram")
+            .field("name", &self.name)
+            .field("ops", &self.ops.len())
+            .field("slot_count", &self.slot_count)
+            .finish()
+    }
+}
+
+impl<E: MicroEnv + ?Sized> ThreadedProgram<E> {
+    /// Pre-bind every op of a compiled program to its monomorphic op
+    /// function, with guard conditions and the `RHASH`-reset hook
+    /// resolved now rather than per cycle.
+    pub fn bind(compiled: &CompiledProgram) -> ThreadedProgram<E> {
+        let ops = compiled
+            .ops
+            .iter()
+            .map(|op| {
+                let mut d = OpData::new();
+                let f: OpFn<E> = match *op {
+                    CompiledOp::Read { reg, out } => {
+                        d.reg = reg;
+                        d.a = out;
+                        op_read
+                    }
+                    CompiledOp::Write { reg, input } => {
+                        d.reg = reg;
+                        d.a = input;
+                        op_write
+                    }
+                    CompiledOp::WriteGuarded { reg, input, guard } => {
+                        d.reg = reg;
+                        d.a = input;
+                        d.b = guard.slot;
+                        match guard.cond {
+                            Cond::EqZero => op_write_if_eqz,
+                            Cond::NeZero => op_write_if_nez,
+                        }
+                    }
+                    CompiledOp::Reset { reg } => {
+                        d.reg = reg;
+                        if reg == DReg::Rhash {
+                            op_reset_rhash
+                        } else {
+                            op_reset
+                        }
+                    }
+                    CompiledOp::IncPc => op_inc_pc,
+                    CompiledOp::FetchIMem { addr, out } => {
+                        d.a = addr;
+                        d.b = out;
+                        op_fetch
+                    }
+                    CompiledOp::HashOp { old, instr, out } => {
+                        d.a = old;
+                        d.b = instr;
+                        d.c = out;
+                        op_hash
+                    }
+                    CompiledOp::IhtLookup {
+                        start,
+                        end,
+                        hash,
+                        found,
+                        matched,
+                    } => {
+                        d.a = start;
+                        d.b = end;
+                        d.c = hash;
+                        d.d = found;
+                        d.e = matched;
+                        op_iht
+                    }
+                    CompiledOp::AndNot { a, b, out } => {
+                        d.a = a;
+                        d.b = b;
+                        d.c = out;
+                        op_andnot
+                    }
+                    CompiledOp::RaiseException { kind, guard } => {
+                        d.a = guard.slot;
+                        d.exc = kind;
+                        match guard.cond {
+                            Cond::EqZero => op_raise_if_eqz,
+                            Cond::NeZero => op_raise_if_nez,
+                        }
+                    }
+                };
+                (f, d)
+            })
+            .collect();
+        ThreadedProgram {
+            name: compiled.name.clone(),
+            ops,
+            slot_count: compiled.slot_count(),
+        }
+    }
+
+    /// The source program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of wire slots the executor's scratch array must provide
+    /// (identical to the source [`CompiledProgram::slot_count`]).
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+}
+
+/// Execute a threaded program: one indirect call per op, no opcode
+/// dispatch. Same contract as [`execute_compiled`] — input wires
+/// pre-seeded, `slots` reused across cycles, nothing allocates.
+///
+/// # Panics
+///
+/// Panics if `slots` is shorter than [`ThreadedProgram::slot_count`].
+pub fn execute_threaded<E: MicroEnv + ?Sized>(
+    program: &ThreadedProgram<E>,
+    dp: &mut Datapath,
+    env: &mut E,
+    slots: &mut [u32],
+) {
+    assert!(
+        slots.len() >= program.slot_count,
+        "slot scratch too small for `{}`: {} < {}",
+        program.name,
+        slots.len(),
+        program.slot_count,
+    );
+    for (f, d) in &program.ops {
+        f(d, dp, env, slots);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,16 +612,19 @@ mod tests {
         }
     }
 
-    /// Run `program` both interpreted and compiled from the same start
-    /// state and assert identical datapaths and raised exceptions.
+    /// Run `program` through all three tiers — interpreted, compiled,
+    /// threaded — from the same start state and assert identical
+    /// datapaths and raised exceptions.
     fn differential(program: &MicroProgram, iht: (bool, bool)) {
         let words = vec![0x0109_5020, 0xdead_beef, 0x2508_0001];
         let mut dp_i = Datapath::with_seed(0x5eed);
         dp_i.write(DReg::Cpc, 0x40_0000);
         let mut dp_c = dp_i.clone();
+        let mut dp_t = dp_i.clone();
 
         let mut env_i = Script::new(words.clone(), iht);
-        let mut env_c = Script::new(words, iht);
+        let mut env_c = Script::new(words.clone(), iht);
+        let mut env_t = Script::new(words, iht);
 
         execute(program, &mut dp_i, &mut env_i, WireEnv::new());
 
@@ -347,9 +632,25 @@ mod tests {
         let mut slots = vec![0u32; compiled.slot_count()];
         execute_compiled(&compiled, &mut dp_c, &mut env_c, &mut slots);
 
+        let threaded: ThreadedProgram<Script> = ThreadedProgram::bind(&compiled);
+        assert_eq!(threaded.slot_count(), compiled.slot_count());
+        assert_eq!(threaded.name(), compiled.name());
+        let mut tslots = vec![0u32; threaded.slot_count()];
+        execute_threaded(&threaded, &mut dp_t, &mut env_t, &mut tslots);
+
         assert_eq!(dp_i, dp_c, "datapath diverged on `{}`", program.name);
+        assert_eq!(
+            dp_i, dp_t,
+            "threaded datapath diverged on `{}`",
+            program.name
+        );
         assert_eq!(env_i.raised, env_c.raised, "raises diverged");
+        assert_eq!(env_i.raised, env_t.raised, "threaded raises diverged");
         assert_eq!(env_i.fetches, env_c.fetches, "fetch counts diverged");
+        assert_eq!(
+            env_i.fetches, env_t.fetches,
+            "threaded fetch counts diverged"
+        );
     }
 
     #[test]
@@ -423,5 +724,115 @@ mod tests {
         let mut dp = Datapath::new();
         let mut env = Script::new(vec![0], (true, true));
         execute_compiled(&c, &mut dp, &mut env, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot scratch too small")]
+    fn threaded_short_scratch_panics() {
+        let mut p = MicroProgram::new("t");
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("pc"),
+        });
+        let t: ThreadedProgram<Script> = ThreadedProgram::bind(&CompiledProgram::compile(&p));
+        let mut dp = Datapath::new();
+        let mut env = Script::new(vec![0], (true, true));
+        execute_threaded(&t, &mut dp, &mut env, &mut []);
+    }
+
+    #[test]
+    fn threaded_specialises_guards_and_resets() {
+        // A program hitting every specialised op function: guarded
+        // writes of both polarities, a non-RHASH reset, an RHASH reset
+        // (which must fire the env's hash_reset hook), and both raise
+        // polarities.
+        let mut p = MicroProgram::new("specialised");
+        p.push(MicroOp::Read {
+            reg: DReg::Cpc,
+            out: Wire("pc"),
+        })
+        .push(MicroOp::Read {
+            reg: DReg::Sta,
+            out: Wire("sta"),
+        })
+        .push(MicroOp::Write {
+            reg: DReg::Sta,
+            input: Wire("pc"),
+            guard: Some(Guard::eq_zero(Wire("sta"))),
+        })
+        .push(MicroOp::Write {
+            reg: DReg::Ppc,
+            input: Wire("pc"),
+            guard: Some(Guard::ne_zero(Wire("pc"))),
+        })
+        .push(MicroOp::RaiseException {
+            kind: ExceptionKind::HashMiss,
+            guard: Guard::eq_zero(Wire("sta")),
+        })
+        .push(MicroOp::RaiseException {
+            kind: ExceptionKind::HashMismatch,
+            guard: Guard::ne_zero(Wire("pc")),
+        })
+        .push(MicroOp::Reset { reg: DReg::Sta })
+        .push(MicroOp::Reset { reg: DReg::Rhash });
+
+        /// Counts hash resets so the specialised RHASH hook is proven
+        /// to fire through the threaded tier.
+        struct Counting {
+            inner: Script,
+            resets: u32,
+        }
+        impl MicroEnv for Counting {
+            fn fetch(&mut self, addr: u32) -> u32 {
+                self.inner.fetch(addr)
+            }
+            fn hash_step(&mut self, old: u32, instr: u32) -> u32 {
+                self.inner.hash_step(old, instr)
+            }
+            fn hash_reset(&mut self) {
+                self.resets += 1;
+            }
+            fn iht_lookup(&mut self, s: u32, e: u32, h: u32) -> (bool, bool) {
+                self.inner.iht_lookup(s, e, h)
+            }
+            fn raise(&mut self, kind: ExceptionKind) {
+                self.inner.raise(kind);
+            }
+        }
+
+        let mut dp = Datapath::with_seed(0xabcd);
+        dp.write(DReg::Cpc, 0x40_0000);
+        let t: ThreadedProgram<Counting> = ThreadedProgram::bind(&CompiledProgram::compile(&p));
+        let mut slots = vec![0u32; t.slot_count()];
+        let mut env = Counting {
+            inner: Script::new(vec![0], (true, true)),
+            resets: 0,
+        };
+        execute_threaded(&t, &mut dp, &mut env, &mut slots);
+        // eq-zero guard fired (STA was 0, then reset again); ne-zero too.
+        assert_eq!(dp.read(DReg::Sta), 0);
+        assert_eq!(dp.read(DReg::Ppc), 0x40_0000);
+        assert_eq!(dp.read(DReg::Rhash), 0xabcd);
+        assert_eq!(env.resets, 1, "RHASH reset must reach the env exactly once");
+        assert_eq!(
+            env.inner.raised,
+            vec![ExceptionKind::HashMiss, ExceptionKind::HashMismatch]
+        );
+    }
+
+    #[test]
+    fn threaded_works_through_trait_objects() {
+        // `?Sized` bound: a ThreadedProgram<dyn MicroEnv> runs against
+        // any concrete environment behind a &mut dyn.
+        let spec = embed_monitor(&baseline_spec(), &MonitorParams::default());
+        let compiled = CompiledProgram::compile(&spec.if_program);
+        let t: ThreadedProgram<dyn MicroEnv> = ThreadedProgram::bind(&compiled);
+        let mut dp = Datapath::new();
+        dp.write(DReg::Cpc, 0x1000);
+        let mut env = Script::new(vec![0x42], (true, true));
+        let mut slots = vec![0u32; t.slot_count()];
+        execute_threaded(&t, &mut dp, &mut env as &mut dyn MicroEnv, &mut slots);
+        assert_eq!(dp.read(DReg::IReg), 0x42);
+        assert_eq!(dp.read(DReg::Cpc), 0x1004);
     }
 }

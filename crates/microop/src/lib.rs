@@ -41,7 +41,7 @@ pub mod exec;
 pub mod ops;
 pub mod spec;
 
-pub use compile::{execute_compiled, CompiledProgram};
+pub use compile::{execute_compiled, execute_threaded, CompiledProgram, OpData, ThreadedProgram};
 pub use datapath::{DReg, Datapath};
 pub use exec::{execute, ExceptionKind, MicroEnv, WireEnv};
 pub use ops::{Cond, Guard, MicroOp, MicroProgram, Wire};

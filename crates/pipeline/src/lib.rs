@@ -44,17 +44,19 @@
 //! assert_eq!(outcome, RunOutcome::Exited { code: 15 }); // 5+4+3+2+1
 //! ```
 
+pub mod blockexec;
 pub mod monitor;
 pub mod predecode;
 pub mod processor;
 pub mod regfile;
 pub mod timing;
 
+pub use blockexec::{BlockCache, CachedBlock, MAX_BLOCK_LEN};
 pub use monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
 pub use predecode::{PredecodedEntry, PredecodedImage};
 pub use processor::{
-    BlockEvent, ConsoleEvent, FaultKind, MonitorConfig, Predecode, Processor, ProcessorConfig,
-    RunOutcome, RunStats,
+    BlockEvent, BlockExec, BlockExecStats, ConsoleEvent, FaultKind, MonitorConfig, Predecode,
+    Processor, ProcessorConfig, RunOutcome, RunStats,
 };
 pub use regfile::RegFile;
 pub use timing::{Timing, TimingConfig};

@@ -123,6 +123,13 @@ impl PredecodedImage {
         self.entries.is_empty()
     }
 
+    /// The raw predecoded slots in address order (`None` where the
+    /// stored word does not decode) — the block cache groups these into
+    /// basic blocks.
+    pub(crate) fn slots(&self) -> &[Option<PredecodedEntry>] {
+        &self.entries
+    }
+
     /// The cached entry for `pc` — but only if `word`, the instruction
     /// word the fetch bus actually delivered this cycle, is
     /// bit-identical to the word that was predecoded. Any divergence

@@ -7,15 +7,16 @@ use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
 use cimon_isa::{semantics, Funct, IOpcode, Instr, Reg, Syscall, INSTR_BYTES};
 use cimon_mem::{FetchBus, Memory, ProgramImage};
 use cimon_microop::{
-    baseline_spec, embed_monitor, execute_compiled, CompiledProgram, DReg, Datapath, ExceptionKind,
-    MicroEnv, ProcessorSpec,
+    baseline_spec, embed_monitor, execute_threaded, CompiledProgram, DReg, Datapath, ExceptionKind,
+    MicroEnv, MicroProgram, ProcessorSpec, ThreadedProgram,
 };
 #[cfg(feature = "interp-check")]
-use cimon_microop::{execute, MicroProgram, WireEnv};
+use cimon_microop::{execute, execute_compiled, WireEnv};
 use cimon_os::{
     ExceptionCost, FullHashTable, OsKernel, OsStats, RefillPolicyKind, TerminationCause,
 };
 
+use crate::blockexec::BlockCache;
 use crate::monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
 use crate::predecode::{PredecodedEntry, PredecodedImage};
 use crate::regfile::RegFile;
@@ -34,6 +35,64 @@ pub enum Predecode {
     /// Disable the fast path and live-decode every fetched word — the
     /// reference the differential tests compare against.
     Off,
+}
+
+/// Whether the processor executes whole predecoded basic blocks per
+/// dispatch ([`Processor::step_block`]) or steps instruction by
+/// instruction.
+///
+/// Block dispatch requires a predecoded image: with
+/// [`Predecode::Off`], every variant behaves like [`BlockExec::Off`]
+/// (except [`BlockExec::Shared`], which carries its own predecoded
+/// view). Under the `interp-check` feature, `Auto` and `Shared` also
+/// resolve to off so every cycle of the regular test suite flows
+/// through the cross-checked stage micro-programs; an explicit
+/// [`BlockExec::On`] keeps block dispatch even there.
+#[derive(Clone, Debug, Default)]
+pub enum BlockExec {
+    /// Use block dispatch whenever a predecoded image is available
+    /// (the default).
+    #[default]
+    Auto,
+    /// Reuse a shared [`BlockCache`] — sweeps cache one per workload on
+    /// the `cimon_sim::Artifact` beside the FHTs and the predecoded
+    /// image.
+    Shared(Arc<BlockCache>),
+    /// Force block dispatch (even under `interp-check`). Still requires
+    /// a predecoded image to build the cache from.
+    On,
+    /// Per-instruction stepping only — the reference the differential
+    /// tests compare against.
+    Off,
+}
+
+/// Counters of the block-dispatch fast path. Deliberately *not* part of
+/// [`RunStats`]: they describe the simulator's own dispatch behaviour,
+/// which the optimisation contract requires to be architecturally
+/// invisible (the differential tests compare `RunStats` across
+/// block-exec on/off).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockExecStats {
+    /// Blocks dispatched through [`Processor::step_block`]'s fast path.
+    pub dispatches: u64,
+    /// Mid-block surprises (delivered word differing from its
+    /// predecoded form) that bailed out to the per-instruction path.
+    pub bailouts: u64,
+    /// Instructions retired inside dispatched blocks.
+    pub instructions: u64,
+    /// Largest number of instructions retired by one dispatch.
+    pub max_block: u64,
+}
+
+impl BlockExecStats {
+    /// Mean instructions retired per dispatched block.
+    pub fn mean_block(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.dispatches as f64
+        }
+    }
 }
 
 /// Monitoring configuration: checker hardware plus the OS side.
@@ -77,6 +136,8 @@ pub struct ProcessorConfig {
     pub record_blocks: bool,
     /// Where the predecoded instruction table comes from.
     pub predecode: Predecode,
+    /// Whether whole predecoded basic blocks execute per dispatch.
+    pub block_exec: BlockExec,
 }
 
 impl ProcessorConfig {
@@ -88,6 +149,7 @@ impl ProcessorConfig {
             max_cycles: 200_000_000,
             record_blocks: false,
             predecode: Predecode::Auto,
+            block_exec: BlockExec::Auto,
         }
     }
 
@@ -198,217 +260,266 @@ type BlockCheck = (BlockKey, u32, bool, bool);
 
 /// Micro-op environment wiring the spec's programs to the hardware.
 ///
-/// The exception and last-check buffers live on the [`Processor`] and
-/// are reborrowed each cycle, so stepping allocates nothing.
-struct Env<'a> {
-    mem: &'a Memory,
-    bus: &'a mut FetchBus,
-    monitor: &'a mut dyn Monitor,
-    exceptions: &'a mut Vec<ExceptionKind>,
-    last_check: &'a mut Option<BlockCheck>,
+/// Owned by the [`Processor`] as one struct — rather than reborrowed
+/// field by field each cycle — so the threaded executor's op functions
+/// monomorphise over it and the memory fast path inlines into `fetch`.
+/// The exception and last-check buffers are reused across cycles, so
+/// stepping allocates nothing.
+struct EnvState {
+    mem: Memory,
+    bus: FetchBus,
+    monitor: Box<dyn Monitor>,
+    exceptions: Vec<ExceptionKind>,
+    last_check: Option<BlockCheck>,
+    /// Captures unit answers while the `interp-check` feature replays
+    /// each stage through every executor tier.
+    #[cfg(feature = "interp-check")]
+    recording: Option<crosscheck::Recording>,
 }
 
-impl MicroEnv for Env<'_> {
+impl MicroEnv for EnvState {
     fn fetch(&mut self, addr: u32) -> u32 {
         // Instruction memory is backed by the unified memory; unmapped
         // reads yield zero, and alignment is enforced by the bus.
-        self.bus.fetch(self.mem, addr).unwrap_or(0)
+        let w = self.bus.fetch(&self.mem, addr).unwrap_or(0);
+        #[cfg(feature = "interp-check")]
+        if let Some(rec) = &mut self.recording {
+            rec.fetches.push(w);
+        }
+        w
     }
 
     fn hash_step(&mut self, _old: u32, instr: u32) -> u32 {
-        self.monitor.observe_fetch(instr)
+        let h = self.monitor.observe_fetch(instr);
+        #[cfg(feature = "interp-check")]
+        if let Some(rec) = &mut self.recording {
+            rec.hashes.push(h);
+        }
+        h
     }
 
     fn hash_reset(&mut self) {
         self.monitor.hash_reset();
+        #[cfg(feature = "interp-check")]
+        if let Some(rec) = &mut self.recording {
+            rec.resets += 1;
+        }
     }
 
     fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
         let key = BlockKey::new(start, end);
         let (found, matched) = self.monitor.check_block(key, hash);
-        *self.last_check = Some((key, hash, found, matched));
+        self.last_check = Some((key, hash, found, matched));
+        #[cfg(feature = "interp-check")]
+        if let Some(rec) = &mut self.recording {
+            rec.lookups.push((found, matched));
+        }
         (found, matched)
     }
 
     fn raise(&mut self, kind: ExceptionKind) {
         self.exceptions.push(kind);
+        #[cfg(feature = "interp-check")]
+        if let Some(rec) = &mut self.recording {
+            rec.raised.push(kind);
+        }
+    }
+}
+
+/// One stage micro-program in both lowered tiers: the indexed-wire
+/// [`CompiledProgram`] (kept for `interp-check` replay and slot
+/// bookkeeping) and the pre-bound [`ThreadedProgram`] the per-cycle
+/// path executes.
+struct Stage {
+    compiled: CompiledProgram,
+    threaded: ThreadedProgram<EnvState>,
+}
+
+impl Stage {
+    fn lower(program: &MicroProgram) -> Stage {
+        let compiled = CompiledProgram::compile(program);
+        let threaded = ThreadedProgram::bind(&compiled);
+        Stage { compiled, threaded }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.compiled.slot_count()
     }
 }
 
 /// Execute one stage micro-program against the real functional units.
 ///
-/// Normally this is a single [`execute_compiled`] pass. Under the
-/// `interp-check` feature the same stage is also executed through the
-/// interpreter: the compiled pass runs first against the real units
-/// while a recorder captures every unit interaction, then the
-/// interpreted pass replays those recorded answers against a copy of
-/// the entry datapath, and the two final datapaths plus the raised
-/// exception sequences are asserted identical. Real side effects
+/// Normally this is a single [`execute_threaded`] pass. Under the
+/// `interp-check` feature the same stage is executed through all three
+/// tiers: the threaded pass runs against the real units while the
+/// environment records every unit answer, then the indexed-wire
+/// executor and the interpreter replay those recorded answers against
+/// copies of the entry datapath, and the three final datapaths plus the
+/// raised exception sequences are asserted identical. Real side effects
 /// (fetch counts, hash state, IHT traffic) happen exactly once.
 fn run_stage(
-    compiled: &CompiledProgram,
-    interpreted: &ProcessorSpec,
+    stage: &Stage,
+    spec: &ProcessorSpec,
     pick_if: bool,
     dp: &mut Datapath,
-    env: &mut Env<'_>,
+    env: &mut EnvState,
     slots: &mut [u32],
 ) {
     #[cfg(not(feature = "interp-check"))]
     {
-        let _ = (interpreted, pick_if);
-        execute_compiled(compiled, dp, env, slots);
+        let _ = (spec, pick_if);
+        execute_threaded(&stage.threaded, dp, env, slots);
     }
     #[cfg(feature = "interp-check")]
     {
         let program: &MicroProgram = if pick_if {
-            &interpreted.if_program
+            &spec.if_program
         } else {
-            interpreted
-                .id_check_program
+            spec.id_check_program
                 .as_ref()
                 .expect("check stage implies a check program")
         };
-        let mut recorder = crosscheck::Recorder::new(env);
-        let mut compiled_dp = dp.clone();
-        execute_compiled(compiled, &mut compiled_dp, &mut recorder, slots);
-        let mut replayer = recorder.into_replayer();
-        execute(program, dp, &mut replayer, WireEnv::new());
+        env.recording = Some(crosscheck::Recording::default());
+        let mut dp_threaded = dp.clone();
+        execute_threaded(&stage.threaded, &mut dp_threaded, env, slots);
+        let recording = env.recording.take().expect("recording installed above");
+
+        // Tier 2: the indexed-wire executor replays the recorded
+        // answers over a copy of the entry datapath.
+        let mut dp_compiled = dp.clone();
+        let mut replay = recording.replayer();
+        execute_compiled(&stage.compiled, &mut dp_compiled, &mut replay, slots);
+        replay.verify(stage.compiled.name());
+        assert_eq!(
+            dp_threaded,
+            dp_compiled,
+            "threaded/compiled datapath divergence in `{}`",
+            stage.compiled.name()
+        );
+
+        // Tier 3: the interpreter replays into the caller's datapath.
+        let mut replay = recording.replayer();
+        execute(program, dp, &mut replay, WireEnv::new());
+        replay.verify(stage.compiled.name());
         assert_eq!(
             *dp,
-            compiled_dp,
-            "compiled/interpreted datapath divergence in `{}`",
-            compiled.name()
+            dp_threaded,
+            "interpreted/threaded datapath divergence in `{}`",
+            stage.compiled.name()
         );
-        replayer.verify(compiled.name());
     }
 }
 
-/// Record/replay environments backing the `interp-check` feature.
+/// Record/replay support backing the `interp-check` feature.
 #[cfg(feature = "interp-check")]
 mod crosscheck {
-    use super::{Env, ExceptionKind, MicroEnv};
+    use super::ExceptionKind;
+    use cimon_microop::MicroEnv;
 
-    /// Forwards every unit interaction to the real environment and
-    /// records the answers.
-    pub struct Recorder<'a, 'e> {
-        inner: &'a mut Env<'e>,
-        fetches: Vec<u32>,
-        hashes: Vec<u32>,
-        lookups: Vec<(bool, bool)>,
-        resets: u32,
-        raised: Vec<ExceptionKind>,
+    /// Unit answers captured from the threaded pass — the only tier
+    /// that touches the real functional units.
+    #[derive(Default)]
+    pub struct Recording {
+        pub fetches: Vec<u32>,
+        pub hashes: Vec<u32>,
+        pub lookups: Vec<(bool, bool)>,
+        pub resets: u32,
+        pub raised: Vec<ExceptionKind>,
     }
 
-    impl<'a, 'e> Recorder<'a, 'e> {
-        pub fn new(inner: &'a mut Env<'e>) -> Recorder<'a, 'e> {
-            Recorder {
-                inner,
-                fetches: Vec::new(),
-                hashes: Vec::new(),
-                lookups: Vec::new(),
+    impl Recording {
+        /// A fresh replay cursor over the recorded answers (each tier
+        /// replays the same recording independently).
+        pub fn replayer(&self) -> Replayer<'_> {
+            Replayer {
+                rec: self,
+                fetch: 0,
+                hash: 0,
+                lookup: 0,
                 resets: 0,
                 raised: Vec::new(),
             }
         }
-
-        pub fn into_replayer(self) -> Replayer {
-            Replayer {
-                fetches: self.fetches.into_iter(),
-                hashes: self.hashes.into_iter(),
-                lookups: self.lookups.into_iter(),
-                resets_expected: self.resets,
-                resets_seen: 0,
-                raised_expected: self.raised,
-                raised_seen: Vec::new(),
-            }
-        }
     }
 
-    impl MicroEnv for Recorder<'_, '_> {
-        fn fetch(&mut self, addr: u32) -> u32 {
-            let w = self.inner.fetch(addr);
-            self.fetches.push(w);
-            w
-        }
-
-        fn hash_step(&mut self, old: u32, instr: u32) -> u32 {
-            let h = self.inner.hash_step(old, instr);
-            self.hashes.push(h);
-            h
-        }
-
-        fn hash_reset(&mut self) {
-            self.resets += 1;
-            self.inner.hash_reset();
-        }
-
-        fn iht_lookup(&mut self, start: u32, end: u32, hash: u32) -> (bool, bool) {
-            let r = self.inner.iht_lookup(start, end, hash);
-            self.lookups.push(r);
-            r
-        }
-
-        fn raise(&mut self, kind: ExceptionKind) {
-            self.raised.push(kind);
-            self.inner.raise(kind);
-        }
+    /// Serves the recorded answers to a replayed tier and checks it
+    /// asked the same questions in the same order.
+    pub struct Replayer<'a> {
+        rec: &'a Recording,
+        fetch: usize,
+        hash: usize,
+        lookup: usize,
+        resets: u32,
+        raised: Vec<ExceptionKind>,
     }
 
-    /// Serves the recorded answers to the interpreted pass and checks
-    /// it asked the same questions.
-    pub struct Replayer {
-        fetches: std::vec::IntoIter<u32>,
-        hashes: std::vec::IntoIter<u32>,
-        lookups: std::vec::IntoIter<(bool, bool)>,
-        resets_expected: u32,
-        resets_seen: u32,
-        raised_expected: Vec<ExceptionKind>,
-        raised_seen: Vec<ExceptionKind>,
-    }
-
-    impl Replayer {
-        /// Assert the interpreted pass consumed exactly what the
-        /// compiled pass produced.
+    impl Replayer<'_> {
+        /// Assert the replayed tier consumed exactly what the threaded
+        /// pass produced.
         pub fn verify(self, stage: &str) {
             assert_eq!(
-                self.raised_expected, self.raised_seen,
+                self.rec.raised, self.raised,
                 "exception divergence in `{stage}`"
             );
             assert_eq!(
-                self.resets_expected, self.resets_seen,
+                self.rec.resets, self.resets,
                 "hash-reset divergence in `{stage}`"
             );
-            assert_eq!(self.fetches.len(), 0, "fetch-count divergence in `{stage}`");
-            assert_eq!(self.hashes.len(), 0, "hash-count divergence in `{stage}`");
             assert_eq!(
-                self.lookups.len(),
-                0,
+                self.fetch,
+                self.rec.fetches.len(),
+                "fetch-count divergence in `{stage}`"
+            );
+            assert_eq!(
+                self.hash,
+                self.rec.hashes.len(),
+                "hash-count divergence in `{stage}`"
+            );
+            assert_eq!(
+                self.lookup,
+                self.rec.lookups.len(),
                 "lookup-count divergence in `{stage}`"
             );
         }
     }
 
-    impl MicroEnv for Replayer {
+    impl MicroEnv for Replayer<'_> {
         fn fetch(&mut self, _addr: u32) -> u32 {
-            self.fetches.next().expect("interpreter fetched more words")
+            let w = *self
+                .rec
+                .fetches
+                .get(self.fetch)
+                .expect("replayed tier fetched more words");
+            self.fetch += 1;
+            w
         }
 
         fn hash_step(&mut self, _old: u32, _instr: u32) -> u32 {
-            self.hashes.next().expect("interpreter hashed more words")
+            let h = *self
+                .rec
+                .hashes
+                .get(self.hash)
+                .expect("replayed tier hashed more words");
+            self.hash += 1;
+            h
         }
 
         fn hash_reset(&mut self) {
-            self.resets_seen += 1;
+            self.resets += 1;
         }
 
         fn iht_lookup(&mut self, _start: u32, _end: u32, _hash: u32) -> (bool, bool) {
-            self.lookups
-                .next()
-                .expect("interpreter looked up more keys")
+            let r = *self
+                .rec
+                .lookups
+                .get(self.lookup)
+                .expect("replayed tier looked up more keys");
+            self.lookup += 1;
+            r
         }
 
         fn raise(&mut self, kind: ExceptionKind) {
-            self.raised_seen.push(kind);
+            self.raised.push(kind);
         }
     }
 }
@@ -416,25 +527,26 @@ mod crosscheck {
 /// The single-issue 6-stage processor.
 pub struct Processor {
     spec: ProcessorSpec,
-    /// The stage programs lowered to indexed form at construction.
-    if_compiled: CompiledProgram,
-    id_check_compiled: Option<CompiledProgram>,
-    /// Wire-slot scratch shared by both compiled programs, reused
-    /// every cycle.
+    /// The stage programs lowered to indexed + threaded form at
+    /// construction.
+    stage_if: Stage,
+    stage_check: Option<Stage>,
+    /// Wire-slot scratch shared by both stage programs, reused every
+    /// cycle.
     slots: Vec<u32>,
-    /// Exception scratch, reused every cycle.
-    exc_buf: Vec<ExceptionKind>,
-    /// Last block-check scratch, reused every cycle.
-    check_buf: Option<BlockCheck>,
-    /// The image decoded once; `None` disables the fast path.
+    /// The image decoded once; `None` disables the decode fast path.
     predecoded: Option<Arc<PredecodedImage>>,
+    /// The predecoded image grouped into basic blocks; `None` disables
+    /// block dispatch.
+    block_cache: Option<Arc<BlockCache>>,
+    block_stats: BlockExecStats,
     dp: Datapath,
     regs: RegFile,
     hi: u32,
     lo: u32,
-    mem: Memory,
-    bus: FetchBus,
-    monitor: Box<dyn Monitor>,
+    /// Memory, fetch bus, monitor plane, and the per-cycle scratch
+    /// buffers, as one owned micro-op environment.
+    env: EnvState,
     timing: Timing,
     pc: u32,
     done: Option<RunOutcome>,
@@ -505,31 +617,53 @@ impl Processor {
         let mut regs = RegFile::new();
         regs.write(Reg::SP, cimon_mem::image::STACK_TOP);
         regs.write(Reg::GP, image.data.base);
-        let if_compiled = CompiledProgram::compile(&spec.if_program);
-        let id_check_compiled = spec.id_check_program.as_ref().map(CompiledProgram::compile);
-        let slot_count = if_compiled
+        let stage_if = Stage::lower(&spec.if_program);
+        let stage_check = spec.id_check_program.as_ref().map(Stage::lower);
+        let slot_count = stage_if
             .slot_count()
-            .max(id_check_compiled.as_ref().map_or(0, |c| c.slot_count()));
+            .max(stage_check.as_ref().map_or(0, Stage::slot_count));
         let predecoded = match &config.predecode {
             Predecode::Auto => Some(Arc::new(PredecodedImage::new(image))),
             Predecode::Shared(p) => Some(p.clone()),
             Predecode::Off => None,
         };
+        let block_cache = match &config.block_exec {
+            BlockExec::Off => None,
+            BlockExec::Shared(cache) => Some(cache.clone()),
+            BlockExec::Auto | BlockExec::On => predecoded
+                .as_ref()
+                .map(|p| Arc::new(BlockCache::new(p.clone()))),
+        };
+        // Under `interp-check`, only an explicit `On` keeps block
+        // dispatch: every other cycle must flow through the stage
+        // programs so all three executor tiers stay cross-checked.
+        #[cfg(feature = "interp-check")]
+        let block_cache = if matches!(config.block_exec, BlockExec::On) {
+            block_cache
+        } else {
+            None
+        };
         Processor {
             spec,
-            if_compiled,
-            id_check_compiled,
+            stage_if,
+            stage_check,
             slots: vec![0; slot_count],
-            exc_buf: Vec::with_capacity(2),
-            check_buf: None,
             predecoded,
+            block_cache,
+            block_stats: BlockExecStats::default(),
             dp,
             regs,
             hi: 0,
             lo: 0,
-            mem: image.to_memory(),
-            bus: FetchBus::new(),
-            monitor,
+            env: EnvState {
+                mem: image.to_memory(),
+                bus: FetchBus::new(),
+                monitor,
+                exceptions: Vec::with_capacity(2),
+                last_check: None,
+                #[cfg(feature = "interp-check")]
+                recording: None,
+            },
             timing: Timing::new(config.timing),
             pc: image.entry,
             done: None,
@@ -544,18 +678,18 @@ impl Processor {
 
     /// Install a fault tap on the fetch bus (transient in-flight faults).
     pub fn set_bus_tap(&mut self, tap: Box<dyn cimon_mem::BusTap>) {
-        self.bus.set_tap(tap);
+        self.env.bus.set_tap(tap);
     }
 
     /// Mutable access to memory — used by fault injectors to corrupt the
     /// stored image, and by tests to pre-place inputs.
     pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
+        &mut self.env.mem
     }
 
     /// Read-only memory access for result checking.
     pub fn mem(&self) -> &Memory {
-        &self.mem
+        &self.env.mem
     }
 
     /// Current architectural register values.
@@ -565,17 +699,23 @@ impl Processor {
 
     /// The checker, when the installed monitor has one.
     pub fn cic(&self) -> Option<&Cic> {
-        self.monitor.cic()
+        self.env.monitor.cic()
     }
 
     /// The OS kernel, when the installed monitor has one.
     pub fn os(&self) -> Option<&OsKernel> {
-        self.monitor.os()
+        self.env.monitor.os()
     }
 
     /// The installed monitor plane.
     pub fn monitor(&self) -> &dyn Monitor {
-        &*self.monitor
+        &*self.env.monitor
+    }
+
+    /// Counters of the block-dispatch fast path (all zero when block
+    /// execution is off or never engaged).
+    pub fn block_stats(&self) -> BlockExecStats {
+        self.block_stats
     }
 
     /// The generated processor specification in use.
@@ -605,14 +745,21 @@ impl Processor {
             instructions: self.instret,
             cycles: self.timing.cycles(),
             monitor_stall_cycles: self.timing.stall_cycles(),
-            cic: self.monitor.cic_stats(),
-            os: self.monitor.os_stats(),
+            cic: self.env.monitor.cic_stats(),
+            os: self.env.monitor.os_stats(),
             console: self.console.clone(),
         }
     }
 
     /// Run until the program ends (one way or another).
     pub fn run(&mut self) -> RunOutcome {
+        if self.block_cache.is_some() {
+            loop {
+                if let Some(outcome) = self.step_block() {
+                    return outcome;
+                }
+            }
+        }
         loop {
             if let Some(outcome) = self.step() {
                 return outcome;
@@ -622,7 +769,7 @@ impl Processor {
 
     /// Execute one instruction. Returns `Some` when the run has ended.
     ///
-    /// The per-cycle loop is allocation-free: the compiled stage
+    /// The per-cycle loop is allocation-free: the threaded stage
     /// programs run over a reusable slot array, exceptions land in a
     /// reusable buffer, and decode is served from the predecoded image
     /// whenever the fetch bus delivered exactly the word that was
@@ -638,26 +785,29 @@ impl Processor {
 
         let pc = self.pc;
         self.dp.write(DReg::Cpc, pc);
-        self.exc_buf.clear();
-        self.check_buf = None;
+        self.env.exceptions.clear();
+        self.env.last_check = None;
 
         // ---- IF: run the spec's micro-program (fetch, latch, hash). ----
         run_stage(
-            &self.if_compiled,
+            &self.stage_if,
             &self.spec,
             true,
             &mut self.dp,
-            &mut Env {
-                mem: &self.mem,
-                bus: &mut self.bus,
-                monitor: self.monitor.as_mut(),
-                exceptions: &mut self.exc_buf,
-                last_check: &mut self.check_buf,
-            },
+            &mut self.env,
             &mut self.slots,
         );
         let word = self.dp.read(DReg::IReg);
+        self.step_after_fetch(pc, word)
+    }
 
+    /// Everything one instruction does after its word left the fetch
+    /// stage: decode, block-end check, functional execute, timing, and
+    /// exception resolution. Shared verbatim between [`Processor::step`]
+    /// and the mid-block bail-out of [`Processor::step_block`], so a
+    /// bailed instruction completes bit-identically to per-instruction
+    /// stepping.
+    fn step_after_fetch(&mut self, pc: u32, word: u32) -> Option<RunOutcome> {
         // ---- ID: decode (predecode fast path, live fallback). ----
         let entry = match self.predecoded.as_ref().and_then(|p| p.lookup(pc, word)) {
             Some(e) => *e,
@@ -684,22 +834,16 @@ impl Processor {
         // interlocks (see resolve_pending below).
         let mut pending = false;
         if entry.is_control_flow {
-            if let Some(check_program) = &self.id_check_compiled {
+            if let Some(stage) = &self.stage_check {
                 run_stage(
-                    check_program,
+                    stage,
                     &self.spec,
                     false,
                     &mut self.dp,
-                    &mut Env {
-                        mem: &self.mem,
-                        bus: &mut self.bus,
-                        monitor: self.monitor.as_mut(),
-                        exceptions: &mut self.exc_buf,
-                        last_check: &mut self.check_buf,
-                    },
+                    &mut self.env,
                     &mut self.slots,
                 );
-                pending = !self.exc_buf.is_empty();
+                pending = !self.env.exceptions.is_empty();
             }
             if self.record_blocks {
                 if let Some(start) = self.shadow_block_start.take() {
@@ -742,20 +886,227 @@ impl Processor {
         None
     }
 
+    /// Execute one whole cached basic block per dispatch — the fast
+    /// path. Returns `Some` when the run has ended.
+    ///
+    /// Architectural state (registers, memory, timing, monitor state,
+    /// every statistic) advances per instruction exactly as
+    /// [`Processor::step`] would, but the per-instruction machinery —
+    /// stage micro-programs, datapath register traffic, predecode
+    /// lookups, scratch-buffer resets — is hoisted to block boundaries,
+    /// mirroring how the paper's CIC checks integrity only at a block's
+    /// terminating control-flow instruction.
+    ///
+    /// The bail-out contract: any mid-block surprise returns to the
+    /// per-instruction path with bit-identical state. A delivered word
+    /// differing from its predecoded form (stored-image tampering, an
+    /// in-flight bus-tap fault) finishes *that* instruction — with the
+    /// word the bus actually delivered, never a refetch — through the
+    /// same [`step_after_fetch`](Processor::step) tail `step` uses; the
+    /// cycle budget is polled before every instruction so `MaxCycles`
+    /// lands on exactly the instruction it would under per-instruction
+    /// stepping; hash-miss stalls and kill verdicts resolve at the
+    /// block-terminating instruction, where the per-instruction path
+    /// resolves them too. When no block is cached for the current PC
+    /// (live-decode territory) this defers to [`Processor::step`].
+    pub fn step_block(&mut self) -> Option<RunOutcome> {
+        if let Some(done) = self.done {
+            return Some(done);
+        }
+        let cache = match &self.block_cache {
+            Some(c) => c.clone(),
+            None => return self.step(),
+        };
+        let block = match cache.block_at(self.pc) {
+            Some(b) => b,
+            None => return self.step(),
+        };
+
+        // Bulk validation: with a clean bus and no mid-block store, one
+        // comparison against the dense text region proves every word
+        // the per-word path would fetch. Ineligibility (tap installed,
+        // self-modification possible, block outside the dense region)
+        // or failure (tampering) selects per-word fetching, which is
+        // exact in all cases and bails out at the diverging word.
+        let bulk = !self.env.bus.has_tap() && block.bulk_ok && {
+            match self.env.mem.dense_region() {
+                Some((base, bytes)) => {
+                    let off = self.pc.wrapping_sub(base) as usize;
+                    bytes.get(off..off.wrapping_add(block.bytes.len())) == Some(block.bytes)
+                }
+                None => false,
+            }
+        };
+        let monitored = self.stage_check.is_some();
+        let mut sta = self.dp.read(DReg::Sta);
+        let mut rhash = self.dp.read(DReg::Rhash);
+        self.block_stats.dispatches += 1;
+        let dispatch_start = self.instret;
+
+        let mut reached = 0u64;
+        let exit = if bulk {
+            self.block_loop::<true>(block.entries, monitored, &mut sta, &mut rhash, &mut reached)
+        } else {
+            self.block_loop::<false>(block.entries, monitored, &mut sta, &mut rhash, &mut reached)
+        };
+        if bulk {
+            // Bulk validation stood in for the per-word fetches of
+            // exactly the instructions the loop reached (an early
+            // `MaxCycles` never fetches the instruction it stops on, so
+            // the count matches per-instruction stepping).
+            self.env.bus.note_fetches(reached);
+        }
+        if let BlockLoopExit::Bail { pc, word } = exit {
+            // Mid-block surprise: hand exactly this instruction — with
+            // the word the bus actually delivered — to the
+            // per-instruction path, the datapath synced to what the IF
+            // micro-program would have produced.
+            self.block_stats.bailouts += 1;
+            self.account_dispatch(dispatch_start);
+            self.dp.write(DReg::Cpc, pc.wrapping_add(INSTR_BYTES));
+            self.dp.write(DReg::IReg, word);
+            self.dp.write(DReg::Ppc, pc);
+            self.dp.write(DReg::Sta, sta);
+            self.dp.write(DReg::Rhash, rhash);
+            self.env.exceptions.clear();
+            self.env.last_check = None;
+            return self.step_after_fetch(pc, word);
+        }
+
+        // Re-sync the datapath registers the per-instruction path
+        // consumes (STA as the block-start guard, RHASH as the check
+        // program's hash input); CPC/PPC/IReg are rewritten by the IF
+        // micro-program before any read.
+        self.dp.write(DReg::Sta, sta);
+        self.dp.write(DReg::Rhash, rhash);
+        self.account_dispatch(dispatch_start);
+        match exit {
+            BlockLoopExit::Finished(outcome) => self.finish(outcome),
+            _ => None,
+        }
+    }
+
+    /// The per-instruction body of one block dispatch, specialised on
+    /// the validation mode: with `BULK` the block's words were already
+    /// proven identical to memory, so the loop carries no fetch calls,
+    /// word comparisons, or bail-out arm at all; without it every word
+    /// goes through the real fetch bus (taps fire in order) and any
+    /// divergence exits with [`BlockLoopExit::Bail`].
+    fn block_loop<const BULK: bool>(
+        &mut self,
+        entries: &[PredecodedEntry],
+        monitored: bool,
+        sta: &mut u32,
+        rhash: &mut u32,
+        reached: &mut u64,
+    ) -> BlockLoopExit {
+        for entry in entries {
+            let pc = self.pc;
+            if self.timing.cycles() > self.max_cycles {
+                return BlockLoopExit::Finished(RunOutcome::MaxCycles);
+            }
+            let word = if BULK {
+                *reached += 1;
+                entry.word
+            } else {
+                self.env.bus.fetch(&self.env.mem, pc).unwrap_or(0)
+            };
+            if monitored {
+                *rhash = self.env.monitor.observe_fetch(word);
+                if *sta == 0 {
+                    *sta = pc;
+                }
+            }
+            if !BULK && word != entry.word {
+                return BlockLoopExit::Bail { pc, word };
+            }
+            if self.record_blocks && self.shadow_block_start.is_none() {
+                self.shadow_block_start = Some(pc);
+            }
+
+            // ---- Block-end check (ID of the control-flow instruction,
+            // which by construction is the block's last entry). ----
+            let mut pending = None;
+            if entry.is_control_flow {
+                if monitored {
+                    let key = BlockKey::new(*sta, pc);
+                    let (found, matched) = self.env.monitor.check_block(key, *rhash);
+                    if !found {
+                        pending = Some((ExceptionKind::HashMiss, key, *rhash));
+                    } else if !matched {
+                        pending = Some((ExceptionKind::HashMismatch, key, *rhash));
+                    }
+                    *sta = 0;
+                    *rhash = self.dp.rhash_seed;
+                    self.env.monitor.hash_reset();
+                }
+                if self.record_blocks {
+                    if let Some(start) = self.shadow_block_start.take() {
+                        self.blocks.push(BlockEvent {
+                            key: BlockKey::new(start, pc),
+                        });
+                    }
+                }
+            }
+
+            // ---- Execute + timing, identical to the slow path. ----
+            let exec = match self.execute_instr(pc, entry.instr) {
+                Ok(e) => e,
+                Err(fault) => return BlockLoopExit::Finished(RunOutcome::Fault(fault)),
+            };
+            self.timing.issue(
+                entry.klass,
+                entry.sources.as_slice(),
+                entry.reads_hi,
+                entry.reads_lo,
+                entry.dest,
+                entry.writes_hilo,
+                exec.taken,
+            );
+            self.instret += 1;
+
+            // ---- Exception resolution (after issue). ----
+            if let Some((kind, key, hash)) = pending {
+                match self.env.monitor.resolve(kind, key, hash) {
+                    Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                    Verdict::Kill(cause) => {
+                        return BlockLoopExit::Finished(RunOutcome::Detected { cause, pc });
+                    }
+                }
+            }
+            if let Some(code) = exec.exit {
+                return BlockLoopExit::Finished(RunOutcome::Exited { code });
+            }
+            self.pc = exec.next_pc;
+        }
+        BlockLoopExit::Done
+    }
+
+    /// Fold one finished dispatch into the block-exec counters.
+    fn account_dispatch(&mut self, dispatch_start: u64) {
+        let n = self.instret - dispatch_start;
+        self.block_stats.instructions += n;
+        if n > self.block_stats.max_block {
+            self.block_stats.max_block = n;
+        }
+    }
+
     fn finish(&mut self, outcome: RunOutcome) -> Option<RunOutcome> {
         self.done = Some(outcome);
         Some(outcome)
     }
 
     /// Sort out monitoring exceptions raised by the ID check program
-    /// (waiting in `exc_buf`) by asking the monitor plane for a verdict
-    /// on each.
+    /// (waiting in the environment's exception buffer) by asking the
+    /// monitor plane for a verdict on each.
     fn resolve_pending(&mut self, pc: u32) -> Option<RunOutcome> {
-        let (key, hash, _found, _matched) =
-            self.check_buf.expect("exception implies a lookup happened");
-        for i in 0..self.exc_buf.len() {
-            let kind = self.exc_buf[i];
-            match self.monitor.resolve(kind, key, hash) {
+        let (key, hash, _found, _matched) = self
+            .env
+            .last_check
+            .expect("exception implies a lookup happened");
+        for i in 0..self.env.exceptions.len() {
+            let kind = self.env.exceptions[i];
+            match self.env.monitor.resolve(kind, key, hash) {
                 Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
                 Verdict::Kill(cause) => return Some(RunOutcome::Detected { cause, pc }),
             }
@@ -858,33 +1209,35 @@ impl Processor {
         let fault = |_| FaultKind::MemFault { pc };
         match op {
             IOpcode::Lb => {
-                let v = self.mem.read_u8(addr) as i8 as i32 as u32;
+                let v = self.env.mem.read_u8(addr) as i8 as i32 as u32;
                 self.regs.write(rt, v);
             }
             IOpcode::Lbu => {
-                let v = self.mem.read_u8(addr) as u32;
+                let v = self.env.mem.read_u8(addr) as u32;
                 self.regs.write(rt, v);
             }
             IOpcode::Lh => {
-                let v = self.mem.read_u16(addr).map_err(fault)? as i16 as i32 as u32;
+                let v = self.env.mem.read_u16(addr).map_err(fault)? as i16 as i32 as u32;
                 self.regs.write(rt, v);
             }
             IOpcode::Lhu => {
-                let v = self.mem.read_u16(addr).map_err(fault)? as u32;
+                let v = self.env.mem.read_u16(addr).map_err(fault)? as u32;
                 self.regs.write(rt, v);
             }
             IOpcode::Lw => {
-                let v = self.mem.read_u32(addr).map_err(fault)?;
+                let v = self.env.mem.read_u32(addr).map_err(fault)?;
                 self.regs.write(rt, v);
             }
-            IOpcode::Sb => self.mem.write_u8(addr, self.regs.read(rt) as u8),
+            IOpcode::Sb => self.env.mem.write_u8(addr, self.regs.read(rt) as u8),
             IOpcode::Sh => {
-                self.mem
+                self.env
+                    .mem
                     .write_u16(addr, self.regs.read(rt) as u16)
                     .map_err(fault)?;
             }
             IOpcode::Sw => {
-                self.mem
+                self.env
+                    .mem
                     .write_u32(addr, self.regs.read(rt))
                     .map_err(fault)?;
             }
@@ -898,6 +1251,17 @@ struct Exec {
     next_pc: u32,
     taken: bool,
     exit: Option<u32>,
+}
+
+/// How one block-dispatch loop ended.
+enum BlockLoopExit {
+    /// Every entry executed; the block completed normally.
+    Done,
+    /// The run ended (exit, fault, detection, cycle budget).
+    Finished(RunOutcome),
+    /// A delivered word diverged from its predecoded form: the current
+    /// instruction must complete on the per-instruction path.
+    Bail { pc: u32, word: u32 },
 }
 
 #[cfg(test)]

@@ -15,11 +15,13 @@ impl RegFile {
     }
 
     /// Read a register. `$zero` always reads 0.
+    #[inline]
     pub fn read(&self, r: Reg) -> u32 {
         self.regs[r.index()]
     }
 
     /// Write a register. Writes to `$zero` are discarded.
+    #[inline]
     pub fn write(&mut self, r: Reg, value: u32) {
         if !r.is_zero() {
             self.regs[r.index()] = value;

@@ -112,6 +112,7 @@ impl Timing {
     ///
     /// Returns the ID cycle assigned.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub fn issue(
         &mut self,
         class: IssueClass,
@@ -183,12 +184,14 @@ impl Timing {
 
     /// Freeze the front end for `n` cycles (monitoring exception
     /// handling by the OS).
+    #[inline]
     pub fn stall(&mut self, n: u64) {
         self.last_id += n;
         self.stall_cycles += n;
     }
 
     /// Total cycles elapsed: last ID plus the drain of RR/EX/MEM/WB.
+    #[inline]
     pub fn cycles(&self) -> u64 {
         if self.instructions == 0 {
             0

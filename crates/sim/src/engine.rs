@@ -53,19 +53,21 @@ use cimon_core::HashAlgoKind;
 use cimon_hashgen::{static_fht, HashGenError};
 use cimon_mem::ProgramImage;
 use cimon_os::FullHashTable;
-use cimon_pipeline::{PredecodedImage, RunOutcome};
+use cimon_pipeline::{BlockCache, PredecodedImage, RunOutcome};
 
 use crate::{run_baseline_prepared, run_monitored_prepared, RunReport, SimConfig};
 
 /// A workload prepared for the grid: image shared behind an [`Arc`],
-/// FHTs generated once per `(hash algo, seed)` and cached, and the
-/// image predecoded once for every grid point's fetch fast path.
+/// FHTs generated once per `(hash algo, seed)` and cached, the image
+/// predecoded once for every grid point's fetch fast path, and the
+/// predecoded image grouped once into basic blocks for block dispatch.
 pub struct Artifact {
     name: String,
     image: Arc<ProgramImage>,
     expected_exit: Option<u32>,
     fhts: Mutex<HashMap<(HashAlgoKind, u32), Arc<FullHashTable>>>,
     predecoded: OnceLock<Arc<PredecodedImage>>,
+    blocks: OnceLock<Arc<BlockCache>>,
 }
 
 impl std::fmt::Debug for Artifact {
@@ -92,6 +94,7 @@ impl Artifact {
             expected_exit,
             fhts: Mutex::new(HashMap::new()),
             predecoded: OnceLock::new(),
+            blocks: OnceLock::new(),
         })
     }
 
@@ -145,6 +148,16 @@ impl Artifact {
             .get_or_init(|| Arc::new(PredecodedImage::new(&self.image)))
             .clone()
     }
+
+    /// The predecoded image grouped into basic blocks once, shared by
+    /// every grid point over this workload (the processor's block
+    /// dispatch fast path). Cached beside the FHTs and the predecoded
+    /// image.
+    pub fn block_cache(&self) -> Arc<BlockCache> {
+        self.blocks
+            .get_or_init(|| Arc::new(BlockCache::new(self.predecoded())))
+            .clone()
+    }
 }
 
 /// One grid point: a prepared artifact run under one configuration.
@@ -186,18 +199,24 @@ impl Experiment {
     /// runs whose table is not already cached.
     pub fn run(&self) -> Result<ResultRow, HashGenError> {
         let predecoded = self.artifact.predecoded();
+        let blocks = self.artifact.block_cache();
         let (report, fht_entries) = if self.monitored {
             let fht = self
                 .artifact
                 .fht(self.config.hash_algo, self.config.hash_seed)?;
             let entries = fht.len();
             (
-                run_monitored_prepared(&self.artifact.image, fht, &self.config, predecoded),
+                run_monitored_prepared(&self.artifact.image, fht, &self.config, predecoded, blocks),
                 entries,
             )
         } else {
             (
-                run_baseline_prepared(&self.artifact.image, self.config.max_cycles, predecoded),
+                run_baseline_prepared(
+                    &self.artifact.image,
+                    self.config.max_cycles,
+                    predecoded,
+                    blocks,
+                ),
                 0,
             )
         };
@@ -510,6 +529,18 @@ mod tests {
         assert!(Arc::ptr_eq(&p1, &p2), "predecode must be cached");
         assert_eq!(p1.base(), a.image().text.base);
         assert_eq!(p1.len(), a.image().text.bytes.len() / 4);
+    }
+
+    #[test]
+    fn artifact_groups_blocks_once_and_shares() {
+        let a = artifact();
+        let b1 = a.block_cache();
+        let b2 = a.block_cache();
+        assert!(Arc::ptr_eq(&b1, &b2), "block cache must be cached");
+        // Built over the same predecoded image the artifact shares.
+        assert!(Arc::ptr_eq(b1.image(), &a.predecoded()));
+        assert_eq!(b1.len(), a.predecoded().len());
+        assert!(b1.block_count() > 0);
     }
 
     #[test]

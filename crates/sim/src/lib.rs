@@ -38,7 +38,8 @@ use cimon_hashgen::{static_fht, HashGenError};
 use cimon_mem::ProgramImage;
 use cimon_os::{ExceptionCost, FullHashTable, RefillPolicyKind};
 use cimon_pipeline::{
-    MonitorConfig, Predecode, PredecodedImage, Processor, ProcessorConfig, RunOutcome, RunStats,
+    BlockCache, BlockExec, MonitorConfig, Predecode, PredecodedImage, Processor, ProcessorConfig,
+    RunOutcome, RunStats,
 };
 
 pub mod engine;
@@ -112,29 +113,38 @@ pub fn run_baseline(image: &ProgramImage) -> RunReport {
 /// cycle budget (so sweeps give baseline and monitored rows the same
 /// cap).
 pub fn run_baseline_with_max(image: &ProgramImage, max_cycles: u64) -> RunReport {
-    run_baseline_configured(image, max_cycles, Predecode::Auto)
+    run_baseline_configured(image, max_cycles, Predecode::Auto, BlockExec::Auto)
 }
 
-/// [`run_baseline_with_max`] with a shared predecoded image, so
-/// repeated runs (sweeps) skip the per-run decode pass.
+/// [`run_baseline_with_max`] with a shared predecoded image and block
+/// cache, so repeated runs (sweeps) skip the per-run decode and
+/// block-grouping passes.
 pub fn run_baseline_prepared(
     image: &ProgramImage,
     max_cycles: u64,
     predecoded: Arc<PredecodedImage>,
+    blocks: Arc<BlockCache>,
 ) -> RunReport {
-    run_baseline_configured(image, max_cycles, Predecode::Shared(predecoded))
+    run_baseline_configured(
+        image,
+        max_cycles,
+        Predecode::Shared(predecoded),
+        BlockExec::Shared(blocks),
+    )
 }
 
 fn run_baseline_configured(
     image: &ProgramImage,
     max_cycles: u64,
     predecode: Predecode,
+    block_exec: BlockExec,
 ) -> RunReport {
     let mut cpu = Processor::new(
         image,
         ProcessorConfig {
             max_cycles,
             predecode,
+            block_exec,
             ..ProcessorConfig::baseline()
         },
     );
@@ -186,18 +196,26 @@ pub fn run_monitored_with_fht(
     fht: impl Into<Arc<FullHashTable>>,
     config: &SimConfig,
 ) -> RunReport {
-    run_monitored_configured(image, fht.into(), config, Predecode::Auto)
+    run_monitored_configured(image, fht.into(), config, Predecode::Auto, BlockExec::Auto)
 }
 
-/// [`run_monitored_with_fht`] with a shared predecoded image, so
-/// repeated runs (sweeps) skip the per-run decode pass.
+/// [`run_monitored_with_fht`] with a shared predecoded image and block
+/// cache, so repeated runs (sweeps) skip the per-run decode and
+/// block-grouping passes.
 pub fn run_monitored_prepared(
     image: &ProgramImage,
     fht: impl Into<Arc<FullHashTable>>,
     config: &SimConfig,
     predecoded: Arc<PredecodedImage>,
+    blocks: Arc<BlockCache>,
 ) -> RunReport {
-    run_monitored_configured(image, fht.into(), config, Predecode::Shared(predecoded))
+    run_monitored_configured(
+        image,
+        fht.into(),
+        config,
+        Predecode::Shared(predecoded),
+        BlockExec::Shared(blocks),
+    )
 }
 
 fn run_monitored_configured(
@@ -205,6 +223,7 @@ fn run_monitored_configured(
     fht: Arc<FullHashTable>,
     config: &SimConfig,
     predecode: Predecode,
+    block_exec: BlockExec,
 ) -> RunReport {
     let fht_entries = fht.len();
     let cic = CicConfig {
@@ -226,6 +245,7 @@ fn run_monitored_configured(
             monitor: Some(monitor),
             max_cycles: config.max_cycles,
             predecode,
+            block_exec,
             ..ProcessorConfig::baseline()
         },
     );
