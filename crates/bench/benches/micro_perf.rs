@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks of the monitor's hardware-model hot
-//! paths: HASHFU throughput per algorithm, IHT lookup latency across
-//! table sizes, and end-to-end simulator speed.
+//! paths: HASHFU throughput per algorithm (word-at-a-time and
+//! batched), FHT generation, IHT lookup latency across table sizes,
+//! the scheduler's slice vs mask vs fused-block issue paths, and
+//! end-to-end simulator speed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use cimon_core::hash::hasher_for;
+use cimon_core::hash::{hash_block, hasher_for};
 use cimon_core::{BlockKey, BlockRecord, CicConfig, HashAlgoKind, Iht};
-use cimon_pipeline::{Processor, ProcessorConfig};
+use cimon_pipeline::predecode::PredecodedImage;
+use cimon_pipeline::{BlockPlan, Processor, ProcessorConfig, Timing, TimingConfig};
 use cimon_sim::SimConfig;
 
 fn bench_hash_units(c: &mut Criterion) {
@@ -29,6 +32,130 @@ fn bench_hash_units(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+fn bench_hash_batched(c: &mut Criterion) {
+    // The batched entry point the FHT generators and the block
+    // dispatcher use, against the per-word loop it replaced.
+    let words: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let mut group = c.benchmark_group("hashfu_batched");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    for kind in HashAlgoKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| std::hint::black_box(hash_block(kind, 0x5eed, &words)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fht_generation(c: &mut Criterion) {
+    // Whole-image static analysis per algorithm: what an OS loader (or
+    // `cimon_sim::Artifact::fht`) pays to prepare one workload.
+    let w = cimon_workloads::get("sha").expect("exists");
+    let mut group = c.benchmark_group("fht_generation");
+    group.sample_size(10);
+    for kind in [
+        HashAlgoKind::Xor,
+        HashAlgoKind::Fletcher32,
+        HashAlgoKind::Crc32,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let (fht, _) =
+                        cimon_hashgen::static_fht(&w.image, &[], kind, 0x5eed).expect("analyses");
+                    std::hint::black_box(fht.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_timing_issue(c: &mut Criterion) {
+    // The scheduler itself, isolated: the slice-based oracle path, the
+    // mask-based fast path, and the fused block replay — driven by the
+    // predecoded entries of a real workload's text so the instruction
+    // mix is representative.
+    let w = cimon_workloads::get("bitcount").expect("exists");
+    let pre = PredecodedImage::new(&w.image);
+    let image = std::sync::Arc::new(pre);
+    let entries: Vec<_> = (0..image.len())
+        .filter_map(|i| {
+            let pc = image.base() + 4 * i as u32;
+            let word = u32::from_le_bytes(
+                w.image.text.bytes[4 * i..4 * i + 4]
+                    .try_into()
+                    .expect("word"),
+            );
+            image.lookup(pc, word).copied()
+        })
+        .collect();
+    let mut group = c.benchmark_group("timing_issue");
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("slice", |b| {
+        b.iter(|| {
+            let mut t = Timing::default();
+            for e in &entries {
+                t.issue(
+                    e.klass,
+                    e.sources.as_slice(),
+                    e.reads_hi,
+                    e.reads_lo,
+                    e.dest,
+                    e.writes_hilo,
+                    false,
+                );
+            }
+            std::hint::black_box(t.cycles())
+        });
+    });
+    group.bench_function("masks", |b| {
+        b.iter(|| {
+            let mut t = Timing::default();
+            for e in &entries {
+                t.issue_masks(e.klass, e.src_mask, e.dest_mask, false);
+            }
+            std::hint::black_box(t.cycles())
+        });
+    });
+    // Fused: the straight-line runs planned once, replayed per "dispatch".
+    let straight: Vec<_> = entries
+        .iter()
+        .filter(|e| !e.is_control_flow)
+        .copied()
+        .collect();
+    let plans: Vec<BlockPlan> = straight
+        .chunks(8)
+        .map(|c| BlockPlan::build(c, TimingConfig::default()))
+        .collect();
+    group.throughput(Throughput::Elements(straight.len() as u64));
+    let chunks: Vec<&[_]> = straight.chunks(8).collect();
+    group.bench_function("issue_block", |b| {
+        b.iter(|| {
+            let mut t = Timing::default();
+            for (plan, chunk) in plans.iter().zip(&chunks) {
+                let x = t.block_entry_id();
+                if t.plan_fits(plan, u64::MAX) {
+                    t.issue_block(plan, x);
+                } else {
+                    // Same fallback the dispatcher takes, so every
+                    // entry issues and the three rows stay comparable.
+                    for e in *chunk {
+                        t.issue_masks(e.klass, e.src_mask, e.dest_mask, false);
+                    }
+                }
+            }
+            std::hint::black_box(t.cycles())
+        });
+    });
     group.finish();
 }
 
@@ -87,5 +214,13 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hash_units, bench_iht_lookup, bench_simulator);
+criterion_group!(
+    benches,
+    bench_hash_units,
+    bench_hash_batched,
+    bench_fht_generation,
+    bench_timing_issue,
+    bench_iht_lookup,
+    bench_simulator
+);
 criterion_main!(benches);

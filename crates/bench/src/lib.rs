@@ -287,6 +287,10 @@ pub struct CensusRow {
     pub block_mean: f64,
     /// Largest dispatched superblock in instructions.
     pub block_max: u64,
+    /// Dispatches entered through a cached superblock chain edge.
+    pub chain_hits: u64,
+    /// Edge consultations that fell back to the cache lookup.
+    pub chain_misses: u64,
 }
 
 /// Reproduce the block census across the suite. Baselines run through
@@ -331,6 +335,8 @@ pub fn block_census() -> Vec<CensusRow> {
                 instructions: b.instructions,
                 block_mean: block.mean_block(),
                 block_max: block.max_block,
+                chain_hits: block.chain_hits,
+                chain_misses: block.chain_misses,
             }
         })
         .collect()

@@ -121,6 +121,17 @@ impl Cic {
         self.hasher.digest()
     }
 
+    /// A whole run of `HASHFU.ope` steps in one call: absorb every
+    /// word in order and return the digest after the last — exactly
+    /// what per-word [`Cic::hash_step`] calls would leave behind
+    /// (counter included), with the intermediate digest readbacks the
+    /// block dispatcher never consumes skipped.
+    pub fn hash_block_step(&mut self, words: &[u32]) -> u32 {
+        self.stats.words_hashed += words.len() as u64;
+        self.hasher.update_block(words);
+        self.hasher.digest()
+    }
+
     /// The current digest without absorbing anything.
     pub fn hash_value(&self) -> u32 {
         self.hasher.digest()

@@ -25,6 +25,16 @@ pub trait BlockHasher {
     fn reset(&mut self);
     /// Absorb one instruction word.
     fn update(&mut self, word: u32);
+    /// Absorb a run of instruction words in one call. Exactly
+    /// equivalent to calling [`update`](BlockHasher::update) once per
+    /// word in order; implementations override it to batch (the FHT
+    /// generators and the block dispatcher hash block-sized chunks, so
+    /// the per-word call overhead is worth removing).
+    fn update_block(&mut self, words: &[u32]) {
+        for &w in words {
+            self.update(w);
+        }
+    }
     /// The current 32-bit digest (the value mirrored in `RHASH`).
     fn digest(&self) -> u32;
     /// Which algorithm this unit implements.
@@ -50,6 +60,18 @@ pub fn hash_words(kind: HashAlgoKind, seed: u32, words: impl IntoIterator<Item =
     for w in words {
         h.update(w);
     }
+    h.digest()
+}
+
+/// Hash one block-sized word slice in a single batched call —
+/// bit-identical to [`hash_words`] over the same sequence, but the
+/// whole chunk flows through [`BlockHasher::update_block`], so the
+/// per-word dispatch and any per-word state commits are amortised.
+/// This is the entry point the static analyser, the trace generator,
+/// and the incremental re-hash share.
+pub fn hash_block(kind: HashAlgoKind, seed: u32, words: &[u32]) -> u32 {
+    let mut h = HashAlgo::new(kind, seed);
+    h.update_block(words);
     h.digest()
 }
 
@@ -113,6 +135,19 @@ impl BlockHasher for HashAlgo {
     }
 
     #[inline]
+    fn update_block(&mut self, words: &[u32]) {
+        // One dispatch per block instead of one per word, into each
+        // unit's own batched absorb.
+        match self {
+            HashAlgo::Xor(h) => h.update_block(words),
+            HashAlgo::SeededXor(h) => h.update_block(words),
+            HashAlgo::Fletcher32(h) => h.update_block(words),
+            HashAlgo::Crc32(h) => h.update_block(words),
+            HashAlgo::Sha1(h) => h.update_block(words),
+        }
+    }
+
+    #[inline]
     fn digest(&self) -> u32 {
         match self {
             HashAlgo::Xor(h) => h.digest(),
@@ -153,6 +188,11 @@ impl BlockHasher for XorHasher {
     }
     fn update(&mut self, word: u32) {
         self.acc ^= word;
+    }
+    fn update_block(&mut self, words: &[u32]) {
+        // A straight fold the compiler vectorises; XOR is associative,
+        // so the batched result is trivially the per-word one.
+        self.acc = words.iter().fold(self.acc, |acc, &w| acc ^ w);
     }
     fn digest(&self) -> u32 {
         self.acc
@@ -221,6 +261,27 @@ impl BlockHasher for Fletcher32Hasher {
             self.s2 = (self.s2 + self.s1) % 65535;
         }
     }
+    fn update_block(&mut self, words: &[u32]) {
+        // Deferred modulo: accumulate in u64 and reduce once per chunk.
+        // Congruent to the per-half reduction (the sums are exact in
+        // u64), so the digest is bit-identical. Chunks of 2^19 words
+        // (2^20 halves) keep s2 ≤ 2^20·(65534 + 2^20·65535) ≈ 2^56,
+        // far under u64 overflow.
+        let mut s1 = self.s1 as u64;
+        let mut s2 = self.s2 as u64;
+        for chunk in words.chunks(1 << 19) {
+            for &w in chunk {
+                s1 += (w & 0xffff) as u64;
+                s2 += s1;
+                s1 += (w >> 16) as u64;
+                s2 += s1;
+            }
+            s1 %= 65535;
+            s2 %= 65535;
+        }
+        self.s1 = s1 as u32;
+        self.s2 = s2 as u32;
+    }
     fn digest(&self) -> u32 {
         (self.s2 << 16) | self.s1
     }
@@ -231,15 +292,47 @@ impl BlockHasher for Fletcher32Hasher {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), fed the four
 /// little-endian bytes of each word. Matches zlib's `crc32`.
+///
+/// The unit steps byte-at-a-time through a precomputed 256-entry
+/// table — each table entry is the bit-serial remainder of its index,
+/// so the digest is bit-identical to shifting the polynomial one bit
+/// at a time (the reference-vector tests pin this).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Crc32Hasher {
     crc: u32,
 }
 
+/// The reflected-polynomial remainder of every possible input byte.
+const CRC32_TABLE: [u32; 256] = {
+    const POLY: u32 = 0xedb8_8320;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
 impl Crc32Hasher {
     /// A fresh unit.
     pub fn new() -> Crc32Hasher {
         Crc32Hasher { crc: 0xffff_ffff }
+    }
+
+    #[inline]
+    fn absorb(crc: u32, byte: u8) -> u32 {
+        (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xff) as usize]
     }
 }
 
@@ -254,13 +347,17 @@ impl BlockHasher for Crc32Hasher {
         self.crc = 0xffff_ffff;
     }
     fn update(&mut self, word: u32) {
-        const POLY: u32 = 0xedb8_8320;
         let mut crc = self.crc;
         for byte in word.to_le_bytes() {
-            crc ^= byte as u32;
-            for _ in 0..8 {
-                let mask = (crc & 1).wrapping_neg();
-                crc = (crc >> 1) ^ (POLY & mask);
+            crc = Self::absorb(crc, byte);
+        }
+        self.crc = crc;
+    }
+    fn update_block(&mut self, words: &[u32]) {
+        let mut crc = self.crc;
+        for &word in words {
+            for byte in word.to_le_bytes() {
+                crc = Self::absorb(crc, byte);
             }
         }
         self.crc = crc;
@@ -550,6 +647,46 @@ mod tests {
             e.reset();
             b.reset();
             assert_eq!(e.digest(), b.digest(), "{kind} reset");
+        }
+    }
+
+    #[test]
+    fn batched_update_matches_word_at_a_time_for_all() {
+        // The batching contract: update_block(words) ≡ update per word,
+        // from any mid-stream state, for every unit — including the
+        // deferred-modulo Fletcher and the table-driven CRC.
+        let words: Vec<u32> = (0..1500u32)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) ^ (i << 13))
+            .collect();
+        for kind in HashAlgoKind::ALL {
+            let mut batched = HashAlgo::new(kind, 0x5eed);
+            let mut serial = HashAlgo::new(kind, 0x5eed);
+            // Mid-stream start: absorb a prefix word-at-a-time first.
+            for &w in &words[..7] {
+                batched.update(w);
+                serial.update(w);
+            }
+            for chunk in words[7..].chunks(31) {
+                batched.update_block(chunk);
+                for &w in chunk {
+                    serial.update(w);
+                }
+                assert_eq!(batched.digest(), serial.digest(), "{kind}");
+            }
+            batched.update_block(&[]);
+            assert_eq!(batched.digest(), serial.digest(), "{kind} empty block");
+        }
+    }
+
+    #[test]
+    fn hash_block_matches_hash_words() {
+        let words: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        for kind in HashAlgoKind::ALL {
+            assert_eq!(
+                hash_block(kind, 0xfeed, &words),
+                hash_words(kind, 0xfeed, words.iter().copied()),
+                "{kind}"
+            );
         }
     }
 

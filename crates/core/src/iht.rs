@@ -64,6 +64,13 @@ pub struct Iht {
     slots: Vec<Option<Slot>>,
     clock: u64,
     stats: IhtStats,
+    /// Slot of the last key match — probed first on the next lookup.
+    /// Hot loops re-check the block they just checked, so this turns
+    /// the common-case scan into a single compare. Pure search-order
+    /// state: the modelled CAM searches all ways in parallel, and keys
+    /// are unique in the table, so which slot is examined first is
+    /// unobservable in outcomes, statistics, and recency.
+    mru: usize,
 }
 
 impl Iht {
@@ -78,6 +85,7 @@ impl Iht {
             slots: vec![None; entries],
             clock: 0,
             stats: IhtStats::default(),
+            mru: 0,
         }
     }
 
@@ -119,17 +127,31 @@ impl Iht {
     pub fn lookup(&mut self, key: BlockKey, hash: u32) -> LookupOutcome {
         self.stats.lookups += 1;
         let stamp = self.tick();
-        for slot in self.slots.iter_mut().flatten() {
-            if slot.record.key == key {
-                if slot.record.hash == hash {
-                    slot.stamp = stamp;
-                    self.stats.hits += 1;
-                    return LookupOutcome::Hit;
-                }
-                self.stats.mismatches += 1;
-                return LookupOutcome::Mismatch {
+        let mru = self.mru.min(self.slots.len() - 1);
+        let check = |i: usize, slots: &mut [Option<Slot>], stats: &mut IhtStats| {
+            let slot = slots[i].as_mut()?;
+            if slot.record.key != key {
+                return None;
+            }
+            if slot.record.hash == hash {
+                slot.stamp = stamp;
+                stats.hits += 1;
+                Some(LookupOutcome::Hit)
+            } else {
+                stats.mismatches += 1;
+                Some(LookupOutcome::Mismatch {
                     expected: slot.record.hash,
-                };
+                })
+            }
+        };
+        // Probe the most-recently-matched way first (see `mru`).
+        if let Some(out) = check(mru, &mut self.slots, &mut self.stats) {
+            return out;
+        }
+        for i in (0..self.slots.len()).filter(|&i| i != mru) {
+            if let Some(out) = check(i, &mut self.slots, &mut self.stats) {
+                self.mru = i;
+                return out;
             }
         }
         self.stats.misses += 1;
@@ -149,12 +171,21 @@ impl Iht {
     /// Slot indices ordered least-recently-used first. Invalid slots come
     /// before all valid ones (they are the cheapest victims).
     pub fn lru_order(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.slots.len()).collect();
-        idx.sort_by_key(|&i| match &self.slots[i] {
+        let mut idx = Vec::new();
+        self.lru_order_into(&mut idx);
+        idx
+    }
+
+    /// [`Iht::lru_order`] into a caller-owned buffer (cleared first) —
+    /// the refill path runs on every IHT miss, so victim selection must
+    /// not allocate once the buffer has warmed.
+    pub fn lru_order_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.slots.len());
+        out.sort_unstable_by_key(|&i| match &self.slots[i] {
             None => (0u8, 0u64, i),
             Some(s) => (1, s.stamp, i),
         });
-        idx
     }
 
     /// Overwrite slot `index` with `record`, marking it most recent.

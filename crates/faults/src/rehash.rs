@@ -16,7 +16,7 @@
 //! campaign tests use to prove a single-flip patch re-hashes one block,
 //! not the image.
 
-use cimon_core::hash::hash_words;
+use cimon_core::hash::hash_block;
 use cimon_core::{BlockRecord, HashAlgoKind};
 use cimon_mem::Memory;
 use cimon_os::FullHashTable;
@@ -67,6 +67,7 @@ pub fn rehash_after(
         ..RehashStats::default()
     };
     let mut out = FullHashTable::new();
+    let mut words: Vec<u32> = Vec::new();
     for record in fht.iter() {
         let (mask, touched) = flips
             .iter()
@@ -85,14 +86,24 @@ pub fn rehash_after(
                 _ => {
                     stats.blocks_rehashed += 1;
                     stats.words_rehashed += record.key.len() as u64;
-                    let words = record.key.addresses().map(|a| {
-                        let clean = mem.read_u32(a).expect("block addresses are aligned");
-                        flips
-                            .iter()
-                            .filter(|f| f.addr == a)
-                            .fold(clean, |w, f| w ^ f.mask())
-                    });
-                    hash_words(algo, seed, words)
+                    // Materialise the block's mask-adjusted words into
+                    // reusable scratch and hash them as one chunk —
+                    // the re-hash cost is the batched hash unit, not a
+                    // per-word call chain.
+                    words.clear();
+                    words.extend(
+                        record
+                            .key
+                            .addresses()
+                            .map(|a| mem.read_u32(a).expect("block addresses are aligned")),
+                    );
+                    for f in flips.iter().filter(|f| {
+                        record.key.start <= f.addr && f.addr <= record.key.end && f.addr % 4 == 0
+                    }) {
+                        let idx = ((f.addr - record.key.start) / 4) as usize;
+                        words[idx] ^= f.mask();
+                    }
+                    hash_block(algo, seed, &words)
                 }
             }
         };
@@ -108,6 +119,7 @@ pub fn rehash_after(
 mod tests {
     use super::*;
     use cimon_asm::assemble;
+    use cimon_core::hash::hash_words;
     use cimon_hashgen::static_fht;
 
     const PROGRAM: &str = "

@@ -29,7 +29,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use cimon_core::hash::hash_words;
+use cimon_core::hash::hash_block;
 use cimon_core::{BlockKey, BlockRecord, HashAlgoKind};
 use cimon_isa::{Instr, INSTR_BYTES};
 use cimon_mem::ProgramImage;
@@ -166,7 +166,9 @@ pub fn static_fht(
             continue;
         }
         let key = BlockKey::new(start, addr_of(eidx));
-        let hash = hash_words(algo, seed, words[sidx..=eidx].iter().copied());
+        // One batched call per block: the generator's inner loop is the
+        // hash unit's `update_block`, not a per-word call chain.
+        let hash = hash_block(algo, seed, &words[sidx..=eidx]);
         fht.insert(BlockRecord { key, hash });
     }
     Ok((fht, report))
@@ -196,17 +198,20 @@ pub fn trace_fht(
     let mem = image.to_memory();
     let mut fht = FullHashTable::new();
     let executions = cpu.blocks().len() as u64;
+    let mut words: Vec<u32> = Vec::new();
     for ev in cpu.blocks() {
         if fht.contains(ev.key) {
             continue;
         }
-        let words = ev
-            .key
-            .addresses()
-            .map(|a| mem.read_u32(a).expect("aligned"));
+        words.clear();
+        words.extend(
+            ev.key
+                .addresses()
+                .map(|a| mem.read_u32(a).expect("aligned")),
+        );
         fht.insert(BlockRecord {
             key: ev.key,
-            hash: hash_words(algo, seed, words),
+            hash: hash_block(algo, seed, &words),
         });
     }
     (fht, outcome, executions)

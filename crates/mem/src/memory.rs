@@ -92,6 +92,11 @@ pub struct Memory {
     /// Contiguous backing for `[dense_base, dense_base + dense.len())`.
     /// Empty when no dense region was reserved.
     dense: Vec<u8>,
+    /// Bumped by every write landing in the dense region (the program
+    /// text). Callers that validated a span of the region can skip
+    /// re-validating while this is unchanged — data and stack traffic
+    /// lives on the sparse pages and never bumps it.
+    dense_epoch: u64,
     pages: PageMap,
 }
 
@@ -136,8 +141,18 @@ impl Memory {
         Memory {
             dense_base: base,
             dense: vec![0; len],
+            dense_epoch: 0,
             pages: PageMap::default(),
         }
+    }
+
+    /// Generation counter of the dense region: incremented by every
+    /// write that lands inside it. Two equal readings with no tap in
+    /// between prove the region's bytes are unchanged, so block
+    /// dispatch revalidates a cached block only after text writes.
+    #[inline]
+    pub fn dense_epoch(&self) -> u64 {
+        self.dense_epoch
     }
 
     /// Number of resident (touched) sparse pages. The dense region is
@@ -190,6 +205,7 @@ impl Memory {
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         if let Some(off) = self.dense_off(addr) {
             self.dense[off] = value;
+            self.dense_epoch += 1;
             return;
         }
         self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = value;
@@ -234,6 +250,7 @@ impl Memory {
         if let Some(off) = self.dense_off(addr) {
             if off + 2 <= self.dense.len() {
                 self.dense[off..off + 2].copy_from_slice(&b);
+                self.dense_epoch += 1;
                 return Ok(());
             }
         }
@@ -283,6 +300,7 @@ impl Memory {
         if let Some(off) = self.dense_off(addr) {
             if off + 4 <= self.dense.len() {
                 self.dense[off..off + 4].copy_from_slice(&b);
+                self.dense_epoch += 1;
                 return Ok(());
             }
         }

@@ -49,11 +49,21 @@ impl FullHashTable {
     /// sequential-prefetch candidates a refill brings in alongside the
     /// missing block.
     pub fn successors(&self, key: BlockKey, n: usize) -> Vec<BlockRecord> {
+        self.successors_iter(key, n).collect()
+    }
+
+    /// [`FullHashTable::successors`] without materialising a `Vec` —
+    /// the refill path runs on every IHT miss, so its candidate walk
+    /// must not allocate.
+    pub fn successors_iter(
+        &self,
+        key: BlockKey,
+        n: usize,
+    ) -> impl Iterator<Item = BlockRecord> + '_ {
         self.map
             .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
             .take(n)
             .map(|(&key, &hash)| BlockRecord { key, hash })
-            .collect()
     }
 
     /// Number of entries.

@@ -103,7 +103,7 @@ impl OsKernel {
     /// A kernel with the paper's defaults: replace-half-LRU refill,
     /// 100-cycle exceptions.
     pub fn new(fht: impl Into<Arc<FullHashTable>>) -> OsKernel {
-        OsKernel::with_policy(fht, Box::new(ReplaceHalfLru))
+        OsKernel::with_policy(fht, Box::new(ReplaceHalfLru::default()))
     }
 
     /// A kernel with a custom refill policy.

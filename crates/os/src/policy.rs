@@ -29,7 +29,7 @@ impl RefillPolicyKind {
     /// Instantiate the policy.
     pub fn build(self) -> Box<dyn RefillPolicy> {
         match self {
-            RefillPolicyKind::ReplaceHalfLru => Box::new(ReplaceHalfLru),
+            RefillPolicyKind::ReplaceHalfLru => Box::new(ReplaceHalfLru::default()),
             RefillPolicyKind::SingleLru => Box::new(SingleLru),
             RefillPolicyKind::Fifo => Box::new(Fifo::default()),
             RefillPolicyKind::Random(seed) => Box::new(RandomReplace::new(seed)),
@@ -74,26 +74,35 @@ pub trait RefillPolicy {
 /// The paper's policy: evict the least-recently-used half of the table
 /// and install the missing block plus the FHT records that follow it in
 /// address order (sequential prefetch).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ReplaceHalfLru;
+///
+/// Holds reusable victim/prefetch scratch: the refill runs on every
+/// IHT miss, which makes it part of the monitored simulator's hot
+/// path, so a warm policy allocates nothing per miss.
+#[derive(Clone, Debug, Default)]
+pub struct ReplaceHalfLru {
+    victims: Vec<usize>,
+    incoming: Vec<BlockRecord>,
+}
 
 impl RefillPolicy for ReplaceHalfLru {
     fn refill(&mut self, iht: &mut Iht, fht: &FullHashTable, missing: BlockRecord) -> usize {
         let half = iht.capacity().div_ceil(2);
-        let victims: Vec<usize> = iht.lru_order().into_iter().take(half).collect();
+        iht.lru_order_into(&mut self.victims);
+        self.victims.truncate(half);
         // Prefetch the blocks following the missing one, skipping any
         // already resident so the refill does not duplicate entries.
-        let mut incoming = vec![missing];
-        for r in fht.successors(missing.key, half.saturating_sub(1) * 2) {
-            if incoming.len() == half {
+        self.incoming.clear();
+        self.incoming.push(missing);
+        for r in fht.successors_iter(missing.key, half.saturating_sub(1) * 2) {
+            if self.incoming.len() == half {
                 break;
             }
-            if iht.probe(r.key).is_none() && !incoming.iter().any(|i| i.key == r.key) {
-                incoming.push(r);
+            if iht.probe(r.key).is_none() && !self.incoming.iter().any(|i| i.key == r.key) {
+                self.incoming.push(r);
             }
         }
         let mut written = 0;
-        for (slot, record) in victims.into_iter().zip(incoming) {
+        for (&slot, &record) in self.victims.iter().zip(&self.incoming) {
             // The victim slot may hold one of the prefetched keys'
             // duplicates — replace_at overwrites unconditionally.
             iht.replace_at(slot, record);
@@ -188,7 +197,7 @@ mod tests {
     #[test]
     fn replace_half_installs_missing_plus_prefetch() {
         let mut iht = Iht::new(8);
-        let mut pol = ReplaceHalfLru;
+        let mut pol = ReplaceHalfLru::default();
         let missing = rec(0x1000 + 4 * 0x20, 4);
         let written = pol.refill(&mut iht, &fht(), missing);
         assert_eq!(written, 4); // half of 8
@@ -210,7 +219,7 @@ mod tests {
         // Touch two entries so they are MRU.
         iht.lookup(BlockKey::new(0x9020, 0x9024), 2);
         iht.lookup(BlockKey::new(0x9030, 0x9034), 3);
-        let mut pol = ReplaceHalfLru;
+        let mut pol = ReplaceHalfLru::default();
         pol.refill(&mut iht, &fht(), rec(0x1000, 0));
         // MRU half survives.
         assert!(iht.probe(BlockKey::new(0x9020, 0x9024)).is_some());
@@ -223,7 +232,7 @@ mod tests {
     #[test]
     fn replace_half_on_one_entry_table() {
         let mut iht = Iht::new(1);
-        let mut pol = ReplaceHalfLru;
+        let mut pol = ReplaceHalfLru::default();
         let written = pol.refill(&mut iht, &fht(), rec(0x1000, 0));
         assert_eq!(written, 1);
         assert_eq!(iht.len(), 1);
@@ -235,7 +244,7 @@ mod tests {
         // Successor of the missing block is already resident.
         let resident = rec(0x1000 + 5 * 0x20, 5);
         iht.insert_lru(resident);
-        let mut pol = ReplaceHalfLru;
+        let mut pol = ReplaceHalfLru::default();
         pol.refill(&mut iht, &fht(), rec(0x1000 + 4 * 0x20, 4));
         let count = iht.records().filter(|r| r.key == resident.key).count();
         assert_eq!(count, 1, "resident block duplicated");
@@ -279,7 +288,7 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ReplaceHalfLru.name(), "replace-half-lru");
+        assert_eq!(ReplaceHalfLru::default().name(), "replace-half-lru");
         assert_eq!(SingleLru.name(), "single-lru");
         assert_eq!(Fifo::default().name(), "fifo");
         assert_eq!(RandomReplace::new(0).name(), "random");

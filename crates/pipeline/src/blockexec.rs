@@ -32,6 +32,7 @@ use std::sync::Arc;
 use cimon_isa::{Instr, INSTR_BYTES};
 
 use crate::predecode::{PredecodedEntry, PredecodedImage};
+use crate::timing::{BlockPlan, TimingConfig};
 
 /// Upper bound on instructions per cached block. Blocks are cut here
 /// even without control flow so one dispatch's bookkeeping (bulk
@@ -57,6 +58,9 @@ pub struct CachedBlock<'a> {
     /// The block's expected text bytes (little-endian), for the bulk
     /// comparison against the memory's dense region.
     pub bytes: &'a [u8],
+    /// The same span as instruction words — what a batched hash
+    /// observe absorbs for a bulk-validated block.
+    pub words: &'a [u32],
     /// Whether bulk validation is sound for this block (no store before
     /// the final instruction).
     pub bulk_ok: bool,
@@ -72,7 +76,17 @@ pub struct BlockCache {
     entries: Vec<PredecodedEntry>,
     /// The predecoded words as little-endian bytes, slot-aligned.
     bytes: Vec<u8>,
+    /// The predecoded words themselves, slot-aligned (the batched
+    /// hash-observe form of `bytes`).
+    words: Vec<u32>,
     meta: Vec<BlockMeta>,
+    /// Per-slot static timing plan of the block's straight-line body
+    /// (empty plan where `meta.len <= 1`), precomputed under
+    /// `timing_config`.
+    plans: Vec<BlockPlan>,
+    /// The latency configuration the plans were built for — a
+    /// processor running different latencies must not replay them.
+    timing_config: TimingConfig,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -86,13 +100,21 @@ impl std::fmt::Debug for BlockCache {
 }
 
 impl BlockCache {
-    /// Group a predecoded image into basic blocks (one linear pass).
+    /// Group a predecoded image into basic blocks (one linear pass),
+    /// with block timing plans built for the default [`TimingConfig`].
     pub fn new(image: Arc<PredecodedImage>) -> BlockCache {
+        BlockCache::with_timing(image, TimingConfig::default())
+    }
+
+    /// Group a predecoded image into basic blocks, precomputing each
+    /// block's static timing plan under `timing_config`.
+    pub fn with_timing(image: Arc<PredecodedImage>, timing_config: TimingConfig) -> BlockCache {
         let slots = image.slots();
         let n = slots.len();
         let placeholder = slots.iter().flatten().next().copied();
         let mut entries = Vec::new();
         let mut bytes = Vec::new();
+        let mut words = Vec::new();
         let mut meta = vec![
             BlockMeta {
                 len: 0,
@@ -103,9 +125,12 @@ impl BlockCache {
         if let Some(ph) = placeholder {
             entries.reserve(n);
             bytes.reserve(n * 4);
+            words.reserve(n);
             for slot in slots {
                 let e = slot.as_ref().copied().unwrap_or(ph);
-                bytes.extend_from_slice(&slot.as_ref().map_or(0, |e| e.word).to_le_bytes());
+                let word = slot.as_ref().map_or(0, |e| e.word);
+                bytes.extend_from_slice(&word.to_le_bytes());
+                words.push(word);
                 entries.push(e);
             }
             // Stores in slots [0, i): lets "any store before the block's
@@ -135,12 +160,29 @@ impl BlockCache {
                 }
             }
         }
+        // Plan every slot's block body (all entries but the terminator)
+        // once: dispatches replay the plan instead of re-deriving the
+        // schedule, and overlapping blocks each get their own plan so a
+        // jump target mid-block replays its shorter schedule exactly.
+        let plans = (0..n)
+            .map(|i| {
+                let len = meta[i].len as usize;
+                if len <= 1 {
+                    BlockPlan::default()
+                } else {
+                    BlockPlan::build(&entries[i..i + len - 1], timing_config)
+                }
+            })
+            .collect();
         BlockCache {
             base: image.base(),
             image,
             entries,
             bytes,
+            words,
             meta,
+            plans,
+            timing_config,
         }
     }
 
@@ -180,21 +222,57 @@ impl BlockCache {
     /// The block starting at `pc`, if `pc` lands on a decodable slot.
     #[inline]
     pub fn block_at(&self, pc: u32) -> Option<CachedBlock<'_>> {
+        self.slot_at(pc).map(|slot| self.block_at_slot(slot))
+    }
+
+    /// The slot index serving `pc`, if `pc` lands on a decodable slot —
+    /// the value superblock chains cache so hot loops skip this lookup.
+    #[inline]
+    pub fn slot_at(&self, pc: u32) -> Option<u32> {
         let off = pc.wrapping_sub(self.base);
         if off % INSTR_BYTES != 0 {
             return None;
         }
-        let idx = (off / INSTR_BYTES) as usize;
-        let meta = self.meta.get(idx)?;
-        if meta.len == 0 {
-            return None;
+        let idx = off / INSTR_BYTES;
+        match self.meta.get(idx as usize) {
+            Some(meta) if meta.len > 0 => Some(idx),
+            _ => None,
         }
+    }
+
+    /// The block at a slot index previously returned by
+    /// [`BlockCache::slot_at`] (or served from a chain edge — the cache
+    /// is immutable, so a recorded slot can never go stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not produced by [`BlockCache::slot_at`] on
+    /// this cache.
+    #[inline]
+    pub fn block_at_slot(&self, slot: u32) -> CachedBlock<'_> {
+        let idx = slot as usize;
+        let meta = &self.meta[idx];
+        debug_assert!(meta.len > 0, "slot {slot} holds no block");
         let len = meta.len as usize;
-        Some(CachedBlock {
+        CachedBlock {
             entries: &self.entries[idx..idx + len],
             bytes: &self.bytes[4 * idx..4 * (idx + len)],
+            words: &self.words[idx..idx + len],
             bulk_ok: meta.bulk_ok,
-        })
+        }
+    }
+
+    /// The precomputed timing plan of the block at `slot` (an empty
+    /// plan for single-instruction blocks).
+    #[inline]
+    pub fn plan_at(&self, slot: u32) -> &BlockPlan {
+        &self.plans[slot as usize]
+    }
+
+    /// The latency configuration the cached timing plans were built
+    /// under.
+    pub fn timing_config(&self) -> TimingConfig {
+        self.timing_config
     }
 }
 
@@ -326,6 +404,54 @@ mod tests {
             .block_at(img.entry + (MAX_BLOCK_LEN as u32) * 4)
             .unwrap();
         assert!(!next.entries.is_empty());
+    }
+
+    #[test]
+    fn slot_indexed_access_matches_block_at() {
+        let (cache, img) = cache_of(PROGRAM);
+        for pc in (img.text.base..img.text.end()).step_by(4) {
+            let via_slot = cache.slot_at(pc).map(|s| cache.block_at_slot(s));
+            match (cache.block_at(pc), via_slot) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.entries.len(), b.entries.len());
+                    assert_eq!(a.bytes, b.bytes);
+                    assert_eq!(a.words.len(), a.entries.len());
+                    assert_eq!(a.bulk_ok, b.bulk_ok);
+                    // Words mirror the bytes word for word.
+                    for (w, c) in a.words.iter().zip(a.bytes.chunks_exact(4)) {
+                        assert_eq!(*w, u32::from_le_bytes(c.try_into().unwrap()));
+                    }
+                }
+                other => panic!("slot/block disagreement at {pc:#x}: {other:?}"),
+            }
+        }
+        assert!(cache.slot_at(img.entry + 2).is_none());
+    }
+
+    #[test]
+    fn every_block_has_a_plan_for_its_body() {
+        let (cache, img) = cache_of(PROGRAM);
+        assert_eq!(cache.timing_config(), TimingConfig::default());
+        for pc in (img.text.base..img.text.end()).step_by(4) {
+            if let Some(slot) = cache.slot_at(pc) {
+                let block = cache.block_at_slot(slot);
+                let plan = cache.plan_at(slot);
+                assert_eq!(
+                    plan.body_len(),
+                    block.entries.len() - 1,
+                    "plan covers all but the terminator at {pc:#x}"
+                );
+            }
+        }
+        // A non-default latency configuration is carried on the cache.
+        let image = assemble(PROGRAM).unwrap().image;
+        let custom = TimingConfig {
+            mult_latency: 2,
+            div_latency: 5,
+        };
+        let cache = BlockCache::with_timing(Arc::new(PredecodedImage::new(&image)), custom);
+        assert_eq!(cache.timing_config(), custom);
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use processor::{
     Processor, ProcessorConfig, RunOutcome, RunStats,
 };
 pub use regfile::RegFile;
-pub use timing::{Timing, TimingConfig};
+pub use timing::{BlockPlan, Timing, TimingConfig, MASK_HI, MASK_LO};

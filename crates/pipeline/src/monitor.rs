@@ -72,11 +72,38 @@ pub trait Monitor {
     /// Absorb one fetched instruction word; returns the updated digest.
     fn observe_fetch(&mut self, word: u32) -> u32;
 
+    /// Absorb a run of fetched words in one call; returns the digest
+    /// after the last. Must be exactly equivalent to calling
+    /// [`observe_fetch`](Monitor::observe_fetch) once per word in order
+    /// (the default does just that) — the block dispatcher batches a
+    /// bulk-validated straight-line body through this hook, so any
+    /// divergence would be architecture-visible.
+    fn observe_block(&mut self, words: &[u32]) -> u32 {
+        let mut digest = 0;
+        for &w in words {
+            digest = self.observe_fetch(w);
+        }
+        digest
+    }
+
     /// Restart the digest for a new basic block.
     fn hash_reset(&mut self);
 
     /// Block-end check: `(found, match)` for `(key, hash)`.
     fn check_block(&mut self, key: BlockKey, hash: u32) -> (bool, bool);
+
+    /// One whole bulk-validated block as a single monitor transaction:
+    /// absorb `words`, check the digest for `key`, restart the digest —
+    /// returning `(digest, found, match)`. Must be exactly equivalent
+    /// to the composition the default performs; monitors with real
+    /// hardware behind the hooks override it to save the per-call
+    /// dispatch on the block fast path.
+    fn observe_check_reset(&mut self, words: &[u32], key: BlockKey) -> (u32, bool, bool) {
+        let digest = self.observe_block(words);
+        let (found, matched) = self.check_block(key, digest);
+        self.hash_reset();
+        (digest, found, matched)
+    }
 
     /// Service an exception raised by the check program.
     fn resolve(&mut self, kind: ExceptionKind, key: BlockKey, hash: u32) -> Verdict;
@@ -175,12 +202,23 @@ impl Monitor for CicMonitor {
         self.cic.hash_step(word)
     }
 
+    fn observe_block(&mut self, words: &[u32]) -> u32 {
+        self.cic.hash_block_step(words)
+    }
+
     fn hash_reset(&mut self) {
         self.cic.hash_reset();
     }
 
     fn check_block(&mut self, key: BlockKey, hash: u32) -> (bool, bool) {
         self.cic.check_block(key, hash)
+    }
+
+    fn observe_check_reset(&mut self, words: &[u32], key: BlockKey) -> (u32, bool, bool) {
+        let digest = self.cic.hash_block_step(words);
+        let (found, matched) = self.cic.check_block(key, digest);
+        self.cic.hash_reset();
+        (digest, found, matched)
     }
 
     fn resolve(&mut self, kind: ExceptionKind, key: BlockKey, hash: u32) -> Verdict {

@@ -24,7 +24,8 @@
 use cimon_isa::{Funct, Instr, InstrClass, Reg, Sources, INSTR_BYTES};
 use cimon_mem::ProgramImage;
 
-use crate::timing::IssueClass;
+use crate::processor::{bind_exec, ExecFn};
+use crate::timing::{IssueClass, MASK_HI, MASK_LO};
 
 /// Everything the per-cycle loop needs to know about one instruction,
 /// computed once.
@@ -48,22 +49,73 @@ pub struct PredecodedEntry {
     pub dest: Option<Reg>,
     /// Whether this instruction ends a basic block.
     pub is_control_flow: bool,
+    /// The registers read, as a bitmask the scheduler's
+    /// [`Timing::issue_masks`](crate::timing::Timing::issue_masks) fast
+    /// path consumes: bit `i` for GPR `i` (`$zero` never set), bits
+    /// 32/33 for HI/LO.
+    pub src_mask: u64,
+    /// The registers written, same encoding (both HI/LO bits set when
+    /// the instruction writes the HI/LO pair).
+    pub dest_mask: u64,
+    /// Resolved control-transfer target for direct branches and jumps
+    /// (these depend only on the instruction's own PC, so they need no
+    /// run-time computation); 0 for everything else.
+    pub(crate) target: u32,
+    /// The instruction's architectural effect, pre-bound to a
+    /// monomorphic executor function at decode time — block replay
+    /// dispatches through this pointer instead of re-matching the
+    /// instruction enum every execution.
+    pub(crate) exec: ExecFn,
 }
 
 impl PredecodedEntry {
     /// Precompute the per-cycle attributes of one decoded instruction.
-    pub fn new(word: u32, instr: Instr) -> PredecodedEntry {
+    ///
+    /// `pc` is the address the instruction will execute at — branch and
+    /// jump targets are resolved against it, so an entry must only ever
+    /// be dispatched at the PC it was predecoded for (the
+    /// [`PredecodedImage::lookup`] contract already guarantees this).
+    pub fn new(pc: u32, word: u32, instr: Instr) -> PredecodedEntry {
         let (klass, writes_hilo, reads_hi, reads_lo) = issue_class(&instr);
+        let sources = instr.source_set();
+        let dest = instr.dest();
+        let mut src_mask = 0u64;
+        for &r in sources.as_slice() {
+            src_mask |= 1 << r.index();
+        }
+        if reads_hi {
+            src_mask |= MASK_HI;
+        }
+        if reads_lo {
+            src_mask |= MASK_LO;
+        }
+        let mut dest_mask = 0u64;
+        if let Some(d) = dest {
+            if !d.is_zero() {
+                dest_mask |= 1 << d.index();
+            }
+        }
+        if writes_hilo {
+            dest_mask |= MASK_HI | MASK_LO;
+        }
+        let target = instr
+            .branch_dest(pc)
+            .or_else(|| instr.jump_dest(pc))
+            .unwrap_or(0);
         PredecodedEntry {
             word,
-            instr,
             klass,
             writes_hilo,
             reads_hi,
             reads_lo,
-            sources: instr.source_set(),
-            dest: instr.dest(),
+            sources,
+            dest,
             is_control_flow: instr.is_control_flow(),
+            src_mask,
+            dest_mask,
+            target,
+            exec: bind_exec(&instr),
+            instr,
         }
     }
 }
@@ -91,21 +143,21 @@ impl std::fmt::Debug for PredecodedImage {
 impl PredecodedImage {
     /// Decode every word of the image's text segment.
     pub fn new(image: &ProgramImage) -> PredecodedImage {
+        let base = image.text.base;
         let entries = image
             .text
             .bytes
             .chunks_exact(4)
-            .map(|c| {
+            .enumerate()
+            .map(|(i, c)| {
                 let word = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                let pc = base + (i as u32) * INSTR_BYTES;
                 Instr::decode(word)
                     .ok()
-                    .map(|instr| PredecodedEntry::new(word, instr))
+                    .map(|instr| PredecodedEntry::new(pc, word, instr))
             })
             .collect();
-        PredecodedImage {
-            base: image.text.base,
-            entries,
-        }
+        PredecodedImage { base, entries }
     }
 
     /// Base address of the predecoded range.
@@ -235,6 +287,60 @@ mod tests {
                 (klass, wh, rh, rl)
             );
         }
+    }
+
+    #[test]
+    fn register_masks_mirror_the_slice_attributes() {
+        let img = image();
+        let pre = PredecodedImage::new(&img);
+        for (i, &word) in img.text_words().iter().enumerate() {
+            let pc = img.text.base + 4 * i as u32;
+            let e = pre.lookup(pc, word).unwrap();
+            let mut want_src = 0u64;
+            for &r in e.sources.as_slice() {
+                want_src |= 1 << r.index();
+            }
+            if e.reads_hi {
+                want_src |= MASK_HI;
+            }
+            if e.reads_lo {
+                want_src |= MASK_LO;
+            }
+            assert_eq!(e.src_mask, want_src, "{:?}", e.instr);
+            let mut want_dest = 0u64;
+            if let Some(d) = e.dest {
+                if !d.is_zero() {
+                    want_dest |= 1 << d.index();
+                }
+            }
+            if e.writes_hilo {
+                want_dest |= MASK_HI | MASK_LO;
+            }
+            assert_eq!(e.dest_mask, want_dest, "{:?}", e.instr);
+            // `$zero` must never appear in either mask.
+            assert_eq!(e.src_mask & 1, 0);
+            assert_eq!(e.dest_mask & 1, 0);
+        }
+    }
+
+    #[test]
+    fn control_transfer_targets_resolve_at_predecode() {
+        let img = image();
+        let pre = PredecodedImage::new(&img);
+        for (i, &word) in img.text_words().iter().enumerate() {
+            let pc = img.text.base + 4 * i as u32;
+            let e = pre.lookup(pc, word).unwrap();
+            let want = e
+                .instr
+                .branch_dest(pc)
+                .or_else(|| e.instr.jump_dest(pc))
+                .unwrap_or(0);
+            assert_eq!(e.target, want, "{:?} at {pc:#x}", e.instr);
+        }
+        // The loop's bnez points back at the loop head.
+        let bnez_pc = img.text.base + 8;
+        let e = pre.lookup(bnez_pc, img.text_words()[2]).unwrap();
+        assert_eq!(e.target, img.text.base + 4);
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct BlockExecStats {
     pub instructions: u64,
     /// Largest number of instructions retired by one dispatch.
     pub max_block: u64,
+    /// Dispatches that entered through a cached superblock edge
+    /// (taken or fall-through successor of the previous block) without
+    /// a `BlockCache` lookup.
+    pub chain_hits: u64,
+    /// Dispatches that had a cached edge to consult but found it empty
+    /// or pointing at a different PC, and fell back to the lookup.
+    pub chain_misses: u64,
 }
 
 impl BlockExecStats {
@@ -138,6 +145,23 @@ pub struct ProcessorConfig {
     pub predecode: Predecode,
     /// Whether whole predecoded basic blocks execute per dispatch.
     pub block_exec: BlockExec,
+    /// Whether block dispatch chains resolved successor edges
+    /// (superblock chaining). Purely a dispatch optimisation — block
+    /// validation still runs per dispatch — and defaulted from the
+    /// `CIMON_BLOCK_CHAIN` environment variable (`off`/`0`/`false`
+    /// disable it) so CI can gate the unchained fallback path.
+    pub block_chain: bool,
+}
+
+/// The chaining default: on, unless `CIMON_BLOCK_CHAIN` says
+/// otherwise. Read per call (configs are built once per run, not per
+/// dispatch), so tests and harnesses that set the variable mid-process
+/// see the change.
+fn block_chain_default() -> bool {
+    !matches!(
+        std::env::var("CIMON_BLOCK_CHAIN").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
 }
 
 impl ProcessorConfig {
@@ -150,6 +174,7 @@ impl ProcessorConfig {
             record_blocks: false,
             predecode: Predecode::Auto,
             block_exec: BlockExec::Auto,
+            block_chain: block_chain_default(),
         }
     }
 
@@ -540,6 +565,25 @@ pub struct Processor {
     /// block dispatch.
     block_cache: Option<Arc<BlockCache>>,
     block_stats: BlockExecStats,
+    /// Whether the cache's precomputed block timing plans were built
+    /// under this processor's [`TimingConfig`] (a shared cache built
+    /// for different latencies falls back to per-instruction issue).
+    plans_ok: bool,
+    /// Superblock chain: per block slot, the taken and fall-through
+    /// successor slots observed on earlier dispatches. Empty when
+    /// chaining is off or block dispatch is disabled.
+    chain: Vec<ChainEdges>,
+    /// The memory dense-region epoch each slot's block was last
+    /// bulk-validated at (`u64::MAX` = never): while no write lands in
+    /// the text region, re-dispatching the block skips the byte
+    /// comparison entirely.
+    validated: Vec<u64>,
+    /// The slot the previous dispatch ran, and whether it exited
+    /// through its taken edge — the link the next dispatch resolves or
+    /// records. Cleared by bail-outs, non-bulk dispatches, and run
+    /// ends, so chains only ever form across clean bulk-validated
+    /// block boundaries.
+    chain_from: Option<(u32, bool)>,
     dp: Datapath,
     regs: RegFile,
     hi: u32,
@@ -643,6 +687,19 @@ impl Processor {
         } else {
             None
         };
+        let plans_ok = block_cache
+            .as_ref()
+            .is_some_and(|c| c.timing_config() == config.timing);
+        let chain = match &block_cache {
+            Some(cache) if config.block_chain => {
+                vec![ChainEdges::EMPTY; cache.len()]
+            }
+            _ => Vec::new(),
+        };
+        let validated = match &block_cache {
+            Some(cache) => vec![u64::MAX; cache.len()],
+            None => Vec::new(),
+        };
         Processor {
             spec,
             stage_if,
@@ -651,6 +708,10 @@ impl Processor {
             predecoded,
             block_cache,
             block_stats: BlockExecStats::default(),
+            plans_ok,
+            chain,
+            validated,
+            chain_from: None,
             dp,
             regs,
             hi: 0,
@@ -753,9 +814,12 @@ impl Processor {
 
     /// Run until the program ends (one way or another).
     pub fn run(&mut self) -> RunOutcome {
-        if self.block_cache.is_some() {
+        if let Some(cache) = self.block_cache.clone() {
+            // One shared handle for the whole run: the per-dispatch
+            // refcount traffic of cloning inside `step_block` is
+            // measurable on two-instruction loop blocks.
             loop {
-                if let Some(outcome) = self.step_block() {
+                if let Some(outcome) = self.step_block_in(&cache) {
                     return outcome;
                 }
             }
@@ -812,7 +876,7 @@ impl Processor {
         let entry = match self.predecoded.as_ref().and_then(|p| p.lookup(pc, word)) {
             Some(e) => *e,
             None => match Instr::decode(word) {
-                Ok(i) => PredecodedEntry::new(word, i),
+                Ok(i) => PredecodedEntry::new(pc, word, i),
                 Err(_) => {
                     return self.finish(RunOutcome::Fault(FaultKind::IllegalInstruction {
                         pc,
@@ -854,13 +918,14 @@ impl Processor {
             }
         }
 
-        // ---- Execute functionally. ----
-        let exec = match self.execute_instr(pc, entry.instr) {
+        // ---- Execute functionally (pre-bound executor function). ----
+        let exec = match (entry.exec)(self, pc, &entry) {
             Ok(e) => e,
             Err(fault) => return self.finish(RunOutcome::Fault(fault)),
         };
 
-        // ---- Timing. ----
+        // ---- Timing (the slice-based path: the oracle the mask and
+        // block fast paths are differentially tested against). ----
         self.timing.issue(
             entry.klass,
             entry.sources.as_slice(),
@@ -910,17 +975,62 @@ impl Processor {
     /// resolves them too. When no block is cached for the current PC
     /// (live-decode territory) this defers to [`Processor::step`].
     pub fn step_block(&mut self) -> Option<RunOutcome> {
+        let cache = match &self.block_cache {
+            Some(c) => c.clone(),
+            None => {
+                if let Some(done) = self.done {
+                    return Some(done);
+                }
+                return self.step();
+            }
+        };
+        self.step_block_in(&cache)
+    }
+
+    /// [`Processor::step_block`] against a caller-held handle to this
+    /// processor's own block cache (hot loops avoid re-cloning the
+    /// `Arc` per dispatch).
+    fn step_block_in(&mut self, cache: &BlockCache) -> Option<RunOutcome> {
         if let Some(done) = self.done {
             return Some(done);
         }
-        let cache = match &self.block_cache {
-            Some(c) => c.clone(),
+        let pc = self.pc;
+
+        // ---- Superblock chaining: resolve the dispatch slot through
+        // the previous block's cached successor edge when possible,
+        // falling back to (and refreshing the edge from) the cache
+        // lookup. The edge caches only the PC→slot mapping — block
+        // validation below still runs on every dispatch, so a chained
+        // entry can never skip a tamper check.
+        let slot = match self.chain_from.take() {
+            Some((from, taken)) => {
+                let edges = &self.chain[from as usize];
+                let edge = if taken { edges.taken } else { edges.fall };
+                if edge.slot != u32::MAX && edge.pc == pc {
+                    self.block_stats.chain_hits += 1;
+                    Some(edge.slot)
+                } else {
+                    self.block_stats.chain_misses += 1;
+                    let found = cache.slot_at(pc);
+                    if let Some(s) = found {
+                        let edges = &mut self.chain[from as usize];
+                        let edge = if taken {
+                            &mut edges.taken
+                        } else {
+                            &mut edges.fall
+                        };
+                        *edge = ChainEdge { pc, slot: s };
+                    }
+                    found
+                }
+            }
+            None => cache.slot_at(pc),
+        };
+        let slot = match slot {
+            Some(s) => s,
             None => return self.step(),
         };
-        let block = match cache.block_at(self.pc) {
-            Some(b) => b,
-            None => return self.step(),
-        };
+        let block = cache.block_at_slot(slot);
 
         // Bulk validation: with a clean bus and no mid-block store, one
         // comparison against the dense text region proves every word
@@ -928,24 +1038,64 @@ impl Processor {
         // self-modification possible, block outside the dense region)
         // or failure (tampering) selects per-word fetching, which is
         // exact in all cases and bails out at the diverging word.
+        // A comparison that passed stays proven while the memory's
+        // dense-region epoch is unchanged (no write has landed in the
+        // text), so hot re-dispatches skip the bytes entirely.
         let bulk = !self.env.bus.has_tap() && block.bulk_ok && {
-            match self.env.mem.dense_region() {
-                Some((base, bytes)) => {
-                    let off = self.pc.wrapping_sub(base) as usize;
-                    bytes.get(off..off.wrapping_add(block.bytes.len())) == Some(block.bytes)
+            let epoch = self.env.mem.dense_epoch();
+            self.validated[slot as usize] == epoch || {
+                let ok = match self.env.mem.dense_region() {
+                    Some((base, bytes)) => {
+                        let off = pc.wrapping_sub(base) as usize;
+                        bytes.get(off..off.wrapping_add(block.bytes.len())) == Some(block.bytes)
+                    }
+                    None => false,
+                };
+                if ok {
+                    self.validated[slot as usize] = epoch;
                 }
-                None => false,
+                ok
             }
         };
         let monitored = self.stage_check.is_some();
-        let mut sta = self.dp.read(DReg::Sta);
-        let mut rhash = self.dp.read(DReg::Rhash);
+        // Baseline specs never touch STA/RHASH: skip the datapath
+        // round-trips (the bail path still writes the carried values,
+        // which are the registers' resting state, zero).
+        let (mut sta, mut rhash) = if monitored {
+            (self.dp.read(DReg::Sta), self.dp.read(DReg::Rhash))
+        } else {
+            (0, 0)
+        };
         self.block_stats.dispatches += 1;
         let dispatch_start = self.instret;
 
         let mut reached = 0u64;
         let exit = if bulk {
-            self.block_loop::<true>(block.entries, monitored, &mut sta, &mut rhash, &mut reached)
+            // Fused block-static timing: when the precomputed schedule
+            // replays (no binding live-in interlock, budget cannot
+            // interrupt the body), the whole straight-line body issues
+            // in one `Timing::issue_block` call; otherwise every
+            // instruction issues through the mask fast path.
+            let plan = cache.plan_at(slot);
+            if self.plans_ok && self.timing.plan_fits(plan, self.max_cycles) {
+                self.block_loop_planned(
+                    block.entries,
+                    block.words,
+                    plan,
+                    monitored,
+                    &mut sta,
+                    &mut rhash,
+                    &mut reached,
+                )
+            } else {
+                self.block_loop::<true>(
+                    block.entries,
+                    monitored,
+                    &mut sta,
+                    &mut rhash,
+                    &mut reached,
+                )
+            }
         } else {
             self.block_loop::<false>(block.entries, monitored, &mut sta, &mut rhash, &mut reached)
         };
@@ -960,8 +1110,12 @@ impl Processor {
             // Mid-block surprise: hand exactly this instruction — with
             // the word the bus actually delivered — to the
             // per-instruction path, the datapath synced to what the IF
-            // micro-program would have produced.
+            // micro-program would have produced. The tampered block's
+            // cached successor edges are dropped with it.
             self.block_stats.bailouts += 1;
+            if let Some(edges) = self.chain.get_mut(slot as usize) {
+                *edges = ChainEdges::EMPTY;
+            }
             self.account_dispatch(dispatch_start);
             self.dp.write(DReg::Cpc, pc.wrapping_add(INSTR_BYTES));
             self.dp.write(DReg::IReg, word);
@@ -977,12 +1131,24 @@ impl Processor {
         // consumes (STA as the block-start guard, RHASH as the check
         // program's hash input); CPC/PPC/IReg are rewritten by the IF
         // micro-program before any read.
-        self.dp.write(DReg::Sta, sta);
-        self.dp.write(DReg::Rhash, rhash);
+        if monitored {
+            self.dp.write(DReg::Sta, sta);
+            self.dp.write(DReg::Rhash, rhash);
+        }
         self.account_dispatch(dispatch_start);
         match exit {
             BlockLoopExit::Finished(outcome) => self.finish(outcome),
-            _ => None,
+            BlockLoopExit::Done { taken } => {
+                // A clean bulk-validated dispatch links its resolved
+                // control transfer for the next dispatch; per-word
+                // dispatches (self-modification or taps possible) never
+                // form chains.
+                if bulk && !self.chain.is_empty() {
+                    self.chain_from = Some((slot, taken));
+                }
+                None
+            }
+            BlockLoopExit::Bail { .. } => unreachable!("handled above"),
         }
     }
 
@@ -1000,6 +1166,7 @@ impl Processor {
         rhash: &mut u32,
         reached: &mut u64,
     ) -> BlockLoopExit {
+        let mut taken = false;
         for entry in entries {
             let pc = self.pc;
             if self.timing.cycles() > self.max_cycles {
@@ -1049,21 +1216,17 @@ impl Processor {
                 }
             }
 
-            // ---- Execute + timing, identical to the slow path. ----
-            let exec = match self.execute_instr(pc, entry.instr) {
+            // ---- Execute + timing, identical to the slow path (the
+            // pre-bound executor function and the mask-based issue are
+            // differentially tested against the slice path). ----
+            let exec = match (entry.exec)(self, pc, entry) {
                 Ok(e) => e,
                 Err(fault) => return BlockLoopExit::Finished(RunOutcome::Fault(fault)),
             };
-            self.timing.issue(
-                entry.klass,
-                entry.sources.as_slice(),
-                entry.reads_hi,
-                entry.reads_lo,
-                entry.dest,
-                entry.writes_hilo,
-                exec.taken,
-            );
+            self.timing
+                .issue_masks(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
             self.instret += 1;
+            taken = exec.taken;
 
             // ---- Exception resolution (after issue). ----
             if let Some((kind, key, hash)) = pending {
@@ -1079,7 +1242,151 @@ impl Processor {
             }
             self.pc = exec.next_pc;
         }
-        BlockLoopExit::Done
+        BlockLoopExit::Done { taken }
+    }
+
+    /// The fused-timing variant of one bulk-validated block dispatch:
+    /// the straight-line body (every entry but the terminator) executes
+    /// without per-instruction scheduler calls — its precomputed
+    /// [`BlockPlan`](crate::timing::BlockPlan) replays in a single
+    /// [`Timing::issue_block`] once the body completes — and only the
+    /// terminating instruction, whose redirect and monitor verdict are
+    /// dynamic, issues individually.
+    ///
+    /// Callers must have established [`Timing::plan_fits`]: no live-in
+    /// interlock binds and the cycle budget cannot expire before the
+    /// terminator's poll, so skipping the per-body-entry polls and
+    /// issues is exact. The body contains no control flow by
+    /// construction, so it cannot exit, redirect, or resolve monitor
+    /// verdicts; and bulk validation already excluded stores before
+    /// the terminator, so executing the body touches neither memory
+    /// text nor the monitor — which is what lets the hash observes of
+    /// the executed words batch into one [`Monitor::observe_block`]
+    /// call after the body completes (same words, same order, same
+    /// `words_hashed` count as observing each before its execute).
+    /// The only early exit is an execution fault, which observes and
+    /// issues exactly the prefix sequential stepping would have.
+    #[allow(clippy::too_many_arguments)]
+    fn block_loop_planned(
+        &mut self,
+        entries: &[PredecodedEntry],
+        words: &[u32],
+        plan: &crate::timing::BlockPlan,
+        monitored: bool,
+        sta: &mut u32,
+        rhash: &mut u32,
+        reached: &mut u64,
+    ) -> BlockLoopExit {
+        let x = self.timing.block_entry_id();
+        let (body, term) = entries.split_at(entries.len() - 1);
+        debug_assert_eq!(body.len(), plan.body_len());
+        let start_pc = self.pc;
+        if self.record_blocks && self.shadow_block_start.is_none() {
+            self.shadow_block_start = Some(start_pc);
+        }
+        let mut fault = None;
+        let mut executed = 0usize;
+        for entry in body {
+            debug_assert!(!entry.is_control_flow, "body entries are straight-line");
+            let pc = self.pc;
+            match (entry.exec)(self, pc, entry) {
+                Ok(exec) => {
+                    debug_assert!(!exec.taken && exec.exit.is_none());
+                    self.pc = exec.next_pc;
+                    executed += 1;
+                }
+                Err(f) => {
+                    fault = Some(f);
+                    break;
+                }
+            }
+        }
+        if let Some(f) = fault {
+            // Sequential stepping observes an instruction's word before
+            // executing it, so the faulting instruction is observed too
+            // — but nothing past it. A faulting instruction never
+            // issues: commit the prefix that did, exactly as sequential
+            // stepping would have left the schedule.
+            let observed = executed + 1;
+            *reached += observed as u64;
+            if monitored {
+                *rhash = self.env.monitor.observe_block(&words[..observed]);
+                if *sta == 0 {
+                    *sta = start_pc;
+                }
+            }
+            for e in &body[..executed] {
+                self.timing
+                    .issue_masks(e.klass, e.src_mask, e.dest_mask, false);
+            }
+            self.instret += executed as u64;
+            return BlockLoopExit::Finished(RunOutcome::Fault(f));
+        }
+
+        // The body completed, and `plan_fits` already proved the cycle
+        // budget cannot interrupt before the terminator's poll — so the
+        // terminator's word is certain to be observed as well, and the
+        // whole block batches into a single monitor transaction.
+        *reached += entries.len() as u64;
+        if !body.is_empty() {
+            self.timing.issue_block(plan, x);
+            self.instret += body.len() as u64;
+        }
+
+        // ---- The terminator, inline: block-end check, execute,
+        // dynamic issue (its redirect and verdict are dynamic),
+        // exception resolution — the same sequence `block_loop` runs
+        // per entry, minus the budget poll `plan_fits` subsumed, with
+        // the block's observe/check/reset fused into one monitor call.
+        let entry = &term[0];
+        let pc = self.pc;
+        let mut pending = None;
+        if monitored {
+            if entry.is_control_flow {
+                let start = if *sta == 0 { start_pc } else { *sta };
+                let key = BlockKey::new(start, pc);
+                let (digest, found, matched) = self.env.monitor.observe_check_reset(words, key);
+                if !found {
+                    pending = Some((ExceptionKind::HashMiss, key, digest));
+                } else if !matched {
+                    pending = Some((ExceptionKind::HashMismatch, key, digest));
+                }
+                *sta = 0;
+                *rhash = self.dp.rhash_seed;
+            } else {
+                *rhash = self.env.monitor.observe_block(words);
+                if *sta == 0 {
+                    *sta = start_pc;
+                }
+            }
+        }
+        if entry.is_control_flow && self.record_blocks {
+            if let Some(start) = self.shadow_block_start.take() {
+                self.blocks.push(BlockEvent {
+                    key: BlockKey::new(start, pc),
+                });
+            }
+        }
+        let exec = match (entry.exec)(self, pc, entry) {
+            Ok(e) => e,
+            Err(f) => return BlockLoopExit::Finished(RunOutcome::Fault(f)),
+        };
+        self.timing
+            .issue_masks(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
+        self.instret += 1;
+        if let Some((kind, key, hash)) = pending {
+            match self.env.monitor.resolve(kind, key, hash) {
+                Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                Verdict::Kill(cause) => {
+                    return BlockLoopExit::Finished(RunOutcome::Detected { cause, pc });
+                }
+            }
+        }
+        if let Some(code) = exec.exit {
+            return BlockLoopExit::Finished(RunOutcome::Exited { code });
+        }
+        self.pc = exec.next_pc;
+        BlockLoopExit::Done { taken: exec.taken }
     }
 
     /// Fold one finished dispatch into the block-exec counters.
@@ -1112,97 +1419,6 @@ impl Processor {
             }
         }
         None
-    }
-
-    /// The architectural effect of one instruction.
-    fn execute_instr(&mut self, pc: u32, instr: Instr) -> Result<Exec, FaultKind> {
-        let next = pc.wrapping_add(INSTR_BYTES);
-        let mut exec = Exec {
-            next_pc: next,
-            taken: false,
-            exit: None,
-        };
-        match instr {
-            Instr::R(r) => match r.funct {
-                Funct::Jr => {
-                    let target = self.regs.read(r.rs);
-                    if target % 4 != 0 {
-                        return Err(FaultKind::AddressError { pc, target });
-                    }
-                    exec.next_pc = target;
-                    exec.taken = true;
-                }
-                Funct::Jalr => {
-                    let target = self.regs.read(r.rs);
-                    if target % 4 != 0 {
-                        return Err(FaultKind::AddressError { pc, target });
-                    }
-                    self.regs.write(r.rd, next);
-                    exec.next_pc = target;
-                    exec.taken = true;
-                }
-                Funct::Syscall => {
-                    exec.taken = true; // trap redirects fetch
-                    let number = self.regs.read(Syscall::NUMBER_REG);
-                    let a0 = self.regs.read(Syscall::ARG0_REG);
-                    match Syscall::from_number(number) {
-                        Some(Syscall::Exit) => exec.exit = Some(a0),
-                        Some(Syscall::PrintInt) => {
-                            self.console.push(ConsoleEvent::Int(a0 as i32));
-                        }
-                        Some(Syscall::PrintChar) => {
-                            self.console
-                                .push(ConsoleEvent::Char((a0 & 0xff) as u8 as char));
-                        }
-                        Some(Syscall::ReadCycles) => {
-                            let c = self.timing.cycles() as u32;
-                            self.regs.write(Reg::V0, c);
-                        }
-                        None => return Err(FaultKind::BadSyscall { pc, number }),
-                    }
-                }
-                Funct::Break => return Err(FaultKind::BreakTrap { pc }),
-                Funct::Mfhi => self.regs.write(r.rd, self.hi),
-                Funct::Mflo => self.regs.write(r.rd, self.lo),
-                Funct::Mthi => self.hi = self.regs.read(r.rs),
-                Funct::Mtlo => self.lo = self.regs.read(r.rs),
-                funct => {
-                    let a = self.regs.read(r.rs);
-                    let b = self.regs.read(r.rt);
-                    match semantics::alu_r(funct, a, b, r.shamt) {
-                        semantics::AluOut::Gpr(v) => self.regs.write(r.rd, v),
-                        semantics::AluOut::HiLo { hi, lo } => {
-                            self.hi = hi;
-                            self.lo = lo;
-                        }
-                    }
-                }
-            },
-            Instr::I(i) => {
-                if i.opcode.is_branch() {
-                    let a = self.regs.read(i.rs);
-                    let b = self.regs.read(i.rt);
-                    if semantics::branch_taken(i.opcode, a, b) {
-                        exec.next_pc = instr.branch_dest(pc).expect("branch has dest");
-                        exec.taken = true;
-                    }
-                } else if i.opcode.is_load() || i.opcode.is_store() {
-                    let addr = semantics::effective_address(self.regs.read(i.rs), i.imm);
-                    self.access_memory(pc, i.opcode, i.rt, addr)?;
-                } else {
-                    let v = semantics::alu_i(i.opcode, self.regs.read(i.rs), i.imm);
-                    self.regs.write(i.rt, v);
-                }
-            }
-            Instr::J(j) => {
-                exec.next_pc = j.dest_addr(pc);
-                exec.taken = true;
-                if j.opcode == cimon_isa::JOpcode::Jal {
-                    self.regs.write(Reg::RA, next);
-                }
-            }
-        }
-        Ok(exec)
     }
 
     fn access_memory(&mut self, pc: u32, op: IOpcode, rt: Reg, addr: u32) -> Result<(), FaultKind> {
@@ -1247,16 +1463,257 @@ impl Processor {
     }
 }
 
-struct Exec {
+/// The control-flow effect of one executed instruction.
+pub(crate) struct Exec {
     next_pc: u32,
     taken: bool,
     exit: Option<u32>,
 }
 
+impl Exec {
+    /// The common case: fall through to the next sequential PC.
+    #[inline]
+    fn fall_through(pc: u32) -> Exec {
+        Exec {
+            next_pc: pc.wrapping_add(INSTR_BYTES),
+            taken: false,
+            exit: None,
+        }
+    }
+}
+
+/// One cached successor edge of a dispatched block: the PC control
+/// transferred to and the block slot serving it. `slot == u32::MAX`
+/// marks an unresolved edge.
+#[derive(Clone, Copy, Debug)]
+struct ChainEdge {
+    pc: u32,
+    slot: u32,
+}
+
+/// The taken and fall-through successor edges of one block slot.
+#[derive(Clone, Copy, Debug)]
+struct ChainEdges {
+    taken: ChainEdge,
+    fall: ChainEdge,
+}
+
+impl ChainEdges {
+    const EMPTY: ChainEdges = ChainEdges {
+        taken: ChainEdge {
+            pc: 0,
+            slot: u32::MAX,
+        },
+        fall: ChainEdge {
+            pc: 0,
+            slot: u32::MAX,
+        },
+    };
+}
+
+/// A pre-bound executor for one predecoded instruction: the
+/// [`ThreadedProgram`] trick applied to instruction execution. Each
+/// function is monomorphic over one instruction shape, so block replay
+/// is a loop over `(fn pointer, predecoded operands)` pairs instead of
+/// a three-level enum match per executed instruction.
+pub(crate) type ExecFn = fn(&mut Processor, u32, &PredecodedEntry) -> Result<Exec, FaultKind>;
+
+/// Select the executor function for a decoded instruction — the bind
+/// step [`PredecodedEntry::new`] runs once per decode.
+pub(crate) fn bind_exec(instr: &Instr) -> ExecFn {
+    match instr {
+        Instr::R(r) => match r.funct {
+            Funct::Jr => exec_jr,
+            Funct::Jalr => exec_jalr,
+            Funct::Syscall => exec_syscall,
+            Funct::Break => exec_break,
+            Funct::Mfhi => exec_mfhi,
+            Funct::Mflo => exec_mflo,
+            Funct::Mthi => exec_mthi,
+            Funct::Mtlo => exec_mtlo,
+            _ => exec_alu_r,
+        },
+        Instr::I(i) => {
+            if i.opcode.is_branch() {
+                exec_branch
+            } else if i.opcode.is_load() || i.opcode.is_store() {
+                exec_mem
+            } else {
+                exec_alu_i
+            }
+        }
+        Instr::J(j) => match j.opcode {
+            cimon_isa::JOpcode::J => exec_j,
+            cimon_isa::JOpcode::Jal => exec_jal,
+        },
+    }
+}
+
+/// Unwrap the R-type payload an R-bound executor was paired with.
+macro_rules! r_type {
+    ($e:expr) => {
+        match $e.instr {
+            Instr::R(r) => r,
+            _ => unreachable!("bound to an R-type instruction"),
+        }
+    };
+}
+
+/// Unwrap the I-type payload an I-bound executor was paired with.
+macro_rules! i_type {
+    ($e:expr) => {
+        match $e.instr {
+            Instr::I(i) => i,
+            _ => unreachable!("bound to an I-type instruction"),
+        }
+    };
+}
+
+fn exec_jr(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    let target = cpu.regs.read(r.rs);
+    if target % 4 != 0 {
+        return Err(FaultKind::AddressError { pc, target });
+    }
+    Ok(Exec {
+        next_pc: target,
+        taken: true,
+        exit: None,
+    })
+}
+
+fn exec_jalr(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    let target = cpu.regs.read(r.rs);
+    if target % 4 != 0 {
+        return Err(FaultKind::AddressError { pc, target });
+    }
+    cpu.regs.write(r.rd, pc.wrapping_add(INSTR_BYTES));
+    Ok(Exec {
+        next_pc: target,
+        taken: true,
+        exit: None,
+    })
+}
+
+fn exec_syscall(cpu: &mut Processor, pc: u32, _e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let mut exec = Exec::fall_through(pc);
+    exec.taken = true; // trap redirects fetch
+    let number = cpu.regs.read(Syscall::NUMBER_REG);
+    let a0 = cpu.regs.read(Syscall::ARG0_REG);
+    match Syscall::from_number(number) {
+        Some(Syscall::Exit) => exec.exit = Some(a0),
+        Some(Syscall::PrintInt) => {
+            cpu.console.push(ConsoleEvent::Int(a0 as i32));
+        }
+        Some(Syscall::PrintChar) => {
+            cpu.console
+                .push(ConsoleEvent::Char((a0 & 0xff) as u8 as char));
+        }
+        Some(Syscall::ReadCycles) => {
+            let c = cpu.timing.cycles() as u32;
+            cpu.regs.write(Reg::V0, c);
+        }
+        None => return Err(FaultKind::BadSyscall { pc, number }),
+    }
+    Ok(exec)
+}
+
+fn exec_break(_cpu: &mut Processor, pc: u32, _e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    Err(FaultKind::BreakTrap { pc })
+}
+
+fn exec_mfhi(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    cpu.regs.write(r.rd, cpu.hi);
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_mflo(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    cpu.regs.write(r.rd, cpu.lo);
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_mthi(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    cpu.hi = cpu.regs.read(r.rs);
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_mtlo(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    cpu.lo = cpu.regs.read(r.rs);
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_alu_r(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let r = r_type!(e);
+    let a = cpu.regs.read(r.rs);
+    let b = cpu.regs.read(r.rt);
+    match semantics::alu_r(r.funct, a, b, r.shamt) {
+        semantics::AluOut::Gpr(v) => cpu.regs.write(r.rd, v),
+        semantics::AluOut::HiLo { hi, lo } => {
+            cpu.hi = hi;
+            cpu.lo = lo;
+        }
+    }
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_branch(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let i = i_type!(e);
+    let a = cpu.regs.read(i.rs);
+    let b = cpu.regs.read(i.rt);
+    let mut exec = Exec::fall_through(pc);
+    if semantics::branch_taken(i.opcode, a, b) {
+        // The destination was resolved at predecode time (it depends
+        // only on the instruction's own PC).
+        exec.next_pc = e.target;
+        exec.taken = true;
+    }
+    Ok(exec)
+}
+
+fn exec_mem(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let i = i_type!(e);
+    let addr = semantics::effective_address(cpu.regs.read(i.rs), i.imm);
+    cpu.access_memory(pc, i.opcode, i.rt, addr)?;
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_alu_i(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    let i = i_type!(e);
+    let v = semantics::alu_i(i.opcode, cpu.regs.read(i.rs), i.imm);
+    cpu.regs.write(i.rt, v);
+    Ok(Exec::fall_through(pc))
+}
+
+fn exec_j(_cpu: &mut Processor, _pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    Ok(Exec {
+        next_pc: e.target,
+        taken: true,
+        exit: None,
+    })
+}
+
+fn exec_jal(cpu: &mut Processor, pc: u32, e: &PredecodedEntry) -> Result<Exec, FaultKind> {
+    cpu.regs.write(Reg::RA, pc.wrapping_add(INSTR_BYTES));
+    Ok(Exec {
+        next_pc: e.target,
+        taken: true,
+        exit: None,
+    })
+}
+
 /// How one block-dispatch loop ended.
 enum BlockLoopExit {
-    /// Every entry executed; the block completed normally.
-    Done,
+    /// Every entry executed; the block completed normally, exiting
+    /// through its taken (`true`) or fall-through (`false`) edge.
+    Done {
+        /// Whether the terminating instruction redirected fetch.
+        taken: bool,
+    },
     /// The run ended (exit, fault, detection, cycle budget).
     Finished(RunOutcome),
     /// A delivered word diverged from its predecoded form: the current

@@ -27,6 +27,8 @@
 
 use cimon_isa::Reg;
 
+use crate::predecode::PredecodedEntry;
+
 /// Latency configuration of the execution units.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimingConfig {
@@ -70,6 +72,13 @@ pub enum IssueClass {
 const HI: usize = 32;
 const LO: usize = 33;
 const NREGS: usize = 34;
+
+/// Bit of HI in a register mask (the GPRs occupy bits 0–31).
+pub const MASK_HI: u64 = 1 << HI;
+/// Bit of LO in a register mask.
+pub const MASK_LO: u64 = 1 << LO;
+/// The GPR bits of a register mask.
+const MASK_GPR: u64 = u32::MAX as u64;
 
 /// The pipeline scheduling model.
 #[derive(Clone, Debug)]
@@ -182,6 +191,131 @@ impl Timing {
         id
     }
 
+    /// Schedule one instruction from precomputed register bitmasks —
+    /// bit-identical to [`Timing::issue`], without the slice iteration
+    /// or the per-source `$zero` branch.
+    ///
+    /// `src_mask` holds one bit per register read (bit `i` for GPR `i`;
+    /// [`MASK_HI`]/[`MASK_LO`] for HI/LO), with `$zero` never set.
+    /// `dest_mask` holds the written GPR's bit (if any; `$zero` never
+    /// set) plus both HI/LO bits when the instruction writes HI/LO.
+    /// The predecode plane computes both masks once per image
+    /// ([`PredecodedEntry`]); `crates/pipeline/tests/timing_masks.rs`
+    /// proves the two paths cycle-identical on random streams.
+    #[inline]
+    pub fn issue_masks(
+        &mut self,
+        class: IssueClass,
+        src_mask: u64,
+        dest_mask: u64,
+        taken: bool,
+    ) -> u64 {
+        let mut id = self.last_id + if self.redirect { 2 } else { 1 };
+
+        let table = if matches!(class, IssueClass::IdReader) {
+            &self.ready_id
+        } else {
+            &self.ready_ex
+        };
+        let mut m = src_mask;
+        while m != 0 {
+            let bound = table[m.trailing_zeros() as usize];
+            m &= m - 1;
+            if bound > id {
+                id = bound;
+            }
+        }
+
+        self.last_id = id;
+        self.redirect = taken;
+        self.instructions += 1;
+
+        // Publish readiness of results.
+        let gpr = dest_mask & MASK_GPR;
+        if gpr != 0 {
+            let d = gpr.trailing_zeros() as usize;
+            match class {
+                IssueClass::Load => {
+                    self.ready_id[d] = id + 4;
+                    self.ready_ex[d] = id + 2;
+                }
+                _ => {
+                    self.ready_id[d] = id + 3;
+                    self.ready_ex[d] = 0;
+                }
+            }
+        }
+        if dest_mask & (MASK_HI | MASK_LO) != 0 {
+            let extra = match class {
+                IssueClass::MulDiv { is_div: true } => self.config.div_latency.saturating_sub(1),
+                IssueClass::MulDiv { is_div: false } => self.config.mult_latency.saturating_sub(1),
+                _ => 0,
+            } as u64;
+            self.ready_id[HI] = id + 3 + extra;
+            self.ready_id[LO] = id + 3 + extra;
+            self.ready_ex[HI] = id + extra;
+            self.ready_ex[LO] = id + extra;
+        }
+        id
+    }
+
+    /// The ID cycle the next instruction would be assigned absent any
+    /// operand interlock — the anchor `X` a [`BlockPlan`]'s deltas are
+    /// replayed against.
+    #[inline]
+    pub fn block_entry_id(&self) -> u64 {
+        self.last_id + if self.redirect { 2 } else { 1 }
+    }
+
+    /// Whether a planned block can be replayed in one [`issue_block`]
+    /// call from the current state: the cycle budget cannot interrupt
+    /// any of the body's per-instruction polls, and no live-in operand
+    /// interlock binds (every readiness bound is already at or below
+    /// the cycle the plan schedules its first read).
+    ///
+    /// When this returns `false` the caller must fall back to
+    /// per-instruction [`Timing::issue_masks`] calls, which handle interlocked
+    /// and budget-interrupted blocks exactly.
+    ///
+    /// [`issue_block`]: Timing::issue_block
+    #[inline]
+    pub fn plan_fits(&self, plan: &BlockPlan, max_cycles: u64) -> bool {
+        let x = self.block_entry_id();
+        self.cycles() <= max_cycles
+            && x + plan.delta_end as u64 + 4 <= max_cycles
+            && plan.live_in.iter().all(|c| {
+                let table = if c.at_id {
+                    &self.ready_id
+                } else {
+                    &self.ready_ex
+                };
+                table[c.idx as usize] <= x + c.delta as u64
+            })
+    }
+
+    /// Schedule a whole planned straight-line block in one call.
+    ///
+    /// `x` is the entry id captured from [`Timing::block_entry_id`]
+    /// before the block started. The plan's precomputed schedule is
+    /// shift-invariant in `x` (every intra-block constraint is
+    /// relative), so replaying it — last ID, instruction count, and the
+    /// final readiness publishes, each as `x + delta` — is bit-identical
+    /// to issuing the body one instruction at a time, *provided*
+    /// [`Timing::plan_fits`] held at entry.
+    #[inline]
+    pub fn issue_block(&mut self, plan: &BlockPlan, x: u64) {
+        self.last_id = x + plan.delta_end as u64;
+        self.redirect = false;
+        self.instructions += plan.body_len as u64;
+        for p in &plan.publishes {
+            self.ready_id[p.idx as usize] = x + p.id_delta as u64;
+            self.ready_ex[p.idx as usize] = match p.ex_delta {
+                ExPublish::Reset => 0,
+                ExPublish::Delta(d) => x + d as u64,
+            };
+        }
+    }
+
     /// Freeze the front end for `n` cycles (monitoring exception
     /// handling by the OS).
     #[inline]
@@ -214,6 +348,120 @@ impl Timing {
 impl Default for Timing {
     fn default() -> Self {
         Timing::new(TimingConfig::default())
+    }
+}
+
+/// One live-in interlock of a planned block: register `idx` is read at
+/// scheduled delta `delta` (at the ID or the EX level) before any
+/// in-block write to it, so its readiness-table bound must already be
+/// satisfied for the precomputed schedule to replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LiveIn {
+    idx: u8,
+    at_id: bool,
+    delta: u32,
+}
+
+/// The EX-level readiness a block's last writer of a register leaves
+/// behind: ALU-class writes reset the bound to zero, loads and HI/LO
+/// writers publish a schedule-relative cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExPublish {
+    Reset,
+    Delta(u32),
+}
+
+/// One final readiness-table write of a planned block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Publish {
+    idx: u8,
+    id_delta: u32,
+    ex_delta: ExPublish,
+}
+
+/// The static schedule of one basic block's straight-line body (every
+/// entry but the terminating one), computed once at block-cache build
+/// time and replayed per dispatch by [`Timing::issue_block`].
+///
+/// The body contains no control flow, so — relative to the cycle its
+/// first instruction issues — its schedule is a pure function of the
+/// instructions and the [`TimingConfig`]: in-order sequencing,
+/// intra-block interlocks, and multi-cycle latencies all shift with the
+/// entry cycle. What *cannot* be precomputed is folded into two small
+/// dynamic checks ([`Timing::plan_fits`]): live-in operand interlocks
+/// against the run's readiness tables, and the cycle budget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Instructions in the planned body.
+    body_len: u32,
+    /// Schedule delta of the body's last instruction (0 for the first).
+    delta_end: u32,
+    /// Live-in reads whose readiness bounds must be checked per
+    /// dispatch: one per (register, read level), at the earliest delta
+    /// that reads it (later reads of the same register at the same
+    /// level are implied).
+    live_in: Vec<LiveIn>,
+    /// Final readiness-table state per register the body writes.
+    publishes: Vec<Publish>,
+}
+
+impl BlockPlan {
+    /// Plan a block body by simulating it once on a fresh schedule
+    /// (all live-ins ready, entry id 1) and recording deltas, live-in
+    /// constraints, and the final readiness publishes.
+    pub fn build(body: &[PredecodedEntry], config: TimingConfig) -> BlockPlan {
+        let mut t = Timing::new(config);
+        let mut written = 0u64;
+        let mut live_in: Vec<LiveIn> = Vec::new();
+        let mut delta_end = 0u32;
+        for e in body {
+            let live = e.src_mask & !written;
+            let id = t.issue_masks(e.klass, e.src_mask, e.dest_mask, false);
+            let delta = (id - 1) as u32;
+            delta_end = delta;
+            let at_id = matches!(e.klass, IssueClass::IdReader);
+            let mut m = live;
+            while m != 0 {
+                let idx = m.trailing_zeros() as u8;
+                m &= m - 1;
+                // Keep only the earliest read per (register, level):
+                // deltas are monotonic, so it is the binding one.
+                if !live_in.iter().any(|c| c.idx == idx && c.at_id == at_id) {
+                    live_in.push(LiveIn { idx, at_id, delta });
+                }
+            }
+            written |= e.dest_mask;
+        }
+        let mut publishes = Vec::with_capacity(written.count_ones() as usize);
+        let mut m = written;
+        while m != 0 {
+            let idx = m.trailing_zeros() as usize;
+            m &= m - 1;
+            publishes.push(Publish {
+                idx: idx as u8,
+                id_delta: (t.ready_id[idx] - 1) as u32,
+                ex_delta: match t.ready_ex[idx] {
+                    0 => ExPublish::Reset,
+                    v => ExPublish::Delta((v - 1) as u32),
+                },
+            });
+        }
+        BlockPlan {
+            body_len: body.len() as u32,
+            delta_end,
+            live_in,
+            publishes,
+        }
+    }
+
+    /// Instructions in the planned body.
+    pub fn body_len(&self) -> usize {
+        self.body_len as usize
+    }
+
+    /// Live-in interlock checks this plan performs per dispatch.
+    pub fn live_in_checks(&self) -> usize {
+        self.live_in.len()
     }
 }
 

@@ -1,0 +1,323 @@
+//! Differential property tests for superblock chaining plus the
+//! block-static scheduling fast paths, in the style of
+//! `block_exec_diff.rs`.
+//!
+//! Three processors run every scenario: block dispatch with chaining
+//! (the default), block dispatch with chaining forced off (the
+//! `CIMON_BLOCK_CHAIN=off` fallback CI gates), and per-instruction
+//! stepping (the slice-based oracle — its timing path is
+//! `Timing::issue`, its dispatch is the stage micro-programs). All
+//! three must agree byte-for-byte on outcome, statistics, cycles, and
+//! registers under stored-image tampering, in-flight bus-fault taps,
+//! and mid-block cycle-budget interrupts.
+
+use proptest::prelude::*;
+
+use cimon_asm::assemble;
+use cimon_core::hash::hash_words;
+use cimon_core::{BlockRecord, CicConfig, HashAlgoKind};
+use cimon_mem::BusTap;
+use cimon_os::FullHashTable;
+use cimon_pipeline::{BlockExec, Processor, ProcessorConfig, RunOutcome};
+
+/// A one-shot transient fault: flip `bit` of the word fetched from
+/// `target`, once.
+struct OneShot {
+    target: u32,
+    bit: u8,
+    done: bool,
+}
+
+impl BusTap for OneShot {
+    fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+        if addr == self.target && !self.done {
+            self.done = true;
+            word ^ (1u32 << self.bit)
+        } else {
+            word
+        }
+    }
+}
+
+/// A generated random program: backward loops (so chains form on hot
+/// edges), ALU/memory traffic, and a clean exit. Loop trip counts are
+/// bounded by construction: each loop counter decrements to zero.
+#[derive(Clone, Debug)]
+struct RandomProgram {
+    source: String,
+}
+
+prop_compose! {
+    fn arb_program()(
+        loops in 1usize..5,
+        body in 1usize..7,
+        seed in any::<u64>(),
+    ) -> RandomProgram {
+        use std::fmt::Write as _;
+        let mut src = String::from("    .data\nbuf: .word ");
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for i in 0..16 {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(src, "{sep}{}", next());
+        }
+        src.push_str("\n    .text\nmain:\n");
+        let regs = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5"];
+        for r in regs {
+            let _ = writeln!(src, "    li {r}, {}", next() as i32 % 500);
+        }
+        // `loops` nested-free counted loops, each with a random
+        // straight-line body — taken back edges every iteration, so
+        // superblock chains form and re-fire.
+        for l in 0..loops {
+            let trips = 2 + next() % 9;
+            let _ = writeln!(src, "    li $s0, {trips}");
+            let _ = writeln!(src, "L{l}:");
+            for _ in 0..body {
+                let a = regs[(next() % 6) as usize];
+                let b = regs[(next() % 6) as usize];
+                let c = regs[(next() % 6) as usize];
+                match next() % 8 {
+                    0 => { let _ = writeln!(src, "    addu {a}, {b}, {c}"); }
+                    1 => { let _ = writeln!(src, "    subu {a}, {b}, {c}"); }
+                    2 => { let _ = writeln!(src, "    xor {a}, {b}, {c}"); }
+                    3 => { let _ = writeln!(src, "    addiu {a}, {b}, {}", next() as i32 % 100); }
+                    4 => { let _ = writeln!(src, "    lw {a}, {}($gp)", (next() % 16) * 4); }
+                    5 => { let _ = writeln!(src, "    sw {a}, {}($gp)", (next() % 16) * 4); }
+                    6 => { let _ = writeln!(src, "    mult {a}, {b}"); }
+                    _ => { let _ = writeln!(src, "    mflo {a}"); }
+                }
+            }
+            let _ = writeln!(src, "    addiu $s0, $s0, -1");
+            let _ = writeln!(src, "    bnez $s0, L{l}");
+        }
+        src.push_str("    move $a0, $t0\n    li $v0, 10\n    syscall\n");
+        RandomProgram { source: src }
+    }
+}
+
+fn variant(config: &ProcessorConfig, block: bool, chain: bool, max_cycles: u64) -> ProcessorConfig {
+    let mut c = config.clone();
+    c.block_exec = if block { BlockExec::On } else { BlockExec::Off };
+    c.block_chain = chain;
+    c.max_cycles = max_cycles;
+    c
+}
+
+/// Run chained, unchained, and per-instruction processors over the
+/// same scenario and assert byte-identical architectural results.
+fn assert_equivalent(
+    image: &cimon_mem::ProgramImage,
+    config: &ProcessorConfig,
+    max_cycles: u64,
+    prepare: impl Fn(&mut Processor),
+) {
+    let mut chained = Processor::new(image, variant(config, true, true, max_cycles));
+    let mut unchained = Processor::new(image, variant(config, true, false, max_cycles));
+    let mut oracle = Processor::new(image, variant(config, false, false, max_cycles));
+    prepare(&mut chained);
+    prepare(&mut unchained);
+    prepare(&mut oracle);
+    let out = chained.run();
+    assert_eq!(out, unchained.run(), "chain on/off outcome diverged");
+    assert_eq!(out, oracle.run(), "block/oracle outcome diverged");
+    assert_eq!(chained.stats(), unchained.stats(), "chain on/off stats");
+    assert_eq!(chained.stats(), oracle.stats(), "block/oracle stats");
+    assert_eq!(chained.cycles(), oracle.cycles(), "cycles diverged");
+    assert_eq!(
+        chained.regs().snapshot(),
+        oracle.regs().snapshot(),
+        "registers diverged"
+    );
+    assert_eq!(
+        unchained.regs().snapshot(),
+        oracle.regs().snapshot(),
+        "unchained registers diverged"
+    );
+    // Chaining must actually be off when disabled, and the oracle must
+    // never have dispatched blocks.
+    let off = unchained.block_stats();
+    assert_eq!(
+        off.chain_hits + off.chain_misses,
+        0,
+        "chain engaged while off"
+    );
+    assert_eq!(oracle.block_stats().dispatches, 0);
+}
+
+/// The exact FHT for a program from its recorded block trace.
+fn trace_fht(image: &cimon_mem::ProgramImage) -> FullHashTable {
+    let mut cpu = Processor::new(
+        image,
+        ProcessorConfig {
+            record_blocks: true,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    cpu.run();
+    let mem = image.to_memory();
+    cpu.blocks()
+        .iter()
+        .map(|b| {
+            let words = b.key.addresses().map(|a| mem.read_u32(a).unwrap());
+            BlockRecord {
+                key: b.key,
+                hash: hash_words(HashAlgoKind::Xor, 0, words),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn clean_loopy_runs_agree_across_all_fast_paths(p in arb_program()) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        assert_equivalent(&prog.image, &ProcessorConfig::baseline(), 1_000_000, |_| {});
+        let fht = trace_fht(&prog.image);
+        let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+        assert_equivalent(&prog.image, &config, 1_000_000, |_| {});
+    }
+
+    #[test]
+    fn tampering_bails_identically_with_chains(
+        p in arb_program(),
+        word_idx in any::<prop::sample::Index>(),
+        bit in 0u8..32,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let n_words = prog.image.text.bytes.len() / 4;
+        let victim = prog.image.text.base + 4 * word_idx.index(n_words) as u32;
+        let fht = trace_fht(&prog.image);
+        for config in [
+            ProcessorConfig::baseline(),
+            ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
+        ] {
+            assert_equivalent(&prog.image, &config, 1_000_000, |cpu| {
+                let old = cpu.mem().read_u32(victim).unwrap();
+                cpu.mem_mut().write_u32(victim, old ^ (1 << bit)).unwrap();
+            });
+        }
+    }
+
+    #[test]
+    fn bus_taps_bail_identically_with_chains(
+        p in arb_program(),
+        word_idx in any::<prop::sample::Index>(),
+        bit in 0u8..32,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let n_words = prog.image.text.bytes.len() / 4;
+        let target = prog.image.text.base + 4 * word_idx.index(n_words) as u32;
+        let fht = trace_fht(&prog.image);
+        for config in [
+            ProcessorConfig::baseline(),
+            ProcessorConfig::monitored(CicConfig::with_entries(8), fht),
+        ] {
+            assert_equivalent(&prog.image, &config, 1_000_000, |cpu| {
+                cpu.set_bus_tap(Box::new(OneShot { target, bit, done: false }));
+            });
+        }
+    }
+
+    #[test]
+    fn mid_block_budget_interrupts_identically_with_chains(
+        p in arb_program(),
+        max_cycles in 1u64..500,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        assert_equivalent(&prog.image, &ProcessorConfig::baseline(), max_cycles, |_| {});
+        let fht = trace_fht(&prog.image);
+        let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+        assert_equivalent(&prog.image, &config, max_cycles, |_| {});
+    }
+}
+
+const SUM_LOOP: &str = "
+    .text
+main:
+    li   $t0, 50
+    li   $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    move $a0, $t1
+    li   $v0, 10
+    syscall
+";
+
+#[test]
+fn hot_loops_chain_block_to_block() {
+    let prog = assemble(SUM_LOOP).unwrap();
+    let mut cpu = Processor::new(
+        &prog.image,
+        ProcessorConfig {
+            block_exec: BlockExec::On,
+            block_chain: true,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    assert_eq!(cpu.run(), RunOutcome::Exited { code: 1275 });
+    let stats = cpu.block_stats();
+    // 1 entry dispatch + 49 chained loop re-entries + the exit block:
+    // after the first taken back edge records the edge, every further
+    // loop iteration enters through it.
+    assert!(stats.dispatches > 10, "{stats:?}");
+    assert!(
+        stats.chain_hits >= stats.dispatches - 4,
+        "hot loop must chain nearly every dispatch: {stats:?}"
+    );
+    assert_eq!(stats.bailouts, 0);
+}
+
+#[test]
+fn chain_stats_stay_zero_when_disabled() {
+    let prog = assemble(SUM_LOOP).unwrap();
+    let mut cpu = Processor::new(
+        &prog.image,
+        ProcessorConfig {
+            block_exec: BlockExec::On,
+            block_chain: false,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    assert_eq!(cpu.run(), RunOutcome::Exited { code: 1275 });
+    let stats = cpu.block_stats();
+    assert_eq!(stats.chain_hits, 0, "{stats:?}");
+    assert_eq!(stats.chain_misses, 0, "{stats:?}");
+    assert!(stats.dispatches > 10);
+}
+
+#[test]
+fn tamper_bailout_invalidates_the_blocks_chain_edges() {
+    // Tamper the loop body after construction: the first dispatch of
+    // the tampered block bails out, drops its cached edges, and the
+    // detection still fires at the block end — while the run's stats
+    // stay identical to the unchained processor's.
+    let prog = assemble(SUM_LOOP).unwrap();
+    let fht = trace_fht(&prog.image);
+    let run = |chain: bool| {
+        let mut cpu = Processor::new(
+            &prog.image,
+            ProcessorConfig {
+                block_exec: BlockExec::On,
+                block_chain: chain,
+                ..ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone())
+            },
+        );
+        let victim = prog.image.entry + 8;
+        let old = cpu.mem().read_u32(victim).unwrap();
+        cpu.mem_mut().write_u32(victim, old ^ (1 << 20)).unwrap();
+        let out = cpu.run();
+        (out, cpu.stats(), cpu.block_stats())
+    };
+    let (out_on, stats_on, block_on) = run(true);
+    let (out_off, stats_off, _) = run(false);
+    assert!(matches!(out_on, RunOutcome::Detected { .. }));
+    assert_eq!(out_on, out_off);
+    assert_eq!(stats_on, stats_off);
+    assert!(block_on.bailouts > 0, "{block_on:?}");
+}

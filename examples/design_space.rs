@@ -80,7 +80,12 @@ fn main() {
         HashAlgoKind::Crc32,
     ];
     let mut sweep = Sweep::new();
-    sweep.grid(&[artifact], &sizes, &algos, SimConfig::default());
+    sweep.grid(
+        std::slice::from_ref(&artifact),
+        &sizes,
+        &algos,
+        SimConfig::default(),
+    );
     let rows = sweep.run().expect("bitcount analyses");
     println!("\n=== cycle cost on `bitcount` across the design plane (one sweep) ===");
     print!("{:>10}", "entries");
@@ -93,6 +98,41 @@ fn main() {
         for (j, _) in algos.iter().enumerate() {
             // grid order is algo-major, size-minor within the artifact.
             print!("{:>12}", rows[j * sizes.len() + i].cycles);
+        }
+        println!();
+    }
+
+    // The same plane timed point by point: simulated MIPS (simulator
+    // wall-clock, artifacts prepared outside the timed region —
+    // mirrors the `sim_throughput` bench), so the examples double as a
+    // smoke throughput check.
+    println!("\n=== simulated MIPS across the design plane (smoke throughput check) ===");
+    print!("{:>10}", "entries");
+    for algo in algos {
+        print!("{:>12}", algo.name());
+    }
+    println!();
+    let predecoded = artifact.predecoded();
+    let blocks = artifact.block_cache();
+    for &entries in &sizes {
+        print!("{entries:>10}");
+        for algo in algos {
+            let config = SimConfig {
+                iht_entries: entries,
+                hash_algo: algo,
+                ..SimConfig::default()
+            };
+            let fht = artifact.fht(algo, config.hash_seed).expect("analyses");
+            let t0 = std::time::Instant::now();
+            let report = cimon::sim::run_monitored_prepared(
+                artifact.image(),
+                fht,
+                &config,
+                predecoded.clone(),
+                blocks.clone(),
+            );
+            let mips = report.stats.instructions as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            print!("{mips:>12.1}");
         }
         println!();
     }
