@@ -8,6 +8,7 @@ fn main() {
         "hash", "model", "monitor", "baseline", "masked", "silent", "hung", "coverage"
     );
     cimon_bench::print_rule(78);
+    let mut saved = 0u64;
     for r in cimon_bench::fault_analysis("sha", 120) {
         println!(
             "{:<12} {:<12} {:>8} {:>9} {:>7} {:>7} {:>5} {:>9.1}%",
@@ -20,7 +21,9 @@ fn main() {
             r.result.hung,
             r.result.coverage_percent()
         );
+        saved += r.result.saved_cycles;
     }
     println!("\nShape checks (paper): single-bit silent = 0 for every algorithm (odd flips");
     println!("always change the XOR column parity); only XOR leaks column-pairs silently.");
+    println!("Checkpoint-restart skipped {saved} clean-prefix cycles across all campaigns.");
 }

@@ -1,0 +1,69 @@
+//! Splice-scaling benchmark: serial vs spliced wall-clock on a large
+//! corpus program, at 1/2/4/8 replay workers.
+//!
+//! Every spliced run is asserted byte-identical to the serial oracle
+//! before its time counts, so the rows can never report a
+//! fast-but-wrong splice. Rows are merged into `BENCH_throughput.json`
+//! alongside the `sim_throughput` rows (older `splice-*` rows are
+//! replaced; everything else is preserved).
+//!
+//! Set `CIMON_SPLICE_SMOKE=1` for the CI smoke shape: a small corpus
+//! program and 2 workers only.
+//!
+//! A note on expectations: the speedup ceiling is the machine's
+//! physical core count. On a single-core runner the spliced modes are
+//! *slower* than serial (the fast pass plus the full replay is ~2× the
+//! work) — the rows still prove the splice is exact and show where the
+//! crossover sits as cores are added.
+
+fn main() {
+    let smoke = std::env::var("CIMON_SPLICE_SMOKE").is_ok_and(|v| v != "0");
+    let (target, workers, reps): (u64, &[usize], usize) = if smoke {
+        (60_000, &[2], 1)
+    } else {
+        (1_000_000, &[1, 2, 4, 8], 2)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Splice scaling — serial vs spliced monitored wall-clock \
+         (~{target} dynamic instructions, {cores} host cores{})",
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "{:<22} {:>15} {:>12} {:>11} {:>8} {:>8}",
+        "workload", "mode", "instructions", "seconds", "MIPS", "speedup"
+    );
+    cimon_bench::print_rule(82);
+    let rows = cimon_bench::splice_scaling(target, workers, reps);
+    let serial_seconds = rows[0].best_seconds;
+    for r in &rows {
+        println!(
+            "{:<22} {:>15} {:>12} {:>11.6} {:>8.2} {:>7.2}x",
+            r.workload,
+            r.mode,
+            r.instructions,
+            r.best_seconds,
+            r.mips,
+            serial_seconds / r.best_seconds.max(1e-12)
+        );
+    }
+    cimon_bench::print_rule(82);
+
+    // Merge into BENCH_throughput.json: keep foreign rows, replace any
+    // previous splice rows.
+    let mut merged = std::fs::read_to_string("BENCH_throughput.json")
+        .ok()
+        .and_then(|text| cimon_bench::report::throughput_from_json(&text).ok())
+        .unwrap_or_default();
+    merged.retain(|r| !r.mode.starts_with("splice-"));
+    let kept = merged.len();
+    merged.extend(rows.iter().cloned());
+    let json = cimon_bench::report::throughput_to_json(&merged);
+    match std::fs::write("BENCH_throughput.json", &json) {
+        Ok(()) => println!(
+            "\nwrote BENCH_throughput.json ({kept} existing rows + {} splice rows)",
+            rows.len()
+        ),
+        Err(e) => println!("\ncould not write BENCH_throughput.json: {e}"),
+    }
+}

@@ -76,6 +76,12 @@ impl CicStats {
 /// once per fetched instruction, so the checker avoids a virtual call
 /// there. User-supplied [`crate::hash::BlockHasher`] implementations
 /// plug in at the [`cimon_microop::MicroEnv`] level instead.
+///
+/// The checker is `Clone`: a clone is a complete snapshot of the
+/// monitoring hardware's run state (digest, table contents and LRU
+/// order, statistics), which the snapshot/restore machinery captures
+/// at checkpoint boundaries.
+#[derive(Clone)]
 pub struct Cic {
     config: CicConfig,
     hasher: HashAlgo,
@@ -148,6 +154,22 @@ impl Cic {
         let mut probe = HashAlgo::new(self.config.hash_algo, self.config.hash_seed);
         probe.reset();
         probe.digest()
+    }
+
+    /// Account `n` words as hashed without touching the digest — the
+    /// fast-pass path that replays a memoized per-block digest must
+    /// keep [`CicStats::words_hashed`] exactly what per-word hashing
+    /// would have left.
+    pub fn note_words_hashed(&mut self, n: u64) {
+        self.stats.words_hashed += n;
+    }
+
+    /// Whether the hash unit currently sits in its reset state — the
+    /// precondition for replaying a memoized whole-block digest.
+    pub fn hasher_is_reset(&self) -> bool {
+        let mut probe = HashAlgo::new(self.config.hash_algo, self.config.hash_seed);
+        probe.reset();
+        self.hasher == probe
     }
 
     /// The ID-stage block-end check:

@@ -6,6 +6,27 @@
 //! is identical to the historical serial loop — and the (independent)
 //! faulted runs then execute in parallel with deterministic result
 //! ordering.
+//!
+//! # Checkpoint-restart
+//!
+//! Every faulted run shares the same clean prefix: until the first
+//! cycle that *touches* a flipped word (fetches it, or hashes it as
+//! part of an executed block), the faulted execution is byte-identical
+//! to the clean reference. [`Campaign::new`] therefore snapshots the
+//! reference run at instruction-count intervals and records, per
+//! window, the text ranges the clean run touched. A faulted run then
+//! restores the last snapshot *before* its flips can first take effect
+//! and replays only the tail — and a flip in code the clean run never
+//! touches is classified without simulating at all. The cycles not
+//! re-simulated accumulate in [`CampaignResult::saved_cycles`].
+//!
+//! Soundness relies on text being accessed only through instruction
+//! fetch (and the monitor's block hashes): a program that *writes* its
+//! own text is detected via the memory generation counter and disables
+//! the fast path, while reading text as data is assumed not to happen
+//! (true for every workload in the registry — campaign targets are
+//! executable code, which the paper's threat model also confines
+//! itself to).
 
 use std::sync::Arc;
 
@@ -14,7 +35,7 @@ use cimon_mem::{Memory, ProgramImage};
 use cimon_os::FullHashTable;
 use cimon_pipeline::{
     BlockCache, BlockExec, ConsoleEvent, Predecode, PredecodedImage, Processor, ProcessorConfig,
-    RunOutcome,
+    ProcessorSnapshot, RunOutcome,
 };
 use cimon_sim::engine::{default_workers, parallel_map};
 use rand::rngs::StdRng;
@@ -127,6 +148,12 @@ pub struct CampaignResult {
     pub silent: usize,
     /// Hung runs.
     pub hung: usize,
+    /// Cycles the checkpoint-restart path did not have to re-simulate:
+    /// clean prefixes reused from the reference run's snapshots, plus
+    /// whole runs classified from the reference alone (flips in code
+    /// the clean run never touches). Zero when checkpointing is
+    /// unavailable (non-exiting reference, or self-modifying text).
+    pub saved_cycles: u64,
 }
 
 impl CampaignResult {
@@ -167,13 +194,75 @@ impl CampaignResult {
     }
 }
 
+/// Reference-run checkpoints for campaign fast-forwarding: snapshots
+/// at instruction-count intervals, plus the text ranges the clean run
+/// touched within each inter-snapshot window (fetched *or* hashed —
+/// block events cover every word of an executed block, which is
+/// exactly the set the monitor reads).
+struct Checkpoints {
+    snaps: Vec<ProcessorSnapshot>,
+    /// Clean-run cycle count at each snapshot.
+    snap_cycles: Vec<u64>,
+    /// Per window (`snaps.len() + 1` of them), sorted disjoint
+    /// `[lo, hi]` inclusive word ranges touched in that window. A block
+    /// in flight at a snapshot is attributed to the window *before* the
+    /// cut (its first words were fetched there), so a flip's window is
+    /// conservative: restart at or before the true first touch.
+    touched: Vec<Vec<(u32, u32)>>,
+    /// Total cycles of the clean reference run.
+    reference_cycles: u64,
+}
+
+impl Checkpoints {
+    /// Earliest window whose touched set contains `addr`.
+    fn window_of(&self, addr: u32) -> Option<usize> {
+        self.touched.iter().position(|ranges| {
+            ranges
+                .binary_search_by(|&(lo, hi)| {
+                    if hi < addr {
+                        std::cmp::Ordering::Less
+                    } else if lo > addr {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok()
+        })
+    }
+
+    /// Earliest window in which any of the plan's flips can first take
+    /// effect; `None` when the clean run never touches any flipped word.
+    fn plan_window(&self, plan: &FaultPlan) -> Option<usize> {
+        plan.flips
+            .iter()
+            .filter_map(|f| self.window_of(f.addr))
+            .min()
+    }
+}
+
+/// Merge raw block ranges into sorted disjoint inclusive intervals.
+fn merge_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(4) => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
 /// A configured fault campaign over one program.
 ///
 /// The image is predecoded and block-grouped once at construction;
 /// every faulted run shares those caches, so a campaign's thousands of
 /// short runs skip the per-run decode and grouping passes (tampered
 /// words are word-validated at dispatch time, so sharing can never mask
-/// an injected fault).
+/// an injected fault). Construction also snapshots the clean reference
+/// run so [`Campaign::run`] can restart faulted runs just before their
+/// flips first take effect (see the module docs).
 pub struct Campaign {
     image: Arc<ProgramImage>,
     cic: CicConfig,
@@ -185,6 +274,9 @@ pub struct Campaign {
     /// patched copy is ever materialised).
     clean_mem: Memory,
     reference: (RunOutcome, Vec<ConsoleEvent>),
+    /// Clean-run snapshots and touch map; `None` when the reference did
+    /// not exit cleanly or the program writes its own text.
+    checkpoints: Option<Checkpoints>,
 }
 
 impl Campaign {
@@ -208,24 +300,92 @@ impl Campaign {
             blocks,
             clean_mem,
             reference: (RunOutcome::MaxCycles, Vec::new()),
+            checkpoints: None,
         };
         let mut cpu = campaign.processor(&campaign.fht, ProcessorConfig::baseline().max_cycles);
         let outcome = cpu.run();
-        campaign.reference = (outcome, cpu.stats().console);
+        let stats = cpu.stats();
+        campaign.reference = (outcome, stats.console);
+        if matches!(outcome, RunOutcome::Exited { .. }) {
+            campaign.checkpoints = campaign.build_checkpoints(stats.instructions);
+        }
         campaign
     }
 
     /// A monitored processor over the campaign's shared caches.
     fn processor(&self, fht: &Arc<FullHashTable>, max_cycles: u64) -> Processor {
+        self.processor_with(fht, max_cycles, false)
+    }
+
+    fn processor_with(
+        &self,
+        fht: &Arc<FullHashTable>,
+        max_cycles: u64,
+        record_blocks: bool,
+    ) -> Processor {
         Processor::new(
             &self.image,
             ProcessorConfig {
                 max_cycles,
+                record_blocks,
                 predecode: Predecode::Shared(self.predecoded.clone()),
                 block_exec: BlockExec::Shared(self.blocks.clone()),
                 ..ProcessorConfig::monitored(self.cic, fht.clone())
             },
         )
+    }
+
+    /// Re-run the clean reference with block recording, snapshotting
+    /// every `instructions / 8` retired instructions, and derive the
+    /// per-window touch map. Returns `None` when the program writes its
+    /// own text (a pre-applied flip could be overwritten before its
+    /// first fetch, so prefix reuse would be unsound).
+    fn build_checkpoints(&self, instructions: u64) -> Option<Checkpoints> {
+        const WINDOWS: u64 = 8;
+        let interval = (instructions / WINDOWS).max(1);
+        let mut cpu = self.processor_with(&self.fht, ProcessorConfig::baseline().max_cycles, true);
+        let text_epoch = cpu.mem().dense_epoch();
+        let mut snaps = Vec::new();
+        let mut snap_cycles = Vec::new();
+        loop {
+            let target = (snaps.len() as u64 + 1) * interval;
+            match cpu.run_to_instret(target) {
+                Some(_) => break,
+                None => {
+                    snaps.push(cpu.snapshot());
+                    snap_cycles.push(cpu.stats().cycles);
+                }
+            }
+        }
+        if cpu.mem().dense_epoch() != text_epoch {
+            return None;
+        }
+        let reference_cycles = cpu.stats().cycles;
+        let events = cpu.blocks();
+        let mut cuts: Vec<usize> = snaps.iter().map(|s| s.blocks().len()).collect();
+        cuts.push(events.len());
+        let mut touched = Vec::with_capacity(cuts.len());
+        let mut prev = 0;
+        for &end in &cuts {
+            let mut ranges: Vec<(u32, u32)> = events[prev..end]
+                .iter()
+                .map(|e| (e.key.start, e.key.end))
+                .collect();
+            // The block in flight at the cut completes (and is logged)
+            // in the next window, but its first words were already
+            // fetched in this one: attribute it here as well.
+            if let Some(e) = events.get(end) {
+                ranges.push((e.key.start, e.key.end));
+            }
+            touched.push(merge_ranges(ranges));
+            prev = end;
+        }
+        Some(Checkpoints {
+            snaps,
+            snap_cycles,
+            touched,
+            reference_cycles,
+        })
     }
 
     /// The clean reference outcome.
@@ -248,6 +408,54 @@ impl Campaign {
         }
         let outcome = cpu.run();
         self.classify(outcome, &cpu.stats().console)
+    }
+
+    /// [`Campaign::run_one`] through the checkpoint-restart fast path:
+    /// restore the last clean snapshot taken before the plan's flips
+    /// can first take effect and replay only the tail. Returns the
+    /// classification plus the clean-prefix cycles *not* re-simulated.
+    ///
+    /// The replayed tail is exact, not approximate: the snapshot
+    /// carries the complete run state (timing included), so budget
+    /// interrupts, console output, and detection all land on the same
+    /// cycle as a from-scratch faulted run.
+    fn run_one_restarted(&self, plan: &FaultPlan, max_cycles: u64) -> (Outcome, u64) {
+        let Some(cp) = &self.checkpoints else {
+            return (self.run_one(plan, max_cycles), 0);
+        };
+        match cp.plan_window(plan) {
+            // The clean run never fetches or hashes any flipped word,
+            // so the faulted run is the clean run (module docs): it
+            // exits identically within the budget, or hangs on it.
+            None if cp.reference_cycles <= max_cycles => (Outcome::Masked, cp.reference_cycles),
+            None => (Outcome::Hung, max_cycles),
+            Some(0) => (self.run_one(plan, max_cycles), 0),
+            Some(w) => {
+                let saved = cp.snap_cycles[w - 1];
+                if saved > max_cycles {
+                    // The budget expires inside the clean prefix,
+                    // before the flips can activate.
+                    return (Outcome::Hung, max_cycles);
+                }
+                let mut cpu = self.processor_with(&self.fht, max_cycles, true);
+                cpu.restore(&cp.snaps[w - 1]);
+                match plan.site {
+                    FaultSite::StoredImage => {
+                        for f in &plan.flips {
+                            f.apply_to_memory(cpu.mem_mut());
+                        }
+                    }
+                    FaultSite::FetchBus(mode) => {
+                        // The tap is fresh, exactly as in a scratch
+                        // run: no flip address was fetched before the
+                        // restore point, so no one-shot state is lost.
+                        cpu.set_bus_tap(Box::new(PlannedBusTap::new(plan.flips.clone(), mode)));
+                    }
+                }
+                let outcome = cpu.run();
+                (self.classify(outcome, &cpu.stats().console), saved)
+            }
+        }
     }
 
     /// Run one *authorised-patch* execution: apply a stored-image plan,
@@ -317,6 +525,12 @@ impl Campaign {
     /// Run a full campaign with an explicit worker count (1 = serial).
     /// The result is identical for any worker count: plans are
     /// pre-generated serially and each faulted run is independent.
+    ///
+    /// Each run goes through checkpoint-restart (module docs): only the
+    /// tail from the last clean snapshot before the plan's flips can
+    /// activate is re-simulated, and the skipped prefix cycles are
+    /// reported in [`CampaignResult::saved_cycles`]. Classifications
+    /// are identical to from-scratch runs ([`Campaign::run_one`]).
     pub fn run_with_workers(&self, config: &CampaignConfig, workers: usize) -> CampaignResult {
         assert!(
             !config.targets.is_empty(),
@@ -324,11 +538,12 @@ impl Campaign {
         );
         let plans = self.plans(config);
         let outcomes = parallel_map(&plans, workers, |_, plan| {
-            self.run_one(plan, config.max_cycles)
+            self.run_one_restarted(plan, config.max_cycles)
         });
         let mut result = CampaignResult::default();
-        for outcome in outcomes {
+        for (outcome, saved) in outcomes {
             result.record(outcome);
+            result.saved_cycles += saved;
         }
         result
     }
@@ -467,6 +682,164 @@ mod tests {
             max_cycles: 60_000,
         };
         assert_eq!(c.run(&cfg), c.run(&cfg));
+    }
+
+    /// From-scratch oracle: every plan through [`Campaign::run_one`].
+    fn scratch_result(c: &Campaign, cfg: &CampaignConfig) -> CampaignResult {
+        let mut r = CampaignResult::default();
+        for plan in c.plans(cfg) {
+            r.record(c.run_one(&plan, cfg.max_cycles));
+        }
+        r
+    }
+
+    #[track_caller]
+    fn assert_matches_scratch(c: &Campaign, cfg: &CampaignConfig) -> CampaignResult {
+        let restarted = c.run_with_workers(cfg, 2);
+        let scratch = scratch_result(c, cfg);
+        assert_eq!(
+            CampaignResult {
+                saved_cycles: 0,
+                ..restarted
+            },
+            scratch
+        );
+        restarted
+    }
+
+    #[test]
+    fn checkpoint_restart_classifies_exactly_like_scratch_runs() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let mut total_saved = 0;
+        for site in [
+            FaultSite::StoredImage,
+            FaultSite::FetchBus(BusFaultMode::OneShot),
+            FaultSite::FetchBus(BusFaultMode::StuckAt),
+        ] {
+            let r = assert_matches_scratch(
+                &c,
+                &CampaignConfig {
+                    runs: 60,
+                    seed: 23,
+                    model: FaultModel::SingleBit,
+                    site,
+                    targets: targets.clone(),
+                    max_cycles: 60_000,
+                },
+            );
+            total_saved += r.saved_cycles;
+        }
+        // Flips in the exit sequence only activate in the last window,
+        // so some plans must have reused a clean prefix.
+        assert!(total_saved > 0);
+    }
+
+    #[test]
+    fn budgets_shorter_than_the_prefix_hang_identically() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        assert_matches_scratch(
+            &c,
+            &CampaignConfig {
+                runs: 40,
+                seed: 31,
+                model: FaultModel::MultiBit { n: 2 },
+                site: FaultSite::StoredImage,
+                targets,
+                max_cycles: 10,
+            },
+        );
+    }
+
+    #[test]
+    fn late_faults_replay_only_the_tail() {
+        let (c, _) = setup(HashAlgoKind::Xor);
+        // The exit sequence (move / li / syscall) runs once, after the
+        // whole loop: its words are first touched in the final window.
+        let entry = assemble(PROGRAM).unwrap().image.entry;
+        let cfg = CampaignConfig {
+            runs: 30,
+            seed: 77,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets: vec![entry + 20, entry + 24, entry + 28],
+            max_cycles: 60_000,
+        };
+        let r = assert_matches_scratch(&c, &cfg);
+        // Every plan lands in the last window, so every run skipped a
+        // prefix.
+        assert!(
+            r.saved_cycles as usize >= cfg.runs,
+            "saved {} over {} runs",
+            r.saved_cycles,
+            cfg.runs
+        );
+    }
+
+    #[test]
+    fn untouched_code_is_classified_without_simulating() {
+        let src = "
+            .text
+        main:
+            li $a0, 5
+            li $v0, 10
+            syscall
+        dead:
+            addu $t0, $t1, $t2
+            xor  $t3, $t4, $t5
+            jr $ra
+        ";
+        let prog = assemble(src).unwrap();
+        let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let dead = prog.symbols.get("dead").unwrap();
+        let c = Campaign::new(prog.image, CicConfig::default(), fht);
+        let cfg = CampaignConfig {
+            runs: 25,
+            seed: 5,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets: vec![dead, dead + 4, dead + 8],
+            max_cycles: 60_000,
+        };
+        let r = assert_matches_scratch(&c, &cfg);
+        assert_eq!(r.masked, 25, "{r:?}");
+        assert!(r.saved_cycles > 0);
+    }
+
+    #[test]
+    fn self_modifying_text_disables_checkpointing() {
+        // The store rewrites identical bytes, so the monitored run stays
+        // clean — but any text write means a pre-applied flip could be
+        // overwritten before its first fetch, so the campaign must fall
+        // back to from-scratch runs.
+        let src = "
+            .text
+        main:
+            la   $t8, touch
+            lw   $t9, 0($t8)
+            sw   $t9, 0($t8)
+        touch:
+            li   $a0, 5
+            li   $v0, 10
+            syscall
+        ";
+        let prog = assemble(src).unwrap();
+        let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let (lo, hi) = prog.image.text_range();
+        let c = Campaign::new(prog.image, CicConfig::default(), fht);
+        assert_eq!(c.reference_outcome(), RunOutcome::Exited { code: 5 });
+        assert!(c.checkpoints.is_none());
+        let r = assert_matches_scratch(
+            &c,
+            &CampaignConfig {
+                runs: 30,
+                seed: 13,
+                model: FaultModel::SingleBit,
+                site: FaultSite::StoredImage,
+                targets: (lo..hi).step_by(4).collect(),
+                max_cycles: 60_000,
+            },
+        );
+        assert_eq!(r.saved_cycles, 0);
     }
 
     #[test]

@@ -116,6 +116,14 @@ impl FetchBus {
     pub fn fetch_count(&self) -> u64 {
         self.fetches
     }
+
+    /// Reinstate the fetch counter from a snapshot. Taps are not part
+    /// of a snapshot — a restored run re-installs its own tap (the
+    /// splice layer records the original tap's overrides and replays
+    /// them positionally).
+    pub fn set_fetch_count(&mut self, n: u64) {
+        self.fetches = n;
+    }
 }
 
 #[cfg(test)]

@@ -13,15 +13,23 @@
 //!
 //! All multi-byte accesses are little-endian and must be naturally
 //! aligned, mirroring the alignment faults a real bus would raise.
+//!
+//! Both tiers are **copy-on-write**: the dense buffer and every page
+//! sit behind an [`Arc`], so `Memory::clone()` is a snapshot costing
+//! one pointer bump per resident page — the checkpoint primitive the
+//! spliced-execution and fault-campaign restart paths build on. A
+//! write to a shared buffer clones just that buffer (4 KiB for a page),
+//! so only pages dirtied after a snapshot ever get copied.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Bytes per page.
 pub const PAGE_SIZE: u32 = 4096;
 
-type Page = Box<[u8; PAGE_SIZE as usize]>;
+type Page = Arc<[u8; PAGE_SIZE as usize]>;
 
 /// One-multiply hasher for page numbers. Page indices are small dense
 /// integers; Fibonacci hashing spreads them across the table without
@@ -90,8 +98,9 @@ pub struct Memory {
     /// Base address of the dense region (word-aligned).
     dense_base: u32,
     /// Contiguous backing for `[dense_base, dense_base + dense.len())`.
-    /// Empty when no dense region was reserved.
-    dense: Vec<u8>,
+    /// Empty when no dense region was reserved. Copy-on-write: shared
+    /// with snapshots until a text write lands.
+    dense: Arc<[u8]>,
     /// Bumped by every write landing in the dense region (the program
     /// text). Callers that validated a span of the region can skip
     /// re-validating while this is unchanged — data and stack traffic
@@ -140,7 +149,7 @@ impl Memory {
         );
         Memory {
             dense_base: base,
-            dense: vec![0; len],
+            dense: Arc::from(vec![0u8; len]),
             dense_epoch: 0,
             pages: PageMap::default(),
         }
@@ -166,7 +175,7 @@ impl Memory {
         if self.dense.is_empty() {
             None
         } else {
-            Some((self.dense_base, &self.dense))
+            Some((self.dense_base, &*self.dense))
         }
     }
 
@@ -183,9 +192,21 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages
-            .entry(Self::page_of(addr))
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        Arc::make_mut(
+            self.pages
+                .entry(Self::page_of(addr))
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize])),
+        )
+    }
+
+    /// Mutable view of the dense buffer, cloning it first if a snapshot
+    /// still shares it (text writes are rare — tampering and authorised
+    /// patches — so the copy never sits on a hot path).
+    fn dense_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.dense).is_none() {
+            self.dense = Arc::from(self.dense.to_vec());
+        }
+        Arc::get_mut(&mut self.dense).expect("unshared after clone")
     }
 
     /// Read one byte. Never fails; untouched memory is zero.
@@ -204,7 +225,7 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         if let Some(off) = self.dense_off(addr) {
-            self.dense[off] = value;
+            self.dense_mut()[off] = value;
             self.dense_epoch += 1;
             return;
         }
@@ -249,7 +270,7 @@ impl Memory {
         let b = value.to_le_bytes();
         if let Some(off) = self.dense_off(addr) {
             if off + 2 <= self.dense.len() {
-                self.dense[off..off + 2].copy_from_slice(&b);
+                self.dense_mut()[off..off + 2].copy_from_slice(&b);
                 self.dense_epoch += 1;
                 return Ok(());
             }
@@ -299,7 +320,7 @@ impl Memory {
         let b = value.to_le_bytes();
         if let Some(off) = self.dense_off(addr) {
             if off + 4 <= self.dense.len() {
-                self.dense[off..off + 4].copy_from_slice(&b);
+                self.dense_mut()[off..off + 4].copy_from_slice(&b);
                 self.dense_epoch += 1;
                 return Ok(());
             }
@@ -438,6 +459,29 @@ mod tests {
     fn flip_bit_bounds() {
         let mut m = Memory::new();
         m.flip_bit(0, 8);
+    }
+
+    #[test]
+    fn clone_is_a_copy_on_write_snapshot() {
+        let mut m = Memory::with_dense_region(0x1000, 8);
+        m.write_u32(0x1000, 0xaaaa_aaaa).unwrap();
+        m.write_u32(0x9000, 0xbbbb_bbbb).unwrap();
+        let snap = m.clone();
+        // The live memory and the snapshot share every buffer until a
+        // write lands; afterwards they diverge independently.
+        m.write_u32(0x1000, 0x1111_1111).unwrap();
+        m.write_u32(0x9000, 0x2222_2222).unwrap();
+        m.write_u32(0xf000, 0x3333_3333).unwrap();
+        assert_eq!(snap.read_u32(0x1000).unwrap(), 0xaaaa_aaaa);
+        assert_eq!(snap.read_u32(0x9000).unwrap(), 0xbbbb_bbbb);
+        assert_eq!(snap.read_u32(0xf000).unwrap(), 0);
+        assert_eq!(m.read_u32(0x1000).unwrap(), 0x1111_1111);
+        assert_eq!(m.read_u32(0x9000).unwrap(), 0x2222_2222);
+        // Restoring is just cloning back.
+        let epoch = snap.dense_epoch();
+        m = snap.clone();
+        assert_eq!(m.read_u32(0x1000).unwrap(), 0xaaaa_aaaa);
+        assert_eq!(m.dense_epoch(), epoch);
     }
 
     #[test]

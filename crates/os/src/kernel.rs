@@ -13,7 +13,7 @@ use std::sync::Arc;
 use cimon_core::{BlockKey, BlockRecord, Cic};
 
 use crate::fht::FullHashTable;
-use crate::policy::{RefillPolicy, ReplaceHalfLru};
+use crate::policy::{PolicyState, RefillPolicy, ReplaceHalfLru};
 
 /// Cost model for OS exception handling.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,16 @@ pub struct OsStats {
     pub entries_refilled: u64,
     /// Total cycles spent in exception handling.
     pub exception_cycles: u64,
+}
+
+/// Captured run state of the kernel: exception counters plus whatever
+/// cross-miss state the refill policy carries. The FHT itself is not
+/// part of a snapshot — it is immutable once generated and stays shared
+/// behind its [`Arc`].
+#[derive(Clone, Debug)]
+pub struct OsKernelState {
+    stats: OsStats,
+    policy: PolicyState,
 }
 
 /// The OS model: FHT + refill policy + cost accounting.
@@ -142,6 +152,20 @@ impl OsKernel {
     /// Kernel counters so far.
     pub fn stats(&self) -> OsStats {
         self.stats
+    }
+
+    /// Capture the kernel's run state for a checkpoint.
+    pub fn snapshot_state(&self) -> OsKernelState {
+        OsKernelState {
+            stats: self.stats,
+            policy: self.policy.snapshot_state(),
+        }
+    }
+
+    /// Reinstate run state captured by [`OsKernel::snapshot_state`].
+    pub fn restore_state(&mut self, state: &OsKernelState) {
+        self.stats = state.stats;
+        self.policy.restore_state(&state.policy);
     }
 
     /// Handle `exception0` (hash miss) for the block `key` whose dynamic
@@ -276,5 +300,57 @@ mod tests {
     #[test]
     fn policy_name_is_reported() {
         assert_eq!(kernel().policy_name(), "replace-half-lru");
+    }
+
+    #[test]
+    fn snapshot_round_trips_stats_and_policy_cursor() {
+        use crate::policy::Fifo;
+        let fht: FullHashTable = (0..8u32).map(|i| rec(0x1000 + 0x10 * i, 100 + i)).collect();
+        let mut os = OsKernel::with_policy(fht, Box::new(Fifo::default()));
+        let mut cic = Cic::new(CicConfig::with_entries(2));
+        os.handle_miss(&mut cic, BlockKey::new(0x1000, 0x1004), 100);
+        let snap = os.snapshot_state();
+        let stats_at_snap = os.stats();
+        let cic_at_snap = cic.clone();
+
+        // Diverge: two more misses advance the FIFO cursor and counters.
+        os.handle_miss(&mut cic, BlockKey::new(0x1010, 0x1014), 101);
+        os.handle_miss(&mut cic, BlockKey::new(0x1020, 0x1024), 102);
+        assert_ne!(os.stats(), stats_at_snap);
+
+        os.restore_state(&snap);
+        assert_eq!(os.stats(), stats_at_snap);
+        // The restored FIFO cursor replays the uninterrupted victim
+        // sequence: the next refill takes slot 1, so the first block
+        // stays resident alongside the new one.
+        let mut cic = cic_at_snap;
+        os.handle_miss(&mut cic, BlockKey::new(0x1010, 0x1014), 101);
+        assert!(cic.iht().probe(BlockKey::new(0x1000, 0x1004)).is_some());
+        assert!(cic.iht().probe(BlockKey::new(0x1010, 0x1014)).is_some());
+    }
+
+    #[test]
+    fn random_policy_state_round_trips() {
+        use crate::policy::RandomReplace;
+        let fht: FullHashTable = (0..8u32).map(|i| rec(0x1000 + 0x10 * i, 100 + i)).collect();
+        let mut os = OsKernel::with_policy(fht, Box::new(RandomReplace::new(7)));
+        let mut cic = Cic::new(CicConfig::with_entries(8));
+        os.handle_miss(&mut cic, BlockKey::new(0x1000, 0x1004), 100);
+        let snap = os.snapshot_state();
+
+        let resident = |cic: &Cic| {
+            let mut v: Vec<u32> = cic.iht().records().map(|r| r.key.start).collect();
+            v.sort_unstable();
+            v
+        };
+        // Run the next miss twice from the same captured RNG state; both
+        // replays must pick the same victim.
+        let mut cic_a = cic.clone();
+        os.handle_miss(&mut cic_a, BlockKey::new(0x1010, 0x1014), 101);
+        let a = resident(&cic_a);
+        os.restore_state(&snap);
+        let mut cic_b = cic.clone();
+        os.handle_miss(&mut cic_b, BlockKey::new(0x1010, 0x1014), 101);
+        assert_eq!(a, resident(&cic_b));
     }
 }

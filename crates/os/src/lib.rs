@@ -25,5 +25,9 @@ pub mod kernel;
 pub mod policy;
 
 pub use fht::FullHashTable;
-pub use kernel::{ExceptionCost, MissResolution, OsKernel, OsStats, TerminationCause};
-pub use policy::{Fifo, RandomReplace, RefillPolicy, RefillPolicyKind, ReplaceHalfLru, SingleLru};
+pub use kernel::{
+    ExceptionCost, MissResolution, OsKernel, OsKernelState, OsStats, TerminationCause,
+};
+pub use policy::{
+    Fifo, PolicyState, RandomReplace, RefillPolicy, RefillPolicyKind, ReplaceHalfLru, SingleLru,
+};

@@ -58,6 +58,23 @@ impl RefillPolicyKind {
     }
 }
 
+/// Captured cross-miss state of a refill policy, for snapshot/restore.
+///
+/// Policies that carry state between misses (a round-robin cursor, an
+/// RNG) must round-trip it through this enum so a restored run replays
+/// the exact same victim sequence the uninterrupted run would have.
+/// Scratch buffers that are rebuilt from scratch on every refill (e.g.
+/// [`ReplaceHalfLru`]'s victim list) are not state in this sense.
+#[derive(Clone, Debug)]
+pub enum PolicyState {
+    /// The policy carries no state between misses.
+    Stateless,
+    /// [`Fifo`]'s next victim slot.
+    FifoCursor(usize),
+    /// [`RandomReplace`]'s RNG, captured mid-stream.
+    Rng(StdRng),
+}
+
 /// Strategy the OS uses to refill the IHT after a hash miss.
 ///
 /// `missing` is the record of the block whose lookup missed (already
@@ -69,6 +86,17 @@ pub trait RefillPolicy {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Capture any cross-miss state for a snapshot. The default says
+    /// the policy is stateless, which is correct for policies whose
+    /// refills depend only on the tables passed in.
+    fn snapshot_state(&self) -> PolicyState {
+        PolicyState::Stateless
+    }
+
+    /// Reinstate state previously captured by
+    /// [`RefillPolicy::snapshot_state`]. The default ignores it.
+    fn restore_state(&mut self, _state: &PolicyState) {}
 }
 
 /// The paper's policy: evict the least-recently-used half of the table
@@ -149,6 +177,16 @@ impl RefillPolicy for Fifo {
     fn name(&self) -> &'static str {
         "fifo"
     }
+
+    fn snapshot_state(&self) -> PolicyState {
+        PolicyState::FifoCursor(self.next)
+    }
+
+    fn restore_state(&mut self, state: &PolicyState) {
+        if let PolicyState::FifoCursor(next) = state {
+            self.next = *next;
+        }
+    }
 }
 
 /// Replace a uniformly random slot (seeded, deterministic).
@@ -175,6 +213,16 @@ impl RefillPolicy for RandomReplace {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn snapshot_state(&self) -> PolicyState {
+        PolicyState::Rng(self.rng.clone())
+    }
+
+    fn restore_state(&mut self, state: &PolicyState) {
+        if let PolicyState::Rng(rng) = state {
+            self.rng = rng.clone();
+        }
     }
 }
 

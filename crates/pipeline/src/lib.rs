@@ -52,11 +52,11 @@ pub mod regfile;
 pub mod timing;
 
 pub use blockexec::{BlockCache, CachedBlock, MAX_BLOCK_LEN};
-pub use monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
+pub use monitor::{CicMonitor, CicMonitorState, Monitor, MonitorState, NullMonitor, Verdict};
 pub use predecode::{PredecodedEntry, PredecodedImage};
 pub use processor::{
-    BlockEvent, BlockExec, BlockExecStats, ConsoleEvent, FaultKind, MonitorConfig, Predecode,
-    Processor, ProcessorConfig, RunOutcome, RunStats,
+    BlockEvent, BlockExec, BlockExecStats, ConsoleEvent, FastPassReport, FaultKind, MonitorConfig,
+    Predecode, Processor, ProcessorConfig, ProcessorSnapshot, RunOutcome, RunStats,
 };
 pub use regfile::RegFile;
 pub use timing::{BlockPlan, Timing, TimingConfig, MASK_HI, MASK_LO};

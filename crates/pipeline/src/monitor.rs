@@ -22,7 +22,7 @@
 
 use cimon_core::{BlockKey, Cic, CicStats};
 use cimon_microop::{ExceptionKind, MonitorParams};
-use cimon_os::{MissResolution, OsKernel, OsStats, TerminationCause};
+use cimon_os::{MissResolution, OsKernel, OsKernelState, OsStats, TerminationCause};
 
 use crate::processor::MonitorConfig;
 
@@ -38,6 +38,32 @@ pub enum Verdict {
     },
     /// The program is killed.
     Kill(TerminationCause),
+}
+
+/// Captured run state of a monitor plane, for snapshot/restore.
+///
+/// A checkpoint of a monitored run must carry the monitoring hardware's
+/// state alongside the architectural state, or a restored run would
+/// diverge from the uninterrupted one in digests, table residency and
+/// statistics. Monitors that carry no state between hook calls use
+/// [`MonitorState::Stateless`].
+#[derive(Clone, Debug)]
+pub enum MonitorState {
+    /// The monitor carries no run state.
+    Stateless,
+    /// A [`CicMonitor`]'s complete state (boxed: it holds the whole
+    /// IHT image and the OS-side policy state).
+    Cic(Box<CicMonitorState>),
+}
+
+/// [`CicMonitor`]'s captured state: the checker hardware — running
+/// digest, IHT contents and LRU order, statistics — plus the OS kernel's
+/// counters and refill-policy cursor. The FHT stays shared behind its
+/// `Arc` and is not copied.
+#[derive(Clone, Debug)]
+pub struct CicMonitorState {
+    cic: Cic,
+    os: OsKernelState,
 }
 
 /// A pluggable integrity-checking plane.
@@ -107,6 +133,21 @@ pub trait Monitor {
 
     /// Service an exception raised by the check program.
     fn resolve(&mut self, kind: ExceptionKind, key: BlockKey, hash: u32) -> Verdict;
+
+    /// Capture the monitor's complete run state for a checkpoint. The
+    /// default declares the monitor stateless, which is correct when
+    /// every hook's result depends only on its arguments. A monitor
+    /// that accumulates state (digests, tables, counters) must override
+    /// this **and** [`restore_state`](Monitor::restore_state), or a run
+    /// resumed from a snapshot will diverge from the uninterrupted one.
+    fn snapshot_state(&self) -> MonitorState {
+        MonitorState::Stateless
+    }
+
+    /// Reinstate run state previously captured by
+    /// [`snapshot_state`](Monitor::snapshot_state). The default ignores
+    /// the state, matching the stateless default above.
+    fn restore_state(&mut self, _state: &MonitorState) {}
 
     /// The checker hardware, when this monitor has one.
     fn cic(&self) -> Option<&Cic> {
@@ -241,6 +282,20 @@ impl Monitor for CicMonitor {
         }
     }
 
+    fn snapshot_state(&self) -> MonitorState {
+        MonitorState::Cic(Box::new(CicMonitorState {
+            cic: self.cic.clone(),
+            os: self.os.snapshot_state(),
+        }))
+    }
+
+    fn restore_state(&mut self, state: &MonitorState) {
+        if let MonitorState::Cic(s) = state {
+            self.cic = s.cic.clone();
+            self.os.restore_state(&s.os);
+        }
+    }
+
     fn cic(&self) -> Option<&Cic> {
         Some(&self.cic)
     }
@@ -309,6 +364,44 @@ mod tests {
             }
             other => panic!("expected kill, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn default_snapshot_hooks_are_stateless() {
+        let mut m = NullMonitor;
+        let state = m.snapshot_state();
+        assert!(matches!(state, MonitorState::Stateless));
+        m.restore_state(&state); // no-op, must not panic
+    }
+
+    #[test]
+    fn cic_monitor_state_round_trips() {
+        let fht: FullHashTable = [rec(0x1000, 7), rec(0x2000, 9)].into_iter().collect();
+        let mut m = CicMonitor::new(MonitorConfig::new(CicConfig::with_entries(4), fht));
+        let key = BlockKey::new(0x1000, 0x1008);
+        m.observe_fetch(3);
+        m.check_block(key, 3);
+        m.resolve(ExceptionKind::HashMiss, key, 7); // refill
+        m.observe_fetch(5); // digest mid-block at snapshot time
+
+        let snap = m.snapshot_state();
+        let digest = m.cic().unwrap().hash_value();
+        let stats = m.cic_stats().unwrap();
+        let os_stats = m.os_stats().unwrap();
+
+        // Diverge.
+        m.observe_fetch(0xffff);
+        m.hash_reset();
+        m.check_block(BlockKey::new(0x2000, 0x2008), 0);
+        m.resolve(ExceptionKind::HashMiss, BlockKey::new(0x2000, 0x2008), 9);
+        assert_ne!(m.cic_stats().unwrap(), stats);
+
+        m.restore_state(&snap);
+        assert_eq!(m.cic().unwrap().hash_value(), digest);
+        assert_eq!(m.cic_stats().unwrap(), stats);
+        assert_eq!(m.os_stats().unwrap(), os_stats);
+        // Table residency restored: the refilled block hits again.
+        assert_eq!(m.check_block(key, 7), (true, true));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The processor: functional execution, monitoring integration, and
 //! cycle accounting.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
@@ -16,11 +17,11 @@ use cimon_os::{
     ExceptionCost, FullHashTable, OsKernel, OsStats, RefillPolicyKind, TerminationCause,
 };
 
-use crate::blockexec::BlockCache;
-use crate::monitor::{CicMonitor, Monitor, NullMonitor, Verdict};
+use crate::blockexec::{BlockCache, MAX_BLOCK_LEN};
+use crate::monitor::{CicMonitor, Monitor, MonitorState, NullMonitor, Verdict};
 use crate::predecode::{PredecodedEntry, PredecodedImage};
 use crate::regfile::RegFile;
-use crate::timing::{Timing, TimingConfig};
+use crate::timing::{IssueClass, Timing, TimingConfig, TimingEvent};
 
 /// How the processor obtains its predecoded view of the program image.
 #[derive(Clone, Debug, Default)]
@@ -549,6 +550,174 @@ mod crosscheck {
     }
 }
 
+/// Planned dispatches after which a slot's provably-dead live-in checks
+/// are dropped from the `plan_fits` hot path.
+const LIVE_IN_SKIP_AFTER: u8 = 16;
+
+/// Splice fast-pass state: timing bookkeeping is suppressed, and the
+/// trailing window of front-end events is ringed so a checkpoint can
+/// reconstruct scheduler state via [`Timing::replay`].
+struct FastPass {
+    /// Trailing events, capacity [`TimingConfig::replay_horizon`].
+    /// Recorded only while `armed` (within the arming margin of the
+    /// next checkpoint), so steady-state fast execution pays nothing
+    /// for it.
+    ring: VecDeque<TimingEvent>,
+    horizon: usize,
+    armed: bool,
+    /// Cumulative monitoring stall cycles — architecturally exact even
+    /// with the schedule suppressed, because every verdict names its
+    /// own stall.
+    stall_cycles: u64,
+    /// A `ReadCycles` syscall executed: the program consumed a value
+    /// only the real schedule can produce, so architectural state from
+    /// this pass is untrustworthy and a spliced run must fall back to
+    /// serial execution.
+    timing_dependent: bool,
+}
+
+impl FastPass {
+    fn new(horizon: usize) -> FastPass {
+        FastPass {
+            ring: VecDeque::with_capacity(horizon + 1),
+            horizon,
+            armed: false,
+            stall_cycles: 0,
+            timing_dependent: false,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, event: TimingEvent) {
+        if self.ring.len() == self.horizon {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+    }
+
+    #[inline]
+    fn record_issue(&mut self, class: IssueClass, src_mask: u64, dest_mask: u64, taken: bool) {
+        if self.armed {
+            self.push(TimingEvent::Issue {
+                class,
+                src_mask,
+                dest_mask,
+                taken,
+            });
+        }
+    }
+
+    #[inline]
+    fn record_block(&mut self, body: &[PredecodedEntry]) {
+        if self.armed {
+            for e in body {
+                self.push(TimingEvent::Issue {
+                    class: e.klass,
+                    src_mask: e.src_mask,
+                    dest_mask: e.dest_mask,
+                    taken: false,
+                });
+            }
+        }
+    }
+
+    #[inline]
+    fn record_stall(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+        // `stall(0)` is an identity on the schedule: not an event.
+        if self.armed && cycles > 0 {
+            self.push(TimingEvent::Stall(cycles));
+        }
+    }
+}
+
+/// What [`Processor::run_fast_pass`] came back with.
+#[derive(Clone, Copy, Debug)]
+pub struct FastPassReport {
+    /// The run outcome. `MaxCycles` here means the *retired-instruction
+    /// proxy* for the budget tripped (instructions can only
+    /// under-approximate cycles): the timed run is then guaranteed to
+    /// end in `MaxCycles` at or before this point, and the splice
+    /// budget fix-up locates the exact stop.
+    pub outcome: RunOutcome,
+    /// A `ReadCycles` syscall executed during the pass (the program
+    /// observes its own timing, which the fast pass does not model):
+    /// the caller must discard the pass — snapshots included — and run
+    /// serially.
+    pub timing_dependent: bool,
+}
+
+/// A complete checkpoint of a run in flight: architectural state (PC,
+/// registers, HI/LO, pipeline latches), memory (copy-on-write — the
+/// clone shares pages until either side writes), the scheduler, the
+/// monitor plane's captured state, and the dispatch-plane bookkeeping
+/// (superblock chain edges, validation epochs, statistics, console and
+/// block-event logs), so a restored run continues **byte-identical** —
+/// counters included.
+///
+/// A snapshot is tied to the configuration of the processor that took
+/// it: restore only into a processor built from the same image and
+/// [`ProcessorConfig`]. The fetch-bus *tap* is not captured — a
+/// restored run installs its own (the splice layer replays recorded
+/// overrides positionally, keyed off the restored fetch count).
+#[derive(Clone)]
+pub struct ProcessorSnapshot {
+    dp: Datapath,
+    regs: RegFile,
+    hi: u32,
+    lo: u32,
+    mem: Memory,
+    fetch_count: u64,
+    monitor: MonitorState,
+    timing: Timing,
+    pc: u32,
+    done: Option<RunOutcome>,
+    instret: u64,
+    console: Vec<ConsoleEvent>,
+    blocks: Vec<BlockEvent>,
+    shadow_block_start: Option<u32>,
+    block_stats: BlockExecStats,
+    chain: Vec<ChainEdges>,
+    validated: Vec<u64>,
+    live_in_skip: Vec<u8>,
+    chain_from: Option<(u32, bool)>,
+}
+
+impl ProcessorSnapshot {
+    /// Instructions retired at the checkpoint.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Fetch-bus word count at the checkpoint — the key positional bus
+    /// taps replay against.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetch_count
+    }
+
+    /// PC at the checkpoint.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Block events recorded up to the checkpoint (empty unless the
+    /// run had [`ProcessorConfig::record_blocks`] set).
+    pub fn blocks(&self) -> &[BlockEvent] {
+        &self.blocks
+    }
+}
+
+impl std::fmt::Debug for ProcessorSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessorSnapshot")
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("instret", &self.instret)
+            .field("fetch_count", &self.fetch_count)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
 /// The single-issue 6-stage processor.
 pub struct Processor {
     spec: ProcessorSpec,
@@ -584,6 +753,17 @@ pub struct Processor {
     /// ends, so chains only ever form across clean bulk-validated
     /// block boundaries.
     chain_from: Option<(u32, bool)>,
+    /// Per-slot planned-dispatch streaks for the live-in skip bit:
+    /// counts dispatches on which the plan's provably-dead live-in
+    /// checks were evaluated without firing; once a slot reaches
+    /// [`LIVE_IN_SKIP_AFTER`], the dead tail is dropped from the
+    /// `plan_fits` hot path (see [`BlockPlan::binding_live_in_checks`]).
+    live_in_skip: Vec<u8>,
+    /// Splice fast-pass state — `Some` only inside
+    /// [`Processor::run_fast_pass`], where timing bookkeeping is
+    /// suppressed and trailing front-end events are ringed for
+    /// checkpoint reconstruction.
+    fast: Option<Box<FastPass>>,
     dp: Datapath,
     regs: RegFile,
     hi: u32,
@@ -700,6 +880,10 @@ impl Processor {
             Some(cache) => vec![u64::MAX; cache.len()],
             None => Vec::new(),
         };
+        let live_in_skip = match &block_cache {
+            Some(cache) => vec![0; cache.len()],
+            None => Vec::new(),
+        };
         Processor {
             spec,
             stage_if,
@@ -712,6 +896,8 @@ impl Processor {
             chain,
             validated,
             chain_from: None,
+            live_in_skip,
+            fast: None,
             dp,
             regs,
             hi: 0,
@@ -812,6 +998,201 @@ impl Processor {
         }
     }
 
+    /// Instructions retired so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// The scheduling model — the splice stitcher differences its
+    /// `last_id` across shard boundaries.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Re-anchor the schedule at an absolute cycle position (see
+    /// [`Timing::shift`]) — used by the splice budget fix-up to replay
+    /// one shard with serial-exact absolute timing.
+    pub fn shift_timing(&mut self, cycles: u64) {
+        self.timing.shift(cycles);
+    }
+
+    /// Replace the cycle budget. Splice shards replay effectively
+    /// unbounded (`u64::MAX`); the budget fix-up reinstates the real
+    /// limit on the shard that crosses it.
+    pub fn set_max_cycles(&mut self, max_cycles: u64) {
+        self.max_cycles = max_cycles;
+    }
+
+    /// Capture a complete checkpoint of the run in flight. Cheap in the
+    /// common case: memory clones copy-on-write, and the dispatch-plane
+    /// vectors are proportional to the block count, not the run length
+    /// (the block-event log is cloned too, but it is empty unless
+    /// [`ProcessorConfig::record_blocks`] is set).
+    pub fn snapshot(&self) -> ProcessorSnapshot {
+        self.snapshot_with_timing(self.timing.clone())
+    }
+
+    fn snapshot_with_timing(&self, timing: Timing) -> ProcessorSnapshot {
+        ProcessorSnapshot {
+            dp: self.dp.clone(),
+            regs: self.regs.clone(),
+            hi: self.hi,
+            lo: self.lo,
+            mem: self.env.mem.clone(),
+            fetch_count: self.env.bus.fetch_count(),
+            monitor: self.env.monitor.snapshot_state(),
+            timing,
+            pc: self.pc,
+            done: self.done,
+            instret: self.instret,
+            console: self.console.clone(),
+            blocks: self.blocks.clone(),
+            shadow_block_start: self.shadow_block_start,
+            block_stats: self.block_stats,
+            chain: self.chain.clone(),
+            validated: self.validated.clone(),
+            live_in_skip: self.live_in_skip.clone(),
+            chain_from: self.chain_from,
+        }
+    }
+
+    /// Reinstate a checkpoint taken by [`Processor::snapshot`] (or
+    /// emitted by [`Processor::run_fast_pass`]). The processor must
+    /// have been built from the same image and [`ProcessorConfig`] as
+    /// the one that took the snapshot; configuration (specs, caches,
+    /// budget) and any installed bus tap are left untouched.
+    pub fn restore(&mut self, snapshot: &ProcessorSnapshot) {
+        debug_assert_eq!(self.chain.len(), snapshot.chain.len());
+        debug_assert_eq!(self.validated.len(), snapshot.validated.len());
+        self.dp = snapshot.dp.clone();
+        self.regs = snapshot.regs.clone();
+        self.hi = snapshot.hi;
+        self.lo = snapshot.lo;
+        self.env.mem = snapshot.mem.clone();
+        self.env.bus.set_fetch_count(snapshot.fetch_count);
+        self.env.monitor.restore_state(&snapshot.monitor);
+        self.env.exceptions.clear();
+        self.env.last_check = None;
+        self.timing = snapshot.timing.clone();
+        self.pc = snapshot.pc;
+        self.done = snapshot.done;
+        self.instret = snapshot.instret;
+        self.console = snapshot.console.clone();
+        self.blocks = snapshot.blocks.clone();
+        self.shadow_block_start = snapshot.shadow_block_start;
+        self.block_stats = snapshot.block_stats;
+        self.chain = snapshot.chain.clone();
+        self.validated = snapshot.validated.clone();
+        self.live_in_skip = snapshot.live_in_skip.clone();
+        self.chain_from = snapshot.chain_from;
+        self.fast = None;
+    }
+
+    /// Run the splice fast pass to completion: functional and monitor
+    /// state advance exactly as [`Processor::run`] would leave them,
+    /// but scheduler bookkeeping is suppressed. The pass emits a
+    /// checkpoint into `sink` at the first dispatch boundary after
+    /// every `interval` retired instructions, with scheduler state
+    /// reconstructed from the trailing event window — exact up to the
+    /// uniform shift the splice stitcher re-accumulates (see
+    /// [`Timing::replay`]).
+    ///
+    /// The cycle budget degrades to a retired-instruction proxy and
+    /// `ReadCycles` poisons the pass — both surfaced through the
+    /// returned [`FastPassReport`].
+    pub fn run_fast_pass(
+        &mut self,
+        interval: u64,
+        mut sink: impl FnMut(ProcessorSnapshot),
+    ) -> FastPassReport {
+        let interval = interval.max(1);
+        let config = self.timing.config();
+        let horizon = config.replay_horizon();
+        // Events only accumulate while armed, and the arming check runs
+        // once per dispatch, which can overshoot by a block — pad the
+        // margin so the ring always holds a full horizon by emit time.
+        let margin = (horizon + 2 * MAX_BLOCK_LEN) as u64;
+        self.fast = Some(Box::new(FastPass::new(horizon)));
+        let cache = self.block_cache.clone();
+        let mut next_target = interval;
+        let outcome = loop {
+            let want_armed = self.instret + margin >= next_target;
+            {
+                let fast = self.fast.as_mut().expect("fast pass installed above");
+                if want_armed && !fast.armed {
+                    // Re-arming after a gap: whatever the ring still
+                    // holds is not contiguous with what comes next.
+                    fast.ring.clear();
+                }
+                fast.armed = want_armed;
+            }
+            let stepped = match &cache {
+                Some(c) => self.step_block_in(c),
+                None => self.step(),
+            };
+            if let Some(outcome) = stepped {
+                break outcome;
+            }
+            if self.instret >= next_target {
+                let fast = self.fast.as_mut().expect("fast pass installed above");
+                let mut timing = Timing::replay(config, fast.ring.make_contiguous());
+                timing.set_counters(self.instret, fast.stall_cycles);
+                sink(self.snapshot_with_timing(timing));
+                next_target = self.instret + interval;
+            }
+        };
+        let fast = self.fast.take().expect("fast pass installed above");
+        FastPassReport {
+            outcome,
+            timing_dependent: fast.timing_dependent,
+        }
+    }
+
+    /// Replay (with full timing and monitoring) until `target` retired
+    /// instructions, or until the run ends. Fast-pass checkpoints land
+    /// on dispatch boundaries, and dispatch boundaries are
+    /// architectural, so a shard replaying to the next checkpoint's
+    /// [`ProcessorSnapshot::instret`] stops on it exactly.
+    pub fn run_to_instret(&mut self, target: u64) -> Option<RunOutcome> {
+        if let Some(done) = self.done {
+            return Some(done);
+        }
+        if let Some(cache) = self.block_cache.clone() {
+            while self.instret < target {
+                if let Some(outcome) = self.step_block_in(&cache) {
+                    return Some(outcome);
+                }
+            }
+        } else {
+            while self.instret < target {
+                if let Some(outcome) = self.step() {
+                    return Some(outcome);
+                }
+            }
+        }
+        None
+    }
+
+    /// Timing bookkeeping, or its fast-pass stand-in: record the event
+    /// (when within a checkpoint's arming window) instead of issuing it.
+    #[inline]
+    fn issue_or_record(&mut self, class: IssueClass, src_mask: u64, dest_mask: u64, taken: bool) {
+        match &mut self.fast {
+            Some(fast) => fast.record_issue(class, src_mask, dest_mask, taken),
+            None => {
+                self.timing.issue_masks(class, src_mask, dest_mask, taken);
+            }
+        }
+    }
+
+    #[inline]
+    fn stall_or_record(&mut self, cycles: u64) {
+        match &mut self.fast {
+            Some(fast) => fast.record_stall(cycles),
+            None => self.timing.stall(cycles),
+        }
+    }
+
     /// Run until the program ends (one way or another).
     pub fn run(&mut self) -> RunOutcome {
         if let Some(cache) = self.block_cache.clone() {
@@ -843,7 +1224,14 @@ impl Processor {
         if let Some(done) = self.done {
             return Some(done);
         }
-        if self.timing.cycles() > self.max_cycles {
+        let over_budget = match &self.fast {
+            // Fast pass: cycles are suppressed, but instructions only
+            // ever under-approximate them, so this proxy trips at or
+            // after the point the timed run would stop.
+            Some(_) => self.instret > self.max_cycles,
+            None => self.timing.cycles() > self.max_cycles,
+        };
+        if over_budget {
             return self.finish(RunOutcome::MaxCycles);
         }
 
@@ -926,15 +1314,22 @@ impl Processor {
 
         // ---- Timing (the slice-based path: the oracle the mask and
         // block fast paths are differentially tested against). ----
-        self.timing.issue(
-            entry.klass,
-            entry.sources.as_slice(),
-            entry.reads_hi,
-            entry.reads_lo,
-            entry.dest,
-            entry.writes_hilo,
-            exec.taken,
-        );
+        match &mut self.fast {
+            Some(fast) => {
+                fast.record_issue(entry.klass, entry.src_mask, entry.dest_mask, exec.taken)
+            }
+            None => {
+                self.timing.issue(
+                    entry.klass,
+                    entry.sources.as_slice(),
+                    entry.reads_hi,
+                    entry.reads_lo,
+                    entry.dest,
+                    entry.writes_hilo,
+                    exec.taken,
+                );
+            }
+        }
         self.instret += 1;
 
         // ---- Monitoring exception resolution (after issue). ----
@@ -993,6 +1388,11 @@ impl Processor {
     fn step_block_in(&mut self, cache: &BlockCache) -> Option<RunOutcome> {
         if let Some(done) = self.done {
             return Some(done);
+        }
+        if self.fast.is_some() && self.instret > self.max_cycles {
+            // Fast pass: per-dispatch retired-instruction proxy for the
+            // suppressed cycle budget (see `FastPassReport::outcome`).
+            return self.finish(RunOutcome::MaxCycles);
         }
         let pc = self.pc;
 
@@ -1077,7 +1477,31 @@ impl Processor {
             // in one `Timing::issue_block` call; otherwise every
             // instruction issues through the mask fast path.
             let plan = cache.plan_at(slot);
-            if self.plans_ok && self.timing.plan_fits(plan, self.max_cycles) {
+            let planned = match &self.fast {
+                // Fast pass: the schedule is suppressed, so the plan is
+                // never consulted — the fused loop (which also batches
+                // the monitor calls) is always eligible.
+                Some(_) => true,
+                None => {
+                    let s = slot as usize;
+                    let skip = self.live_in_skip[s] >= LIVE_IN_SKIP_AFTER;
+                    let checks = if skip {
+                        plan.binding_live_in_checks()
+                    } else {
+                        plan.live_in_checks()
+                    };
+                    let fits = self.plans_ok
+                        && self.timing.plan_fits_prefix(plan, self.max_cycles, checks);
+                    // The provably-dead tail was evaluated and (by
+                    // construction) did not fire: advance the slot's
+                    // skip streak toward dropping it.
+                    if !skip && self.plans_ok && plan.provably_dead_checks() > 0 {
+                        self.live_in_skip[s] += 1;
+                    }
+                    fits
+                }
+            };
+            if planned {
                 self.block_loop_planned(
                     block.entries,
                     block.words,
@@ -1169,7 +1593,7 @@ impl Processor {
         let mut taken = false;
         for entry in entries {
             let pc = self.pc;
-            if self.timing.cycles() > self.max_cycles {
+            if self.fast.is_none() && self.timing.cycles() > self.max_cycles {
                 return BlockLoopExit::Finished(RunOutcome::MaxCycles);
             }
             let word = if BULK {
@@ -1223,15 +1647,14 @@ impl Processor {
                 Ok(e) => e,
                 Err(fault) => return BlockLoopExit::Finished(RunOutcome::Fault(fault)),
             };
-            self.timing
-                .issue_masks(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
+            self.issue_or_record(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
             self.instret += 1;
             taken = exec.taken;
 
             // ---- Exception resolution (after issue). ----
             if let Some((kind, key, hash)) = pending {
                 match self.env.monitor.resolve(kind, key, hash) {
-                    Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                    Verdict::Continue { stall_cycles } => self.stall_or_record(stall_cycles),
                     Verdict::Kill(cause) => {
                         return BlockLoopExit::Finished(RunOutcome::Detected { cause, pc });
                     }
@@ -1316,8 +1739,7 @@ impl Processor {
                 }
             }
             for e in &body[..executed] {
-                self.timing
-                    .issue_masks(e.klass, e.src_mask, e.dest_mask, false);
+                self.issue_or_record(e.klass, e.src_mask, e.dest_mask, false);
             }
             self.instret += executed as u64;
             return BlockLoopExit::Finished(RunOutcome::Fault(f));
@@ -1329,7 +1751,10 @@ impl Processor {
         // whole block batches into a single monitor transaction.
         *reached += entries.len() as u64;
         if !body.is_empty() {
-            self.timing.issue_block(plan, x);
+            match &mut self.fast {
+                Some(fast) => fast.record_block(body),
+                None => self.timing.issue_block(plan, x),
+            }
             self.instret += body.len() as u64;
         }
 
@@ -1371,12 +1796,11 @@ impl Processor {
             Ok(e) => e,
             Err(f) => return BlockLoopExit::Finished(RunOutcome::Fault(f)),
         };
-        self.timing
-            .issue_masks(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
+        self.issue_or_record(entry.klass, entry.src_mask, entry.dest_mask, exec.taken);
         self.instret += 1;
         if let Some((kind, key, hash)) = pending {
             match self.env.monitor.resolve(kind, key, hash) {
-                Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                Verdict::Continue { stall_cycles } => self.stall_or_record(stall_cycles),
                 Verdict::Kill(cause) => {
                     return BlockLoopExit::Finished(RunOutcome::Detected { cause, pc });
                 }
@@ -1414,7 +1838,7 @@ impl Processor {
         for i in 0..self.env.exceptions.len() {
             let kind = self.env.exceptions[i];
             match self.env.monitor.resolve(kind, key, hash) {
-                Verdict::Continue { stall_cycles } => self.timing.stall(stall_cycles),
+                Verdict::Continue { stall_cycles } => self.stall_or_record(stall_cycles),
                 Verdict::Kill(cause) => return Some(RunOutcome::Detected { cause, pc }),
             }
         }
@@ -1611,6 +2035,11 @@ fn exec_syscall(cpu: &mut Processor, pc: u32, _e: &PredecodedEntry) -> Result<Ex
                 .push(ConsoleEvent::Char((a0 & 0xff) as u8 as char));
         }
         Some(Syscall::ReadCycles) => {
+            if let Some(fast) = &mut cpu.fast {
+                // The schedule is suppressed: the value written below is
+                // stale, so the whole fast pass must be discarded.
+                fast.timing_dependent = true;
+            }
             let c = cpu.timing.cycles() as u32;
             cpu.regs.write(Reg::V0, c);
         }
@@ -2054,6 +2483,109 @@ mod tests {
         };
         assert!(misses(1) >= misses(8));
         assert!(misses(8) >= misses(32));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_run() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+        let mut a = Processor::new(&prog.image, config.clone());
+        assert!(a.run_to_instret(17).is_none());
+        let snap = a.snapshot();
+        let out_a = a.run();
+        let mut b = Processor::new(&prog.image, config);
+        b.restore(&snap);
+        let out_b = b.run();
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.regs().snapshot(), b.regs().snapshot());
+        assert_eq!(a.block_stats(), b.block_stats());
+        assert_eq!(a.cycles(), b.cycles());
+    }
+
+    #[test]
+    fn fast_pass_matches_serial_architecturally() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+        // Tamper the stored image so the pass exercises detection too.
+        let victim = prog.image.entry + 8;
+        let mut serial = Processor::new(&prog.image, config.clone());
+        let old = serial.mem().read_u32(victim).unwrap();
+        serial.mem_mut().write_u32(victim, old ^ (1 << 20)).unwrap();
+        let out_serial = serial.run();
+        assert!(matches!(out_serial, RunOutcome::Detected { .. }));
+
+        let mut fast = Processor::new(&prog.image, config);
+        fast.mem_mut().write_u32(victim, old ^ (1 << 20)).unwrap();
+        let report = fast.run_fast_pass(1_000_000, |_| {});
+        assert!(!report.timing_dependent);
+        assert_eq!(report.outcome, out_serial);
+        assert_eq!(serial.stats().instructions, fast.stats().instructions);
+        assert_eq!(serial.stats().cic, fast.stats().cic);
+        assert_eq!(serial.stats().os, fast.stats().os);
+        assert_eq!(serial.stats().console, fast.stats().console);
+        assert_eq!(serial.regs().snapshot(), fast.regs().snapshot());
+        assert_eq!(serial.block_stats(), fast.block_stats());
+    }
+
+    #[test]
+    fn fast_pass_flags_read_cycles() {
+        let prog =
+            assemble(".text\nmain: li $v0, 30\nsyscall\nli $v0, 10\nli $a0, 0\nsyscall\n").unwrap();
+        let mut cpu = Processor::new(&prog.image, ProcessorConfig::baseline());
+        let report = cpu.run_fast_pass(1_000_000, |_| {});
+        assert!(report.timing_dependent);
+    }
+
+    #[test]
+    fn fast_pass_checkpoints_splice_to_serial_cycles() {
+        let (prog, fht) = trace_fht(SUM_LOOP);
+        let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+        let mut serial = Processor::new(&prog.image, config.clone());
+        let out_serial = serial.run();
+
+        let mut fast = Processor::new(&prog.image, config.clone());
+        let mut snaps = Vec::new();
+        let report = fast.run_fast_pass(10, |s| snaps.push(s));
+        assert!(!report.timing_dependent);
+        assert_eq!(report.outcome, out_serial);
+        assert!(snaps.len() >= 2, "want several checkpoints: {snaps:?}");
+
+        // Stitch: shard 0 replays from the start, every later shard
+        // restores its checkpoint and replays to the next boundary.
+        // The summed schedule advances plus the pipeline fill must
+        // reproduce the serial cycle count exactly, and the last shard
+        // must end in the serial run's architectural + monitor state.
+        let mut total = 0u64;
+        let mut last = None;
+        for i in 0..=snaps.len() {
+            let mut shard = Processor::new(&prog.image, config.clone());
+            if i > 0 {
+                shard.restore(&snaps[i - 1]);
+            }
+            shard.set_max_cycles(u64::MAX);
+            let start = shard.timing().last_id();
+            let target = snaps.get(i).map_or(u64::MAX, |s| s.instret());
+            let out = shard.run_to_instret(target);
+            if let Some(s) = snaps.get(i) {
+                assert!(out.is_none());
+                assert_eq!(shard.instret(), s.instret(), "shard lands on its boundary");
+            } else {
+                assert_eq!(out, Some(out_serial));
+            }
+            total += shard.timing().last_id() - start;
+            last = Some(shard);
+        }
+        let last = last.unwrap();
+        assert_eq!(total + 4, serial.cycles());
+        let (ls, ss) = (last.stats(), serial.stats());
+        assert_eq!(ls.instructions, ss.instructions);
+        assert_eq!(ls.monitor_stall_cycles, ss.monitor_stall_cycles);
+        assert_eq!(ls.cic, ss.cic);
+        assert_eq!(ls.os, ss.os);
+        assert_eq!(ls.console, ss.console);
+        assert_eq!(last.block_stats(), serial.block_stats());
+        assert_eq!(last.regs().snapshot(), serial.regs().snapshot());
     }
 
     #[test]

@@ -49,6 +49,44 @@ impl Default for TimingConfig {
     }
 }
 
+impl TimingConfig {
+    /// Number of trailing [`TimingEvent`]s that fully determine the
+    /// scheduler's future behaviour, up to a uniform shift of all
+    /// absolute cycle numbers.
+    ///
+    /// A readiness bound published by an instruction reaches at most
+    /// `id + 4 + (max unit latency − 1)` and in-order issue advances
+    /// the front end at least one cycle per instruction, so a bound
+    /// published more than this many issues ago sits at or below the
+    /// next instruction's nominal ID and can never bind again. The
+    /// floor of 64 keeps the window generous for free.
+    pub fn replay_horizon(self) -> usize {
+        64.max(4 + self.mult_latency.max(self.div_latency) as usize)
+    }
+}
+
+/// One recorded front-end event: the arguments of a
+/// [`Timing::issue_masks`] or [`Timing::stall`] call. The splice fast
+/// pass rings the trailing [`TimingConfig::replay_horizon`] of these so
+/// a checkpoint can rebuild scheduler state via [`Timing::replay`]
+/// without having paid for timing bookkeeping along the way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingEvent {
+    /// An instruction issued.
+    Issue {
+        /// Its timing class.
+        class: IssueClass,
+        /// Registers read (predecoded mask).
+        src_mask: u64,
+        /// Registers written (predecoded mask).
+        dest_mask: u64,
+        /// Whether it redirected fetch.
+        taken: bool,
+    },
+    /// The front end froze for this many cycles (exception handling).
+    Stall(u64),
+}
+
 /// Register-transfer timing class of one instruction, as the scheduler
 /// sees it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +135,11 @@ pub struct Timing {
 }
 
 impl Timing {
+    /// The configuration this schedule was built with.
+    pub fn config(&self) -> TimingConfig {
+        self.config
+    }
+
     /// A fresh schedule; the first instruction's ID lands on cycle 1.
     pub fn new(config: TimingConfig) -> Timing {
         Timing {
@@ -280,10 +323,20 @@ impl Timing {
     /// [`issue_block`]: Timing::issue_block
     #[inline]
     pub fn plan_fits(&self, plan: &BlockPlan, max_cycles: u64) -> bool {
+        self.plan_fits_prefix(plan, max_cycles, plan.live_in.len())
+    }
+
+    /// [`Timing::plan_fits`] restricted to the plan's first `checks`
+    /// live-in constraints. The skip-bit fast path passes
+    /// [`BlockPlan::binding_live_in_checks`]: the plan sorts its
+    /// provably-dead constraints to the tail, so dropping them cannot
+    /// change the answer (`timing_masks.rs` pins the equivalence).
+    #[inline]
+    pub fn plan_fits_prefix(&self, plan: &BlockPlan, max_cycles: u64, checks: usize) -> bool {
         let x = self.block_entry_id();
         self.cycles() <= max_cycles
             && x + plan.delta_end as u64 + 4 <= max_cycles
-            && plan.live_in.iter().all(|c| {
+            && plan.live_in[..checks].iter().all(|c| {
                 let table = if c.at_id {
                     &self.ready_id
                 } else {
@@ -334,6 +387,13 @@ impl Timing {
         }
     }
 
+    /// The last ID cycle assigned. The splice stitcher differences this
+    /// across a shard to get the shard's exact cycle contribution
+    /// (replayed schedules are shifted, so only deltas are meaningful).
+    pub fn last_id(&self) -> u64 {
+        self.last_id
+    }
+
     /// Instructions scheduled.
     pub fn instructions(&self) -> u64 {
         self.instructions
@@ -342,6 +402,56 @@ impl Timing {
     /// Cycles spent frozen in exception handling.
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
+    }
+
+    /// Rebuild scheduler state by replaying recorded events onto a
+    /// fresh schedule. When `events` covers at least the trailing
+    /// [`TimingConfig::replay_horizon`] of a run (or the run entire),
+    /// the result agrees with the uninterrupted schedule on every
+    /// future scheduling decision; absolute cycle numbers carry a
+    /// per-checkpoint shift the splice stitcher sums back together, and
+    /// the instruction/stall counters reflect only the window (see
+    /// [`Timing::set_counters`]).
+    pub fn replay(config: TimingConfig, events: &[TimingEvent]) -> Timing {
+        let mut t = Timing::new(config);
+        for e in events {
+            match *e {
+                TimingEvent::Issue {
+                    class,
+                    src_mask,
+                    dest_mask,
+                    taken,
+                } => {
+                    t.issue_masks(class, src_mask, dest_mask, taken);
+                }
+                TimingEvent::Stall(n) => t.stall(n),
+            }
+        }
+        t
+    }
+
+    /// Overwrite the instruction and stall counters. Checkpoint
+    /// reconstruction via [`Timing::replay`] leaves them counting only
+    /// the replayed window; the splice layer reinstates the run-level
+    /// values it tracked architecturally.
+    pub fn set_counters(&mut self, instructions: u64, stall_cycles: u64) {
+        self.instructions = instructions;
+        self.stall_cycles = stall_cycles;
+    }
+
+    /// Add `cycles` to every absolute cycle number in the schedule —
+    /// the last ID and each pending readiness bound — leaving all
+    /// relative state, and therefore every future scheduling decision,
+    /// untouched. The spliced budget fix-up uses this to re-anchor a
+    /// shard's replayed schedule at its serial absolute position before
+    /// applying the real cycle budget.
+    pub fn shift(&mut self, cycles: u64) {
+        self.last_id += cycles;
+        for b in self.ready_id.iter_mut().chain(self.ready_ex.iter_mut()) {
+            if *b != 0 {
+                *b += cycles;
+            }
+        }
     }
 }
 
@@ -399,8 +509,15 @@ pub struct BlockPlan {
     /// Live-in reads whose readiness bounds must be checked per
     /// dispatch: one per (register, read level), at the earliest delta
     /// that reads it (later reads of the same register at the same
-    /// level are implied).
+    /// level are implied). Constraints that can actually bind under the
+    /// plan's [`TimingConfig`] come first; provably-dead ones (read so
+    /// deep into the block that no reachable readiness bound can exceed
+    /// the read cycle) are sorted to the tail so the skip-bit fast path
+    /// can drop them wholesale.
     live_in: Vec<LiveIn>,
+    /// Number of leading `live_in` entries that can bind; the tail
+    /// `live_in[checked_len..]` is provably dead.
+    checked_len: u32,
     /// Final readiness-table state per register the body writes.
     publishes: Vec<Publish>,
 }
@@ -432,6 +549,30 @@ impl BlockPlan {
             }
             written |= e.dest_mask;
         }
+        // Partition the live-in constraints: a check is provably dead
+        // when no readiness bound reachable at block entry can exceed
+        // its read cycle. At entry, `x ≥ last_id + 1` and every
+        // producer issued at `id ≤ last_id = x − 1`, so the bounds top
+        // out at `x + 3` (GPR at ID, via a load's `id + 4`), `x + 1`
+        // (GPR at EX, load's `id + 2`), `x + 2 + extra` (HI/LO at ID)
+        // and `x − 1 + extra` (HI/LO at EX), where `extra` is the worst
+        // multi-cycle unit latency minus one. Stalls only move
+        // `last_id` further past published bounds, never the reverse.
+        let extra_max = config
+            .mult_latency
+            .max(config.div_latency)
+            .saturating_sub(1);
+        let provably_dead = |c: &LiveIn| {
+            let horizon = match ((c.idx as usize) >= HI, c.at_id) {
+                (false, true) => 3,
+                (false, false) => 1,
+                (true, true) => 2 + extra_max,
+                (true, false) => extra_max.saturating_sub(1),
+            };
+            c.delta >= horizon
+        };
+        live_in.sort_by_key(|c| provably_dead(c));
+        let checked_len = live_in.iter().filter(|c| !provably_dead(c)).count() as u32;
         let mut publishes = Vec::with_capacity(written.count_ones() as usize);
         let mut m = written;
         while m != 0 {
@@ -450,6 +591,7 @@ impl BlockPlan {
             body_len: body.len() as u32,
             delta_end,
             live_in,
+            checked_len,
             publishes,
         }
     }
@@ -462,6 +604,17 @@ impl BlockPlan {
     /// Live-in interlock checks this plan performs per dispatch.
     pub fn live_in_checks(&self) -> usize {
         self.live_in.len()
+    }
+
+    /// Live-in checks that can actually bind under the plan's
+    /// [`TimingConfig`] — the prefix the skip-bit fast path keeps.
+    pub fn binding_live_in_checks(&self) -> usize {
+        self.checked_len as usize
+    }
+
+    /// Live-in checks proven dead at build time (the droppable tail).
+    pub fn provably_dead_checks(&self) -> usize {
+        self.live_in.len() - self.checked_len as usize
     }
 }
 
@@ -703,5 +856,152 @@ mod tests {
     fn empty_program_has_zero_cycles() {
         let t = Timing::default();
         assert_eq!(t.cycles(), 0);
+    }
+
+    #[test]
+    fn shift_preserves_relative_decisions() {
+        let seq = |t: &mut Timing| {
+            vec![
+                t.issue(
+                    IssueClass::Load,
+                    &[Reg::SP],
+                    false,
+                    false,
+                    Some(Reg::T0),
+                    false,
+                    false,
+                ),
+                t.issue(
+                    IssueClass::IdReader,
+                    &[Reg::T0],
+                    false,
+                    false,
+                    None,
+                    false,
+                    true,
+                ),
+                alu(t, &[], Some(Reg::T1)),
+            ]
+        };
+        let mut plain = Timing::default();
+        alu(&mut plain, &[], Some(Reg::T2));
+        let mut shifted = plain.clone();
+        shifted.shift(1000);
+        let a = seq(&mut plain);
+        let b = seq(&mut shifted);
+        let diff: Vec<u64> = b.iter().zip(&a).map(|(x, y)| x - y).collect();
+        assert_eq!(diff, vec![1000, 1000, 1000]);
+        assert_eq!(shifted.last_id(), plain.last_id() + 1000);
+    }
+
+    #[test]
+    fn replay_window_matches_full_history() {
+        // Build a history longer than the horizon, then check that
+        // replaying only the trailing window yields the same schedule
+        // for what follows, up to a uniform shift.
+        let cfg = TimingConfig::default();
+        let events: Vec<TimingEvent> = (0..200u64)
+            .map(|i| match i % 7 {
+                0 => TimingEvent::Issue {
+                    class: IssueClass::Load,
+                    src_mask: 1 << 29,
+                    dest_mask: 1 << ((i % 20) + 8),
+                    taken: false,
+                },
+                1 => TimingEvent::Stall(3),
+                2 => TimingEvent::Issue {
+                    class: IssueClass::MulDiv { is_div: i % 2 == 0 },
+                    src_mask: (1 << 8) | (1 << 9),
+                    dest_mask: MASK_HI | MASK_LO,
+                    taken: false,
+                },
+                3 => TimingEvent::Issue {
+                    class: IssueClass::IdReader,
+                    src_mask: 1 << ((i % 20) + 8),
+                    dest_mask: 0,
+                    taken: true,
+                },
+                _ => TimingEvent::Issue {
+                    class: IssueClass::Alu,
+                    src_mask: 1 << ((i % 3) + 8),
+                    dest_mask: 1 << ((i % 5) + 10),
+                    taken: false,
+                },
+            })
+            .collect();
+        let mut full = Timing::replay(cfg, &events);
+        let window = cfg.replay_horizon();
+        let mut windowed = Timing::replay(cfg, &events[events.len() - window..]);
+        let shift = full.last_id() - windowed.last_id();
+        // Continue both with the same suffix; decisions must agree.
+        for i in 0..50u64 {
+            let a = full.issue_masks(
+                IssueClass::IdReader,
+                1 << ((i % 22) + 8),
+                1 << ((i % 4) + 16),
+                i % 3 == 0,
+            );
+            let b = windowed.issue_masks(
+                IssueClass::IdReader,
+                1 << ((i % 22) + 8),
+                1 << ((i % 4) + 16),
+                i % 3 == 0,
+            );
+            assert_eq!(a, b + shift, "diverged at suffix instruction {i}");
+        }
+    }
+
+    #[test]
+    fn replay_counters_cover_only_the_window() {
+        let cfg = TimingConfig::default();
+        let events = [
+            TimingEvent::Issue {
+                class: IssueClass::Alu,
+                src_mask: 0,
+                dest_mask: 1 << 8,
+                taken: false,
+            },
+            TimingEvent::Stall(7),
+        ];
+        let mut t = Timing::replay(cfg, &events);
+        assert_eq!((t.instructions(), t.stall_cycles()), (1, 7));
+        t.set_counters(1_000_000, 4242);
+        assert_eq!((t.instructions(), t.stall_cycles()), (1_000_000, 4242));
+    }
+
+    #[test]
+    fn provably_dead_checks_partition_the_live_ins() {
+        use crate::predecode::PredecodedEntry;
+        use cimon_isa::Instr;
+        // addu $t2,$t0,$t1 reads its live-ins at delta 0 — bindable.
+        // The same read 5 instructions deep is provably dead for GPRs
+        // (horizon 3 at ID, 1 at EX).
+        let pc = 0x0040_0000;
+        let addu = |d: u32, s: u32, t: u32| (s << 21) | (t << 16) | (d << 11) | 0x21;
+        let body: Vec<PredecodedEntry> = (0..6u32)
+            .map(|i| {
+                let w = if i == 5 {
+                    addu(10, 8, 9) // reads $t0/$t1 live at delta 5
+                } else {
+                    addu(11 + i, 11 + i, 11 + i) // self-churn
+                };
+                PredecodedEntry::new(pc + 4 * i, w, Instr::decode(w).unwrap())
+            })
+            .collect();
+        let plan = BlockPlan::build(&body, TimingConfig::default());
+        // $t0/$t1 read at delta 5 ≥ 3: dead. The self-churn registers
+        // are read at delta 0..: live.
+        assert!(plan.provably_dead_checks() >= 2);
+        assert_eq!(
+            plan.live_in_checks(),
+            plan.binding_live_in_checks() + plan.provably_dead_checks()
+        );
+        // The deep read's entries sit in the dead tail.
+        let mut t = Timing::default();
+        alu(&mut t, &[], Some(Reg::T0));
+        assert_eq!(
+            t.plan_fits(&plan, u64::MAX),
+            t.plan_fits_prefix(&plan, u64::MAX, plan.binding_live_in_checks())
+        );
     }
 }

@@ -43,10 +43,14 @@ use cimon_pipeline::{
 };
 
 pub mod engine;
+pub mod splice;
 
 pub use cimon_core::HashAlgoKind;
 pub use cimon_pipeline::RunOutcome as Outcome;
 pub use engine::{Artifact, Experiment, ResultRow, Sweep};
+pub use splice::{
+    run_baseline_spliced, run_monitored_spliced, run_spliced, SpliceConfig, SpliceReport,
+};
 
 /// Experiment-level configuration (the knobs the paper sweeps).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,578 @@
+//! # Spliced parallel execution of a single long run
+//!
+//! One long simulation is inherently serial: every cycle depends on the
+//! last. This module splits it anyway, in two passes:
+//!
+//! 1. **Fast pass** — [`Processor::run_fast_pass`] executes the whole
+//!    program once with full functional + monitor fidelity but the
+//!    cycle-accurate scheduler suppressed, emitting a
+//!    [`ProcessorSnapshot`] checkpoint every
+//!    [`SpliceConfig::interval_cycles`] retired instructions. Scheduler
+//!    state at each checkpoint is reconstructed from a trailing event
+//!    window ([`cimon_pipeline::Timing::replay`]) — exact up to a
+//!    uniform shift.
+//! 2. **Shard replay** — every inter-checkpoint span replays with full
+//!    monitoring and timing, concurrently, on the same worker pool the
+//!    experiment engine uses ([`parallel_map`]). Shifted schedules make
+//!    the same decisions as absolute ones, so each shard's *advance*
+//!    (its `last_id` delta) equals the serial run's advance over the
+//!    same span; summing advances and taking the final shard's state
+//!    stitches a result **byte-identical** to the serial run — outcome,
+//!    cycles, registers, detection verdicts, and every counter.
+//!
+//! Two cases need care:
+//!
+//! * **Cycle budgets.** Shards replay unbounded; if the stitched total
+//!   crosses `max_cycles` inside shard *k*, that shard is replayed once
+//!   more with its schedule shifted to the absolute cycle position
+//!   ([`Processor::shift_timing`]) and the real budget installed — an
+//!   exact serial continuation, so `MaxCycles` lands on the exact
+//!   instruction it would serially.
+//! * **`ReadCycles`.** A program that reads the cycle counter feeds the
+//!   schedule back into architectural state; the fast pass flags it and
+//!   the splice falls back to one serial run
+//!   ([`SpliceReport::serial_fallback`]).
+//!
+//! In-flight bus-tap faults splice too: the fast pass runs the real tap
+//! and records every override it produced (keyed by absolute fetch
+//! count); shards install a positional replay tap seeded from the
+//! checkpoint's fetch count, so a fault landing mid-shard replays on
+//! exactly the fetch it originally hit.
+
+use std::sync::{Arc, Mutex};
+
+use cimon_core::CicConfig;
+use cimon_hashgen::HashGenError;
+use cimon_mem::{BusTap, ProgramImage};
+use cimon_os::{ExceptionCost, FullHashTable};
+use cimon_pipeline::{
+    BlockCache, BlockExec, MonitorConfig, Predecode, PredecodedImage, Processor, ProcessorConfig,
+    ProcessorSnapshot, RunOutcome, RunStats,
+};
+
+use crate::engine::{default_workers, parallel_map};
+use crate::{build_fht, RunReport, SimConfig};
+
+/// How to splice one long run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceConfig {
+    /// Checkpoint interval, in retired instructions. The pipeline
+    /// retires at most one instruction per cycle, so this also bounds
+    /// each shard's length in serial cycles.
+    pub interval_cycles: u64,
+    /// Worker threads replaying shards.
+    pub workers: usize,
+}
+
+impl Default for SpliceConfig {
+    fn default() -> Self {
+        SpliceConfig {
+            interval_cycles: 5_000_000,
+            workers: default_workers(),
+        }
+    }
+}
+
+/// The stitched result of a spliced run, byte-identical to what the
+/// equivalent serial [`Processor::run`] would have produced.
+#[derive(Clone, Debug)]
+pub struct SpliceReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Full statistics, stitched across shards.
+    pub stats: RunStats,
+    /// Timed shard replays performed (including a budget fix-up
+    /// replay, when one was needed). `1` means the splice degenerated
+    /// to a single serial-length shard.
+    pub shards: usize,
+    /// The fast pass saw a `ReadCycles` syscall and the whole run was
+    /// redone serially instead.
+    pub serial_fallback: bool,
+}
+
+/// Records, positionally, every override the wrapped tap produces
+/// during the fast pass.
+struct RecordingTap {
+    inner: Box<dyn BusTap>,
+    next_fetch: u64,
+    log: Arc<Mutex<Vec<(u64, u32)>>>,
+}
+
+impl BusTap for RecordingTap {
+    fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+        let at = self.next_fetch;
+        self.next_fetch += 1;
+        let out = self.inner.on_fetch(addr, word);
+        if out != word {
+            self.log.lock().unwrap().push((at, out));
+        }
+        out
+    }
+}
+
+/// Replays recorded overrides positionally. Memory contents are
+/// identical in the replaying shard, so returning the recorded word on
+/// the recorded fetch index (and the delivered word everywhere else)
+/// reproduces the original tap exactly — including any internal state
+/// the original carried, which is encoded in the override positions.
+struct ReplayTap {
+    next_fetch: u64,
+    cursor: usize,
+    overrides: Arc<Vec<(u64, u32)>>,
+}
+
+impl ReplayTap {
+    fn starting_at(fetch_count: u64, overrides: Arc<Vec<(u64, u32)>>) -> ReplayTap {
+        let cursor = overrides.partition_point(|&(at, _)| at < fetch_count);
+        ReplayTap {
+            next_fetch: fetch_count,
+            cursor,
+            overrides,
+        }
+    }
+}
+
+impl BusTap for ReplayTap {
+    fn on_fetch(&mut self, _addr: u32, word: u32) -> u32 {
+        let at = self.next_fetch;
+        self.next_fetch += 1;
+        if let Some(&(next, out)) = self.overrides.get(self.cursor) {
+            if next == at {
+                self.cursor += 1;
+                return out;
+            }
+        }
+        word
+    }
+}
+
+/// One shard replay's contribution to the stitch.
+struct ShardEnd {
+    outcome: Option<RunOutcome>,
+    /// `last_id` advance across the shard (equals the serial advance
+    /// over the same span, by shift-invariance of the schedule).
+    advance: u64,
+    /// Final state, captured only by the shard that ends the run.
+    stats: Option<RunStats>,
+}
+
+/// Splice one run over processors produced by `build`.
+///
+/// `build` must produce identically-configured processors (the splice
+/// constructs one for the fast pass and one per shard); `tap`, when
+/// given, is invoked once per pass that needs a live fault tap. The
+/// processor's own `max_cycles` is overridden with the `max_cycles`
+/// given here, so build closures need not thread it through.
+pub fn run_spliced(
+    build: &(dyn Fn() -> Processor + Sync),
+    tap: Option<&(dyn Fn() -> Box<dyn BusTap> + Sync)>,
+    max_cycles: u64,
+    splice: &SpliceConfig,
+) -> SpliceReport {
+    // ---- Pass 1: the fast pass, checkpointing as it goes. ----
+    let mut fast = build();
+    fast.set_max_cycles(max_cycles);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    if let Some(make_tap) = tap {
+        fast.set_bus_tap(Box::new(RecordingTap {
+            inner: make_tap(),
+            next_fetch: 0,
+            log: log.clone(),
+        }));
+    }
+    let mut snaps: Vec<ProcessorSnapshot> = Vec::new();
+    let report = fast.run_fast_pass(splice.interval_cycles, |s| snaps.push(s));
+
+    if report.timing_dependent {
+        // The program consumed the cycle counter: only a serial timed
+        // run produces trustworthy architectural state.
+        let mut cpu = build();
+        cpu.set_max_cycles(max_cycles);
+        if let Some(make_tap) = tap {
+            cpu.set_bus_tap(make_tap());
+        }
+        let outcome = cpu.run();
+        return SpliceReport {
+            outcome,
+            stats: cpu.stats(),
+            shards: 1,
+            serial_fallback: true,
+        };
+    }
+
+    let overrides = Arc::new(std::mem::take(&mut *log.lock().unwrap()));
+    let has_tap = tap.is_some();
+    // A fast-pass `MaxCycles` is the retired-instruction *proxy* for
+    // the budget: the timed run certainly stops at or before this
+    // instret, so bound the final shard here and let the budget fix-up
+    // below find the exact stop.
+    let proxy_stop = report.outcome == RunOutcome::MaxCycles;
+    let fast_end = fast.instret();
+
+    // ---- Pass 2: replay every shard with full timing, in parallel. ----
+    let indices: Vec<usize> = (0..=snaps.len()).collect();
+    let shard_ends = parallel_map(&indices, splice.workers.max(1), |_, &i| {
+        let mut cpu = build();
+        if i > 0 {
+            cpu.restore(&snaps[i - 1]);
+        }
+        cpu.set_max_cycles(u64::MAX);
+        if has_tap {
+            let fetch_count = if i > 0 { snaps[i - 1].fetch_count() } else { 0 };
+            cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
+                fetch_count,
+                overrides.clone(),
+            )));
+        }
+        let target = match snaps.get(i) {
+            Some(s) => s.instret(),
+            None if proxy_stop => fast_end,
+            None => u64::MAX,
+        };
+        let start_id = cpu.timing().last_id();
+        let outcome = cpu.run_to_instret(target);
+        ShardEnd {
+            outcome,
+            advance: cpu.timing().last_id() - start_id,
+            stats: outcome.is_some().then(|| cpu.stats()),
+        }
+    });
+
+    // ---- Stitch: accumulate absolute cycle positions, find a budget
+    // crossing if any. ----
+    let mut total = 0u64;
+    let mut crossing = None;
+    for (i, shard) in shard_ends.iter().enumerate() {
+        let start_abs = total;
+        total += shard.advance;
+        if crossing.is_none() && total + 4 > max_cycles {
+            crossing = Some((i, start_abs));
+        }
+    }
+
+    if let Some((k, start_abs)) = crossing {
+        // Budget fix-up: replay the crossing shard with its schedule
+        // shifted to the absolute position and the real budget — an
+        // exact serial continuation, so its end state IS the run's end
+        // state. Everything replayed past it is discarded.
+        let mut cpu = build();
+        if k > 0 {
+            cpu.restore(&snaps[k - 1]);
+        }
+        let rel = cpu.timing().last_id();
+        cpu.shift_timing(
+            start_abs
+                .checked_sub(rel)
+                .expect("window replay never advances past the serial schedule"),
+        );
+        cpu.set_max_cycles(max_cycles);
+        if has_tap {
+            let fetch_count = if k > 0 { snaps[k - 1].fetch_count() } else { 0 };
+            cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
+                fetch_count,
+                overrides.clone(),
+            )));
+        }
+        let outcome = cpu.run();
+        return SpliceReport {
+            outcome,
+            stats: cpu.stats(),
+            shards: shard_ends.len() + 1,
+            serial_fallback: false,
+        };
+    }
+
+    debug_assert!(
+        shard_ends[..shard_ends.len() - 1]
+            .iter()
+            .all(|s| s.outcome.is_none()),
+        "only the final shard may end the run"
+    );
+    let last = shard_ends.last().expect("at least one shard always runs");
+    let outcome = last
+        .outcome
+        .expect("the final shard finishes the run when no budget crossing exists");
+    let mut stats = last
+        .stats
+        .clone()
+        .expect("the finishing shard captured its stats");
+    // Per-shard counters (instructions, stalls, monitor stats) are
+    // absolute already — only the cycle total is relative per shard.
+    stats.cycles = if stats.instructions == 0 {
+        0
+    } else {
+        total + 4
+    };
+    SpliceReport {
+        outcome,
+        stats,
+        shards: shard_ends.len(),
+        serial_fallback: false,
+    }
+}
+
+/// [`run_monitored`](crate::run_monitored), spliced: identical result,
+/// computed as one fast pass plus parallel shard replays.
+///
+/// # Errors
+///
+/// Propagates [`HashGenError`] from FHT generation (only possible when
+/// `fht` is `None`).
+pub fn run_monitored_spliced(
+    image: &ProgramImage,
+    config: &SimConfig,
+    fht: Option<Arc<FullHashTable>>,
+    splice: &SpliceConfig,
+) -> Result<RunReport, HashGenError> {
+    let fht = match fht {
+        Some(fht) => fht,
+        None => Arc::new(build_fht(image, config)?),
+    };
+    let fht_entries = fht.len();
+    let predecoded = Arc::new(PredecodedImage::new(image));
+    let blocks = Arc::new(BlockCache::new(predecoded.clone()));
+    let cic = CicConfig {
+        iht_entries: config.iht_entries,
+        hash_algo: config.hash_algo,
+        hash_seed: config.hash_seed,
+    };
+    let build = {
+        let config = *config;
+        move || {
+            Processor::new(
+                image,
+                ProcessorConfig {
+                    monitor: Some(MonitorConfig {
+                        cic,
+                        fht: fht.clone(),
+                        policy: config.policy,
+                        exception_cost: ExceptionCost {
+                            cycles: config.exception_cycles,
+                        },
+                    }),
+                    max_cycles: config.max_cycles,
+                    predecode: Predecode::Shared(predecoded.clone()),
+                    block_exec: BlockExec::Shared(blocks.clone()),
+                    ..ProcessorConfig::baseline()
+                },
+            )
+        }
+    };
+    let spliced = run_spliced(&build, None, config.max_cycles, splice);
+    let miss_rate_percent = spliced
+        .stats
+        .cic
+        .map(|c| c.miss_rate_percent())
+        .unwrap_or(0.0);
+    Ok(RunReport {
+        outcome: spliced.outcome,
+        stats: spliced.stats,
+        fht_entries,
+        miss_rate_percent,
+    })
+}
+
+/// [`run_baseline_with_max`](crate::run_baseline_with_max), spliced.
+pub fn run_baseline_spliced(
+    image: &ProgramImage,
+    max_cycles: u64,
+    splice: &SpliceConfig,
+) -> RunReport {
+    let predecoded = Arc::new(PredecodedImage::new(image));
+    let blocks = Arc::new(BlockCache::new(predecoded.clone()));
+    let build = move || {
+        Processor::new(
+            image,
+            ProcessorConfig {
+                max_cycles,
+                predecode: Predecode::Shared(predecoded.clone()),
+                block_exec: BlockExec::Shared(blocks.clone()),
+                ..ProcessorConfig::baseline()
+            },
+        )
+    };
+    let spliced = run_spliced(&build, None, max_cycles, splice);
+    RunReport {
+        outcome: spliced.outcome,
+        stats: spliced.stats,
+        fht_entries: 0,
+        miss_rate_percent: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_baseline_with_max, run_monitored, RunOutcome};
+    use cimon_asm::assemble;
+
+    fn program() -> cimon_asm::Program {
+        assemble(
+            "
+            .text
+        main:
+            li   $t0, 500
+            li   $t1, 0
+        loop:
+            addu $t1, $t1, $t0
+            addiu $t0, $t0, -1
+            bnez $t0, loop
+            li   $a0, 0
+            li   $v0, 10
+            syscall
+        ",
+        )
+        .unwrap()
+    }
+
+    fn tight(interval: u64, workers: usize) -> SpliceConfig {
+        SpliceConfig {
+            interval_cycles: interval,
+            workers,
+        }
+    }
+
+    #[test]
+    fn spliced_monitored_run_is_byte_identical_to_serial() {
+        let prog = program();
+        let config = SimConfig::default();
+        let serial = run_monitored(&prog.image, &config, None).unwrap();
+        let spliced = run_monitored_spliced(&prog.image, &config, None, &tight(100, 4)).unwrap();
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+        assert_eq!(spliced.fht_entries, serial.fht_entries);
+        assert_eq!(spliced.miss_rate_percent, serial.miss_rate_percent);
+    }
+
+    #[test]
+    fn spliced_baseline_run_is_byte_identical_to_serial() {
+        let prog = program();
+        let serial = run_baseline_with_max(&prog.image, 1_000_000);
+        let spliced = run_baseline_spliced(&prog.image, 1_000_000, &tight(64, 3));
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+    }
+
+    #[test]
+    fn budget_interrupt_lands_on_the_exact_serial_cycle() {
+        let prog = program();
+        // Cut the run off mid-loop.
+        let config = SimConfig {
+            max_cycles: 700,
+            ..SimConfig::default()
+        };
+        let serial = run_monitored(&prog.image, &config, None).unwrap();
+        assert_eq!(serial.outcome, RunOutcome::MaxCycles);
+        let spliced = run_monitored_spliced(&prog.image, &config, None, &tight(50, 4)).unwrap();
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+    }
+
+    #[test]
+    fn tap_faults_replay_inside_their_shard() {
+        struct OneShot {
+            target: u32,
+            remaining_visits: u32,
+            done: bool,
+        }
+        impl BusTap for OneShot {
+            fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+                if addr == self.target && !self.done {
+                    if self.remaining_visits > 0 {
+                        self.remaining_visits -= 1;
+                        return word;
+                    }
+                    self.done = true;
+                    return word ^ (1 << 18);
+                }
+                word
+            }
+        }
+        let prog = program();
+        let config = SimConfig::default();
+        let fht = Arc::new(build_fht(&prog.image, &config).unwrap());
+        // Fault the loop's addu only on its 150th visit, so the flip
+        // lands deep inside a middle shard.
+        let victim = prog.image.entry + 8;
+        let make_tap = move || -> Box<dyn BusTap> {
+            Box::new(OneShot {
+                target: victim,
+                remaining_visits: 150,
+                done: false,
+            })
+        };
+
+        let run_serial = || {
+            Processor::new(
+                &prog.image,
+                ProcessorConfig {
+                    monitor: Some(MonitorConfig {
+                        cic: CicConfig {
+                            iht_entries: config.iht_entries,
+                            hash_algo: config.hash_algo,
+                            hash_seed: config.hash_seed,
+                        },
+                        fht: fht.clone(),
+                        policy: config.policy,
+                        exception_cost: ExceptionCost {
+                            cycles: config.exception_cycles,
+                        },
+                    }),
+                    max_cycles: config.max_cycles,
+                    ..ProcessorConfig::baseline()
+                },
+            )
+        };
+        let mut serial = run_serial();
+        serial.set_bus_tap(make_tap());
+        let serial_outcome = serial.run();
+        assert!(matches!(serial_outcome, RunOutcome::Detected { .. }));
+
+        let spliced = run_spliced(
+            &run_serial,
+            Some(&make_tap),
+            config.max_cycles,
+            &tight(100, 4),
+        );
+        assert!(!spliced.serial_fallback);
+        assert!(spliced.shards > 1);
+        assert_eq!(spliced.outcome, serial_outcome);
+        assert_eq!(spliced.stats, serial.stats());
+    }
+
+    #[test]
+    fn read_cycles_forces_serial_fallback() {
+        let prog = assemble(
+            "
+            .text
+        main:
+            li $v0, 30
+            syscall
+            move $a0, $v0
+            li $v0, 10
+            syscall
+        ",
+        )
+        .unwrap();
+        let image = &prog.image;
+        let predecoded = Arc::new(PredecodedImage::new(image));
+        let blocks = Arc::new(BlockCache::new(predecoded.clone()));
+        let build = move || {
+            Processor::new(
+                image,
+                ProcessorConfig {
+                    predecode: Predecode::Shared(predecoded.clone()),
+                    block_exec: BlockExec::Shared(blocks.clone()),
+                    ..ProcessorConfig::baseline()
+                },
+            )
+        };
+        let spliced = run_spliced(&build, None, 1_000_000, &SpliceConfig::default());
+        assert!(spliced.serial_fallback);
+        assert_eq!(spliced.shards, 1);
+        // The serial fallback still produces the true timed result.
+        let serial = run_baseline_with_max(&prog.image, 1_000_000);
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+    }
+}

@@ -1,0 +1,51 @@
+//! Spliced execution over the synthetic large-program corpus.
+//!
+//! Corpus programs are the splice tier's proving ground: loopy CFGs,
+//! indirect calls, and benign self-modifying text stores, at dynamic
+//! lengths the MiBench-like registry never reaches. Monitored corpus
+//! runs must finish clean (the self-modifying stores rewrite identical
+//! bytes), and the spliced result must be byte-identical to serial.
+
+use cimon_sim::{
+    run_baseline_spliced, run_baseline_with_max, run_monitored, run_monitored_spliced, Outcome,
+    SimConfig, SpliceConfig,
+};
+use cimon_workloads::corpus;
+
+#[test]
+fn monitored_corpus_runs_finish_clean_and_splice_exactly() {
+    for seed in [11u64, 42] {
+        let prog = corpus::small(seed).assemble();
+        let config = SimConfig::default();
+        let serial = run_monitored(&prog.image, &config, None).unwrap();
+        assert!(
+            matches!(serial.outcome, Outcome::Exited { .. }),
+            "corpus seed {seed} must run clean under the monitor: {:?}",
+            serial.outcome
+        );
+        let splice = SpliceConfig {
+            interval_cycles: 4_000,
+            workers: 4,
+        };
+        let spliced = run_monitored_spliced(&prog.image, &config, None, &splice).unwrap();
+        assert_eq!(spliced.outcome, serial.outcome, "seed {seed}");
+        assert_eq!(spliced.stats, serial.stats, "seed {seed}");
+        assert_eq!(spliced.miss_rate_percent, serial.miss_rate_percent);
+        // A small corpus program still spans many checkpoints at this
+        // interval — the splice must have actually sharded.
+        assert!(serial.stats.instructions > 40_000);
+    }
+}
+
+#[test]
+fn baseline_corpus_runs_splice_exactly() {
+    let prog = corpus::small(7).assemble();
+    let serial = run_baseline_with_max(&prog.image, 400_000_000);
+    let splice = SpliceConfig {
+        interval_cycles: 8_000,
+        workers: 3,
+    };
+    let spliced = run_baseline_spliced(&prog.image, 400_000_000, &splice);
+    assert_eq!(spliced.outcome, serial.outcome);
+    assert_eq!(spliced.stats, serial.stats);
+}

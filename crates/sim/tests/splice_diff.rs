@@ -1,0 +1,224 @@
+//! Differential property tests for spliced execution.
+//!
+//! A spliced run — fast pass, checkpoints, parallel shard replay,
+//! stitch — must be **byte-identical** to the serial run it splits:
+//! same outcome, same cycle count, same statistics, same detection
+//! verdicts. This holds across random loopy programs, splice intervals,
+//! worker counts, stored-image tampering, in-flight bus-fault taps, and
+//! cycle-budget interrupts landing inside arbitrary shards.
+
+use proptest::prelude::*;
+
+use cimon_asm::assemble;
+use cimon_core::hash::hash_words;
+use cimon_core::{BlockRecord, CicConfig, HashAlgoKind};
+use cimon_mem::{BusTap, ProgramImage};
+use cimon_os::FullHashTable;
+use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome, RunStats};
+use cimon_sim::{run_spliced, SpliceConfig};
+
+/// A one-shot transient fault: flip `bit` of the word fetched from
+/// `target`, once.
+struct OneShot {
+    target: u32,
+    bit: u8,
+    done: bool,
+}
+
+impl BusTap for OneShot {
+    fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+        if addr == self.target && !self.done {
+            self.done = true;
+            word ^ (1u32 << self.bit)
+        } else {
+            word
+        }
+    }
+}
+
+/// A generated random program: counted backward loops, ALU/memory
+/// traffic, and a clean exit (same shape as the pipeline's
+/// `chain_mask_diff.rs`).
+#[derive(Clone, Debug)]
+struct RandomProgram {
+    source: String,
+}
+
+prop_compose! {
+    fn arb_program()(
+        loops in 1usize..5,
+        body in 1usize..7,
+        trips_scale in 2u32..40,
+        seed in any::<u64>(),
+    ) -> RandomProgram {
+        use std::fmt::Write as _;
+        let mut src = String::from("    .data\nbuf: .word ");
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for i in 0..16 {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(src, "{sep}{}", next());
+        }
+        src.push_str("\n    .text\nmain:\n");
+        let regs = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5"];
+        for r in regs {
+            let _ = writeln!(src, "    li {r}, {}", next() as i32 % 500);
+        }
+        for l in 0..loops {
+            let trips = 2 + next() % (9 * trips_scale);
+            let _ = writeln!(src, "    li $s0, {trips}");
+            let _ = writeln!(src, "L{l}:");
+            for _ in 0..body {
+                let a = regs[(next() % 6) as usize];
+                let b = regs[(next() % 6) as usize];
+                let c = regs[(next() % 6) as usize];
+                match next() % 8 {
+                    0 => { let _ = writeln!(src, "    addu {a}, {b}, {c}"); }
+                    1 => { let _ = writeln!(src, "    subu {a}, {b}, {c}"); }
+                    2 => { let _ = writeln!(src, "    xor {a}, {b}, {c}"); }
+                    3 => { let _ = writeln!(src, "    addiu {a}, {b}, {}", next() as i32 % 100); }
+                    4 => { let _ = writeln!(src, "    lw {a}, {}($gp)", (next() % 16) * 4); }
+                    5 => { let _ = writeln!(src, "    sw {a}, {}($gp)", (next() % 16) * 4); }
+                    6 => { let _ = writeln!(src, "    mult {a}, {b}"); }
+                    _ => { let _ = writeln!(src, "    mflo {a}"); }
+                }
+            }
+            let _ = writeln!(src, "    addiu $s0, $s0, -1");
+            let _ = writeln!(src, "    bnez $s0, L{l}");
+        }
+        src.push_str("    move $a0, $t0\n    li $v0, 10\n    syscall\n");
+        RandomProgram { source: src }
+    }
+}
+
+/// The exact FHT for a program from its recorded block trace.
+fn trace_fht(image: &ProgramImage) -> FullHashTable {
+    let mut cpu = Processor::new(
+        image,
+        ProcessorConfig {
+            record_blocks: true,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    cpu.run();
+    let mem = image.to_memory();
+    cpu.blocks()
+        .iter()
+        .map(|b| {
+            let words = b.key.addresses().map(|a| mem.read_u32(a).unwrap());
+            BlockRecord {
+                key: b.key,
+                hash: hash_words(HashAlgoKind::Xor, 0, words),
+            }
+        })
+        .collect()
+}
+
+/// Serial oracle: one processor, one `run()`.
+fn serial(
+    image: &ProgramImage,
+    config: &ProcessorConfig,
+    max_cycles: u64,
+    tap: Option<Box<dyn BusTap>>,
+) -> (RunOutcome, RunStats) {
+    let mut cpu = Processor::new(image, config.clone());
+    cpu.set_max_cycles(max_cycles);
+    if let Some(tap) = tap {
+        cpu.set_bus_tap(tap);
+    }
+    (cpu.run(), cpu.stats())
+}
+
+/// Assert spliced ≡ serial for one scenario, across both the baseline
+/// and the monitored processor.
+fn assert_splice_equivalent(
+    image: &ProgramImage,
+    fht: &FullHashTable,
+    max_cycles: u64,
+    splice: &SpliceConfig,
+    tap: Option<&(dyn Fn() -> Box<dyn BusTap> + Sync)>,
+) {
+    let configs = [
+        ProcessorConfig::baseline(),
+        ProcessorConfig::monitored(CicConfig::with_entries(8), fht.clone()),
+    ];
+    for config in &configs {
+        let (serial_out, serial_stats) = serial(image, config, max_cycles, tap.map(|make| make()));
+        let spliced = run_spliced(
+            &|| Processor::new(image, config.clone()),
+            tap,
+            max_cycles,
+            splice,
+        );
+        assert!(!spliced.serial_fallback, "no ReadCycles in these programs");
+        assert_eq!(spliced.outcome, serial_out, "outcome diverged");
+        assert_eq!(spliced.stats, serial_stats, "stats diverged");
+    }
+}
+
+proptest! {
+    #[test]
+    fn clean_spliced_runs_match_serial(
+        p in arb_program(),
+        interval in 16u64..600,
+        workers in 1usize..5,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let fht = trace_fht(&prog.image);
+        let splice = SpliceConfig { interval_cycles: interval, workers };
+        assert_splice_equivalent(&prog.image, &fht, 1_000_000, &splice, None);
+    }
+
+    #[test]
+    fn tampered_spliced_runs_match_serial(
+        p in arb_program(),
+        interval in 16u64..600,
+        word_idx in any::<prop::sample::Index>(),
+        bit in 0u8..32,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let n_words = prog.image.text.bytes.len() / 4;
+        let victim = prog.image.text.base + 4 * word_idx.index(n_words) as u32;
+        let mut image = prog.image.clone();
+        // Tamper the stored image itself: every shard sees the same
+        // (tampered) memory via its snapshot.
+        let off = (victim - image.text.base) as usize;
+        image.text.bytes[off] ^= 1 << (bit % 8);
+        let fht = trace_fht(&prog.image);
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        assert_splice_equivalent(&image, &fht, 60_000, &splice, None);
+    }
+
+    #[test]
+    fn bus_tap_faults_splice_identically(
+        p in arb_program(),
+        interval in 16u64..600,
+        word_idx in any::<prop::sample::Index>(),
+        bit in 0u8..32,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let n_words = prog.image.text.bytes.len() / 4;
+        let target = prog.image.text.base + 4 * word_idx.index(n_words) as u32;
+        let fht = trace_fht(&prog.image);
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        let make_tap = move || -> Box<dyn BusTap> {
+            Box::new(OneShot { target, bit, done: false })
+        };
+        assert_splice_equivalent(&prog.image, &fht, 60_000, &splice, Some(&make_tap));
+    }
+
+    #[test]
+    fn budget_interrupts_splice_identically(
+        p in arb_program(),
+        interval in 16u64..300,
+        max_cycles in 1u64..2_000,
+    ) {
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let fht = trace_fht(&prog.image);
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        assert_splice_equivalent(&prog.image, &fht, max_cycles, &splice, None);
+    }
+}

@@ -31,6 +31,7 @@ use std::sync::{Arc, OnceLock};
 pub mod basicmath;
 pub mod bitcount;
 pub mod blowfish;
+pub mod corpus;
 pub mod dijkstra;
 pub mod patricia;
 pub mod rijndael;
