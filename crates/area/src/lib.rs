@@ -21,6 +21,9 @@
 //! assert!(row.overhead_percent > 10.0 && row.overhead_percent < 25.0);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use cimon_microop::HashAlgoKind;
 use cimon_microop::Resource;
 

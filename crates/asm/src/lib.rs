@@ -36,6 +36,9 @@
 //! # Ok::<(), cimon_asm::AsmError>(())
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod assembler;
 pub mod ast;
 pub mod error;

@@ -3,9 +3,13 @@
 //!
 //! Every spliced run is asserted byte-identical to the serial oracle
 //! before its time counts, so the rows can never report a
-//! fast-but-wrong splice. Rows are merged into `BENCH_throughput.json`
-//! alongside the `sim_throughput` rows (older `splice-*` rows are
-//! replaced; everything else is preserved).
+//! fast-but-wrong splice. The `path` column shows which
+//! degradation-ladder rung each mode actually ran; without chaos
+//! injection the driver *asserts* every mode stayed on the parallel
+//! `spliced` rung, so CI fails loudly if a run silently timed a serial
+//! fallback. Rows are merged into `BENCH_throughput.json` alongside
+//! the `sim_throughput` rows (older `splice-*` rows are replaced;
+//! everything else is preserved).
 //!
 //! Set `CIMON_SPLICE_SMOKE=1` for the CI smoke shape: a small corpus
 //! program and 2 workers only.
@@ -30,24 +34,52 @@ fn main() {
         if smoke { ", smoke" } else { "" }
     );
     println!(
-        "{:<22} {:>15} {:>12} {:>11} {:>8} {:>8}",
-        "workload", "mode", "instructions", "seconds", "MIPS", "speedup"
+        "{:<22} {:>15} {:>12} {:>11} {:>8} {:>8} {:>16}",
+        "workload", "mode", "instructions", "seconds", "MIPS", "speedup", "path"
     );
-    cimon_bench::print_rule(82);
-    let rows = cimon_bench::splice_scaling(target, workers, reps);
+    cimon_bench::print_rule(99);
+    let report = cimon_bench::splice_scaling(target, workers, reps);
+    let rows = &report.rows;
     let serial_seconds = rows[0].best_seconds;
-    for r in &rows {
+    for r in rows {
+        let path = report
+            .modes
+            .iter()
+            .find(|m| m.mode == r.mode)
+            .map_or("serial-oracle", |m| m.splice.rung.name());
         println!(
-            "{:<22} {:>15} {:>12} {:>11.6} {:>8.2} {:>7.2}x",
+            "{:<22} {:>15} {:>12} {:>11.6} {:>8.2} {:>7.2}x {:>16}",
             r.workload,
             r.mode,
             r.instructions,
             r.best_seconds,
             r.mips,
-            serial_seconds / r.best_seconds.max(1e-12)
+            serial_seconds / r.best_seconds.max(1e-12),
+            path
         );
     }
-    cimon_bench::print_rule(82);
+    cimon_bench::print_rule(99);
+
+    // CI gate: without chaos injection there is no legitimate reason
+    // for any mode to have fallen off the parallel rung — a serial
+    // fallback here means the bench silently timed the wrong path.
+    for m in &report.modes {
+        println!(
+            "{}: rung={} checkpoints={} corrupt_snapshots={} shard_panics={}",
+            m.mode,
+            m.splice.rung.name(),
+            m.splice.checkpoints,
+            m.splice.corrupt_snapshots,
+            m.splice.shard_panics
+        );
+        assert!(
+            cimon_sim::chaos::enabled() || !m.splice.rung.is_serial(),
+            "{} degraded to the {} rung without chaos: {:?}",
+            m.mode,
+            m.splice.rung.name(),
+            m.splice
+        );
+    }
 
     // Merge into BENCH_throughput.json: keep foreign rows, replace any
     // previous splice rows.

@@ -24,6 +24,14 @@
 //! pool with deterministic result ordering. [`report`] serialises the
 //! engine's [`ResultRow`]s as CSV/JSON for the bench artifacts.
 
+#![warn(clippy::unwrap_used)]
+// Allow-listed exception: the bench drivers' `.expect(...)` calls are
+// documented setup assertions (every public driver carries a
+// `# Panics` section) — a broken corpus or registry must abort the
+// measurement loudly rather than report numbers for the wrong thing.
+#![allow(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use std::sync::{Arc, OnceLock};
 
 use cimon_area::{AreaModel, AreaRow, TimingRow};
@@ -248,14 +256,17 @@ pub fn fault_analysis(workload: &str, runs: usize) -> Vec<FaultRow> {
             ("3-bit", FaultModel::MultiBit { n: 3 }),
             ("column-pair", FaultModel::SameColumnPair),
         ] {
-            let result = campaign.run(&CampaignConfig {
-                runs,
-                seed: 0xdecaf,
-                model,
-                site: FaultSite::StoredImage,
-                targets: targets.clone(),
-                max_cycles: 5_000_000,
-            });
+            let result = campaign
+                .run(&CampaignConfig {
+                    runs,
+                    seed: 0xdecaf,
+                    model,
+                    site: FaultSite::StoredImage,
+                    targets: targets.clone(),
+                    max_cycles: 5_000_000,
+                    max_wall: None,
+                })
+                .expect("fault campaign");
             rows.push(FaultRow {
                 algo,
                 model: name,
@@ -413,14 +424,17 @@ pub fn ablation_hash(runs: usize) -> Vec<HashRow> {
                 hash_seed: 0x5eed,
             };
             let campaign = Campaign::new(a.image().clone(), cic, fht);
-            let result = campaign.run(&CampaignConfig {
-                runs,
-                seed: 0xbeef,
-                model: FaultModel::SameColumnPair,
-                site: FaultSite::StoredImage,
-                targets: targets.clone(),
-                max_cycles: 5_000_000,
-            });
+            let result = campaign
+                .run(&CampaignConfig {
+                    runs,
+                    seed: 0xbeef,
+                    model: FaultModel::SameColumnPair,
+                    site: FaultSite::StoredImage,
+                    targets: targets.clone(),
+                    max_cycles: 5_000_000,
+                    max_wall: None,
+                })
+                .expect("hash-strength campaign");
             HashRow {
                 algo,
                 hashfu_area: cimon_area::hashfu_area(model.library(), algo),
@@ -636,12 +650,41 @@ pub fn sim_throughput(reps: usize) -> Throughput {
     }
 }
 
+/// How one spliced mode of [`splice_scaling`] actually executed: which
+/// degradation-ladder rung produced the result, plus the failure
+/// counters behind any serial fallback. CI reads these to assert the
+/// parallel path ran (or to explain why it did not).
+#[derive(Clone, Copy, Debug)]
+pub struct SpliceModeOutcome {
+    /// The `BENCH_throughput.json` mode tag (`"splice-wN"`).
+    pub mode: &'static str,
+    /// Rung and failure counters from the final rep of this mode.
+    pub splice: cimon_sim::SpliceStats,
+}
+
+/// The full result of one [`splice_scaling`] measurement: throughput
+/// rows for `BENCH_throughput.json`, plus one [`SpliceModeOutcome`]
+/// per spliced mode so callers can assert which execution path ran.
+#[derive(Clone, Debug)]
+pub struct SpliceScalingReport {
+    /// `"splice-serial"` first, then one row per requested worker
+    /// count, in order.
+    pub rows: Vec<ThroughputRow>,
+    /// One outcome per spliced row (the serial oracle has none).
+    pub modes: Vec<SpliceModeOutcome>,
+}
+
 /// Measure splice-scaling throughput on one large corpus program:
 /// a serial monitored run (the oracle, row `"splice-serial"`) against
 /// [`cimon_sim::run_monitored_spliced`] at each requested worker count
 /// (rows `"splice-wN"`). Every spliced result is asserted byte-identical
 /// to the serial oracle before its time counts, so the rows can never
 /// report a fast-but-wrong splice.
+///
+/// Alongside the rows, the report carries each spliced mode's
+/// [`cimon_sim::SpliceStats`] — which degradation-ladder rung ran and
+/// why — so CI can assert the parallel path was actually exercised
+/// rather than silently timing a serial fallback.
 ///
 /// Supported worker counts are 1, 2, 4 and 8 (the fixed mode
 /// vocabulary of `BENCH_throughput.json`).
@@ -654,8 +697,8 @@ pub fn splice_scaling(
     target_dynamic_instructions: u64,
     worker_counts: &[usize],
     reps: usize,
-) -> Vec<ThroughputRow> {
-    use cimon_sim::{run_monitored_spliced, run_monitored_with_fht, SimConfig, SpliceConfig};
+) -> SpliceScalingReport {
+    use cimon_sim::{run_monitored_spliced_stats, run_monitored_with_fht, SimConfig, SpliceConfig};
     use cimon_workloads::corpus::{generate, CorpusSpec};
     use std::time::Instant;
 
@@ -681,6 +724,7 @@ pub fn splice_scaling(
     };
 
     let mut rows = Vec::with_capacity(1 + worker_counts.len());
+    let mut modes = Vec::with_capacity(worker_counts.len());
     let mut best = f64::INFINITY;
     let mut serial = None;
     for _ in 0..reps {
@@ -721,17 +765,24 @@ pub fn splice_scaling(
             workers,
         };
         let mut best = f64::INFINITY;
+        let mut last_splice = None;
         for _ in 0..reps {
             let t0 = Instant::now();
-            let spliced = run_monitored_spliced(&prog.image, &config, Some(fht.clone()), &splice)
-                .expect("FHT is prebuilt");
+            let (spliced, splice_stats) =
+                run_monitored_spliced_stats(&prog.image, &config, Some(fht.clone()), &splice)
+                    .expect("FHT is prebuilt");
             let dt = t0.elapsed().as_secs_f64();
             assert_eq!(spliced.outcome, serial.outcome, "{mode} outcome diverged");
             assert_eq!(spliced.stats, serial.stats, "{mode} stats diverged");
             if dt < best {
                 best = dt;
             }
+            last_splice = Some(splice_stats);
         }
+        modes.push(SpliceModeOutcome {
+            mode,
+            splice: last_splice.unwrap_or_else(|| unreachable!("reps >= 1")),
+        });
         rows.push(row(
             mode,
             serial.stats.instructions,
@@ -739,7 +790,7 @@ pub fn splice_scaling(
             best,
         ));
     }
-    rows
+    SpliceScalingReport { rows, modes }
 }
 
 /// One row of the throughput regression gate's before/after table.

@@ -8,7 +8,7 @@
 //! [`ResultRow`] schema.
 
 use cimon_pipeline::{FaultKind, RunOutcome};
-use cimon_sim::engine::ResultRow;
+use cimon_sim::engine::{ResultRow, RowStatus};
 
 /// Column order shared by the CSV writer and the JSON field order.
 pub const CSV_HEADER: &str = "workload,monitored,iht_entries,hash_algo,hash_seed,policy,\
@@ -31,6 +31,22 @@ fn outcome_fields(outcome: &RunOutcome) -> (&'static str, Option<u32>) {
             None,
         ),
         RunOutcome::MaxCycles => ("max-cycles", None),
+        RunOutcome::Watchdog => ("watchdog", None),
+    }
+}
+
+/// Serialisation fields for one row. A poisoned row (worker panic or
+/// typed engine error) never ran to an outcome, so its `outcome` field
+/// is a placeholder: report the failure kind instead. Clean and
+/// timed-out rows serialise their real outcome, so historical reports
+/// stay byte-identical.
+fn row_fields(r: &ResultRow) -> (String, Option<u32>) {
+    match &r.status {
+        RowStatus::Failed(err) => (format!("failed-{}", err.kind()), None),
+        _ => {
+            let (kind, code) = outcome_fields(&r.outcome);
+            (kind.to_string(), code)
+        }
     }
 }
 
@@ -41,7 +57,7 @@ pub fn to_csv(rows: &[ResultRow]) -> String {
     out.push_str(CSV_HEADER);
     out.push('\n');
     for r in rows {
-        let (kind, code) = outcome_fields(&r.outcome);
+        let (kind, code) = row_fields(r);
         let code = code.map(|c| c.to_string()).unwrap_or_default();
         let _ = writeln!(
             out,
@@ -90,7 +106,7 @@ pub fn to_json(rows: &[ResultRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
-        let (kind, code) = outcome_fields(&r.outcome);
+        let (kind, code) = row_fields(r);
         let code = code
             .map(|c| c.to_string())
             .unwrap_or_else(|| "null".to_string());
@@ -120,6 +136,12 @@ pub fn to_json(rows: &[ResultRow]) -> String {
             r.miss_rate_percent,
             r.fht_entries,
         );
+        // Only failed rows carry the extra error field, so reports from
+        // clean sweeps stay byte-identical to the pre-status format.
+        if let RowStatus::Failed(err) = &r.status {
+            out.pop();
+            let _ = write!(out, ",\"error\":\"{}\"}}", json_escape(&err.to_string()));
+        }
         out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
@@ -245,6 +267,7 @@ mod tests {
             mismatches: 0,
             miss_rate_percent: 5.0,
             fht_entries: 12,
+            status: RowStatus::Ok,
         }
     }
 
@@ -277,6 +300,33 @@ mod tests {
         assert!(json.contains("\"outcome\":\"max-cycles\",\"exit_code\":null"));
         let csv = to_csv(&[r]);
         assert!(csv.lines().nth(1).unwrap().contains("max-cycles,,"));
+    }
+
+    #[test]
+    fn poisoned_rows_report_their_error_instead_of_the_placeholder() {
+        use cimon_core::SimError;
+        let mut r = row();
+        r.outcome = RunOutcome::Watchdog; // the poisoned-row placeholder
+        r.status = RowStatus::Failed(SimError::WorkerPanic {
+            site: "sweep",
+            message: "boom".to_string(),
+        });
+        let json = to_json(&[r.clone()]);
+        assert!(json.contains("\"outcome\":\"failed-worker-panic\",\"exit_code\":null"));
+        assert!(json.contains("\"error\":\""));
+        let csv = to_csv(&[r]);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains("failed-worker-panic,,"));
+        // A genuinely timed-out row keeps its real outcome.
+        let mut t = row();
+        t.outcome = RunOutcome::Watchdog;
+        t.status = RowStatus::TimedOut;
+        let json = to_json(&[t]);
+        assert!(json.contains("\"outcome\":\"watchdog\",\"exit_code\":null"));
+        assert!(!json.contains("\"error\""));
     }
 
     #[test]

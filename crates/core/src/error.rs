@@ -1,0 +1,173 @@
+//! Typed error taxonomy for the whole simulation stack.
+//!
+//! Every layer above `cimon-core` — the assembler, the hash generator,
+//! the pipeline, the experiment engine, the splice scheduler, and the
+//! fault campaigns — reports recoverable failures through one enum so
+//! callers match on a single type instead of a per-crate zoo. The
+//! variants mirror the failure domains of the harness itself rather
+//! than the monitored program: a program that tampers with its own
+//! image is a *result* (`RunOutcome::Detected`), not an error; a
+//! worker thread that panics or a snapshot that fails its checksum is
+//! an error.
+//!
+//! The enum is deliberately `Clone + PartialEq + Eq` so poisoned
+//! experiment rows can carry their error by value and tests can assert
+//! on exact failures.
+
+use std::fmt;
+
+/// A recoverable failure anywhere in the simulation harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The assembler rejected a source program.
+    Assembly {
+        /// Human-readable assembler diagnostic.
+        message: String,
+    },
+    /// Static hash generation failed (unbounded block, bad layout, ...).
+    HashGen {
+        /// Human-readable hash-generator diagnostic.
+        message: String,
+    },
+    /// The pipeline fetched a word it could not decode.
+    Decode {
+        /// Address of the undecodable word.
+        addr: u32,
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// A memory access fell outside the simulated address space.
+    MemoryBounds {
+        /// The offending address.
+        addr: u32,
+    },
+    /// A snapshot failed its integrity checksum on restore.
+    SnapshotCorrupt {
+        /// Checksum recorded when the snapshot was taken.
+        expected: u32,
+        /// Checksum recomputed over the snapshot at restore time.
+        found: u32,
+    },
+    /// A worker thread panicked; the panic was caught and localised.
+    WorkerPanic {
+        /// Which pool the worker belonged to (`"sweep"`, `"splice"`, ...).
+        site: &'static str,
+        /// Downcast panic payload, or a placeholder for non-string payloads.
+        message: String,
+    },
+    /// A run exhausted its cycle budget (`max_cycles`).
+    CycleBudget {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+    },
+    /// A run exceeded its wall-clock deadline and was stopped by the
+    /// watchdog.
+    Watchdog {
+        /// The deadline that was exceeded, in milliseconds.
+        max_wall_ms: u64,
+    },
+    /// A configuration was rejected before any simulation ran.
+    InvalidConfig {
+        /// Human-readable validation diagnostic.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Assembly { message } => write!(f, "assembly failed: {message}"),
+            SimError::HashGen { message } => write!(f, "hash generation failed: {message}"),
+            SimError::Decode { addr, word } => {
+                write!(f, "undecodable word {word:#010x} at {addr:#010x}")
+            }
+            SimError::MemoryBounds { addr } => {
+                write!(f, "memory access out of bounds at {addr:#010x}")
+            }
+            SimError::SnapshotCorrupt { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+            ),
+            SimError::WorkerPanic { site, message } => {
+                write!(f, "worker panic in {site} pool: {message}")
+            }
+            SimError::CycleBudget { max_cycles } => {
+                write!(f, "cycle budget of {max_cycles} exhausted")
+            }
+            SimError::Watchdog { max_wall_ms } => {
+                write!(f, "watchdog fired after {max_wall_ms} ms")
+            }
+            SimError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// Short machine-readable kind tag, stable across payload changes.
+    /// Report writers use this for CSV/JSON status columns.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Assembly { .. } => "assembly",
+            SimError::HashGen { .. } => "hash-gen",
+            SimError::Decode { .. } => "decode",
+            SimError::MemoryBounds { .. } => "memory-bounds",
+            SimError::SnapshotCorrupt { .. } => "snapshot-corrupt",
+            SimError::WorkerPanic { .. } => "worker-panic",
+            SimError::CycleBudget { .. } => "cycle-budget",
+            SimError::Watchdog { .. } => "watchdog",
+            SimError::InvalidConfig { .. } => "invalid-config",
+        }
+    }
+
+    /// Build a [`SimError::WorkerPanic`] from a caught panic payload,
+    /// downcasting the usual `&str` / `String` payloads and falling
+    /// back to a placeholder for exotic ones.
+    pub fn from_panic(site: &'static str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SimError::WorkerPanic { site, message }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let e = SimError::SnapshotCorrupt {
+            expected: 0xdead_beef,
+            found: 0x0bad_f00d,
+        };
+        assert_eq!(
+            e.to_string(),
+            "snapshot checksum mismatch: expected 0xdeadbeef, found 0x0badf00d"
+        );
+        assert_eq!(e.kind(), "snapshot-corrupt");
+    }
+
+    #[test]
+    fn panic_payloads_downcast() {
+        let e = SimError::from_panic("sweep", &"boom");
+        assert_eq!(
+            e,
+            SimError::WorkerPanic {
+                site: "sweep",
+                message: "boom".to_string()
+            }
+        );
+        let e = SimError::from_panic("splice", &("dynamic".to_string()));
+        assert_eq!(e.kind(), "worker-panic");
+        let e = SimError::from_panic("campaign", &42_u32);
+        assert!(
+            matches!(e, SimError::WorkerPanic { message, .. } if message.contains("non-string"))
+        );
+    }
+}

@@ -30,13 +30,18 @@
 //! The checker is micro-architecture-agnostic: `cimon-pipeline` drives it
 //! through the micro-op environment, and unit tests drive it directly.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod block;
 pub mod checker;
+pub mod error;
 pub mod hash;
 pub mod iht;
 
 pub use block::{BlockKey, BlockRecord};
 pub use checker::{Cic, CicConfig, CicStats};
+pub use error::SimError;
 pub use hash::{hasher_for, BlockHasher, HashAlgo};
 pub use iht::{Iht, LookupOutcome};
 

@@ -1,11 +1,15 @@
 //! Monte-Carlo fault campaigns with detection classification.
 //!
 //! Campaigns execute on the experiment engine's worker pool
-//! ([`cimon_sim::engine::parallel_map`]): fault plans are drawn
-//! serially from one seeded RNG stream — so a campaign's plan sequence
-//! is identical to the historical serial loop — and the (independent)
-//! faulted runs then execute in parallel with deterministic result
-//! ordering.
+//! ([`cimon_sim::engine::parallel_map_isolated`]): fault plans are
+//! drawn serially from one seeded RNG stream — so a campaign's plan
+//! sequence is identical to the historical serial loop — and the
+//! (independent) faulted runs then execute in parallel with
+//! deterministic result ordering. Each run is panic-isolated: a worker
+//! that dies takes only its own plan with it, counted in
+//! [`CampaignResult::quarantined`]. Runs stopped by the wall-clock
+//! watchdog ([`CampaignConfig::max_wall`]) are retried once from their
+//! checkpoint and quarantined if they time out again.
 //!
 //! # Checkpoint-restart
 //!
@@ -29,15 +33,17 @@
 //! itself to).
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use cimon_core::CicConfig;
+use cimon_core::{CicConfig, SimError};
 use cimon_mem::{Memory, ProgramImage};
 use cimon_os::FullHashTable;
 use cimon_pipeline::{
     BlockCache, BlockExec, ConsoleEvent, Predecode, PredecodedImage, Processor, ProcessorConfig,
     ProcessorSnapshot, RunOutcome,
 };
-use cimon_sim::engine::{default_workers, parallel_map};
+use cimon_sim::chaos;
+use cimon_sim::engine::{default_workers, parallel_map_isolated};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,6 +121,11 @@ pub enum Outcome {
     /// The program neither finished nor tripped a check within the cycle
     /// budget.
     Hung,
+    /// The run could not be classified: its worker panicked, or the
+    /// wall-clock watchdog stopped it twice in a row. Quarantined runs
+    /// are counted but never contribute to coverage — the campaign
+    /// degrades instead of hanging or crashing.
+    Quarantined,
 }
 
 /// Campaign parameters.
@@ -133,6 +144,11 @@ pub struct CampaignConfig {
     pub targets: Vec<u32>,
     /// Cycle budget per faulted run.
     pub max_cycles: u64,
+    /// Wall-clock watchdog per faulted run (`None` disables it). A run
+    /// the watchdog stops is retried once from its checkpoint, then
+    /// quarantined ([`CampaignResult::quarantined`]) — one pathological
+    /// plan can no longer stall a whole campaign.
+    pub max_wall: Option<Duration>,
 }
 
 /// Aggregated campaign counts.
@@ -148,6 +164,10 @@ pub struct CampaignResult {
     pub silent: usize,
     /// Hung runs.
     pub hung: usize,
+    /// Runs that could not be classified: worker panic, or stopped by
+    /// the wall-clock watchdog twice (once from scratch, once on the
+    /// checkpoint retry).
+    pub quarantined: usize,
     /// Cycles the checkpoint-restart path did not have to re-simulate:
     /// clean prefixes reused from the reference run's snapshots, plus
     /// whole runs classified from the reference alone (flips in code
@@ -157,16 +177,23 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Total runs.
+    /// Total runs (quarantined ones included).
     pub fn total(&self) -> usize {
-        self.detected_monitor + self.detected_baseline + self.masked + self.silent + self.hung
+        self.detected_monitor
+            + self.detected_baseline
+            + self.masked
+            + self.silent
+            + self.hung
+            + self.quarantined
     }
 
     /// Detection coverage over *effective* faults: detected / (total −
-    /// masked). Masked faults changed nothing observable, so no monitor
-    /// could or should flag them.
+    /// masked − quarantined). Masked faults changed nothing observable,
+    /// so no monitor could or should flag them; quarantined runs were
+    /// never classified, so they can neither prove nor disprove
+    /// coverage.
     pub fn coverage_percent(&self) -> f64 {
-        let effective = self.total() - self.masked;
+        let effective = self.total() - self.masked - self.quarantined;
         if effective == 0 {
             100.0
         } else {
@@ -183,13 +210,15 @@ impl CampaignResult {
         }
     }
 
-    fn record(&mut self, outcome: Outcome) {
+    /// Tally one classified outcome.
+    pub fn record(&mut self, outcome: Outcome) {
         match outcome {
             Outcome::DetectedByMonitor => self.detected_monitor += 1,
             Outcome::DetectedByBaseline => self.detected_baseline += 1,
             Outcome::Masked => self.masked += 1,
             Outcome::SilentCorruption => self.silent += 1,
             Outcome::Hung => self.hung += 1,
+            Outcome::Quarantined => self.quarantined += 1,
         }
     }
 }
@@ -314,19 +343,21 @@ impl Campaign {
 
     /// A monitored processor over the campaign's shared caches.
     fn processor(&self, fht: &Arc<FullHashTable>, max_cycles: u64) -> Processor {
-        self.processor_with(fht, max_cycles, false)
+        self.processor_with(fht, max_cycles, None, false)
     }
 
     fn processor_with(
         &self,
         fht: &Arc<FullHashTable>,
         max_cycles: u64,
+        max_wall: Option<Duration>,
         record_blocks: bool,
     ) -> Processor {
         Processor::new(
             &self.image,
             ProcessorConfig {
                 max_cycles,
+                max_wall,
                 record_blocks,
                 predecode: Predecode::Shared(self.predecoded.clone()),
                 block_exec: BlockExec::Shared(self.blocks.clone()),
@@ -343,7 +374,12 @@ impl Campaign {
     fn build_checkpoints(&self, instructions: u64) -> Option<Checkpoints> {
         const WINDOWS: u64 = 8;
         let interval = (instructions / WINDOWS).max(1);
-        let mut cpu = self.processor_with(&self.fht, ProcessorConfig::baseline().max_cycles, true);
+        let mut cpu = self.processor_with(
+            &self.fht,
+            ProcessorConfig::baseline().max_cycles,
+            None,
+            true,
+        );
         let text_epoch = cpu.mem().dense_epoch();
         let mut snaps = Vec::new();
         let mut snap_cycles = Vec::new();
@@ -395,7 +431,18 @@ impl Campaign {
 
     /// Run one faulted execution and classify it.
     pub fn run_one(&self, plan: &FaultPlan, max_cycles: u64) -> Outcome {
-        let mut cpu = self.processor(&self.fht, max_cycles);
+        self.run_one_walled(plan, max_cycles, None)
+    }
+
+    /// [`Campaign::run_one`] with the wall-clock watchdog armed; a run
+    /// it stops classifies as [`Outcome::Quarantined`].
+    fn run_one_walled(
+        &self,
+        plan: &FaultPlan,
+        max_cycles: u64,
+        max_wall: Option<Duration>,
+    ) -> Outcome {
+        let mut cpu = self.processor_with(&self.fht, max_cycles, max_wall, false);
         match plan.site {
             FaultSite::StoredImage => {
                 for f in &plan.flips {
@@ -419,9 +466,14 @@ impl Campaign {
     /// carries the complete run state (timing included), so budget
     /// interrupts, console output, and detection all land on the same
     /// cycle as a from-scratch faulted run.
-    fn run_one_restarted(&self, plan: &FaultPlan, max_cycles: u64) -> (Outcome, u64) {
+    fn run_one_restarted(
+        &self,
+        plan: &FaultPlan,
+        max_cycles: u64,
+        max_wall: Option<Duration>,
+    ) -> (Outcome, u64) {
         let Some(cp) = &self.checkpoints else {
-            return (self.run_one(plan, max_cycles), 0);
+            return (self.run_one_walled(plan, max_cycles, max_wall), 0);
         };
         match cp.plan_window(plan) {
             // The clean run never fetches or hashes any flipped word,
@@ -429,7 +481,7 @@ impl Campaign {
             // exits identically within the budget, or hangs on it.
             None if cp.reference_cycles <= max_cycles => (Outcome::Masked, cp.reference_cycles),
             None => (Outcome::Hung, max_cycles),
-            Some(0) => (self.run_one(plan, max_cycles), 0),
+            Some(0) => (self.run_one_walled(plan, max_cycles, max_wall), 0),
             Some(w) => {
                 let saved = cp.snap_cycles[w - 1];
                 if saved > max_cycles {
@@ -437,8 +489,12 @@ impl Campaign {
                     // before the flips can activate.
                     return (Outcome::Hung, max_cycles);
                 }
-                let mut cpu = self.processor_with(&self.fht, max_cycles, true);
-                cpu.restore(&cp.snaps[w - 1]);
+                let mut cpu = self.processor_with(&self.fht, max_cycles, max_wall, true);
+                if cpu.restore(&cp.snaps[w - 1]).is_err() {
+                    // A corrupted checkpoint must never change the
+                    // classification: degrade to a from-scratch run.
+                    return (self.run_one_walled(plan, max_cycles, max_wall), 0);
+                }
                 match plan.site {
                     FaultSite::StoredImage => {
                         for f in &plan.flips {
@@ -466,15 +522,27 @@ impl Campaign {
     /// (masked, different output, hung, baseline fault), not an
     /// integrity kill for blocks whose table entry was updated.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan targets the fetch bus — in-flight transients
-    /// are not code updates and have no table to re-hash.
-    pub fn run_one_rehashed(&self, plan: &FaultPlan, max_cycles: u64) -> Outcome {
-        assert!(
-            plan.site == FaultSite::StoredImage,
-            "re-hash campaigns model stored-image patches"
-        );
+    /// [`SimError::InvalidConfig`] if the plan targets the fetch bus —
+    /// in-flight transients are not code updates and have no table to
+    /// re-hash.
+    pub fn run_one_rehashed(&self, plan: &FaultPlan, max_cycles: u64) -> Result<Outcome, SimError> {
+        if plan.site != FaultSite::StoredImage {
+            return Err(SimError::InvalidConfig {
+                message: "re-hash campaigns model stored-image patches".into(),
+            });
+        }
+        Ok(self.rehashed_outcome(plan, max_cycles, None))
+    }
+
+    /// [`Campaign::run_one_rehashed`] after site validation.
+    fn rehashed_outcome(
+        &self,
+        plan: &FaultPlan,
+        max_cycles: u64,
+        max_wall: Option<Duration>,
+    ) -> Outcome {
         let (patched_fht, _) = rehash_after(
             &self.fht,
             &self.clean_mem,
@@ -482,7 +550,7 @@ impl Campaign {
             self.cic.hash_algo,
             self.cic.hash_seed,
         );
-        let mut cpu = self.processor(&Arc::new(patched_fht), max_cycles);
+        let mut cpu = self.processor_with(&Arc::new(patched_fht), max_cycles, max_wall, false);
         for f in &plan.flips {
             f.apply_to_memory(cpu.mem_mut());
         }
@@ -495,6 +563,7 @@ impl Campaign {
             RunOutcome::Detected { .. } => Outcome::DetectedByMonitor,
             RunOutcome::Fault(_) => Outcome::DetectedByBaseline,
             RunOutcome::MaxCycles => Outcome::Hung,
+            RunOutcome::Watchdog => Outcome::Quarantined,
             RunOutcome::Exited { .. } => {
                 if outcome == self.reference.0 && console == self.reference.1 {
                     Outcome::Masked
@@ -518,7 +587,11 @@ impl Campaign {
     }
 
     /// Run a full campaign on the engine's worker pool.
-    pub fn run(&self, config: &CampaignConfig) -> CampaignResult {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `config.targets` is empty.
+    pub fn run(&self, config: &CampaignConfig) -> Result<CampaignResult, SimError> {
         self.run_with_workers(config, default_workers())
     }
 
@@ -531,41 +604,92 @@ impl Campaign {
     /// activate is re-simulated, and the skipped prefix cycles are
     /// reported in [`CampaignResult::saved_cycles`]. Classifications
     /// are identical to from-scratch runs ([`Campaign::run_one`]).
-    pub fn run_with_workers(&self, config: &CampaignConfig, workers: usize) -> CampaignResult {
-        assert!(
-            !config.targets.is_empty(),
-            "campaign needs target addresses"
-        );
+    ///
+    /// Workers are panic-isolated: a plan whose run panics is counted
+    /// in [`CampaignResult::quarantined`] and every other plan is
+    /// classified normally. Runs the wall-clock watchdog stops are
+    /// retried once from their checkpoint before being quarantined.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `config.targets` is empty.
+    pub fn run_with_workers(
+        &self,
+        config: &CampaignConfig,
+        workers: usize,
+    ) -> Result<CampaignResult, SimError> {
+        if config.targets.is_empty() {
+            return Err(SimError::InvalidConfig {
+                message: "campaign needs target addresses".into(),
+            });
+        }
         let plans = self.plans(config);
-        let outcomes = parallel_map(&plans, workers, |_, plan| {
-            self.run_one_restarted(plan, config.max_cycles)
+        let outcomes = parallel_map_isolated(&plans, workers, "campaign", |i, plan| {
+            chaos::maybe_panic("campaign", i);
+            let first = self.run_one_restarted(plan, config.max_cycles, config.max_wall);
+            if first.0 != Outcome::Quarantined {
+                return first;
+            }
+            // The watchdog fired — maybe a transient stall (scheduler,
+            // page cache). Retry once from the checkpoint; quarantine
+            // only if the run times out again.
+            let retry = self.run_one_restarted(plan, config.max_cycles, config.max_wall);
+            if retry.0 != Outcome::Quarantined {
+                retry
+            } else {
+                first
+            }
         });
         let mut result = CampaignResult::default();
-        for (outcome, saved) in outcomes {
-            result.record(outcome);
-            result.saved_cycles += saved;
+        for outcome in outcomes {
+            match outcome {
+                Ok((outcome, saved)) => {
+                    result.record(outcome);
+                    result.saved_cycles += saved;
+                }
+                // The worker panicked: the plan is lost but the
+                // campaign is not.
+                Err(_) => result.quarantined += 1,
+            }
         }
-        result
+        Ok(result)
     }
 
     /// Run a full *authorised-patch* campaign on the worker pool: the
     /// same seeded plans as [`Campaign::run`], but each run's FHT is
     /// incrementally re-hashed for its flips first (see
     /// [`Campaign::run_one_rehashed`]). Stored-image sites only.
-    pub fn run_rehashed(&self, config: &CampaignConfig) -> CampaignResult {
-        assert!(
-            !config.targets.is_empty(),
-            "campaign needs target addresses"
-        );
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `config.targets` is empty or
+    /// the site is not [`FaultSite::StoredImage`].
+    pub fn run_rehashed(&self, config: &CampaignConfig) -> Result<CampaignResult, SimError> {
+        if config.targets.is_empty() {
+            return Err(SimError::InvalidConfig {
+                message: "campaign needs target addresses".into(),
+            });
+        }
+        if config.site != FaultSite::StoredImage {
+            return Err(SimError::InvalidConfig {
+                message: "re-hash campaigns model stored-image patches".into(),
+            });
+        }
         let plans = self.plans(config);
-        let outcomes = parallel_map(&plans, default_workers(), |_, plan| {
-            self.run_one_rehashed(plan, config.max_cycles)
+        let outcomes = parallel_map_isolated(&plans, default_workers(), "campaign-rehash", {
+            |i, plan| {
+                chaos::maybe_panic("campaign-rehash", i);
+                self.rehashed_outcome(plan, config.max_cycles, config.max_wall)
+            }
         });
         let mut result = CampaignResult::default();
         for outcome in outcomes {
-            result.record(outcome);
+            match outcome {
+                Ok(outcome) => result.record(outcome),
+                Err(_) => result.quarantined += 1,
+            }
         }
-        result
+        Ok(result)
     }
 }
 
@@ -613,14 +737,17 @@ mod tests {
     #[test]
     fn single_bit_faults_are_always_caught_or_masked() {
         let (c, targets) = setup(HashAlgoKind::Xor);
-        let result = c.run(&CampaignConfig {
-            runs: 120,
-            seed: 42,
-            model: FaultModel::SingleBit,
-            site: FaultSite::StoredImage,
-            targets,
-            max_cycles: 60_000,
-        });
+        let result = c
+            .run(&CampaignConfig {
+                runs: 120,
+                seed: 42,
+                model: FaultModel::SingleBit,
+                site: FaultSite::StoredImage,
+                targets,
+                max_cycles: 60_000,
+                max_wall: None,
+            })
+            .unwrap();
         assert_eq!(result.total(), 120);
         // XOR detects every single-bit flip in executed code; flips can
         // still hang the run (corrupted branch targets) but can never be
@@ -632,23 +759,29 @@ mod tests {
     #[test]
     fn same_column_pairs_defeat_xor_but_not_crc() {
         let (cx, tx) = setup(HashAlgoKind::Xor);
-        let xor = cx.run(&CampaignConfig {
-            runs: 80,
-            seed: 7,
-            model: FaultModel::SameColumnPair,
-            site: FaultSite::StoredImage,
-            targets: tx,
-            max_cycles: 60_000,
-        });
+        let xor = cx
+            .run(&CampaignConfig {
+                runs: 80,
+                seed: 7,
+                model: FaultModel::SameColumnPair,
+                site: FaultSite::StoredImage,
+                targets: tx,
+                max_cycles: 60_000,
+                max_wall: None,
+            })
+            .unwrap();
         let (cc, tc) = setup(HashAlgoKind::Crc32);
-        let crc = cc.run(&CampaignConfig {
-            runs: 80,
-            seed: 7,
-            model: FaultModel::SameColumnPair,
-            site: FaultSite::StoredImage,
-            targets: tc,
-            max_cycles: 60_000,
-        });
+        let crc = cc
+            .run(&CampaignConfig {
+                runs: 80,
+                seed: 7,
+                model: FaultModel::SameColumnPair,
+                site: FaultSite::StoredImage,
+                targets: tc,
+                max_cycles: 60_000,
+                max_wall: None,
+            })
+            .unwrap();
         // CRC-32 never lets a same-column pair through silently.
         assert_eq!(crc.silent, 0, "{crc:?}");
         // XOR coverage cannot exceed CRC coverage on this model.
@@ -658,14 +791,17 @@ mod tests {
     #[test]
     fn bus_transients_are_detected() {
         let (c, targets) = setup(HashAlgoKind::Xor);
-        let result = c.run(&CampaignConfig {
-            runs: 100,
-            seed: 3,
-            model: FaultModel::SingleBit,
-            site: FaultSite::FetchBus(BusFaultMode::OneShot),
-            targets,
-            max_cycles: 60_000,
-        });
+        let result = c
+            .run(&CampaignConfig {
+                runs: 100,
+                seed: 3,
+                model: FaultModel::SingleBit,
+                site: FaultSite::FetchBus(BusFaultMode::OneShot),
+                targets,
+                max_cycles: 60_000,
+                max_wall: None,
+            })
+            .unwrap();
         assert_eq!(result.silent, 0, "{result:?}");
         assert!(result.detected_monitor + result.detected_baseline > 0);
     }
@@ -680,8 +816,9 @@ mod tests {
             site: FaultSite::StoredImage,
             targets,
             max_cycles: 60_000,
+            max_wall: None,
         };
-        assert_eq!(c.run(&cfg), c.run(&cfg));
+        assert_eq!(c.run(&cfg).unwrap(), c.run(&cfg).unwrap());
     }
 
     /// From-scratch oracle: every plan through [`Campaign::run_one`].
@@ -695,7 +832,7 @@ mod tests {
 
     #[track_caller]
     fn assert_matches_scratch(c: &Campaign, cfg: &CampaignConfig) -> CampaignResult {
-        let restarted = c.run_with_workers(cfg, 2);
+        let restarted = c.run_with_workers(cfg, 2).unwrap();
         let scratch = scratch_result(c, cfg);
         assert_eq!(
             CampaignResult {
@@ -725,6 +862,7 @@ mod tests {
                     site,
                     targets: targets.clone(),
                     max_cycles: 60_000,
+                    max_wall: None,
                 },
             );
             total_saved += r.saved_cycles;
@@ -746,6 +884,7 @@ mod tests {
                 site: FaultSite::StoredImage,
                 targets,
                 max_cycles: 10,
+                max_wall: None,
             },
         );
     }
@@ -763,6 +902,7 @@ mod tests {
             site: FaultSite::StoredImage,
             targets: vec![entry + 20, entry + 24, entry + 28],
             max_cycles: 60_000,
+            max_wall: None,
         };
         let r = assert_matches_scratch(&c, &cfg);
         // Every plan lands in the last window, so every run skipped a
@@ -799,6 +939,7 @@ mod tests {
             site: FaultSite::StoredImage,
             targets: vec![dead, dead + 4, dead + 8],
             max_cycles: 60_000,
+            max_wall: None,
         };
         let r = assert_matches_scratch(&c, &cfg);
         assert_eq!(r.masked, 25, "{r:?}");
@@ -837,6 +978,7 @@ mod tests {
                 site: FaultSite::StoredImage,
                 targets: (lo..hi).step_by(4).collect(),
                 max_cycles: 60_000,
+                max_wall: None,
             },
         );
         assert_eq!(r.saved_cycles, 0);
@@ -852,9 +994,10 @@ mod tests {
             site: FaultSite::StoredImage,
             targets,
             max_cycles: 60_000,
+            max_wall: None,
         };
-        let serial = c.run_with_workers(&cfg, 1);
-        let parallel = c.run_with_workers(&cfg, 8);
+        let serial = c.run_with_workers(&cfg, 1).unwrap();
+        let parallel = c.run_with_workers(&cfg, 8).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial.total(), 40);
     }
@@ -902,7 +1045,7 @@ mod tests {
         // Unpatched: the monitor detects the tamper.
         assert_eq!(c.run_one(&plan, 60_000), Outcome::DetectedByMonitor);
         // Patched (table re-hashed): no monitor detection.
-        let out = c.run_one_rehashed(&plan, 60_000);
+        let out = c.run_one_rehashed(&plan, 60_000).unwrap();
         assert_ne!(out, Outcome::DetectedByMonitor, "{out:?}");
     }
 
@@ -916,9 +1059,10 @@ mod tests {
             site: FaultSite::StoredImage,
             targets,
             max_cycles: 60_000,
+            max_wall: None,
         };
-        let tampered = c.run(&cfg);
-        let patched = c.run_rehashed(&cfg);
+        let tampered = c.run(&cfg).unwrap();
+        let patched = c.run_rehashed(&cfg).unwrap();
         assert_eq!(patched.total(), 60);
         // Re-hashing can only reduce monitor kills: every flip whose
         // dynamic blocks exist in the static table now matches it.
@@ -932,24 +1076,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stored-image patches")]
-    fn rehashed_bus_plans_panic() {
+    fn rehashed_bus_plans_are_rejected() {
         let (c, _) = setup(HashAlgoKind::Xor);
         let plan = FaultPlan::bus_transient(0x0040_0000, 1);
-        c.run_one_rehashed(&plan, 1000);
+        let err = c.run_one_rehashed(&plan, 1000).unwrap_err();
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("stored-image patches"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "target addresses")]
-    fn empty_targets_panic() {
+    fn empty_targets_are_rejected() {
         let (c, _) = setup(HashAlgoKind::Xor);
-        c.run(&CampaignConfig {
-            runs: 1,
-            seed: 0,
+        let err = c
+            .run(&CampaignConfig {
+                runs: 1,
+                seed: 0,
+                model: FaultModel::SingleBit,
+                site: FaultSite::StoredImage,
+                targets: vec![],
+                max_cycles: 1000,
+                max_wall: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("target addresses"), "{err}");
+    }
+
+    #[test]
+    fn zero_wall_budget_quarantines_instead_of_hanging() {
+        // A loop long enough to cross the watchdog poll stride
+        // (65 536 retired instructions), targeting only the exit
+        // sequence so every plan restores a late checkpoint and trips
+        // the (already expired) deadline on its first poll.
+        let src = "
+            .text
+        main:
+            li   $t0, 40000
+        loop:
+            addiu $t0, $t0, -1
+            bnez $t0, loop
+        exit:
+            li   $a0, 1
+            li   $v0, 10
+            syscall
+        ";
+        let prog = assemble(src).unwrap();
+        let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
+        let exit = prog.symbols.get("exit").unwrap();
+        let c = Campaign::new(prog.image, CicConfig::default(), fht);
+        assert!(matches!(c.reference_outcome(), RunOutcome::Exited { .. }));
+        let cfg = CampaignConfig {
+            runs: 6,
+            seed: 9,
             model: FaultModel::SingleBit,
             site: FaultSite::StoredImage,
-            targets: vec![],
-            max_cycles: 1000,
-        });
+            targets: vec![exit, exit + 4, exit + 8],
+            max_cycles: 60_000_000,
+            max_wall: Some(Duration::ZERO),
+        };
+        let r = c.run_with_workers(&cfg, 2).unwrap();
+        assert_eq!(r.total(), cfg.runs);
+        assert_eq!(r.quarantined, cfg.runs, "{r:?}");
+        // The same campaign without the watchdog classifies every run.
+        let unwalled = c
+            .run_with_workers(
+                &CampaignConfig {
+                    max_wall: None,
+                    ..cfg
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!(unwalled.quarantined, 0, "{unwalled:?}");
+        assert_eq!(unwalled.total(), 6);
     }
 }

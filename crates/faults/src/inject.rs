@@ -30,9 +30,11 @@ impl BitFlip {
 
     /// Apply the flip to a stored image in memory.
     pub fn apply_to_memory(&self, mem: &mut Memory) {
-        let word = mem.read_u32(self.addr).expect("aligned by construction");
+        let word = mem
+            .read_u32(self.addr)
+            .unwrap_or_else(|_| unreachable!("aligned by construction"));
         mem.write_u32(self.addr, word ^ self.mask())
-            .expect("aligned by construction");
+            .unwrap_or_else(|_| unreachable!("aligned by construction"));
     }
 }
 

@@ -22,6 +22,9 @@
 //! authorised-patch campaign re-hashes one block per flip instead of
 //! the whole image.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod campaign;
 pub mod inject;
 pub mod rehash;

@@ -91,12 +91,10 @@ pub fn rehash_after(
                     // the re-hash cost is the batched hash unit, not a
                     // per-word call chain.
                     words.clear();
-                    words.extend(
-                        record
-                            .key
-                            .addresses()
-                            .map(|a| mem.read_u32(a).expect("block addresses are aligned")),
-                    );
+                    words.extend(record.key.addresses().map(|a| {
+                        mem.read_u32(a)
+                            .unwrap_or_else(|_| unreachable!("block addresses are aligned"))
+                    }));
                     for f in flips.iter().filter(|f| {
                         record.key.start <= f.addr && f.addr <= record.key.end && f.addr % 4 == 0
                     }) {

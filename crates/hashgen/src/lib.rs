@@ -26,6 +26,9 @@
 //! fall-through, or labelled text address), paired with the first
 //! control-flow instruction that follows it.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -70,6 +73,19 @@ impl fmt::Display for HashGenError {
 }
 
 impl std::error::Error for HashGenError {}
+
+impl From<HashGenError> for cimon_core::SimError {
+    fn from(e: HashGenError) -> Self {
+        match e {
+            HashGenError::UndecodableWord { addr, word } => {
+                cimon_core::SimError::Decode { addr, word }
+            }
+            HashGenError::EmptyText => cimon_core::SimError::HashGen {
+                message: e.to_string(),
+            },
+        }
+    }
+}
 
 /// Report accompanying a statically generated FHT.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -204,11 +220,10 @@ pub fn trace_fht(
             continue;
         }
         words.clear();
-        words.extend(
-            ev.key
-                .addresses()
-                .map(|a| mem.read_u32(a).expect("aligned")),
-        );
+        words.extend(ev.key.addresses().map(|a| {
+            mem.read_u32(a)
+                .unwrap_or_else(|_| unreachable!("block addresses are aligned"))
+        }));
         fht.insert(BlockRecord {
             key: ev.key,
             hash: hash_block(algo, seed, &words),

@@ -29,6 +29,9 @@
 //! assert_eq!(add.to_string(), "add $t2, $t0, $t1");
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod decode;
 pub mod disasm;
 pub mod encode;

@@ -10,6 +10,9 @@
 //! caught. [`FetchBus`] therefore exposes a tap point ([`BusTap`]) where
 //! the fault-injection framework can corrupt words in flight.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod image;
 pub mod memory;
 

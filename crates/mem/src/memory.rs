@@ -179,6 +179,34 @@ impl Memory {
         }
     }
 
+    /// Visit every resident word of memory in a deterministic order:
+    /// the dense region first, then each sparse page in ascending page
+    /// number, its page number fed to the visitor before its contents.
+    ///
+    /// Snapshot checksums are built on this: the iteration order is
+    /// independent of the `HashMap` seed and of the order pages were
+    /// touched, so two memories with identical contents always produce
+    /// the same word stream.
+    pub fn visit_resident_words(&self, mut visit: impl FnMut(u32)) {
+        if let Some((base, bytes)) = self.dense_region() {
+            visit(base);
+            for chunk in bytes.chunks(4) {
+                let mut word = [0u8; 4];
+                word[..chunk.len()].copy_from_slice(chunk);
+                visit(u32::from_le_bytes(word));
+            }
+        }
+        let mut keys: Vec<u32> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            visit(key);
+            let page = &self.pages[&key];
+            for chunk in page.chunks_exact(4) {
+                visit(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+        }
+    }
+
     /// Offset of `addr` into the dense region, if it falls inside.
     #[inline]
     fn dense_off(&self, addr: u32) -> Option<usize> {
@@ -206,7 +234,7 @@ impl Memory {
         if Arc::get_mut(&mut self.dense).is_none() {
             self.dense = Arc::from(self.dense.to_vec());
         }
-        Arc::get_mut(&mut self.dense).expect("unshared after clone")
+        Arc::get_mut(&mut self.dense).unwrap_or_else(|| unreachable!("unshared after clone"))
     }
 
     /// Read one byte. Never fails; untouched memory is zero.
@@ -294,7 +322,10 @@ impl Memory {
         if let Some(off) = self.dense_off(addr) {
             // One range check for all four bytes: the fetch fast path.
             if let Some(b) = self.dense.get(off..off + 4) {
-                return Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")));
+                return Ok(u32::from_le_bytes(
+                    b.try_into()
+                        .unwrap_or_else(|_| unreachable!("4-byte slice")),
+                ));
             }
         }
         // Aligned words never straddle a page: one probe.

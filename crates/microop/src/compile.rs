@@ -123,7 +123,8 @@ impl CompiledProgram {
                     wires.len() - 1
                 }
             };
-            u16::try_from(i).expect("micro-program wire count fits in u16")
+            u16::try_from(i)
+                .unwrap_or_else(|_| unreachable!("micro-program wire count fits in u16"))
         };
         let guard = |g: &Guard, wires: &mut Vec<Wire>| CompiledGuard {
             slot: slot(g.wire, wires),

@@ -35,6 +35,9 @@
 //! monitored.validate().expect("well-formed spec");
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod compile;
 pub mod datapath;
 pub mod exec;

@@ -19,6 +19,9 @@
 //! *application-managed* scheme (IMPRES-style instrumentation) the paper
 //! argues against, for the A3 comparison bench.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod appmanaged;
 pub mod fht;
 pub mod kernel;

@@ -44,6 +44,9 @@
 //! assert_eq!(outcome, RunOutcome::Exited { code: 15 }); // 5+4+3+2+1
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod blockexec;
 pub mod monitor;
 pub mod predecode;

@@ -3,8 +3,10 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use cimon_core::{BlockKey, Cic, CicConfig, CicStats};
+use cimon_core::hash::{BlockHasher, HashAlgo};
+use cimon_core::{BlockKey, Cic, CicConfig, CicStats, HashAlgoKind, SimError};
 use cimon_isa::{semantics, Funct, IOpcode, Instr, Reg, Syscall, INSTR_BYTES};
 use cimon_mem::{FetchBus, Memory, ProgramImage};
 use cimon_microop::{
@@ -139,6 +141,14 @@ pub struct ProcessorConfig {
     /// Safety limit: the run aborts with [`RunOutcome::MaxCycles`]
     /// beyond this many cycles (runaway protection for fault campaigns).
     pub max_cycles: u64,
+    /// Wall-clock watchdog: the run aborts with
+    /// [`RunOutcome::Watchdog`] once this much real time has elapsed
+    /// since construction (or since [`Processor::set_max_wall`]
+    /// re-armed it). `None` — the default — disables the watchdog and
+    /// costs nothing on the hot path: the deadline is only polled every
+    /// `WATCHDOG_STRIDE` (2^16) retired instructions, and not at all
+    /// when unarmed.
+    pub max_wall: Option<Duration>,
     /// Record executed basic-block boundaries (used by the trace-based
     /// hash generator; costs memory on long runs).
     pub record_blocks: bool,
@@ -172,6 +182,7 @@ impl ProcessorConfig {
             monitor: None,
             timing: TimingConfig::default(),
             max_cycles: 200_000_000,
+            max_wall: None,
             record_blocks: false,
             predecode: Predecode::Auto,
             block_exec: BlockExec::Auto,
@@ -261,6 +272,11 @@ pub enum RunOutcome {
     Fault(FaultKind),
     /// The safety cycle limit was reached.
     MaxCycles,
+    /// The wall-clock watchdog ([`ProcessorConfig::max_wall`]) fired:
+    /// the run took too much real time, independent of simulated
+    /// cycles. Campaigns and sweeps classify this as a timed-out row
+    /// rather than an architectural result.
+    Watchdog,
 }
 
 /// Aggregate statistics of a run.
@@ -403,12 +419,15 @@ fn run_stage(
         } else {
             spec.id_check_program
                 .as_ref()
-                .expect("check stage implies a check program")
+                .unwrap_or_else(|| unreachable!("check stage implies a check program"))
         };
         env.recording = Some(crosscheck::Recording::default());
         let mut dp_threaded = dp.clone();
         execute_threaded(&stage.threaded, &mut dp_threaded, env, slots);
-        let recording = env.recording.take().expect("recording installed above");
+        let recording = env
+            .recording
+            .take()
+            .unwrap_or_else(|| unreachable!("recording installed above"));
 
         // Tier 2: the indexed-wire executor replays the recorded
         // answers over a copy of the entry datapath.
@@ -437,6 +456,11 @@ fn run_stage(
 }
 
 /// Record/replay support backing the `interp-check` feature.
+// Allow-listed exception: this module *is* assertion machinery — a
+// replayed tier consuming more answers than the threaded pass recorded
+// is exactly the divergence the feature exists to catch, and the
+// `expect` messages are its diagnostics.
+#[allow(clippy::expect_used)]
 #[cfg(feature = "interp-check")]
 mod crosscheck {
     use super::ExceptionKind;
@@ -681,12 +705,46 @@ pub struct ProcessorSnapshot {
     validated: Vec<u64>,
     live_in_skip: Vec<u8>,
     chain_from: Option<(u32, bool)>,
+    /// CRC-32 over the architectural core of the checkpoint (registers,
+    /// HI/LO, PC, counters, and every resident memory word), recorded
+    /// at capture time and re-verified by [`Processor::restore`].
+    checksum: u32,
 }
 
 impl ProcessorSnapshot {
     /// Instructions retired at the checkpoint.
     pub fn instret(&self) -> u64 {
         self.instret
+    }
+
+    /// The integrity checksum recorded when the snapshot was taken.
+    pub fn checksum(&self) -> u32 {
+        self.checksum
+    }
+
+    /// Recompute the integrity checksum over the snapshot's current
+    /// contents. Equal to [`ProcessorSnapshot::checksum`] unless the
+    /// snapshot was corrupted after capture.
+    pub fn compute_checksum(&self) -> u32 {
+        let mut hasher = HashAlgo::new(HashAlgoKind::Crc32, 0);
+        hasher.update_block(&self.regs.snapshot());
+        hasher.update(self.hi);
+        hasher.update(self.lo);
+        hasher.update(self.pc);
+        hasher.update(self.instret as u32);
+        hasher.update((self.instret >> 32) as u32);
+        hasher.update(self.fetch_count as u32);
+        hasher.update((self.fetch_count >> 32) as u32);
+        self.mem.visit_resident_words(|word| hasher.update(word));
+        hasher.digest()
+    }
+
+    /// Flip one bit of the snapshot's captured memory, leaving the
+    /// recorded checksum stale — the fault model of a checkpoint
+    /// corrupted at rest. Restore is guaranteed to notice; the chaos
+    /// harness and the integrity tests are built on this.
+    pub fn corrupt_bit(&mut self, addr: u32, bit: u8) {
+        self.mem.flip_bit(addr, bit);
     }
 
     /// Fetch-bus word count at the checkpoint — the key positional bus
@@ -780,7 +838,18 @@ pub struct Processor {
     blocks: Vec<BlockEvent>,
     shadow_block_start: Option<u32>,
     max_cycles: u64,
+    /// Wall-clock deadline, armed from [`ProcessorConfig::max_wall`].
+    deadline: Option<Instant>,
+    /// Next retired-instruction count at which the deadline is polled —
+    /// `Instant::now` is too expensive to call per dispatch, so the
+    /// watchdog samples the clock every [`WATCHDOG_STRIDE`] retirements.
+    next_watchdog: u64,
 }
+
+/// How many retired instructions pass between wall-clock polls of an
+/// armed watchdog. At simulator throughputs of tens of MIPS this bounds
+/// the overshoot past the deadline to a few milliseconds.
+const WATCHDOG_STRIDE: u64 = 1 << 16;
 
 impl std::fmt::Debug for Processor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -831,7 +900,7 @@ impl Processor {
             Some(params) => {
                 let spec = embed_monitor(&baseline_spec(), &params);
                 spec.validate()
-                    .expect("embedded monitor spec must validate");
+                    .unwrap_or_else(|e| unreachable!("embedded monitor spec must validate: {e}"));
                 spec
             }
         };
@@ -920,6 +989,8 @@ impl Processor {
             blocks: Vec::new(),
             shadow_block_start: None,
             max_cycles: config.max_cycles,
+            deadline: config.max_wall.map(|wall| Instant::now() + wall),
+            next_watchdog: WATCHDOG_STRIDE,
         }
     }
 
@@ -1023,6 +1094,29 @@ impl Processor {
         self.max_cycles = max_cycles;
     }
 
+    /// Arm (or disarm, with `None`) the wall-clock watchdog, measuring
+    /// from now. Splice shards re-arm after restore so every shard gets
+    /// its own deadline rather than inheriting the serial run's.
+    pub fn set_max_wall(&mut self, max_wall: Option<Duration>) {
+        self.deadline = max_wall.map(|wall| Instant::now() + wall);
+        self.next_watchdog = self.instret + WATCHDOG_STRIDE;
+    }
+
+    /// Poll the wall-clock watchdog. Unarmed: one branch. Armed: one
+    /// compare per call, with `Instant::now` sampled only every
+    /// [`WATCHDOG_STRIDE`] retired instructions.
+    #[inline]
+    fn watchdog_fired(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.instret < self.next_watchdog {
+            return false;
+        }
+        self.next_watchdog = self.instret + WATCHDOG_STRIDE;
+        Instant::now() >= deadline
+    }
+
     /// Capture a complete checkpoint of the run in flight. Cheap in the
     /// common case: memory clones copy-on-write, and the dispatch-plane
     /// vectors are proportional to the block count, not the run length
@@ -1033,7 +1127,7 @@ impl Processor {
     }
 
     fn snapshot_with_timing(&self, timing: Timing) -> ProcessorSnapshot {
-        ProcessorSnapshot {
+        let mut snapshot = ProcessorSnapshot {
             dp: self.dp.clone(),
             regs: self.regs.clone(),
             hi: self.hi,
@@ -1053,7 +1147,10 @@ impl Processor {
             validated: self.validated.clone(),
             live_in_skip: self.live_in_skip.clone(),
             chain_from: self.chain_from,
-        }
+            checksum: 0,
+        };
+        snapshot.checksum = snapshot.compute_checksum();
+        snapshot
     }
 
     /// Reinstate a checkpoint taken by [`Processor::snapshot`] (or
@@ -1061,7 +1158,21 @@ impl Processor {
     /// have been built from the same image and [`ProcessorConfig`] as
     /// the one that took the snapshot; configuration (specs, caches,
     /// budget) and any installed bus tap are left untouched.
-    pub fn restore(&mut self, snapshot: &ProcessorSnapshot) {
+    ///
+    /// # Errors
+    ///
+    /// The snapshot's integrity checksum is re-verified before any
+    /// processor state is touched; a snapshot corrupted after capture
+    /// returns [`SimError::SnapshotCorrupt`] and leaves the processor
+    /// exactly as it was.
+    pub fn restore(&mut self, snapshot: &ProcessorSnapshot) -> Result<(), SimError> {
+        let found = snapshot.compute_checksum();
+        if found != snapshot.checksum {
+            return Err(SimError::SnapshotCorrupt {
+                expected: snapshot.checksum,
+                found,
+            });
+        }
         debug_assert_eq!(self.chain.len(), snapshot.chain.len());
         debug_assert_eq!(self.validated.len(), snapshot.validated.len());
         self.dp = snapshot.dp.clone();
@@ -1086,6 +1197,7 @@ impl Processor {
         self.live_in_skip = snapshot.live_in_skip.clone();
         self.chain_from = snapshot.chain_from;
         self.fast = None;
+        Ok(())
     }
 
     /// Run the splice fast pass to completion: functional and monitor
@@ -1118,7 +1230,10 @@ impl Processor {
         let outcome = loop {
             let want_armed = self.instret + margin >= next_target;
             {
-                let fast = self.fast.as_mut().expect("fast pass installed above");
+                let fast = self
+                    .fast
+                    .as_mut()
+                    .unwrap_or_else(|| unreachable!("fast pass installed above"));
                 if want_armed && !fast.armed {
                     // Re-arming after a gap: whatever the ring still
                     // holds is not contiguous with what comes next.
@@ -1134,14 +1249,20 @@ impl Processor {
                 break outcome;
             }
             if self.instret >= next_target {
-                let fast = self.fast.as_mut().expect("fast pass installed above");
+                let fast = self
+                    .fast
+                    .as_mut()
+                    .unwrap_or_else(|| unreachable!("fast pass installed above"));
                 let mut timing = Timing::replay(config, fast.ring.make_contiguous());
                 timing.set_counters(self.instret, fast.stall_cycles);
                 sink(self.snapshot_with_timing(timing));
                 next_target = self.instret + interval;
             }
         };
-        let fast = self.fast.take().expect("fast pass installed above");
+        let fast = self
+            .fast
+            .take()
+            .unwrap_or_else(|| unreachable!("fast pass installed above"));
         FastPassReport {
             outcome,
             timing_dependent: fast.timing_dependent,
@@ -1233,6 +1354,9 @@ impl Processor {
         };
         if over_budget {
             return self.finish(RunOutcome::MaxCycles);
+        }
+        if self.watchdog_fired() {
+            return self.finish(RunOutcome::Watchdog);
         }
 
         let pc = self.pc;
@@ -1393,6 +1517,9 @@ impl Processor {
             // Fast pass: per-dispatch retired-instruction proxy for the
             // suppressed cycle budget (see `FastPassReport::outcome`).
             return self.finish(RunOutcome::MaxCycles);
+        }
+        if self.watchdog_fired() {
+            return self.finish(RunOutcome::Watchdog);
         }
         let pc = self.pc;
 
@@ -1834,7 +1961,7 @@ impl Processor {
         let (key, hash, _found, _matched) = self
             .env
             .last_check
-            .expect("exception implies a lookup happened");
+            .unwrap_or_else(|| unreachable!("exception implies a lookup happened"));
         for i in 0..self.env.exceptions.len() {
             let kind = self.env.exceptions[i];
             match self.env.monitor.resolve(kind, key, hash) {
@@ -2494,7 +2621,7 @@ mod tests {
         let snap = a.snapshot();
         let out_a = a.run();
         let mut b = Processor::new(&prog.image, config);
-        b.restore(&snap);
+        b.restore(&snap).unwrap();
         let out_b = b.run();
         assert_eq!(out_a, out_b);
         assert_eq!(a.stats(), b.stats());
@@ -2561,7 +2688,7 @@ mod tests {
         for i in 0..=snaps.len() {
             let mut shard = Processor::new(&prog.image, config.clone());
             if i > 0 {
-                shard.restore(&snaps[i - 1]);
+                shard.restore(&snaps[i - 1]).unwrap();
             }
             shard.set_max_cycles(u64::MAX);
             let start = shard.timing().last_id();

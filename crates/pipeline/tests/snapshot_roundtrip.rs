@@ -123,7 +123,7 @@ fn assert_round_trip(
     let mut clone = Processor::new(image, config.clone());
     // Deliberately *no* `prepare`: the snapshot must carry the
     // tampered memory itself.
-    clone.restore(&snap);
+    clone.restore(&snap).expect("uncorrupted snapshot restores");
     assert_eq!(clone.instret(), donor.instret());
     assert_eq!(clone.pc(), donor.pc());
 
@@ -174,6 +174,38 @@ proptest! {
         let fht = trace_fht(&prog.image);
         for config in variants(fht) {
             assert_round_trip(&prog.image, &config, cut, None);
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_restore_silently(
+        p in arb_program(),
+        cut in 1u64..400,
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // A snapshot whose memory is bit-flipped after capture must be
+        // rejected by the restore-time integrity checksum — never
+        // silently accepted to produce a divergent run.
+        let prog = assemble(&p.source).expect("generated program assembles");
+        let fht = trace_fht(&prog.image);
+        for config in variants(fht) {
+            let mut donor = Processor::new(&prog.image, config.clone());
+            if donor.run_to_instret(cut).is_some() {
+                continue;
+            }
+            let mut snap = donor.snapshot();
+            let addr = prog.image.text.base
+                + byte_idx.index(prog.image.text.bytes.len()) as u32;
+            snap.corrupt_bit(addr, bit);
+            let mut clone = Processor::new(&prog.image, config.clone());
+            let err = clone.restore(&snap).expect_err("corrupt snapshot must be rejected");
+            prop_assert_eq!(err.kind(), "snapshot-corrupt");
+            // And the rejection happens before any state is adopted:
+            // the clone still restores cleanly from an intact snapshot.
+            let intact = donor.snapshot();
+            clone.restore(&intact).expect("intact snapshot restores");
+            prop_assert_eq!(clone.instret(), donor.instret());
         }
     }
 

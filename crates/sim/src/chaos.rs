@@ -1,0 +1,173 @@
+//! # Self-chaos harness
+//!
+//! The paper's methodology is fault injection: corrupt the monitored
+//! program at seeded random points and check the monitor contains the
+//! damage. This module turns that methodology inward on the simulator
+//! itself — with `CIMON_CHAOS=1` in the environment, the engine layers
+//! inject their own faults at deterministic, seeded points:
+//!
+//! * **worker panics** in sweep and campaign pools
+//!   ([`maybe_panic`]) — exercising `catch_unwind` isolation and
+//!   poisoned-row degradation;
+//! * **artificial shard delays** in the splice replay pool
+//!   ([`maybe_delay`]) — exercising order-independence of the
+//!   deterministic stitch;
+//! * **snapshot bit-flips** before splice shards restore
+//!   ([`maybe_corrupt_snapshot`]) — exercising checksum verification
+//!   and the serial-fallback rung of the degradation ladder.
+//!
+//! Everything is keyed off `(site, index)` with a SplitMix64 mix of the
+//! seed (`CIMON_CHAOS_SEED`, default `0xC1A05`), so a chaos run is
+//! reproducible: the same seed injects the same faults at the same grid
+//! points, and the differential suites can assert that every row *not*
+//! hit by an injection is byte-identical to a clean run.
+//!
+//! With the variable unset the module is a handful of dead branches —
+//! one `OnceLock` read per call site — and injects nothing.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use cimon_pipeline::ProcessorSnapshot;
+
+/// Injection configuration, resolved from the environment once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// One in this many sweep/campaign items panics (0 disables).
+    pub panic_one_in: u64,
+    /// One in this many splice shards sleeps briefly (0 disables).
+    pub delay_one_in: u64,
+    /// One in this many splice shards sees a bit-flipped snapshot
+    /// (0 disables).
+    pub corrupt_one_in: u64,
+}
+
+impl ChaosConfig {
+    /// The default injection rates: aggressive enough that a grid of a
+    /// few dozen points sees several of each fault class.
+    pub fn with_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_one_in: 5,
+            delay_one_in: 4,
+            corrupt_one_in: 4,
+        }
+    }
+
+    /// Read `CIMON_CHAOS` / `CIMON_CHAOS_SEED`: `None` unless chaos is
+    /// switched on.
+    fn from_env() -> Option<ChaosConfig> {
+        match std::env::var("CIMON_CHAOS").as_deref() {
+            Ok("1") | Ok("on") | Ok("true") => {}
+            _ => return None,
+        }
+        let seed = std::env::var("CIMON_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC1A05);
+        Some(ChaosConfig::with_seed(seed))
+    }
+}
+
+/// The process-wide chaos configuration (`None` = chaos off).
+pub fn config() -> Option<&'static ChaosConfig> {
+    static CONFIG: OnceLock<Option<ChaosConfig>> = OnceLock::new();
+    CONFIG.get_or_init(ChaosConfig::from_env).as_ref()
+}
+
+/// Whether chaos injection is active in this process.
+pub fn enabled() -> bool {
+    config().is_some()
+}
+
+/// SplitMix64 — the same mixer the vendored `rand` shim builds
+/// `StdRng` on, reproduced here so a chaos decision needs no RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic decision value for one `(site, index, salt)` point.
+fn roll(cfg: &ChaosConfig, site: &str, index: usize, salt: u64) -> u64 {
+    let mut h = cfg.seed ^ salt;
+    for &b in site.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    splitmix64(h ^ index as u64)
+}
+
+/// Whether chaos injects a panic at this `(site, index)` point —
+/// exposed so differential tests can predict exactly which rows a
+/// chaos sweep will poison.
+pub fn panics_at(site: &str, index: usize) -> bool {
+    config().is_some_and(|cfg| {
+        cfg.panic_one_in != 0 && roll(cfg, site, index, 0x70) % cfg.panic_one_in == 0
+    })
+}
+
+/// Panic here if chaos selected this `(site, index)` point. Call from
+/// inside a `catch_unwind`-isolated worker item only.
+pub fn maybe_panic(site: &'static str, index: usize) {
+    if panics_at(site, index) {
+        panic!("chaos: injected panic at {site}[{index}]");
+    }
+}
+
+/// Sleep a few milliseconds if chaos selected this point — enough to
+/// scramble worker completion order without slowing suites down.
+pub fn maybe_delay(site: &'static str, index: usize) {
+    if let Some(cfg) = config() {
+        if cfg.delay_one_in != 0 && roll(cfg, site, index, 0xD1) % cfg.delay_one_in == 0 {
+            let ms = 1 + roll(cfg, site, index, 0xD2) % 5;
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// Flip one seeded memory bit of `snapshot` if chaos selected this
+/// point, leaving its recorded checksum stale. Returns `true` when a
+/// flip was injected — the caller's subsequent `restore` is then
+/// guaranteed to fail with `SimError::SnapshotCorrupt`.
+pub fn maybe_corrupt_snapshot(
+    site: &'static str,
+    index: usize,
+    snapshot: &mut ProcessorSnapshot,
+) -> bool {
+    let Some(cfg) = config() else { return false };
+    if cfg.corrupt_one_in == 0 || roll(cfg, site, index, 0xC0) % cfg.corrupt_one_in != 0 {
+        return false;
+    }
+    let addr = (roll(cfg, site, index, 0xC1) % 0x1_0000) as u32;
+    let bit = (roll(cfg, site, index, 0xC2) % 8) as u8;
+    snapshot.corrupt_bit(addr, bit);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic() {
+        let cfg = ChaosConfig::with_seed(42);
+        assert_eq!(roll(&cfg, "sweep", 7, 0x70), roll(&cfg, "sweep", 7, 0x70));
+        assert_ne!(roll(&cfg, "sweep", 7, 0x70), roll(&cfg, "sweep", 8, 0x70));
+        assert_ne!(roll(&cfg, "sweep", 7, 0x70), roll(&cfg, "splice", 7, 0x70));
+    }
+
+    #[test]
+    fn default_rates_fire_somewhere() {
+        let cfg = ChaosConfig::with_seed(0xC1A05);
+        let fired = (0..64)
+            .filter(|&i| {
+                cfg.panic_one_in != 0 && roll(&cfg, "sweep", i, 0x70) % cfg.panic_one_in == 0
+            })
+            .count();
+        assert!(fired > 0, "64 points must see at least one injection");
+        assert!(fired < 64, "injection must not hit every point");
+    }
+}

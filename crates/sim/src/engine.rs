@@ -46,16 +46,17 @@
 //! ```
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use cimon_core::HashAlgoKind;
+use cimon_core::{HashAlgoKind, SimError};
 use cimon_hashgen::{static_fht, HashGenError};
 use cimon_mem::ProgramImage;
 use cimon_os::FullHashTable;
 use cimon_pipeline::{BlockCache, PredecodedImage, RunOutcome};
 
-use crate::{run_baseline_prepared, run_monitored_prepared, RunReport, SimConfig};
+use crate::{chaos, run_baseline_prepared, run_monitored_prepared, RunReport, SimConfig};
 
 /// A workload prepared for the grid: image shared behind an [`Arc`],
 /// FHTs generated once per `(hash algo, seed)` and cached, the image
@@ -120,25 +121,27 @@ impl Artifact {
     ///
     /// Propagates [`HashGenError`] from the static analyser.
     pub fn fht(&self, algo: HashAlgoKind, seed: u32) -> Result<Arc<FullHashTable>, HashGenError> {
-        if let Some(fht) = self.fhts.lock().unwrap().get(&(algo, seed)) {
+        if let Some(fht) = self.fht_cache().get(&(algo, seed)) {
             return Ok(fht.clone());
         }
         let (fht, _) = static_fht(&self.image, &[], algo, seed)?;
         let fht = Arc::new(fht);
         // Two threads may have raced to generate; keep the first insert
         // so every grid point shares one canonical table.
-        Ok(self
-            .fhts
-            .lock()
-            .unwrap()
-            .entry((algo, seed))
-            .or_insert(fht)
-            .clone())
+        Ok(self.fht_cache().entry((algo, seed)).or_insert(fht).clone())
     }
 
     /// How many distinct FHTs this artifact has generated so far.
     pub fn cached_fhts(&self) -> usize {
-        self.fhts.lock().unwrap().len()
+        self.fht_cache().len()
+    }
+
+    /// The FHT cache, with lock poisoning recovered: the map is only
+    /// ever inserted into, so a panic mid-insert leaves it valid.
+    fn fht_cache(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<(HashAlgoKind, u32), Arc<FullHashTable>>> {
+        self.fhts.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The image predecoded once, shared by every grid point over this
@@ -195,9 +198,9 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`HashGenError`] from FHT generation on monitored
-    /// runs whose table is not already cached.
-    pub fn run(&self) -> Result<ResultRow, HashGenError> {
+    /// Returns [`SimError`] from FHT generation on monitored runs whose
+    /// table is not already cached.
+    pub fn run(&self) -> Result<ResultRow, SimError> {
         let predecoded = self.artifact.predecoded();
         let blocks = self.artifact.block_cache();
         let (report, fht_entries) = if self.monitored {
@@ -214,6 +217,7 @@ impl Experiment {
                 run_baseline_prepared(
                     &self.artifact.image,
                     self.config.max_cycles,
+                    self.config.max_wall,
                     predecoded,
                     blocks,
                 ),
@@ -221,6 +225,33 @@ impl Experiment {
             )
         };
         Ok(ResultRow::new(self, &report, fht_entries))
+    }
+}
+
+/// How a grid point's row came to be: a real run, a localized failure,
+/// or a watchdog timeout. Anything but [`RowStatus::Ok`] means the
+/// row's numeric fields are not architecturally meaningful.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowStatus {
+    /// The run completed and the row's numbers are real.
+    Ok,
+    /// The experiment failed — a worker panic, a hash-generation error,
+    /// a corrupt snapshot — and the sweep degraded it to this poisoned
+    /// row instead of dying.
+    Failed(SimError),
+    /// The run was stopped by the wall-clock watchdog
+    /// ([`crate::SimConfig::max_wall`]).
+    TimedOut,
+}
+
+impl RowStatus {
+    /// Short machine-readable tag (`"ok"`, `"failed"`, `"timed-out"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Failed(_) => "failed",
+            RowStatus::TimedOut => "timed-out",
+        }
     }
 }
 
@@ -262,11 +293,21 @@ pub struct ResultRow {
     pub miss_rate_percent: f64,
     /// FHT entries generated for the program (0 on baseline rows).
     pub fht_entries: usize,
+    /// Whether the row holds a real run, a localized failure, or a
+    /// watchdog timeout. On [`RowStatus::Failed`] rows every counter is
+    /// zero and `outcome` holds a [`RunOutcome::Watchdog`] placeholder —
+    /// the status (and the [`SimError`] it carries) is authoritative.
+    pub status: RowStatus,
 }
 
 impl ResultRow {
     fn new(experiment: &Experiment, report: &RunReport, fht_entries: usize) -> ResultRow {
         let cic = report.stats.cic.unwrap_or_default();
+        let status = if report.outcome == RunOutcome::Watchdog {
+            RowStatus::TimedOut
+        } else {
+            RowStatus::Ok
+        };
         ResultRow {
             workload: experiment.artifact.name.clone(),
             expected_exit: experiment.artifact.expected_exit,
@@ -293,13 +334,50 @@ impl ResultRow {
             mismatches: cic.mismatches,
             miss_rate_percent: report.miss_rate_percent,
             fht_entries,
+            status,
         }
     }
 
-    /// Whether the run exited with the artifact's expected code and
-    /// raised no integrity mismatch.
+    /// A poisoned row standing in for an experiment that never produced
+    /// a result: a panicking worker, a hash-generation failure, a
+    /// corrupt snapshot. Every counter is zero, the outcome is a
+    /// placeholder, and [`ResultRow::status`] carries the typed error.
+    pub fn poisoned(experiment: &Experiment, error: SimError) -> ResultRow {
+        ResultRow {
+            workload: experiment.artifact.name.clone(),
+            expected_exit: experiment.artifact.expected_exit,
+            monitored: experiment.monitored,
+            iht_entries: if experiment.monitored {
+                experiment.config.iht_entries
+            } else {
+                0
+            },
+            hash_algo: experiment.config.hash_algo,
+            hash_seed: experiment.config.hash_seed,
+            policy: if experiment.monitored {
+                experiment.config.policy.name()
+            } else {
+                "none"
+            },
+            outcome: RunOutcome::Watchdog,
+            instructions: 0,
+            cycles: 0,
+            monitor_stall_cycles: 0,
+            checks: 0,
+            hits: 0,
+            misses: 0,
+            mismatches: 0,
+            miss_rate_percent: 0.0,
+            fht_entries: 0,
+            status: RowStatus::Failed(error),
+        }
+    }
+
+    /// Whether the run completed, exited with the artifact's expected
+    /// code, and raised no integrity mismatch.
     pub fn is_clean(&self) -> bool {
-        self.mismatches == 0
+        self.status == RowStatus::Ok
+            && self.mismatches == 0
             && match (self.expected_exit, self.outcome) {
                 (Some(want), RunOutcome::Exited { code }) => code == want,
                 (None, RunOutcome::Exited { .. }) => true,
@@ -387,11 +465,17 @@ impl Sweep {
     /// Execute every experiment on the worker pool and return the rows
     /// in push order.
     ///
+    /// A failing grid point — a panicking monitor plane, a watchdog
+    /// timeout, a hash-generation error — never fails the sweep: its
+    /// row comes back poisoned ([`RowStatus::Failed`] /
+    /// [`RowStatus::TimedOut`]) while every other row is byte-identical
+    /// to what a clean serial run produces.
+    ///
     /// # Errors
     ///
-    /// Propagates [`HashGenError`] from FHT generation (all tables are
-    /// generated up front, serially, before the pool starts).
-    pub fn run(&self) -> Result<Vec<ResultRow>, HashGenError> {
+    /// Returns [`SimError`] only for failures that precede the pool
+    /// (FHT generation is done up front, serially).
+    pub fn run(&self) -> Result<Vec<ResultRow>, SimError> {
         self.run_with_workers(self.workers.unwrap_or_else(default_workers))
     }
 
@@ -399,8 +483,8 @@ impl Sweep {
     ///
     /// # Errors
     ///
-    /// Propagates [`HashGenError`] from FHT generation.
-    pub fn run_serial(&self) -> Result<Vec<ResultRow>, HashGenError> {
+    /// Returns [`SimError`] from up-front FHT generation.
+    pub fn run_serial(&self) -> Result<Vec<ResultRow>, SimError> {
         self.run_with_workers(1)
     }
 
@@ -408,8 +492,8 @@ impl Sweep {
     ///
     /// # Errors
     ///
-    /// Propagates [`HashGenError`] from FHT generation.
-    pub fn run_with_workers(&self, workers: usize) -> Result<Vec<ResultRow>, HashGenError> {
+    /// Returns [`SimError`] from up-front FHT generation.
+    pub fn run_with_workers(&self, workers: usize) -> Result<Vec<ResultRow>, SimError> {
         // Generate every needed FHT once, serially, so (a) generation
         // errors surface before any thread spawns and (b) each distinct
         // (artifact, algo, seed) is analysed exactly once.
@@ -418,9 +502,18 @@ impl Sweep {
                 e.artifact.fht(e.config.hash_algo, e.config.hash_seed)?;
             }
         }
-        Ok(parallel_map(&self.experiments, workers, |_, e| {
-            e.run().expect("FHT cache was prebuilt")
-        }))
+        let rows = parallel_map_isolated(&self.experiments, workers, "sweep", |i, e| {
+            chaos::maybe_panic("sweep", i);
+            // The FHT cache was prebuilt above, so per-item errors are
+            // exotic (a racing cache eviction would be a bug, not a
+            // row); degrade them to poisoned rows all the same.
+            e.run().unwrap_or_else(|err| ResultRow::poisoned(e, err))
+        });
+        Ok(rows
+            .into_iter()
+            .zip(&self.experiments)
+            .map(|(row, e)| row.unwrap_or_else(|err| ResultRow::poisoned(e, err)))
+            .collect())
     }
 }
 
@@ -435,18 +528,55 @@ pub fn default_workers() -> usize {
 /// a scoped worker pool and returns results in item order, exactly as a
 /// serial `items.iter().enumerate().map(..)` would. With `workers <= 1`
 /// it *is* that serial map (no threads are spawned).
+///
+/// Each item runs under `catch_unwind`, so one panicking item no longer
+/// tears the scope (and its sibling workers) down mid-flight: every
+/// other item still completes, and the caught panic re-raises — typed —
+/// only after the pool has drained. Callers that want the panic as a
+/// value instead use [`parallel_map_isolated`].
 pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    let rows = parallel_map_isolated(items, workers, "parallel-map", f);
+    rows.into_iter()
+        .map(|row| row.unwrap_or_else(|err| panic!("{err}")))
+        .collect()
+}
+
+/// [`parallel_map`] with per-item panic isolation surfaced to the
+/// caller: a panicking item yields `Err(SimError::WorkerPanic)` in its
+/// slot (tagged with `site`) while every other item completes normally.
+/// The engine layers build their poisoned-row / quarantine degradation
+/// on this.
+pub fn parallel_map_isolated<T, U, F>(
+    items: &[T],
+    workers: usize,
+    site: &'static str,
+    f: F,
+) -> Vec<Result<U, SimError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let run_one = |i: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| SimError::from_panic(site, payload.as_ref()))
+    };
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<U, SimError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -454,8 +584,11 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let value = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(value);
+                let value = run_one(i, &items[i]);
+                // A sibling worker's panic is caught above, so the only
+                // way this lock is poisoned is a panic in `Some(value)`
+                // itself — a zero-sized write; recover the guard.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -463,8 +596,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
-                .expect("every slot is filled once the scope joins")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| unreachable!("every slot is filled once the scope joins"))
         })
         .collect()
 }

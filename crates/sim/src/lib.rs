@@ -31,7 +31,11 @@
 //! experiment engine in [`engine`] instead of looping over these
 //! one-call helpers.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::Arc;
+use std::time::Duration;
 
 use cimon_core::CicConfig;
 use cimon_hashgen::{static_fht, HashGenError};
@@ -42,14 +46,16 @@ use cimon_pipeline::{
     RunOutcome, RunStats,
 };
 
+pub mod chaos;
 pub mod engine;
 pub mod splice;
 
-pub use cimon_core::HashAlgoKind;
+pub use cimon_core::{HashAlgoKind, SimError};
 pub use cimon_pipeline::RunOutcome as Outcome;
-pub use engine::{Artifact, Experiment, ResultRow, Sweep};
+pub use engine::{Artifact, Experiment, ResultRow, RowStatus, Sweep};
 pub use splice::{
-    run_baseline_spliced, run_monitored_spliced, run_spliced, SpliceConfig, SpliceReport,
+    run_baseline_spliced, run_monitored_spliced, run_monitored_spliced_stats, run_spliced,
+    SpliceConfig, SpliceReport, SpliceRung, SpliceStats,
 };
 
 /// Experiment-level configuration (the knobs the paper sweeps).
@@ -67,6 +73,10 @@ pub struct SimConfig {
     pub exception_cycles: u64,
     /// Safety cycle budget.
     pub max_cycles: u64,
+    /// Wall-clock watchdog for the run (`None` disables it). Rows whose
+    /// run is stopped by the watchdog come back with
+    /// [`engine::RowStatus::TimedOut`] instead of hanging the sweep.
+    pub max_wall: Option<Duration>,
 }
 
 impl Default for SimConfig {
@@ -79,6 +89,7 @@ impl Default for SimConfig {
             policy: RefillPolicyKind::ReplaceHalfLru,
             exception_cycles: 100,
             max_cycles: 400_000_000,
+            max_wall: None,
         }
     }
 }
@@ -117,21 +128,24 @@ pub fn run_baseline(image: &ProgramImage) -> RunReport {
 /// cycle budget (so sweeps give baseline and monitored rows the same
 /// cap).
 pub fn run_baseline_with_max(image: &ProgramImage, max_cycles: u64) -> RunReport {
-    run_baseline_configured(image, max_cycles, Predecode::Auto, BlockExec::Auto)
+    run_baseline_configured(image, max_cycles, None, Predecode::Auto, BlockExec::Auto)
 }
 
 /// [`run_baseline_with_max`] with a shared predecoded image and block
 /// cache, so repeated runs (sweeps) skip the per-run decode and
-/// block-grouping passes.
+/// block-grouping passes. `max_wall`, when set, arms the wall-clock
+/// watchdog so baseline rows share the sweep's timeout semantics.
 pub fn run_baseline_prepared(
     image: &ProgramImage,
     max_cycles: u64,
+    max_wall: Option<Duration>,
     predecoded: Arc<PredecodedImage>,
     blocks: Arc<BlockCache>,
 ) -> RunReport {
     run_baseline_configured(
         image,
         max_cycles,
+        max_wall,
         Predecode::Shared(predecoded),
         BlockExec::Shared(blocks),
     )
@@ -140,6 +154,7 @@ pub fn run_baseline_prepared(
 fn run_baseline_configured(
     image: &ProgramImage,
     max_cycles: u64,
+    max_wall: Option<Duration>,
     predecode: Predecode,
     block_exec: BlockExec,
 ) -> RunReport {
@@ -147,6 +162,7 @@ fn run_baseline_configured(
         image,
         ProcessorConfig {
             max_cycles,
+            max_wall,
             predecode,
             block_exec,
             ..ProcessorConfig::baseline()
@@ -248,6 +264,7 @@ fn run_monitored_configured(
         ProcessorConfig {
             monitor: Some(monitor),
             max_cycles: config.max_cycles,
+            max_wall: config.max_wall,
             predecode,
             block_exec,
             ..ProcessorConfig::baseline()

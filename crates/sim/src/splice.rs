@@ -13,7 +13,8 @@
 //!    uniform shift.
 //! 2. **Shard replay** — every inter-checkpoint span replays with full
 //!    monitoring and timing, concurrently, on the same worker pool the
-//!    experiment engine uses ([`parallel_map`]). Shifted schedules make
+//!    experiment engine uses ([`crate::engine::parallel_map`]). Shifted
+//!    schedules make
 //!    the same decisions as absolute ones, so each shard's *advance*
 //!    (its `last_id` delta) equals the serial run's advance over the
 //!    same span; summing advances and taking the final shard's state
@@ -31,18 +32,27 @@
 //! * **`ReadCycles`.** A program that reads the cycle counter feeds the
 //!   schedule back into architectural state; the fast pass flags it and
 //!   the splice falls back to one serial run
-//!   ([`SpliceReport::serial_fallback`]).
+//!   ([`SpliceRung::SerialTimingDependent`]).
 //!
 //! In-flight bus-tap faults splice too: the fast pass runs the real tap
 //! and records every override it produced (keyed by absolute fetch
 //! count); shards install a positional replay tap seeded from the
 //! checkpoint's fetch count, so a fault landing mid-shard replays on
 //! exactly the fetch it originally hit.
+//!
+//! ## Degradation ladder
+//!
+//! The timing-dependent fallback generalises: any shard that cannot
+//! replay — its checkpoint fails the snapshot integrity check
+//! ([`cimon_core::SimError::SnapshotCorrupt`]), or its worker panics —
+//! degrades the whole splice to one serial timed run, which depends on
+//! no checkpoint at all. The result is still exact; only the
+//! parallelism is lost, and [`SpliceStats::rung`] says which rung
+//! actually ran so harnesses (and CI) can assert on the path taken.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use cimon_core::CicConfig;
-use cimon_hashgen::HashGenError;
+use cimon_core::{CicConfig, SimError};
 use cimon_mem::{BusTap, ProgramImage};
 use cimon_os::{ExceptionCost, FullHashTable};
 use cimon_pipeline::{
@@ -50,8 +60,8 @@ use cimon_pipeline::{
     ProcessorSnapshot, RunOutcome, RunStats,
 };
 
-use crate::engine::{default_workers, parallel_map};
-use crate::{build_fht, RunReport, SimConfig};
+use crate::engine::{default_workers, parallel_map_isolated};
+use crate::{build_fht, chaos, RunReport, SimConfig};
 
 /// How to splice one long run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +83,65 @@ impl Default for SpliceConfig {
     }
 }
 
+/// Which rung of the splice degradation ladder produced the result.
+/// Every rung is exact; the serial rungs just forgo parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpliceRung {
+    /// The parallel shard replay ran to completion.
+    Spliced,
+    /// The fast pass saw a `ReadCycles` syscall; the run was redone
+    /// serially because its architecture observes its own timing.
+    SerialTimingDependent,
+    /// A shard's checkpoint failed its integrity checksum on restore;
+    /// the run was redone serially from the program image, which
+    /// depends on no checkpoint.
+    SerialSnapshotCorrupt,
+    /// A shard worker panicked mid-replay; the run was redone serially.
+    SerialWorkerPanic,
+}
+
+impl SpliceRung {
+    /// Short machine-readable tag for bench tables and CI assertions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpliceRung::Spliced => "spliced",
+            SpliceRung::SerialTimingDependent => "serial-timing",
+            SpliceRung::SerialSnapshotCorrupt => "serial-snapshot",
+            SpliceRung::SerialWorkerPanic => "serial-panic",
+        }
+    }
+
+    /// Whether this rung ran serially instead of sharded.
+    pub fn is_serial(&self) -> bool {
+        !matches!(self, SpliceRung::Spliced)
+    }
+}
+
+/// Counters describing how the splice actually executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceStats {
+    /// The degradation-ladder rung that produced the result.
+    pub rung: SpliceRung,
+    /// Checkpoints the fast pass emitted (0 on the timing-dependent
+    /// rung, where the pass is discarded).
+    pub checkpoints: usize,
+    /// Shards whose checkpoint failed its integrity checksum.
+    pub corrupt_snapshots: u64,
+    /// Shards whose worker panicked.
+    pub shard_panics: u64,
+}
+
+impl SpliceStats {
+    fn clean(rung: SpliceRung, checkpoints: usize) -> SpliceStats {
+        SpliceStats {
+            rung,
+            checkpoints,
+            corrupt_snapshots: 0,
+            shard_panics: 0,
+        }
+    }
+}
+
 /// The stitched result of a spliced run, byte-identical to what the
 /// equivalent serial [`Processor::run`] would have produced.
 #[derive(Clone, Debug)]
@@ -85,9 +154,12 @@ pub struct SpliceReport {
     /// replay, when one was needed). `1` means the splice degenerated
     /// to a single serial-length shard.
     pub shards: usize,
-    /// The fast pass saw a `ReadCycles` syscall and the whole run was
-    /// redone serially instead.
+    /// Whether a serial rung ran (kept alongside
+    /// [`SpliceReport::splice`] for existing callers; always equal to
+    /// `splice.rung.is_serial()`).
     pub serial_fallback: bool,
+    /// Which degradation-ladder rung ran, with failure counters.
+    pub splice: SpliceStats,
 }
 
 /// Records, positionally, every override the wrapped tap produces
@@ -104,7 +176,10 @@ impl BusTap for RecordingTap {
         self.next_fetch += 1;
         let out = self.inner.on_fetch(addr, word);
         if out != word {
-            self.log.lock().unwrap().push((at, out));
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((at, out));
         }
         out
     }
@@ -186,21 +261,17 @@ pub fn run_spliced(
     if report.timing_dependent {
         // The program consumed the cycle counter: only a serial timed
         // run produces trustworthy architectural state.
-        let mut cpu = build();
-        cpu.set_max_cycles(max_cycles);
-        if let Some(make_tap) = tap {
-            cpu.set_bus_tap(make_tap());
-        }
-        let outcome = cpu.run();
-        return SpliceReport {
-            outcome,
-            stats: cpu.stats(),
-            shards: 1,
-            serial_fallback: true,
-        };
+        return run_serial_rung(
+            build,
+            tap,
+            max_cycles,
+            SpliceStats::clean(SpliceRung::SerialTimingDependent, 0),
+        );
     }
 
-    let overrides = Arc::new(std::mem::take(&mut *log.lock().unwrap()));
+    let overrides = Arc::new(std::mem::take(
+        &mut *log.lock().unwrap_or_else(PoisonError::into_inner),
+    ));
     let has_tap = tap.is_some();
     // A fast-pass `MaxCycles` is the retired-instruction *proxy* for
     // the budget: the timed run certainly stops at or before this
@@ -211,32 +282,95 @@ pub fn run_spliced(
 
     // ---- Pass 2: replay every shard with full timing, in parallel. ----
     let indices: Vec<usize> = (0..=snaps.len()).collect();
-    let shard_ends = parallel_map(&indices, splice.workers.max(1), |_, &i| {
-        let mut cpu = build();
-        if i > 0 {
-            cpu.restore(&snaps[i - 1]);
+    let chaos_on = chaos::enabled();
+    let shard_results =
+        parallel_map_isolated(&indices, splice.workers.max(1), "splice", |_, &i| {
+            chaos::maybe_delay("splice", i);
+            let mut cpu = build();
+            if i > 0 {
+                if chaos_on {
+                    // Chaos: corrupt a *clone* of the checkpoint, so the
+                    // shared snapshot other passes read stays clean and the
+                    // restore below is what detects the damage.
+                    let mut snap = snaps[i - 1].clone();
+                    chaos::maybe_corrupt_snapshot("splice", i, &mut snap);
+                    cpu.restore(&snap)?;
+                } else {
+                    cpu.restore(&snaps[i - 1])?;
+                }
+            }
+            cpu.set_max_cycles(u64::MAX);
+            if has_tap {
+                let fetch_count = if i > 0 { snaps[i - 1].fetch_count() } else { 0 };
+                cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
+                    fetch_count,
+                    overrides.clone(),
+                )));
+            }
+            let target = match snaps.get(i) {
+                Some(s) => s.instret(),
+                None if proxy_stop => fast_end,
+                None => u64::MAX,
+            };
+            let start_id = cpu.timing().last_id();
+            let outcome = cpu.run_to_instret(target);
+            Ok(ShardEnd {
+                outcome,
+                advance: cpu.timing().last_id() - start_id,
+                stats: outcome.is_some().then(|| cpu.stats()),
+            })
+        });
+
+    // ---- Degradation ladder: any shard that could not replay (corrupt
+    // checkpoint, panicking worker) voids the parallel pass; rerun
+    // serially from the image, which depends on neither. ----
+    let mut shard_ends = Vec::with_capacity(shard_results.len());
+    let mut stats = SpliceStats::clean(SpliceRung::Spliced, snaps.len());
+    let mut first_failure = None;
+    for result in shard_results {
+        match result.and_then(|r| r) {
+            Ok(end) => shard_ends.push(end),
+            Err(err) => {
+                match err {
+                    SimError::SnapshotCorrupt { .. } => stats.corrupt_snapshots += 1,
+                    _ => stats.shard_panics += 1,
+                }
+                first_failure.get_or_insert(err);
+            }
         }
-        cpu.set_max_cycles(u64::MAX);
-        if has_tap {
-            let fetch_count = if i > 0 { snaps[i - 1].fetch_count() } else { 0 };
-            cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
-                fetch_count,
-                overrides.clone(),
-            )));
-        }
-        let target = match snaps.get(i) {
-            Some(s) => s.instret(),
-            None if proxy_stop => fast_end,
-            None => u64::MAX,
+    }
+    if let Some(err) = first_failure {
+        stats.rung = match err {
+            SimError::SnapshotCorrupt { .. } => SpliceRung::SerialSnapshotCorrupt,
+            _ => SpliceRung::SerialWorkerPanic,
         };
-        let start_id = cpu.timing().last_id();
-        let outcome = cpu.run_to_instret(target);
-        ShardEnd {
-            outcome,
-            advance: cpu.timing().last_id() - start_id,
-            stats: outcome.is_some().then(|| cpu.stats()),
-        }
-    });
+        return run_serial_rung(build, tap, max_cycles, stats);
+    }
+
+    // ---- Watchdog: a shard stopped by the wall-clock deadline has no
+    // architectural result to stitch; surface the timeout as the run's
+    // outcome (the final shard's stats, when it got that far, are
+    // best-effort). ----
+    if shard_ends
+        .iter()
+        .any(|s| s.outcome == Some(RunOutcome::Watchdog))
+    {
+        let stats_end = shard_ends
+            .iter()
+            .find_map(|s| {
+                (s.outcome == Some(RunOutcome::Watchdog))
+                    .then(|| s.stats.clone())
+                    .flatten()
+            })
+            .unwrap_or_default();
+        return SpliceReport {
+            outcome: RunOutcome::Watchdog,
+            stats: stats_end,
+            shards: shard_ends.len(),
+            serial_fallback: false,
+            splice: stats,
+        };
+    }
 
     // ---- Stitch: accumulate absolute cycle positions, find a budget
     // crossing if any. ----
@@ -257,14 +391,18 @@ pub fn run_spliced(
         // state. Everything replayed past it is discarded.
         let mut cpu = build();
         if k > 0 {
-            cpu.restore(&snaps[k - 1]);
+            // The checkpoint restored cleanly during pass 2; a failure
+            // here means it was corrupted since — degrade to serial.
+            if cpu.restore(&snaps[k - 1]).is_err() {
+                stats.corrupt_snapshots += 1;
+                stats.rung = SpliceRung::SerialSnapshotCorrupt;
+                return run_serial_rung(build, tap, max_cycles, stats);
+            }
         }
         let rel = cpu.timing().last_id();
-        cpu.shift_timing(
-            start_abs
-                .checked_sub(rel)
-                .expect("window replay never advances past the serial schedule"),
-        );
+        cpu.shift_timing(start_abs.checked_sub(rel).unwrap_or_else(|| {
+            unreachable!("window replay never advances past the serial schedule")
+        }));
         cpu.set_max_cycles(max_cycles);
         if has_tap {
             let fetch_count = if k > 0 { snaps[k - 1].fetch_count() } else { 0 };
@@ -279,6 +417,7 @@ pub fn run_spliced(
             stats: cpu.stats(),
             shards: shard_ends.len() + 1,
             serial_fallback: false,
+            splice: stats,
         };
     }
 
@@ -288,26 +427,53 @@ pub fn run_spliced(
             .all(|s| s.outcome.is_none()),
         "only the final shard may end the run"
     );
-    let last = shard_ends.last().expect("at least one shard always runs");
-    let outcome = last
-        .outcome
-        .expect("the final shard finishes the run when no budget crossing exists");
-    let mut stats = last
+    let last = shard_ends
+        .last()
+        .unwrap_or_else(|| unreachable!("at least one shard always runs"));
+    let outcome = last.outcome.unwrap_or_else(|| {
+        unreachable!("the final shard finishes the run when no budget crossing exists")
+    });
+    let mut run_stats = last
         .stats
         .clone()
-        .expect("the finishing shard captured its stats");
+        .unwrap_or_else(|| unreachable!("the finishing shard captured its stats"));
     // Per-shard counters (instructions, stalls, monitor stats) are
     // absolute already — only the cycle total is relative per shard.
-    stats.cycles = if stats.instructions == 0 {
+    run_stats.cycles = if run_stats.instructions == 0 {
         0
     } else {
         total + 4
     };
     SpliceReport {
         outcome,
-        stats,
+        stats: run_stats,
         shards: shard_ends.len(),
         serial_fallback: false,
+        splice: stats,
+    }
+}
+
+/// One serial timed run — the bottom of the degradation ladder. Exact
+/// by construction (it is the very run the splice reproduces), and
+/// dependent on no checkpoint.
+fn run_serial_rung(
+    build: &(dyn Fn() -> Processor + Sync),
+    tap: Option<&(dyn Fn() -> Box<dyn BusTap> + Sync)>,
+    max_cycles: u64,
+    stats: SpliceStats,
+) -> SpliceReport {
+    let mut cpu = build();
+    cpu.set_max_cycles(max_cycles);
+    if let Some(make_tap) = tap {
+        cpu.set_bus_tap(make_tap());
+    }
+    let outcome = cpu.run();
+    SpliceReport {
+        outcome,
+        stats: cpu.stats(),
+        shards: 1,
+        serial_fallback: true,
+        splice: stats,
     }
 }
 
@@ -316,14 +482,32 @@ pub fn run_spliced(
 ///
 /// # Errors
 ///
-/// Propagates [`HashGenError`] from FHT generation (only possible when
-/// `fht` is `None`).
+/// Returns [`SimError`] from FHT generation (only possible when `fht`
+/// is `None`).
 pub fn run_monitored_spliced(
     image: &ProgramImage,
     config: &SimConfig,
     fht: Option<Arc<FullHashTable>>,
     splice: &SpliceConfig,
-) -> Result<RunReport, HashGenError> {
+) -> Result<RunReport, SimError> {
+    run_monitored_spliced_stats(image, config, fht, splice).map(|(report, _)| report)
+}
+
+/// [`run_monitored_spliced`], additionally returning the
+/// [`SpliceStats`] — which degradation-ladder rung produced the result
+/// and its failure counters — for callers (benches, CI gates) that
+/// must know whether the parallel path actually ran.
+///
+/// # Errors
+///
+/// Returns [`SimError`] from FHT generation (only possible when `fht`
+/// is `None`).
+pub fn run_monitored_spliced_stats(
+    image: &ProgramImage,
+    config: &SimConfig,
+    fht: Option<Arc<FullHashTable>>,
+    splice: &SpliceConfig,
+) -> Result<(RunReport, SpliceStats), SimError> {
     let fht = match fht {
         Some(fht) => fht,
         None => Arc::new(build_fht(image, config)?),
@@ -351,6 +535,7 @@ pub fn run_monitored_spliced(
                         },
                     }),
                     max_cycles: config.max_cycles,
+                    max_wall: config.max_wall,
                     predecode: Predecode::Shared(predecoded.clone()),
                     block_exec: BlockExec::Shared(blocks.clone()),
                     ..ProcessorConfig::baseline()
@@ -364,12 +549,15 @@ pub fn run_monitored_spliced(
         .cic
         .map(|c| c.miss_rate_percent())
         .unwrap_or(0.0);
-    Ok(RunReport {
-        outcome: spliced.outcome,
-        stats: spliced.stats,
-        fht_entries,
-        miss_rate_percent,
-    })
+    Ok((
+        RunReport {
+            outcome: spliced.outcome,
+            stats: spliced.stats,
+            fht_entries,
+            miss_rate_percent,
+        },
+        spliced.splice,
+    ))
 }
 
 /// [`run_baseline_with_max`](crate::run_baseline_with_max), spliced.

@@ -1,0 +1,151 @@
+//! Self-chaos integration suite (`CIMON_CHAOS=1 cargo test -p
+//! cimon-sim --test chaos_sweep`).
+//!
+//! With chaos enabled, the engine layers inject their own faults —
+//! worker panics in the sweep pool, shard delays and snapshot bit-flips
+//! in the splice replay — and these tests prove the degradation story
+//! end to end: every injected failure stays localized to its own row or
+//! rung, and every row or report *not* hit by an injection is
+//! byte-identical to a clean run. Without `CIMON_CHAOS` the same tests
+//! assert the all-clean behaviour, so the suite is green in both CI
+//! modes.
+
+use cimon_asm::assemble;
+use cimon_core::{CicConfig, SimError};
+use cimon_hashgen::static_fht;
+use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
+use cimon_sim::engine::{Artifact, RowStatus, Sweep};
+use cimon_sim::{chaos, run_spliced, HashAlgoKind, SimConfig, SpliceConfig, SpliceRung};
+
+const PROGRAM: &str = "
+    .text
+main:
+    li   $t0, 60
+    li   $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    move $a0, $t1
+    li   $v0, 10
+    syscall
+";
+
+fn sweep() -> Sweep {
+    let prog = assemble(PROGRAM).expect("program assembles");
+    let artifact = Artifact::new("chaos-loop", prog.image.into(), Some(1830));
+    let mut sweep = Sweep::new();
+    sweep.baseline(artifact.clone());
+    sweep.grid(
+        &[artifact],
+        &[1, 8, 16],
+        &[HashAlgoKind::Xor, HashAlgoKind::Crc32],
+        SimConfig::default(),
+    );
+    sweep
+}
+
+#[test]
+fn sweep_completes_with_failures_localized_to_their_rows() {
+    let sweep = sweep();
+    let rows = sweep.run().expect("sweep runs");
+    assert_eq!(rows.len(), sweep.len());
+
+    let mut injected = 0;
+    for (i, (row, experiment)) in rows.iter().zip(sweep.experiments()).enumerate() {
+        if chaos::panics_at("sweep", i) {
+            injected += 1;
+            match &row.status {
+                RowStatus::Failed(SimError::WorkerPanic { site, message }) => {
+                    assert_eq!(*site, "sweep");
+                    assert!(message.contains("chaos"), "unexpected payload: {message}");
+                }
+                other => panic!("row {i} should be poisoned by chaos, got {other:?}"),
+            }
+            assert!(!row.is_clean());
+            assert_eq!(row.cycles, 0, "poisoned rows carry no fabricated numbers");
+        } else {
+            // Rows chaos does not touch are byte-identical to a direct,
+            // injection-free run of the same experiment.
+            let clean = experiment.run().expect("clean oracle run");
+            assert_eq!(row.status, RowStatus::Ok);
+            assert_eq!(row, &clean, "row {i} diverged from its clean oracle");
+            assert_eq!(row.outcome, RunOutcome::Exited { code: 1830 });
+        }
+    }
+
+    if chaos::enabled() {
+        assert_eq!(
+            injected,
+            rows.iter().filter(|r| r.status != RowStatus::Ok).count(),
+            "every poisoned row must trace back to an injection"
+        );
+    } else {
+        assert_eq!(injected, 0);
+        assert!(rows.iter().all(|r| r.status == RowStatus::Ok));
+    }
+}
+
+#[test]
+fn serial_and_parallel_chaos_sweeps_agree() {
+    // Chaos decisions key off (site, index), not thread identity, so a
+    // serial run poisons exactly the same rows as an 8-worker run —
+    // including the poisoned rows' typed errors.
+    let sweep = sweep();
+    let serial = sweep.run_serial().expect("serial sweep");
+    let parallel = sweep.run_with_workers(8).expect("parallel sweep");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn splice_degrades_but_never_diverges_under_chaos() {
+    let prog = assemble(PROGRAM).expect("program assembles");
+    let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).expect("static analysis");
+    let config = ProcessorConfig::monitored(CicConfig::with_entries(8), fht);
+    let max_cycles = 1_000_000;
+
+    let mut serial = Processor::new(&prog.image, config.clone());
+    serial.set_max_cycles(max_cycles);
+    let serial_outcome = serial.run();
+    let serial_stats = serial.stats();
+
+    // A small interval forces many shards, so chaos gets many chances
+    // to delay a shard or corrupt its snapshot.
+    let splice = SpliceConfig {
+        interval_cycles: 40,
+        workers: 4,
+    };
+    let report = run_spliced(
+        &|| Processor::new(&prog.image, config.clone()),
+        None,
+        max_cycles,
+        &splice,
+    );
+
+    // Whatever rung ran, the result is the serial result.
+    assert_eq!(report.outcome, serial_outcome);
+    assert_eq!(report.stats, serial_stats);
+    assert_eq!(report.serial_fallback, report.splice.rung.is_serial());
+    match report.splice.rung {
+        SpliceRung::Spliced => {
+            assert_eq!(report.splice.corrupt_snapshots, 0);
+            assert_eq!(report.splice.shard_panics, 0);
+        }
+        SpliceRung::SerialSnapshotCorrupt => {
+            assert!(
+                chaos::enabled(),
+                "corrupt snapshots only come from chaos here"
+            );
+            assert!(report.splice.corrupt_snapshots > 0);
+        }
+        SpliceRung::SerialWorkerPanic => {
+            assert!(report.splice.shard_panics > 0);
+        }
+        SpliceRung::SerialTimingDependent => {
+            panic!("this program reads no cycle counters");
+        }
+    }
+    if !chaos::enabled() {
+        assert_eq!(report.splice.rung, SpliceRung::Spliced);
+    }
+}

@@ -25,6 +25,9 @@
 //! reference implementation of the same algorithm; the harness asserts
 //! the simulated run reproduces it bit-exactly.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 

@@ -10,6 +10,8 @@
 //! cargo run --release --example soft_error_campaign
 //! ```
 
+use std::time::Duration;
+
 use cimon::core::CicConfig;
 use cimon::faults::{Campaign, CampaignConfig, FaultModel, FaultSite};
 use cimon::prelude::*;
@@ -65,14 +67,20 @@ fn main() {
                 FaultSite::StoredImage,
             ),
         ] {
-            let result = campaign.run(&CampaignConfig {
-                runs: 150,
-                seed: 0xdecaf,
-                model,
-                site,
-                targets: targets.clone(),
-                max_cycles: 3_000_000,
-            });
+            // The wall-clock watchdog bounds every faulted run: a plan
+            // that stalls the simulator is retried once from its
+            // checkpoint, then quarantined instead of hanging the demo.
+            let result = campaign
+                .run(&CampaignConfig {
+                    runs: 150,
+                    seed: 0xdecaf,
+                    model,
+                    site,
+                    targets: targets.clone(),
+                    max_cycles: 3_000_000,
+                    max_wall: Some(Duration::from_secs(30)),
+                })
+                .expect("campaign config is valid");
             println!(
                 "{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  {:>6.1}%",
                 algo.name(),

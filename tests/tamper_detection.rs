@@ -27,14 +27,17 @@ fn single_bit_flips_in_executed_code_are_never_silent() {
         let (fht, _) = static_fht(&prog.image, &[], HashAlgoKind::Xor, 0).unwrap();
         let targets = executed_addresses(&prog.image);
         let campaign = Campaign::new(prog.image.clone(), CicConfig::with_entries(16), fht);
-        let result = campaign.run(&CampaignConfig {
-            runs: 24,
-            seed: 0xabcd,
-            model: FaultModel::SingleBit,
-            site: FaultSite::StoredImage,
-            targets,
-            max_cycles: 2_500_000,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                runs: 24,
+                seed: 0xabcd,
+                model: FaultModel::SingleBit,
+                site: FaultSite::StoredImage,
+                targets,
+                max_cycles: 2_500_000,
+                max_wall: None,
+            })
+            .unwrap();
         assert_eq!(result.silent, 0, "{name}: {result:?}");
         assert!(
             result.detected_monitor + result.detected_baseline > 0,
