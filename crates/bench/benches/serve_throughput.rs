@@ -1,0 +1,205 @@
+//! Service-throughput benchmark: requests/second and latency
+//! percentiles of a `cimon-serve` daemon under concurrent TCP clients.
+//!
+//! Three measurements:
+//!
+//! * **cold** — every request is distinct work (workload × IHT size),
+//!   so each one runs a real simulation on the shared engine pool;
+//! * **hot** — the same requests again, now answered from the result
+//!   cache, measuring the service overhead floor (parse, dispatch,
+//!   journal lookup, serialize);
+//! * **shed** — a deliberately overloaded server, demonstrating that a
+//!   full admission queue rejects with the typed `overloaded` error
+//!   instead of queueing without bound.
+//!
+//! Set `CIMON_SERVE_SMOKE=1` for the CI shape (fewer requests, fewer
+//! rounds). Results go to `BENCH_serve.json` — *not*
+//! `BENCH_throughput.json`, whose schema is owned by the simulator
+//! sweep.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cimon_core::{HashAlgoKind, SimError};
+use cimon_os::RefillPolicyKind;
+use cimon_serve::{net, Client, Request, RequestBody, Response, RunSpec, ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+
+fn requests(rounds: usize) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    let mut id = 1u64;
+    for round in 0..rounds {
+        for artifact in cimon_bench::suite() {
+            for iht in [8usize, 16] {
+                reqs.push(Request {
+                    id,
+                    deadline_ms: None,
+                    body: RequestBody::Run(RunSpec {
+                        workload: artifact.name().to_string(),
+                        monitored: true,
+                        iht_entries: iht + round, // distinct work per round
+                        hash_algo: HashAlgoKind::Xor,
+                        hash_seed: 0,
+                        policy: RefillPolicyKind::ReplaceHalfLru,
+                    }),
+                });
+                id += 1;
+            }
+        }
+    }
+    reqs
+}
+
+/// Drive `reqs` through `CLIENTS` concurrent connections; return
+/// (wall seconds, per-request latencies).
+fn drive(addr: std::net::SocketAddr, reqs: &[Request]) -> (f64, Vec<Duration>) {
+    let shards: Vec<Vec<Request>> = (0..CLIENTS)
+        .map(|c| {
+            reqs.iter()
+                .enumerate()
+                .filter(|(i, _)| i % CLIENTS == c)
+                .map(|(_, r)| r.clone())
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut lats = Vec::with_capacity(shard.len());
+                for req in &shard {
+                    let t = Instant::now();
+                    match client.request(req).expect("response") {
+                        Response::Row { .. } => lats.push(t.elapsed()),
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                lats
+            })
+        })
+        .collect();
+    let mut lats = Vec::new();
+    for h in handles {
+        lats.extend(h.join().expect("client thread"));
+    }
+    (started.elapsed().as_secs_f64(), lats)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn shed_demo() -> (usize, usize) {
+    // Zero workers: the queue cannot drain, so the shed point is exact.
+    let server = Server::start(
+        ServeConfig {
+            queue_capacity: 4,
+            workers: 0,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("shed server starts");
+    let reqs = requests(1);
+    let mut pending = Vec::new();
+    let mut shed = 0;
+    for req in reqs.iter().take(8).cloned() {
+        match server.submit(req).try_recv() {
+            // Still queued: no response yet.
+            Err(_) => pending.push(()),
+            Ok(Response::Error {
+                error: SimError::Overloaded { queued, capacity },
+                ..
+            }) => {
+                assert_eq!((queued, capacity), (4, 4));
+                shed += 1;
+            }
+            Ok(other) => panic!("unexpected response: {other:?}"),
+        }
+    }
+    server.kill();
+    (pending.len(), shed)
+}
+
+fn main() {
+    let smoke = std::env::var("CIMON_SERVE_SMOKE").is_ok_and(|v| v != "0");
+    let rounds = if smoke { 1 } else { 4 };
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        workers: 4,
+        ..ServeConfig::default()
+    };
+
+    let server = Arc::new(Server::start(cfg, None).expect("server starts"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    net::serve(server.clone(), listener).expect("accept loop");
+
+    let reqs = requests(rounds);
+    println!(
+        "Service throughput — {} requests over {CLIENTS} concurrent TCP clients{}",
+        reqs.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    cimon_bench::print_rule(72);
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "requests", "seconds", "req/s", "p50 µs", "p99 µs"
+    );
+
+    let mut json = String::from("{");
+    for (phase, label) in [("cold", "simulated"), ("hot", "replayed")] {
+        let (secs, mut lats) = drive(addr, &reqs);
+        lats.sort_unstable();
+        let rps = reqs.len() as f64 / secs.max(1e-12);
+        let p50 = percentile(&lats, 0.50).as_secs_f64() * 1e6;
+        let p99 = percentile(&lats, 0.99).as_secs_f64() * 1e6;
+        println!(
+            "{:<8} {:>10} {:>12.4} {:>12.1} {:>12.1} {:>12.1}",
+            phase,
+            reqs.len(),
+            secs,
+            rps,
+            p50,
+            p99
+        );
+        json.push_str(&format!(
+            "\"{phase}_requests\":{},\"{phase}_seconds\":{secs:.6},\
+             \"{phase}_rps\":{rps:.3},\"{phase}_p50_us\":{p50:.1},\"{phase}_p99_us\":{p99:.1},",
+            reqs.len()
+        ));
+        let _ = label;
+    }
+    let metrics = server.metrics();
+    println!(
+        "\nserver counters: admitted {}, completed {}, replayed {}, retried {}",
+        metrics.admitted, metrics.completed, metrics.replayed, metrics.retried
+    );
+    assert!(
+        metrics.replayed >= reqs.len() as u64,
+        "the hot phase must be served from the result cache"
+    );
+    server.drain();
+
+    let (queued, shed) = shed_demo();
+    println!(
+        "shed demo: capacity 4 → {queued} admitted, {shed} rejected with the typed \
+         `overloaded` error"
+    );
+    json.push_str(&format!(
+        "\"clients\":{CLIENTS},\"shed_admitted\":{queued},\"shed_rejected\":{shed}}}"
+    ));
+
+    match std::fs::write("BENCH_serve.json", format!("{json}\n")) {
+        Ok(()) => println!("\nwrote BENCH_serve.json"),
+        Err(e) => println!("\ncould not write BENCH_serve.json: {e}"),
+    }
+}

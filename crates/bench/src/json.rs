@@ -1,0 +1,306 @@
+//! Minimal string-aware flat-JSON helpers.
+//!
+//! No external serialisation crates exist in this environment, so the
+//! report writers ([`crate::report`]) and the serve layer's wire
+//! protocol hand-roll their JSON over one shared subset: documents are
+//! arrays of *flat* objects (no nested objects or arrays inside a
+//! row), values are strings, numbers, booleans or `null`. These
+//! helpers are string-aware — a `,`, `{` or `}` inside a quoted value
+//! never confuses them — which the naive `split`-based scanners the
+//! writers started with could not guarantee once error messages and
+//! workload names became part of the payload.
+
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decode the escapes of a JSON string body (quotes already stripped).
+///
+/// # Errors
+///
+/// A description of the first malformed escape sequence.
+pub fn unescape(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err(format!("truncated unicode escape \\u{hex}"));
+                }
+                let v = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad unicode escape \\u{hex}"))?;
+                out.push(char::from_u32(v).ok_or_else(|| format!("bad code point {v:#x}"))?);
+            }
+            other => return Err(format!("bad escape sequence: \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Split a document into its top-level `{...}` object bodies (the text
+/// between each brace pair). Accepts a bare object or an array of
+/// them; string contents never terminate an object early.
+///
+/// # Errors
+///
+/// An unterminated object, or nesting (which no cimon document uses).
+pub fn objects(doc: &str) -> Result<Vec<&str>, String> {
+    let bytes = doc.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        let (mut in_str, mut esc) = (false, false);
+        loop {
+            let &b = bytes.get(j).ok_or("unterminated object")?;
+            if esc {
+                esc = false;
+            } else if in_str {
+                match b {
+                    b'\\' => esc = true,
+                    b'"' => in_str = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => in_str = true,
+                    b'}' => break,
+                    b'{' | b'[' => return Err("nested structures are not supported".into()),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        out.push(&doc[start..j]);
+        i = j + 1;
+    }
+    Ok(out)
+}
+
+/// One parsed flat object: field names mapped to raw value slices
+/// (string values keep their surrounding quotes).
+pub struct FlatObject<'a> {
+    pairs: Vec<(String, &'a str)>,
+}
+
+impl<'a> FlatObject<'a> {
+    /// Parse an object *body* (as produced by [`objects`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax error.
+    pub fn parse(body: &'a str) -> Result<FlatObject<'a>, String> {
+        let bytes = body.as_bytes();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        let skip_ws = |bytes: &[u8], mut i: usize| {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        };
+        // Scan one quoted string starting at the opening quote; returns
+        // the index one past the closing quote.
+        let scan_string = |bytes: &[u8], start: usize| -> Result<usize, String> {
+            let mut j = start + 1;
+            let mut esc = false;
+            loop {
+                let &b = bytes.get(j).ok_or("unterminated string")?;
+                if esc {
+                    esc = false;
+                } else if b == b'\\' {
+                    esc = true;
+                } else if b == b'"' {
+                    return Ok(j + 1);
+                }
+                j += 1;
+            }
+        };
+        loop {
+            i = skip_ws(bytes, i);
+            if i >= bytes.len() {
+                break;
+            }
+            if bytes[i] != b'"' {
+                return Err(format!("expected a field name at byte {i}"));
+            }
+            let key_end = scan_string(bytes, i)?;
+            let key = unescape(&body[i + 1..key_end - 1])?;
+            i = skip_ws(bytes, key_end);
+            if bytes.get(i) != Some(&b':') {
+                return Err(format!("expected `:` after field `{key}`"));
+            }
+            i = skip_ws(bytes, i + 1);
+            let value_start = i;
+            let value_end = if bytes.get(i) == Some(&b'"') {
+                scan_string(bytes, i)?
+            } else {
+                let mut j = i;
+                while j < bytes.len() && bytes[j] != b',' && !bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                j
+            };
+            pairs.push((key, body[value_start..value_end].trim()));
+            i = skip_ws(bytes, value_end);
+            match bytes.get(i) {
+                None => break,
+                Some(b',') => i += 1,
+                Some(_) => return Err(format!("expected `,` at byte {i}")),
+            }
+        }
+        Ok(FlatObject { pairs })
+    }
+
+    /// Raw value slice of `name` (strings keep their quotes).
+    ///
+    /// # Errors
+    ///
+    /// The field is absent.
+    pub fn raw(&self, name: &str) -> Result<&'a str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing field `{name}`"))
+    }
+
+    /// Whether the object carries `name` at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+
+    /// Decoded string value of `name`.
+    ///
+    /// # Errors
+    ///
+    /// The field is absent, not a string, or malformed.
+    pub fn str(&self, name: &str) -> Result<String, String> {
+        let raw = self.raw(name)?;
+        let body = raw
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("field `{name}` is not a string: `{raw}`"))?;
+        unescape(body)
+    }
+
+    /// Numeric value of `name` (any `FromStr` number type).
+    ///
+    /// # Errors
+    ///
+    /// The field is absent or does not parse as `T`.
+    pub fn num<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.raw(name)?
+            .parse()
+            .map_err(|_| format!("field `{name}` is not a number"))
+    }
+
+    /// Boolean value of `name`.
+    ///
+    /// # Errors
+    ///
+    /// The field is absent or neither `true` nor `false`.
+    pub fn bool(&self, name: &str) -> Result<bool, String> {
+        match self.raw(name)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(format!("field `{name}` is not a boolean: `{other}`")),
+        }
+    }
+
+    /// Numeric value of `name`, or `None` when it is `null` or absent.
+    ///
+    /// # Errors
+    ///
+    /// The field is present but neither `null` nor a number.
+    pub fn opt_num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.pairs.iter().find(|(k, _)| k == name) {
+            None => Ok(None),
+            Some((_, raw)) if *raw == "null" => Ok(None),
+            Some(_) => self.num(name).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_unescape_round_trip() {
+        let nasty = "a\"b\\c\nd,e}f{g\th\u{1}i";
+        assert_eq!(unescape(&escape(nasty)).unwrap(), nasty);
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert!(unescape("\\q").is_err());
+        assert!(unescape("\\u12").is_err());
+    }
+
+    #[test]
+    fn objects_are_split_string_aware() {
+        let doc = "[\n  {\"a\":\"x,}{y\",\"b\":1},\n  {\"a\":\"\",\"b\":2}\n]\n";
+        let objs = objects(doc).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0], "\"a\":\"x,}{y\",\"b\":1");
+        assert!(objects("{\"a\":1").is_err());
+        assert!(objects("{\"a\":{}}").is_err());
+    }
+
+    #[test]
+    fn flat_object_fields() {
+        let o = FlatObject::parse("\"s\":\"x,\\\"y\",\"n\":-3.5,\"t\":true,\"z\":null").unwrap();
+        assert_eq!(o.str("s").unwrap(), "x,\"y");
+        assert_eq!(o.num::<f64>("n").unwrap(), -3.5);
+        assert!(o.bool("t").unwrap());
+        assert_eq!(o.opt_num::<u32>("z").unwrap(), None);
+        assert_eq!(o.opt_num::<u32>("missing").unwrap(), None);
+        assert!(o.has("z") && !o.has("missing"));
+        assert!(o.raw("missing").is_err());
+        assert!(o.str("n").is_err());
+        assert!(o.num::<u32>("s").is_err());
+        assert!(o.bool("n").is_err());
+        assert!(o.opt_num::<u32>("s").is_err());
+    }
+
+    #[test]
+    fn malformed_objects_are_rejected() {
+        assert!(FlatObject::parse("\"unclosed").is_err());
+        assert!(FlatObject::parse("noquote:1").is_err());
+        assert!(FlatObject::parse("\"a\" 1").is_err());
+        assert!(FlatObject::parse("\"a\":1 \"b\":2").is_err());
+        assert!(FlatObject::parse("").map(|o| o.pairs.len()).unwrap() == 0);
+    }
+}

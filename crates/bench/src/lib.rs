@@ -42,6 +42,7 @@ use cimon_os::RefillPolicyKind;
 use cimon_sim::engine::{default_workers, parallel_map, Artifact, ResultRow, Sweep};
 use cimon_sim::{overhead_percent, SimConfig};
 
+pub mod json;
 pub mod report;
 
 /// Figure 6's table sizes.

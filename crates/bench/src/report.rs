@@ -84,22 +84,7 @@ pub fn to_csv(rows: &[ResultRow]) -> String {
     out
 }
 
-/// Escape a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use crate::json::{self, FlatObject};
 
 /// Serialise result rows as a JSON array of flat objects.
 pub fn to_json(rows: &[ResultRow]) -> String {
@@ -118,7 +103,7 @@ pub fn to_json(rows: &[ResultRow]) -> String {
              \"cycles\":{},\"monitor_stall_cycles\":{},\"checks\":{},\
              \"hits\":{},\"misses\":{},\"mismatches\":{},\
              \"miss_rate_percent\":{},\"fht_entries\":{}}}",
-            json_escape(&r.workload),
+            json::escape(&r.workload),
             r.monitored,
             r.iht_entries,
             r.hash_algo.name(),
@@ -140,7 +125,7 @@ pub fn to_json(rows: &[ResultRow]) -> String {
         // clean sweeps stay byte-identical to the pre-status format.
         if let RowStatus::Failed(err) = &r.status {
             out.pop();
-            let _ = write!(out, ",\"error\":\"{}\"}}", json_escape(&err.to_string()));
+            let _ = write!(out, ",\"error\":\"{}\"}}", json::escape(&err.to_string()));
         }
         out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
@@ -158,7 +143,7 @@ pub fn throughput_to_json(rows: &[crate::ThroughputRow]) -> String {
             "  {{\"workload\":\"{}\",\"mode\":\"{}\",\"instructions\":{},\
              \"cycles\":{},\"best_seconds\":{},\"mips\":{:.3},\
              \"block_mean\":{:.3},\"block_max\":{}}}",
-            json_escape(&r.workload),
+            json::escape(&r.workload),
             r.mode,
             r.instructions,
             r.cycles,
@@ -241,6 +226,164 @@ pub fn throughput_from_json(json: &str) -> Result<Vec<crate::ThroughputRow>, Str
         });
     }
     Ok(rows)
+}
+
+/// Reconstruct a [`RunOutcome`] from its serialised `(tag, exit_code)`
+/// pair. The writers collapse outcome payloads (detection cause,
+/// faulting PC, …) to their tag, so `detected` and the fault kinds come
+/// back with zeroed placeholder payloads — re-serialising yields the
+/// identical tag, which is the round-trip contract the serve journal
+/// relies on.
+fn outcome_from_tag(tag: &str, code: Option<u32>) -> Result<RunOutcome, String> {
+    use cimon_core::BlockKey;
+    use cimon_os::TerminationCause;
+    Ok(match tag {
+        "exited" => RunOutcome::Exited {
+            code: code.ok_or("`exited` row without an exit_code")?,
+        },
+        "detected" => RunOutcome::Detected {
+            cause: TerminationCause::UnknownBlock {
+                block: BlockKey { start: 0, end: 0 },
+            },
+            pc: 0,
+        },
+        "fault-illegal-instruction" => {
+            RunOutcome::Fault(FaultKind::IllegalInstruction { pc: 0, word: 0 })
+        }
+        "fault-mem" => RunOutcome::Fault(FaultKind::MemFault { pc: 0 }),
+        "fault-address" => RunOutcome::Fault(FaultKind::AddressError { pc: 0, target: 0 }),
+        "fault-break" => RunOutcome::Fault(FaultKind::BreakTrap { pc: 0 }),
+        "fault-bad-syscall" => RunOutcome::Fault(FaultKind::BadSyscall { pc: 0, number: 0 }),
+        "max-cycles" => RunOutcome::MaxCycles,
+        "watchdog" => RunOutcome::Watchdog,
+        other => return Err(format!("unknown outcome tag `{other}`")),
+    })
+}
+
+/// Intern a policy name to the engine's `&'static str` vocabulary.
+fn intern_policy(name: &str) -> Result<&'static str, String> {
+    ["none", "replace-half-lru", "single-lru", "fifo", "random"]
+        .into_iter()
+        .find(|p| *p == name)
+        .ok_or_else(|| format!("unknown policy `{name}`"))
+}
+
+/// Parse one hash algorithm by its serialised name.
+fn algo_from_name(name: &str) -> Result<cimon_core::HashAlgoKind, String> {
+    cimon_core::HashAlgoKind::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown hash algorithm `{name}`"))
+}
+
+/// Parse a [`to_json`] document back into result rows — the read side
+/// of the serve layer's durable journal, and the proof that a
+/// [`RowStatus`] survives serialisation: `Ok` and `TimedOut` rows come
+/// back status-identical, and `Failed` rows rebuild their typed
+/// [`cimon_core::SimError`] from the `failed-<kind>` tag plus the
+/// rendered `error` field (via [`cimon_core::SimError::from_wire`]).
+///
+/// Two fields are lossy by design: `expected_exit` is never serialised
+/// (parsed rows carry `None`), and non-exit outcome payloads collapse
+/// to their tag. Re-serialising a parsed document reproduces it byte
+/// for byte.
+///
+/// # Errors
+///
+/// A description of the first malformed row.
+pub fn rows_from_json(doc: &str) -> Result<Vec<ResultRow>, String> {
+    use cimon_core::SimError;
+    let mut rows = Vec::new();
+    for body in json::objects(doc)? {
+        let obj = FlatObject::parse(body)?;
+        let tag = obj.str("outcome")?;
+        let code: Option<u32> = obj.opt_num("exit_code")?;
+        let (outcome, status) = if let Some(kind) = tag.strip_prefix("failed-") {
+            let rendered = obj.str("error")?;
+            let err = SimError::from_wire(kind, &rendered).ok_or_else(|| {
+                format!("unreconstructable error: kind `{kind}`, rendering `{rendered}`")
+            })?;
+            // Poisoned rows carry the same placeholder outcome the
+            // engine gives them (`ResultRow::poisoned`).
+            (RunOutcome::Watchdog, RowStatus::Failed(err))
+        } else {
+            let outcome = outcome_from_tag(&tag, code)?;
+            let status = if outcome == RunOutcome::Watchdog {
+                RowStatus::TimedOut
+            } else {
+                RowStatus::Ok
+            };
+            (outcome, status)
+        };
+        rows.push(ResultRow {
+            workload: obj.str("workload")?,
+            expected_exit: None,
+            monitored: obj.bool("monitored")?,
+            iht_entries: obj.num("iht_entries")?,
+            hash_algo: algo_from_name(&obj.str("hash_algo")?)?,
+            hash_seed: obj.num("hash_seed")?,
+            policy: intern_policy(&obj.str("policy")?)?,
+            outcome,
+            instructions: obj.num("instructions")?,
+            cycles: obj.num("cycles")?,
+            monitor_stall_cycles: obj.num("monitor_stall_cycles")?,
+            checks: obj.num("checks")?,
+            hits: obj.num("hits")?,
+            misses: obj.num("misses")?,
+            mismatches: obj.num("mismatches")?,
+            miss_rate_percent: obj.num("miss_rate_percent")?,
+            fht_entries: obj.num("fht_entries")?,
+            status,
+        });
+    }
+    Ok(rows)
+}
+
+/// Serialise one campaign result as a flat JSON object — every counter
+/// including the robustness pair
+/// ([`cimon_faults::CampaignResult::quarantined`],
+/// [`cimon_faults::CampaignResult::saved_cycles`]) plus the derived
+/// coverage figures for human consumers.
+pub fn campaign_to_json(r: &cimon_faults::CampaignResult) -> String {
+    format!(
+        "{{\"detected_monitor\":{},\"detected_baseline\":{},\"masked\":{},\
+         \"silent\":{},\"hung\":{},\"quarantined\":{},\"saved_cycles\":{},\
+         \"coverage_percent\":{:.3},\"silent_percent\":{:.3}}}",
+        r.detected_monitor,
+        r.detected_baseline,
+        r.masked,
+        r.silent,
+        r.hung,
+        r.quarantined,
+        r.saved_cycles,
+        r.coverage_percent(),
+        r.silent_percent(),
+    )
+}
+
+/// Parse a [`campaign_to_json`] object back into counters. The derived
+/// percentage fields are ignored on input (they are recomputed from
+/// the counters on demand).
+///
+/// # Errors
+///
+/// A description of the first missing or malformed counter.
+pub fn campaign_from_json(doc: &str) -> Result<cimon_faults::CampaignResult, String> {
+    let bodies = json::objects(doc)?;
+    let body = match bodies.as_slice() {
+        [one] => one,
+        other => return Err(format!("expected one campaign object, got {}", other.len())),
+    };
+    let obj = FlatObject::parse(body)?;
+    Ok(cimon_faults::CampaignResult {
+        detected_monitor: obj.num("detected_monitor")?,
+        detected_baseline: obj.num("detected_baseline")?,
+        masked: obj.num("masked")?,
+        silent: obj.num("silent")?,
+        hung: obj.num("hung")?,
+        quarantined: obj.num("quarantined")?,
+        saved_cycles: obj.num("saved_cycles")?,
+    })
 }
 
 #[cfg(test)]
@@ -331,7 +474,119 @@ mod tests {
 
     #[test]
     fn json_escaping() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    /// Every row status survives serialisation: `Ok` and `TimedOut`
+    /// rows parse back status- and counter-identical, `Failed` rows
+    /// rebuild their typed error, and re-serialising any parsed
+    /// document reproduces it byte for byte (the serve journal's
+    /// durability contract).
+    #[test]
+    fn rows_round_trip_through_json() {
+        use cimon_core::SimError;
+        let ok = row();
+        let mut timed_out = row();
+        timed_out.outcome = RunOutcome::Watchdog;
+        timed_out.status = RowStatus::TimedOut;
+        let mut failed = row();
+        failed.outcome = RunOutcome::Watchdog;
+        failed.status = RowStatus::Failed(SimError::WorkerPanic {
+            site: "serve",
+            message: "chaos: injected panic at serve[13]".to_string(),
+        });
+        let mut overloaded = row();
+        overloaded.outcome = RunOutcome::Watchdog;
+        overloaded.status = RowStatus::Failed(SimError::Overloaded {
+            queued: 8,
+            capacity: 8,
+        });
+        let mut nasty = row();
+        nasty.workload = "qsort\",{}\n".to_string();
+        let rows = vec![ok, timed_out, failed, overloaded, nasty];
+
+        let doc = to_json(&rows);
+        let parsed = rows_from_json(&doc).unwrap();
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.status, r.status, "status must survive the trip");
+            assert_eq!(p.workload, r.workload);
+            assert_eq!(p.expected_exit, None, "expected_exit is never serialised");
+            assert_eq!(
+                ResultRow {
+                    expected_exit: r.expected_exit,
+                    ..p.clone()
+                },
+                *r
+            );
+        }
+        assert_eq!(to_json(&parsed), doc, "re-serialisation is byte-identical");
+    }
+
+    #[test]
+    fn lossy_outcome_payloads_still_round_trip_their_tags() {
+        let mut detected = row();
+        detected.outcome = RunOutcome::Detected {
+            cause: cimon_os::TerminationCause::HashMismatch {
+                block: cimon_core::BlockKey {
+                    start: 0x40_0000,
+                    end: 0x40_0010,
+                },
+                expected: 1,
+                actual: 2,
+            },
+            pc: 0x40_0010,
+        };
+        let mut fault = row();
+        fault.outcome = RunOutcome::Fault(FaultKind::BadSyscall {
+            pc: 0x40_0004,
+            number: 99,
+        });
+        let doc = to_json(&[detected, fault]);
+        let parsed = rows_from_json(&doc).unwrap();
+        assert!(matches!(parsed[0].outcome, RunOutcome::Detected { .. }));
+        assert!(matches!(
+            parsed[1].outcome,
+            RunOutcome::Fault(FaultKind::BadSyscall { .. })
+        ));
+        assert_eq!(to_json(&parsed), doc);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_reasons() {
+        // Unknown outcome tag.
+        let bad_tag = to_json(&[row()]).replace("\"outcome\":\"exited\"", "\"outcome\":\"warp\"");
+        assert!(rows_from_json(&bad_tag).unwrap_err().contains("warp"));
+        // Unknown policy.
+        let bad_policy = to_json(&[row()]).replace("replace-half-lru", "coin-flip");
+        assert!(rows_from_json(&bad_policy).unwrap_err().contains("policy"));
+        // A failed row whose rendered error drifted from its kind.
+        let mut failed = row();
+        failed.status = RowStatus::Failed(cimon_core::SimError::Draining);
+        let drifted = to_json(&[failed]).replace("server draining", "server leaving");
+        assert!(rows_from_json(&drifted)
+            .unwrap_err()
+            .contains("unreconstructable"));
+    }
+
+    #[test]
+    fn campaign_results_round_trip_with_robustness_counters() {
+        let r = cimon_faults::CampaignResult {
+            detected_monitor: 50,
+            detected_baseline: 5,
+            masked: 10,
+            silent: 1,
+            hung: 2,
+            quarantined: 3,
+            saved_cycles: 123_456,
+        };
+        let doc = campaign_to_json(&r);
+        assert!(doc.contains("\"quarantined\":3"));
+        assert!(doc.contains("\"saved_cycles\":123456"));
+        assert!(doc.contains("\"coverage_percent\":"));
+        assert_eq!(campaign_from_json(&doc).unwrap(), r);
+        assert!(campaign_from_json("[]").is_err());
+        assert!(campaign_from_json("{\"masked\":1}").is_err());
     }
 
     fn trow(workload: &str, mode: &'static str, mips: f64) -> crate::ThroughputRow {

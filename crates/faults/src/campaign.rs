@@ -210,6 +210,21 @@ impl CampaignResult {
         }
     }
 
+    /// Fold another result's counts into this one. Merging the results
+    /// of [`Campaign::run_range`] over a partition of `0..runs` yields
+    /// exactly the full [`Campaign::run`] result — the serve layer
+    /// leans on this to journal long campaigns chunk by chunk and
+    /// resume after a crash without re-running finished chunks.
+    pub fn merge(&mut self, other: &CampaignResult) {
+        self.detected_monitor += other.detected_monitor;
+        self.detected_baseline += other.detected_baseline;
+        self.masked += other.masked;
+        self.silent += other.silent;
+        self.hung += other.hung;
+        self.quarantined += other.quarantined;
+        self.saved_cycles += other.saved_cycles;
+    }
+
     /// Tally one classified outcome.
     pub fn record(&mut self, outcome: Outcome) {
         match outcome {
@@ -618,14 +633,61 @@ impl Campaign {
         config: &CampaignConfig,
         workers: usize,
     ) -> Result<CampaignResult, SimError> {
+        self.run_range_with_workers(config, 0..config.runs, workers)
+    }
+
+    /// Run a contiguous subrange of the campaign's plans on the worker
+    /// pool. Plans are always drawn for the *full* config first (the
+    /// RNG stream is positional), so `run_range(cfg, a..b)` classifies
+    /// exactly the plans `run(cfg)` would classify at indices `a..b` —
+    /// and chaos injections key on the absolute plan index, so merging
+    /// the results of a partition of `0..runs` reproduces the full
+    /// campaign result byte for byte even under `CIMON_CHAOS=1`. This
+    /// is the serve layer's unit of journaling: each chunk is durable
+    /// once written, and a restarted server re-runs only the missing
+    /// ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `config.targets` is empty or
+    /// the range reaches past `config.runs`.
+    pub fn run_range(
+        &self,
+        config: &CampaignConfig,
+        range: std::ops::Range<usize>,
+    ) -> Result<CampaignResult, SimError> {
+        self.run_range_with_workers(config, range, default_workers())
+    }
+
+    /// [`Campaign::run_range`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `config.targets` is empty or
+    /// the range reaches past `config.runs`.
+    pub fn run_range_with_workers(
+        &self,
+        config: &CampaignConfig,
+        range: std::ops::Range<usize>,
+        workers: usize,
+    ) -> Result<CampaignResult, SimError> {
         if config.targets.is_empty() {
             return Err(SimError::InvalidConfig {
                 message: "campaign needs target addresses".into(),
             });
         }
+        if range.end > config.runs {
+            return Err(SimError::InvalidConfig {
+                message: format!(
+                    "plan range {}..{} exceeds the campaign's {} runs",
+                    range.start, range.end, config.runs
+                ),
+            });
+        }
         let plans = self.plans(config);
-        let outcomes = parallel_map_isolated(&plans, workers, "campaign", |i, plan| {
-            chaos::maybe_panic("campaign", i);
+        let offset = range.start;
+        let outcomes = parallel_map_isolated(&plans[range], workers, "campaign", |i, plan| {
+            chaos::maybe_panic("campaign", offset + i);
             let first = self.run_one_restarted(plan, config.max_cycles, config.max_wall);
             if first.0 != Outcome::Quarantined {
                 return first;
@@ -1000,6 +1062,79 @@ mod tests {
         let parallel = c.run_with_workers(&cfg, 8).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial.total(), 40);
+    }
+
+    #[test]
+    fn chunked_ranges_merge_to_the_full_campaign() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let cfg = CampaignConfig {
+            runs: 40,
+            seed: 17,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 60_000,
+            max_wall: None,
+        };
+        let full = c.run_with_workers(&cfg, 2).unwrap();
+        // Uneven chunks, including a singleton and an empty range.
+        let mut merged = CampaignResult::default();
+        for bounds in [0..7, 7..8, 8..8, 8..25, 25..40] {
+            merged.merge(&c.run_range_with_workers(&cfg, bounds, 2).unwrap());
+        }
+        assert_eq!(merged, full);
+        assert_eq!(merged.total(), cfg.runs);
+        // A range is the same plans the full campaign ran at those
+        // indices — not a fresh RNG stream.
+        let head = c.run_range_with_workers(&cfg, 0..cfg.runs, 2).unwrap();
+        assert_eq!(head, full);
+    }
+
+    #[test]
+    fn out_of_range_chunks_are_rejected() {
+        let (c, targets) = setup(HashAlgoKind::Xor);
+        let cfg = CampaignConfig {
+            runs: 10,
+            seed: 1,
+            model: FaultModel::SingleBit,
+            site: FaultSite::StoredImage,
+            targets,
+            max_cycles: 1000,
+            max_wall: None,
+        };
+        let err = c.run_range(&cfg, 5..11).unwrap_err();
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = CampaignResult {
+            detected_monitor: 1,
+            detected_baseline: 2,
+            masked: 3,
+            silent: 4,
+            hung: 5,
+            quarantined: 6,
+            saved_cycles: 7,
+        };
+        let mut acc = a;
+        acc.merge(&a);
+        assert_eq!(
+            acc,
+            CampaignResult {
+                detected_monitor: 2,
+                detected_baseline: 4,
+                masked: 6,
+                silent: 8,
+                hung: 10,
+                quarantined: 12,
+                saved_cycles: 14,
+            }
+        );
+        let mut id = a;
+        id.merge(&CampaignResult::default());
+        assert_eq!(id, a);
     }
 
     #[test]

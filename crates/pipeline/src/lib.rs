@@ -60,6 +60,7 @@ pub use predecode::{PredecodedEntry, PredecodedImage};
 pub use processor::{
     BlockEvent, BlockExec, BlockExecStats, ConsoleEvent, FastPassReport, FaultKind, MonitorConfig,
     Predecode, Processor, ProcessorConfig, ProcessorSnapshot, RunOutcome, RunStats,
+    DEFAULT_WATCHDOG_POLL_BITS,
 };
 pub use regfile::RegFile;
 pub use timing::{BlockPlan, Timing, TimingConfig, MASK_HI, MASK_LO};

@@ -146,9 +146,16 @@ pub struct ProcessorConfig {
     /// since construction (or since [`Processor::set_max_wall`]
     /// re-armed it). `None` — the default — disables the watchdog and
     /// costs nothing on the hot path: the deadline is only polled every
-    /// `WATCHDOG_STRIDE` (2^16) retired instructions, and not at all
-    /// when unarmed.
+    /// 2^[`ProcessorConfig::watchdog_poll_bits`] retired instructions,
+    /// and not at all when unarmed.
     pub max_wall: Option<Duration>,
+    /// Log2 of the retired-instruction stride between wall-clock polls
+    /// of an armed watchdog (default 16, i.e. one `Instant::now` per
+    /// 65 536 retirements). Smaller values detect a deadline sooner at
+    /// the cost of more clock samples — serving layers with tight
+    /// per-request deadlines dial this down; batch sweeps keep the
+    /// default. Clamped to at most 32.
+    pub watchdog_poll_bits: u32,
     /// Record executed basic-block boundaries (used by the trace-based
     /// hash generator; costs memory on long runs).
     pub record_blocks: bool,
@@ -183,6 +190,7 @@ impl ProcessorConfig {
             timing: TimingConfig::default(),
             max_cycles: 200_000_000,
             max_wall: None,
+            watchdog_poll_bits: DEFAULT_WATCHDOG_POLL_BITS,
             record_blocks: false,
             predecode: Predecode::Auto,
             block_exec: BlockExec::Auto,
@@ -842,14 +850,17 @@ pub struct Processor {
     deadline: Option<Instant>,
     /// Next retired-instruction count at which the deadline is polled —
     /// `Instant::now` is too expensive to call per dispatch, so the
-    /// watchdog samples the clock every [`WATCHDOG_STRIDE`] retirements.
+    /// watchdog samples the clock every `watchdog_stride` retirements.
     next_watchdog: u64,
+    /// Retired instructions between wall-clock polls, derived from
+    /// [`ProcessorConfig::watchdog_poll_bits`] at construction.
+    watchdog_stride: u64,
 }
 
-/// How many retired instructions pass between wall-clock polls of an
-/// armed watchdog. At simulator throughputs of tens of MIPS this bounds
-/// the overshoot past the deadline to a few milliseconds.
-const WATCHDOG_STRIDE: u64 = 1 << 16;
+/// Default [`ProcessorConfig::watchdog_poll_bits`]: a 2^16-retirement
+/// stride. At simulator throughputs of tens of MIPS this bounds the
+/// overshoot past the deadline to a few milliseconds.
+pub const DEFAULT_WATCHDOG_POLL_BITS: u32 = 16;
 
 impl std::fmt::Debug for Processor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -990,7 +1001,8 @@ impl Processor {
             shadow_block_start: None,
             max_cycles: config.max_cycles,
             deadline: config.max_wall.map(|wall| Instant::now() + wall),
-            next_watchdog: WATCHDOG_STRIDE,
+            next_watchdog: 1u64 << config.watchdog_poll_bits.min(32),
+            watchdog_stride: 1u64 << config.watchdog_poll_bits.min(32),
         }
     }
 
@@ -1099,12 +1111,13 @@ impl Processor {
     /// its own deadline rather than inheriting the serial run's.
     pub fn set_max_wall(&mut self, max_wall: Option<Duration>) {
         self.deadline = max_wall.map(|wall| Instant::now() + wall);
-        self.next_watchdog = self.instret + WATCHDOG_STRIDE;
+        self.next_watchdog = self.instret + self.watchdog_stride;
     }
 
     /// Poll the wall-clock watchdog. Unarmed: one branch. Armed: one
     /// compare per call, with `Instant::now` sampled only every
-    /// [`WATCHDOG_STRIDE`] retired instructions.
+    /// `watchdog_stride` ([`ProcessorConfig::watchdog_poll_bits`])
+    /// retired instructions.
     #[inline]
     fn watchdog_fired(&mut self) -> bool {
         let Some(deadline) = self.deadline else {
@@ -1113,7 +1126,7 @@ impl Processor {
         if self.instret < self.next_watchdog {
             return false;
         }
-        self.next_watchdog = self.instret + WATCHDOG_STRIDE;
+        self.next_watchdog = self.instret + self.watchdog_stride;
         Instant::now() >= deadline
     }
 

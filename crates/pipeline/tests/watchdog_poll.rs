@@ -1,0 +1,102 @@
+//! The configurable watchdog poll stride
+//! ([`ProcessorConfig::watchdog_poll_bits`]).
+//!
+//! The watchdog samples the wall clock every 2^bits retired
+//! instructions, so the poll stride bounds how far a run overshoots an
+//! expired deadline. These tests pin that tolerance with an
+//! already-expired deadline (`Duration::ZERO`): the run must stop at
+//! its *first* poll, which lands within one stride plus one dispatch
+//! of block-grouped instructions.
+
+use std::time::Duration;
+
+use cimon_asm::assemble;
+use cimon_pipeline::{
+    Processor, ProcessorConfig, RunOutcome, DEFAULT_WATCHDOG_POLL_BITS, MAX_BLOCK_LEN,
+};
+
+/// A loop that retires far more instructions than any tested stride.
+const SPIN: &str = "
+    .text
+main:
+    li   $t0, 200000
+loop:
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    li   $a0, 1
+    li   $v0, 10
+    syscall
+";
+
+fn run_with_bits(bits: u32) -> (RunOutcome, u64) {
+    let prog = assemble(SPIN).expect("spin assembles");
+    let mut cpu = Processor::new(
+        &prog.image,
+        ProcessorConfig {
+            max_wall: Some(Duration::ZERO),
+            watchdog_poll_bits: bits,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    let outcome = cpu.run();
+    let instructions = cpu.stats().instructions;
+    (outcome, instructions)
+}
+
+#[test]
+fn tighter_polling_detects_an_expired_deadline_within_tolerance() {
+    // With a 2^4 stride the first clock sample happens within 16
+    // retirements (plus the block in flight), so the expired deadline
+    // is seen almost immediately.
+    let (outcome, instructions) = run_with_bits(4);
+    assert_eq!(outcome, RunOutcome::Watchdog);
+    let tolerance = (1u64 << 4) + MAX_BLOCK_LEN as u64;
+    assert!(
+        instructions <= tolerance,
+        "bits=4 must stop within {tolerance} instructions, ran {instructions}"
+    );
+}
+
+#[test]
+fn default_stride_is_two_to_the_sixteen() {
+    assert_eq!(
+        ProcessorConfig::baseline().watchdog_poll_bits,
+        DEFAULT_WATCHDOG_POLL_BITS
+    );
+    // The default stride does NOT see the expired deadline before
+    // 2^16 retirements — that is exactly the latency/overhead trade
+    // the knob exposes.
+    let (outcome, instructions) = run_with_bits(DEFAULT_WATCHDOG_POLL_BITS);
+    assert_eq!(outcome, RunOutcome::Watchdog);
+    assert!(
+        instructions >= 1 << DEFAULT_WATCHDOG_POLL_BITS,
+        "default stride polled early: {instructions}"
+    );
+    assert!(instructions <= (1 << DEFAULT_WATCHDOG_POLL_BITS) + MAX_BLOCK_LEN as u64);
+}
+
+#[test]
+fn poll_bits_are_clamped_and_unarmed_runs_never_poll() {
+    // Absurd bits clamp to 2^32 — the run just finishes (600k retired
+    // instructions never reach the first poll).
+    let prog = assemble(SPIN).expect("spin assembles");
+    let mut cpu = Processor::new(
+        &prog.image,
+        ProcessorConfig {
+            max_wall: Some(Duration::ZERO),
+            watchdog_poll_bits: 63,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    assert_eq!(cpu.run(), RunOutcome::Exited { code: 1 });
+
+    // And without a deadline the knob is inert.
+    let mut cpu = Processor::new(
+        &prog.image,
+        ProcessorConfig {
+            watchdog_poll_bits: 4,
+            ..ProcessorConfig::baseline()
+        },
+    );
+    assert_eq!(cpu.run(), RunOutcome::Exited { code: 1 });
+}

@@ -1,0 +1,117 @@
+//! The `cimon-serve` daemon: a crash-safe, back-pressured simulation
+//! service over TCP.
+//!
+//! ```text
+//! cimon-serve [--addr HOST:PORT] [--journal PATH] [--queue N]
+//!             [--workers N] [--chunk N] [--deadline-ms N]
+//! ```
+//!
+//! See `docs/serve.md` for the wire protocol and operational contract.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cimon_serve::{net, ServeConfig, Server};
+
+struct Args {
+    addr: String,
+    journal: Option<PathBuf>,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4650".to_string(),
+        journal: None,
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
+            "--queue" => {
+                args.cfg.queue_capacity = parse_num(&value("--queue")?, "--queue")?;
+            }
+            "--workers" => {
+                args.cfg.workers = parse_num(&value("--workers")?, "--workers")?;
+            }
+            "--chunk" => {
+                args.cfg.campaign_chunk = parse_num(&value("--chunk")?, "--chunk")?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                args.cfg.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cimon-serve [--addr HOST:PORT] [--journal PATH] [--queue N] \
+                     [--workers N] [--chunk N] [--deadline-ms N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("flag {name}: `{raw}` is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("cimon-serve: {m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(args.cfg, args.journal.as_deref()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cimon-serve: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = server.metrics();
+    if m.journal_torn > 0 || m.journal_corrupt_dropped > 0 {
+        eprintln!(
+            "cimon-serve: journal recovery truncated a torn tail: {}, dropped corrupt records: {}",
+            m.journal_torn, m.journal_corrupt_dropped
+        );
+    }
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cimon-serve: bind {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(a) => println!("cimon-serve: listening on {a}"),
+        Err(_) => println!("cimon-serve: listening on {}", args.addr),
+    }
+    let accept = match net::serve(server, listener) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cimon-serve: accept loop failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The accept loop runs until a drain request stops the server.
+    if accept.join().is_err() {
+        eprintln!("cimon-serve: accept loop panicked");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

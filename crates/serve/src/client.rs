@@ -1,0 +1,69 @@
+//! A small blocking client for the TCP front.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cimon_core::SimError;
+
+use crate::protocol::{self, Request, Response};
+
+fn io_err(context: &str, e: std::io::Error) -> SimError {
+    SimError::Io {
+        message: format!("{context}: {e}"),
+    }
+}
+
+/// A blocking connection to a `cimon-serve` daemon: one request line
+/// out, one response line back, in order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, SimError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect failed", e))?;
+        // Request/response lines are tiny; Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| io_err("stream clone failed", e))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Send a request and block for its response line.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on a broken connection (including a server
+    /// killed before responding); [`SimError::Protocol`] when the
+    /// response line does not parse. Typed *error responses* are not
+    /// an `Err` — they come back as [`Response::Error`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, SimError> {
+        let line = req.to_line();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| io_err("request write failed", e))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| io_err("response read failed", e))?;
+        if n == 0 {
+            return Err(SimError::Io {
+                message: "server closed the connection before responding".to_string(),
+            });
+        }
+        protocol::parse_response(reply.trim_end())
+    }
+}

@@ -1,0 +1,98 @@
+//! The TCP front: line-delimited flat-JSON requests in, one response
+//! line per request out.
+//!
+//! The accept loop polls a non-blocking listener so it can notice a
+//! drain or kill and stop accepting; each connection gets its own
+//! thread that reads request lines, runs them through the chaos
+//! request-corruption site (`CIMON_CHAOS=1`), and answers every line —
+//! malformed input gets a typed `protocol` error response rather than a
+//! dropped connection.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cimon_core::SimError;
+use cimon_sim::chaos;
+
+use crate::protocol::{self, Response};
+use crate::server::Server;
+
+/// How often the accept loop re-checks the server state while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Accept connections on `listener` until the server stops running.
+/// Returns the accept-loop thread handle; connection threads are
+/// detached and exit when their peer hangs up.
+///
+/// # Errors
+///
+/// [`SimError::Io`] when the listener cannot be made non-blocking.
+pub fn serve(server: Arc<Server>, listener: TcpListener) -> Result<JoinHandle<()>, SimError> {
+    listener.set_nonblocking(true).map_err(|e| SimError::Io {
+        message: format!("listener setup failed: {e}"),
+    })?;
+    Ok(std::thread::spawn(move || accept_loop(&server, &listener)))
+}
+
+fn accept_loop(server: &Arc<Server>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = server.clone();
+                std::thread::spawn(move || connection(&server, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if !server.is_running() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one connection until EOF or a write failure.
+fn connection(server: &Arc<Server>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    // One request line, one response line: Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The wire-level chaos site: each received request line gets a
+        // deterministic corruption roll before parsing, so the suite
+        // can prove corrupt input yields typed protocol errors.
+        let wire_index = server.next_wire_index();
+        let mut bytes = line.trim_end_matches(['\r', '\n']).as_bytes().to_vec();
+        chaos::maybe_corrupt_request(wire_index, &mut bytes);
+        let text = String::from_utf8_lossy(&bytes);
+        let response = match protocol::parse_request(&text) {
+            Ok(req) => server.call(req),
+            Err(error) => {
+                server.count_protocol_error();
+                Response::Error { id: 0, error }
+            }
+        };
+        let reply = protocol::response_to_line(&response);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}

@@ -1,0 +1,552 @@
+//! The wire protocol: line-delimited flat JSON objects.
+//!
+//! One request per line, one response line per request, over any
+//! byte stream (the TCP layer in [`crate::net`], or a test harness
+//! calling [`parse_request`] directly). Objects are *flat* — the
+//! shared scanner in [`cimon_bench::json`] rejects nesting — so a
+//! response embeds its result row or campaign counters as additional
+//! top-level fields next to `id` and `status` rather than as a
+//! sub-object.
+//!
+//! Malformed input never panics and never wedges a connection: every
+//! parse failure is a typed [`SimError::Protocol`] carrying the reason,
+//! which the server turns into a `status:"error"` response.
+
+use cimon_bench::json::{self, FlatObject};
+use cimon_bench::report;
+use cimon_core::{HashAlgoKind, SimError};
+use cimon_faults::{BusFaultMode, CampaignResult, FaultModel, FaultSite};
+use cimon_os::RefillPolicyKind;
+use cimon_sim::engine::ResultRow;
+
+use crate::server::{DrainReport, MetricsSnapshot};
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Wall-clock budget for the request; `None` uses the server's
+    /// default.
+    pub deadline_ms: Option<u64>,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// The request kinds the service understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Run one experiment and return its result row.
+    Run(RunSpec),
+    /// Run a fault campaign and return its aggregated counters.
+    Campaign(CampaignSpec),
+    /// Return the server's metrics counters.
+    Metrics,
+    /// Stop admitting, finish in-flight work, flush the journal and
+    /// report what happened.
+    Drain,
+}
+
+/// One experiment: a workload under one monitor configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Registry workload name.
+    pub workload: String,
+    /// Monitored (CIC) or baseline run.
+    pub monitored: bool,
+    /// IHT entries.
+    pub iht_entries: usize,
+    /// Hash algorithm.
+    pub hash_algo: HashAlgoKind,
+    /// Seed for the seeded-XOR variant.
+    pub hash_seed: u32,
+    /// OS refill policy.
+    pub policy: RefillPolicyKind,
+}
+
+/// One fault campaign over a workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Registry workload name.
+    pub workload: String,
+    /// IHT entries of the monitored configuration under attack.
+    pub iht_entries: usize,
+    /// Hash algorithm of the monitor.
+    pub hash_algo: HashAlgoKind,
+    /// Hash seed of the monitor.
+    pub hash_seed: u32,
+    /// Faulted runs to execute.
+    pub runs: usize,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Fault model.
+    pub model: FaultModel,
+    /// Injection site.
+    pub site: FaultSite,
+    /// Cycle budget per faulted run.
+    pub max_cycles: u64,
+}
+
+/// One server response.
+#[derive(Debug, PartialEq)]
+pub enum Response {
+    /// A finished experiment.
+    Row {
+        /// Echoed request id.
+        id: u64,
+        /// The result row (clean, timed out, or failed — all typed).
+        row: ResultRow,
+        /// Whether the result was served from the journal instead of
+        /// simulated in this process lifetime.
+        replayed: bool,
+    },
+    /// A finished campaign.
+    Campaign {
+        /// Echoed request id.
+        id: u64,
+        /// Merged counters over every chunk.
+        result: CampaignResult,
+        /// Whether every chunk was served from the journal.
+        replayed: bool,
+    },
+    /// The request was rejected or failed; the error is typed so the
+    /// client can distinguish shed load (`overloaded`, `draining`)
+    /// from bad requests (`invalid-config`, `protocol`) and transient
+    /// faults.
+    Error {
+        /// Echoed request id (0 when the id itself did not parse).
+        id: u64,
+        /// Why.
+        error: SimError,
+    },
+    /// Metrics snapshot.
+    Metrics {
+        /// Echoed request id.
+        id: u64,
+        /// Counter values at the time of the request.
+        metrics: MetricsSnapshot,
+    },
+    /// Drain acknowledgement.
+    Drained {
+        /// Echoed request id.
+        id: u64,
+        /// What the drain completed and dropped.
+        report: DrainReport,
+    },
+}
+
+impl Response {
+    /// The echoed request id, whatever the variant.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Row { id, .. }
+            | Response::Campaign { id, .. }
+            | Response::Error { id, .. }
+            | Response::Metrics { id, .. }
+            | Response::Drained { id, .. } => *id,
+        }
+    }
+}
+
+fn proto_err(message: impl Into<String>) -> SimError {
+    SimError::Protocol {
+        message: message.into(),
+    }
+}
+
+fn algo_from_name(name: &str) -> Result<HashAlgoKind, SimError> {
+    HashAlgoKind::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| proto_err(format!("unknown hash algorithm `{name}`")))
+}
+
+fn policy_from_name(name: &str, seed: u64) -> Result<RefillPolicyKind, SimError> {
+    RefillPolicyKind::all(seed)
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| proto_err(format!("unknown policy `{name}`")))
+}
+
+fn model_fields(model: &FaultModel) -> (&'static str, usize) {
+    match model {
+        FaultModel::SingleBit => ("single-bit", 0),
+        FaultModel::MultiBit { n } => ("multi-bit", *n),
+        FaultModel::SameColumnPair => ("same-column-pair", 0),
+    }
+}
+
+fn model_from_fields(name: &str, flips: usize) -> Result<FaultModel, SimError> {
+    match name {
+        "single-bit" => Ok(FaultModel::SingleBit),
+        "multi-bit" if flips > 0 => Ok(FaultModel::MultiBit { n: flips }),
+        "multi-bit" => Err(proto_err("multi-bit model needs `flips` >= 1")),
+        "same-column-pair" => Ok(FaultModel::SameColumnPair),
+        other => Err(proto_err(format!("unknown fault model `{other}`"))),
+    }
+}
+
+fn site_name(site: &FaultSite) -> &'static str {
+    match site {
+        FaultSite::StoredImage => "stored-image",
+        FaultSite::FetchBus(BusFaultMode::OneShot) => "bus-one-shot",
+        FaultSite::FetchBus(BusFaultMode::StuckAt) => "bus-stuck-at",
+    }
+}
+
+fn site_from_name(name: &str) -> Result<FaultSite, SimError> {
+    match name {
+        "stored-image" => Ok(FaultSite::StoredImage),
+        "bus-one-shot" => Ok(FaultSite::FetchBus(BusFaultMode::OneShot)),
+        "bus-stuck-at" => Ok(FaultSite::FetchBus(BusFaultMode::StuckAt)),
+        other => Err(proto_err(format!("unknown fault site `{other}`"))),
+    }
+}
+
+impl Request {
+    /// Serialise this request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!("{{\"id\":{}", self.id);
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        match &self.body {
+            RequestBody::Run(s) => {
+                out.push_str(&format!(
+                    ",\"kind\":\"run\",\"workload\":\"{}\",\"monitored\":{},\
+                     \"iht_entries\":{},\"hash_algo\":\"{}\",\"hash_seed\":{},\
+                     \"policy\":\"{}\"",
+                    json::escape(&s.workload),
+                    s.monitored,
+                    s.iht_entries,
+                    s.hash_algo.name(),
+                    s.hash_seed,
+                    s.policy.name(),
+                ));
+            }
+            RequestBody::Campaign(s) => {
+                let (model, flips) = model_fields(&s.model);
+                out.push_str(&format!(
+                    ",\"kind\":\"campaign\",\"workload\":\"{}\",\"iht_entries\":{},\
+                     \"hash_algo\":\"{}\",\"hash_seed\":{},\"runs\":{},\"seed\":{},\
+                     \"model\":\"{}\",\"flips\":{},\"site\":\"{}\",\"max_cycles\":{}",
+                    json::escape(&s.workload),
+                    s.iht_entries,
+                    s.hash_algo.name(),
+                    s.hash_seed,
+                    s.runs,
+                    s.seed,
+                    model,
+                    flips,
+                    site_name(&s.site),
+                    s.max_cycles,
+                ));
+            }
+            RequestBody::Metrics => out.push_str(",\"kind\":\"metrics\""),
+            RequestBody::Drain => out.push_str(",\"kind\":\"drain\""),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The request's identity for journaling and deduplication: a
+    /// stable 64-bit FNV-1a hash over the canonical serialisation of
+    /// the *work* (id and deadline excluded — the same experiment asked
+    /// twice is the same work).
+    pub fn key(&self) -> u64 {
+        let canonical = Request {
+            id: 0,
+            deadline_ms: None,
+            body: self.body.clone(),
+        }
+        .to_line();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in canonical.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Parse one wire line into a request.
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] describing the first problem; the line never
+/// panics the parser, whatever bytes it contains.
+pub fn parse_request(line: &str) -> Result<Request, SimError> {
+    let bodies = json::objects(line).map_err(proto_err)?;
+    let body = match bodies.as_slice() {
+        [one] => one,
+        other => {
+            return Err(proto_err(format!(
+                "expected one request object per line, found {}",
+                other.len()
+            )))
+        }
+    };
+    let obj = FlatObject::parse(body).map_err(proto_err)?;
+    let id: u64 = obj.num("id").map_err(proto_err)?;
+    let deadline_ms: Option<u64> = obj.opt_num("deadline_ms").map_err(proto_err)?;
+    let kind = obj.str("kind").map_err(proto_err)?;
+    let body = match kind.as_str() {
+        "run" => RequestBody::Run(RunSpec {
+            workload: obj.str("workload").map_err(proto_err)?,
+            monitored: if obj.has("monitored") {
+                obj.bool("monitored").map_err(proto_err)?
+            } else {
+                true
+            },
+            iht_entries: obj.num("iht_entries").map_err(proto_err)?,
+            hash_algo: algo_from_name(&obj.str("hash_algo").map_err(proto_err)?)?,
+            hash_seed: obj.opt_num("hash_seed").map_err(proto_err)?.unwrap_or(0),
+            policy: policy_from_name(
+                &obj.str("policy")
+                    .unwrap_or_else(|_| "replace-half-lru".to_string()),
+                0,
+            )?,
+        }),
+        "campaign" => RequestBody::Campaign(CampaignSpec {
+            workload: obj.str("workload").map_err(proto_err)?,
+            iht_entries: obj.num("iht_entries").map_err(proto_err)?,
+            hash_algo: algo_from_name(&obj.str("hash_algo").map_err(proto_err)?)?,
+            hash_seed: obj.opt_num("hash_seed").map_err(proto_err)?.unwrap_or(0),
+            runs: obj.num("runs").map_err(proto_err)?,
+            seed: obj.num("seed").map_err(proto_err)?,
+            model: model_from_fields(
+                &obj.str("model").map_err(proto_err)?,
+                obj.opt_num("flips").map_err(proto_err)?.unwrap_or(0),
+            )?,
+            site: site_from_name(&obj.str("site").map_err(proto_err)?)?,
+            max_cycles: obj.num("max_cycles").map_err(proto_err)?,
+        }),
+        "metrics" => RequestBody::Metrics,
+        "drain" => RequestBody::Drain,
+        other => return Err(proto_err(format!("unknown request kind `{other}`"))),
+    };
+    Ok(Request {
+        id,
+        deadline_ms,
+        body,
+    })
+}
+
+/// The object *body* (braces stripped) of a single-object document.
+fn sole_body(doc: &str) -> Result<&str, String> {
+    match json::objects(doc)?.as_slice() {
+        [one] => Ok(one),
+        other => Err(format!("expected one object, found {}", other.len())),
+    }
+}
+
+/// Serialise a response as one wire line (no trailing newline).
+pub fn response_to_line(resp: &Response) -> String {
+    match resp {
+        Response::Row { id, row, replayed } => {
+            let doc = report::to_json(std::slice::from_ref(row));
+            let body = sole_body(&doc).unwrap_or_default();
+            format!("{{\"id\":{id},\"status\":\"row\",\"replayed\":{replayed},{body}}}")
+        }
+        Response::Campaign {
+            id,
+            result,
+            replayed,
+        } => {
+            let doc = report::campaign_to_json(result);
+            let body = sole_body(&doc).unwrap_or_default();
+            format!("{{\"id\":{id},\"status\":\"campaign\",\"replayed\":{replayed},{body}}}")
+        }
+        Response::Error { id, error } => format!(
+            "{{\"id\":{id},\"status\":\"error\",\"kind\":\"{}\",\"error\":\"{}\"}}",
+            error.kind(),
+            json::escape(&error.to_string()),
+        ),
+        Response::Metrics { id, metrics } => format!(
+            "{{\"id\":{id},\"status\":\"metrics\",{}}}",
+            metrics.json_fields()
+        ),
+        Response::Drained { id, report } => format!(
+            "{{\"id\":{id},\"status\":\"drained\",\"completed\":{},\"dropped\":{},\
+             \"rejected\":{}}}",
+            report.completed, report.dropped, report.rejected,
+        ),
+    }
+}
+
+/// Parse one response line back into its typed form (the client half
+/// of [`response_to_line`]).
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] when the line is not a well-formed response.
+pub fn parse_response(line: &str) -> Result<Response, SimError> {
+    let body = sole_body(line).map_err(proto_err)?;
+    let obj = FlatObject::parse(body).map_err(proto_err)?;
+    let id: u64 = obj.num("id").map_err(proto_err)?;
+    let status = obj.str("status").map_err(proto_err)?;
+    match status.as_str() {
+        "row" => {
+            let rows = report::rows_from_json(line).map_err(proto_err)?;
+            let row = rows
+                .into_iter()
+                .next()
+                .ok_or_else(|| proto_err("row response without a row"))?;
+            Ok(Response::Row {
+                id,
+                row,
+                replayed: obj.bool("replayed").map_err(proto_err)?,
+            })
+        }
+        "campaign" => Ok(Response::Campaign {
+            id,
+            result: report::campaign_from_json(line).map_err(proto_err)?,
+            replayed: obj.bool("replayed").map_err(proto_err)?,
+        }),
+        "error" => {
+            let kind = obj.str("kind").map_err(proto_err)?;
+            let rendered = obj.str("error").map_err(proto_err)?;
+            let error = SimError::from_wire(&kind, &rendered)
+                .ok_or_else(|| proto_err(format!("unreconstructable error of kind `{kind}`")))?;
+            Ok(Response::Error { id, error })
+        }
+        "metrics" => Ok(Response::Metrics {
+            id,
+            metrics: MetricsSnapshot::from_flat(&obj).map_err(proto_err)?,
+        }),
+        "drained" => Ok(Response::Drained {
+            id,
+            report: DrainReport {
+                completed: obj.num("completed").map_err(proto_err)?,
+                dropped: obj.num("dropped").map_err(proto_err)?,
+                rejected: obj.num("rejected").map_err(proto_err)?,
+            },
+        }),
+        other => Err(proto_err(format!("unknown response status `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_request() -> Request {
+        Request {
+            id: 7,
+            deadline_ms: Some(2000),
+            body: RequestBody::Run(RunSpec {
+                workload: "sha".to_string(),
+                monitored: true,
+                iht_entries: 8,
+                hash_algo: HashAlgoKind::Crc32,
+                hash_seed: 5,
+                policy: RefillPolicyKind::Fifo,
+            }),
+        }
+    }
+
+    fn campaign_request() -> Request {
+        Request {
+            id: 9,
+            deadline_ms: None,
+            body: RequestBody::Campaign(CampaignSpec {
+                workload: "crc".to_string(),
+                iht_entries: 8,
+                hash_algo: HashAlgoKind::Xor,
+                hash_seed: 0,
+                runs: 100,
+                seed: 42,
+                model: FaultModel::MultiBit { n: 3 },
+                site: FaultSite::FetchBus(BusFaultMode::StuckAt),
+                max_cycles: 60_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            run_request(),
+            campaign_request(),
+            Request {
+                id: 1,
+                deadline_ms: None,
+                body: RequestBody::Metrics,
+            },
+            Request {
+                id: 2,
+                deadline_ms: None,
+                body: RequestBody::Drain,
+            },
+        ] {
+            let line = req.to_line();
+            assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn request_keys_identify_the_work_not_the_envelope() {
+        let a = run_request();
+        let mut b = a.clone();
+        b.id = 999;
+        b.deadline_ms = None;
+        assert_eq!(a.key(), b.key(), "id and deadline are not identity");
+        let mut c = a.clone();
+        if let RequestBody::Run(spec) = &mut c.body {
+            spec.hash_seed = 6;
+        }
+        assert_ne!(a.key(), c.key(), "the work itself is");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_protocol_errors() {
+        for bad in [
+            "",
+            "\u{1}garbage",
+            "{\"id\":1}",
+            "{\"id\":1,\"kind\":\"warp\"}",
+            "{\"id\":1,\"kind\":\"run\",\"workload\":\"sha\",\"iht_entries\":8,\
+             \"hash_algo\":\"md5\"}",
+            "{\"id\":1,\"kind\":\"campaign\",\"workload\":\"sha\",\"iht_entries\":8,\
+             \"hash_algo\":\"xor\",\"runs\":1,\"seed\":1,\"model\":\"multi-bit\",\
+             \"site\":\"stored-image\",\"max_cycles\":10}",
+            "{\"id\":1},{\"id\":2}",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "input: {bad:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip_their_typed_error() {
+        let resp = Response::Error {
+            id: 3,
+            error: SimError::Overloaded {
+                queued: 16,
+                capacity: 16,
+            },
+        };
+        let line = response_to_line(&resp);
+        assert_eq!(parse_response(&line).unwrap(), resp);
+        let resp = Response::Error {
+            id: 0,
+            error: proto_err("bad line"),
+        };
+        let line = response_to_line(&resp);
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn drain_responses_round_trip() {
+        let resp = Response::Drained {
+            id: 4,
+            report: DrainReport {
+                completed: 10,
+                dropped: 2,
+                rejected: 3,
+            },
+        };
+        let line = response_to_line(&resp);
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+}

@@ -29,8 +29,8 @@ fn main() {
     let targets: Vec<u32> = (lo..hi).step_by(4).collect();
 
     println!(
-        "\n{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  coverage",
-        "hash", "model", "monitor", "baseline", "masked", "silent", "hung"
+        "\n{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6} {:>6} {:>10}  coverage",
+        "hash", "model", "monitor", "baseline", "masked", "silent", "hung", "quar", "saved-cyc"
     );
     for algo in [
         HashAlgoKind::Xor,
@@ -82,7 +82,7 @@ fn main() {
                 })
                 .expect("campaign config is valid");
             println!(
-                "{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6}  {:>6.1}%",
+                "{:<12} {:<18} {:>9} {:>9} {:>8} {:>8} {:>6} {:>6} {:>10}  {:>6.1}%",
                 algo.name(),
                 name,
                 result.detected_monitor,
@@ -90,6 +90,8 @@ fn main() {
                 result.masked,
                 result.silent,
                 result.hung,
+                result.quarantined,
+                result.saved_cycles,
                 result.coverage_percent()
             );
         }
@@ -98,6 +100,8 @@ fn main() {
         "\nReading the table: `silent` is the undetected-corruption count — zero \
          for every single-bit model (the paper's XOR guarantee), non-zero for \
          XOR only under adversarial same-column pairs, and zero again once the \
-         HASHFU is upgraded."
+         HASHFU is upgraded. `quar` counts runs the wall-clock watchdog gave up \
+         on after a checkpoint retry, and `saved-cyc` is the cycles the \
+         detection checkpoints skipped re-simulating across retries."
     );
 }

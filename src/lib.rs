@@ -27,6 +27,8 @@
 //!   through [`workloads::registry`]
 //! * [`sim`] — the one-call simulation facade and the parallel
 //!   experiment engine ([`sim::engine`])
+//! * [`serve`] — the crash-safe, back-pressured simulation service
+//!   (durable result journaling, graceful drain; `docs/serve.md`)
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use cimon_mem as mem;
 pub use cimon_microop as microop;
 pub use cimon_os as os;
 pub use cimon_pipeline as pipeline;
+pub use cimon_serve as serve;
 pub use cimon_sim as sim;
 pub use cimon_workloads as workloads;
 
