@@ -36,6 +36,7 @@ fn requests(rounds: usize) -> Vec<Request> {
                 reqs.push(Request {
                     id,
                     deadline_ms: None,
+                    resume: None,
                     body: RequestBody::Run(RunSpec {
                         workload: artifact.name().to_string(),
                         monitored: true,

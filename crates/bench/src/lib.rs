@@ -508,9 +508,10 @@ pub struct ThroughputRow {
     /// configuration), `"baseline-instr"` / `"cic8-instr"`
     /// (per-instruction stepping, the PR-3-era dispatch),
     /// `"baseline-nochain"` / `"cic8-nochain"` (block dispatch with
-    /// superblock chaining disabled), or `"splice-serial"` /
+    /// superblock chaining disabled), `"splice-serial"` /
     /// `"splice-wN"` (the splice-scaling bench's serial oracle and
-    /// spliced runs with N workers).
+    /// spliced runs with N workers), or `"splice-disk"` (a spliced run
+    /// with checkpoints spilled to a disk segment).
     pub mode: &'static str,
     /// Instructions committed per run.
     pub instructions: u64,
@@ -699,7 +700,9 @@ pub fn splice_scaling(
     worker_counts: &[usize],
     reps: usize,
 ) -> SpliceScalingReport {
-    use cimon_sim::{run_monitored_spliced_stats, run_monitored_with_fht, SimConfig, SpliceConfig};
+    use cimon_sim::{
+        run_monitored_spliced_stats, run_monitored_with_fht, SimConfig, SpillMode, SpliceConfig,
+    };
     use cimon_workloads::corpus::{generate, CorpusSpec};
     use std::time::Instant;
 
@@ -764,6 +767,7 @@ pub fn splice_scaling(
         let splice = SpliceConfig {
             interval_cycles: interval,
             workers,
+            spill: SpillMode::Ram,
         };
         let mut best = f64::INFINITY;
         let mut last_splice = None;
@@ -789,6 +793,38 @@ pub fn splice_scaling(
             serial.stats.instructions,
             serial.stats.cycles,
             best,
+        ));
+    }
+
+    // Disk-spill smoke: one spliced run with checkpoints spilled to a
+    // CRC-framed scratch segment instead of RAM, asserted byte-identical
+    // like every other mode. Row `"splice-disk"` makes a spill
+    // regression (or a silently-serial spill path) visible in CI.
+    {
+        let splice = SpliceConfig {
+            interval_cycles: interval,
+            workers: 2,
+            spill: SpillMode::Disk,
+        };
+        let t0 = Instant::now();
+        let (spliced, splice_stats) =
+            run_monitored_spliced_stats(&prog.image, &config, Some(fht.clone()), &splice)
+                .expect("FHT is prebuilt");
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            spliced.outcome, serial.outcome,
+            "splice-disk outcome diverged"
+        );
+        assert_eq!(spliced.stats, serial.stats, "splice-disk stats diverged");
+        modes.push(SpliceModeOutcome {
+            mode: "splice-disk",
+            splice: splice_stats,
+        });
+        rows.push(row(
+            "splice-disk",
+            serial.stats.instructions,
+            serial.stats.cycles,
+            dt,
         ));
     }
     SpliceScalingReport { rows, modes }

@@ -8,8 +8,9 @@
 //! table through [`Cic::iht_mut`].
 
 use crate::block::BlockKey;
-use crate::hash::{BlockHasher, HashAlgo};
+use crate::hash::{decode_kind, encode_kind, BlockHasher, HashAlgo};
 use crate::iht::{Iht, LookupOutcome};
+use cimon_isa::codec::{CodecError, Dec, Enc};
 use cimon_microop::HashAlgoKind;
 
 /// Configuration of the checker hardware.
@@ -213,6 +214,69 @@ impl Cic {
         self.stats = CicStats::default();
         self.iht.reset_stats();
     }
+
+    /// Serialize the complete monitoring-hardware run state — config,
+    /// mid-block hash unit, table, and statistics — for checkpoint
+    /// spill. Inverse of [`Cic::decode_from`].
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.usize(self.config.iht_entries);
+        encode_kind(self.config.hash_algo, e);
+        e.u32(self.config.hash_seed);
+        self.hasher.encode_into(e);
+        self.iht.encode_into(e);
+        e.u64(self.stats.words_hashed);
+        e.u64(self.stats.checks);
+        e.u64(self.stats.hits);
+        e.u64(self.stats.misses);
+        e.u64(self.stats.mismatches);
+    }
+
+    /// Rebuild a checker serialized by [`Cic::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an internally inconsistent
+    /// payload (zero table size, hash unit not matching the config).
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<Cic, CodecError> {
+        let iht_entries = d.usize()?;
+        if iht_entries == 0 {
+            return Err(CodecError::Invalid {
+                what: "CIC table size",
+            });
+        }
+        let hash_algo = decode_kind(d)?;
+        let hash_seed = d.u32()?;
+        let config = CicConfig {
+            iht_entries,
+            hash_algo,
+            hash_seed,
+        };
+        let hasher = HashAlgo::decode_from(d)?;
+        if hasher.kind() != hash_algo {
+            return Err(CodecError::Invalid {
+                what: "CIC hash unit kind",
+            });
+        }
+        let iht = Iht::decode_from(d)?;
+        if iht.capacity() != iht_entries {
+            return Err(CodecError::Invalid {
+                what: "CIC table capacity",
+            });
+        }
+        let stats = CicStats {
+            words_hashed: d.u64()?,
+            checks: d.u64()?,
+            hits: d.u64()?,
+            misses: d.u64()?,
+            mismatches: d.u64()?,
+        };
+        Ok(Cic {
+            config,
+            hasher,
+            iht,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +349,40 @@ mod tests {
         cic.hash_step(1);
         cic.hash_reset();
         assert_eq!(cic.hash_value(), 0xfeed_face);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_mid_block_state() {
+        use cimon_isa::codec::{Dec, Enc};
+        let cfg = CicConfig {
+            iht_entries: 4,
+            hash_algo: HashAlgoKind::SeededXor,
+            hash_seed: 0x5eed_cafe,
+        };
+        let mut cic = Cic::new(cfg);
+        cic.iht_mut().insert_lru(BlockRecord {
+            key: key(0x1000, 2),
+            hash: 0xaa,
+        });
+        cic.hash_step(0x1111_1111); // mid-block: hash unit not reset
+        cic.check_block(key(0x2000, 1), 7);
+        let mut e = Enc::new();
+        cic.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut back = Cic::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.config(), cic.config());
+        assert_eq!(back.stats(), cic.stats());
+        assert_eq!(back.hash_value(), cic.hash_value());
+        assert!(!back.hasher_is_reset());
+        // Continue the block on both: digests must stay identical.
+        assert_eq!(back.hash_step(0x2222_2222), cic.hash_step(0x2222_2222));
+        assert_eq!(
+            back.check_block(key(0x1000, 2), 0xaa),
+            cic.check_block(key(0x1000, 2), 0xaa)
+        );
+        assert!(Cic::decode_from(&mut Dec::new(&bytes[..bytes.len() - 3])).is_err());
     }
 
     #[test]

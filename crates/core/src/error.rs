@@ -94,6 +94,21 @@ pub enum SimError {
         /// Rendered `std::io::Error`.
         message: String,
     },
+    /// A resume request named a sweep the server cannot continue: an
+    /// unknown request key, or a row cursor past the rows that are
+    /// durable. Deterministic — retrying the same resume cannot
+    /// succeed; the client must restart the sweep from scratch.
+    ResumeMismatch {
+        /// Human-readable mismatch diagnostic.
+        message: String,
+    },
+    /// The durable checkpoint store failed an I/O operation (creating,
+    /// writing, or scanning a spill segment). Transient — the work is
+    /// recomputable, and a retry may find the disk healthy again.
+    CheckpointSpill {
+        /// Rendered store diagnostic.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -127,6 +142,10 @@ impl fmt::Display for SimError {
             SimError::Draining => write!(f, "server draining: not admitting new requests"),
             SimError::Protocol { message } => write!(f, "protocol error: {message}"),
             SimError::Io { message } => write!(f, "i/o error: {message}"),
+            SimError::ResumeMismatch { message } => write!(f, "resume mismatch: {message}"),
+            SimError::CheckpointSpill { message } => {
+                write!(f, "checkpoint spill failed: {message}")
+            }
         }
     }
 }
@@ -151,6 +170,8 @@ impl SimError {
             SimError::Draining => "draining",
             SimError::Protocol { .. } => "protocol",
             SimError::Io { .. } => "io",
+            SimError::ResumeMismatch { .. } => "resume-mismatch",
+            SimError::CheckpointSpill { .. } => "checkpoint-spill",
         }
     }
 
@@ -158,7 +179,7 @@ impl SimError {
     /// order. Report writers and the serve journal key on these tags,
     /// so the list is pinned by a golden test: adding a variant without
     /// extending it (and the journal round-trip) fails loudly.
-    pub const KINDS: [&'static str; 13] = [
+    pub const KINDS: [&'static str; 15] = [
         "assembly",
         "hash-gen",
         "decode",
@@ -172,6 +193,8 @@ impl SimError {
         "draining",
         "protocol",
         "io",
+        "resume-mismatch",
+        "checkpoint-spill",
     ];
 
     /// Whether a retry could plausibly succeed: transient failures
@@ -182,7 +205,10 @@ impl SimError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            SimError::WorkerPanic { .. } | SimError::SnapshotCorrupt { .. } | SimError::Io { .. }
+            SimError::WorkerPanic { .. }
+                | SimError::SnapshotCorrupt { .. }
+                | SimError::Io { .. }
+                | SimError::CheckpointSpill { .. }
         )
     }
 
@@ -284,6 +310,12 @@ impl SimError {
             "io" => Some(SimError::Io {
                 message: tail(rendered, "i/o error: ")?.to_string(),
             }),
+            "resume-mismatch" => Some(SimError::ResumeMismatch {
+                message: tail(rendered, "resume mismatch: ")?.to_string(),
+            }),
+            "checkpoint-spill" => Some(SimError::CheckpointSpill {
+                message: tail(rendered, "checkpoint spill failed: ")?.to_string(),
+            }),
             _ => None,
         }
     }
@@ -360,6 +392,12 @@ mod tests {
             SimError::Io {
                 message: "connection reset by peer".into(),
             },
+            SimError::ResumeMismatch {
+                message: "unknown request key 00000000deadbeef".into(),
+            },
+            SimError::CheckpointSpill {
+                message: "scan failed: no space left on device".into(),
+            },
         ]
     }
 
@@ -405,17 +443,23 @@ mod tests {
 
     #[test]
     fn transience_matches_the_retry_contract() {
-        // WorkerPanic / SnapshotCorrupt retry once; InvalidConfig (and
-        // every other deterministic rejection) never.
+        // WorkerPanic / SnapshotCorrupt / Io / CheckpointSpill retry
+        // once; InvalidConfig, ResumeMismatch (and every other
+        // deterministic rejection) never.
         for e in exemplars() {
             let expect = matches!(
                 e,
                 SimError::WorkerPanic { .. }
                     | SimError::SnapshotCorrupt { .. }
                     | SimError::Io { .. }
+                    | SimError::CheckpointSpill { .. }
             );
             assert_eq!(e.is_transient(), expect, "{}", e.kind());
         }
+        assert!(!SimError::ResumeMismatch {
+            message: "row cursor past durable rows".into()
+        }
+        .is_transient());
     }
 
     #[test]

@@ -14,7 +14,42 @@
 //! micro-ops), an `update` port fed one instruction word per fetch, and a
 //! 32-bit `digest` output wired to `RHASH`.
 
+use cimon_isa::codec::{CodecError, Dec, Enc};
 use cimon_microop::HashAlgoKind;
+
+/// Wire tag for a hash algorithm kind: its position in
+/// [`HashAlgoKind::ALL`].
+fn kind_tag(kind: HashAlgoKind) -> u8 {
+    HashAlgoKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .map(|p| p as u8)
+        .unwrap_or(u8::MAX)
+}
+
+/// Inverse of [`kind_tag`].
+fn kind_from_tag(tag: u8) -> Result<HashAlgoKind, CodecError> {
+    HashAlgoKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(CodecError::Invalid {
+            what: "hash algorithm tag",
+        })
+}
+
+/// Serialize a [`HashAlgoKind`] as a one-byte positional tag.
+pub fn encode_kind(kind: HashAlgoKind, e: &mut Enc) {
+    e.u8(kind_tag(kind));
+}
+
+/// Rebuild a [`HashAlgoKind`] serialized by [`encode_kind`].
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation or an out-of-range tag.
+pub fn decode_kind(d: &mut Dec<'_>) -> Result<HashAlgoKind, CodecError> {
+    kind_from_tag(d.u8()?)
+}
 
 /// A running hash unit over the instruction words of one basic block.
 ///
@@ -108,6 +143,75 @@ impl HashAlgo {
             HashAlgoKind::Crc32 => HashAlgo::Crc32(Crc32Hasher::new()),
             HashAlgoKind::Sha1 => HashAlgo::Sha1(Sha1Hasher::new()),
         }
+    }
+
+    /// Serialize the unit's full mid-stream state (checkpoint spill):
+    /// a positional kind tag followed by the per-variant registers.
+    pub fn encode_into(&self, e: &mut Enc) {
+        encode_kind(self.kind(), e);
+        match self {
+            HashAlgo::Xor(h) => e.u32(h.acc),
+            HashAlgo::SeededXor(h) => {
+                e.u32(h.seed);
+                e.u32(h.acc);
+            }
+            HashAlgo::Fletcher32(h) => {
+                e.u32(h.s1);
+                e.u32(h.s2);
+            }
+            HashAlgo::Crc32(h) => e.u32(h.crc),
+            HashAlgo::Sha1(h) => {
+                for v in h.h {
+                    e.u32(v);
+                }
+                e.raw(&h.buf);
+                e.usize(h.buf_len);
+                e.u64(h.total_bytes);
+            }
+        }
+    }
+
+    /// Rebuild a unit serialized by [`HashAlgo::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, an unknown kind tag, or an
+    /// out-of-range SHA-1 buffer length.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<HashAlgo, CodecError> {
+        let kind = decode_kind(d)?;
+        Ok(match kind {
+            HashAlgoKind::Xor => HashAlgo::Xor(XorHasher { acc: d.u32()? }),
+            HashAlgoKind::SeededXor => HashAlgo::SeededXor(SeededXorHasher {
+                seed: d.u32()?,
+                acc: d.u32()?,
+            }),
+            HashAlgoKind::Fletcher32 => HashAlgo::Fletcher32(Fletcher32Hasher {
+                s1: d.u32()?,
+                s2: d.u32()?,
+            }),
+            HashAlgoKind::Crc32 => HashAlgo::Crc32(Crc32Hasher { crc: d.u32()? }),
+            HashAlgoKind::Sha1 => {
+                let mut h = [0u32; 5];
+                for v in &mut h {
+                    *v = d.u32()?;
+                }
+                let mut buf = [0u8; 64];
+                buf.copy_from_slice(d.raw(64)?);
+                let buf_len = d.usize()?;
+                if buf_len >= 64 {
+                    return Err(CodecError::Invalid {
+                        what: "sha1 buffer length",
+                    });
+                }
+                let total_bytes = d.u64()?;
+                HashAlgo::Sha1(Sha1Hasher {
+                    h,
+                    buf,
+                    buf_len,
+                    total_bytes,
+                })
+            }
+        })
     }
 }
 
@@ -688,6 +792,34 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_mid_stream_state_for_all() {
+        // Serialize every unit mid-stream (SHA-1 with a partial buffer),
+        // decode, and check the continued digests stay bit-identical.
+        for kind in HashAlgoKind::ALL {
+            let mut h = HashAlgo::new(kind, 0x5eed_f00d);
+            for w in 0..37u32 {
+                h.update(w.wrapping_mul(0x9e37_79b9));
+            }
+            let mut e = Enc::new();
+            h.encode_into(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            let mut back = HashAlgo::decode_from(&mut d).unwrap();
+            d.finish().unwrap();
+            assert_eq!(back, h, "{kind}");
+            h.update(0xdead_beef);
+            back.update(0xdead_beef);
+            assert_eq!(back.digest(), h.digest(), "{kind} diverged after decode");
+            assert!(
+                HashAlgo::decode_from(&mut Dec::new(&bytes[..bytes.len() - 1])).is_err(),
+                "{kind} accepted truncated bytes"
+            );
+        }
+        // An out-of-range kind tag is rejected, not wrapped.
+        assert!(HashAlgo::decode_from(&mut Dec::new(&[9u8, 0, 0, 0, 0])).is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! (Section 3.3). The OS reads that state through [`Iht::lru_order`] and
 //! writes entries through [`Iht::replace_at`] / [`Iht::insert_lru`].
 
+use cimon_isa::codec::{CodecError, Dec, Enc};
+
 use crate::block::{BlockKey, BlockRecord};
 
 /// Result of an associative lookup.
@@ -228,6 +230,91 @@ impl Iht {
     pub fn records(&self) -> impl Iterator<Item = BlockRecord> + '_ {
         self.slots.iter().flatten().map(|s| s.record)
     }
+
+    /// Serialize the table — entries, recency stamps, statistics, and
+    /// search-order state — for checkpoint spill.
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.usize(self.slots.len());
+        e.u64(self.clock);
+        e.u64(self.stats.lookups);
+        e.u64(self.stats.hits);
+        e.u64(self.stats.mismatches);
+        e.u64(self.stats.misses);
+        e.usize(self.mru);
+        for slot in &self.slots {
+            match slot {
+                None => e.bool(false),
+                Some(s) => {
+                    e.bool(true);
+                    e.u32(s.record.key.start);
+                    e.u32(s.record.key.end);
+                    e.u32(s.record.hash);
+                    e.u64(s.stamp);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a table serialized by [`Iht::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, a zero capacity, or an
+    /// out-of-range MRU index.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<Iht, CodecError> {
+        let capacity = d.usize()?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid {
+                what: "IHT capacity",
+            });
+        }
+        let clock = d.u64()?;
+        let stats = IhtStats {
+            lookups: d.u64()?,
+            hits: d.u64()?,
+            mismatches: d.u64()?,
+            misses: d.u64()?,
+        };
+        let mru = d.usize()?;
+        if mru >= capacity {
+            return Err(CodecError::Invalid {
+                what: "IHT MRU index",
+            });
+        }
+        // Cap the pre-allocation: a corrupt capacity fails on the first
+        // truncated slot read instead of aborting in the allocator.
+        let mut slots = Vec::with_capacity(capacity.min(1 << 16));
+        for _ in 0..capacity {
+            slots.push(if d.bool()? {
+                let start = d.u32()?;
+                let end = d.u32()?;
+                let hash = d.u32()?;
+                let stamp = d.u64()?;
+                // Validate before the constructor: its well-formedness
+                // panics must become typed errors on corrupt bytes.
+                if start % 4 != 0 || end % 4 != 0 || end < start {
+                    return Err(CodecError::Invalid {
+                        what: "IHT block key",
+                    });
+                }
+                Some(Slot {
+                    record: BlockRecord {
+                        key: BlockKey::new(start, end),
+                        hash,
+                    },
+                    stamp,
+                })
+            } else {
+                None
+            });
+        }
+        Ok(Iht {
+            slots,
+            clock,
+            stats,
+            mru,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +438,38 @@ mod tests {
         iht.replace_at(3, rec(0x2000, 2));
         let recs: Vec<_> = iht.records().collect();
         assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_entries_recency_and_stats() {
+        let mut iht = Iht::new(4);
+        iht.insert_lru(rec(0x1000, 1));
+        iht.insert_lru(rec(0x2000, 2));
+        iht.lookup(BlockKey::new(0x1000, 0x1008), 1);
+        iht.lookup(BlockKey::new(0x3000, 0x3008), 3);
+        let mut e = Enc::new();
+        iht.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut back = Iht::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.capacity(), iht.capacity());
+        assert_eq!(back.stats(), iht.stats());
+        assert_eq!(back.lru_order(), iht.lru_order());
+        let a: Vec<_> = back.records().collect();
+        let b: Vec<_> = iht.records().collect();
+        assert_eq!(a, b);
+        // Future behaviour must match too: same eviction decisions.
+        assert_eq!(
+            back.insert_lru(rec(0x4000, 4)),
+            iht.insert_lru(rec(0x4000, 4))
+        );
+        assert_eq!(back.lru_order(), iht.lru_order());
+        // Truncation and a zero capacity are typed errors.
+        assert!(Iht::decode_from(&mut Dec::new(&bytes[..bytes.len() - 2])).is_err());
+        let mut z = Enc::new();
+        z.usize(0);
+        assert!(Iht::decode_from(&mut Dec::new(&z.into_bytes())).is_err());
     }
 
     #[test]

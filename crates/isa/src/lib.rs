@@ -32,6 +32,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod codec;
 pub mod decode;
 pub mod disasm;
 pub mod encode;

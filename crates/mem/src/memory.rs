@@ -26,6 +26,8 @@ use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use cimon_isa::codec::{CodecError, Dec, Enc};
+
 /// Bytes per page.
 pub const PAGE_SIZE: u32 = 4096;
 
@@ -395,6 +397,54 @@ impl Memory {
         let old = self.read_u8(addr);
         self.write_u8(addr, old ^ (1 << bit));
     }
+
+    /// Serialize the complete memory — dense region, epoch counter, and
+    /// every resident sparse page in ascending page order — so a decoded
+    /// copy is indistinguishable from a [`Memory::clone`] snapshot
+    /// (epoch included; callers compare epochs across checkpoints).
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.u32(self.dense_base);
+        e.bytes(&self.dense);
+        e.u64(self.dense_epoch);
+        let mut keys: Vec<u32> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for key in keys {
+            e.u32(key);
+            e.raw(&self.pages[&key][..]);
+        }
+    }
+
+    /// Rebuild a memory serialized by [`Memory::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the bytes are truncated or structurally
+    /// damaged (e.g. a page count pointing past the buffer).
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<Memory, CodecError> {
+        let dense_base = d.u32()?;
+        let dense: Arc<[u8]> = Arc::from(d.bytes()?.to_vec());
+        let dense_epoch = d.u64()?;
+        let n_pages = d.usize()?;
+        let mut pages = PageMap::default();
+        for _ in 0..n_pages {
+            let key = d.u32()?;
+            let raw = d.raw(PAGE_SIZE as usize)?;
+            let mut page = [0u8; PAGE_SIZE as usize];
+            page.copy_from_slice(raw);
+            if pages.insert(key, Arc::new(page)).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "duplicate memory page",
+                });
+            }
+        }
+        Ok(Memory {
+            dense_base,
+            dense,
+            dense_epoch,
+            pages,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +563,30 @@ mod tests {
         m = snap.clone();
         assert_eq!(m.read_u32(0x1000).unwrap(), 0xaaaa_aaaa);
         assert_eq!(m.dense_epoch(), epoch);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_contents_and_epoch() {
+        let mut m = Memory::with_dense_region(0x1000, 12);
+        m.write_u32(0x1004, 0xdead_beef).unwrap(); // bumps the epoch
+        m.write_u32(0x9000, 0x1234_5678).unwrap();
+        m.write_u8(0xffff_f00f, 0x7f);
+        let mut e = Enc::new();
+        m.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = Memory::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.dense_epoch(), m.dense_epoch());
+        assert_eq!(back.dense_region(), m.dense_region());
+        assert_eq!(back.read_u32(0x1004).unwrap(), 0xdead_beef);
+        assert_eq!(back.read_u32(0x9000).unwrap(), 0x1234_5678);
+        assert_eq!(back.read_u8(0xffff_f00f), 0x7f);
+        assert_eq!(back.resident_pages(), m.resident_pages());
+        // Truncated bytes fail with a typed error, never a panic.
+        for cut in [0, 5, bytes.len() - 1] {
+            assert!(Memory::decode_from(&mut Dec::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use cimon_isa::codec::{CodecError, Dec, Enc};
+
 /// A special-purpose datapath register.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DReg {
@@ -103,6 +105,28 @@ impl Datapath {
         };
         self.write(reg, v);
     }
+
+    /// Serialize every register plus the reset seed (checkpoint spill).
+    pub fn encode_into(&self, e: &mut Enc) {
+        for v in self.values {
+            e.u32(v);
+        }
+        e.u32(self.rhash_seed);
+    }
+
+    /// Rebuild a datapath serialized by [`Datapath::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the bytes are truncated.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<Datapath, CodecError> {
+        let mut values = [0u32; 5];
+        for v in &mut values {
+            *v = d.u32()?;
+        }
+        let rhash_seed = d.u32()?;
+        Ok(Datapath { values, rhash_seed })
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +154,22 @@ mod tests {
         dp.reset(DReg::Sta);
         assert_eq!(dp.read(DReg::Rhash), 0xdead_beef);
         assert_eq!(dp.read(DReg::Sta), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut dp = Datapath::with_seed(0x5eed_cafe);
+        for (i, r) in DReg::ALL.into_iter().enumerate() {
+            dp.write(r, 0x1000 + i as u32);
+        }
+        let mut e = Enc::new();
+        dp.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = Datapath::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, dp);
+        assert!(Datapath::decode_from(&mut Dec::new(&bytes[..7])).is_err());
     }
 
     #[test]

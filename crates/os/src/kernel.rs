@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use cimon_core::{BlockKey, BlockRecord, Cic};
+use cimon_isa::codec::{CodecError, Dec, Enc};
 
 use crate::fht::FullHashTable;
 use crate::policy::{PolicyState, RefillPolicy, ReplaceHalfLru};
@@ -84,6 +85,33 @@ pub struct OsStats {
 pub struct OsKernelState {
     stats: OsStats,
     policy: PolicyState,
+}
+
+impl OsKernelState {
+    /// Serialize the captured kernel state for checkpoint spill.
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.u64(self.stats.miss_exceptions);
+        e.u64(self.stats.mismatch_exceptions);
+        e.u64(self.stats.entries_refilled);
+        e.u64(self.stats.exception_cycles);
+        self.policy.encode_into(e);
+    }
+
+    /// Rebuild a state serialized by [`OsKernelState::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a malformed policy state.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<OsKernelState, CodecError> {
+        let stats = OsStats {
+            miss_exceptions: d.u64()?,
+            mismatch_exceptions: d.u64()?,
+            entries_refilled: d.u64()?,
+            exception_cycles: d.u64()?,
+        };
+        let policy = PolicyState::decode_from(d)?;
+        Ok(OsKernelState { stats, policy })
+    }
 }
 
 /// The OS model: FHT + refill policy + cost accounting.
@@ -327,6 +355,30 @@ mod tests {
         os.handle_miss(&mut cic, BlockKey::new(0x1010, 0x1014), 101);
         assert!(cic.iht().probe(BlockKey::new(0x1000, 0x1004)).is_some());
         assert!(cic.iht().probe(BlockKey::new(0x1010, 0x1014)).is_some());
+    }
+
+    #[test]
+    fn kernel_state_encode_decode_round_trips() {
+        use crate::policy::Fifo;
+        use cimon_isa::codec::{Dec, Enc};
+        let fht: FullHashTable = (0..8u32).map(|i| rec(0x1000 + 0x10 * i, 100 + i)).collect();
+        let mut os = OsKernel::with_policy(fht, Box::new(Fifo::default()));
+        let mut cic = Cic::new(CicConfig::with_entries(2));
+        os.handle_miss(&mut cic, BlockKey::new(0x1000, 0x1004), 100);
+        let snap = os.snapshot_state();
+        let mut e = Enc::new();
+        snap.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = OsKernelState::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        // Restoring the decoded state reproduces stats and the FIFO
+        // cursor's next victim.
+        let stats_at_snap = os.stats();
+        os.handle_miss(&mut cic, BlockKey::new(0x1010, 0x1014), 101);
+        os.restore_state(&back);
+        assert_eq!(os.stats(), stats_at_snap);
+        assert!(OsKernelState::decode_from(&mut Dec::new(&bytes[..7])).is_err());
     }
 
     #[test]

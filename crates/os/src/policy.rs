@@ -7,6 +7,7 @@
 //! bench.
 
 use cimon_core::{BlockRecord, Iht};
+use cimon_isa::codec::{CodecError, Dec, Enc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,6 +74,40 @@ pub enum PolicyState {
     FifoCursor(usize),
     /// [`RandomReplace`]'s RNG, captured mid-stream.
     Rng(StdRng),
+}
+
+impl PolicyState {
+    /// Serialize the state for checkpoint spill: a variant tag plus the
+    /// cursor or the RNG's internal state word.
+    pub fn encode_into(&self, e: &mut Enc) {
+        match self {
+            PolicyState::Stateless => e.u8(0),
+            PolicyState::FifoCursor(next) => {
+                e.u8(1);
+                e.usize(*next);
+            }
+            PolicyState::Rng(rng) => {
+                e.u8(2);
+                e.u64(rng.state());
+            }
+        }
+    }
+
+    /// Rebuild a state serialized by [`PolicyState::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an unknown variant tag.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<PolicyState, CodecError> {
+        match d.u8()? {
+            0 => Ok(PolicyState::Stateless),
+            1 => Ok(PolicyState::FifoCursor(d.usize()?)),
+            2 => Ok(PolicyState::Rng(StdRng::seed_from_u64(d.u64()?))),
+            _ => Err(CodecError::Invalid {
+                what: "policy state tag",
+            }),
+        }
+    }
 }
 
 /// Strategy the OS uses to refill the IHT after a hash miss.
@@ -332,6 +367,41 @@ mod tests {
             v
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn policy_state_encode_decode_replays_victim_sequence() {
+        use rand::RngCore;
+        // Each variant round-trips; the RNG variant must continue the
+        // exact stream it was captured mid-way through.
+        let mut pol = RandomReplace::new(7);
+        let mut iht = Iht::new(8);
+        pol.refill(&mut iht, &fht(), rec(0x5000, 0));
+        for state in [
+            PolicyState::Stateless,
+            PolicyState::FifoCursor(3),
+            pol.snapshot_state(),
+        ] {
+            let mut e = Enc::new();
+            state.encode_into(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            let back = PolicyState::decode_from(&mut d).unwrap();
+            d.finish().unwrap();
+            match (&state, &back) {
+                (PolicyState::Stateless, PolicyState::Stateless) => {}
+                (PolicyState::FifoCursor(a), PolicyState::FifoCursor(b)) => assert_eq!(a, b),
+                (PolicyState::Rng(a), PolicyState::Rng(b)) => {
+                    let (mut a, mut b) = (a.clone(), b.clone());
+                    for _ in 0..20 {
+                        assert_eq!(a.next_u64(), b.next_u64());
+                    }
+                }
+                other => panic!("variant changed across the wire: {other:?}"),
+            }
+        }
+        assert!(PolicyState::decode_from(&mut Dec::new(&[9u8])).is_err());
+        assert!(PolicyState::decode_from(&mut Dec::new(&[])).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   the generated spec (so the observe/check hooks fire).
 
 use cimon_core::{BlockKey, Cic, CicStats};
+use cimon_isa::codec::{CodecError, Dec, Enc};
 use cimon_microop::{ExceptionKind, MonitorParams};
 use cimon_os::{MissResolution, OsKernel, OsKernelState, OsStats, TerminationCause};
 
@@ -64,6 +65,44 @@ pub enum MonitorState {
 pub struct CicMonitorState {
     cic: Cic,
     os: OsKernelState,
+}
+
+impl MonitorState {
+    /// Serialize the captured monitor state for checkpoint spill: a
+    /// variant tag, then (for the CIC plane) the checker hardware and
+    /// the OS kernel state. The FHT is configuration, not run state,
+    /// and is not written — a decoded state is reinstated into a
+    /// monitor that already owns the table.
+    pub fn encode_into(&self, e: &mut Enc) {
+        match self {
+            MonitorState::Stateless => e.u8(0),
+            MonitorState::Cic(s) => {
+                e.u8(1);
+                s.cic.encode_into(e);
+                s.os.encode_into(e);
+            }
+        }
+    }
+
+    /// Rebuild a state serialized by [`MonitorState::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, an unknown variant tag, or a
+    /// malformed checker payload.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<MonitorState, CodecError> {
+        match d.u8()? {
+            0 => Ok(MonitorState::Stateless),
+            1 => {
+                let cic = Cic::decode_from(d)?;
+                let os = OsKernelState::decode_from(d)?;
+                Ok(MonitorState::Cic(Box::new(CicMonitorState { cic, os })))
+            }
+            _ => Err(CodecError::Invalid {
+                what: "monitor state tag",
+            }),
+        }
+    }
 }
 
 /// A pluggable integrity-checking plane.
@@ -402,6 +441,43 @@ mod tests {
         assert_eq!(m.os_stats().unwrap(), os_stats);
         // Table residency restored: the refilled block hits again.
         assert_eq!(m.check_block(key, 7), (true, true));
+    }
+
+    #[test]
+    fn monitor_state_encode_decode_round_trips() {
+        let fht: FullHashTable = [rec(0x1000, 7), rec(0x2000, 9)].into_iter().collect();
+        let mut m = CicMonitor::new(MonitorConfig::new(CicConfig::with_entries(4), fht));
+        let key = BlockKey::new(0x1000, 0x1008);
+        m.resolve(ExceptionKind::HashMiss, key, 7);
+        m.observe_fetch(5); // mid-block digest at capture time
+
+        let snap = m.snapshot_state();
+        let mut e = Enc::new();
+        snap.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = MonitorState::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+
+        let digest = m.cic().unwrap().hash_value();
+        let stats = m.cic_stats().unwrap();
+        m.observe_fetch(0xffff); // diverge
+        m.restore_state(&back);
+        assert_eq!(m.cic().unwrap().hash_value(), digest);
+        assert_eq!(m.cic_stats().unwrap(), stats);
+        assert_eq!(m.check_block(key, 7), (true, true));
+
+        // Stateless round-trips through its one-byte form.
+        let mut e = Enc::new();
+        MonitorState::Stateless.encode_into(&mut e);
+        let b = e.into_bytes();
+        assert_eq!(b.len(), 1);
+        assert!(matches!(
+            MonitorState::decode_from(&mut Dec::new(&b)).unwrap(),
+            MonitorState::Stateless
+        ));
+        assert!(MonitorState::decode_from(&mut Dec::new(&[7u8])).is_err());
+        assert!(MonitorState::decode_from(&mut Dec::new(&bytes[..bytes.len() - 4])).is_err());
     }
 
     #[test]

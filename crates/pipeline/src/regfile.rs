@@ -32,6 +32,13 @@ impl RegFile {
     pub fn snapshot(&self) -> [u32; 32] {
         self.regs
     }
+
+    /// Rebuild a register file from a [`RegFile::snapshot`] image.
+    /// `$zero` is re-hardwired to zero regardless of the image.
+    pub fn from_snapshot(mut regs: [u32; 32]) -> RegFile {
+        regs[0] = 0;
+        RegFile { regs }
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! Total cycle count is the last ID cycle plus the four cycles needed to
 //! drain RR/EX/MEM/WB.
 
+use cimon_isa::codec::{CodecError, Dec, Enc};
 use cimon_isa::Reg;
 
 use crate::predecode::PredecodedEntry;
@@ -452,6 +453,53 @@ impl Timing {
                 *b += cycles;
             }
         }
+    }
+
+    /// Serialize the complete scheduler state — config, both readiness
+    /// tables, the front-end cursor, and the counters — for checkpoint
+    /// spill. Inverse of [`Timing::decode_from`].
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.u32(self.config.mult_latency);
+        e.u32(self.config.div_latency);
+        for b in self.ready_id {
+            e.u64(b);
+        }
+        for b in self.ready_ex {
+            e.u64(b);
+        }
+        e.u64(self.last_id);
+        e.bool(self.redirect);
+        e.u64(self.stall_cycles);
+        e.u64(self.instructions);
+    }
+
+    /// Rebuild a schedule serialized by [`Timing::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the bytes are truncated or malformed.
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<Timing, CodecError> {
+        let config = TimingConfig {
+            mult_latency: d.u32()?,
+            div_latency: d.u32()?,
+        };
+        let mut ready_id = [0u64; NREGS];
+        for b in &mut ready_id {
+            *b = d.u64()?;
+        }
+        let mut ready_ex = [0u64; NREGS];
+        for b in &mut ready_ex {
+            *b = d.u64()?;
+        }
+        Ok(Timing {
+            config,
+            ready_id,
+            ready_ex,
+            last_id: d.u64()?,
+            redirect: d.bool()?,
+            stall_cycles: d.u64()?,
+            instructions: d.u64()?,
+        })
     }
 }
 
@@ -967,6 +1015,64 @@ mod tests {
         assert_eq!((t.instructions(), t.stall_cycles()), (1, 7));
         t.set_counters(1_000_000, 4242);
         assert_eq!((t.instructions(), t.stall_cycles()), (1_000_000, 4242));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_scheduler_state() {
+        let mut t = Timing::default();
+        t.issue(
+            IssueClass::Load,
+            &[Reg::SP],
+            false,
+            false,
+            Some(Reg::T0),
+            false,
+            false,
+        );
+        t.issue(
+            IssueClass::MulDiv { is_div: true },
+            &[Reg::T0, Reg::T1],
+            false,
+            false,
+            None,
+            true,
+            true,
+        );
+        t.stall(100);
+        let mut e = Enc::new();
+        t.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut back = Timing::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.config(), t.config());
+        assert_eq!(back.last_id(), t.last_id());
+        assert_eq!(back.instructions(), t.instructions());
+        assert_eq!(back.stall_cycles(), t.stall_cycles());
+        // Every future decision must agree, including the pending
+        // HI/LO latency bound and the redirect bubble.
+        for i in 0..10u64 {
+            let a = t.issue(
+                IssueClass::IdReader,
+                &[Reg::T0],
+                i % 2 == 0,
+                false,
+                Some(Reg::T3),
+                false,
+                i % 3 == 0,
+            );
+            let b = back.issue(
+                IssueClass::IdReader,
+                &[Reg::T0],
+                i % 2 == 0,
+                false,
+                Some(Reg::T3),
+                false,
+                i % 3 == 0,
+            );
+            assert_eq!(a, b, "diverged at instruction {i}");
+        }
+        assert!(Timing::decode_from(&mut Dec::new(&bytes[..40])).is_err());
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! A small blocking client for the TCP front.
+//! A small blocking client for the TCP front, including the
+//! reconnect-and-resume side of streamed sweeps.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use cimon_core::SimError;
+use cimon_sim::engine::ResultRow;
 
-use crate::protocol::{self, Request, Response};
+use crate::backoff;
+use crate::protocol::{self, Request, RequestBody, Response, ResumeFrom};
 
 fn io_err(context: &str, e: std::io::Error) -> SimError {
     SimError::Io {
@@ -13,29 +17,69 @@ fn io_err(context: &str, e: std::io::Error) -> SimError {
     }
 }
 
+/// Reconnection policy for [`Client::sweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Base delay before a reconnect attempt; successive attempts back
+    /// off exponentially under seeded jitter ([`backoff::jittered`]).
+    pub reconnect_backoff: Duration,
+    /// Reconnect attempts (per cut) before the sweep gives up with the
+    /// underlying error.
+    pub max_reconnects: u32,
+    /// Seed for the deterministic reconnect jitter — fix it in tests
+    /// for a reproducible schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            reconnect_backoff: Duration::from_millis(20),
+            max_reconnects: 5,
+            jitter_seed: 0x00C0_FFEE,
+        }
+    }
+}
+
 /// A blocking connection to a `cimon-serve` daemon: one request line
-/// out, one response line back, in order.
+/// out, one response line back, in order — plus the streamed-sweep
+/// path, where one request yields many `sweep-row` lines.
 pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with the default reconnection policy.
     ///
     /// # Errors
     ///
     /// [`SimError::Io`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, SimError> {
-        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect failed", e))?;
-        // Request/response lines are tiny; Nagle only adds latency.
-        let _ = stream.set_nodelay(true);
-        let read_half = stream
-            .try_clone()
-            .map_err(|e| io_err("stream clone failed", e))?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with an explicit reconnection policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the connection cannot be established.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Client, SimError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| io_err("address resolution failed", e))?
+            .next()
+            .ok_or_else(|| SimError::Io {
+                message: "address resolved to nothing".to_string(),
+            })?;
+        let (reader, writer) = open(addr)?;
         Ok(Client {
-            reader: BufReader::new(read_half),
-            writer: stream,
+            addr,
+            cfg,
+            reader,
+            writer,
         })
     }
 
@@ -48,12 +92,139 @@ impl Client {
     /// response line does not parse. Typed *error responses* are not
     /// an `Err` — they come back as [`Response::Error`].
     pub fn request(&mut self, req: &Request) -> Result<Response, SimError> {
+        self.send_line(req)?;
+        self.read_frame()
+    }
+
+    /// Run a sweep to completion, surviving cut streams and shed
+    /// back-pressure: rows accumulate in order, and every time the
+    /// stream dies before its `sweep-done` frame the client reconnects
+    /// under jittered backoff and re-sends the request with a
+    /// [`ResumeFrom`] cursor at the last row it actually received —
+    /// the server re-streams only what is missing, serving
+    /// already-journaled rows as replays.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the reconnect budget is exhausted;
+    /// [`SimError::Protocol`] on frames that do not parse or arrive
+    /// out of order; any typed error response the server sends
+    /// (`resume-mismatch`, `invalid-config`, ...).
+    pub fn sweep(&mut self, req: &Request) -> Result<Vec<ResultRow>, SimError> {
+        if !matches!(req.body, RequestBody::Sweep(_)) {
+            return Err(SimError::InvalidConfig {
+                message: "Client::sweep needs a sweep request".to_string(),
+            });
+        }
+        let key = req.key();
+        let mut rows: Vec<ResultRow> = Vec::new();
+        let mut reconnects = 0u32;
+        loop {
+            let attempt = Request {
+                resume: rows.last().map(|_| ResumeFrom {
+                    key,
+                    last_acked_row: rows.len() as u64 - 1,
+                }),
+                ..req.clone()
+            };
+            match self.stream_once(&attempt, &mut rows) {
+                Ok(done) => {
+                    if done.0 != rows.len() as u64 {
+                        return Err(SimError::Protocol {
+                            message: format!(
+                                "sweep-done claims {} rows, client holds {}",
+                                done.0,
+                                rows.len()
+                            ),
+                        });
+                    }
+                    return Ok(rows);
+                }
+                // The stream died below the protocol: cut socket, or a
+                // shed stream's typed overload. Reconnect and resume.
+                Err(RowStreamError::Cut(cause)) => {
+                    if reconnects >= self.cfg.max_reconnects {
+                        return Err(cause);
+                    }
+                    std::thread::sleep(backoff::jittered(
+                        self.cfg.reconnect_backoff,
+                        reconnects,
+                        self.cfg.jitter_seed ^ key,
+                    ));
+                    reconnects += 1;
+                    let (reader, writer) = open(self.addr)?;
+                    self.reader = reader;
+                    self.writer = writer;
+                }
+                Err(RowStreamError::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// One streaming attempt: send, then consume frames into `rows`
+    /// until `sweep-done` or a cut.
+    fn stream_once(
+        &mut self,
+        req: &Request,
+        rows: &mut Vec<ResultRow>,
+    ) -> Result<(u64, u64), RowStreamError> {
+        self.send_line(req).map_err(RowStreamError::Cut)?;
+        loop {
+            match self.read_frame() {
+                Err(e) => return Err(RowStreamError::Cut(e)),
+                Ok(Response::SweepRow { row_index, row, .. }) => {
+                    if row_index != rows.len() as u64 {
+                        return Err(RowStreamError::Fatal(SimError::Protocol {
+                            message: format!(
+                                "sweep row {row_index} arrived with {} rows acked",
+                                rows.len()
+                            ),
+                        }));
+                    }
+                    rows.push(row);
+                }
+                Ok(Response::SweepDone {
+                    row_count,
+                    resumed_from,
+                    ..
+                }) => return Ok((row_count, resumed_from)),
+                // A shed stream's typed overload (or a draining
+                // server) is retryable by reconnecting. So is a
+                // protocol error: this client sent a well-formed line,
+                // so the server seeing garbage means the *wire*
+                // mangled it (the chaos corruption site does exactly
+                // this) — and the retry budget bounds the pathological
+                // case. Anything else the server says is final.
+                Ok(Response::Error { error, .. }) => {
+                    if matches!(
+                        error,
+                        SimError::Overloaded { .. }
+                            | SimError::Draining
+                            | SimError::Protocol { .. }
+                    ) {
+                        return Err(RowStreamError::Cut(error));
+                    }
+                    return Err(RowStreamError::Fatal(error));
+                }
+                Ok(other) => {
+                    return Err(RowStreamError::Fatal(SimError::Protocol {
+                        message: format!("unexpected frame in sweep stream: {other:?}"),
+                    }))
+                }
+            }
+        }
+    }
+
+    fn send_line(&mut self, req: &Request) -> Result<(), SimError> {
         let line = req.to_line();
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
-            .map_err(|e| io_err("request write failed", e))?;
+            .map_err(|e| io_err("request write failed", e))
+    }
+
+    fn read_frame(&mut self) -> Result<Response, SimError> {
         let mut reply = String::new();
         let n = self
             .reader
@@ -66,4 +237,23 @@ impl Client {
         }
         protocol::parse_response(reply.trim_end())
     }
+}
+
+/// Why one streaming attempt ended without a terminal frame.
+enum RowStreamError {
+    /// The transport (or the server's stream buffer) gave out;
+    /// reconnect-and-resume applies.
+    Cut(SimError),
+    /// The server answered, and the answer means stop.
+    Fatal(SimError),
+}
+
+fn open(addr: SocketAddr) -> Result<(BufReader<TcpStream>, TcpStream), SimError> {
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("connect failed", e))?;
+    // Request/response lines are tiny; Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| io_err("stream clone failed", e))?;
+    Ok((BufReader::new(read_half), stream))
 }

@@ -22,6 +22,12 @@
 //!   which is fsynced and atomically renamed over the journal, so a
 //!   crash during rotation leaves either the old or the new file,
 //!   never a mixture.
+//! * **Directory durability** — renaming or creating a file makes the
+//!   *data* durable only once the directory entry is too. The journal
+//!   therefore fsyncs its parent directory after creating the file and
+//!   after the rotation rename; without this, a power cut after a
+//!   "successful" rotation could resurrect the pre-rotation journal —
+//!   or no journal at all — on the next boot.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -42,6 +48,15 @@ fn crc32(bytes: &[u8]) -> u32 {
         }
     }
     !crc
+}
+
+/// Fsync the parent directory of `path`, making a just-created (or
+/// just-renamed-over) directory entry itself durable.
+fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// One journal record: a completed unit of work.
@@ -142,7 +157,8 @@ impl Journal {
     pub fn open(path: &Path) -> std::io::Result<(Journal, Replay)> {
         let mut replay = Replay::default();
         let mut existing = Vec::new();
-        if path.exists() {
+        let created = !path.exists();
+        if !created {
             File::open(path)?.read_to_end(&mut existing)?;
         }
         // Everything up to (and including) the last newline is a
@@ -170,6 +186,11 @@ impl Journal {
             f.sync_data()?;
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if created {
+            // The file's directory entry must be durable before any
+            // record written through it can be considered durable.
+            fsync_parent(path)?;
+        }
         let bytes = file.metadata()?.len();
         Ok((
             Journal {
@@ -228,6 +249,9 @@ impl Journal {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        // The rename is only durable once the directory entry is; skip
+        // it and a power cut can resurrect the pre-rotation journal.
+        fsync_parent(&self.path)?;
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.bytes = self.file.metadata()?.len();
         Ok(true)
@@ -380,5 +404,76 @@ mod tests {
     fn crc_is_the_ieee_polynomial() {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn zero_length_journal_opens_clean() {
+        let path = scratch("zero");
+        File::create(&path).unwrap();
+        let (j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.corrupt_dropped, 0);
+        assert!(!replay.torn_truncated);
+        assert_eq!(j.len_bytes(), 0);
+    }
+
+    #[test]
+    fn journal_that_is_only_a_torn_tail_truncates_to_empty() {
+        if chaos_mode() {
+            return;
+        }
+        let path = scratch("all-torn");
+        // A crash during the very first append: a fragment, no newline
+        // anywhere in the file.
+        std::fs::write(&path, b"{\"crc\":\"0123abcd\",\"key\":\"00").unwrap();
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.torn_truncated);
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.corrupt_dropped, 0);
+        assert_eq!(j.len_bytes(), 0, "truncation leaves an empty file");
+        // The file is immediately usable for fresh appends.
+        j.append(&rec(5, "{\"a\":5}"), usize::MAX).unwrap();
+        drop(j);
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert!(!replay.torn_truncated);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].key, 5);
+    }
+
+    #[test]
+    fn interleaved_request_records_replay_in_append_order() {
+        if chaos_mode() {
+            return;
+        }
+        // Two concurrent sweeps interleave their row records; replay
+        // must keep global append order AND per-key order so each
+        // request's contiguous-prefix scan sees its rows as written.
+        let path = scratch("interleaved");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..4u64 {
+            for key in [0xAAAA, 0xBBBB] {
+                let r = Record {
+                    key,
+                    tag: "sweep-row".to_string(),
+                    extra: format!("{i}|00000000"),
+                    body: format!("{{\"row\":{i}}}"),
+                };
+                j.append(&r, usize::MAX).unwrap();
+                expect.push(r);
+            }
+        }
+        drop(j);
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, expect);
+        for key in [0xAAAA, 0xBBBB] {
+            let rows: Vec<&str> = replay
+                .records
+                .iter()
+                .filter(|r| r.key == key)
+                .map(|r| r.extra.split('|').next().unwrap())
+                .collect();
+            assert_eq!(rows, ["0", "1", "2", "3"], "key {key:x} rows out of order");
+        }
     }
 }

@@ -31,8 +31,16 @@
 //!   flushed before the response is sent. A killed and restarted
 //!   server replays the journal (dropping a torn tail and any
 //!   bit-flipped records) and serves completed work from it instead of
-//!   re-simulating. Campaigns journal chunk by chunk, so even a
-//!   partially finished campaign resumes where it stopped.
+//!   re-simulating. Campaigns journal chunk by chunk, and sweeps
+//!   journal *row by row* under an incremental CRC chain, so even a
+//!   partially finished request resumes exactly where it stopped.
+//! * **Streaming, resumable sweeps** — a `sweep` request streams one
+//!   row frame per finished grid point through a *bounded* buffer
+//!   ([`ServeConfig::stream_buffer`]); a consumer that stops reading
+//!   sheds the stream (typed, counted) while the rows keep landing in
+//!   the journal, and a cut client reconnects with a
+//!   [`protocol::ResumeFrom`] cursor to receive only what it missed
+//!   ([`client::Client::sweep`] automates this).
 //! * **Graceful drain** — [`Server::drain`] stops admitting, lets
 //!   in-flight work finish, flushes the journal, and reports what was
 //!   completed and what was dropped.
@@ -49,15 +57,16 @@
 
 use std::time::Duration;
 
+pub mod backoff;
 pub mod client;
 pub mod journal;
 pub mod net;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use journal::{Journal, Record, Replay};
-pub use protocol::{CampaignSpec, Request, RequestBody, Response, RunSpec};
+pub use protocol::{CampaignSpec, Request, RequestBody, Response, ResumeFrom, RunSpec, SweepSpec};
 pub use server::{DrainReport, MetricsSnapshot, Server};
 
 /// Service configuration.
@@ -79,8 +88,19 @@ pub struct ServeConfig {
     /// Base backoff before the retry of a transient failure (the
     /// second attempt waits twice this, were more retries configured).
     pub retry_backoff: Duration,
+    /// Seed mixed with the request key for the retry backoff's
+    /// deterministic jitter ([`backoff::jittered`]).
+    pub retry_jitter_seed: u64,
     /// Journal size that triggers a compacting rotation.
     pub journal_rotate_bytes: u64,
+    /// Bounded per-stream response buffer, in frames: how far a sweep
+    /// may run ahead of a slow consumer before back-pressure stalls the
+    /// worker.
+    pub stream_buffer: usize,
+    /// How long a stream send may stay stalled on a full buffer before
+    /// the stream is shed (the work continues and journals; only the
+    /// delivery stops).
+    pub stream_stall: Duration,
 }
 
 impl Default for ServeConfig {
@@ -92,7 +112,10 @@ impl Default for ServeConfig {
             default_deadline: None,
             campaign_chunk: 25,
             retry_backoff: Duration::from_millis(10),
+            retry_jitter_seed: 0x005E_ED0F_5E4E,
             journal_rotate_bytes: 4 << 20,
+            stream_buffer: 8,
+            stream_stall: Duration::from_millis(500),
         }
     }
 }

@@ -1,12 +1,17 @@
 //! The TCP front: line-delimited flat-JSON requests in, one response
-//! line per request out.
+//! line per request out — except sweeps, which stream one `sweep-row`
+//! line per finished row and a terminal `sweep-done` line.
 //!
 //! The accept loop polls a non-blocking listener so it can notice a
 //! drain or kill and stop accepting; each connection gets its own
 //! thread that reads request lines, runs them through the chaos
 //! request-corruption site (`CIMON_CHAOS=1`), and answers every line —
 //! malformed input gets a typed `protocol` error response rather than a
-//! dropped connection.
+//! dropped connection. Streamed frames additionally pass the
+//! `serve-stream` chaos cut site: a seeded cut closes the connection
+//! mid-stream, which is exactly the failure
+//! [`crate::client::Client::sweep`] must survive by reconnecting with a
+//! resume cursor.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -83,16 +88,73 @@ fn connection(server: &Arc<Server>, stream: TcpStream) {
         chaos::maybe_corrupt_request(wire_index, &mut bytes);
         let text = String::from_utf8_lossy(&bytes);
         let response = match protocol::parse_request(&text) {
-            Ok(req) => server.call(req),
+            Ok(req) => {
+                if matches!(req.body, protocol::RequestBody::Sweep(_)) {
+                    if !stream_sweep(server, &mut writer, req) {
+                        return;
+                    }
+                    continue;
+                }
+                server.call(req)
+            }
             Err(error) => {
                 server.count_protocol_error();
                 Response::Error { id: 0, error }
             }
         };
-        let reply = protocol::response_to_line(&response);
-        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        if !write_frame(&mut writer, &response) {
             return;
         }
-        let _ = writer.flush();
+    }
+}
+
+/// Write one response line; `false` ends the connection.
+fn write_frame(writer: &mut TcpStream, response: &Response) -> bool {
+    let reply = protocol::response_to_line(response);
+    if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        return false;
+    }
+    writer.flush().is_ok()
+}
+
+/// Stream a sweep's frames over the connection. Returns whether the
+/// connection is still good for further requests (a terminal frame
+/// went out); a chaos-injected stream cut or a closed response channel
+/// drops the connection instead, handing recovery to the client's
+/// reconnect-and-resume path.
+fn stream_sweep(server: &Arc<Server>, writer: &mut TcpStream, req: protocol::Request) -> bool {
+    let id = req.id;
+    let rx = server.submit_stream(req);
+    loop {
+        let Ok(frame) = rx.recv() else {
+            // The channel closed without a terminal frame: the server
+            // shed the stream (or was killed). Tell the client in a
+            // typed way if the socket still works, then cut.
+            let _ = write_frame(
+                writer,
+                &Response::Error {
+                    id,
+                    error: SimError::Overloaded {
+                        queued: 0,
+                        capacity: 0,
+                    },
+                },
+            );
+            return false;
+        };
+        let terminal = !matches!(frame, Response::SweepRow { .. });
+        // The stream-cut chaos site: a seeded per-frame roll severs the
+        // connection *before* the frame is written, simulating a peer
+        // or network failure mid-stream.
+        let stream_index = server.next_stream_index();
+        if chaos::cuts_stream_at(stream_index) {
+            return false;
+        }
+        if !write_frame(writer, &frame) {
+            return false;
+        }
+        if terminal {
+            return true;
+        }
     }
 }

@@ -29,8 +29,24 @@ pub struct Request {
     /// Wall-clock budget for the request; `None` uses the server's
     /// default.
     pub deadline_ms: Option<u64>,
+    /// Resume cursor for a reconnecting sweep client: rows up to and
+    /// including `last_acked_row` are not re-streamed. Excluded from
+    /// [`Request::key`] — resuming is how the *same* work is asked for,
+    /// not different work.
+    pub resume: Option<ResumeFrom>,
     /// What to do.
     pub body: RequestBody,
+}
+
+/// Where a cut sweep stream picks up again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeFrom {
+    /// The request key ([`Request::key`]) of the stream being resumed;
+    /// the server rejects a mismatch with a typed
+    /// [`SimError::ResumeMismatch`].
+    pub key: u64,
+    /// Index of the last row the client durably received.
+    pub last_acked_row: u64,
 }
 
 /// The request kinds the service understands.
@@ -38,6 +54,9 @@ pub struct Request {
 pub enum RequestBody {
     /// Run one experiment and return its result row.
     Run(RunSpec),
+    /// Run a grid of experiments, streaming one `sweep-row` frame per
+    /// finished row and a terminal `sweep-done` frame.
+    Sweep(SweepSpec),
     /// Run a fault campaign and return its aggregated counters.
     Campaign(CampaignSpec),
     /// Return the server's metrics counters.
@@ -62,6 +81,35 @@ pub struct RunSpec {
     pub hash_seed: u32,
     /// OS refill policy.
     pub policy: RefillPolicyKind,
+}
+
+/// A grid of experiments over one workload, streamed back row by row.
+///
+/// Row order is fixed so a resumed stream and its oracle agree on
+/// indices: the optional baseline row first (unmonitored, using the
+/// first entries/algo of the grid), then one monitored row per
+/// `(hash_algo, iht_entries)` pair in declaration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Registry workload name.
+    pub workload: String,
+    /// IHT sizes swept.
+    pub iht_entries: Vec<usize>,
+    /// Hash algorithms swept.
+    pub hash_algos: Vec<HashAlgoKind>,
+    /// Seed for the seeded-XOR variant.
+    pub hash_seed: u32,
+    /// OS refill policy.
+    pub policy: RefillPolicyKind,
+    /// Whether an unmonitored baseline row leads the grid.
+    pub baseline: bool,
+}
+
+impl SweepSpec {
+    /// Total rows this sweep produces.
+    pub fn rows(&self) -> u64 {
+        u64::from(self.baseline) + (self.hash_algos.len() * self.iht_entries.len()) as u64
+    }
 }
 
 /// One fault campaign over a workload.
@@ -99,6 +147,29 @@ pub enum Response {
         /// Whether the result was served from the journal instead of
         /// simulated in this process lifetime.
         replayed: bool,
+    },
+    /// One streamed sweep row; `sweep-done` terminates the stream.
+    SweepRow {
+        /// Echoed request id.
+        id: u64,
+        /// Position of this row in the sweep's fixed row order.
+        row_index: u64,
+        /// The result row.
+        row: ResultRow,
+        /// Whether the row was served from the journal instead of
+        /// simulated in this process lifetime.
+        replayed: bool,
+    },
+    /// Terminal frame of a sweep stream: every row at or past the
+    /// resume cursor has been sent.
+    SweepDone {
+        /// Echoed request id.
+        id: u64,
+        /// Total rows in the sweep (streamed plus skipped-by-resume).
+        row_count: u64,
+        /// First row index this stream actually sent (0 for a fresh
+        /// request, `last_acked_row + 1` for a resumed one).
+        resumed_from: u64,
     },
     /// A finished campaign.
     Campaign {
@@ -140,6 +211,8 @@ impl Response {
     pub fn id(&self) -> u64 {
         match self {
             Response::Row { id, .. }
+            | Response::SweepRow { id, .. }
+            | Response::SweepDone { id, .. }
             | Response::Campaign { id, .. }
             | Response::Error { id, .. }
             | Response::Metrics { id, .. }
@@ -203,12 +276,56 @@ fn site_from_name(name: &str) -> Result<FaultSite, SimError> {
     }
 }
 
+// The flat-JSON scanner rejects nested arrays, so sweep lists travel as
+// comma-separated strings (`"iht_entries":"1,8,16"`).
+
+fn csv<T: ToString>(xs: &[T]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn entries_from_csv(field: &str, s: &str) -> Result<Vec<usize>, SimError> {
+    let out: Vec<usize> = s
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| proto_err(format!("bad number `{p}` in `{field}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if out.is_empty() {
+        return Err(proto_err(format!("`{field}` needs at least one value")));
+    }
+    Ok(out)
+}
+
+fn algos_from_csv(s: &str) -> Result<Vec<HashAlgoKind>, SimError> {
+    let out: Vec<HashAlgoKind> = s
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| algo_from_name(p.trim()))
+        .collect::<Result<_, _>>()?;
+    if out.is_empty() {
+        return Err(proto_err("`hash_algos` needs at least one value"));
+    }
+    Ok(out)
+}
+
 impl Request {
     /// Serialise this request as one wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         let mut out = format!("{{\"id\":{}", self.id);
         if let Some(ms) = self.deadline_ms {
             out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if let Some(resume) = &self.resume {
+            out.push_str(&format!(
+                ",\"resume_key\":\"{:016x}\",\"resume_row\":{}",
+                resume.key, resume.last_acked_row,
+            ));
         }
         match &self.body {
             RequestBody::Run(s) => {
@@ -222,6 +339,19 @@ impl Request {
                     s.hash_algo.name(),
                     s.hash_seed,
                     s.policy.name(),
+                ));
+            }
+            RequestBody::Sweep(s) => {
+                out.push_str(&format!(
+                    ",\"kind\":\"sweep\",\"workload\":\"{}\",\"iht_entries\":\"{}\",\
+                     \"hash_algos\":\"{}\",\"hash_seed\":{},\"policy\":\"{}\",\
+                     \"baseline\":{}",
+                    json::escape(&s.workload),
+                    csv(&s.iht_entries),
+                    csv(&s.hash_algos.iter().map(|a| a.name()).collect::<Vec<_>>()),
+                    s.hash_seed,
+                    s.policy.name(),
+                    s.baseline,
                 ));
             }
             RequestBody::Campaign(s) => {
@@ -257,6 +387,7 @@ impl Request {
         let canonical = Request {
             id: 0,
             deadline_ms: None,
+            resume: None,
             body: self.body.clone(),
         }
         .to_line();
@@ -289,6 +420,17 @@ pub fn parse_request(line: &str) -> Result<Request, SimError> {
     let obj = FlatObject::parse(body).map_err(proto_err)?;
     let id: u64 = obj.num("id").map_err(proto_err)?;
     let deadline_ms: Option<u64> = obj.opt_num("deadline_ms").map_err(proto_err)?;
+    let resume = if obj.has("resume_key") {
+        let hex = obj.str("resume_key").map_err(proto_err)?;
+        let key = u64::from_str_radix(&hex, 16)
+            .map_err(|_| proto_err(format!("bad `resume_key` hex `{hex}`")))?;
+        Some(ResumeFrom {
+            key,
+            last_acked_row: obj.num("resume_row").map_err(proto_err)?,
+        })
+    } else {
+        None
+    };
     let kind = obj.str("kind").map_err(proto_err)?;
     let body = match kind.as_str() {
         "run" => RequestBody::Run(RunSpec {
@@ -306,6 +448,25 @@ pub fn parse_request(line: &str) -> Result<Request, SimError> {
                     .unwrap_or_else(|_| "replace-half-lru".to_string()),
                 0,
             )?,
+        }),
+        "sweep" => RequestBody::Sweep(SweepSpec {
+            workload: obj.str("workload").map_err(proto_err)?,
+            iht_entries: entries_from_csv(
+                "iht_entries",
+                &obj.str("iht_entries").map_err(proto_err)?,
+            )?,
+            hash_algos: algos_from_csv(&obj.str("hash_algos").map_err(proto_err)?)?,
+            hash_seed: obj.opt_num("hash_seed").map_err(proto_err)?.unwrap_or(0),
+            policy: policy_from_name(
+                &obj.str("policy")
+                    .unwrap_or_else(|_| "replace-half-lru".to_string()),
+                0,
+            )?,
+            baseline: if obj.has("baseline") {
+                obj.bool("baseline").map_err(proto_err)?
+            } else {
+                true
+            },
         }),
         "campaign" => RequestBody::Campaign(CampaignSpec {
             workload: obj.str("workload").map_err(proto_err)?,
@@ -328,6 +489,7 @@ pub fn parse_request(line: &str) -> Result<Request, SimError> {
     Ok(Request {
         id,
         deadline_ms,
+        resume,
         body,
     })
 }
@@ -348,6 +510,27 @@ pub fn response_to_line(resp: &Response) -> String {
             let body = sole_body(&doc).unwrap_or_default();
             format!("{{\"id\":{id},\"status\":\"row\",\"replayed\":{replayed},{body}}}")
         }
+        Response::SweepRow {
+            id,
+            row_index,
+            row,
+            replayed,
+        } => {
+            let doc = report::to_json(std::slice::from_ref(row));
+            let body = sole_body(&doc).unwrap_or_default();
+            format!(
+                "{{\"id\":{id},\"status\":\"sweep-row\",\"row_index\":{row_index},\
+                 \"replayed\":{replayed},{body}}}"
+            )
+        }
+        Response::SweepDone {
+            id,
+            row_count,
+            resumed_from,
+        } => format!(
+            "{{\"id\":{id},\"status\":\"sweep-done\",\"row_count\":{row_count},\
+             \"resumed_from\":{resumed_from}}}"
+        ),
         Response::Campaign {
             id,
             result,
@@ -398,6 +581,24 @@ pub fn parse_response(line: &str) -> Result<Response, SimError> {
                 replayed: obj.bool("replayed").map_err(proto_err)?,
             })
         }
+        "sweep-row" => {
+            let rows = report::rows_from_json(line).map_err(proto_err)?;
+            let row = rows
+                .into_iter()
+                .next()
+                .ok_or_else(|| proto_err("sweep-row response without a row"))?;
+            Ok(Response::SweepRow {
+                id,
+                row_index: obj.num("row_index").map_err(proto_err)?,
+                row,
+                replayed: obj.bool("replayed").map_err(proto_err)?,
+            })
+        }
+        "sweep-done" => Ok(Response::SweepDone {
+            id,
+            row_count: obj.num("row_count").map_err(proto_err)?,
+            resumed_from: obj.num("resumed_from").map_err(proto_err)?,
+        }),
         "campaign" => Ok(Response::Campaign {
             id,
             result: report::campaign_from_json(line).map_err(proto_err)?,
@@ -434,6 +635,7 @@ mod tests {
         Request {
             id: 7,
             deadline_ms: Some(2000),
+            resume: None,
             body: RequestBody::Run(RunSpec {
                 workload: "sha".to_string(),
                 monitored: true,
@@ -445,10 +647,27 @@ mod tests {
         }
     }
 
+    fn sweep_request() -> Request {
+        Request {
+            id: 11,
+            deadline_ms: None,
+            resume: None,
+            body: RequestBody::Sweep(SweepSpec {
+                workload: "bitcount".to_string(),
+                iht_entries: vec![1, 8, 16],
+                hash_algos: vec![HashAlgoKind::Xor, HashAlgoKind::Crc32],
+                hash_seed: 3,
+                policy: RefillPolicyKind::Fifo,
+                baseline: true,
+            }),
+        }
+    }
+
     fn campaign_request() -> Request {
         Request {
             id: 9,
             deadline_ms: None,
+            resume: None,
             body: RequestBody::Campaign(CampaignSpec {
                 workload: "crc".to_string(),
                 iht_entries: 8,
@@ -467,21 +686,88 @@ mod tests {
     fn requests_round_trip() {
         for req in [
             run_request(),
+            sweep_request(),
             campaign_request(),
             Request {
                 id: 1,
                 deadline_ms: None,
+                resume: None,
                 body: RequestBody::Metrics,
             },
             Request {
                 id: 2,
                 deadline_ms: None,
+                resume: None,
                 body: RequestBody::Drain,
+            },
+            Request {
+                resume: Some(ResumeFrom {
+                    key: 0xdead_beef_cafe_f00d,
+                    last_acked_row: 4,
+                }),
+                ..sweep_request()
             },
         ] {
             let line = req.to_line();
             assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
         }
+    }
+
+    #[test]
+    fn sweep_row_count_covers_baseline_and_grid() {
+        let RequestBody::Sweep(spec) = sweep_request().body else {
+            unreachable!()
+        };
+        assert_eq!(spec.rows(), 1 + 2 * 3);
+        let headless = SweepSpec {
+            baseline: false,
+            ..spec
+        };
+        assert_eq!(headless.rows(), 6);
+    }
+
+    #[test]
+    fn resume_cursor_is_not_part_of_the_request_key() {
+        let fresh = sweep_request();
+        let resumed = Request {
+            resume: Some(ResumeFrom {
+                key: fresh.key(),
+                last_acked_row: 2,
+            }),
+            ..fresh.clone()
+        };
+        assert_eq!(
+            fresh.key(),
+            resumed.key(),
+            "resuming asks for the same work"
+        );
+    }
+
+    #[test]
+    fn empty_sweep_lists_are_typed_protocol_errors() {
+        for bad in [
+            "{\"id\":1,\"kind\":\"sweep\",\"workload\":\"sha\",\"iht_entries\":\"\",\
+             \"hash_algos\":\"xor\"}",
+            "{\"id\":1,\"kind\":\"sweep\",\"workload\":\"sha\",\"iht_entries\":\"8\",\
+             \"hash_algos\":\"\"}",
+            "{\"id\":1,\"kind\":\"sweep\",\"workload\":\"sha\",\"iht_entries\":\"8,x\",\
+             \"hash_algos\":\"xor\"}",
+            "{\"id\":1,\"resume_key\":\"zz\",\"resume_row\":0,\"kind\":\"metrics\"}",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "input: {bad:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_done_responses_round_trip() {
+        let resp = Response::SweepDone {
+            id: 12,
+            row_count: 7,
+            resumed_from: 3,
+        };
+        let line = response_to_line(&resp);
+        assert_eq!(parse_response(&line).unwrap(), resp);
     }
 
     #[test]

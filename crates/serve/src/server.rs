@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -22,12 +22,12 @@ use cimon_bench::json::FlatObject;
 use cimon_bench::report;
 use cimon_core::{CicConfig, HashAlgoKind, SimError};
 use cimon_faults::{Campaign, CampaignConfig, CampaignResult};
-use cimon_sim::chaos;
 use cimon_sim::engine::{parallel_map_isolated, Artifact, Experiment, ResultRow};
-use cimon_sim::SimConfig;
+use cimon_sim::{chaos, ckpt, SimConfig};
 
+use crate::backoff;
 use crate::journal::{Journal, Record};
-use crate::protocol::{CampaignSpec, Request, RequestBody, Response, RunSpec};
+use crate::protocol::{CampaignSpec, Request, RequestBody, Response, RunSpec, SweepSpec};
 use crate::ServeConfig;
 
 /// Chaos indices per admitted request: attempt `a` of request `n`
@@ -67,6 +67,9 @@ struct Metrics {
     dropped: AtomicU64,
     journal_corrupt_dropped: AtomicU64,
     journal_torn: AtomicU64,
+    rows_streamed: AtomicU64,
+    rows_replayed: AtomicU64,
+    streams_shed: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -94,6 +97,14 @@ pub struct MetricsSnapshot {
     pub journal_corrupt_dropped: u64,
     /// Whether startup truncated a torn journal tail (0 or 1).
     pub journal_torn: u64,
+    /// Sweep row frames actually streamed to a client.
+    pub rows_streamed: u64,
+    /// Sweep rows served from the durable row journal instead of
+    /// simulated in this process lifetime.
+    pub rows_replayed: u64,
+    /// Sweep streams abandoned for back-pressure: the client stopped
+    /// consuming past the bounded buffer's stall budget.
+    pub streams_shed: u64,
 }
 
 impl MetricsSnapshot {
@@ -103,7 +114,8 @@ impl MetricsSnapshot {
             "\"admitted\":{},\"rejected_overload\":{},\"rejected_draining\":{},\
              \"protocol_errors\":{},\"completed\":{},\"failed\":{},\"retried\":{},\
              \"replayed\":{},\"dropped\":{},\"journal_corrupt_dropped\":{},\
-             \"journal_torn\":{}",
+             \"journal_torn\":{},\"rows_streamed\":{},\"rows_replayed\":{},\
+             \"streams_shed\":{}",
             self.admitted,
             self.rejected_overload,
             self.rejected_draining,
@@ -115,6 +127,9 @@ impl MetricsSnapshot {
             self.dropped,
             self.journal_corrupt_dropped,
             self.journal_torn,
+            self.rows_streamed,
+            self.rows_replayed,
+            self.streams_shed,
         )
     }
 
@@ -136,16 +151,87 @@ impl MetricsSnapshot {
             dropped: obj.num("dropped")?,
             journal_corrupt_dropped: obj.num("journal_corrupt_dropped")?,
             journal_torn: obj.num("journal_torn")?,
+            rows_streamed: obj.num("rows_streamed")?,
+            rows_replayed: obj.num("rows_replayed")?,
+            streams_shed: obj.num("streams_shed")?,
         })
+    }
+}
+
+/// Where a job's response frames go: the unbounded channel of a unary
+/// request, or the bounded channel of a streaming sweep.
+enum Sink {
+    Unary(Sender<Response>),
+    Stream(SyncSender<Response>),
+}
+
+impl Sink {
+    /// Deliver one frame. Unary sends never block. Stream sends apply
+    /// bounded-buffer back-pressure: poll until the buffer accepts the
+    /// frame or `stall` elapses; a full-past-deadline or disconnected
+    /// stream reports `false` and the caller sheds it.
+    fn send(&self, resp: Response, stall: Duration) -> bool {
+        match self {
+            Sink::Unary(tx) => tx.send(resp).is_ok(),
+            Sink::Stream(tx) => {
+                let mut frame = resp;
+                let deadline = Instant::now() + stall;
+                loop {
+                    match tx.try_send(frame) {
+                        Ok(()) => return true,
+                        Err(TrySendError::Disconnected(_)) => return false,
+                        Err(TrySendError::Full(back)) => {
+                            if Instant::now() >= deadline {
+                                return false;
+                            }
+                            frame = back;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
 /// One queued unit of work.
 struct Job {
     req: Request,
-    tx: Sender<Response>,
+    sink: Sink,
     admitted: usize,
 }
+
+/// The durable per-row state of one sweep request, mirrored between
+/// RAM and the journal's `sweep-row` records.
+///
+/// `chain` is the raw (uninverted) CRC-32 register state after folding
+/// in every accepted row body, seeded with `0xFFFF_FFFF`. Each
+/// journaled row carries the chain value *through itself*, so replay
+/// can accept exactly the longest contiguous-from-zero prefix whose
+/// chain verifies — a surviving record whose predecessor was lost to
+/// bit rot cannot be spliced into the wrong position.
+#[derive(Clone)]
+struct SweepProgress {
+    /// Journaled row bodies, indexed by row position.
+    bodies: Vec<String>,
+    /// CRC chain state through `bodies`.
+    chain: u32,
+    /// Whether the terminal `sweep-done` record is durable.
+    done: bool,
+}
+
+impl Default for SweepProgress {
+    fn default() -> SweepProgress {
+        SweepProgress {
+            bodies: Vec::new(),
+            chain: CHAIN_SEED,
+            done: false,
+        }
+    }
+}
+
+/// The chain seed before any row is folded in.
+const CHAIN_SEED: u32 = 0xFFFF_FFFF;
 
 type CampaignKey = (String, usize, HashAlgoKind, u32);
 
@@ -158,11 +244,14 @@ struct Inner {
     admit_counter: AtomicUsize,
     wire_counter: AtomicUsize,
     append_counter: AtomicUsize,
+    stream_counter: AtomicUsize,
     journal: Mutex<Option<Journal>>,
     /// Completed results by request key: `(tag, body)`.
     done: Mutex<HashMap<u64, (String, String)>>,
     /// Journaled campaign chunks: `(key, start, end)` → body.
     chunks: Mutex<HashMap<(u64, usize, usize), String>>,
+    /// Durable per-row sweep progress by request key.
+    sweeps: Mutex<HashMap<u64, SweepProgress>>,
     campaigns: Mutex<HashMap<CampaignKey, Arc<Campaign>>>,
 }
 
@@ -189,6 +278,9 @@ impl Inner {
             dropped: m.dropped.load(Ordering::Relaxed),
             journal_corrupt_dropped: m.journal_corrupt_dropped.load(Ordering::Relaxed),
             journal_torn: m.journal_torn.load(Ordering::Relaxed),
+            rows_streamed: m.rows_streamed.load(Ordering::Relaxed),
+            rows_replayed: m.rows_replayed.load(Ordering::Relaxed),
+            streams_shed: m.streams_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -247,6 +339,27 @@ impl Inner {
                 });
             }
         }
+        drop(done);
+        for (&key, progress) in lock(&self.sweeps).iter() {
+            let mut chain = CHAIN_SEED;
+            for (i, body) in progress.bodies.iter().enumerate() {
+                chain = ckpt::crc32_continue(chain, body.as_bytes());
+                live.push(Record {
+                    key,
+                    tag: "sweep-row".to_string(),
+                    extra: format!("{i}|{chain:08x}"),
+                    body: body.clone(),
+                });
+            }
+            if progress.done {
+                live.push(Record {
+                    key,
+                    tag: "sweep-done".to_string(),
+                    extra: format!("{}|{chain:08x}", progress.bodies.len()),
+                    body: String::new(),
+                });
+            }
+        }
         live
     }
 
@@ -282,6 +395,7 @@ impl Inner {
             RequestBody::Run(spec) => {
                 self.run_request(job.req.id, key, spec, deadline, job.admitted)
             }
+            RequestBody::Sweep(spec) => self.sweep_request(&job, key, spec, deadline),
             RequestBody::Campaign(spec) => self.campaign_request(job.req.id, key, spec, deadline),
             // Metrics and drain are answered at admission, never queued.
             RequestBody::Metrics | RequestBody::Drain => return,
@@ -289,19 +403,23 @@ impl Inner {
         match result {
             Ok(Some(resp)) => {
                 self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.tx.send(resp);
+                job.sink.send(resp, self.cfg.stream_stall);
             }
-            // A kill abandoned the request mid-flight: no response, as
-            // if the process died (the receiver sees a closed channel).
+            // A kill (or a shed stream) abandoned the request
+            // mid-flight: no terminal frame, as if the process died —
+            // the receiver sees a closed channel.
             Ok(None) => {
                 self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
             }
             Err(error) => {
                 self.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.tx.send(Response::Error {
-                    id: job.req.id,
-                    error,
-                });
+                job.sink.send(
+                    Response::Error {
+                        id: job.req.id,
+                        error,
+                    },
+                    self.cfg.stream_stall,
+                );
             }
         }
     }
@@ -336,36 +454,7 @@ impl Inner {
                 ..SimConfig::default()
             },
         };
-        let mut attempt = 0usize;
-        let row = loop {
-            let idx = admitted * ATTEMPT_SPAN + attempt;
-            let outcome =
-                parallel_map_isolated(std::slice::from_ref(&experiment), 1, "serve", |_, exp| {
-                    chaos::maybe_panic("serve", idx);
-                    exp.run()
-                })
-                .pop()
-                .unwrap_or_else(|| {
-                    Err(SimError::WorkerPanic {
-                        site: "serve",
-                        message: "isolated map returned no slot".to_string(),
-                    })
-                });
-            match outcome {
-                Ok(Ok(row)) => break row,
-                Ok(Err(err)) | Err(err) => {
-                    // Transient faults get exactly one backed-off
-                    // retry; deterministic errors never do.
-                    if err.is_transient() && attempt + 1 < 2 {
-                        self.metrics.retried.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(self.cfg.retry_backoff * (1 << attempt));
-                        attempt += 1;
-                        continue;
-                    }
-                    return Err(err);
-                }
-            }
-        };
+        let row = self.run_with_retry(&experiment, admitted * ATTEMPT_SPAN, key)?;
         let body = row_body(&row);
         self.journal_append(Record {
             key,
@@ -378,6 +467,228 @@ impl Inner {
             id,
             row,
             replayed: false,
+        }))
+    }
+
+    /// One experiment with panic isolation and exactly one jittered
+    /// retry on transient failure — shared by unary runs and sweep
+    /// rows. Attempt `a` rolls chaos site `"serve"` at `base + a`, so a
+    /// retry rolls a *different* seeded point than the attempt that
+    /// failed (and can therefore heal) while staying deterministic
+    /// across runs. The backoff jitter is seeded by the request key:
+    /// decorrelated across requests, reproducible for any one of them.
+    fn run_with_retry(
+        &self,
+        experiment: &Experiment,
+        base: usize,
+        key: u64,
+    ) -> Result<ResultRow, SimError> {
+        let mut attempt = 0usize;
+        loop {
+            let idx = base + attempt;
+            let outcome =
+                parallel_map_isolated(std::slice::from_ref(experiment), 1, "serve", |_, exp| {
+                    chaos::maybe_panic("serve", idx);
+                    exp.run()
+                })
+                .pop()
+                .unwrap_or_else(|| {
+                    Err(SimError::WorkerPanic {
+                        site: "serve",
+                        message: "isolated map returned no slot".to_string(),
+                    })
+                });
+            match outcome {
+                Ok(Ok(row)) => return Ok(row),
+                Ok(Err(err)) | Err(err) => {
+                    // Transient faults get exactly one backed-off
+                    // retry; deterministic errors never do.
+                    if err.is_transient() && attempt + 1 < 2 {
+                        self.metrics.retried.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff::jittered(
+                            self.cfg.retry_backoff,
+                            attempt as u32,
+                            self.cfg.retry_jitter_seed ^ key,
+                        ));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// The sweep's experiments in canonical row order: the optional
+    /// baseline first, then one monitored row per `(algo, entries)`
+    /// pair.
+    fn sweep_experiments(
+        &self,
+        spec: &SweepSpec,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Experiment>, SimError> {
+        let artifact = self.artifact(&spec.workload)?;
+        let mut experiments = Vec::new();
+        if spec.baseline {
+            experiments.push(Experiment {
+                artifact: artifact.clone(),
+                monitored: false,
+                config: SimConfig {
+                    max_wall: deadline,
+                    ..SimConfig::default()
+                },
+            });
+        }
+        for &algo in &spec.hash_algos {
+            for &entries in &spec.iht_entries {
+                experiments.push(Experiment {
+                    artifact: artifact.clone(),
+                    monitored: true,
+                    config: SimConfig {
+                        iht_entries: entries,
+                        hash_algo: algo,
+                        hash_seed: spec.hash_seed,
+                        policy: spec.policy,
+                        max_wall: deadline,
+                        ..SimConfig::default()
+                    },
+                });
+            }
+        }
+        Ok(experiments)
+    }
+
+    /// Execute (or resume) one sweep: rows stream through the job's
+    /// sink as they complete, and *every* row is journaled under the
+    /// incremental CRC chain before its frame is sent — the row-grain
+    /// durability point.
+    ///
+    /// Degradation ladder, finest grain first:
+    ///
+    /// * a row whose experiment keeps failing is journaled and streamed
+    ///   as a poisoned [`ResultRow`] — one bad grid point never fails
+    ///   the sweep;
+    /// * a client that stops consuming past the stall budget sheds the
+    ///   *stream* ([`MetricsSnapshot::streams_shed`]) while the worker
+    ///   keeps computing and journaling rows, so the reconnect resumes
+    ///   from a further cursor instead of repeating the work;
+    /// * a kill abandons the request between rows; everything already
+    ///   journaled survives the restart.
+    fn sweep_request(
+        &self,
+        job: &Job,
+        key: u64,
+        spec: &SweepSpec,
+        deadline: Option<Duration>,
+    ) -> Result<Option<Response>, SimError> {
+        let total = spec.rows();
+        let resume_at = match &job.req.resume {
+            None => 0,
+            Some(resume) => {
+                if resume.key != key {
+                    return Err(SimError::ResumeMismatch {
+                        message: format!(
+                            "resume key {:016x} does not match request key {key:016x}",
+                            resume.key
+                        ),
+                    });
+                }
+                if resume.last_acked_row >= total {
+                    return Err(SimError::ResumeMismatch {
+                        message: format!(
+                            "resume row {} out of range for a {total}-row sweep",
+                            resume.last_acked_row
+                        ),
+                    });
+                }
+                resume.last_acked_row + 1
+            }
+        };
+        let experiments = self.sweep_experiments(spec, deadline)?;
+        let mut streaming = true;
+        for (row_index, experiment) in experiments.iter().enumerate() {
+            // The kill boundary: a row either completes and is
+            // journaled, or the whole request is abandoned as if the
+            // process died here.
+            if self.state() == KILLED {
+                return Ok(None);
+            }
+            let durable = lock(&self.sweeps)
+                .get(&key)
+                .and_then(|p| p.bodies.get(row_index).cloned());
+            let (row, replayed) = match durable {
+                Some(body) => {
+                    self.metrics.rows_replayed.fetch_add(1, Ordering::Relaxed);
+                    (parse_row(&body)?, true)
+                }
+                None => {
+                    let base = (job.admitted + row_index) * ATTEMPT_SPAN;
+                    let fresh = self
+                        .run_with_retry(experiment, base, key)
+                        .unwrap_or_else(|err| ResultRow::poisoned(experiment, err));
+                    let body = row_body(&fresh);
+                    // Stream the *durable* form of the row — what the
+                    // journal round-trips — so a fresh frame and its
+                    // post-restart replay are byte-identical, not just
+                    // equivalent. (The wire format intentionally drops
+                    // `expected_exit`; canonicalising here keeps the
+                    // chaos differentials exact.)
+                    let row = parse_row(&body)?;
+                    let mut sweeps = lock(&self.sweeps);
+                    let progress = sweeps.entry(key).or_default();
+                    let chain = ckpt::crc32_continue(progress.chain, body.as_bytes());
+                    progress.bodies.push(body.clone());
+                    progress.chain = chain;
+                    drop(sweeps);
+                    self.journal_append(Record {
+                        key,
+                        tag: "sweep-row".to_string(),
+                        extra: format!("{row_index}|{chain:08x}"),
+                        body,
+                    });
+                    (row, false)
+                }
+            };
+            if streaming && (row_index as u64) >= resume_at {
+                if job.sink.send(
+                    Response::SweepRow {
+                        id: job.req.id,
+                        row_index: row_index as u64,
+                        row,
+                        replayed,
+                    },
+                    self.cfg.stream_stall,
+                ) {
+                    self.metrics.rows_streamed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Shed the stream, keep the work: remaining rows
+                    // are still computed and journaled so a resumed
+                    // request replays instead of re-simulating.
+                    self.metrics.streams_shed.fetch_add(1, Ordering::Relaxed);
+                    streaming = false;
+                }
+            }
+        }
+        let mut sweeps = lock(&self.sweeps);
+        let progress = sweeps.entry(key).or_default();
+        if !progress.done && progress.bodies.len() as u64 == total {
+            progress.done = true;
+            let terminal = Record {
+                key,
+                tag: "sweep-done".to_string(),
+                extra: format!("{total}|{:08x}", progress.chain),
+                body: String::new(),
+            };
+            drop(sweeps);
+            self.journal_append(terminal);
+        }
+        if !streaming {
+            return Ok(None);
+        }
+        Ok(Some(Response::SweepDone {
+            id: job.req.id,
+            row_count: total,
+            resumed_from: resume_at,
         }))
     }
 
@@ -549,6 +860,7 @@ impl Server {
         let mut journal = None;
         let mut done = HashMap::new();
         let mut chunks = HashMap::new();
+        let mut sweeps: HashMap<u64, SweepProgress> = HashMap::new();
         let metrics = Metrics::default();
         if let Some(path) = journal_path {
             let (j, replay) = Journal::open(path).map_err(|e| SimError::Io {
@@ -570,6 +882,31 @@ impl Server {
                             chunks.insert((r.key, a, b), r.body);
                         }
                     }
+                    // Row-grain sweep replay: accept exactly the
+                    // longest contiguous-from-zero prefix whose CRC
+                    // chain verifies. A record whose index or chain
+                    // does not extend the prefix (its predecessor was
+                    // corrupt, or records got reordered) is dropped —
+                    // the rows behind the gap get recomputed, never
+                    // trusted out of position.
+                    "sweep-row" => {
+                        if let Some((idx, stored)) = parse_chain_extra(&r.extra) {
+                            let progress = sweeps.entry(r.key).or_default();
+                            let chain = ckpt::crc32_continue(progress.chain, r.body.as_bytes());
+                            if idx == progress.bodies.len() as u64 && stored == chain {
+                                progress.bodies.push(r.body);
+                                progress.chain = chain;
+                            }
+                        }
+                    }
+                    "sweep-done" => {
+                        if let Some((count, stored)) = parse_chain_extra(&r.extra) {
+                            let progress = sweeps.entry(r.key).or_default();
+                            if count == progress.bodies.len() as u64 && stored == progress.chain {
+                                progress.done = true;
+                            }
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -584,9 +921,11 @@ impl Server {
             admit_counter: AtomicUsize::new(0),
             wire_counter: AtomicUsize::new(0),
             append_counter: AtomicUsize::new(0),
+            stream_counter: AtomicUsize::new(0),
             journal: Mutex::new(journal),
             done: Mutex::new(done),
             chunks: Mutex::new(chunks),
+            sweeps: Mutex::new(sweeps),
             campaigns: Mutex::new(HashMap::new()),
         });
         // `workers == 0` spawns no pool: admitted work just queues.
@@ -621,6 +960,12 @@ impl Server {
         self.inner.wire_counter.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The next outgoing stream-frame index for the chaos cut site —
+    /// one per frame about to be written to a TCP peer.
+    pub(crate) fn next_stream_index(&self) -> usize {
+        self.inner.stream_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
     pub(crate) fn count_protocol_error(&self) {
         self.inner
             .metrics
@@ -634,23 +979,46 @@ impl Server {
     /// [`SimError::Draining`]. Metrics requests are answered inline.
     pub fn submit(&self, req: Request) -> Receiver<Response> {
         let (tx, rx) = mpsc::channel();
+        self.admit(req, Sink::Unary(tx));
+        rx
+    }
+
+    /// Submit a streaming request: response frames arrive on a
+    /// *bounded* channel ([`ServeConfig::stream_buffer`] frames), so a
+    /// consumer that stops reading back-pressures the worker and —
+    /// past [`ServeConfig::stream_stall`] — sheds the stream rather
+    /// than the server. A sweep yields one `SweepRow` frame per row
+    /// and a terminal `SweepDone`; a shed or killed stream closes the
+    /// channel without a terminal frame. Non-sweep requests work too,
+    /// delivering their single response as the only frame.
+    pub fn submit_stream(&self, req: Request) -> Receiver<Response> {
+        let (tx, rx) = mpsc::sync_channel(self.inner.cfg.stream_buffer.max(1));
+        self.admit(req, Sink::Stream(tx));
+        rx
+    }
+
+    fn admit(&self, req: Request, sink: Sink) {
         let id = req.id;
+        let stall = self.inner.cfg.stream_stall;
         match &req.body {
             RequestBody::Metrics => {
-                let _ = tx.send(Response::Metrics {
-                    id,
-                    metrics: self.metrics(),
-                });
-                return rx;
+                sink.send(
+                    Response::Metrics {
+                        id,
+                        metrics: self.metrics(),
+                    },
+                    stall,
+                );
+                return;
             }
             RequestBody::Drain => {
                 let report = self.drain();
-                let _ = tx.send(Response::Drained { id, report });
-                return rx;
+                sink.send(Response::Drained { id, report }, stall);
+                return;
             }
             _ => {}
         }
-        if let Err(error) = self.try_enqueue(req, tx.clone()) {
+        if let Err((sink, error)) = self.try_enqueue(req, sink) {
             match &error {
                 SimError::Overloaded { .. } => {
                     self.inner
@@ -665,25 +1033,32 @@ impl Server {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let _ = tx.send(Response::Error { id, error });
+            sink.send(Response::Error { id, error }, stall);
         }
-        rx
     }
 
-    fn try_enqueue(&self, req: Request, tx: Sender<Response>) -> Result<(), SimError> {
+    fn try_enqueue(&self, req: Request, sink: Sink) -> Result<(), (Sink, SimError)> {
         let mut q = lock(&self.inner.queue);
         if self.inner.state() != RUNNING {
-            return Err(SimError::Draining);
+            return Err((sink, SimError::Draining));
         }
         if q.len() >= self.inner.cfg.queue_capacity {
-            return Err(SimError::Overloaded {
-                queued: q.len(),
-                capacity: self.inner.cfg.queue_capacity,
-            });
+            let queued = q.len();
+            return Err((
+                sink,
+                SimError::Overloaded {
+                    queued,
+                    capacity: self.inner.cfg.queue_capacity,
+                },
+            ));
         }
         let admitted = self.inner.admit_counter.fetch_add(1, Ordering::Relaxed);
         self.inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
-        q.push_back(Job { req, tx, admitted });
+        q.push_back(Job {
+            req,
+            sink,
+            admitted,
+        });
         drop(q);
         self.inner.wake.notify_one();
         Ok(())
@@ -771,4 +1146,10 @@ impl Server {
 fn parse_range(extra: &str) -> Option<(usize, usize)> {
     let (a, b) = extra.split_once("..")?;
     Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+/// Parse a sweep record's `"{index}|{chain:08x}"` qualifier.
+fn parse_chain_extra(extra: &str) -> Option<(u64, u32)> {
+    let (idx, chain) = extra.split_once('|')?;
+    Some((idx.parse().ok()?, u32::from_str_radix(chain, 16).ok()?))
 }

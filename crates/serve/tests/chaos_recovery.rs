@@ -33,6 +33,7 @@ fn campaign_request(id: u64) -> Request {
     Request {
         id,
         deadline_ms: None,
+        resume: None,
         body: RequestBody::Campaign(CampaignSpec {
             workload: "bitcount".to_string(),
             iht_entries: 8,
@@ -197,6 +198,7 @@ fn chaos_request_corruption_yields_typed_errors_at_the_seeded_indices() {
         let req = Request {
             id: wire_index + 100,
             deadline_ms: None,
+            resume: None,
             body: RequestBody::Metrics,
         };
         let resp = client.request(&req).expect("every line gets a response");

@@ -17,6 +17,7 @@ fn run_request(id: u64, workload: &str) -> Request {
     Request {
         id,
         deadline_ms: None,
+        resume: None,
         body: RequestBody::Run(RunSpec {
             workload: workload.to_string(),
             monitored: true,
@@ -91,6 +92,7 @@ fn rows_round_trip_over_tcp_and_cache_as_replays() {
         .request(&Request {
             id: 9,
             deadline_ms: None,
+            resume: None,
             body: RequestBody::Metrics,
         })
         .expect("metrics response")
@@ -153,6 +155,7 @@ fn deadlines_turn_slow_simulations_into_timed_out_rows() {
     let resp = server.call(Request {
         id: 1,
         deadline_ms: Some(0),
+        resume: None,
         body: RequestBody::Run(RunSpec {
             workload: "sha".to_string(),
             monitored: true,
@@ -190,6 +193,7 @@ fn drain_stops_admission_finishes_in_flight_and_reports() {
         .request(&Request {
             id: 4,
             deadline_ms: None,
+            resume: None,
             body: RequestBody::Drain,
         })
         .expect("drain response")

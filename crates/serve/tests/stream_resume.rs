@@ -1,0 +1,379 @@
+//! Row-grain durability and streaming-resume differentials: the
+//! tentpole claim of this suite is that a sweep killed at an arbitrary
+//! row and resumed — in process on a restarted server, or over TCP by
+//! a reconnecting client surviving chaos stream cuts — produces a row
+//! set **byte-identical** to an uninterrupted oracle's, poison states
+//! included, with every durable row replayed rather than re-simulated.
+//! Green with and without `CIMON_CHAOS=1`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cimon_core::{HashAlgoKind, SimError};
+use cimon_os::RefillPolicyKind;
+use cimon_serve::{
+    net, Client, ClientConfig, Request, RequestBody, Response, ResumeFrom, ServeConfig, Server,
+    SweepSpec,
+};
+use cimon_sim::chaos;
+use cimon_sim::engine::ResultRow;
+
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cimon-serve-stream-{label}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The canonical 7-row sweep (baseline + 2 algos × 3 IHT sizes).
+fn sweep_request(id: u64) -> Request {
+    Request {
+        id,
+        deadline_ms: None,
+        resume: None,
+        body: RequestBody::Sweep(SweepSpec {
+            workload: "bitcount".to_string(),
+            iht_entries: vec![1, 4, 8],
+            hash_algos: vec![HashAlgoKind::Xor, HashAlgoKind::Crc32],
+            hash_seed: 0,
+            policy: RefillPolicyKind::Fifo,
+            baseline: true,
+        }),
+    }
+}
+
+fn stream_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 8,
+        workers: 1,
+        engine_workers: 2,
+        retry_backoff: Duration::from_millis(1),
+        // Room for all 8 frames of the canonical sweep, so a test can
+        // hold the receiver without shedding unless it means to.
+        stream_buffer: 16,
+        stream_stall: Duration::from_millis(100),
+        ..ServeConfig::default()
+    }
+}
+
+/// Drain one stream: ordered rows, their replay flags, and the
+/// terminal frame (None when the channel died without one).
+#[allow(clippy::type_complexity)]
+fn collect(rx: &Receiver<Response>) -> (Vec<(u64, ResultRow, bool)>, Option<(u64, u64)>) {
+    let mut rows = Vec::new();
+    let mut done = None;
+    while let Ok(frame) = rx.recv() {
+        match frame {
+            Response::SweepRow {
+                row_index,
+                row,
+                replayed,
+                ..
+            } => rows.push((row_index, row, replayed)),
+            Response::SweepDone {
+                row_count,
+                resumed_from,
+                ..
+            } => {
+                done = Some((row_count, resumed_from));
+                break;
+            }
+            other => panic!("unexpected frame in sweep stream: {other:?}"),
+        }
+    }
+    (rows, done)
+}
+
+/// Run the sweep uninterrupted on a fresh journal-less server.
+fn oracle_rows(req: &Request) -> Vec<ResultRow> {
+    let server = Server::start(stream_config(), None).expect("oracle starts");
+    let rx = server.submit_stream(req.clone());
+    let (rows, done) = collect(&rx);
+    let (count, resumed) = done.expect("oracle stream completes");
+    assert_eq!(resumed, 0);
+    assert_eq!(count as usize, rows.len());
+    for (i, (idx, _, replayed)) in rows.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert!(!replayed, "a fresh oracle simulates everything");
+    }
+    server.drain();
+    rows.into_iter().map(|(_, row, _)| row).collect()
+}
+
+/// The tentpole differential: kill a journaling server at a row
+/// boundary mid-sweep, restart it on the same journal, and require the
+/// full row set — poison states included — to be byte-identical to the
+/// uninterrupted oracle's.
+#[test]
+fn sweep_killed_at_a_row_and_restarted_matches_the_oracle() {
+    let dir = scratch_dir("kill");
+    let journal = dir.join("results.journal");
+    let oracle = oracle_rows(&sweep_request(1));
+
+    let victim = Arc::new(Server::start(stream_config(), Some(&journal)).expect("victim starts"));
+    let rx = victim.submit_stream(sweep_request(2));
+    // Kill once the journal shows at least two durable rows — a seeded
+    // mid-sweep crash point (chaos bit-flips may destroy some of those
+    // records on disk; replay handles that below).
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_secs(10) {
+        let lines = std::fs::read(&journal)
+            .map(|b| b.iter().filter(|&&c| c == b'\n').count())
+            .unwrap_or(0);
+        if lines >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    victim.kill();
+    // The abandoned stream saw some prefix of the rows and no terminal
+    // frame; whatever arrived must already match the oracle.
+    let (partial, done) = collect(&rx);
+    if done.is_none() {
+        for (idx, row, _) in &partial {
+            assert_eq!(row, &oracle[*idx as usize], "pre-kill row {idx} diverged");
+        }
+    }
+
+    // Survivor: same journal, same request, fresh stream. Durable rows
+    // replay; the rest are re-simulated deterministically.
+    let survivor = Server::start(stream_config(), Some(&journal)).expect("survivor starts");
+    let rx = survivor.submit_stream(sweep_request(3));
+    let (rows, done) = collect(&rx);
+    let (count, resumed) = done.expect("survivor stream completes");
+    assert_eq!(resumed, 0, "a fresh request streams from row zero");
+    assert_eq!(count as usize, oracle.len());
+    assert_eq!(rows.len(), oracle.len());
+    for (i, (idx, row, _)) in rows.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert_eq!(
+            row, &oracle[i],
+            "row {i} after kill-and-restart diverged from the oracle"
+        );
+    }
+    if !chaos::enabled() {
+        assert!(
+            survivor.metrics().rows_replayed >= 1,
+            "recovery must reuse journaled rows, not recompute everything"
+        );
+    }
+    // A second pass over the now-complete sweep is a pure replay.
+    let rx = survivor.submit_stream(sweep_request(4));
+    let (rows, done) = collect(&rx);
+    assert!(done.is_some());
+    assert!(rows.iter().all(|(_, _, replayed)| *replayed));
+    assert_eq!(
+        rows.iter().map(|(_, r, _)| r.clone()).collect::<Vec<_>>(),
+        oracle
+    );
+    survivor.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An explicit resume cursor streams only the missing suffix, and a
+/// bogus cursor is rejected with a typed `resume-mismatch`.
+#[test]
+fn resume_cursor_streams_the_suffix_and_mismatches_are_typed() {
+    let oracle = oracle_rows(&sweep_request(1));
+    let server = Server::start(stream_config(), None).expect("server starts");
+    let rx = server.submit_stream(sweep_request(2));
+    let (_, done) = collect(&rx);
+    assert!(done.is_some());
+
+    // Resume after row 2: rows 3.. stream as replays.
+    let key = sweep_request(2).key();
+    let resumed_req = Request {
+        resume: Some(ResumeFrom {
+            key,
+            last_acked_row: 2,
+        }),
+        ..sweep_request(3)
+    };
+    let rx = server.submit_stream(resumed_req);
+    let (rows, done) = collect(&rx);
+    let (count, resumed) = done.expect("resumed stream completes");
+    assert_eq!(resumed, 3);
+    assert_eq!(count as usize, oracle.len());
+    assert_eq!(rows.len(), oracle.len() - 3);
+    for (offset, (idx, row, replayed)) in rows.iter().enumerate() {
+        assert_eq!(*idx as usize, 3 + offset);
+        assert!(*replayed, "resumed rows come from the durable store");
+        assert_eq!(row, &oracle[3 + offset]);
+    }
+
+    // Wrong key, and a cursor past the end: typed rejections.
+    for bad in [
+        ResumeFrom {
+            key: key ^ 1,
+            last_acked_row: 0,
+        },
+        ResumeFrom {
+            key,
+            last_acked_row: oracle.len() as u64,
+        },
+    ] {
+        let rx = server.submit_stream(Request {
+            resume: Some(bad),
+            ..sweep_request(4)
+        });
+        match rx.recv().expect("a rejection frame") {
+            Response::Error {
+                error: SimError::ResumeMismatch { .. },
+                ..
+            } => {}
+            other => panic!("bad cursor {bad:?} must be a resume-mismatch, got {other:?}"),
+        }
+    }
+    server.drain();
+}
+
+/// Back-pressure: a consumer that never reads past the tiny buffer
+/// sheds the *stream* while the rows keep landing in the durable
+/// store — a later request replays them all instead of re-simulating.
+#[test]
+fn unread_streams_shed_but_their_rows_stay_durable() {
+    let dir = scratch_dir("shed");
+    let journal = dir.join("results.journal");
+    let cfg = ServeConfig {
+        stream_buffer: 2,
+        stream_stall: Duration::from_millis(20),
+        ..stream_config()
+    };
+    let server = Server::start(cfg, Some(&journal)).expect("server starts");
+    // Hold the receiver without reading: the third frame stalls past
+    // the budget and the stream is shed.
+    let rx = server.submit_stream(sweep_request(1));
+    let started = Instant::now();
+    while server.metrics().streams_shed == 0 && started.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.metrics().streams_shed, 1, "the stream must shed");
+    // The buffered prefix is readable; the channel then closes with no
+    // terminal frame.
+    let (rows, done) = collect(&rx);
+    assert!(done.is_none(), "a shed stream has no terminal frame");
+    assert!(rows.len() <= 2);
+
+    // The work was never abandoned: once the sweep finishes journaling,
+    // a fresh request streams every row from the durable store.
+    let total = 7u64;
+    let started = Instant::now();
+    let complete = loop {
+        let rx = server.submit_stream(sweep_request(2));
+        let (rows, done) = collect(&rx);
+        if done.is_some() && rows.len() as u64 == total {
+            break rows;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "sweep never became fully durable"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    if !chaos::enabled() {
+        assert!(
+            complete.iter().all(|(_, _, replayed)| *replayed),
+            "every row was journaled by the shed sweep"
+        );
+    }
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two sweeps interleave their row records in one journal; a restarted
+/// server replays both without cross-contamination.
+#[test]
+fn interleaved_sweep_journals_replay_per_request() {
+    let dir = scratch_dir("interleave");
+    let journal = dir.join("results.journal");
+    let second = |id| Request {
+        body: RequestBody::Sweep(SweepSpec {
+            workload: "bitcount".to_string(),
+            iht_entries: vec![2, 16],
+            hash_algos: vec![HashAlgoKind::Xor],
+            hash_seed: 7,
+            policy: RefillPolicyKind::Fifo,
+            baseline: false,
+        }),
+        ..sweep_request(id)
+    };
+    let oracle_a = oracle_rows(&sweep_request(1));
+    let oracle_b = oracle_rows(&second(1));
+
+    // Two workers run the two sweeps concurrently, interleaving their
+    // journal appends.
+    let cfg = ServeConfig {
+        workers: 2,
+        ..stream_config()
+    };
+    let writer = Server::start(cfg, Some(&journal)).expect("writer starts");
+    let rx_a = writer.submit_stream(sweep_request(2));
+    let rx_b = writer.submit_stream(second(3));
+    assert!(collect(&rx_a).1.is_some());
+    assert!(collect(&rx_b).1.is_some());
+    writer.drain();
+
+    let survivor = Server::start(stream_config(), Some(&journal)).expect("survivor starts");
+    for (req, oracle) in [(sweep_request(4), &oracle_a), (second(5), &oracle_b)] {
+        let rx = survivor.submit_stream(req);
+        let (rows, done) = collect(&rx);
+        assert!(done.is_some());
+        assert_eq!(rows.len(), oracle.len());
+        for (i, (idx, row, replayed)) in rows.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(row, &oracle[i], "row {i} cross-contaminated");
+            if !chaos::enabled() {
+                assert!(*replayed, "a drained journal replays everything");
+            }
+        }
+    }
+    survivor.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The TCP path end to end: `Client::sweep` survives seeded chaos
+/// stream cuts and wire corruption by reconnecting with a resume
+/// cursor, and still hands back the oracle's exact rows.
+#[test]
+fn tcp_client_survives_stream_cuts_via_resume() {
+    let oracle = oracle_rows(&sweep_request(1));
+    let server = Arc::new(Server::start(stream_config(), None).expect("server starts"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    net::serve(server.clone(), listener).expect("accept loop");
+
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig {
+            reconnect_backoff: Duration::from_millis(1),
+            max_reconnects: 12,
+            jitter_seed: 0xBEEF,
+        },
+    )
+    .expect("connect");
+    let rows = client.sweep(&sweep_request(2)).expect("sweep completes");
+    assert_eq!(rows, oracle, "TCP sweep diverged from the oracle");
+
+    // Under chaos the seeded cut site must actually have fired at
+    // least once across the frames this stream wrote.
+    if chaos::enabled() {
+        let frames = 8; // 7 rows + terminal
+        let any_cut = (0..frames).any(chaos::cuts_stream_at);
+        if any_cut {
+            let m = server.metrics();
+            assert!(
+                m.rows_replayed > 0 || m.rows_streamed > oracle.len() as u64,
+                "surviving a cut must have re-streamed or replayed rows"
+            );
+        }
+    }
+    server.drain();
+}

@@ -20,7 +20,14 @@
 //!   rejection of garbage instead of a wedged or panicking parser;
 //! * **journal bit-flips** as the serve layer persists a result
 //!   ([`maybe_flip_journal_bit`]) — exercising per-record CRC
-//!   verification and recompute-on-replay after a restart.
+//!   verification and recompute-on-replay after a restart;
+//! * **checkpoint-frame bit-flips and torn tails** as the splice layer
+//!   spills snapshots to disk ([`maybe_flip_segment_bit`],
+//!   [`maybe_torn_segment_tail`]) — exercising the segment scanner's
+//!   frame quarantine and the recompute-from-previous spill rung;
+//! * **mid-stream connection cuts** while the serve layer streams
+//!   sweep rows ([`cuts_stream_at`]) — exercising client reconnect and
+//!   row-grain resume.
 //!
 //! Everything is keyed off `(site, index)` with a SplitMix64 mix of the
 //! seed (`CIMON_CHAOS_SEED`, default `0xC1A05`), so a chaos run is
@@ -54,6 +61,15 @@ pub struct ChaosConfig {
     /// One in this many serve-layer journal records has a bit flipped
     /// before it is written (0 disables).
     pub journal_flip_one_in: u64,
+    /// One in this many spilled checkpoint frames has a bit flipped on
+    /// its way to disk (0 disables).
+    pub segment_flip_one_in: u64,
+    /// One in this many checkpoint segments loses part of its final
+    /// frame at close — a simulated torn write (0 disables).
+    pub segment_tear_one_in: u64,
+    /// One in this many streamed response rows has its connection cut
+    /// mid-stream (0 disables).
+    pub stream_cut_one_in: u64,
 }
 
 impl ChaosConfig {
@@ -67,6 +83,9 @@ impl ChaosConfig {
             corrupt_one_in: 4,
             request_corrupt_one_in: 6,
             journal_flip_one_in: 4,
+            segment_flip_one_in: 5,
+            segment_tear_one_in: 7,
+            stream_cut_one_in: 5,
         }
     }
 
@@ -209,6 +228,65 @@ pub fn maybe_flip_journal_bit(index: usize, payload: &mut [u8]) -> bool {
     true
 }
 
+/// Whether chaos flips a bit of the spilled checkpoint frame at append
+/// index `index` — exposed so differential tests can predict exactly
+/// which frames a chaos spill will quarantine on scan.
+pub fn flips_segment_at(index: usize) -> bool {
+    config().is_some_and(|cfg| {
+        cfg.segment_flip_one_in != 0
+            && roll(cfg, "ckpt-segment", index, 0x5E) % cfg.segment_flip_one_in == 0
+    })
+}
+
+/// Flip one seeded bit of an encoded checkpoint frame (header or
+/// payload) if chaos selected this append index, leaving its recorded
+/// CRCs stale. Returns `true` when a flip was injected — the segment
+/// scan is then guaranteed to quarantine the frame (payload hit) or
+/// everything from it onward (header hit), and the splice degrades by
+/// the documented ladder instead of trusting damaged storage.
+pub fn maybe_flip_segment_bit(index: usize, frame: &mut [u8]) -> bool {
+    let Some(cfg) = config() else { return false };
+    if frame.is_empty() || !flips_segment_at(index) {
+        return false;
+    }
+    let pos = (roll(cfg, "ckpt-segment", index, 0x5F) as usize) % frame.len();
+    let bit = roll(cfg, "ckpt-segment", index, 0x60) % 8;
+    frame[pos] ^= 1 << bit;
+    true
+}
+
+/// Whether chaos tears the tail off a checkpoint segment closed with
+/// `index` frames — exposed for differential prediction.
+pub fn tears_segment_at(index: usize) -> bool {
+    config().is_some_and(|cfg| {
+        cfg.segment_tear_one_in != 0
+            && roll(cfg, "ckpt-segment", index, 0x61) % cfg.segment_tear_one_in == 0
+    })
+}
+
+/// How many tail bytes chaos shears off a finished checkpoint segment
+/// whose final frame is `last_frame_len` bytes long — `None` when this
+/// close was not selected. The cut always lands strictly inside the
+/// final frame, so the scanner sees a torn tail (never a clean,
+/// silently shorter segment).
+pub fn maybe_torn_segment_tail(index: usize, last_frame_len: u64) -> Option<u64> {
+    let cfg = config()?;
+    if last_frame_len < 2 || !tears_segment_at(index) {
+        return None;
+    }
+    Some(1 + roll(cfg, "ckpt-segment", index, 0x62) % (last_frame_len - 1))
+}
+
+/// Whether chaos cuts the client connection after streaming the
+/// response row at stream index `index` — exposed so resume tests can
+/// predict exactly where a chaos stream will drop.
+pub fn cuts_stream_at(index: usize) -> bool {
+    config().is_some_and(|cfg| {
+        cfg.stream_cut_one_in != 0
+            && roll(cfg, "serve-stream", index, 0x57) % cfg.stream_cut_one_in == 0
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +337,18 @@ mod tests {
         assert_eq!(
             hits("serve-journal", 0x10, cfg.journal_flip_one_in),
             vec![0, 1, 5, 8, 10, 12, 20, 23]
+        );
+        assert_eq!(
+            hits("ckpt-segment", 0x5E, cfg.segment_flip_one_in),
+            vec![12, 15, 16, 17, 20, 23]
+        );
+        assert_eq!(
+            hits("ckpt-segment", 0x61, cfg.segment_tear_one_in),
+            vec![7, 16, 22]
+        );
+        assert_eq!(
+            hits("serve-stream", 0x57, cfg.stream_cut_one_in),
+            vec![2, 5, 10, 23]
         );
     }
 

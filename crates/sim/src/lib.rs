@@ -47,6 +47,7 @@ use cimon_pipeline::{
 };
 
 pub mod chaos;
+pub mod ckpt;
 pub mod engine;
 pub mod splice;
 
@@ -55,7 +56,7 @@ pub use cimon_pipeline::RunOutcome as Outcome;
 pub use engine::{Artifact, Experiment, ResultRow, RowStatus, Sweep};
 pub use splice::{
     run_baseline_spliced, run_monitored_spliced, run_monitored_spliced_stats, run_spliced,
-    SpliceConfig, SpliceReport, SpliceRung, SpliceStats,
+    SpillMode, SpliceConfig, SpliceReport, SpliceRung, SpliceStats,
 };
 
 /// Experiment-level configuration (the knobs the paper sweeps).

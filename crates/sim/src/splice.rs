@@ -40,6 +40,16 @@
 //! checkpoint's fetch count, so a fault landing mid-shard replays on
 //! exactly the fetch it originally hit.
 //!
+//! ## Disk-spilled checkpoints
+//!
+//! With [`SpliceConfig::spill`] set to [`SpillMode::Disk`] the fast
+//! pass serialises every checkpoint to a CRC-framed scratch segment
+//! ([`crate::ckpt`]) as it is emitted, keeping only a 16-byte
+//! `(instret, fetch_count)` meta entry per checkpoint in RAM — the
+//! splice's memory footprint stops scaling with program length. Shard
+//! workers each open their own reader and deserialise their start
+//! frame on demand.
+//!
 //! ## Degradation ladder
 //!
 //! The timing-dependent fallback generalises: any shard that cannot
@@ -49,6 +59,16 @@
 //! no checkpoint at all. The result is still exact; only the
 //! parallelism is lost, and [`SpliceStats::rung`] says which rung
 //! actually ran so harnesses (and CI) can assert on the path taken.
+//!
+//! Disk spill adds two rungs. A spilled frame the segment scan
+//! quarantines (bit rot, torn tail) costs no fallback at all: the
+//! quarantined checkpoint simply stops being a shard boundary, and its
+//! span is recomputed from the previous good checkpoint — still
+//! parallel, still exact ([`SpliceRung::SplicedSpillRecompute`]). Only
+//! a failure of the store *itself* (creating, writing, scanning, or
+//! reading the segment) degrades to one serial run
+//! ([`SpliceRung::SerialSpillIo`]), because then no spilled checkpoint
+//! can be trusted.
 
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -61,7 +81,20 @@ use cimon_pipeline::{
 };
 
 use crate::engine::{default_workers, parallel_map_isolated};
-use crate::{build_fht, chaos, RunReport, SimConfig};
+use crate::{build_fht, chaos, ckpt, RunReport, SimConfig};
+
+/// Where the fast pass keeps its checkpoints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillMode {
+    /// Checkpoints stay in RAM (a `Vec<ProcessorSnapshot>`); memory
+    /// scales with program length.
+    #[default]
+    Ram,
+    /// Checkpoints are serialised to a CRC-framed scratch segment on
+    /// disk as they are emitted; RAM holds one 16-byte meta entry per
+    /// checkpoint.
+    Disk,
+}
 
 /// How to splice one long run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +105,8 @@ pub struct SpliceConfig {
     pub interval_cycles: u64,
     /// Worker threads replaying shards.
     pub workers: usize,
+    /// Where checkpoints live between the fast pass and shard replay.
+    pub spill: SpillMode,
 }
 
 impl Default for SpliceConfig {
@@ -79,6 +114,7 @@ impl Default for SpliceConfig {
         SpliceConfig {
             interval_cycles: 5_000_000,
             workers: default_workers(),
+            spill: SpillMode::Ram,
         }
     }
 }
@@ -89,6 +125,10 @@ impl Default for SpliceConfig {
 pub enum SpliceRung {
     /// The parallel shard replay ran to completion.
     Spliced,
+    /// The parallel shard replay ran to completion, but one or more
+    /// disk-spilled checkpoints were quarantined by the segment scan;
+    /// their spans were recomputed from the previous good checkpoint.
+    SplicedSpillRecompute,
     /// The fast pass saw a `ReadCycles` syscall; the run was redone
     /// serially because its architecture observes its own timing.
     SerialTimingDependent,
@@ -98,6 +138,10 @@ pub enum SpliceRung {
     SerialSnapshotCorrupt,
     /// A shard worker panicked mid-replay; the run was redone serially.
     SerialWorkerPanic,
+    /// The checkpoint spill store itself failed an I/O operation; no
+    /// spilled checkpoint could be trusted, so the run was redone
+    /// serially from the program image.
+    SerialSpillIo,
 }
 
 impl SpliceRung {
@@ -105,15 +149,20 @@ impl SpliceRung {
     pub fn name(&self) -> &'static str {
         match self {
             SpliceRung::Spliced => "spliced",
+            SpliceRung::SplicedSpillRecompute => "spliced-spill-recompute",
             SpliceRung::SerialTimingDependent => "serial-timing",
             SpliceRung::SerialSnapshotCorrupt => "serial-snapshot",
             SpliceRung::SerialWorkerPanic => "serial-panic",
+            SpliceRung::SerialSpillIo => "serial-spill-io",
         }
     }
 
     /// Whether this rung ran serially instead of sharded.
     pub fn is_serial(&self) -> bool {
-        !matches!(self, SpliceRung::Spliced)
+        !matches!(
+            self,
+            SpliceRung::Spliced | SpliceRung::SplicedSpillRecompute
+        )
     }
 }
 
@@ -129,6 +178,13 @@ pub struct SpliceStats {
     pub corrupt_snapshots: u64,
     /// Shards whose worker panicked.
     pub shard_panics: u64,
+    /// Checkpoint frames spilled to the disk segment (0 in RAM mode).
+    pub spilled_frames: u64,
+    /// Spilled frames the segment scan quarantined (bit flips, torn
+    /// tails); each costs one recompute-from-previous span.
+    pub quarantined_frames: u64,
+    /// Store-level spill I/O failures (create, write, scan, or read).
+    pub spill_io: u64,
 }
 
 impl SpliceStats {
@@ -138,6 +194,9 @@ impl SpliceStats {
             checkpoints,
             corrupt_snapshots: 0,
             shard_panics: 0,
+            spilled_frames: 0,
+            quarantined_frames: 0,
+            spill_io: 0,
         }
     }
 }
@@ -255,8 +314,37 @@ pub fn run_spliced(
             log: log.clone(),
         }));
     }
+    let disk = splice.spill == SpillMode::Disk;
+    let mut seg: Option<ckpt::ScratchSegment> = None;
+    let mut writer: Option<ckpt::SegmentWriter> = None;
+    let mut spill_err: Option<String> = None;
+    if disk {
+        let scratch = ckpt::ScratchSegment::new("splice");
+        match ckpt::SegmentWriter::create(scratch.path()) {
+            Ok(w) => writer = Some(w),
+            Err(e) => spill_err = Some(format!("create segment: {e}")),
+        }
+        seg = Some(scratch);
+    }
+    // RAM mode keeps the snapshots themselves; disk mode spills each
+    // one the moment it is emitted and keeps only its 16-byte meta, so
+    // the working set never holds more than one snapshot.
     let mut snaps: Vec<ProcessorSnapshot> = Vec::new();
-    let report = fast.run_fast_pass(splice.interval_cycles, |s| snaps.push(s));
+    let mut meta: Vec<(u64, u64)> = Vec::new();
+    let report = fast.run_fast_pass(splice.interval_cycles, |s| {
+        if disk {
+            meta.push((s.instret(), s.fetch_count()));
+            if spill_err.is_none() {
+                if let Some(w) = writer.as_mut() {
+                    if let Err(e) = w.append(&s.to_bytes()) {
+                        spill_err = Some(format!("append frame: {e}"));
+                    }
+                }
+            }
+        } else {
+            snaps.push(s);
+        }
+    });
 
     if report.timing_dependent {
         // The program consumed the cycle counter: only a serial timed
@@ -280,35 +368,119 @@ pub fn run_spliced(
     let proxy_stop = report.outcome == RunOutcome::MaxCycles;
     let fast_end = fast.instret();
 
+    // ---- Disk spill: close and scan the segment. ----
+    let mut index = ckpt::SegmentIndex::default();
+    if disk && spill_err.is_none() {
+        if let Some(w) = writer.take() {
+            let path = seg
+                .as_ref()
+                .map(|s| s.path().to_path_buf())
+                .unwrap_or_else(|| unreachable!("disk mode always reserves a segment path"));
+            match w.finish().and_then(|_| ckpt::scan(&path)) {
+                Ok(ix) => index = ix,
+                Err(e) => spill_err = Some(format!("scan segment: {e}")),
+            }
+        }
+    }
+    let checkpoints = if disk { meta.len() } else { snaps.len() };
+    let mut stats = SpliceStats::clean(SpliceRung::Spliced, checkpoints);
+    if disk {
+        stats.spilled_frames = meta.len() as u64;
+        stats.quarantined_frames = (meta.len() - index.good.min(meta.len())) as u64;
+    }
+    if spill_err.is_some() {
+        // The store itself failed: no spilled checkpoint can be
+        // trusted, and a serial run depends on none.
+        stats.spill_io = 1;
+        stats.rung = SpliceRung::SerialSpillIo;
+        return run_serial_rung(build, tap, max_cycles, stats);
+    }
+
+    // ---- Shard plan: every checkpoint in RAM mode; only the frames
+    // the scan proved good in spill mode. A quarantined frame stops
+    // being a shard boundary — its span is recomputed from the
+    // previous good checkpoint, so damaged spill storage costs
+    // parallelism, never correctness. ----
+    let good: Vec<usize> = if disk {
+        index
+            .frames
+            .iter()
+            .filter(|f| f.is_good())
+            .map(|f| f.seq as usize)
+            .collect()
+    } else {
+        (0..snaps.len()).collect()
+    };
+    if disk && good.len() < meta.len() {
+        stats.rung = SpliceRung::SplicedSpillRecompute;
+    }
+    let seg_path = seg.as_ref().map(|s| s.path().to_path_buf());
+    // Deserialise one spilled checkpoint, re-verifying its frame CRC.
+    let load_spilled = |ck: usize| -> Result<ProcessorSnapshot, SimError> {
+        let path = seg_path
+            .as_deref()
+            .unwrap_or_else(|| unreachable!("disk mode always reserves a segment path"));
+        let spill = |e: std::io::Error| SimError::CheckpointSpill {
+            message: format!("read frame {ck}: {e}"),
+        };
+        let mut reader = ckpt::SegmentReader::open(path).map_err(spill)?;
+        let bytes = reader.read_frame(&index.frames[ck]).map_err(spill)?.ok_or(
+            SimError::SnapshotCorrupt {
+                expected: 0,
+                found: 0,
+            },
+        )?;
+        ProcessorSnapshot::from_bytes(&bytes).map_err(|_| SimError::SnapshotCorrupt {
+            expected: 0,
+            found: 0,
+        })
+    };
+
     // ---- Pass 2: replay every shard with full timing, in parallel. ----
-    let indices: Vec<usize> = (0..=snaps.len()).collect();
+    let indices: Vec<usize> = (0..=good.len()).collect();
     let chaos_on = chaos::enabled();
     let shard_results =
         parallel_map_isolated(&indices, splice.workers.max(1), "splice", |_, &i| {
             chaos::maybe_delay("splice", i);
             let mut cpu = build();
+            let mut start_fetch = 0;
             if i > 0 {
-                if chaos_on {
+                let ck = good[i - 1];
+                if disk {
+                    // Write-side chaos (frame flips, torn tails) was
+                    // already screened out by the scan; what loads here
+                    // is re-verified against its frame CRC.
+                    let snap = load_spilled(ck)?;
+                    cpu.restore(&snap)?;
+                    start_fetch = snap.fetch_count();
+                } else if chaos_on {
                     // Chaos: corrupt a *clone* of the checkpoint, so the
                     // shared snapshot other passes read stays clean and the
                     // restore below is what detects the damage.
-                    let mut snap = snaps[i - 1].clone();
+                    let mut snap = snaps[ck].clone();
                     chaos::maybe_corrupt_snapshot("splice", i, &mut snap);
                     cpu.restore(&snap)?;
+                    start_fetch = snap.fetch_count();
                 } else {
-                    cpu.restore(&snaps[i - 1])?;
+                    cpu.restore(&snaps[ck])?;
+                    start_fetch = snaps[ck].fetch_count();
                 }
             }
             cpu.set_max_cycles(u64::MAX);
             if has_tap {
-                let fetch_count = if i > 0 { snaps[i - 1].fetch_count() } else { 0 };
                 cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
-                    fetch_count,
+                    start_fetch,
                     overrides.clone(),
                 )));
             }
-            let target = match snaps.get(i) {
-                Some(s) => s.instret(),
+            let target = match good.get(i) {
+                Some(&ck) => {
+                    if disk {
+                        meta[ck].0
+                    } else {
+                        snaps[ck].instret()
+                    }
+                }
                 None if proxy_stop => fast_end,
                 None => u64::MAX,
             };
@@ -322,10 +494,10 @@ pub fn run_spliced(
         });
 
     // ---- Degradation ladder: any shard that could not replay (corrupt
-    // checkpoint, panicking worker) voids the parallel pass; rerun
-    // serially from the image, which depends on neither. ----
+    // checkpoint, panicking worker, failing spill store) voids the
+    // parallel pass; rerun serially from the image, which depends on
+    // none of them. ----
     let mut shard_ends = Vec::with_capacity(shard_results.len());
-    let mut stats = SpliceStats::clean(SpliceRung::Spliced, snaps.len());
     let mut first_failure = None;
     for result in shard_results {
         match result.and_then(|r| r) {
@@ -333,6 +505,7 @@ pub fn run_spliced(
             Err(err) => {
                 match err {
                     SimError::SnapshotCorrupt { .. } => stats.corrupt_snapshots += 1,
+                    SimError::CheckpointSpill { .. } => stats.spill_io += 1,
                     _ => stats.shard_panics += 1,
                 }
                 first_failure.get_or_insert(err);
@@ -342,6 +515,7 @@ pub fn run_spliced(
     if let Some(err) = first_failure {
         stats.rung = match err {
             SimError::SnapshotCorrupt { .. } => SpliceRung::SerialSnapshotCorrupt,
+            SimError::CheckpointSpill { .. } => SpliceRung::SerialSpillIo,
             _ => SpliceRung::SerialWorkerPanic,
         };
         return run_serial_rung(build, tap, max_cycles, stats);
@@ -390,13 +564,34 @@ pub fn run_spliced(
         // exact serial continuation, so its end state IS the run's end
         // state. Everything replayed past it is discarded.
         let mut cpu = build();
+        let mut fix_fetch = 0;
         if k > 0 {
             // The checkpoint restored cleanly during pass 2; a failure
             // here means it was corrupted since — degrade to serial.
-            if cpu.restore(&snaps[k - 1]).is_err() {
-                stats.corrupt_snapshots += 1;
-                stats.rung = SpliceRung::SerialSnapshotCorrupt;
-                return run_serial_rung(build, tap, max_cycles, stats);
+            let ck = good[k - 1];
+            let restored = if disk {
+                load_spilled(ck).and_then(|snap| {
+                    cpu.restore(&snap)?;
+                    Ok(snap.fetch_count())
+                })
+            } else {
+                cpu.restore(&snaps[ck]).map(|()| snaps[ck].fetch_count())
+            };
+            match restored {
+                Ok(fetch) => fix_fetch = fetch,
+                Err(err) => {
+                    stats.rung = match err {
+                        SimError::CheckpointSpill { .. } => {
+                            stats.spill_io += 1;
+                            SpliceRung::SerialSpillIo
+                        }
+                        _ => {
+                            stats.corrupt_snapshots += 1;
+                            SpliceRung::SerialSnapshotCorrupt
+                        }
+                    };
+                    return run_serial_rung(build, tap, max_cycles, stats);
+                }
             }
         }
         let rel = cpu.timing().last_id();
@@ -405,9 +600,8 @@ pub fn run_spliced(
         }));
         cpu.set_max_cycles(max_cycles);
         if has_tap {
-            let fetch_count = if k > 0 { snaps[k - 1].fetch_count() } else { 0 };
             cpu.set_bus_tap(Box::new(ReplayTap::starting_at(
-                fetch_count,
+                fix_fetch,
                 overrides.clone(),
             )));
         }
@@ -617,6 +811,14 @@ mod tests {
         SpliceConfig {
             interval_cycles: interval,
             workers,
+            spill: SpillMode::Ram,
+        }
+    }
+
+    fn tight_disk(interval: u64, workers: usize) -> SpliceConfig {
+        SpliceConfig {
+            spill: SpillMode::Disk,
+            ..tight(interval, workers)
         }
     }
 
@@ -639,6 +841,116 @@ mod tests {
         let spliced = run_baseline_spliced(&prog.image, 1_000_000, &tight(64, 3));
         assert_eq!(spliced.outcome, serial.outcome);
         assert_eq!(spliced.stats, serial.stats);
+    }
+
+    #[test]
+    fn disk_spilled_splice_is_byte_identical_to_serial() {
+        let prog = program();
+        let config = SimConfig::default();
+        let serial = run_monitored(&prog.image, &config, None).unwrap();
+        let (spliced, stats) =
+            run_monitored_spliced_stats(&prog.image, &config, None, &tight_disk(100, 4)).unwrap();
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+        assert_eq!(spliced.miss_rate_percent, serial.miss_rate_percent);
+        assert!(stats.spilled_frames > 0, "{stats:?}");
+        if !chaos::enabled() {
+            // With chaos off every frame survives the scan and the
+            // shard plan is the same as RAM mode's.
+            assert_eq!(stats.rung, SpliceRung::Spliced);
+            assert_eq!(stats.quarantined_frames, 0);
+            assert_eq!(stats.spill_io, 0);
+        } else {
+            // Write-side chaos may quarantine frames; the recompute
+            // rung is still parallel and still exact (asserted above).
+            assert!(!stats.rung.is_serial() || stats.rung == SpliceRung::SerialSpillIo);
+        }
+    }
+
+    #[test]
+    fn disk_spilled_budget_interrupt_matches_serial() {
+        let prog = program();
+        let config = SimConfig {
+            max_cycles: 700,
+            ..SimConfig::default()
+        };
+        let serial = run_monitored(&prog.image, &config, None).unwrap();
+        assert_eq!(serial.outcome, RunOutcome::MaxCycles);
+        let spliced =
+            run_monitored_spliced(&prog.image, &config, None, &tight_disk(50, 4)).unwrap();
+        assert_eq!(spliced.outcome, serial.outcome);
+        assert_eq!(spliced.stats, serial.stats);
+    }
+
+    #[test]
+    fn disk_spilled_tap_faults_still_replay_in_shard() {
+        let prog = program();
+        let config = SimConfig::default();
+        let fht = Arc::new(build_fht(&prog.image, &config).unwrap());
+        let victim = prog.image.entry + 8;
+        struct OneShot {
+            target: u32,
+            remaining_visits: u32,
+            done: bool,
+        }
+        impl BusTap for OneShot {
+            fn on_fetch(&mut self, addr: u32, word: u32) -> u32 {
+                if addr == self.target && !self.done {
+                    if self.remaining_visits > 0 {
+                        self.remaining_visits -= 1;
+                        return word;
+                    }
+                    self.done = true;
+                    return word ^ (1 << 18);
+                }
+                word
+            }
+        }
+        let make_tap = move || -> Box<dyn BusTap> {
+            Box::new(OneShot {
+                target: victim,
+                remaining_visits: 150,
+                done: false,
+            })
+        };
+        let build = || {
+            Processor::new(
+                &prog.image,
+                ProcessorConfig {
+                    monitor: Some(MonitorConfig {
+                        cic: CicConfig {
+                            iht_entries: config.iht_entries,
+                            hash_algo: config.hash_algo,
+                            hash_seed: config.hash_seed,
+                        },
+                        fht: fht.clone(),
+                        policy: config.policy,
+                        exception_cost: ExceptionCost {
+                            cycles: config.exception_cycles,
+                        },
+                    }),
+                    max_cycles: config.max_cycles,
+                    ..ProcessorConfig::baseline()
+                },
+            )
+        };
+        let mut serial = build();
+        serial.set_bus_tap(make_tap());
+        let serial_outcome = serial.run();
+        assert!(matches!(serial_outcome, RunOutcome::Detected { .. }));
+
+        let spliced = run_spliced(
+            &build,
+            Some(&make_tap),
+            config.max_cycles,
+            &tight_disk(100, 4),
+        );
+        assert_eq!(spliced.outcome, serial_outcome);
+        assert_eq!(spliced.stats, serial.stats());
+        if !chaos::enabled() {
+            assert!(!spliced.serial_fallback);
+            assert!(spliced.shards > 1);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use cimon_core::{CicConfig, SimError};
 use cimon_hashgen::static_fht;
 use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome};
 use cimon_sim::engine::{Artifact, RowStatus, Sweep};
-use cimon_sim::{chaos, run_spliced, HashAlgoKind, SimConfig, SpliceConfig, SpliceRung};
+use cimon_sim::{chaos, run_spliced, HashAlgoKind, SimConfig, SpillMode, SpliceConfig, SpliceRung};
 
 const PROGRAM: &str = "
     .text
@@ -205,42 +205,57 @@ fn splice_degrades_but_never_diverges_under_chaos() {
     let serial_stats = serial.stats();
 
     // A small interval forces many shards, so chaos gets many chances
-    // to delay a shard or corrupt its snapshot.
-    let splice = SpliceConfig {
-        interval_cycles: 40,
-        workers: 4,
-    };
-    let report = run_spliced(
-        &|| Processor::new(&prog.image, config.clone()),
-        None,
-        max_cycles,
-        &splice,
-    );
+    // to delay a shard, corrupt its snapshot, or — in disk mode —
+    // flip and tear the spilled segment frames.
+    for spill in [SpillMode::Ram, SpillMode::Disk] {
+        let splice = SpliceConfig {
+            interval_cycles: 40,
+            workers: 4,
+            spill,
+        };
+        let report = run_spliced(
+            &|| Processor::new(&prog.image, config.clone()),
+            None,
+            max_cycles,
+            &splice,
+        );
 
-    // Whatever rung ran, the result is the serial result.
-    assert_eq!(report.outcome, serial_outcome);
-    assert_eq!(report.stats, serial_stats);
-    assert_eq!(report.serial_fallback, report.splice.rung.is_serial());
-    match report.splice.rung {
-        SpliceRung::Spliced => {
-            assert_eq!(report.splice.corrupt_snapshots, 0);
-            assert_eq!(report.splice.shard_panics, 0);
+        // Whatever rung ran, the result is the serial result.
+        assert_eq!(report.outcome, serial_outcome, "{spill:?}");
+        assert_eq!(report.stats, serial_stats, "{spill:?}");
+        assert_eq!(report.serial_fallback, report.splice.rung.is_serial());
+        match report.splice.rung {
+            SpliceRung::Spliced => {
+                assert_eq!(report.splice.corrupt_snapshots, 0);
+                assert_eq!(report.splice.shard_panics, 0);
+            }
+            SpliceRung::SplicedSpillRecompute => {
+                // Quarantined segment frames degraded those spans to
+                // recompute-from-previous, but the run stayed parallel.
+                assert!(chaos::enabled(), "quarantine only comes from chaos here");
+                assert_eq!(spill, SpillMode::Disk);
+                assert!(report.splice.quarantined_frames > 0);
+            }
+            SpliceRung::SerialSnapshotCorrupt => {
+                assert!(
+                    chaos::enabled(),
+                    "corrupt snapshots only come from chaos here"
+                );
+                assert!(report.splice.corrupt_snapshots > 0);
+            }
+            SpliceRung::SerialWorkerPanic => {
+                assert!(report.splice.shard_panics > 0);
+            }
+            SpliceRung::SerialSpillIo => {
+                assert_eq!(spill, SpillMode::Disk);
+                assert!(report.splice.spill_io > 0);
+            }
+            SpliceRung::SerialTimingDependent => {
+                panic!("this program reads no cycle counters");
+            }
         }
-        SpliceRung::SerialSnapshotCorrupt => {
-            assert!(
-                chaos::enabled(),
-                "corrupt snapshots only come from chaos here"
-            );
-            assert!(report.splice.corrupt_snapshots > 0);
+        if !chaos::enabled() {
+            assert_eq!(report.splice.rung, SpliceRung::Spliced);
         }
-        SpliceRung::SerialWorkerPanic => {
-            assert!(report.splice.shard_panics > 0);
-        }
-        SpliceRung::SerialTimingDependent => {
-            panic!("this program reads no cycle counters");
-        }
-    }
-    if !chaos::enabled() {
-        assert_eq!(report.splice.rung, SpliceRung::Spliced);
     }
 }

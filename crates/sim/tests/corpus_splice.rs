@@ -8,7 +8,7 @@
 
 use cimon_sim::{
     run_baseline_spliced, run_baseline_with_max, run_monitored, run_monitored_spliced, Outcome,
-    SimConfig, SpliceConfig,
+    SimConfig, SpillMode, SpliceConfig,
 };
 use cimon_workloads::corpus;
 
@@ -23,14 +23,19 @@ fn monitored_corpus_runs_finish_clean_and_splice_exactly() {
             "corpus seed {seed} must run clean under the monitor: {:?}",
             serial.outcome
         );
-        let splice = SpliceConfig {
-            interval_cycles: 4_000,
-            workers: 4,
-        };
-        let spliced = run_monitored_spliced(&prog.image, &config, None, &splice).unwrap();
-        assert_eq!(spliced.outcome, serial.outcome, "seed {seed}");
-        assert_eq!(spliced.stats, serial.stats, "seed {seed}");
-        assert_eq!(spliced.miss_rate_percent, serial.miss_rate_percent);
+        // Both checkpoint stores — in-RAM and disk-spilled — must
+        // stitch the same bytes the serial run produces.
+        for spill in [SpillMode::Ram, SpillMode::Disk] {
+            let splice = SpliceConfig {
+                interval_cycles: 4_000,
+                workers: 4,
+                spill,
+            };
+            let spliced = run_monitored_spliced(&prog.image, &config, None, &splice).unwrap();
+            assert_eq!(spliced.outcome, serial.outcome, "seed {seed} {spill:?}");
+            assert_eq!(spliced.stats, serial.stats, "seed {seed} {spill:?}");
+            assert_eq!(spliced.miss_rate_percent, serial.miss_rate_percent);
+        }
         // A small corpus program still spans many checkpoints at this
         // interval — the splice must have actually sharded.
         assert!(serial.stats.instructions > 40_000);
@@ -41,11 +46,14 @@ fn monitored_corpus_runs_finish_clean_and_splice_exactly() {
 fn baseline_corpus_runs_splice_exactly() {
     let prog = corpus::small(7).assemble();
     let serial = run_baseline_with_max(&prog.image, 400_000_000);
-    let splice = SpliceConfig {
-        interval_cycles: 8_000,
-        workers: 3,
-    };
-    let spliced = run_baseline_spliced(&prog.image, 400_000_000, &splice);
-    assert_eq!(spliced.outcome, serial.outcome);
-    assert_eq!(spliced.stats, serial.stats);
+    for spill in [SpillMode::Ram, SpillMode::Disk] {
+        let splice = SpliceConfig {
+            interval_cycles: 8_000,
+            workers: 3,
+            spill,
+        };
+        let spliced = run_baseline_spliced(&prog.image, 400_000_000, &splice);
+        assert_eq!(spliced.outcome, serial.outcome, "{spill:?}");
+        assert_eq!(spliced.stats, serial.stats, "{spill:?}");
+    }
 }

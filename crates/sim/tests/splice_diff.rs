@@ -15,7 +15,7 @@ use cimon_core::{BlockRecord, CicConfig, HashAlgoKind};
 use cimon_mem::{BusTap, ProgramImage};
 use cimon_os::FullHashTable;
 use cimon_pipeline::{Processor, ProcessorConfig, RunOutcome, RunStats};
-use cimon_sim::{run_spliced, SpliceConfig};
+use cimon_sim::{run_spliced, SpillMode, SpliceConfig};
 
 /// A one-shot transient fault: flip `bit` of the word fetched from
 /// `target`, once.
@@ -168,7 +168,7 @@ proptest! {
     ) {
         let prog = assemble(&p.source).expect("generated program assembles");
         let fht = trace_fht(&prog.image);
-        let splice = SpliceConfig { interval_cycles: interval, workers };
+        let splice = SpliceConfig { interval_cycles: interval, workers, spill: SpillMode::Ram };
         assert_splice_equivalent(&prog.image, &fht, 1_000_000, &splice, None);
     }
 
@@ -188,7 +188,7 @@ proptest! {
         let off = (victim - image.text.base) as usize;
         image.text.bytes[off] ^= 1 << (bit % 8);
         let fht = trace_fht(&prog.image);
-        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3, spill: SpillMode::Ram };
         assert_splice_equivalent(&image, &fht, 60_000, &splice, None);
     }
 
@@ -203,7 +203,7 @@ proptest! {
         let n_words = prog.image.text.bytes.len() / 4;
         let target = prog.image.text.base + 4 * word_idx.index(n_words) as u32;
         let fht = trace_fht(&prog.image);
-        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3, spill: SpillMode::Ram };
         let make_tap = move || -> Box<dyn BusTap> {
             Box::new(OneShot { target, bit, done: false })
         };
@@ -218,7 +218,10 @@ proptest! {
     ) {
         let prog = assemble(&p.source).expect("generated program assembles");
         let fht = trace_fht(&prog.image);
-        let splice = SpliceConfig { interval_cycles: interval, workers: 3 };
+        // Budget interrupts are the trickiest stitch path; run them
+        // through the disk-spilled checkpoint store so frame reload
+        // and fix-up get property-level coverage too.
+        let splice = SpliceConfig { interval_cycles: interval, workers: 3, spill: SpillMode::Disk };
         assert_splice_equivalent(&prog.image, &fht, max_cycles, &splice, None);
     }
 }

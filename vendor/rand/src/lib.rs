@@ -108,6 +108,18 @@ pub mod rngs {
             StdRng { state }
         }
     }
+
+    impl StdRng {
+        /// The generator's current internal state word. Feeding it back
+        /// through [`SeedableRng::seed_from_u64`] reproduces the stream
+        /// exactly — the checkpoint spill serializes refill-policy RNGs
+        /// this way. Shim-only extension: the real `rand` crate does not
+        /// expose `StdRng` internals, so code using it must stay inside
+        /// the workspace's snapshot plumbing.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +144,18 @@ mod tests {
             assert!((3..17).contains(&v));
             let w: i32 = rng.gen_range(-5..6);
             assert!((-5..6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_seed_from_u64() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let _ = a.gen_range(0u64..100);
+        }
+        let mut b = StdRng::seed_from_u64(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
         }
     }
 
